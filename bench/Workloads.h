@@ -1,0 +1,93 @@
+//===- bench/Workloads.h - Shared benchmark harness helpers -----*- C++ -*-===//
+///
+/// \file
+/// Workload constructors, aggregation helpers and table printers shared
+/// by every reproduction benchmark. Each bench binary prints a
+/// paper-style table (the actual figure reproduction) and then runs its
+/// google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_BENCH_WORKLOADS_H
+#define MUTK_BENCH_WORKLOADS_H
+
+#include "bnb/BnbOptions.h"
+#include "matrix/Generators.h"
+#include "seq/EvolutionSim.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace bench {
+
+/// The HPCAsia/PaCT "randomly generated data sample set, values 0..100".
+inline mutk::DistanceMatrix unifWorkload(int NumSpecies,
+                                         std::uint64_t Seed) {
+  return mutk::uniformRandomMetric(NumSpecies, Seed, 1.0, 100.0);
+}
+
+/// The synthetic Human-Mitochondrial-DNA-like workload (DESIGN.md §5.1);
+/// close to a molecular clock, so plain B&B prunes well — this is the
+/// PaCT paper's Figure 10-13 regime ("without compact sets also takes
+/// little time").
+inline mutk::DistanceMatrix hmdnaWorkload(int NumSpecies,
+                                          std::uint64_t Seed) {
+  return mutk::hmdnaLikeMatrix(NumSpecies, Seed);
+}
+
+/// A harder DNA workload: shorter sequences, heavier substitution and
+/// strong lineage rate heterogeneity. Matches the difficulty profile of
+/// the HPCAsia/NCS mitochondrial runs (hours past 26 species on one
+/// processor, strong per-dataset variance).
+inline mutk::DistanceMatrix hardDnaWorkload(int NumSpecies,
+                                            std::uint64_t Seed) {
+  mutk::EvolutionSpec Spec;
+  Spec.SequenceLength = 120;
+  Spec.SubstitutionRate = 0.5;
+  Spec.RateVariation = 1.2;
+  return mutk::hmdnaLikeMatrix(NumSpecies, Seed, Spec);
+}
+
+/// Safety cap so no single "without compact sets" solve can run away;
+/// rows that hit it are flagged in the table.
+inline mutk::BnbOptions cappedBnb() {
+  mutk::BnbOptions Options;
+  Options.MaxBranchedNodes = 4'000'000;
+  return Options;
+}
+
+inline double mean(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+inline double median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  std::size_t Mid = Values.size() / 2;
+  if (Values.size() % 2 == 1)
+    return Values[Mid];
+  return (Values[Mid - 1] + Values[Mid]) / 2.0;
+}
+
+inline double maxOf(const std::vector<double> &Values) {
+  double Max = 0.0;
+  for (double V : Values)
+    Max = std::max(Max, V);
+  return Max;
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const char *Figure, const char *Claim) {
+  std::printf("\n=== %s ===\n%s\n\n", Figure, Claim);
+}
+
+} // namespace bench
+
+#endif // MUTK_BENCH_WORKLOADS_H

@@ -1,0 +1,84 @@
+//===- bench/ablation_condense_modes.cpp - max vs min vs avg D' ------------===//
+//
+// Ablation of the paper's §3.1 design choice: the three condensed-matrix
+// variants (*maximum*, *minimum*, *average*). The paper only evaluates
+// *maximum*; this bench shows why: it is the only mode whose merged tree
+// is guaranteed feasible (d_T >= M), while min/avg trade feasibility for
+// lower cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+const char *modeName(CondenseMode Mode) {
+  switch (Mode) {
+  case CondenseMode::Maximum:
+    return "maximum";
+  case CondenseMode::Minimum:
+    return "minimum";
+  case CondenseMode::Average:
+    return "average";
+  }
+  return "?";
+}
+
+void printTable() {
+  bench::banner(
+      "Ablation: condensed-matrix mode (paper §3.1 studies 'maximum')",
+      "Per mode: tree cost (relative to the exact optimum), whether the "
+      "tree stays feasible for M, and merge height clamps.");
+  std::printf("%8s %6s %9s | %9s %9s %9s %7s\n", "species", "seed",
+              "optimum", "mode", "cost", "feasible", "clamps");
+  for (int N : {14, 18, 22}) {
+    for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      double Optimum = solveMutSequential(M, bench::cappedBnb()).Cost;
+      for (CondenseMode Mode : {CondenseMode::Maximum, CondenseMode::Minimum,
+                                CondenseMode::Average}) {
+        PipelineOptions Options;
+        Options.Mode = Mode;
+        PipelineResult R = buildCompactSetTree(M, Options);
+        std::printf("%8d %6llu %9.2f | %9s %9.2f %9s %7d\n", N,
+                    static_cast<unsigned long long>(Seed), Optimum,
+                    modeName(Mode), R.Cost,
+                    R.Tree.dominatesMatrix(M) ? "yes" : "NO",
+                    R.HeightClamps);
+      }
+    }
+  }
+}
+
+void BM_CondenseMode(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(18, 1);
+  auto Mode = static_cast<CondenseMode>(State.range(0));
+  PipelineOptions Options;
+  Options.Mode = Mode;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildCompactSetTree(M, Options).Cost);
+  State.SetLabel(modeName(Mode));
+}
+
+BENCHMARK(BM_CondenseMode)
+    ->Arg(static_cast<int>(CondenseMode::Maximum))
+    ->Arg(static_cast<int>(CondenseMode::Minimum))
+    ->Arg(static_cast<int>(CondenseMode::Average))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

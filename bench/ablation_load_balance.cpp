@@ -1,0 +1,85 @@
+//===- bench/ablation_load_balance.cpp - Global-pool load balancing --------===//
+//
+// Ablation of the papers' two-level load-balancing design ("we used
+// global pool and local pool as a load balancing mechanism so computing
+// nodes never idle"): the same 16-node simulation with the global pool
+// disabled. Expected: without donation, nodes that bounded away their
+// initial deal sit idle and the makespan stretches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+void printTable() {
+  bench::banner(
+      "Ablation: global-pool load balancing on the 16-node simulation",
+      "Makespan and total idle time with and without the global pool; "
+      "costs stay optimal either way.");
+  std::printf("%9s %8s %6s | %12s %12s | %12s %12s\n", "workload",
+              "species", "seed", "makespan+GP", "idle+GP", "makespan-GP",
+              "idle-GP");
+  for (int N : {16, 20, 22}) {
+    for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+      for (bool Dna : {false, true}) {
+        DistanceMatrix M = Dna ? bench::hmdnaWorkload(N, Seed)
+                               : bench::unifWorkload(N, Seed);
+        ClusterSpec WithPool;
+        WithPool.NumNodes = 16;
+        ClusterSpec NoPool = WithPool;
+        NoPool.UseGlobalPool = false;
+
+        ClusterSimResult A = simulateClusterBnb(M, WithPool, bench::cappedBnb());
+        ClusterSimResult B = simulateClusterBnb(M, NoPool, bench::cappedBnb());
+        double IdleA = 0.0, IdleB = 0.0;
+        for (const SimNodeStats &S : A.Nodes)
+          IdleA += S.IdleTime;
+        for (const SimNodeStats &S : B.Nodes)
+          IdleB += S.IdleTime;
+        std::printf("%9s %8d %6llu | %12.1f %12.1f | %12.1f %12.1f\n",
+                    Dna ? "hmdna" : "random", N,
+                    static_cast<unsigned long long>(Seed), A.Makespan, IdleA,
+                    B.Makespan, IdleB);
+      }
+    }
+  }
+}
+
+void BM_WithGlobalPool(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(20, 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        simulateClusterBnb(M, Spec, bench::cappedBnb()).Makespan);
+}
+
+void BM_WithoutGlobalPool(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(20, 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  Spec.UseGlobalPool = false;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        simulateClusterBnb(M, Spec, bench::cappedBnb()).Makespan);
+}
+
+BENCHMARK(BM_WithGlobalPool)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WithoutGlobalPool)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

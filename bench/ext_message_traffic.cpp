@@ -1,0 +1,71 @@
+//===- bench/ext_message_traffic.cpp - MP protocol traffic ------------------===//
+//
+// Extension study: communication volume of the message-passing B&B
+// protocol (mp/MpBnb.h) as the worker count grows. The original system
+// ran over 100 Mbps Ethernet, so the papers care about message overhead
+// (load balancing "without letting computing nodes idle" while keeping
+// traffic small); this table shows messages/bytes per solve and the
+// donation/request counts behind the two-level pool design.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "mp/MpBnb.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+void printTable() {
+  bench::banner(
+      "Extension: message traffic of the master/slave protocol",
+      "Messages and payload bytes per full solve; pulls = Work grants, "
+      "donations = worst-node transfers to the global pool.");
+  std::printf("%8s %8s | %10s %12s %10s %10s | %12s\n", "species",
+              "workers", "messages", "bytes", "pulls", "donations",
+              "branched");
+  for (int N : {14, 18}) {
+    DistanceMatrix M = bench::unifWorkload(N, 1);
+    for (int Workers : {1, 2, 4, 8, 16}) {
+      MpMutResult R = solveMutMessagePassing(M, Workers);
+      std::uint64_t Pulls = 0, Donations = 0;
+      for (const WorkerStats &W : R.Workers) {
+        Pulls += W.PulledFromGlobal;
+        Donations += W.DonatedToGlobal;
+      }
+      std::printf("%8d %8d | %10llu %12llu %10llu %10llu | %12llu\n", N,
+                  Workers,
+                  static_cast<unsigned long long>(R.MessagesSent),
+                  static_cast<unsigned long long>(R.BytesSent),
+                  static_cast<unsigned long long>(Pulls),
+                  static_cast<unsigned long long>(Donations),
+                  static_cast<unsigned long long>(R.Stats.Branched));
+    }
+  }
+}
+
+void BM_MessagePassingSolve(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(14, 1);
+  int Workers = static_cast<int>(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveMutMessagePassing(M, Workers).Cost);
+}
+
+BENCHMARK(BM_MessagePassingSolve)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

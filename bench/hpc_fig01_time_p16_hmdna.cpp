@@ -1,0 +1,73 @@
+//===- bench/hpc_fig01_time_p16_hmdna.cpp - HPCAsia 2005, Figure 1 ---------===//
+//
+// "The computing time for 16 processors, HMDNA": parallel B&B on the
+// simulated 16-node cluster (DESIGN.md §5.2), time vs number of species.
+// The paper's times are wall seconds on a real cluster; here the
+// "computing time" is the deterministic virtual makespan (one unit = one
+// branched BBT node on a speed-1 node).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 16, 20, 24, 26};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 1: computing time, 16 simulated nodes, HMDNA",
+      "Virtual makespan units, mean/median/max over 5 datasets per size; "
+      "paper shape: effective when the number of species grows, optimal "
+      "trees for the full sweep within reasonable time.");
+  std::printf("%8s %12s %12s %12s\n", "species", "mean", "median", "max");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  for (int N : SpeciesSweep) {
+    std::vector<double> Times;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      ClusterSimResult R = simulateClusterBnb(M, Spec, bench::cappedBnb());
+      Times.push_back(R.Makespan);
+    }
+    std::printf("%8d %12.1f %12.1f %12.1f\n", N, bench::mean(Times),
+                bench::median(Times), bench::maxOf(Times));
+  }
+}
+
+void BM_ClusterP16Hmdna(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hardDnaWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  double Makespan = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult R = simulateClusterBnb(M, Spec, bench::cappedBnb());
+    Makespan = R.Makespan;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["virtual_makespan"] = Makespan;
+}
+
+BENCHMARK(BM_ClusterP16Hmdna)
+    ->Arg(12)
+    ->Arg(20)
+    ->Arg(26)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/hpc_fig02_time_p1_hmdna.cpp - HPCAsia 2005, Figure 2 ----------===//
+//
+// "The computing time for single processor, HMDNA": the 1-node baseline
+// of the cluster simulation. Paper shape: the computing time becomes
+// unendurable past ~26 species on one processor — here the growth shows
+// in virtual units on the expensive datasets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 16, 20, 24, 26};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 2: computing time, single processor, HMDNA",
+      "Virtual makespan units (1-node baseline), 5 datasets per size.");
+  std::printf("%8s %12s %12s %12s\n", "species", "mean", "median", "max");
+  for (int N : SpeciesSweep) {
+    std::vector<double> Times;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      ClusterSimResult R = simulateSequentialBaseline(M, bench::cappedBnb());
+      Times.push_back(R.Makespan);
+    }
+    std::printf("%8d %12.1f %12.1f %12.1f\n", N, bench::mean(Times),
+                bench::median(Times), bench::maxOf(Times));
+  }
+}
+
+void BM_SingleNodeHmdna(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hardDnaWorkload(static_cast<int>(State.range(0)), 1);
+  double Makespan = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult R = simulateSequentialBaseline(M, bench::cappedBnb());
+    Makespan = R.Makespan;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["virtual_makespan"] = Makespan;
+}
+
+BENCHMARK(BM_SingleNodeHmdna)
+    ->Arg(12)
+    ->Arg(20)
+    ->Arg(26)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

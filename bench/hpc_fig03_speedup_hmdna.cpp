@@ -1,0 +1,81 @@
+//===- bench/hpc_fig03_speedup_hmdna.cpp - HPCAsia 2005, Figure 3 ----------===//
+//
+// "Speedup (16 processors vs. single processor, HMDNA)". Paper claim:
+// the parallel B&B achieves super-linear speedup on some instances —
+// early upper-bound sharing prunes work the sequential order never
+// avoids. Speedup here is the ratio of virtual makespans.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 16, 20, 24, 26};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 3: speedup 16 vs 1 node, HMDNA",
+      "Speedup = makespan(1 node) / makespan(16 nodes); > 16 is "
+      "super-linear (the paper's headline observation). Sequential and "
+      "parallel branched-node counts explain the effect.");
+  std::printf("%8s %6s %10s %10s %10s %10s %8s\n", "species", "seed",
+              "seq-time", "par-time", "seq-br", "par-br", "speedup");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  int SuperLinear = 0, Total = 0;
+  for (int N : SpeciesSweep) {
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      ClusterSimResult Seq =
+          simulateSequentialBaseline(M, bench::cappedBnb());
+      ClusterSimResult Par = simulateClusterBnb(M, Spec, bench::cappedBnb());
+      double Speedup = Par.Makespan > 0 ? Seq.Makespan / Par.Makespan : 1.0;
+      ++Total;
+      if (Speedup > 16.0)
+        ++SuperLinear;
+      std::printf("%8d %6llu %10.1f %10.1f %10llu %10llu %8.2f%s\n", N,
+                  static_cast<unsigned long long>(Seed), Seq.Makespan,
+                  Par.Makespan,
+                  static_cast<unsigned long long>(Seq.Stats.Branched),
+                  static_cast<unsigned long long>(Par.Stats.Branched),
+                  Speedup, Speedup > 16.0 ? "  <-- super-linear" : "");
+    }
+  }
+  std::printf("\nsuper-linear cases: %d of %d\n", SuperLinear, Total);
+}
+
+void BM_SpeedupPairHmdna(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hardDnaWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  double Speedup = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult Seq = simulateSequentialBaseline(M, bench::cappedBnb());
+    ClusterSimResult Par = simulateClusterBnb(M, Spec, bench::cappedBnb());
+    Speedup = Par.Makespan > 0 ? Seq.Makespan / Par.Makespan : 1.0;
+    benchmark::DoNotOptimize(Speedup);
+  }
+  State.counters["speedup"] = Speedup;
+}
+
+BENCHMARK(BM_SpeedupPairHmdna)->Arg(20)->Arg(26)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- bench/hpc_fig04_33_hmdna.cpp - HPCAsia 2005, Figure 4 ---------------===//
+//
+// "The computing time for 16 processors (with 3-3 relationship vs.
+// without 3-3 relationship, HMDNA)". Paper claims: the 3-3 relationship
+// reduces computing time as the species count grows, and the result
+// trees with 3-3 are a subset of the results without it (same optimum).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 16, 20, 24, 26};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 4: 16 nodes, with vs without 3-3, HMDNA",
+      "Virtual makespan units (mean of 5 datasets); 'same optimum' checks "
+      "the paper's subset claim.");
+  std::printf("%8s %14s %14s %14s %12s\n", "species", "without-33",
+              "with-33", "nodes saved", "same optimum");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  for (int N : SpeciesSweep) {
+    std::vector<double> Without, With;
+    double BranchSavedTotal = 0.0;
+    bool SameOptimum = true;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      BnbOptions Plain = bench::cappedBnb();
+      ClusterSimResult A = simulateClusterBnb(M, Spec, Plain);
+      BnbOptions ThreeThree = bench::cappedBnb();
+      ThreeThree.ThreeThree = ThreeThreeMode::ThirdSpecies;
+      ClusterSimResult B = simulateClusterBnb(M, Spec, ThreeThree);
+      Without.push_back(A.Makespan);
+      With.push_back(B.Makespan);
+      BranchSavedTotal += static_cast<double>(A.Stats.Branched) -
+                          static_cast<double>(B.Stats.Branched);
+      SameOptimum &= std::fabs(A.Cost - B.Cost) < 1e-9;
+    }
+    std::printf("%8d %14.1f %14.1f %14.0f %12s\n", N, bench::mean(Without),
+                bench::mean(With), BranchSavedTotal / NumSeeds,
+                SameOptimum ? "yes" : "NO");
+  }
+}
+
+void BM_ThreeThreeHmdna(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hardDnaWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  BnbOptions Options = bench::cappedBnb();
+  Options.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simulateClusterBnb(M, Spec, Options).Cost);
+}
+
+BENCHMARK(BM_ThreeThreeHmdna)->Arg(20)->Arg(26)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench/hpc_fig05_time_p16_random.cpp - HPCAsia 2005, Figure 5 --------===//
+//
+// "The computing time for 16 processors, Random Data": values 0..100.
+// Paper shape: supreme performance, optimal trees within reasonable
+// time across the sweep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 3;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 5: computing time, 16 simulated nodes, random "
+      "data (0..100)",
+      "Virtual makespan units, 3 instances per size.");
+  std::printf("%8s %12s %12s %12s\n", "species", "mean", "median", "max");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  for (int N : SpeciesSweep) {
+    std::vector<double> Times;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      ClusterSimResult R = simulateClusterBnb(M, Spec, bench::cappedBnb());
+      Times.push_back(R.Makespan);
+    }
+    std::printf("%8d %12.1f %12.1f %12.1f\n", N, bench::mean(Times),
+                bench::median(Times), bench::maxOf(Times));
+  }
+}
+
+void BM_ClusterP16Random(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  double Makespan = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult R = simulateClusterBnb(M, Spec, bench::cappedBnb());
+    Makespan = R.Makespan;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["virtual_makespan"] = Makespan;
+}
+
+BENCHMARK(BM_ClusterP16Random)
+    ->Arg(14)
+    ->Arg(18)
+    ->Arg(22)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

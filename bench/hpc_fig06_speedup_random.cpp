@@ -1,0 +1,75 @@
+//===- bench/hpc_fig06_speedup_random.cpp - HPCAsia 2005, Figure 6 ---------===//
+//
+// "Speedup (16 processor vs. single processor, Random Data)". Paper
+// claim: super-linear speedup on random instances too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 3;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 6: speedup 16 vs 1 node, random data (0..100)",
+      "Speedup = makespan(1) / makespan(16); > 16 is super-linear.");
+  std::printf("%8s %6s %12s %12s %10s %10s %8s\n", "species", "seed",
+              "seq-time", "par-time", "seq-br", "par-br", "speedup");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  int SuperLinear = 0, Total = 0;
+  for (int N : SpeciesSweep) {
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      ClusterSimResult Seq = simulateSequentialBaseline(M, bench::cappedBnb());
+      ClusterSimResult Par = simulateClusterBnb(M, Spec, bench::cappedBnb());
+      double Speedup = Par.Makespan > 0 ? Seq.Makespan / Par.Makespan : 1.0;
+      ++Total;
+      if (Speedup > 16.0)
+        ++SuperLinear;
+      std::printf("%8d %6llu %12.1f %12.1f %10llu %10llu %8.2f%s\n", N,
+                  static_cast<unsigned long long>(Seed), Seq.Makespan,
+                  Par.Makespan,
+                  static_cast<unsigned long long>(Seq.Stats.Branched),
+                  static_cast<unsigned long long>(Par.Stats.Branched),
+                  Speedup, Speedup > 16.0 ? "  <-- super-linear" : "");
+    }
+  }
+  std::printf("\nsuper-linear cases: %d of %d\n", SuperLinear, Total);
+}
+
+void BM_SpeedupPairRandom(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  double Speedup = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult Seq = simulateSequentialBaseline(M, bench::cappedBnb());
+    ClusterSimResult Par = simulateClusterBnb(M, Spec, bench::cappedBnb());
+    Speedup = Par.Makespan > 0 ? Seq.Makespan / Par.Makespan : 1.0;
+    benchmark::DoNotOptimize(Speedup);
+  }
+  State.counters["speedup"] = Speedup;
+}
+
+BENCHMARK(BM_SpeedupPairRandom)->Arg(18)->Arg(22)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/hpc_fig07_time_p1_random.cpp - HPCAsia 2005, Figure 7 ---------===//
+//
+// "The computing time for single processor, Random Data". Paper shape:
+// rapid (exponential) growth with the number of species on one
+// processor — random matrices are the hard case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 3;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 7: computing time, single processor, random "
+      "data (0..100)",
+      "Virtual makespan units (1-node baseline), 3 instances per size; "
+      "expect rapid growth.");
+  std::printf("%8s %12s %12s %12s\n", "species", "mean", "median", "max");
+  for (int N : SpeciesSweep) {
+    std::vector<double> Times;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      ClusterSimResult R = simulateSequentialBaseline(M, bench::cappedBnb());
+      Times.push_back(R.Makespan);
+    }
+    std::printf("%8d %12.1f %12.1f %12.1f\n", N, bench::mean(Times),
+                bench::median(Times), bench::maxOf(Times));
+  }
+}
+
+void BM_SingleNodeRandom(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(static_cast<int>(State.range(0)), 1);
+  double Makespan = 0.0;
+  for (auto _ : State) {
+    ClusterSimResult R = simulateSequentialBaseline(M, bench::cappedBnb());
+    Makespan = R.Makespan;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["virtual_makespan"] = Makespan;
+}
+
+BENCHMARK(BM_SingleNodeRandom)
+    ->Arg(14)
+    ->Arg(18)
+    ->Arg(22)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

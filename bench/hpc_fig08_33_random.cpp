@@ -1,0 +1,76 @@
+//===- bench/hpc_fig08_33_random.cpp - HPCAsia 2005, Figure 8 --------------===//
+//
+// "The computing time for 16 processors (with 3-3 relationship vs.
+// without 3-3 relationship, Random Data)". Same comparison as Figure 4
+// but on the hard random workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 3;
+
+void printTable() {
+  bench::banner(
+      "HPCAsia 2005 Figure 8: 16 nodes, with vs without 3-3, random data",
+      "Virtual makespan units (mean of 3 instances); optimality is "
+      "preserved whenever the matrix triples are tree-consistent.");
+  std::printf("%8s %14s %14s %14s %12s\n", "species", "without-33",
+              "with-33", "nodes saved", "same optimum");
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  for (int N : SpeciesSweep) {
+    std::vector<double> Without, With;
+    double BranchSavedTotal = 0.0;
+    bool SameOptimum = true;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      ClusterSimResult A = simulateClusterBnb(M, Spec, bench::cappedBnb());
+      BnbOptions ThreeThree = bench::cappedBnb();
+      ThreeThree.ThreeThree = ThreeThreeMode::ThirdSpecies;
+      ClusterSimResult B = simulateClusterBnb(M, Spec, ThreeThree);
+      Without.push_back(A.Makespan);
+      With.push_back(B.Makespan);
+      BranchSavedTotal += static_cast<double>(A.Stats.Branched) -
+                          static_cast<double>(B.Stats.Branched);
+      SameOptimum &= std::fabs(A.Cost - B.Cost) < 1e-9;
+    }
+    std::printf("%8d %14.1f %14.1f %14.0f %12s\n", N, bench::mean(Without),
+                bench::mean(With), BranchSavedTotal / NumSeeds,
+                SameOptimum ? "yes" : "NO");
+  }
+}
+
+void BM_ThreeThreeRandom(benchmark::State &State) {
+  DistanceMatrix M = bench::unifWorkload(static_cast<int>(State.range(0)), 1);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  BnbOptions Options = bench::cappedBnb();
+  Options.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(simulateClusterBnb(M, Spec, Options).Cost);
+}
+
+BENCHMARK(BM_ThreeThreeRandom)->Arg(18)->Arg(22)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,134 @@
+//===- bench/ncs_grid_tables.cpp - NCS 2005, Tables 3-6 / Figs 4-7 ---------===//
+//
+// The NCS 2005 companion paper compares three environments on human
+// mitochondrial data: a single machine, a 16-node cluster, and a grid
+// (heterogeneous nodes, slower interconnect). Tables 3-5 report the
+// median / mean / worst computing time over 10 datasets per species
+// count; Table 6 / Figure 7 shows that a grid with 24 (weaker) nodes
+// beats the 16-node cluster. All environments are modeled with the
+// cluster simulator (DESIGN.md §5.2):
+//
+//   cluster: 16 homogeneous speed-1 nodes, low latency
+//   grid:    mixed-speed nodes, higher UB-broadcast latency and
+//            transfer cost (internet vs LAN)
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 5;
+
+ClusterSpec clusterSpec(int Nodes) {
+  ClusterSpec Spec;
+  Spec.NumNodes = Nodes;
+  Spec.UbBroadcastLatency = 4.0;
+  Spec.PoolTransferCost = 2.0;
+  return Spec;
+}
+
+ClusterSpec gridSpec(int Nodes) {
+  ClusterSpec Spec;
+  Spec.NumNodes = Nodes;
+  // Internet-grade communication: an order of magnitude slower.
+  Spec.UbBroadcastLatency = 40.0;
+  Spec.PoolTransferCost = 20.0;
+  // Mixed hardware: the NCS testbed used AMD 1.3G vs AMD 2000+ nodes.
+  Spec.NodeSpeeds.resize(static_cast<std::size_t>(Nodes));
+  for (int I = 0; I < Nodes; ++I)
+    Spec.NodeSpeeds[static_cast<std::size_t>(I)] =
+        (I % 3 == 0) ? 0.6 : 0.9;
+  return Spec;
+}
+
+void printTables() {
+  bench::banner(
+      "NCS 2005 Tables 3-5 / Figures 4-6: single vs cluster(16) vs "
+      "grid(16) on DNA data",
+      "Virtual makespan units over 5 datasets per size. Paper shape: "
+      "single machine is worst; cluster and grid are comparable at equal "
+      "node counts (the grid pays communication overhead).");
+  std::printf("%8s | %10s %10s %10s | %10s %10s %10s | %10s %10s %10s\n",
+              "", "single", "", "", "cluster16", "", "", "grid16", "", "");
+  std::printf("%8s | %10s %10s %10s | %10s %10s %10s | %10s %10s %10s\n",
+              "species", "median", "mean", "worst", "median", "mean",
+              "worst", "median", "mean", "worst");
+  for (int N : SpeciesSweep) {
+    std::vector<double> Single, Cluster, Grid;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      Single.push_back(
+          simulateSequentialBaseline(M, bench::cappedBnb()).Makespan);
+      Cluster.push_back(
+          simulateClusterBnb(M, clusterSpec(16), bench::cappedBnb())
+              .Makespan);
+      Grid.push_back(
+          simulateClusterBnb(M, gridSpec(16), bench::cappedBnb()).Makespan);
+    }
+    std::printf(
+        "%8d | %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f | %10.1f "
+        "%10.1f %10.1f\n",
+        N, bench::median(Single), bench::mean(Single), bench::maxOf(Single),
+        bench::median(Cluster), bench::mean(Cluster), bench::maxOf(Cluster),
+        bench::median(Grid), bench::mean(Grid), bench::maxOf(Grid));
+  }
+
+  bench::banner(
+      "NCS 2005 Table 6 / Figure 7: cluster(16) vs grid(16) vs grid(24)",
+      "Paper claim: with 24 nodes the grid overtakes the 16-node cluster "
+      "despite slower communication and weaker nodes.");
+  std::printf("%8s %6s %12s %12s %12s\n", "species", "seed", "cluster16",
+              "grid16", "grid24");
+  int Grid24Wins = 0, Rows = 0;
+  for (int N : {22, 24, 26}) {
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::hardDnaWorkload(N, Seed);
+      double C16 =
+          simulateClusterBnb(M, clusterSpec(16), bench::cappedBnb())
+              .Makespan;
+      double G16 =
+          simulateClusterBnb(M, gridSpec(16), bench::cappedBnb()).Makespan;
+      double G24 =
+          simulateClusterBnb(M, gridSpec(24), bench::cappedBnb()).Makespan;
+      ++Rows;
+      if (G24 < C16)
+        ++Grid24Wins;
+      std::printf("%8d %6llu %12.1f %12.1f %12.1f%s\n", N,
+                  static_cast<unsigned long long>(Seed), C16, G16, G24,
+                  G24 < C16 ? "  <-- grid24 beats cluster16" : "");
+    }
+  }
+  std::printf("\ngrid(24) beats cluster(16) in %d of %d rows (the "
+              "compute-dominant datasets, matching the paper's "
+              "long-running instances; on tiny datasets the grid's "
+              "communication overhead dominates)\n",
+              Grid24Wins, Rows);
+}
+
+void BM_Grid16Hmdna(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hardDnaWorkload(static_cast<int>(State.range(0)), 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        simulateClusterBnb(M, gridSpec(16), bench::cappedBnb()).Cost);
+}
+
+BENCHMARK(BM_Grid16Hmdna)->Arg(18)->Arg(22)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTables();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- bench/pact_fig08_time_random.cpp - PaCT 2005, Figure 8 --------------===//
+//
+// "The computing time for random data set": time to construct the
+// ultrametric tree with vs without compact sets, random matrices with
+// values 0..100. Paper claim: compact sets save between 77.19% and 99.7%
+// of the computing time, growing with the number of species.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+#include "support/Stopwatch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "PaCT 2005 Figure 8: computing time, random data (values 0..100)",
+      "Columns are mean wall seconds over 5 instances; paper claim: "
+      "77.19%..99.7% time saved by compact sets.");
+  std::printf("%8s %14s %14s %10s\n", "species", "without-cs(s)",
+              "with-cs(s)", "saved");
+  for (int N : SpeciesSweep) {
+    std::vector<double> Without, With;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      Stopwatch W;
+      MutResult Full = solveMutSequential(M, bench::cappedBnb());
+      Without.push_back(W.seconds());
+      W.restart();
+      PipelineResult Fast = buildCompactSetTree(M);
+      With.push_back(W.seconds());
+      benchmark::DoNotOptimize(Full.Cost + Fast.Cost);
+    }
+    double MeanWithout = bench::mean(Without);
+    double MeanWith = bench::mean(With);
+    double Saved = MeanWithout > 0
+                       ? 100.0 * (MeanWithout - MeanWith) / MeanWithout
+                       : 0.0;
+    std::printf("%8d %14.4f %14.4f %9.2f%%\n", N, MeanWithout, MeanWith,
+                Saved);
+  }
+}
+
+void BM_WithoutCompactSets(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  DistanceMatrix M = bench::unifWorkload(N, 1);
+  std::uint64_t Branched = 0;
+  for (auto _ : State) {
+    MutResult R = solveMutSequential(M, bench::cappedBnb());
+    Branched = R.Stats.Branched;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["branched"] = static_cast<double>(Branched);
+}
+
+void BM_WithCompactSets(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  DistanceMatrix M = bench::unifWorkload(N, 1);
+  std::uint64_t Branched = 0;
+  for (auto _ : State) {
+    PipelineResult R = buildCompactSetTree(M);
+    Branched = R.TotalStats.Branched;
+    benchmark::DoNotOptimize(R.Cost);
+  }
+  State.counters["branched"] = static_cast<double>(Branched);
+}
+
+BENCHMARK(BM_WithoutCompactSets)
+    ->DenseRange(12, 22, 2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WithCompactSets)
+    ->DenseRange(12, 22, 2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

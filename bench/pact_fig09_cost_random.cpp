@@ -1,0 +1,71 @@
+//===- bench/pact_fig09_cost_random.cpp - PaCT 2005, Figure 9 --------------===//
+//
+// "The total tree cost for random data set": tree cost with vs without
+// compact sets, random matrices with values 0..100. Paper claim: costs
+// are almost equal, the difference is less than 5%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int SpeciesSweep[] = {12, 14, 16, 18, 20, 22};
+constexpr std::uint64_t NumSeeds = 5;
+
+void printTable() {
+  bench::banner(
+      "PaCT 2005 Figure 9: total tree cost, random data (values 0..100)",
+      "Mean costs over 5 instances; paper claim: difference < 5%.");
+  std::printf("%8s %14s %14s %10s\n", "species", "without-cs",
+              "with-cs", "diff");
+  double WorstDiff = 0.0;
+  for (int N : SpeciesSweep) {
+    std::vector<double> Without, With;
+    for (std::uint64_t Seed = 1; Seed <= NumSeeds; ++Seed) {
+      DistanceMatrix M = bench::unifWorkload(N, Seed);
+      Without.push_back(solveMutSequential(M, bench::cappedBnb()).Cost);
+      With.push_back(buildCompactSetTree(M).Cost);
+    }
+    double MeanWithout = bench::mean(Without);
+    double MeanWith = bench::mean(With);
+    double Diff = 100.0 * (MeanWith - MeanWithout) / MeanWithout;
+    WorstDiff = std::max(WorstDiff, Diff);
+    std::printf("%8d %14.3f %14.3f %9.2f%%\n", N, MeanWithout, MeanWith,
+                Diff);
+  }
+  std::printf("\nworst mean cost difference: %.2f%% (paper: < 5%%)\n",
+              WorstDiff);
+}
+
+void BM_CostGap(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  DistanceMatrix M = bench::unifWorkload(N, 2);
+  double Gap = 0.0;
+  for (auto _ : State) {
+    double Exact = solveMutSequential(M, bench::cappedBnb()).Cost;
+    double Fast = buildCompactSetTree(M).Cost;
+    Gap = 100.0 * (Fast - Exact) / Exact;
+    benchmark::DoNotOptimize(Gap);
+  }
+  State.counters["cost_gap_pct"] = Gap;
+}
+
+BENCHMARK(BM_CostGap)->DenseRange(12, 20, 4)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

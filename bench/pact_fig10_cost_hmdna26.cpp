@@ -1,0 +1,66 @@
+//===- bench/pact_fig10_cost_hmdna26.cpp - PaCT 2005, Figure 10 ------------===//
+//
+// "The total tree cost of 26 DNAs": 15 datasets of 26 Human
+// Mitochondrial DNAs each, tree cost with vs without compact sets.
+// Paper claim: the maximum difference is 1.5%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int NumSpecies = 26;
+constexpr int NumDataSets = 15;
+
+void printTable() {
+  bench::banner("PaCT 2005 Figure 10: total tree cost, 15 datasets x 26 DNAs",
+                "Synthetic mitochondrial DNA (DESIGN.md 5.1); paper claim: "
+                "max cost difference 1.5%.");
+  std::printf("%8s %14s %14s %10s\n", "dataset", "without-cs", "with-cs",
+              "diff");
+  double Worst = 0.0;
+  for (int Set = 1; Set <= NumDataSets; ++Set) {
+    DistanceMatrix M =
+        bench::hmdnaWorkload(NumSpecies, static_cast<std::uint64_t>(Set));
+    double Without = solveMutSequential(M, bench::cappedBnb()).Cost;
+    double With = buildCompactSetTree(M).Cost;
+    double Diff = Without > 0 ? 100.0 * (With - Without) / Without : 0.0;
+    Worst = std::max(Worst, Diff);
+    std::printf("%8d %14.3f %14.3f %9.2f%%\n", Set, Without, With, Diff);
+  }
+  std::printf("\nmax cost difference: %.2f%% (paper: 1.5%%)\n", Worst);
+}
+
+void BM_Hmdna26CostPair(benchmark::State &State) {
+  DistanceMatrix M =
+      bench::hmdnaWorkload(NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  double Gap = 0.0;
+  for (auto _ : State) {
+    double Exact = solveMutSequential(M, bench::cappedBnb()).Cost;
+    double Fast = buildCompactSetTree(M).Cost;
+    Gap = Exact > 0 ? 100.0 * (Fast - Exact) / Exact : 0.0;
+    benchmark::DoNotOptimize(Gap);
+  }
+  State.counters["cost_gap_pct"] = Gap;
+}
+
+BENCHMARK(BM_Hmdna26CostPair)->Arg(1)->Arg(8)->Arg(15)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/pact_fig11_time_hmdna26.cpp - PaCT 2005, Figure 11 ------------===//
+//
+// "The computing time of 26 DNAs": 15 datasets of 26 DNAs. Paper
+// observation: "using compact sets can definitely save time but
+// unexpectedly the experiments without compact sets also take little
+// time except the last data" — mitochondrial data is close to a
+// molecular clock, so the plain B&B prunes well too, and the savings
+// are dataset-dependent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+#include "support/Stopwatch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int NumSpecies = 26;
+constexpr int NumDataSets = 15;
+
+void printTable() {
+  bench::banner(
+      "PaCT 2005 Figure 11: computing time, 15 datasets x 26 DNAs",
+      "Wall seconds per dataset; paper observation: both conditions are "
+      "fast on DNA data, with occasional expensive datasets.");
+  std::printf("%8s %14s %14s %12s\n", "dataset", "without-cs(s)",
+              "with-cs(s)", "branched-wo");
+  for (int Set = 1; Set <= NumDataSets; ++Set) {
+    DistanceMatrix M =
+        bench::hmdnaWorkload(NumSpecies, static_cast<std::uint64_t>(Set));
+    Stopwatch W;
+    MutResult Full = solveMutSequential(M, bench::cappedBnb());
+    double TWithout = W.seconds();
+    W.restart();
+    PipelineResult Fast = buildCompactSetTree(M);
+    double TWith = W.seconds();
+    benchmark::DoNotOptimize(Full.Cost + Fast.Cost);
+    std::printf("%8d %14.4f %14.4f %12llu\n", Set, TWithout, TWith,
+                static_cast<unsigned long long>(Full.Stats.Branched));
+  }
+}
+
+void BM_Hmdna26Without(benchmark::State &State) {
+  DistanceMatrix M = bench::hmdnaWorkload(
+      NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveMutSequential(M, bench::cappedBnb()).Cost);
+}
+
+void BM_Hmdna26With(benchmark::State &State) {
+  DistanceMatrix M = bench::hmdnaWorkload(
+      NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildCompactSetTree(M).Cost);
+}
+
+BENCHMARK(BM_Hmdna26Without)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hmdna26With)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

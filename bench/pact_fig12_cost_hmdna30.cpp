@@ -1,0 +1,62 @@
+//===- bench/pact_fig12_cost_hmdna30.cpp - PaCT 2005, Figure 12 ------------===//
+//
+// "The total tree cost of 30 DNAs": 10 datasets of 30 DNAs each. Paper
+// claim: compact sets keep the cost down on 30 DNAs just as on 26 DNAs
+// and on generated data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int NumSpecies = 30;
+constexpr int NumDataSets = 10;
+
+void printTable() {
+  bench::banner("PaCT 2005 Figure 12: total tree cost, 10 datasets x 30 DNAs",
+                "Paper claim: compact sets keep the cost close to the "
+                "non-decomposed construction.");
+  std::printf("%8s %14s %14s %10s\n", "dataset", "without-cs", "with-cs",
+              "diff");
+  double Worst = 0.0;
+  for (int Set = 1; Set <= NumDataSets; ++Set) {
+    DistanceMatrix M =
+        bench::hmdnaWorkload(NumSpecies, static_cast<std::uint64_t>(Set));
+    double Without = solveMutSequential(M, bench::cappedBnb()).Cost;
+    double With = buildCompactSetTree(M).Cost;
+    double Diff = Without > 0 ? 100.0 * (With - Without) / Without : 0.0;
+    Worst = std::max(Worst, Diff);
+    std::printf("%8d %14.3f %14.3f %9.2f%%\n", Set, Without, With, Diff);
+  }
+  std::printf("\nmax cost difference: %.2f%%\n", Worst);
+}
+
+void BM_Hmdna30CostPair(benchmark::State &State) {
+  DistanceMatrix M = bench::hmdnaWorkload(
+      NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  for (auto _ : State) {
+    double Exact = solveMutSequential(M, bench::cappedBnb()).Cost;
+    double Fast = buildCompactSetTree(M).Cost;
+    benchmark::DoNotOptimize(Exact + Fast);
+  }
+}
+
+BENCHMARK(BM_Hmdna30CostPair)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

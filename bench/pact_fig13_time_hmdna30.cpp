@@ -1,0 +1,70 @@
+//===- bench/pact_fig13_time_hmdna30.cpp - PaCT 2005, Figure 13 ------------===//
+//
+// "The computing time of 30 DNAs": 10 datasets of 30 DNAs. Paper claim:
+// the performance profile on 30 DNAs is alike that on 26 DNAs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+#include "support/Stopwatch.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mutk;
+
+namespace {
+
+constexpr int NumSpecies = 30;
+constexpr int NumDataSets = 10;
+
+void printTable() {
+  bench::banner(
+      "PaCT 2005 Figure 13: computing time, 10 datasets x 30 DNAs",
+      "Wall seconds per dataset; expected to look like the 26-DNA runs "
+      "(Figure 11).");
+  std::printf("%8s %14s %14s %12s\n", "dataset", "without-cs(s)",
+              "with-cs(s)", "branched-wo");
+  for (int Set = 1; Set <= NumDataSets; ++Set) {
+    DistanceMatrix M =
+        bench::hmdnaWorkload(NumSpecies, static_cast<std::uint64_t>(Set));
+    Stopwatch W;
+    MutResult Full = solveMutSequential(M, bench::cappedBnb());
+    double TWithout = W.seconds();
+    W.restart();
+    PipelineResult Fast = buildCompactSetTree(M);
+    double TWith = W.seconds();
+    benchmark::DoNotOptimize(Full.Cost + Fast.Cost);
+    std::printf("%8d %14.4f %14.4f %12llu\n", Set, TWithout, TWith,
+                static_cast<unsigned long long>(Full.Stats.Branched));
+  }
+}
+
+void BM_Hmdna30Without(benchmark::State &State) {
+  DistanceMatrix M = bench::hmdnaWorkload(
+      NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveMutSequential(M, bench::cappedBnb()).Cost);
+}
+
+void BM_Hmdna30With(benchmark::State &State) {
+  DistanceMatrix M = bench::hmdnaWorkload(
+      NumSpecies, static_cast<std::uint64_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildCompactSetTree(M).Cost);
+}
+
+BENCHMARK(BM_Hmdna30Without)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hmdna30With)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

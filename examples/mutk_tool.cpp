@@ -1,0 +1,216 @@
+//===- examples/mutk_tool.cpp - Command-line tree builder ------------------===//
+//
+// A small end-user tool over the public API — the "user-friendly
+// software tool" deliverable of the original NSC project. Reads a
+// distance matrix (or generates a workload), builds a tree with the
+// selected method, and prints cost, Newick and ASCII art plus a dataset
+// profile.
+//
+// Usage:
+//   mutk_tool --matrix FILE [options]
+//   mutk_tool --generate {uniform|clustered|ultrametric|dna} --species N
+//             [--seed S] [options]
+// Options:
+//   --method {upgma|upgmm|exact|threads|cluster|compact}   (default compact)
+//   --condense {max|min|avg}                               (default max)
+//   --three-three {none|third|all}                         (default none)
+//   --nodes N        virtual cluster nodes                 (default 16)
+//   --ascii          print the tree as ASCII art
+//   --profile        print the dataset profile
+//   --out FILE       write the Newick string to FILE
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Profile.h"
+#include "core/TreeBuilder.h"
+#include "matrix/Generators.h"
+#include "matrix/MatrixIO.h"
+#include "seq/EvolutionSim.h"
+#include "support/Stopwatch.h"
+#include "tree/AsciiTree.h"
+#include "tree/Newick.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+using namespace mutk;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --matrix FILE | --generate KIND --species N "
+               "[--seed S]\n"
+               "       [--method upgma|upgmm|exact|threads|cluster|compact]\n"
+               "       [--condense max|min|avg] [--three-three none|third|all]\n"
+               "       [--nodes N] [--ascii] [--profile] [--out FILE]\n",
+               Argv0);
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string MatrixPath, Generate, Method = "compact", Condense = "max";
+  std::string ThreeThree = "none", OutPath;
+  int Species = 16;
+  std::uint64_t Seed = 1;
+  int Nodes = 16;
+  bool Ascii = false, Profile = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--matrix") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      MatrixPath = V;
+    } else if (Arg == "--generate") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Generate = V;
+    } else if (Arg == "--species") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Species = std::atoi(V);
+    } else if (Arg == "--seed") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--method") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Method = V;
+    } else if (Arg == "--condense") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Condense = V;
+    } else if (Arg == "--three-three") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      ThreeThree = V;
+    } else if (Arg == "--nodes") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      Nodes = std::atoi(V);
+    } else if (Arg == "--ascii") {
+      Ascii = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg == "--out") {
+      const char *V = next();
+      if (!V)
+        return usage(argv[0]);
+      OutPath = V;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  // Obtain the matrix.
+  DistanceMatrix M;
+  if (!MatrixPath.empty()) {
+    std::string Error;
+    auto Loaded = readMatrixFile(MatrixPath, &Error);
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    M = std::move(*Loaded);
+  } else if (Generate == "uniform") {
+    M = uniformRandomMetric(Species, Seed, 1.0, 100.0);
+  } else if (Generate == "clustered") {
+    M = scaledToMax(plantedClusterMetric(Species, Seed), 100.0);
+  } else if (Generate == "ultrametric") {
+    M = randomUltrametricMatrix(Species, Seed);
+  } else if (Generate == "dna") {
+    M = hmdnaLikeMatrix(Species, Seed);
+  } else {
+    return usage(argv[0]);
+  }
+
+  if (Profile) {
+    std::printf("--- dataset profile ---\n");
+    printProfile(std::cout, profileMatrix(M));
+    std::printf("\n");
+  }
+
+  // Configure and run.
+  BuildOptions Options;
+  if (Method == "upgma")
+    Options.Method = BuildMethod::Upgma;
+  else if (Method == "upgmm")
+    Options.Method = BuildMethod::Upgmm;
+  else if (Method == "exact")
+    Options.Method = BuildMethod::ExactSequential;
+  else if (Method == "threads")
+    Options.Method = BuildMethod::ExactThreaded;
+  else if (Method == "cluster")
+    Options.Method = BuildMethod::SimulatedCluster;
+  else if (Method == "compact")
+    Options.Method = BuildMethod::CompactSets;
+  else
+    return usage(argv[0]);
+
+  if (Condense == "max")
+    Options.Pipeline.Mode = CondenseMode::Maximum;
+  else if (Condense == "min")
+    Options.Pipeline.Mode = CondenseMode::Minimum;
+  else if (Condense == "avg")
+    Options.Pipeline.Mode = CondenseMode::Average;
+  else
+    return usage(argv[0]);
+
+  if (ThreeThree == "none")
+    Options.Bnb.ThreeThree = ThreeThreeMode::None;
+  else if (ThreeThree == "third")
+    Options.Bnb.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  else if (ThreeThree == "all")
+    Options.Bnb.ThreeThree = ThreeThreeMode::AllInsertions;
+  else
+    return usage(argv[0]);
+
+  Options.Cluster.NumNodes = Nodes;
+  Options.Bnb.MaxBranchedNodes = 8'000'000;
+
+  Stopwatch W;
+  BuildOutcome Out = buildTree(M, Options);
+  double Elapsed = W.seconds();
+
+  std::printf("method:   %s\n", Out.MethodName.c_str());
+  std::printf("cost:     %.4f%s\n", Out.Cost,
+              Out.Exact ? "  (provably minimal)" : "");
+  std::printf("time:     %.3fs, branched %llu BBT nodes\n", Elapsed,
+              static_cast<unsigned long long>(Out.Stats.Branched));
+  if (Out.VirtualTime > 0)
+    std::printf("virtual:  %.1f cluster units\n", Out.VirtualTime);
+  std::printf("newick:   %s\n", toNewick(Out.Tree).c_str());
+  if (Ascii) {
+    std::printf("\n%s", toAsciiTree(Out.Tree).c_str());
+  }
+  if (!OutPath.empty()) {
+    std::ofstream OS(OutPath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+    writeNewick(OS, Out.Tree);
+    OS << '\n';
+    std::printf("\nwrote %s\n", OutPath.c_str());
+  }
+  return 0;
+}

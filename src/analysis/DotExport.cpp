@@ -1,0 +1,125 @@
+//===- analysis/DotExport.cpp - Graphviz rendering -------------------------------===//
+
+#include "analysis/DotExport.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+using namespace mutk;
+
+namespace {
+
+/// DOT string literal with quotes escaped.
+std::string quoted(const std::string &Text) {
+  std::string Out = "\"";
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+} // namespace
+
+void mutk::writeTreeDot(std::ostream &OS, const PhyloTree &T,
+                        const std::string &GraphName) {
+  OS << "digraph " << quoted(GraphName) << " {\n"
+     << "  rankdir=TB;\n"
+     << "  node [fontname=\"Helvetica\"];\n";
+  if (T.root() < 0) {
+    OS << "}\n";
+    return;
+  }
+  std::vector<int> Stack = {T.root()};
+  while (!Stack.empty()) {
+    int Node = Stack.back();
+    Stack.pop_back();
+    const PhyloNode &N = T.node(Node);
+    if (N.isLeaf()) {
+      OS << "  n" << Node << " [shape=box, label="
+         << quoted(T.speciesName(N.Leaf)) << "];\n";
+    } else {
+      std::ostringstream Height;
+      Height << "h=" << N.Height;
+      OS << "  n" << Node << " [shape=point, xlabel="
+         << quoted(Height.str()) << "];\n";
+      for (int Child : {N.Left, N.Right}) {
+        std::ostringstream Length;
+        Length << T.edgeWeightAbove(Child);
+        OS << "  n" << Node << " -> n" << Child
+           << " [label=" << quoted(Length.str()) << "];\n";
+        Stack.push_back(Child);
+      }
+    }
+  }
+  OS << "}\n";
+}
+
+std::string mutk::toTreeDot(const PhyloTree &T, const std::string &GraphName) {
+  std::ostringstream OS;
+  writeTreeDot(OS, T, GraphName);
+  return OS.str();
+}
+
+void mutk::writeMstDot(std::ostream &OS, const DistanceMatrix &M,
+                       const std::vector<WeightedEdge> &MstEdges,
+                       const std::vector<CompactSet> &Sets,
+                       const std::string &GraphName) {
+  OS << "graph " << quoted(GraphName) << " {\n"
+     << "  layout=neato;\n  node [fontname=\"Helvetica\", shape=circle];\n";
+
+  // Maximal compact sets become Graphviz clusters; pick the sets not
+  // strictly contained in another.
+  std::vector<const CompactSet *> Maximal;
+  for (const CompactSet &Candidate : Sets) {
+    bool Contained = false;
+    for (const CompactSet &Other : Sets) {
+      if (&Other == &Candidate || Other.size() <= Candidate.size())
+        continue;
+      Contained |= std::includes(Other.Members.begin(), Other.Members.end(),
+                                 Candidate.Members.begin(),
+                                 Candidate.Members.end());
+      if (Contained)
+        break;
+    }
+    if (!Contained)
+      Maximal.push_back(&Candidate);
+  }
+
+  std::vector<bool> Clustered(static_cast<std::size_t>(M.size()), false);
+  int ClusterId = 0;
+  for (const CompactSet *Set : Maximal) {
+    OS << "  subgraph cluster_" << ClusterId++ << " {\n"
+       << "    style=dashed;\n    label=\"compact set\";\n";
+    for (int Species : Set->Members) {
+      OS << "    v" << Species << " [label=" << quoted(M.name(Species))
+         << "];\n";
+      Clustered[static_cast<std::size_t>(Species)] = true;
+    }
+    OS << "  }\n";
+  }
+  for (int Species = 0; Species < M.size(); ++Species)
+    if (!Clustered[static_cast<std::size_t>(Species)])
+      OS << "  v" << Species << " [label=" << quoted(M.name(Species))
+         << "];\n";
+
+  for (const WeightedEdge &E : MstEdges) {
+    std::ostringstream Weight;
+    Weight << E.Weight;
+    OS << "  v" << E.U << " -- v" << E.V << " [label="
+       << quoted(Weight.str()) << "];\n";
+  }
+  OS << "}\n";
+}
+
+std::string mutk::toMstDot(const DistanceMatrix &M,
+                           const std::vector<WeightedEdge> &MstEdges,
+                           const std::vector<CompactSet> &Sets,
+                           const std::string &GraphName) {
+  std::ostringstream OS;
+  writeMstDot(OS, M, MstEdges, Sets, GraphName);
+  return OS.str();
+}

@@ -1,0 +1,48 @@
+//===- analysis/DotExport.h - Graphviz rendering ---------------------*- C++ -*-===//
+///
+/// \file
+/// Graphviz (DOT) export for the structures biologists want to look at:
+/// ultrametric trees (leaves labeled, edges annotated with lengths) and
+/// the species MST with compact sets drawn as clusters — a publication-
+/// ready version of the paper's Figures 4-5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_ANALYSIS_DOTEXPORT_H
+#define MUTK_ANALYSIS_DOTEXPORT_H
+
+#include "graph/CompactSets.h"
+#include "graph/Mst.h"
+#include "tree/PhyloTree.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mutk {
+
+/// Writes \p T as a DOT digraph (root at top, edge labels = lengths).
+void writeTreeDot(std::ostream &OS, const PhyloTree &T,
+                  const std::string &GraphName = "tree");
+
+/// Renders \p T to a DOT string.
+std::string toTreeDot(const PhyloTree &T,
+                      const std::string &GraphName = "tree");
+
+/// Writes the MST of \p M as an undirected DOT graph with one subgraph
+/// cluster per *maximal* compact set in \p Sets (nested sets are shown
+/// by their outermost member to keep Graphviz output valid).
+void writeMstDot(std::ostream &OS, const DistanceMatrix &M,
+                 const std::vector<WeightedEdge> &MstEdges,
+                 const std::vector<CompactSet> &Sets,
+                 const std::string &GraphName = "mst");
+
+/// Renders the MST + compact sets to a DOT string.
+std::string toMstDot(const DistanceMatrix &M,
+                     const std::vector<WeightedEdge> &MstEdges,
+                     const std::vector<CompactSet> &Sets,
+                     const std::string &GraphName = "mst");
+
+} // namespace mutk
+
+#endif // MUTK_ANALYSIS_DOTEXPORT_H

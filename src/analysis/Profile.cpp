@@ -1,0 +1,116 @@
+//===- analysis/Profile.cpp - Dataset and tree diagnostics -----------------===//
+
+#include "analysis/Profile.h"
+
+#include "graph/Hierarchy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <ostream>
+
+using namespace mutk;
+
+MatrixProfile mutk::profileMatrix(const DistanceMatrix &M) {
+  MatrixProfile P;
+  P.NumSpecies = M.size();
+  const int N = M.size();
+  if (N < 2)
+    return P;
+
+  P.MinDistance = M.minEntry();
+  P.MaxDistance = M.maxEntry();
+  double Sum = 0.0;
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      Sum += M.at(I, J);
+  P.MeanDistance = Sum / (static_cast<double>(N) * (N - 1) / 2.0);
+
+  // Triples: ultrametricity defect and decisiveness together.
+  long Triples = 0;
+  long Decisive = 0;
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      for (int K = J + 1; K < N; ++K) {
+        double DIJ = M.at(I, J);
+        double DIK = M.at(I, K);
+        double DJK = M.at(J, K);
+        ++Triples;
+        if ((DIJ < DIK && DIJ < DJK) || (DIK < DIJ && DIK < DJK) ||
+            (DJK < DIJ && DJK < DIK))
+          ++Decisive;
+        // Three-point condition on each rotation of the triple.
+        auto defect = [](double AB, double AC, double BC) {
+          double Bound = std::max(AC, BC);
+          return AB > 0 ? std::max(0.0, (AB - Bound) / AB) : 0.0;
+        };
+        P.UltrametricityDefect = std::max(
+            {P.UltrametricityDefect, defect(DIJ, DIK, DJK),
+             defect(DIK, DIJ, DJK), defect(DJK, DIJ, DIK)});
+      }
+  P.TripleDecisiveness =
+      Triples > 0 ? static_cast<double>(Decisive) / Triples : 0.0;
+
+  std::vector<CompactSet> Sets = findCompactSets(M);
+  P.NumCompactSets = static_cast<int>(Sets.size());
+  std::vector<bool> Covered(static_cast<std::size_t>(N), false);
+  for (const CompactSet &Set : Sets)
+    for (int Species : Set.Members)
+      Covered[static_cast<std::size_t>(Species)] = true;
+  int CoveredCount = 0;
+  for (bool C : Covered)
+    CoveredCount += C;
+  P.CompactCoverage = static_cast<double>(CoveredCount) / N;
+
+  CompactHierarchy Hierarchy(N, Sets);
+  P.LargestBlock = Hierarchy.maxPartitionSize();
+  return P;
+}
+
+void mutk::printProfile(std::ostream &OS, const MatrixProfile &P) {
+  OS << "species:               " << P.NumSpecies << '\n'
+     << "distance range:        [" << P.MinDistance << ", " << P.MaxDistance
+     << "], mean " << P.MeanDistance << '\n'
+     << "ultrametricity defect: " << P.UltrametricityDefect
+     << (P.UltrametricityDefect < 1e-12 ? "  (exact ultrametric)" : "")
+     << '\n'
+     << "triple decisiveness:   " << P.TripleDecisiveness << '\n'
+     << "compact sets:          " << P.NumCompactSets << " (coverage "
+     << P.CompactCoverage << ", largest block " << P.LargestBlock << ")\n";
+}
+
+TreeProfile mutk::profileTree(const PhyloTree &T) {
+  TreeProfile P;
+  P.NumLeaves = T.numLeaves();
+  P.RootHeight = T.rootHeight();
+  P.Weight = T.weight();
+  if (T.root() < 0)
+    return P;
+
+  long ImbalanceSum = 0;
+  // DFS with depth tracking; leaf counts per node via leavesBelow (the
+  // trees here are small, quadratic is fine and keeps this readable).
+  struct Frame {
+    int Node;
+    int Depth;
+  };
+  std::vector<Frame> Stack = {{T.root(), 0}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    const PhyloNode &N = T.node(F.Node);
+    P.MaxDepth = std::max(P.MaxDepth, F.Depth);
+    if (N.isLeaf())
+      continue;
+    long Left = static_cast<long>(T.leavesBelow(N.Left).size());
+    long Right = static_cast<long>(T.leavesBelow(N.Right).size());
+    ImbalanceSum += std::labs(Left - Right);
+    Stack.push_back({N.Left, F.Depth + 1});
+    Stack.push_back({N.Right, F.Depth + 1});
+  }
+  long NL = P.NumLeaves;
+  long MaxImbalance = (NL - 1) * (NL - 2) / 2;
+  P.Imbalance = MaxImbalance > 0
+                    ? static_cast<double>(ImbalanceSum) / MaxImbalance
+                    : 0.0;
+  return P;
+}

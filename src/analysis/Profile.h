@@ -1,0 +1,74 @@
+//===- analysis/Profile.h - Dataset and tree diagnostics --------*- C++ -*-===//
+///
+/// \file
+/// Diagnostics that explain *why* an instance is easy or hard for the
+/// solvers — the quantities EXPERIMENTS.md reasons with:
+///
+///  * ultrametricity defect: how far the matrix is from satisfying the
+///    three-point condition (0 = exact ultrametric = trivial for B&B);
+///  * triple decisiveness: the fraction of species triples with a strict
+///    closest pair (what the 3-3 relationship can act on);
+///  * compact coverage: how much of the matrix the compact-set
+///    decomposition can break off.
+///
+/// Plus a tree-shape report (depth, balance, height profile) for
+/// comparing constructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_ANALYSIS_PROFILE_H
+#define MUTK_ANALYSIS_PROFILE_H
+
+#include "graph/CompactSets.h"
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+#include <iosfwd>
+
+namespace mutk {
+
+/// Summary statistics of a distance matrix.
+struct MatrixProfile {
+  int NumSpecies = 0;
+  double MinDistance = 0.0;
+  double MaxDistance = 0.0;
+  double MeanDistance = 0.0;
+  /// Largest relative three-point violation:
+  /// `max over triples of (M[i,j] - max(M[i,k], M[j,k])) / M[i,j]`,
+  /// clamped at 0. Zero iff the matrix is an ultrametric.
+  double UltrametricityDefect = 0.0;
+  /// Fraction of triples with a strictly closest pair.
+  double TripleDecisiveness = 0.0;
+  /// Number of proper nontrivial compact sets.
+  int NumCompactSets = 0;
+  /// Fraction of species belonging to at least one such compact set.
+  double CompactCoverage = 0.0;
+  /// Size of the largest condensed matrix the pipeline will solve
+  /// (max partition width of the compact hierarchy).
+  int LargestBlock = 0;
+};
+
+/// Computes the full profile of \p M (O(n^3) triples).
+MatrixProfile profileMatrix(const DistanceMatrix &M);
+
+/// Renders the profile as a small human-readable block.
+void printProfile(std::ostream &OS, const MatrixProfile &Profile);
+
+/// Summary statistics of a tree's shape.
+struct TreeProfile {
+  int NumLeaves = 0;
+  int MaxDepth = 0;
+  double RootHeight = 0.0;
+  double Weight = 0.0;
+  /// Colless-style imbalance: sum over internal nodes of
+  /// `|leaves(left) - leaves(right)|`, normalized by the maximum
+  /// `(n-1)(n-2)/2`; 0 = perfectly balanced, 1 = caterpillar.
+  double Imbalance = 0.0;
+};
+
+/// Computes the shape profile of \p T.
+TreeProfile profileTree(const PhyloTree &T);
+
+} // namespace mutk
+
+#endif // MUTK_ANALYSIS_PROFILE_H

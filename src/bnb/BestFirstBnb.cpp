@@ -1,0 +1,105 @@
+//===- bnb/BestFirstBnb.cpp - Best-first MUT search -------------------------===//
+
+#include "bnb/BestFirstBnb.h"
+
+#include "bnb/Engine.h"
+
+#include <cmath>
+#include <queue>
+
+using namespace mutk;
+
+namespace {
+
+/// Queue entry: the topology plus its cached lower bound (avoids
+/// recomputing inside the heap comparator).
+struct QueueEntry {
+  Topology Node;
+  double LowerBound = 0.0;
+};
+
+struct WorseLowerBound {
+  bool operator()(const QueueEntry &A, const QueueEntry &B) const {
+    return A.LowerBound > B.LowerBound;
+  }
+};
+
+} // namespace
+
+BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
+                                        const BnbOptions &Options) {
+  BestFirstResult Result;
+  if (M.size() <= 1) {
+    if (M.size() == 1) {
+      Result.Tree.addLeaf(0);
+      Result.Tree.setNames(M.names());
+    }
+    return Result;
+  }
+
+  BnbEngine Engine(M, Options);
+  const double Eps = Options.Epsilon;
+
+  double Ub = Engine.initialUpperBound();
+  PhyloTree Best = Engine.initialTree();
+  std::vector<PhyloTree> Optimal;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, WorseLowerBound>
+      Queue;
+  {
+    Topology Root = Engine.rootTopology();
+    double Lb = Engine.lowerBound(Root);
+    Queue.push(QueueEntry{std::move(Root), Lb});
+  }
+
+  BnbStats &Stats = Result.Stats;
+  while (!Queue.empty()) {
+    if (Options.MaxBranchedNodes != 0 &&
+        Stats.Branched >= Options.MaxBranchedNodes) {
+      Stats.Complete = false;
+      break;
+    }
+    Result.PeakFrontier = std::max(Result.PeakFrontier, Queue.size());
+
+    QueueEntry Entry = Queue.top();
+    Queue.pop();
+
+    // Best-first property: once the best lower bound reaches the upper
+    // bound, nothing left in the queue can improve on it.
+    if (Entry.LowerBound >= Ub - Eps &&
+        !(Options.CollectAllOptimal && Entry.LowerBound <= Ub + Eps)) {
+      Stats.PrunedByBound += Queue.size() + 1;
+      break;
+    }
+
+    ++Stats.Branched;
+    for (Topology &Child : Engine.branch(Entry.Node, Ub, Stats)) {
+      if (Engine.isComplete(Child)) {
+        double Cost = Child.cost();
+        if (Cost < Ub - Eps) {
+          Ub = Cost;
+          Best = Engine.finalize(Child);
+          ++Stats.UbUpdates;
+          if (Options.CollectAllOptimal) {
+            Optimal.clear();
+            Optimal.push_back(Best);
+          }
+        } else if (Options.CollectAllOptimal && Cost <= Ub + Eps) {
+          Optimal.push_back(Engine.finalize(Child));
+        }
+        continue;
+      }
+      double Lb = Engine.lowerBound(Child);
+      Queue.push(QueueEntry{std::move(Child), Lb});
+    }
+  }
+
+  if (Options.CollectAllOptimal && Optimal.empty() &&
+      std::fabs(Engine.initialTree().weight() - Ub) <= Eps)
+    Optimal.push_back(Engine.initialTree());
+
+  Result.Tree = std::move(Best);
+  Result.Cost = Ub;
+  Result.AllOptimal = std::move(Optimal);
+  return Result;
+}

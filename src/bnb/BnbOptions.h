@@ -1,0 +1,77 @@
+//===- bnb/BnbOptions.h - Solver options and statistics ---------*- C++ -*-===//
+///
+/// \file
+/// Options shared by every MUT solver (sequential, threaded, simulated
+/// cluster) and the statistics they report. The 3-3 relationship pruning
+/// modes correspond to the HPCAsia paper: the paper applies the constraint
+/// when inserting the third species ("we only used it in the initial
+/// step") and names extending it to later insertions as future work — both
+/// are implemented.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_BNB_BNBOPTIONS_H
+#define MUTK_BNB_BNBOPTIONS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace mutk {
+
+/// Where the 3-3 relationship constraint is enforced during branching.
+enum class ThreeThreeMode {
+  None,          ///< No triple pruning (pure Algorithm BBU).
+  ThirdSpecies,  ///< Constrain only the insertion of species 3 (paper).
+  AllInsertions, ///< Constrain every insertion (aggressive heuristic).
+};
+
+/// Options for the branch-and-bound solvers.
+struct BnbOptions {
+  ThreeThreeMode ThreeThree = ThreeThreeMode::None;
+
+  /// Collect *every* optimal tree instead of one (Algorithm BBU gathers
+  /// "all solutions from each node"). More memory, slightly less pruning.
+  bool CollectAllOptimal = false;
+
+  /// Abort after branching this many BBT nodes (0 = unlimited). The
+  /// result is then the best tree found so far and `Complete` is false.
+  std::uint64_t MaxBranchedNodes = 0;
+
+  /// Starting upper bound; infinity means "run UPGMM" (Algorithm BBU
+  /// Step 3).
+  double InitialUpperBound = std::numeric_limits<double>::infinity();
+
+  /// Floating-point slack for bound comparisons.
+  double Epsilon = 1e-9;
+
+  /// Treat the input matrix as already maxmin-relabeled and skip the
+  /// permutation (identity labeling). Used by distributed drivers whose
+  /// master relabels once and ships the permuted matrix to workers, so
+  /// every rank provably shares one label space.
+  bool AssumeMaxminOrdered = false;
+
+  /// Polish the UPGMM seed with SPR local search before the search
+  /// starts (an extension beyond Algorithm BBU): a tighter initial upper
+  /// bound prunes more of the BBT at the cost of an O(n^4)-ish polish.
+  bool ImproveInitialUpperBound = false;
+};
+
+/// Counters reported by a solve.
+struct BnbStats {
+  /// BBT nodes expanded (one per branching step).
+  std::uint64_t Branched = 0;
+  /// Children generated across all branchings (before pruning).
+  std::uint64_t Generated = 0;
+  /// Children discarded because `LB >= UB`.
+  std::uint64_t PrunedByBound = 0;
+  /// Children discarded by the 3-3 relationship constraint.
+  std::uint64_t PrunedByThreeThree = 0;
+  /// Number of strict upper-bound improvements.
+  std::uint64_t UbUpdates = 0;
+  /// True if the search ran to exhaustion (result provably optimal).
+  bool Complete = true;
+};
+
+} // namespace mutk
+
+#endif // MUTK_BNB_BNBOPTIONS_H

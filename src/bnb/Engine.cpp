@@ -1,0 +1,110 @@
+//===- bnb/Engine.cpp - Shared branch-and-bound machinery ------------------===//
+
+#include "bnb/Engine.h"
+
+#include "bnb/ThreeThree.h"
+#include "heur/NniSearch.h"
+#include "heur/Upgma.h"
+#include "matrix/MetricUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+BnbEngine::BnbEngine(const DistanceMatrix &M, const BnbOptions &Options)
+    : Opts(Options), OriginalNames(M.names()) {
+  assert(M.size() >= 2 && "engine needs at least two species");
+  assert(M.size() <= MaxBnbSpecies && "matrix exceeds the 64-species cap");
+
+  // Step 1 of Algorithm BBU: maxmin relabeling (identity when the caller
+  // guarantees the matrix is already in maxmin order).
+  if (Opts.AssumeMaxminOrdered) {
+    Perm.resize(static_cast<std::size_t>(M.size()));
+    for (int I = 0; I < M.size(); ++I)
+      Perm[static_cast<std::size_t>(I)] = I;
+    Relabeled = M;
+  } else {
+    Perm = maxminPermutation(M);
+    Relabeled = M.permuted(Perm);
+  }
+
+  // Lower-bound suffix sums: minHalf[i] = min_{j < i} M[i, j] / 2 is what
+  // placing species i must at least add to the tree weight.
+  const int N = Relabeled.size();
+  std::vector<double> MinHalf(static_cast<std::size_t>(N), 0.0);
+  for (int I = 2; I < N; ++I) {
+    double Min = Relabeled.at(I, 0);
+    for (int J = 1; J < I; ++J)
+      Min = std::min(Min, Relabeled.at(I, J));
+    MinHalf[static_cast<std::size_t>(I)] = Min / 2.0;
+  }
+  Remainder.assign(static_cast<std::size_t>(N) + 1, 0.0);
+  for (int K = N - 1; K >= 0; --K)
+    Remainder[static_cast<std::size_t>(K)] =
+        Remainder[static_cast<std::size_t>(K) + 1] +
+        MinHalf[static_cast<std::size_t>(K)];
+
+  // Step 3: UPGMM feasible solution as the initial upper bound. Built on
+  // the original matrix so the reported tree keeps original labels.
+  InitialUbTree = upgmm(M);
+  if (Opts.ImproveInitialUpperBound)
+    sprImprove(InitialUbTree, M); // stays feasible; can only tighten
+  InitialUb = InitialUbTree.weight();
+  if (Opts.InitialUpperBound < InitialUb)
+    InitialUb = Opts.InitialUpperBound;
+}
+
+Topology BnbEngine::rootTopology() const {
+  return Topology::initialPair(Relabeled);
+}
+
+bool BnbEngine::threeThreeAllows(const Topology &Child) const {
+  int Inserted = Child.numPlaced() - 1;
+  switch (Opts.ThreeThree) {
+  case ThreeThreeMode::None:
+    return true;
+  case ThreeThreeMode::ThirdSpecies:
+    if (Inserted != 2)
+      return true;
+    break;
+  case ThreeThreeMode::AllInsertions:
+    break;
+  }
+  return insertionRespectsThreeThree(Child, Relabeled, Inserted);
+}
+
+std::vector<Topology> BnbEngine::branch(const Topology &T, double UpperBound,
+                                        BnbStats &Stats) const {
+  assert(!isComplete(T) && "cannot branch a complete topology");
+  std::vector<Topology> Children;
+  Children.reserve(static_cast<std::size_t>(T.numNodes()));
+  // Positions 0..numNodes()-1 cover every edge once (the root position is
+  // the above-root insertion).
+  for (int Position = 0; Position < T.numNodes(); ++Position) {
+    Topology Child = T.withNextSpeciesAt(Position, Relabeled);
+    ++Stats.Generated;
+    if (lowerBound(Child) >= UpperBound - Opts.Epsilon &&
+        !(Opts.CollectAllOptimal &&
+          lowerBound(Child) <= UpperBound + Opts.Epsilon)) {
+      ++Stats.PrunedByBound;
+      continue;
+    }
+    if (!threeThreeAllows(Child)) {
+      ++Stats.PrunedByThreeThree;
+      continue;
+    }
+    Children.push_back(std::move(Child));
+  }
+  std::sort(Children.begin(), Children.end(),
+            [this](const Topology &A, const Topology &B) {
+              return lowerBound(A) < lowerBound(B);
+            });
+  return Children;
+}
+
+PhyloTree BnbEngine::finalize(const Topology &T) const {
+  PhyloTree Tree = T.toPhyloTree(Perm);
+  Tree.setNames(OriginalNames);
+  return Tree;
+}

@@ -1,0 +1,87 @@
+//===- bnb/Engine.h - Shared branch-and-bound machinery ---------*- C++ -*-===//
+///
+/// \file
+/// The pieces of Algorithm BBU shared by every driver (sequential loop,
+/// thread pool, simulated cluster): the maxmin relabeling, the UPGMM
+/// initial upper bound, the admissible lower bound
+/// `LB(v) = w(T_k) + sum_{i >= k} min_{j < i} M[i,j] / 2`
+/// with precomputed suffix sums, and the branching rule with optional 3-3
+/// filtering. Drivers differ only in how they schedule BBT nodes and share
+/// the upper bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_BNB_ENGINE_H
+#define MUTK_BNB_ENGINE_H
+
+#include "bnb/BnbOptions.h"
+#include "bnb/Topology.h"
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// Immutable per-solve machinery. Thread-safe after construction (all
+/// methods are const and touch no mutable state).
+class BnbEngine {
+public:
+  /// Prepares a solve of \p M: relabels via maxmin permutation, computes
+  /// the lower-bound suffix sums and the UPGMM upper bound.
+  /// Requires `2 <= M.size() <= MaxBnbSpecies`.
+  BnbEngine(const DistanceMatrix &M, const BnbOptions &Options);
+
+  int numSpecies() const { return Relabeled.size(); }
+  const BnbOptions &options() const { return Opts; }
+  const DistanceMatrix &relabeledMatrix() const { return Relabeled; }
+  const std::vector<int> &permutation() const { return Perm; }
+
+  /// Weight of the UPGMM tree (the initial upper bound).
+  double initialUpperBound() const { return InitialUb; }
+
+  /// The UPGMM tree in *original* species labels.
+  const PhyloTree &initialTree() const { return InitialUbTree; }
+
+  /// The BBT root: the unique 2-species topology.
+  Topology rootTopology() const;
+
+  /// `LB(v)`: current cost plus the remaining-species bound.
+  double lowerBound(const Topology &T) const {
+    return T.cost() + Remainder[static_cast<std::size_t>(T.numPlaced())];
+  }
+
+  /// True if every species has been placed.
+  bool isComplete(const Topology &T) const {
+    return T.numPlaced() == numSpecies();
+  }
+
+  /// Expands \p T: inserts the next species at every position, applies
+  /// the 3-3 filter per `options().ThreeThree`, drops children whose
+  /// lower bound reaches \p UpperBound, and returns survivors sorted by
+  /// ascending lower bound (best-first).
+  ///
+  /// \param [in,out] Stats Generated / PrunedByBound / PrunedByThreeThree
+  /// are incremented.
+  std::vector<Topology> branch(const Topology &T, double UpperBound,
+                               BnbStats &Stats) const;
+
+  /// Converts a complete topology back to original labels and attaches
+  /// species names.
+  PhyloTree finalize(const Topology &T) const;
+
+private:
+  BnbOptions Opts;
+  std::vector<int> Perm;
+  DistanceMatrix Relabeled;
+  std::vector<double> Remainder; // Remainder[k] = sum_{i>=k} minHalf[i]
+  double InitialUb = 0.0;
+  PhyloTree InitialUbTree;
+  std::vector<std::string> OriginalNames;
+
+  bool threeThreeAllows(const Topology &Child) const;
+};
+
+} // namespace mutk
+
+#endif // MUTK_BNB_ENGINE_H

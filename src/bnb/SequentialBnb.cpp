@@ -1,0 +1,95 @@
+//===- bnb/SequentialBnb.cpp - Algorithm BBU (single processor) -----------===//
+
+#include "bnb/SequentialBnb.h"
+
+#include "bnb/Engine.h"
+
+#include <cmath>
+
+using namespace mutk;
+
+namespace {
+
+/// Handles the degenerate sizes every solver shares.
+bool solveTrivial(const DistanceMatrix &M, MutResult &Result) {
+  if (M.size() > 1)
+    return false;
+  if (M.size() == 1) {
+    Result.Tree.addLeaf(0);
+    Result.Tree.setNames(M.names());
+  }
+  Result.Cost = 0.0;
+  return true;
+}
+
+} // namespace
+
+MutResult mutk::solveMutSequential(const DistanceMatrix &M,
+                                   const BnbOptions &Options) {
+  MutResult Result;
+  if (solveTrivial(M, Result))
+    return Result;
+
+  BnbEngine Engine(M, Options);
+  const double Eps = Options.Epsilon;
+
+  double Ub = Engine.initialUpperBound();
+  PhyloTree Best = Engine.initialTree();
+  std::vector<PhyloTree> Optimal;
+
+  std::vector<Topology> Stack;
+  Stack.push_back(Engine.rootTopology());
+
+  BnbStats &Stats = Result.Stats;
+  while (!Stack.empty()) {
+    if (Options.MaxBranchedNodes != 0 &&
+        Stats.Branched >= Options.MaxBranchedNodes) {
+      Stats.Complete = false;
+      break;
+    }
+    Topology T = std::move(Stack.back());
+    Stack.pop_back();
+
+    // Re-check the bound: the UB may have improved since this node was
+    // pushed.
+    if (Engine.lowerBound(T) >= Ub - Eps &&
+        !(Options.CollectAllOptimal && Engine.lowerBound(T) <= Ub + Eps)) {
+      ++Stats.PrunedByBound;
+      continue;
+    }
+
+    ++Stats.Branched;
+    std::vector<Topology> Children = Engine.branch(T, Ub, Stats);
+    // branch() returns children best-first; push in reverse so the DFS
+    // pops the most promising child first.
+    for (std::size_t I = Children.size(); I > 0; --I) {
+      Topology &Child = Children[I - 1];
+      if (Engine.isComplete(Child)) {
+        double Cost = Child.cost();
+        if (Cost < Ub - Eps) {
+          Ub = Cost;
+          Best = Engine.finalize(Child);
+          ++Stats.UbUpdates;
+          if (Options.CollectAllOptimal) {
+            Optimal.clear();
+            Optimal.push_back(Best);
+          }
+        } else if (Options.CollectAllOptimal && Cost <= Ub + Eps) {
+          Optimal.push_back(Engine.finalize(Child));
+        }
+        continue;
+      }
+      Stack.push_back(std::move(Child));
+    }
+  }
+
+  // The UPGMM seed may already have been optimal.
+  if (Options.CollectAllOptimal && Optimal.empty() &&
+      std::fabs(Engine.initialTree().weight() - Ub) <= Eps)
+    Optimal.push_back(Engine.initialTree());
+
+  Result.Tree = std::move(Best);
+  Result.Cost = Ub;
+  Result.AllOptimal = std::move(Optimal);
+  return Result;
+}

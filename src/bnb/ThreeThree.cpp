@@ -1,0 +1,88 @@
+//===- bnb/ThreeThree.cpp - 3-3 relationship constraint --------------------===//
+
+#include "bnb/ThreeThree.h"
+
+#include <algorithm>
+
+using namespace mutk;
+
+namespace {
+
+/// If the matrix strictly singles out one closest pair among the triple,
+/// writes it to (\p A, \p B) with \p C the remaining species and returns
+/// true. Ties mean no constraint.
+bool strictClosestPair(const DistanceMatrix &M, int I, int J, int K, int &A,
+                       int &B, int &C) {
+  double DIJ = M.at(I, J);
+  double DIK = M.at(I, K);
+  double DJK = M.at(J, K);
+  if (DIJ < DIK && DIJ < DJK) {
+    A = I, B = J, C = K;
+    return true;
+  }
+  if (DIK < DIJ && DIK < DJK) {
+    A = I, B = K, C = J;
+    return true;
+  }
+  if (DJK < DIJ && DJK < DIK) {
+    A = J, B = K, C = I;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool mutk::insertionRespectsThreeThree(const Topology &T,
+                                       const DistanceMatrix &M, int S) {
+  const int Placed = T.numPlaced();
+  assert(S < Placed && "species must already be inserted");
+  for (int J = 0; J < Placed; ++J) {
+    if (J == S)
+      continue;
+    for (int K = J + 1; K < Placed; ++K) {
+      if (K == S)
+        continue;
+      int A, B, C;
+      if (!strictClosestPair(M, S, J, K, A, B, C))
+        continue;
+      // The closest pair's LCA must sit strictly below the LCA joining
+      // the third species (which is the same node for both cross pairs).
+      int PairLca = T.lcaOf(A, B);
+      int TripleLca = T.lcaOf(A, C);
+      if (!T.isStrictlyBelow(PairLca, TripleLca))
+        return false;
+    }
+  }
+  return true;
+}
+
+int mutk::countThreeThreeContradictions(const PhyloTree &T,
+                                        const DistanceMatrix &M) {
+  std::vector<int> Species = T.allSpecies();
+  std::sort(Species.begin(), Species.end());
+
+  auto strictlyBelow = [&](int NodeA, int NodeB) {
+    for (int Cur = T.node(NodeA).Parent; Cur >= 0; Cur = T.node(Cur).Parent)
+      if (Cur == NodeB)
+        return true;
+    return false;
+  };
+
+  int Contradictions = 0;
+  const int N = static_cast<int>(Species.size());
+  for (int X = 0; X < N; ++X)
+    for (int Y = X + 1; Y < N; ++Y)
+      for (int Z = Y + 1; Z < N; ++Z) {
+        int A, B, C;
+        if (!strictClosestPair(M, Species[static_cast<std::size_t>(X)],
+                               Species[static_cast<std::size_t>(Y)],
+                               Species[static_cast<std::size_t>(Z)], A, B, C))
+          continue;
+        int PairLca = T.lcaOfSpecies(A, B);
+        int TripleLca = T.lcaOfSpecies(A, C);
+        if (!strictlyBelow(PairLca, TripleLca))
+          ++Contradictions;
+      }
+  return Contradictions;
+}

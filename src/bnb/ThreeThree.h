@@ -1,0 +1,38 @@
+//===- bnb/ThreeThree.h - 3-3 relationship constraint -----------*- C++ -*-===//
+///
+/// \file
+/// The 3-3 relationship (HPCAsia paper, Definition 11 and Fan 2000):
+/// a distance matrix and a rooted topology are *consistent* on a triple
+/// `(i, j, k)` when `M[i,j] < min(M[i,k], M[j,k])` holds if and only if
+/// `LCA(i,j)` lies strictly below `LCA(i,k) = LCA(j,k)`. A tree
+/// contradicting many triples "cannot faithfully reflect the relation of
+/// the original distance matrix"; the parallel B&B uses the constraint to
+/// cut the solution space when inserting species.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_BNB_THREETHREE_H
+#define MUTK_BNB_THREETHREE_H
+
+#include "bnb/Topology.h"
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+namespace mutk {
+
+/// Checks every triple containing the just-inserted species \p S against
+/// the matrix: if the matrix strictly singles out a closest pair in the
+/// triple, the topology must place that pair's LCA strictly below the
+/// triple's other LCAs. \returns true when no contradiction exists.
+bool insertionRespectsThreeThree(const Topology &T, const DistanceMatrix &M,
+                                 int S);
+
+/// Counts contradicted triples over a complete tree (analysis utility;
+/// O(n^3) LCA checks). Both the matrix rows and the tree's species ids
+/// refer to the same labeling.
+int countThreeThreeContradictions(const PhyloTree &T,
+                                  const DistanceMatrix &M);
+
+} // namespace mutk
+
+#endif // MUTK_BNB_THREETHREE_H

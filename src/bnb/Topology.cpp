@@ -1,0 +1,273 @@
+//===- bnb/Topology.cpp - Partial topologies for the B&B -------------------===//
+
+#include "bnb/Topology.h"
+
+#include "tree/UltrametricFit.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace mutk;
+
+double Topology::halfMaxTo(const DistanceMatrix &M, int S, LeafMask Mask) {
+  double Max = 0.0;
+  forEachLeaf(Mask, [&](int Leaf) { Max = std::max(Max, M.at(S, Leaf)); });
+  return Max / 2.0;
+}
+
+void Topology::recomputeCost() {
+  double Sum = 0.0;
+  for (const Node &N : Nodes)
+    if (!N.isLeaf())
+      Sum += N.Height;
+  Cost = Sum + (Root >= 0 ? Nodes[static_cast<std::size_t>(Root)].Height : 0.0);
+}
+
+Topology Topology::initialPair(const DistanceMatrix &M) {
+  assert(M.size() >= 2 && "initial pair needs two species");
+  assert(M.size() <= MaxBnbSpecies && "matrix exceeds the 64-species cap");
+  Topology T;
+  T.Nodes.reserve(static_cast<std::size_t>(2 * M.size() - 1));
+
+  Node Leaf0;
+  Leaf0.Leaf = 0;
+  Leaf0.Mask = leafBit(0);
+  Node Leaf1;
+  Leaf1.Leaf = 1;
+  Leaf1.Mask = leafBit(1);
+  Node RootNode;
+  RootNode.Left = 0;
+  RootNode.Right = 1;
+  RootNode.Mask = Leaf0.Mask | Leaf1.Mask;
+  RootNode.Height = M.at(0, 1) / 2.0;
+
+  T.Nodes = {Leaf0, Leaf1, RootNode};
+  T.Nodes[0].Parent = 2;
+  T.Nodes[1].Parent = 2;
+  T.Root = 2;
+  T.LeafNode = {0, 1};
+  T.Placed = 2;
+  T.recomputeCost();
+  return T;
+}
+
+std::optional<Topology> Topology::fromNodes(std::vector<Node> Nodes,
+                                            int Root) {
+  const int Count = static_cast<int>(Nodes.size());
+  if (Count < 3 || Count % 2 == 0 || Count > 2 * MaxBnbSpecies - 1)
+    return std::nullopt;
+  if (Root < 0 || Root >= Count || Nodes[static_cast<std::size_t>(Root)].Parent >= 0)
+    return std::nullopt;
+
+  const int Placed = (Count + 1) / 2;
+  std::vector<std::int16_t> LeafNode(static_cast<std::size_t>(Placed), -1);
+  int Leaves = 0;
+  for (int I = 0; I < Count; ++I) {
+    const Node &N = Nodes[static_cast<std::size_t>(I)];
+    if (N.isLeaf()) {
+      if (N.Left >= 0 || N.Right >= 0 || N.Leaf >= Placed ||
+          N.Mask != leafBit(N.Leaf) || N.Height != 0.0)
+        return std::nullopt;
+      if (LeafNode[static_cast<std::size_t>(N.Leaf)] >= 0)
+        return std::nullopt; // duplicate species
+      LeafNode[static_cast<std::size_t>(N.Leaf)] =
+          static_cast<std::int16_t>(I);
+      ++Leaves;
+      continue;
+    }
+    if (N.Left < 0 || N.Right < 0 || N.Left >= Count || N.Right >= Count ||
+        N.Left == N.Right)
+      return std::nullopt;
+    const Node &L = Nodes[static_cast<std::size_t>(N.Left)];
+    const Node &R = Nodes[static_cast<std::size_t>(N.Right)];
+    if (L.Parent != I || R.Parent != I)
+      return std::nullopt;
+    if ((L.Mask | R.Mask) != N.Mask || (L.Mask & R.Mask) != 0)
+      return std::nullopt;
+    if (N.Height < L.Height || N.Height < R.Height)
+      return std::nullopt;
+  }
+  if (Leaves != Placed)
+    return std::nullopt;
+  if (Nodes[static_cast<std::size_t>(Root)].Mask !=
+      (Placed == 64 ? ~LeafMask{0} : (LeafMask{1} << Placed) - 1))
+    return std::nullopt;
+
+  Topology T;
+  T.Nodes = std::move(Nodes);
+  T.LeafNode = std::move(LeafNode);
+  T.Root = static_cast<std::int16_t>(Root);
+  T.Placed = Placed;
+  T.recomputeCost();
+  return T;
+}
+
+Topology Topology::withNextSpeciesAt(int Position,
+                                     const DistanceMatrix &M) const {
+  const int S = Placed;
+  assert(S < M.size() && "all species already placed");
+  assert(Position >= 0 && Position <= numNodes() && "bad insert position");
+
+  Topology T = *this;
+  const bool AboveRoot = (Position == numNodes() || Position == Root);
+
+  // New leaf node for species S.
+  Node LeafS;
+  LeafS.Leaf = static_cast<std::int16_t>(S);
+  LeafS.Mask = leafBit(S);
+  T.Nodes.push_back(LeafS);
+  std::int16_t LeafIndex = static_cast<std::int16_t>(T.numNodes() - 1);
+  T.LeafNode.push_back(LeafIndex);
+
+  if (AboveRoot) {
+    // New root adopting the old root and the new leaf; every previously
+    // placed species is on the far side of the new internal node.
+    Node NewRoot;
+    NewRoot.Left = T.Root;
+    NewRoot.Right = LeafIndex;
+    NewRoot.Mask = T.Nodes[static_cast<std::size_t>(T.Root)].Mask | LeafS.Mask;
+    NewRoot.Height =
+        std::max(T.Nodes[static_cast<std::size_t>(T.Root)].Height,
+                 halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(T.Root)].Mask));
+    T.Nodes.push_back(NewRoot);
+    std::int16_t NewRootIndex = static_cast<std::int16_t>(T.numNodes() - 1);
+    T.Nodes[static_cast<std::size_t>(T.Root)].Parent = NewRootIndex;
+    T.Nodes[static_cast<std::size_t>(LeafIndex)].Parent = NewRootIndex;
+    T.Root = NewRootIndex;
+  } else {
+    // Split the edge above `Position`: new internal node V adopts the old
+    // subtree C and the new leaf.
+    std::int16_t C = static_cast<std::int16_t>(Position);
+    std::int16_t P = T.Nodes[static_cast<std::size_t>(C)].Parent;
+    assert(P >= 0 && "non-root position must have a parent");
+
+    Node V;
+    V.Parent = P;
+    V.Left = C;
+    V.Right = LeafIndex;
+    V.Mask = T.Nodes[static_cast<std::size_t>(C)].Mask | LeafS.Mask;
+    V.Height = std::max(T.Nodes[static_cast<std::size_t>(C)].Height,
+                        halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(C)].Mask));
+    T.Nodes.push_back(V);
+    std::int16_t VIndex = static_cast<std::int16_t>(T.numNodes() - 1);
+
+    Node &ParentNode = T.Nodes[static_cast<std::size_t>(P)];
+    if (ParentNode.Left == C)
+      ParentNode.Left = VIndex;
+    else {
+      assert(ParentNode.Right == C && "child link broken");
+      ParentNode.Right = VIndex;
+    }
+    T.Nodes[static_cast<std::size_t>(C)].Parent = VIndex;
+    T.Nodes[static_cast<std::size_t>(LeafIndex)].Parent = VIndex;
+
+    // Walk to the root: masks gain species S; each ancestor's height must
+    // cover the new crossing pairs (S vs the sibling subtree) and stay
+    // above its updated child.
+    std::int16_t Child = VIndex;
+    for (std::int16_t A = P; A >= 0;
+         Child = A, A = T.Nodes[static_cast<std::size_t>(A)].Parent) {
+      Node &Anc = T.Nodes[static_cast<std::size_t>(A)];
+      std::int16_t Sibling = (Anc.Left == Child) ? Anc.Right : Anc.Left;
+      double Crossing =
+          halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(Sibling)].Mask);
+      Anc.Mask |= LeafS.Mask;
+      Anc.Height = std::max(
+          {Anc.Height, Crossing, T.Nodes[static_cast<std::size_t>(Child)].Height});
+    }
+  }
+
+  ++T.Placed;
+  T.recomputeCost();
+  return T;
+}
+
+int Topology::lcaOf(int SpeciesA, int SpeciesB) const {
+  assert(SpeciesA != SpeciesB && "LCA of a species with itself is its leaf");
+  LeafMask Wanted = leafBit(SpeciesA) | leafBit(SpeciesB);
+  int Cur = leafNodeOf(SpeciesA);
+  while ((node(Cur).Mask & Wanted) != Wanted) {
+    Cur = node(Cur).Parent;
+    assert(Cur >= 0 && "walked past the root without covering both species");
+  }
+  return Cur;
+}
+
+bool Topology::isStrictlyBelow(int A, int B) const {
+  if (A == B)
+    return false;
+  // Masks are laminar: A is below B iff A's mask is a subset of B's and
+  // they differ.
+  LeafMask MA = node(A).Mask;
+  LeafMask MB = node(B).Mask;
+  return (MA & MB) == MA && MA != MB;
+}
+
+PhyloTree Topology::toPhyloTree(const std::vector<int> &Relabel) const {
+  PhyloTree Tree;
+  if (Root < 0)
+    return Tree;
+  // Postorder rebuild, since PhyloTree::addInternal requires children to
+  // exist first.
+  std::vector<int> Map(static_cast<std::size_t>(numNodes()), -1);
+  struct Frame {
+    int Node;
+    bool Expanded;
+  };
+  std::vector<Frame> Stack = {{Root, false}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    const Node &N = node(F.Node);
+    if (N.isLeaf()) {
+      int Species = N.Leaf;
+      if (static_cast<std::size_t>(Species) < Relabel.size())
+        Species = Relabel[static_cast<std::size_t>(Species)];
+      Map[static_cast<std::size_t>(F.Node)] = Tree.addLeaf(Species);
+      continue;
+    }
+    if (!F.Expanded) {
+      Stack.push_back({F.Node, true});
+      Stack.push_back({N.Left, false});
+      Stack.push_back({N.Right, false});
+      continue;
+    }
+    Map[static_cast<std::size_t>(F.Node)] =
+        Tree.addInternal(Map[static_cast<std::size_t>(N.Left)],
+                         Map[static_cast<std::size_t>(N.Right)], N.Height);
+  }
+  return Tree;
+}
+
+bool Topology::invariantsHold(const DistanceMatrix &M,
+                              double Tolerance) const {
+  // Masks must union correctly and heights must match a from-scratch fit.
+  for (int I = 0; I < numNodes(); ++I) {
+    const Node &N = node(I);
+    if (N.isLeaf()) {
+      if (N.Mask != leafBit(N.Leaf) || N.Height != 0.0)
+        return false;
+      continue;
+    }
+    if ((node(N.Left).Mask | node(N.Right).Mask) != N.Mask)
+      return false;
+    if ((node(N.Left).Mask & node(N.Right).Mask) != 0)
+      return false;
+  }
+
+  std::vector<int> Identity(static_cast<std::size_t>(Placed));
+  for (int I = 0; I < Placed; ++I)
+    Identity[static_cast<std::size_t>(I)] = I;
+  PhyloTree Check = toPhyloTree(Identity);
+  double Fitted = fitMinimalHeights(Check, M);
+  if (std::fabs(Fitted - Cost) > Tolerance)
+    return false;
+
+  // Heights must be monotone along every edge.
+  for (int I = 0; I < numNodes(); ++I) {
+    const Node &N = node(I);
+    if (N.Parent >= 0 && node(N.Parent).Height < N.Height - Tolerance)
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,165 @@
+//===- compact/CompactSetPipeline.cpp - The paper's fast technique --------===//
+
+#include "compact/CompactSetPipeline.h"
+
+#include "bnb/Topology.h"
+#include "graph/Hierarchy.h"
+#include "heur/NniSearch.h"
+#include "heur/Upgma.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+namespace {
+
+/// Mutable state threaded through the recursive assembly.
+struct PipelineState {
+  const DistanceMatrix &M;
+  const PipelineOptions &Options;
+  const CompactHierarchy &Hierarchy;
+  PipelineResult &Result;
+};
+
+/// Solves one condensed matrix and reports the accounting.
+PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
+                     int HierarchyNode) {
+  BlockReport Report;
+  Report.HierarchyNode = HierarchyNode;
+  Report.NumBlocks = Condensed.size();
+
+  PhyloTree Tree;
+  if (Condensed.size() > State.Options.MaxExactBlockSize ||
+      Condensed.size() > MaxBnbSpecies) {
+    Tree = upgmm(Condensed);
+    Report.Exact = false;
+    Report.Cost = Tree.weight();
+  } else if (State.Options.Solver == BlockSolver::SimulatedCluster) {
+    ClusterSimResult Solved = simulateClusterBnb(
+        Condensed, State.Options.Cluster, State.Options.Bnb);
+    Tree = std::move(Solved.Tree);
+    Report.Cost = Solved.Cost;
+    Report.Branched = Solved.Stats.Branched;
+    Report.VirtualTime = Solved.Makespan;
+    Report.Exact = Solved.Stats.Complete;
+    State.Result.TotalStats.Branched += Solved.Stats.Branched;
+    State.Result.TotalStats.Generated += Solved.Stats.Generated;
+    State.Result.TotalStats.PrunedByBound += Solved.Stats.PrunedByBound;
+    State.Result.TotalStats.PrunedByThreeThree +=
+        Solved.Stats.PrunedByThreeThree;
+    State.Result.TotalStats.UbUpdates += Solved.Stats.UbUpdates;
+  } else {
+    MutResult Solved = solveMutSequential(Condensed, State.Options.Bnb);
+    Tree = std::move(Solved.Tree);
+    Report.Cost = Solved.Cost;
+    Report.Branched = Solved.Stats.Branched;
+    Report.Exact = Solved.Stats.Complete;
+    State.Result.TotalStats.Branched += Solved.Stats.Branched;
+    State.Result.TotalStats.Generated += Solved.Stats.Generated;
+    State.Result.TotalStats.PrunedByBound += Solved.Stats.PrunedByBound;
+    State.Result.TotalStats.PrunedByThreeThree +=
+        Solved.Stats.PrunedByThreeThree;
+    State.Result.TotalStats.UbUpdates += Solved.Stats.UbUpdates;
+  }
+
+  State.Result.TotalVirtualTime += Report.VirtualTime;
+  State.Result.ParallelVirtualTime =
+      std::max(State.Result.ParallelVirtualTime, Report.VirtualTime);
+  State.Result.Blocks.push_back(Report);
+  return Tree;
+}
+
+/// Assembles the final tree for hierarchy node \p Id: solves its
+/// condensed matrix and grafts each child's assembled subtree in place of
+/// the corresponding block leaf. Returns the subtree in *original*
+/// species ids with consistent heights.
+PhyloTree assemble(PipelineState &State, int Id);
+
+/// Copies \p BlockNode of \p BlockTree into \p Out, substituting block
+/// leaves by the trees in \p ChildTrees. Returns the new node index and
+/// updates \p Clamps when a parent height had to be raised.
+int graft(const PhyloTree &BlockTree, int BlockNode,
+          const std::vector<PhyloTree> &ChildTrees, PhyloTree &Out,
+          int &Clamps) {
+  const PhyloNode &N = BlockTree.node(BlockNode);
+  if (N.isLeaf()) {
+    const PhyloTree &Child = ChildTrees[static_cast<std::size_t>(N.Leaf)];
+    std::vector<int> Identity;
+    int MaxSpecies = -1;
+    for (int S : Child.allSpecies())
+      MaxSpecies = std::max(MaxSpecies, S);
+    Identity.resize(static_cast<std::size_t>(MaxSpecies) + 1);
+    for (int S = 0; S <= MaxSpecies; ++S)
+      Identity[static_cast<std::size_t>(S)] = S;
+    return Out.adoptSubtree(Child, Identity);
+  }
+
+  int Left = graft(BlockTree, N.Left, ChildTrees, Out, Clamps);
+  int Right = graft(BlockTree, N.Right, ChildTrees, Out, Clamps);
+  double Height = N.Height;
+  double ChildMax =
+      std::max(Out.node(Left).Height, Out.node(Right).Height);
+  if (ChildMax > Height) {
+    // Only possible for Minimum/Average condensation: the block distance
+    // understated a child subtree's diameter.
+    Height = ChildMax;
+    ++Clamps;
+  }
+  return Out.addInternal(Left, Right, Height);
+}
+
+PhyloTree assemble(PipelineState &State, int Id) {
+  const CompactHierarchy::Node &Node = State.Hierarchy.node(Id);
+  if (Node.isSingleton()) {
+    PhyloTree Leaf;
+    Leaf.addLeaf(Node.Species.front());
+    return Leaf;
+  }
+
+  std::vector<std::vector<int>> Blocks = State.Hierarchy.partitionAt(Id);
+  DistanceMatrix Condensed = condense(State.M, Blocks, State.Options.Mode);
+  PhyloTree BlockTree = solveBlock(State, Condensed, Id);
+
+  std::vector<PhyloTree> ChildTrees;
+  ChildTrees.reserve(Node.Children.size());
+  for (int Child : Node.Children)
+    ChildTrees.push_back(assemble(State, Child));
+
+  PhyloTree Out;
+  int Root =
+      graft(BlockTree, BlockTree.root(), ChildTrees, Out,
+            State.Result.HeightClamps);
+  Out.setRoot(Root);
+  return Out;
+}
+
+} // namespace
+
+PipelineResult mutk::buildCompactSetTree(const DistanceMatrix &M,
+                                         const PipelineOptions &Options) {
+  PipelineResult Result;
+  if (M.size() == 0)
+    return Result;
+  if (M.size() == 1) {
+    Result.Tree.addLeaf(0);
+    Result.Tree.setNames(M.names());
+    return Result;
+  }
+
+  Result.Sets = findCompactSets(M);
+  CompactHierarchy Hierarchy(M.size(), Result.Sets);
+
+  PipelineState State{M, Options, Hierarchy, Result};
+  PhyloTree Tree = assemble(State, Hierarchy.rootId());
+  Tree.setNames(M.names());
+  if (Options.PolishTopology) {
+    // SPR strictly contains the NNI neighborhood; complete-linkage block
+    // trees are frequently NNI-optimal but not SPR-optimal.
+    NniReport Polish = sprImprove(Tree, M);
+    Result.PolishMoves = Polish.MovesApplied;
+  }
+  Result.Cost = Tree.weight();
+  Result.Tree = std::move(Tree);
+  return Result;
+}

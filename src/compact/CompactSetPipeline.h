@@ -1,0 +1,103 @@
+//===- compact/CompactSetPipeline.h - The paper's fast technique *- C++ -*-===//
+///
+/// \file
+/// The PaCT 2005 contribution end-to-end (paper §3): find all compact
+/// sets of the distance matrix, convert the matrix into the hierarchy of
+/// small condensed matrices D', solve every D' with branch-and-bound (or
+/// UPGMM beyond a size cap), and merge the subtrees T' into one
+/// ultrametric tree T.
+///
+/// With the *maximum* condensation the merged tree is always a feasible
+/// ultrametric tree for the original matrix, and compactness guarantees
+/// the merge never has to adjust heights: the distance between two blocks
+/// strictly exceeds every block's diameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_COMPACT_COMPACTSETPIPELINE_H
+#define MUTK_COMPACT_COMPACTSETPIPELINE_H
+
+#include "bnb/SequentialBnb.h"
+#include "graph/CompactSets.h"
+#include "matrix/Condense.h"
+#include "sim/ClusterSim.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// Which engine solves each condensed matrix.
+enum class BlockSolver {
+  Sequential,       ///< Algorithm BBU per block.
+  SimulatedCluster, ///< Parallel B&B on the simulated cluster per block.
+};
+
+/// Options of the decomposition pipeline.
+struct PipelineOptions {
+  /// How cross-block distances collapse into D' entries; the paper
+  /// studies Maximum (the only mode guaranteeing feasibility).
+  CondenseMode Mode = CondenseMode::Maximum;
+  /// Options forwarded to the per-block B&B.
+  BnbOptions Bnb;
+  /// Condensed matrices larger than this are solved heuristically with
+  /// UPGMM instead of exactly (keeps worst-case time bounded; reported
+  /// per block).
+  int MaxExactBlockSize = 16;
+  BlockSolver Solver = BlockSolver::Sequential;
+  /// Cluster model used when `Solver == SimulatedCluster`.
+  ClusterSpec Cluster;
+  /// Run a subtree-prune-and-regraft polish on the merged tree
+  /// (`heur/NniSearch.h`) — the papers' future-work extension. Never
+  /// increases the cost; most useful when blocks fell back to UPGMM.
+  bool PolishTopology = false;
+};
+
+/// Accounting for one condensed matrix D'.
+struct BlockReport {
+  /// Hierarchy node this block tree belongs to.
+  int HierarchyNode = -1;
+  /// Size of the condensed matrix (number of partition blocks).
+  int NumBlocks = 0;
+  /// Weight of the block tree (over D').
+  double Cost = 0.0;
+  /// False when the size cap forced the UPGMM fallback.
+  bool Exact = true;
+  /// BBT nodes branched solving this block.
+  std::uint64_t Branched = 0;
+  /// Virtual makespan of the block's cluster run (0 for Sequential).
+  double VirtualTime = 0.0;
+};
+
+/// Result of the full pipeline.
+struct PipelineResult {
+  /// The merged ultrametric tree over all species, original labels.
+  PhyloTree Tree;
+  /// Its weight (the paper's "total tree cost").
+  double Cost = 0.0;
+  /// The detected compact sets.
+  std::vector<CompactSet> Sets;
+  std::vector<BlockReport> Blocks;
+  /// Aggregate solver counters across blocks.
+  BnbStats TotalStats;
+  /// Sum of per-block virtual makespans (blocks solved one after the
+  /// other on one cluster).
+  double TotalVirtualTime = 0.0;
+  /// Max per-block virtual makespan (blocks are independent, so this is
+  /// the virtual time with one cluster per block — the paper's
+  /// "constructing evolutionary tree in parallel").
+  double ParallelVirtualTime = 0.0;
+  /// Number of merge steps that had to raise a height to keep edge
+  /// weights nonnegative. Always 0 for CondenseMode::Maximum.
+  int HeightClamps = 0;
+  /// SPR moves applied by the optional polish (0 when disabled or when
+  /// the merged tree was already SPR-optimal).
+  int PolishMoves = 0;
+};
+
+/// Runs the fast technique on \p M.
+PipelineResult buildCompactSetTree(const DistanceMatrix &M,
+                                   const PipelineOptions &Options = {});
+
+} // namespace mutk
+
+#endif // MUTK_COMPACT_COMPACTSETPIPELINE_H

@@ -1,0 +1,100 @@
+//===- core/TreeBuilder.cpp - One-call public facade ------------------------===//
+
+#include "core/TreeBuilder.h"
+
+#include "heur/Upgma.h"
+#include "mp/MpBnb.h"
+#include "parallel/ThreadedBnb.h"
+
+using namespace mutk;
+
+std::string mutk::methodName(BuildMethod Method) {
+  switch (Method) {
+  case BuildMethod::Upgma:
+    return "upgma";
+  case BuildMethod::Upgmm:
+    return "upgmm";
+  case BuildMethod::ExactSequential:
+    return "exact-sequential";
+  case BuildMethod::ExactThreaded:
+    return "exact-threaded";
+  case BuildMethod::MessagePassing:
+    return "message-passing";
+  case BuildMethod::SimulatedCluster:
+    return "simulated-cluster";
+  case BuildMethod::CompactSets:
+    return "compact-sets";
+  }
+  return "unknown";
+}
+
+BuildOutcome mutk::buildTree(const DistanceMatrix &M,
+                             const BuildOptions &Options) {
+  BuildOutcome Out;
+  Out.MethodName = methodName(Options.Method);
+
+  switch (Options.Method) {
+  case BuildMethod::Upgma: {
+    Out.Tree = upgma(M);
+    Out.Cost = Out.Tree.weight();
+    break;
+  }
+  case BuildMethod::Upgmm: {
+    Out.Tree = upgmm(M);
+    Out.Cost = Out.Tree.weight();
+    break;
+  }
+  case BuildMethod::ExactSequential: {
+    MutResult Solved = solveMutSequential(M, Options.Bnb);
+    Out.Tree = std::move(Solved.Tree);
+    Out.Cost = Solved.Cost;
+    Out.Stats = Solved.Stats;
+    Out.Exact = Solved.Stats.Complete;
+    break;
+  }
+  case BuildMethod::ExactThreaded: {
+    ParallelMutResult Solved =
+        solveMutThreaded(M, Options.NumThreads, Options.Bnb);
+    Out.Tree = std::move(Solved.Tree);
+    Out.Cost = Solved.Cost;
+    Out.Stats = Solved.Stats;
+    Out.Exact = Solved.Stats.Complete;
+    break;
+  }
+  case BuildMethod::MessagePassing: {
+    MpMutResult Solved =
+        solveMutMessagePassing(M, Options.NumThreads, Options.Bnb);
+    Out.Tree = std::move(Solved.Tree);
+    Out.Cost = Solved.Cost;
+    Out.Stats = Solved.Stats;
+    Out.Exact = Solved.Stats.Complete;
+    break;
+  }
+  case BuildMethod::SimulatedCluster: {
+    ClusterSimResult Solved =
+        simulateClusterBnb(M, Options.Cluster, Options.Bnb);
+    Out.Tree = std::move(Solved.Tree);
+    Out.Cost = Solved.Cost;
+    Out.Stats = Solved.Stats;
+    Out.Exact = Solved.Stats.Complete;
+    Out.VirtualTime = Solved.Makespan;
+    break;
+  }
+  case BuildMethod::CompactSets: {
+    PipelineOptions Pipeline = Options.Pipeline;
+    Pipeline.Bnb = Options.Bnb;
+    PipelineResult Solved = buildCompactSetTree(M, Pipeline);
+    Out.Tree = Solved.Tree;
+    Out.Cost = Solved.Cost;
+    Out.Stats = Solved.TotalStats;
+    Out.VirtualTime = Solved.TotalVirtualTime;
+    Out.MethodName += (Pipeline.Mode == CondenseMode::Maximum ? "(max)"
+                       : Pipeline.Mode == CondenseMode::Minimum
+                           ? "(min)"
+                           : "(avg)");
+    Out.Pipeline = std::move(Solved);
+    break;
+  }
+  }
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- core/TreeBuilder.h - One-call public facade --------------*- C++ -*-===//
+///
+/// \file
+/// The library's front door: pick a construction method, hand over a
+/// distance matrix, get an ultrametric tree with uniform accounting. The
+/// individual subsystems remain available for fine-grained control; this
+/// facade is what the examples and most downstream users need.
+///
+/// \code
+///   mutk::BuildOptions Options;
+///   Options.Method = mutk::BuildMethod::CompactSets;
+///   mutk::BuildOutcome Out = mutk::buildTree(Matrix, Options);
+///   std::cout << mutk::toNewick(Out.Tree) << '\n';
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_CORE_TREEBUILDER_H
+#define MUTK_CORE_TREEBUILDER_H
+
+#include "compact/CompactSetPipeline.h"
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+#include <string>
+
+namespace mutk {
+
+/// Available construction methods.
+enum class BuildMethod {
+  Upgma,            ///< Average-linkage heuristic (baseline; may be
+                    ///< infeasible for the matrix).
+  Upgmm,            ///< Complete-linkage heuristic (always feasible).
+  ExactSequential,  ///< Algorithm BBU: provably minimum ultrametric tree.
+  ExactThreaded,    ///< Parallel B&B with worker threads; same optimum.
+  MessagePassing,   ///< Parallel B&B over the in-process message-passing
+                    ///< runtime (the papers' MPI protocol); same optimum.
+  SimulatedCluster, ///< Parallel B&B on the virtual cluster; same
+                    ///< optimum plus virtual-time accounting.
+  CompactSets,      ///< The paper's fast technique: near-optimal,
+                    ///< dramatically cheaper on clustered inputs.
+};
+
+/// Options for `buildTree`. Sub-option structs apply to the methods that
+/// read them.
+struct BuildOptions {
+  BuildMethod Method = BuildMethod::CompactSets;
+  /// B&B options (exact methods; forwarded into the pipeline for
+  /// CompactSets).
+  BnbOptions Bnb;
+  /// Pipeline options (CompactSets only). `Pipeline.Bnb` is overwritten
+  /// by `Bnb` for consistency.
+  PipelineOptions Pipeline;
+  /// Cluster model (SimulatedCluster only).
+  ClusterSpec Cluster;
+  /// Worker threads / slave ranks (ExactThreaded, MessagePassing).
+  int NumThreads = 4;
+};
+
+/// Uniform result of any method.
+struct BuildOutcome {
+  PhyloTree Tree;
+  /// Tree weight (total edge length).
+  double Cost = 0.0;
+  /// True when the result is provably the minimum ultrametric tree.
+  bool Exact = false;
+  /// Human-readable method name, e.g. "compact-sets(max)".
+  std::string MethodName;
+  /// Aggregate B&B counters (zero for the pure heuristics).
+  BnbStats Stats;
+  /// Virtual time on the simulated cluster (SimulatedCluster: makespan;
+  /// CompactSets with cluster solver: summed block makespans).
+  double VirtualTime = 0.0;
+  /// Pipeline details, only for CompactSets.
+  PipelineResult Pipeline;
+};
+
+/// Builds an ultrametric tree for \p M with the selected method.
+BuildOutcome buildTree(const DistanceMatrix &M,
+                       const BuildOptions &Options = {});
+
+/// Name string for a method (used in reports).
+std::string methodName(BuildMethod Method);
+
+} // namespace mutk
+
+#endif // MUTK_CORE_TREEBUILDER_H

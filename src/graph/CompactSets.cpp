@@ -1,0 +1,170 @@
+//===- graph/CompactSets.cpp - Compact-set detection ----------------------===//
+
+#include "graph/CompactSets.h"
+
+#include "graph/Mst.h"
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace mutk;
+
+bool mutk::isCompactSet(const DistanceMatrix &M,
+                        const std::vector<int> &Members) {
+  const int N = M.size();
+  std::vector<bool> InSet(static_cast<std::size_t>(N), false);
+  for (int Species : Members) {
+    assert(Species >= 0 && Species < N && "member out of range");
+    InSet[static_cast<std::size_t>(Species)] = true;
+  }
+
+  double MaxInside = 0.0;
+  for (std::size_t A = 0; A < Members.size(); ++A)
+    for (std::size_t B = A + 1; B < Members.size(); ++B)
+      MaxInside = std::max(MaxInside, M.at(Members[A], Members[B]));
+
+  double MinOutgoing = std::numeric_limits<double>::infinity();
+  for (int Species : Members)
+    for (int Other = 0; Other < N; ++Other)
+      if (!InSet[static_cast<std::size_t>(Other)])
+        MinOutgoing = std::min(MinOutgoing, M.at(Species, Other));
+
+  // Singletons: MaxInside == 0 < any positive outgoing distance; the whole
+  // set: MinOutgoing stays +infinity. Both count as compact by convention.
+  return MaxInside < MinOutgoing;
+}
+
+std::vector<CompactSet> mutk::findCompactSets(const DistanceMatrix &M) {
+  const int N = M.size();
+  std::vector<CompactSet> Result;
+  if (N < 3)
+    return Result; // no proper nontrivial subset can exist for n < 3
+
+  std::vector<WeightedEdge> Tree = kruskalMst(M);
+  // kruskalMst already returns edges in ascending (weight, U, V) order.
+
+  UnionFind Components(static_cast<std::size_t>(N));
+  // Members and the max intra-set distance per component representative.
+  std::vector<std::vector<int>> Members(static_cast<std::size_t>(N));
+  std::vector<double> MaxInside(static_cast<std::size_t>(N), 0.0);
+  for (int I = 0; I < N; ++I)
+    Members[static_cast<std::size_t>(I)] = {I};
+
+  const int NumEdges = static_cast<int>(Tree.size());
+  for (int EdgeIndex = 0; EdgeIndex < NumEdges; ++EdgeIndex) {
+    const WeightedEdge &E = Tree[static_cast<std::size_t>(EdgeIndex)];
+    int RepA = Components.find(E.U);
+    int RepB = Components.find(E.V);
+    assert(RepA != RepB && "MST edge endpoints already merged");
+
+    // Max over the complete graph inside the merged component: old maxima
+    // plus all cross pairs. Total cross-pair work over the whole run is
+    // O(n^2).
+    double CrossMax = 0.0;
+    for (int A : Members[static_cast<std::size_t>(RepA)])
+      for (int B : Members[static_cast<std::size_t>(RepB)])
+        CrossMax = std::max(CrossMax, M.at(A, B));
+
+    int Rep = Components.unite(E.U, E.V);
+    int Other = (Rep == RepA) ? RepB : RepA;
+    double MergedMax = std::max({MaxInside[static_cast<std::size_t>(RepA)],
+                                 MaxInside[static_cast<std::size_t>(RepB)],
+                                 CrossMax});
+    MaxInside[static_cast<std::size_t>(Rep)] = MergedMax;
+    auto &Into = Members[static_cast<std::size_t>(Rep)];
+    auto &From = Members[static_cast<std::size_t>(Other)];
+    Into.insert(Into.end(), From.begin(), From.end());
+    From.clear();
+    From.shrink_to_fit();
+
+    // The final merge yields the whole species set, which is excluded.
+    if (EdgeIndex == NumEdges - 1)
+      break;
+
+    // Min(A, !A) = lightest remaining MST edge crossing the cut. Remaining
+    // MST edges always join two *distinct* current components, so "crosses
+    // the cut" is exactly "one endpoint in Rep".
+    double MinOutgoing = std::numeric_limits<double>::infinity();
+    for (int J = EdgeIndex + 1; J < NumEdges; ++J) {
+      const WeightedEdge &Later = Tree[static_cast<std::size_t>(J)];
+      bool UIn = Components.find(Later.U) == Rep;
+      bool VIn = Components.find(Later.V) == Rep;
+      assert(!(UIn && VIn) && "future MST edge inside one component");
+      if (UIn != VIn) {
+        MinOutgoing = Later.Weight;
+        break;
+      }
+    }
+    assert(MinOutgoing < std::numeric_limits<double>::infinity() &&
+           "non-final component must have an outgoing MST edge");
+
+    if (MergedMax < MinOutgoing) {
+      CompactSet Set;
+      Set.Members = Into;
+      std::sort(Set.Members.begin(), Set.Members.end());
+      Set.MaxInside = MergedMax;
+      Set.MinOutgoing = MinOutgoing;
+      Result.push_back(std::move(Set));
+    }
+  }
+  return Result;
+}
+
+std::vector<CompactSet>
+mutk::findCompactSetsBruteForce(const DistanceMatrix &M) {
+  const int N = M.size();
+  assert(N <= 22 && "brute force is exponential; use findCompactSets");
+  std::vector<CompactSet> Result;
+  if (N < 3)
+    return Result;
+
+  for (std::uint32_t Mask = 1; Mask + 1 < (1u << N); ++Mask) {
+    std::vector<int> Members;
+    for (int I = 0; I < N; ++I)
+      if (Mask & (1u << I))
+        Members.push_back(I);
+    if (Members.size() < 2)
+      continue;
+    if (!isCompactSet(M, Members))
+      continue;
+
+    CompactSet Set;
+    for (std::size_t A = 0; A < Members.size(); ++A)
+      for (std::size_t B = A + 1; B < Members.size(); ++B)
+        Set.MaxInside = std::max(Set.MaxInside, M.at(Members[A], Members[B]));
+    Set.MinOutgoing = std::numeric_limits<double>::infinity();
+    for (int Species : Members)
+      for (int Other = 0; Other < N; ++Other)
+        if (!(Mask & (1u << Other)))
+          Set.MinOutgoing = std::min(Set.MinOutgoing, M.at(Species, Other));
+    Set.Members = std::move(Members);
+    Result.push_back(std::move(Set));
+  }
+
+  std::sort(Result.begin(), Result.end(),
+            [](const CompactSet &A, const CompactSet &B) {
+              if (A.MaxInside != B.MaxInside)
+                return A.MaxInside < B.MaxInside;
+              return A.Members < B.Members;
+            });
+  return Result;
+}
+
+bool mutk::isLaminarFamily(const std::vector<CompactSet> &Sets) {
+  for (std::size_t A = 0; A < Sets.size(); ++A)
+    for (std::size_t B = A + 1; B < Sets.size(); ++B) {
+      const auto &SA = Sets[A].Members;
+      const auto &SB = Sets[B].Members;
+      std::vector<int> Intersection;
+      std::set_intersection(SA.begin(), SA.end(), SB.begin(), SB.end(),
+                            std::back_inserter(Intersection));
+      if (Intersection.empty())
+        continue;
+      if (Intersection.size() != SA.size() &&
+          Intersection.size() != SB.size())
+        return false;
+    }
+  return true;
+}

@@ -1,0 +1,106 @@
+//===- graph/Hierarchy.cpp - Laminar hierarchy of compact sets ------------===//
+
+#include "graph/Hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+CompactHierarchy::CompactHierarchy(int NumSpecies,
+                                   const std::vector<CompactSet> &Sets)
+    : NumSpecies(NumSpecies) {
+  assert(NumSpecies >= 1 && "need at least one species");
+  assert(isLaminarFamily(Sets) && "compact sets must be laminar");
+
+  // Gather distinct member lists, largest first so parents precede
+  // children when we link below.
+  std::vector<std::vector<int>> Lists;
+  for (const CompactSet &Set : Sets) {
+    assert(Set.size() >= 2 && Set.size() < NumSpecies &&
+           "hierarchy expects proper nontrivial sets");
+    Lists.push_back(Set.Members);
+  }
+  std::sort(Lists.begin(), Lists.end(),
+            [](const std::vector<int> &A, const std::vector<int> &B) {
+              if (A.size() != B.size())
+                return A.size() > B.size();
+              return A < B;
+            });
+  Lists.erase(std::unique(Lists.begin(), Lists.end()), Lists.end());
+
+  // Root covers everything.
+  Node Root;
+  Root.Species.resize(static_cast<std::size_t>(NumSpecies));
+  for (int I = 0; I < NumSpecies; ++I)
+    Root.Species[static_cast<std::size_t>(I)] = I;
+  Nodes.push_back(std::move(Root));
+  RootId = 0;
+
+  auto contains = [](const std::vector<int> &Outer,
+                     const std::vector<int> &Inner) {
+    return std::includes(Outer.begin(), Outer.end(), Inner.begin(),
+                         Inner.end());
+  };
+
+  // Link each set under the smallest already-placed superset. Because the
+  // lists are processed largest-first and the family is laminar, the
+  // correct parent is the most recently placed superset.
+  for (auto &List : Lists) {
+    int Parent = RootId;
+    for (int Id = 1; Id < numNodes(); ++Id)
+      if (node(Id).Species.size() > List.size() &&
+          contains(node(Id).Species, List) &&
+          node(Id).Species.size() < node(Parent).Species.size())
+        Parent = Id;
+    Node New;
+    New.Species = std::move(List);
+    New.Parent = Parent;
+    Nodes.push_back(std::move(New));
+    Nodes[static_cast<std::size_t>(Parent)].Children.push_back(numNodes() -
+                                                               1);
+  }
+
+  // Add singleton leaves for species not covered by any child of a node.
+  const int NumInternal = numNodes();
+  for (int Id = 0; Id < NumInternal; ++Id) {
+    std::vector<bool> Covered(static_cast<std::size_t>(NumSpecies), false);
+    for (int Child : node(Id).Children)
+      for (int Species : node(Child).Species)
+        Covered[static_cast<std::size_t>(Species)] = true;
+    for (int Species : node(Id).Species) {
+      if (Covered[static_cast<std::size_t>(Species)])
+        continue;
+      Node Leaf;
+      Leaf.Species = {Species};
+      Leaf.Parent = Id;
+      Nodes.push_back(std::move(Leaf));
+      Nodes[static_cast<std::size_t>(Id)].Children.push_back(numNodes() - 1);
+    }
+  }
+}
+
+std::vector<std::vector<int>> CompactHierarchy::partitionAt(int Id) const {
+  std::vector<std::vector<int>> Blocks;
+  for (int Child : node(Id).Children)
+    Blocks.push_back(node(Child).Species);
+  return Blocks;
+}
+
+std::vector<int> CompactHierarchy::internalNodesTopDown() const {
+  // Nodes were appended parents-first, so index order is already
+  // topological; filter out the singleton leaves.
+  std::vector<int> Result;
+  for (int Id = 0; Id < numNodes(); ++Id)
+    if (!node(Id).isSingleton())
+      Result.push_back(Id);
+  return Result;
+}
+
+int CompactHierarchy::maxPartitionSize() const {
+  int Max = 0;
+  for (int Id = 0; Id < numNodes(); ++Id)
+    if (!node(Id).isSingleton())
+      Max = std::max(Max, static_cast<int>(node(Id).Children.size()));
+  return Max;
+}

@@ -1,0 +1,71 @@
+//===- graph/Hierarchy.h - Laminar hierarchy of compact sets ----*- C++ -*-===//
+///
+/// \file
+/// Arranges the (laminar, paper Lemma 3) family of compact sets into a
+/// containment tree rooted at the full species set. Each hierarchy node
+/// induces the *partition* that the decomposition pipeline condenses into
+/// one small matrix D': the node's maximal compact subsets plus the
+/// species covered by none of them as singleton blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_GRAPH_HIERARCHY_H
+#define MUTK_GRAPH_HIERARCHY_H
+
+#include "graph/CompactSets.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// The containment tree of a laminar family of species sets.
+class CompactHierarchy {
+public:
+  /// One node: either the root (all species), a compact set, or an
+  /// implicit singleton leaf.
+  struct Node {
+    /// Members in increasing species order.
+    std::vector<int> Species;
+    int Parent = -1;
+    /// Child node indices; empty for singleton leaves.
+    std::vector<int> Children;
+
+    bool isSingleton() const { return Species.size() == 1; }
+  };
+
+  /// Builds the hierarchy over species `0..NumSpecies-1` from \p Sets,
+  /// which must be laminar and must contain only proper nontrivial sets
+  /// (as produced by `findCompactSets`). Duplicate sets are collapsed.
+  CompactHierarchy(int NumSpecies, const std::vector<CompactSet> &Sets);
+
+  int numSpecies() const { return NumSpecies; }
+  int numNodes() const { return static_cast<int>(Nodes.size()); }
+  int rootId() const { return RootId; }
+
+  const Node &node(int Id) const {
+    assert(Id >= 0 && Id < numNodes() && "node out of range");
+    return Nodes[static_cast<std::size_t>(Id)];
+  }
+
+  /// The partition induced at \p Id: one block per child, in child order.
+  /// Singleton leaves yield singleton blocks. At least 2 blocks for any
+  /// non-leaf node.
+  std::vector<std::vector<int>> partitionAt(int Id) const;
+
+  /// Ids of all non-singleton nodes in topological (parent-before-child)
+  /// order, starting with the root.
+  std::vector<int> internalNodesTopDown() const;
+
+  /// The largest block count over all internal nodes — the size of the
+  /// biggest condensed matrix the decomposition will have to solve.
+  int maxPartitionSize() const;
+
+private:
+  int NumSpecies;
+  std::vector<Node> Nodes;
+  int RootId = -1;
+};
+
+} // namespace mutk
+
+#endif // MUTK_GRAPH_HIERARCHY_H

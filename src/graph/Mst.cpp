@@ -1,0 +1,112 @@
+//===- graph/Mst.cpp - Minimum spanning trees of the species graph --------===//
+
+#include "graph/Mst.h"
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace mutk;
+
+bool mutk::edgeLess(const WeightedEdge &A, const WeightedEdge &B) {
+  if (A.Weight != B.Weight)
+    return A.Weight < B.Weight;
+  if (A.U != B.U)
+    return A.U < B.U;
+  return A.V < B.V;
+}
+
+std::vector<WeightedEdge> mutk::sortedCompleteEdges(const DistanceMatrix &M) {
+  std::vector<WeightedEdge> Edges;
+  const int N = M.size();
+  Edges.reserve(static_cast<std::size_t>(N) * (N - 1) / 2);
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      Edges.push_back(WeightedEdge{I, J, M.at(I, J)});
+  std::sort(Edges.begin(), Edges.end(), edgeLess);
+  return Edges;
+}
+
+std::vector<WeightedEdge> mutk::kruskalMst(const DistanceMatrix &M) {
+  const int N = M.size();
+  std::vector<WeightedEdge> Tree;
+  if (N < 2)
+    return Tree;
+  Tree.reserve(static_cast<std::size_t>(N - 1));
+  UnionFind Components(static_cast<std::size_t>(N));
+  for (const WeightedEdge &E : sortedCompleteEdges(M)) {
+    if (Components.unite(E.U, E.V) < 0)
+      continue;
+    Tree.push_back(E);
+    if (static_cast<int>(Tree.size()) == N - 1)
+      break;
+  }
+  return Tree;
+}
+
+std::vector<WeightedEdge> mutk::primMst(const DistanceMatrix &M) {
+  const int N = M.size();
+  std::vector<WeightedEdge> Tree;
+  if (N < 2)
+    return Tree;
+  Tree.reserve(static_cast<std::size_t>(N - 1));
+
+  std::vector<bool> InTree(static_cast<std::size_t>(N), false);
+  std::vector<double> Best(static_cast<std::size_t>(N),
+                           std::numeric_limits<double>::infinity());
+  std::vector<int> BestFrom(static_cast<std::size_t>(N), -1);
+
+  InTree[0] = true;
+  for (int V = 1; V < N; ++V) {
+    Best[static_cast<std::size_t>(V)] = M.at(0, V);
+    BestFrom[static_cast<std::size_t>(V)] = 0;
+  }
+
+  for (int Step = 1; Step < N; ++Step) {
+    int Next = -1;
+    for (int V = 0; V < N; ++V) {
+      if (InTree[static_cast<std::size_t>(V)])
+        continue;
+      if (Next < 0 ||
+          Best[static_cast<std::size_t>(V)] < Best[static_cast<std::size_t>(Next)])
+        Next = V;
+    }
+    assert(Next >= 0 && "graph must be connected (it is complete)");
+    int From = BestFrom[static_cast<std::size_t>(Next)];
+    Tree.push_back(WeightedEdge{std::min(From, Next), std::max(From, Next),
+                                M.at(From, Next)});
+    InTree[static_cast<std::size_t>(Next)] = true;
+    for (int V = 0; V < N; ++V) {
+      if (InTree[static_cast<std::size_t>(V)])
+        continue;
+      if (M.at(Next, V) < Best[static_cast<std::size_t>(V)]) {
+        Best[static_cast<std::size_t>(V)] = M.at(Next, V);
+        BestFrom[static_cast<std::size_t>(V)] = Next;
+      }
+    }
+  }
+  return Tree;
+}
+
+double mutk::totalWeight(const std::vector<WeightedEdge> &Edges) {
+  double Sum = 0.0;
+  for (const WeightedEdge &E : Edges)
+    Sum += E.Weight;
+  return Sum;
+}
+
+bool mutk::isSpanningTree(const std::vector<WeightedEdge> &Edges,
+                          int NumVertices) {
+  if (static_cast<int>(Edges.size()) != NumVertices - 1)
+    return NumVertices <= 1 && Edges.empty();
+  UnionFind Components(static_cast<std::size_t>(NumVertices));
+  for (const WeightedEdge &E : Edges) {
+    if (E.U < 0 || E.V < 0 || E.U >= NumVertices || E.V >= NumVertices)
+      return false;
+    if (Components.unite(E.U, E.V) < 0)
+      return false; // cycle
+  }
+  return Components.numComponents() == 1;
+}

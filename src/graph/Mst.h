@@ -1,0 +1,57 @@
+//===- graph/Mst.h - Minimum spanning trees of the species graph *- C++ -*-===//
+///
+/// \file
+/// A distance matrix is viewed as a complete, weighted, undirected graph
+/// (paper §2). Compact-set detection starts from a minimum spanning tree of
+/// that graph (paper §3.1 uses Kruskal); Prim's algorithm is also provided
+/// as an independent implementation used to cross-check MST weight in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_GRAPH_MST_H
+#define MUTK_GRAPH_MST_H
+
+#include "matrix/DistanceMatrix.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// An undirected weighted edge with `U < V` canonical orientation.
+struct WeightedEdge {
+  int U = -1;
+  int V = -1;
+  double Weight = 0.0;
+
+  friend bool operator==(const WeightedEdge &A, const WeightedEdge &B) {
+    return A.U == B.U && A.V == B.V && A.Weight == B.Weight;
+  }
+};
+
+/// Compares by (weight, U, V); gives Kruskal a deterministic edge order
+/// even in the presence of ties.
+bool edgeLess(const WeightedEdge &A, const WeightedEdge &B);
+
+/// All `n(n-1)/2` edges of the complete graph of \p M, sorted by
+/// `edgeLess`.
+std::vector<WeightedEdge> sortedCompleteEdges(const DistanceMatrix &M);
+
+/// Kruskal MST of the complete graph of \p M.
+///
+/// \returns the `n - 1` tree edges in the order they were accepted
+/// (ascending weight). Deterministic under ties via `edgeLess`.
+std::vector<WeightedEdge> kruskalMst(const DistanceMatrix &M);
+
+/// Prim MST of the complete graph of \p M (O(n^2), no edge sort).
+/// Edge order follows vertex insertion; total weight equals Kruskal's.
+std::vector<WeightedEdge> primMst(const DistanceMatrix &M);
+
+/// Sum of edge weights.
+double totalWeight(const std::vector<WeightedEdge> &Edges);
+
+/// Returns true if \p Edges forms a spanning tree over `0..n-1`.
+bool isSpanningTree(const std::vector<WeightedEdge> &Edges, int NumVertices);
+
+} // namespace mutk
+
+#endif // MUTK_GRAPH_MST_H

@@ -1,0 +1,209 @@
+//===- heur/NeighborJoining.cpp - Saitou-Nei neighbor joining -------------===//
+
+#include "heur/NeighborJoining.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+using namespace mutk;
+
+int AdditiveTree::addNode(int WhichSpecies) {
+  Adjacency.emplace_back();
+  Species.push_back(WhichSpecies);
+  return numNodes() - 1;
+}
+
+void AdditiveTree::addEdge(int A, int B, double Length) {
+  assert(A >= 0 && A < numNodes() && B >= 0 && B < numNodes() &&
+         "node out of range");
+  Length = std::max(0.0, Length);
+  Adjacency[static_cast<std::size_t>(A)].push_back(Edge{B, Length});
+  Adjacency[static_cast<std::size_t>(B)].push_back(Edge{A, Length});
+}
+
+int AdditiveTree::leafNodeOf(int WantedSpecies) const {
+  for (int I = 0; I < numNodes(); ++I)
+    if (Species[static_cast<std::size_t>(I)] == WantedSpecies)
+      return I;
+  return -1;
+}
+
+double AdditiveTree::leafDistance(int SpeciesA, int SpeciesB) const {
+  if (SpeciesA == SpeciesB)
+    return 0.0;
+  int Start = leafNodeOf(SpeciesA);
+  int Goal = leafNodeOf(SpeciesB);
+  assert(Start >= 0 && Goal >= 0 && "both species must be present");
+
+  // DFS; trees have a unique path.
+  std::vector<double> Distance(static_cast<std::size_t>(numNodes()), -1.0);
+  std::vector<int> Stack = {Start};
+  Distance[static_cast<std::size_t>(Start)] = 0.0;
+  while (!Stack.empty()) {
+    int Node = Stack.back();
+    Stack.pop_back();
+    if (Node == Goal)
+      return Distance[static_cast<std::size_t>(Node)];
+    for (const Edge &E : Adjacency[static_cast<std::size_t>(Node)]) {
+      if (Distance[static_cast<std::size_t>(E.To)] >= 0.0)
+        continue;
+      Distance[static_cast<std::size_t>(E.To)] =
+          Distance[static_cast<std::size_t>(Node)] + E.Length;
+      Stack.push_back(E.To);
+    }
+  }
+  assert(false && "species unreachable; tree is disconnected");
+  return -1.0;
+}
+
+DistanceMatrix AdditiveTree::inducedMatrix() const {
+  int MaxSpecies = -1;
+  for (int S : Species)
+    MaxSpecies = std::max(MaxSpecies, S);
+  const int N = MaxSpecies + 1;
+  DistanceMatrix M(N);
+  for (int I = 0; I < N; ++I)
+    if (static_cast<std::size_t>(I) < SpeciesNames.size() &&
+        !SpeciesNames[static_cast<std::size_t>(I)].empty())
+      M.setName(I, SpeciesNames[static_cast<std::size_t>(I)]);
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      M.set(I, J, leafDistance(I, J));
+  return M;
+}
+
+std::string AdditiveTree::toNewick() const {
+  // Root at the last node (NJ creates internal nodes last).
+  int Root = numNodes() - 1;
+  assert(Root >= 0 && "empty tree");
+
+  std::ostringstream OS;
+  // Iterative rendering would obscure the structure; recursion depth is
+  // bounded by the tree diameter, fine for the species counts in play.
+  auto render = [&](auto &&Self, int Node, int From) -> void {
+    std::vector<const Edge *> Out;
+    for (const Edge &E : Adjacency[static_cast<std::size_t>(Node)])
+      if (E.To != From)
+        Out.push_back(&E);
+    if (Out.empty()) {
+      int S = Species[static_cast<std::size_t>(Node)];
+      if (S >= 0 && static_cast<std::size_t>(S) < SpeciesNames.size() &&
+          !SpeciesNames[static_cast<std::size_t>(S)].empty())
+        OS << SpeciesNames[static_cast<std::size_t>(S)];
+      else
+        OS << 's' << S;
+      return;
+    }
+    OS << '(';
+    for (std::size_t I = 0; I < Out.size(); ++I) {
+      if (I > 0)
+        OS << ',';
+      Self(Self, Out[I]->To, Node);
+      OS << ':' << Out[I]->Length;
+    }
+    OS << ')';
+  };
+  render(render, Root, -1);
+  OS << ';';
+  return OS.str();
+}
+
+AdditiveTree mutk::neighborJoining(const DistanceMatrix &M) {
+  const int N = M.size();
+  assert(N >= 2 && "neighbor joining needs at least two species");
+
+  AdditiveTree Tree;
+  Tree.setNames(M.names());
+
+  // Active cluster slots; Node maps a slot to its tree node.
+  std::vector<int> Node(static_cast<std::size_t>(N));
+  std::vector<bool> Active(static_cast<std::size_t>(N), true);
+  std::vector<std::vector<double>> D(
+      static_cast<std::size_t>(N),
+      std::vector<double>(static_cast<std::size_t>(N), 0.0));
+  for (int I = 0; I < N; ++I) {
+    Node[static_cast<std::size_t>(I)] = Tree.addNode(I);
+    for (int J = 0; J < N; ++J)
+      D[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)] = M.at(I, J);
+  }
+
+  int Remaining = N;
+  while (Remaining > 2) {
+    // Row sums over active slots.
+    std::vector<double> RowSum(static_cast<std::size_t>(N), 0.0);
+    for (int I = 0; I < N; ++I) {
+      if (!Active[static_cast<std::size_t>(I)])
+        continue;
+      for (int J = 0; J < N; ++J)
+        if (Active[static_cast<std::size_t>(J)])
+          RowSum[static_cast<std::size_t>(I)] +=
+              D[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)];
+    }
+
+    // Minimize the Q-criterion.
+    int BestA = -1, BestB = -1;
+    double BestQ = std::numeric_limits<double>::infinity();
+    for (int A = 0; A < N; ++A) {
+      if (!Active[static_cast<std::size_t>(A)])
+        continue;
+      for (int B = A + 1; B < N; ++B) {
+        if (!Active[static_cast<std::size_t>(B)])
+          continue;
+        double Q = (Remaining - 2) *
+                       D[static_cast<std::size_t>(A)][static_cast<std::size_t>(B)] -
+                   RowSum[static_cast<std::size_t>(A)] -
+                   RowSum[static_cast<std::size_t>(B)];
+        if (Q < BestQ) {
+          BestQ = Q;
+          BestA = A;
+          BestB = B;
+        }
+      }
+    }
+    assert(BestA >= 0 && "no active pair found");
+
+    double DAB = D[static_cast<std::size_t>(BestA)][static_cast<std::size_t>(BestB)];
+    double LenA = 0.5 * DAB +
+                  (RowSum[static_cast<std::size_t>(BestA)] -
+                   RowSum[static_cast<std::size_t>(BestB)]) /
+                      (2.0 * (Remaining - 2));
+    double LenB = DAB - LenA;
+    int Joined = Tree.addNode(-1);
+    Tree.addEdge(Node[static_cast<std::size_t>(BestA)], Joined, LenA);
+    Tree.addEdge(Node[static_cast<std::size_t>(BestB)], Joined, LenB);
+
+    // Fold B into A's slot; A now denotes the joined cluster.
+    for (int C = 0; C < N; ++C) {
+      if (!Active[static_cast<std::size_t>(C)] || C == BestA || C == BestB)
+        continue;
+      double Updated =
+          0.5 *
+          (D[static_cast<std::size_t>(BestA)][static_cast<std::size_t>(C)] +
+           D[static_cast<std::size_t>(BestB)][static_cast<std::size_t>(C)] -
+           DAB);
+      D[static_cast<std::size_t>(BestA)][static_cast<std::size_t>(C)] = Updated;
+      D[static_cast<std::size_t>(C)][static_cast<std::size_t>(BestA)] = Updated;
+    }
+    Node[static_cast<std::size_t>(BestA)] = Joined;
+    Active[static_cast<std::size_t>(BestB)] = false;
+    --Remaining;
+  }
+
+  // Join the last two clusters with a single branch.
+  int LastA = -1, LastB = -1;
+  for (int I = 0; I < N; ++I) {
+    if (!Active[static_cast<std::size_t>(I)])
+      continue;
+    if (LastA < 0)
+      LastA = I;
+    else
+      LastB = I;
+  }
+  assert(LastA >= 0 && LastB >= 0 && "expected exactly two clusters");
+  Tree.addEdge(Node[static_cast<std::size_t>(LastA)],
+               Node[static_cast<std::size_t>(LastB)],
+               D[static_cast<std::size_t>(LastA)][static_cast<std::size_t>(LastB)]);
+  return Tree;
+}

@@ -1,0 +1,72 @@
+//===- heur/NeighborJoining.h - Saitou-Nei neighbor joining -----*- C++ -*-===//
+///
+/// \file
+/// The Neighbor-Joining method (Saitou & Nei 1987), the other heuristic
+/// the paper's introduction names as "popularly used by biologists". NJ
+/// builds an *additive* (unrooted, arbitrary branch lengths) tree, not an
+/// ultrametric one, so it gets its own small tree type here. It serves as
+/// a topology baseline: on additive inputs NJ recovers the true tree
+/// exactly, which the test suite exploits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_HEUR_NEIGHBORJOINING_H
+#define MUTK_HEUR_NEIGHBORJOINING_H
+
+#include "matrix/DistanceMatrix.h"
+
+#include <string>
+#include <vector>
+
+namespace mutk {
+
+/// An unrooted tree with explicit nonnegative branch lengths.
+///
+/// Leaves are labeled with species indices; internal nodes have degree 3
+/// (or degree 2 at the artificial root for tiny inputs).
+class AdditiveTree {
+public:
+  struct Edge {
+    int To = -1;
+    double Length = 0.0;
+  };
+
+  /// Adds a node; \p Species is -1 for internal nodes.
+  int addNode(int Species);
+
+  /// Connects \p A and \p B with a branch of \p Length (clamped to >= 0).
+  void addEdge(int A, int B, double Length);
+
+  int numNodes() const { return static_cast<int>(Adjacency.size()); }
+  int speciesOf(int Node) const { return Species[static_cast<std::size_t>(Node)]; }
+  const std::vector<Edge> &neighbors(int Node) const {
+    return Adjacency[static_cast<std::size_t>(Node)];
+  }
+
+  /// Path length between the leaves carrying the two species.
+  double leafDistance(int SpeciesA, int SpeciesB) const;
+
+  /// Tree metric over species `0..n-1` (all of which must be present).
+  DistanceMatrix inducedMatrix() const;
+
+  void setNames(std::vector<std::string> Names) {
+    SpeciesNames = std::move(Names);
+  }
+
+  /// Newick rendering rooted at the highest-index internal node.
+  std::string toNewick() const;
+
+private:
+  std::vector<std::vector<Edge>> Adjacency;
+  std::vector<int> Species;
+  std::vector<std::string> SpeciesNames;
+
+  int leafNodeOf(int WantedSpecies) const;
+};
+
+/// Runs neighbor joining on \p M (requires `n >= 2`).
+AdditiveTree neighborJoining(const DistanceMatrix &M);
+
+} // namespace mutk
+
+#endif // MUTK_HEUR_NEIGHBORJOINING_H

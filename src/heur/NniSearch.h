@@ -1,0 +1,51 @@
+//===- heur/NniSearch.h - Nearest-neighbor-interchange polish ---*- C++ -*-===//
+///
+/// \file
+/// Hill-climbing over ultrametric-tree topologies with NNI moves: for
+/// every internal node, try exchanging its sibling subtree with each of
+/// its child subtrees, refit minimal heights, and keep strict
+/// improvements. This implements the papers' named future work
+/// ("we can extend this feature and speed up the process of constructing
+/// evolutionary trees"): a cheap polish that closes most of the gap the
+/// compact-set pipeline leaves on hard instances, while never making a
+/// tree worse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_HEUR_NNISEARCH_H
+#define MUTK_HEUR_NNISEARCH_H
+
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+namespace mutk {
+
+/// Outcome of an NNI polish.
+struct NniReport {
+  /// Tree weight before / after.
+  double InitialCost = 0.0;
+  double FinalCost = 0.0;
+  /// Improving moves applied.
+  int MovesApplied = 0;
+  /// Full sweeps over the tree (including the final no-improvement one).
+  int Rounds = 0;
+};
+
+/// Improves \p T in place by steepest-descent NNI until a sweep finds no
+/// improving move or \p MaxRounds sweeps have run. Heights are refit to
+/// the minimal feasible values for \p M, so the result is always a
+/// feasible ultrametric tree of cost `<=` the (refit) input.
+NniReport nniImprove(PhyloTree &T, const DistanceMatrix &M,
+                     int MaxRounds = 50);
+
+/// Improves \p T in place by steepest-descent *subtree prune and
+/// regraft*: every subtree is tried at every regraft edge (including
+/// above the root). SPR strictly contains the NNI neighborhood, so it
+/// escapes the local optima that complete-linkage trees typically are
+/// under NNI. O(n^2) candidate moves per sweep, each refit in O(n^2).
+NniReport sprImprove(PhyloTree &T, const DistanceMatrix &M,
+                     int MaxRounds = 50);
+
+} // namespace mutk
+
+#endif // MUTK_HEUR_NNISEARCH_H

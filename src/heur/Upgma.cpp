@@ -1,0 +1,108 @@
+//===- heur/Upgma.cpp - Agglomerative linkage tree builders ---------------===//
+
+#include "heur/Upgma.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace mutk;
+
+PhyloTree mutk::buildLinkageTree(const DistanceMatrix &M, Linkage Mode) {
+  const int N = M.size();
+  assert(N >= 1 && "need at least one species");
+
+  PhyloTree Tree;
+  Tree.setNames(M.names());
+
+  // Active clusters: tree node, size, height; Dist holds the current
+  // cluster-to-cluster distances (indexed by cluster slot, -1 = retired).
+  struct Cluster {
+    int Node = -1;
+    int Size = 0;
+    double Height = 0.0;
+    bool Active = false;
+  };
+  std::vector<Cluster> Clusters(static_cast<std::size_t>(N));
+  std::vector<std::vector<double>> Dist(
+      static_cast<std::size_t>(N),
+      std::vector<double>(static_cast<std::size_t>(N), 0.0));
+
+  for (int I = 0; I < N; ++I) {
+    Clusters[static_cast<std::size_t>(I)] = {Tree.addLeaf(I), 1, 0.0, true};
+    for (int J = 0; J < N; ++J)
+      Dist[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)] =
+          M.at(I, J);
+  }
+
+  for (int Merges = 0; Merges < N - 1; ++Merges) {
+    // Pick the closest active pair (smallest slots on ties, so the result
+    // is deterministic).
+    int BestA = -1, BestB = -1;
+    double BestD = std::numeric_limits<double>::infinity();
+    for (int A = 0; A < N; ++A) {
+      if (!Clusters[static_cast<std::size_t>(A)].Active)
+        continue;
+      for (int B = A + 1; B < N; ++B) {
+        if (!Clusters[static_cast<std::size_t>(B)].Active)
+          continue;
+        double D = Dist[static_cast<std::size_t>(A)][static_cast<std::size_t>(B)];
+        if (D < BestD) {
+          BestD = D;
+          BestA = A;
+          BestB = B;
+        }
+      }
+    }
+    assert(BestA >= 0 && BestB >= 0 && "no active pair left");
+
+    Cluster &CA = Clusters[static_cast<std::size_t>(BestA)];
+    Cluster &CB = Clusters[static_cast<std::size_t>(BestB)];
+    double Height = std::max({BestD / 2.0, CA.Height, CB.Height});
+    int Node = Tree.addInternal(CA.Node, CB.Node, Height);
+
+    // Fold cluster B into slot A.
+    for (int C = 0; C < N; ++C) {
+      if (!Clusters[static_cast<std::size_t>(C)].Active || C == BestA ||
+          C == BestB)
+        continue;
+      double DA = Dist[static_cast<std::size_t>(BestA)][static_cast<std::size_t>(C)];
+      double DB = Dist[static_cast<std::size_t>(BestB)][static_cast<std::size_t>(C)];
+      double Updated = 0.0;
+      switch (Mode) {
+      case Linkage::Average:
+        Updated = (CA.Size * DA + CB.Size * DB) /
+                  static_cast<double>(CA.Size + CB.Size);
+        break;
+      case Linkage::Maximum:
+        Updated = std::max(DA, DB);
+        break;
+      case Linkage::Minimum:
+        Updated = std::min(DA, DB);
+        break;
+      }
+      Dist[static_cast<std::size_t>(BestA)][static_cast<std::size_t>(C)] =
+          Updated;
+      Dist[static_cast<std::size_t>(C)][static_cast<std::size_t>(BestA)] =
+          Updated;
+    }
+    CA.Node = Node;
+    CA.Size += CB.Size;
+    CA.Height = Height;
+    CB.Active = false;
+  }
+  return Tree;
+}
+
+PhyloTree mutk::upgma(const DistanceMatrix &M) {
+  return buildLinkageTree(M, Linkage::Average);
+}
+
+PhyloTree mutk::upgmm(const DistanceMatrix &M) {
+  return buildLinkageTree(M, Linkage::Maximum);
+}
+
+double mutk::upgmmUpperBound(const DistanceMatrix &M) {
+  return upgmm(M).weight();
+}

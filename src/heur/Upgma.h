@@ -1,0 +1,51 @@
+//===- heur/Upgma.h - Agglomerative linkage tree builders -------*- C++ -*-===//
+///
+/// \file
+/// The UPGMA family of heuristic ultrametric-tree builders. The paper's
+/// B&B seeds its upper bound with **UPGMM** ("Unweighted Pair Group Method
+/// with Maximum", Algorithm BBU Step 3): agglomerative clustering under
+/// *complete* linkage, merging at half the cluster distance. Complete
+/// linkage guarantees the resulting tree is a *feasible* ultrametric tree
+/// for the input (`d_T(i,j) >= M[i,j]` for every pair), so its weight is a
+/// valid upper bound on the MUT weight.
+///
+/// Classic UPGMA (average linkage) and single linkage are provided as
+/// baselines; their trees are generally *not* feasible for `M`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_HEUR_UPGMA_H
+#define MUTK_HEUR_UPGMA_H
+
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+namespace mutk {
+
+/// How the distance between merged clusters is updated.
+enum class Linkage {
+  Average, ///< UPGMA: size-weighted mean of the cluster distances.
+  Maximum, ///< UPGMM: maximum (complete linkage) — feasible trees.
+  Minimum, ///< Single linkage.
+};
+
+/// Builds an agglomerative tree over \p M under \p Mode.
+///
+/// Clusters merge at height `D/2` (clamped so heights never decrease,
+/// which only matters for exotic inputs — the three standard linkages are
+/// monotone). Leaf `i` of the result is species `i`; the matrix's names
+/// become the tree's name table. Requires at least one species.
+PhyloTree buildLinkageTree(const DistanceMatrix &M, Linkage Mode);
+
+/// Classic UPGMA (average linkage).
+PhyloTree upgma(const DistanceMatrix &M);
+
+/// UPGMM (complete linkage) — the B&B's initial feasible solution.
+PhyloTree upgmm(const DistanceMatrix &M);
+
+/// Weight of the UPGMM tree; the initial upper bound of Algorithm BBU.
+double upgmmUpperBound(const DistanceMatrix &M);
+
+} // namespace mutk
+
+#endif // MUTK_HEUR_UPGMA_H

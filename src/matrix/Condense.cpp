@@ -1,0 +1,74 @@
+//===- matrix/Condense.cpp - Condensed (small) matrices D' ----------------===//
+
+#include "matrix/Condense.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace mutk;
+
+bool mutk::isPartition(const std::vector<std::vector<int>> &Blocks,
+                       int NumSpecies) {
+  std::vector<bool> Seen(static_cast<std::size_t>(NumSpecies), false);
+  int Count = 0;
+  for (const auto &Block : Blocks) {
+    if (Block.empty())
+      return false;
+    for (int Species : Block) {
+      if (Species < 0 || Species >= NumSpecies ||
+          Seen[static_cast<std::size_t>(Species)])
+        return false;
+      Seen[static_cast<std::size_t>(Species)] = true;
+      ++Count;
+    }
+  }
+  return Count == NumSpecies;
+}
+
+DistanceMatrix mutk::condense(const DistanceMatrix &M,
+                              const std::vector<std::vector<int>> &Blocks,
+                              CondenseMode Mode) {
+  assert(isPartition(Blocks, M.size()) && "blocks must partition the species");
+  const int K = static_cast<int>(Blocks.size());
+  DistanceMatrix Result(K);
+
+  for (int I = 0; I < K; ++I) {
+    const auto &Block = Blocks[static_cast<std::size_t>(I)];
+    if (Block.size() == 1)
+      Result.setName(I, M.name(Block.front()));
+    else
+      Result.setName(I, "C" + std::to_string(*std::min_element(
+                              Block.begin(), Block.end())));
+  }
+
+  for (int I = 0; I < K; ++I)
+    for (int J = I + 1; J < K; ++J) {
+      double Max = 0.0;
+      double Min = std::numeric_limits<double>::infinity();
+      double Sum = 0.0;
+      std::size_t Pairs = 0;
+      for (int A : Blocks[static_cast<std::size_t>(I)])
+        for (int B : Blocks[static_cast<std::size_t>(J)]) {
+          double D = M.at(A, B);
+          Max = std::max(Max, D);
+          Min = std::min(Min, D);
+          Sum += D;
+          ++Pairs;
+        }
+      double Value = 0.0;
+      switch (Mode) {
+      case CondenseMode::Maximum:
+        Value = Max;
+        break;
+      case CondenseMode::Minimum:
+        Value = Min;
+        break;
+      case CondenseMode::Average:
+        Value = Sum / static_cast<double>(Pairs);
+        break;
+      }
+      Result.set(I, J, Value);
+    }
+  return Result;
+}

@@ -1,0 +1,130 @@
+//===- matrix/Generators.cpp - Synthetic workload generators --------------===//
+
+#include "matrix/Generators.h"
+
+#include "matrix/MetricUtils.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace mutk;
+
+DistanceMatrix mutk::uniformRandomMetric(int NumSpecies, std::uint64_t Seed,
+                                         double MinValue, double MaxValue) {
+  assert(0.0 < MinValue && MinValue <= MaxValue && "bad value range");
+  Rng Rand(Seed);
+  DistanceMatrix M(NumSpecies);
+  for (int I = 0; I < NumSpecies; ++I)
+    for (int J = I + 1; J < NumSpecies; ++J)
+      M.set(I, J, Rand.nextDouble(MinValue, MaxValue));
+  return metricClosure(M);
+}
+
+namespace {
+
+/// A node of the scratch tree used to realize ultrametric distances.
+struct ScratchNode {
+  int Left = -1;
+  int Right = -1;
+  int Leaf = -1;
+  double Height = 0.0;
+};
+
+/// Fills `M[i][j] = 2 * height(LCA(i, j))` for all leaf pairs below
+/// \p Node by recursing and combining the leaf lists of the two children.
+std::vector<int> fillDistances(const std::vector<ScratchNode> &Nodes,
+                               int Node, DistanceMatrix &M) {
+  const ScratchNode &N = Nodes[static_cast<std::size_t>(Node)];
+  if (N.Leaf >= 0)
+    return {N.Leaf};
+  std::vector<int> LeftLeaves = fillDistances(Nodes, N.Left, M);
+  std::vector<int> RightLeaves = fillDistances(Nodes, N.Right, M);
+  for (int A : LeftLeaves)
+    for (int B : RightLeaves)
+      M.set(A, B, 2.0 * N.Height);
+  LeftLeaves.insert(LeftLeaves.end(), RightLeaves.begin(), RightLeaves.end());
+  return LeftLeaves;
+}
+
+} // namespace
+
+DistanceMatrix mutk::randomUltrametricMatrix(int NumSpecies,
+                                             std::uint64_t Seed,
+                                             const UltrametricSpec &Spec) {
+  assert(NumSpecies >= 1 && "need at least one species");
+  assert(0.0 < Spec.MinShrink && Spec.MinShrink <= Spec.MaxShrink &&
+         Spec.MaxShrink < 1.0 && "shrink factors must lie in (0, 1)");
+  Rng Rand(Seed);
+  DistanceMatrix M(NumSpecies);
+  if (NumSpecies == 1)
+    return M;
+
+  // Grow a random topology by splitting a uniformly random leaf until all
+  // species are placed, then assign strictly decreasing heights root-down.
+  std::vector<ScratchNode> Nodes;
+  Nodes.push_back(ScratchNode{-1, -1, 0, 0.0}); // starts as leaf for s0
+  std::vector<int> LeafNodes = {0};
+  for (int Species = 1; Species < NumSpecies; ++Species) {
+    std::size_t Pick =
+        static_cast<std::size_t>(Rand.nextBelow(LeafNodes.size()));
+    int Victim = LeafNodes[Pick];
+    int OldLeaf = Nodes[static_cast<std::size_t>(Victim)].Leaf;
+    int NewLeft = static_cast<int>(Nodes.size());
+    Nodes.push_back(ScratchNode{-1, -1, OldLeaf, 0.0});
+    int NewRight = static_cast<int>(Nodes.size());
+    Nodes.push_back(ScratchNode{-1, -1, Species, 0.0});
+    Nodes[static_cast<std::size_t>(Victim)] =
+        ScratchNode{NewLeft, NewRight, -1, 0.0};
+    LeafNodes[Pick] = NewLeft;
+    LeafNodes.push_back(NewRight);
+  }
+
+  // Heights: DFS from the root; every internal child gets a strictly
+  // smaller height than its parent.
+  std::vector<std::pair<int, double>> Stack = {{0, Spec.RootHeight}};
+  while (!Stack.empty()) {
+    auto [Node, Height] = Stack.back();
+    Stack.pop_back();
+    ScratchNode &N = Nodes[static_cast<std::size_t>(Node)];
+    if (N.Leaf >= 0)
+      continue;
+    N.Height = Height;
+    double LeftHeight =
+        Height * Rand.nextDouble(Spec.MinShrink, Spec.MaxShrink);
+    double RightHeight =
+        Height * Rand.nextDouble(Spec.MinShrink, Spec.MaxShrink);
+    Stack.push_back({N.Left, LeftHeight});
+    Stack.push_back({N.Right, RightHeight});
+  }
+
+  fillDistances(Nodes, 0, M);
+  return M;
+}
+
+DistanceMatrix mutk::plantedClusterMetric(int NumSpecies, std::uint64_t Seed,
+                                          double Jitter,
+                                          const UltrametricSpec &Spec) {
+  assert(Jitter >= 0.0 && Jitter < 1.0 && "jitter must lie in [0, 1)");
+  DistanceMatrix M = randomUltrametricMatrix(NumSpecies, Seed, Spec);
+  Rng Rand(Seed ^ 0xC0FFEEULL);
+  for (int I = 0; I < NumSpecies; ++I)
+    for (int J = I + 1; J < NumSpecies; ++J)
+      M.set(I, J, M.at(I, J) * (1.0 - Jitter * Rand.nextDouble()));
+  // The jitter can introduce small triangle violations; the closure repairs
+  // them while preserving the planted cluster structure.
+  return metricClosure(M);
+}
+
+DistanceMatrix mutk::scaledToMax(const DistanceMatrix &M, double NewMax) {
+  assert(NewMax > 0.0 && "target maximum must be positive");
+  double Max = M.maxEntry();
+  DistanceMatrix Result = M;
+  if (Max <= 0.0)
+    return Result;
+  double Factor = NewMax / Max;
+  for (int I = 0; I < M.size(); ++I)
+    for (int J = I + 1; J < M.size(); ++J)
+      Result.set(I, J, M.at(I, J) * Factor);
+  return Result;
+}

@@ -1,0 +1,66 @@
+//===- matrix/Generators.h - Synthetic workload generators ------*- C++ -*-===//
+///
+/// \file
+/// Distance-matrix workload generators for the paper's experiments:
+///
+///  * `uniformRandomMetric` — uniform values in a range, repaired to a
+///    metric by shortest-path closure. Matches the HPCAsia paper's
+///    "randomly generated data sample set, the range of the data values is
+///    from 0 to 100".
+///  * `randomUltrametricMatrix` — distances realized by a random
+///    ultrametric tree; every subtree of the generating tree is a compact
+///    set, so the compact-set decomposition has maximal effect.
+///  * `plantedClusterMetric` — an ultrametric perturbed by multiplicative
+///    jitter (then metric-closed). Keeps a planted hierarchy of compact
+///    sets while no longer being exactly ultrametric; this is the `RAND`
+///    workload of the PaCT figures (see DESIGN.md §5.4).
+///
+/// All generators are deterministic functions of their seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MATRIX_GENERATORS_H
+#define MUTK_MATRIX_GENERATORS_H
+
+#include "matrix/DistanceMatrix.h"
+
+#include <cstdint>
+
+namespace mutk {
+
+/// Uniform random entries in `[MinValue, MaxValue]`, then metric closure.
+/// The result satisfies the triangle inequality and has positive distances.
+DistanceMatrix uniformRandomMetric(int NumSpecies, std::uint64_t Seed,
+                                   double MinValue = 1.0,
+                                   double MaxValue = 100.0);
+
+/// Shape parameters for the random ultrametric generator.
+struct UltrametricSpec {
+  /// Height of the root (half the maximum pairwise distance).
+  double RootHeight = 50.0;
+  /// Every child height lies in `[MinShrink, MaxShrink] * parent height`;
+  /// keeping MaxShrink < 1 makes every subtree a compact set.
+  double MinShrink = 0.35;
+  double MaxShrink = 0.85;
+};
+
+/// Distances realized by a random rooted binary tree with strictly
+/// decreasing node heights. The result is an exact ultrametric.
+DistanceMatrix randomUltrametricMatrix(int NumSpecies, std::uint64_t Seed,
+                                       const UltrametricSpec &Spec = {});
+
+/// A `randomUltrametricMatrix` with every entry scaled by an independent
+/// factor in `[1 - Jitter, 1]`, then metric-closed. With `Jitter` smaller
+/// than the planted height gaps, the generating tree's subtrees remain
+/// compact sets while the matrix is no longer ultrametric.
+DistanceMatrix plantedClusterMetric(int NumSpecies, std::uint64_t Seed,
+                                    double Jitter = 0.08,
+                                    const UltrametricSpec &Spec = {});
+
+/// Rescales all entries linearly so the maximum becomes \p NewMax.
+/// Rescaling preserves metric/ultrametric properties and compact sets.
+DistanceMatrix scaledToMax(const DistanceMatrix &M, double NewMax);
+
+} // namespace mutk
+
+#endif // MUTK_MATRIX_GENERATORS_H

@@ -1,0 +1,101 @@
+//===- matrix/MatrixIO.cpp - Distance-matrix text format ------------------===//
+
+#include "matrix/MatrixIO.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+using namespace mutk;
+
+void mutk::writeMatrix(std::ostream &OS, const DistanceMatrix &M) {
+  // Full round-trip precision: distances must survive write/read exactly.
+  OS.precision(std::numeric_limits<double>::max_digits10);
+  OS << M.size() << '\n';
+  for (int I = 0; I < M.size(); ++I) {
+    OS << M.name(I);
+    for (int J = 0; J < M.size(); ++J)
+      OS << ' ' << M.at(I, J);
+    OS << '\n';
+  }
+}
+
+std::string mutk::matrixToString(const DistanceMatrix &M) {
+  std::ostringstream OS;
+  writeMatrix(OS, M);
+  return OS.str();
+}
+
+static std::optional<DistanceMatrix> fail(std::string *Error,
+                                          const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return std::nullopt;
+}
+
+std::optional<DistanceMatrix> mutk::readMatrix(std::istream &IS,
+                                               std::string *Error) {
+  int N = 0;
+  if (!(IS >> N))
+    return fail(Error, "missing species count");
+  if (N < 0)
+    return fail(Error, "negative species count");
+
+  DistanceMatrix M(N);
+  // Raw values first; symmetry is validated after the full read so the
+  // error message can name both offending entries.
+  std::vector<double> Raw(static_cast<std::size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I) {
+    std::string Name;
+    if (!(IS >> Name))
+      return fail(Error, "missing name for row " + std::to_string(I));
+    M.setName(I, Name);
+    for (int J = 0; J < N; ++J) {
+      double Value = 0.0;
+      if (!(IS >> Value))
+        return fail(Error, "missing entry (" + std::to_string(I) + ", " +
+                               std::to_string(J) + ")");
+      Raw[static_cast<std::size_t>(I) * N + J] = Value;
+    }
+  }
+
+  for (int I = 0; I < N; ++I) {
+    if (Raw[static_cast<std::size_t>(I) * N + I] != 0.0)
+      return fail(Error, "nonzero diagonal at row " + std::to_string(I));
+    for (int J = I + 1; J < N; ++J) {
+      double A = Raw[static_cast<std::size_t>(I) * N + J];
+      double B = Raw[static_cast<std::size_t>(J) * N + I];
+      if (std::fabs(A - B) > 1e-9)
+        return fail(Error, "asymmetric entries at (" + std::to_string(I) +
+                               ", " + std::to_string(J) + ")");
+      if (A < 0.0)
+        return fail(Error, "negative distance at (" + std::to_string(I) +
+                               ", " + std::to_string(J) + ")");
+      M.set(I, J, A);
+    }
+  }
+  return M;
+}
+
+std::optional<DistanceMatrix> mutk::matrixFromString(const std::string &Text,
+                                                     std::string *Error) {
+  std::istringstream IS(Text);
+  return readMatrix(IS, Error);
+}
+
+bool mutk::writeMatrixFile(const std::string &Path, const DistanceMatrix &M) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeMatrix(OS, M);
+  return static_cast<bool>(OS);
+}
+
+std::optional<DistanceMatrix> mutk::readMatrixFile(const std::string &Path,
+                                                   std::string *Error) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return fail(Error, "cannot open " + Path);
+  return readMatrix(IS, Error);
+}

@@ -1,0 +1,177 @@
+//===- matrix/MetricUtils.cpp - Metric & ultrametric predicates -----------===//
+
+#include "matrix/MetricUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace mutk;
+
+bool mutk::hasPositiveDistances(const DistanceMatrix &M) {
+  for (int I = 0; I < M.size(); ++I)
+    for (int J = I + 1; J < M.size(); ++J)
+      if (M.at(I, J) <= 0.0)
+        return false;
+  return true;
+}
+
+std::optional<TripleViolation>
+mutk::findMetricViolation(const DistanceMatrix &M, double Tolerance) {
+  const int N = M.size();
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      if (J == I)
+        continue;
+      for (int K = 0; K < N; ++K) {
+        if (K == I || K == J)
+          continue;
+        double Slack = M.at(I, K) - (M.at(I, J) + M.at(J, K));
+        if (Slack > Tolerance)
+          return TripleViolation{I, J, K, Slack};
+      }
+    }
+  return std::nullopt;
+}
+
+bool mutk::isMetric(const DistanceMatrix &M, double Tolerance) {
+  return !findMetricViolation(M, Tolerance).has_value();
+}
+
+std::optional<TripleViolation>
+mutk::findUltrametricViolation(const DistanceMatrix &M, double Tolerance) {
+  const int N = M.size();
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      for (int K = 0; K < N; ++K) {
+        if (K == I || K == J)
+          continue;
+        double Slack = M.at(I, J) - std::max(M.at(I, K), M.at(J, K));
+        if (Slack > Tolerance)
+          return TripleViolation{I, J, K, Slack};
+      }
+  return std::nullopt;
+}
+
+bool mutk::isUltrametric(const DistanceMatrix &M, double Tolerance) {
+  return !findUltrametricViolation(M, Tolerance).has_value();
+}
+
+DistanceMatrix mutk::metricClosure(const DistanceMatrix &M) {
+  const int N = M.size();
+  DistanceMatrix Result = M;
+  for (int K = 0; K < N; ++K)
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J) {
+        double Through = Result.at(I, K) + Result.at(K, J);
+        if (Through < Result.at(I, J))
+          Result.set(I, J, Through);
+      }
+  return Result;
+}
+
+std::optional<QuadViolation>
+mutk::findFourPointViolation(const DistanceMatrix &M, double Tolerance) {
+  const int N = M.size();
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      for (int K = J + 1; K < N; ++K)
+        for (int L = K + 1; L < N; ++L) {
+          double S1 = M.at(I, J) + M.at(K, L);
+          double S2 = M.at(I, K) + M.at(J, L);
+          double S3 = M.at(I, L) + M.at(J, K);
+          double Hi = std::max({S1, S2, S3});
+          double Mid = S1 + S2 + S3 - Hi - std::min({S1, S2, S3});
+          if (Hi - Mid > Tolerance)
+            return QuadViolation{I, J, K, L, Hi - Mid};
+        }
+  return std::nullopt;
+}
+
+bool mutk::isAdditive(const DistanceMatrix &M, double Tolerance) {
+  return !findFourPointViolation(M, Tolerance).has_value();
+}
+
+std::vector<int> mutk::maxminPermutation(const DistanceMatrix &M) {
+  const int N = M.size();
+  std::vector<int> Perm;
+  Perm.reserve(static_cast<std::size_t>(N));
+  if (N == 0)
+    return Perm;
+  if (N == 1)
+    return {0};
+
+  // Seed with a maximum-distance pair (smallest indices on ties).
+  int BestI = 0, BestJ = 1;
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      if (M.at(I, J) > M.at(BestI, BestJ))
+        BestI = I, BestJ = J;
+  Perm.push_back(BestI);
+  Perm.push_back(BestJ);
+
+  std::vector<bool> Chosen(static_cast<std::size_t>(N), false);
+  Chosen[static_cast<std::size_t>(BestI)] = true;
+  Chosen[static_cast<std::size_t>(BestJ)] = true;
+
+  // MinToPrefix[i] = min distance from i to the chosen prefix.
+  std::vector<double> MinToPrefix(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I)
+    MinToPrefix[static_cast<std::size_t>(I)] =
+        std::min(M.at(I, BestI), M.at(I, BestJ));
+
+  for (int Step = 2; Step < N; ++Step) {
+    int Best = -1;
+    for (int I = 0; I < N; ++I) {
+      if (Chosen[static_cast<std::size_t>(I)])
+        continue;
+      if (Best < 0 || MinToPrefix[static_cast<std::size_t>(I)] >
+                          MinToPrefix[static_cast<std::size_t>(Best)])
+        Best = I;
+    }
+    assert(Best >= 0 && "no unchosen species left");
+    Perm.push_back(Best);
+    Chosen[static_cast<std::size_t>(Best)] = true;
+    for (int I = 0; I < N; ++I)
+      MinToPrefix[static_cast<std::size_t>(I)] =
+          std::min(MinToPrefix[static_cast<std::size_t>(I)], M.at(I, Best));
+  }
+  return Perm;
+}
+
+bool mutk::isMaxminPermutation(const DistanceMatrix &M,
+                               const std::vector<int> &Perm,
+                               double Tolerance) {
+  const int N = M.size();
+  if (static_cast<int>(Perm.size()) != N)
+    return false;
+  if (N < 2)
+    return true;
+
+  // perm[0], perm[1] must be a maximum-distance pair.
+  double First = M.at(Perm[0], Perm[1]);
+  if (First + Tolerance < M.permuted(Perm).maxEntry())
+    return false;
+
+  // Each later species must have a maximal minimum distance to the prefix.
+  std::vector<bool> InPrefix(static_cast<std::size_t>(N), false);
+  InPrefix[static_cast<std::size_t>(Perm[0])] = true;
+  InPrefix[static_cast<std::size_t>(Perm[1])] = true;
+  for (int Step = 2; Step < N; ++Step) {
+    auto minToPrefix = [&](int Species) {
+      double Min = std::numeric_limits<double>::infinity();
+      for (int I = 0; I < N; ++I)
+        if (InPrefix[static_cast<std::size_t>(I)])
+          Min = std::min(Min, M.at(Species, I));
+      return Min;
+    };
+    double ChosenMin = minToPrefix(Perm[static_cast<std::size_t>(Step)]);
+    for (int I = 0; I < N; ++I)
+      if (!InPrefix[static_cast<std::size_t>(I)] &&
+          minToPrefix(I) > ChosenMin + Tolerance)
+        return false;
+    InPrefix[static_cast<std::size_t>(Perm[static_cast<std::size_t>(Step)])] =
+        true;
+  }
+  return true;
+}

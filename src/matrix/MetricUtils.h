@@ -1,0 +1,95 @@
+//===- matrix/MetricUtils.h - Metric & ultrametric predicates ---*- C++ -*-===//
+///
+/// \file
+/// Predicates and repairs for distance matrices: the metric (triangle
+/// inequality) and ultrametric (three-point) conditions of the paper's
+/// Definitions 2-3, the shortest-path metric closure used to repair raw
+/// random matrices, and the maxmin species permutation that the
+/// branch-and-bound relies on for tight early lower bounds (Algorithm BBU,
+/// Step 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MATRIX_METRICUTILS_H
+#define MUTK_MATRIX_METRICUTILS_H
+
+#include "matrix/DistanceMatrix.h"
+
+#include <optional>
+#include <vector>
+
+namespace mutk {
+
+/// A triple of species indices violating a matrix property, plus the slack
+/// by which it is violated. Used for diagnostics in tests and tools.
+struct TripleViolation {
+  int I = -1;
+  int J = -1;
+  int K = -1;
+  double Slack = 0.0;
+};
+
+/// Returns true if every off-diagonal entry of \p M is strictly positive.
+bool hasPositiveDistances(const DistanceMatrix &M);
+
+/// Returns the first triangle-inequality violation
+/// (`M[i,k] > M[i,j] + M[j,k] + Tolerance`), if any.
+std::optional<TripleViolation> findMetricViolation(const DistanceMatrix &M,
+                                                   double Tolerance = 1e-9);
+
+/// Returns true if \p M satisfies the triangle inequality (Definition 2).
+bool isMetric(const DistanceMatrix &M, double Tolerance = 1e-9);
+
+/// Returns the first ultrametric violation
+/// (`M[i,j] > max(M[i,k], M[j,k]) + Tolerance`), if any.
+std::optional<TripleViolation>
+findUltrametricViolation(const DistanceMatrix &M, double Tolerance = 1e-9);
+
+/// Returns true if \p M satisfies the three-point condition
+/// `M[i,j] <= max(M[i,k], M[j,k])` for all triples (Definition 3).
+bool isUltrametric(const DistanceMatrix &M, double Tolerance = 1e-9);
+
+/// Replaces every entry with the shortest-path distance through the
+/// complete graph (Floyd-Warshall). The result always satisfies the
+/// triangle inequality; entries only shrink. Used to turn raw uniform
+/// random values into a metric, matching how "random matrices" must be
+/// conditioned before the MUT problem is well-posed.
+DistanceMatrix metricClosure(const DistanceMatrix &M);
+
+/// Computes a maxmin permutation of the species.
+///
+/// `(perm[0], perm[1])` is a maximum-distance pair and each subsequent
+/// species maximizes its minimum distance to the already-chosen prefix.
+/// Ties are broken toward the smaller index so the result is deterministic.
+std::vector<int> maxminPermutation(const DistanceMatrix &M);
+
+/// Returns true if \p Perm is a valid maxmin permutation of \p M.
+bool isMaxminPermutation(const DistanceMatrix &M,
+                         const std::vector<int> &Perm,
+                         double Tolerance = 1e-9);
+
+/// A quadruple of species violating the four-point condition, plus the
+/// violation slack.
+struct QuadViolation {
+  int I = -1;
+  int J = -1;
+  int K = -1;
+  int L = -1;
+  double Slack = 0.0;
+};
+
+/// Returns the first four-point-condition violation, if any: among the
+/// three pairings `ij|kl`, `ik|jl`, `il|jk`, the two largest sums of
+/// opposite distances must be equal (Buneman). Additive (tree) metrics
+/// satisfy it exactly; neighbor joining is exact precisely on such
+/// inputs. O(n^4).
+std::optional<QuadViolation> findFourPointViolation(const DistanceMatrix &M,
+                                                    double Tolerance = 1e-9);
+
+/// Returns true if \p M is an additive (tree) metric: every quadruple
+/// satisfies the four-point condition.
+bool isAdditive(const DistanceMatrix &M, double Tolerance = 1e-9);
+
+} // namespace mutk
+
+#endif // MUTK_MATRIX_METRICUTILS_H

@@ -1,0 +1,84 @@
+//===- mp/Communicator.cpp - In-process message passing ---------------------===//
+
+#include "mp/Communicator.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace mutk;
+
+Communicator::Communicator(int NumRanks) {
+  assert(NumRanks >= 1 && "need at least one rank");
+  Inboxes.reserve(static_cast<std::size_t>(NumRanks));
+  for (int I = 0; I < NumRanks; ++I)
+    Inboxes.push_back(std::make_unique<Inbox>());
+}
+
+Communicator::Endpoint Communicator::endpoint(int Rank) {
+  assert(Rank >= 0 && Rank < size() && "rank out of range");
+  return Endpoint(this, Rank);
+}
+
+void Communicator::deliver(int Dest, Message Msg) {
+  assert(Dest >= 0 && Dest < size() && "destination out of range");
+  {
+    std::lock_guard<std::mutex> Stats(StatsLock);
+    ++Messages;
+    Bytes += Msg.Payload.size();
+  }
+  Inbox &Box = *Inboxes[static_cast<std::size_t>(Dest)];
+  {
+    std::lock_guard<std::mutex> Lock(Box.Lock);
+    Box.Queue.push_back(std::move(Msg));
+  }
+  Box.Ready.notify_one();
+}
+
+void Communicator::Endpoint::send(int Dest, int Tag,
+                                  std::vector<std::uint8_t> Payload) {
+  assert(World && "endpoint not bound to a communicator");
+  Message Msg;
+  Msg.Source = Rank;
+  Msg.Tag = Tag;
+  Msg.Payload = std::move(Payload);
+  World->deliver(Dest, std::move(Msg));
+}
+
+void Communicator::Endpoint::broadcast(
+    int Tag, const std::vector<std::uint8_t> &Payload) {
+  assert(World && "endpoint not bound to a communicator");
+  for (int Dest = 0; Dest < World->size(); ++Dest)
+    if (Dest != Rank)
+      send(Dest, Tag, Payload);
+}
+
+std::optional<Message> Communicator::Endpoint::tryRecv() {
+  assert(World && "endpoint not bound to a communicator");
+  auto &Box = *World->Inboxes[static_cast<std::size_t>(Rank)];
+  std::lock_guard<std::mutex> Lock(Box.Lock);
+  if (Box.Queue.empty())
+    return std::nullopt;
+  Message Msg = std::move(Box.Queue.front());
+  Box.Queue.pop_front();
+  return Msg;
+}
+
+Message Communicator::Endpoint::recv() {
+  assert(World && "endpoint not bound to a communicator");
+  auto &Box = *World->Inboxes[static_cast<std::size_t>(Rank)];
+  std::unique_lock<std::mutex> Lock(Box.Lock);
+  Box.Ready.wait(Lock, [&] { return !Box.Queue.empty(); });
+  Message Msg = std::move(Box.Queue.front());
+  Box.Queue.pop_front();
+  return Msg;
+}
+
+std::uint64_t Communicator::messagesSent() const {
+  std::lock_guard<std::mutex> Stats(StatsLock);
+  return Messages;
+}
+
+std::uint64_t Communicator::bytesSent() const {
+  std::lock_guard<std::mutex> Stats(StatsLock);
+  return Bytes;
+}

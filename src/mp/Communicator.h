@@ -1,0 +1,101 @@
+//===- mp/Communicator.h - In-process message passing -----------*- C++ -*-===//
+///
+/// \file
+/// A small MPI-flavoured message-passing runtime: a `Communicator` is a
+/// world of `P` ranks with point-to-point tagged messages and FIFO
+/// delivery per (source, destination) pair. The papers' system ran on
+/// MPICH over a PC cluster; this substrate reproduces that programming
+/// model in one process (ranks = threads), so the master/slave protocol
+/// of `mp/MpBnb.h` is a faithful port of the original architecture
+/// rather than a shared-memory shortcut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MP_COMMUNICATOR_H
+#define MUTK_MP_COMMUNICATOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace mutk {
+
+/// A tagged, rank-addressed message.
+struct Message {
+  int Source = -1;
+  int Tag = 0;
+  std::vector<std::uint8_t> Payload;
+};
+
+/// A world of message-passing ranks.
+///
+/// Thread-safe: each rank is meant to be driven by one thread through
+/// `endpoint(rank)`, but any thread may send to any rank. Delivery is
+/// FIFO per (source, destination) pair (like MPI's non-overtaking rule
+/// for equal tags) because each destination keeps a single arrival
+/// queue.
+class Communicator {
+public:
+  explicit Communicator(int NumRanks);
+
+  int size() const { return static_cast<int>(Inboxes.size()); }
+
+  /// Per-rank handle. Cheap to copy.
+  class Endpoint {
+  public:
+    Endpoint() = default;
+
+    int rank() const { return Rank; }
+    int size() const { return World->size(); }
+
+    /// Sends \p Payload to \p Dest with \p Tag. Self-sends are allowed.
+    void send(int Dest, int Tag, std::vector<std::uint8_t> Payload = {});
+
+    /// Sends to every other rank (not self).
+    void broadcast(int Tag, const std::vector<std::uint8_t> &Payload = {});
+
+    /// Non-blocking receive; empty when no message is waiting.
+    std::optional<Message> tryRecv();
+
+    /// Blocking receive.
+    Message recv();
+
+  private:
+    friend class Communicator;
+    Endpoint(Communicator *World, int Rank) : World(World), Rank(Rank) {}
+    Communicator *World = nullptr;
+    int Rank = -1;
+  };
+
+  /// Handle for \p Rank.
+  Endpoint endpoint(int Rank);
+
+  /// Total messages delivered so far (monotone; for stats/tests).
+  std::uint64_t messagesSent() const;
+
+  /// Total payload bytes delivered so far.
+  std::uint64_t bytesSent() const;
+
+private:
+  struct Inbox {
+    std::mutex Lock;
+    std::condition_variable Ready;
+    std::deque<Message> Queue;
+  };
+  // unique_ptr would also work; deque of Inbox is immovable, so use a
+  // vector of pointers for stable addresses.
+  std::vector<std::unique_ptr<Inbox>> Inboxes;
+  mutable std::mutex StatsLock;
+  std::uint64_t Messages = 0;
+  std::uint64_t Bytes = 0;
+
+  void deliver(int Dest, Message Msg);
+};
+
+} // namespace mutk
+
+#endif // MUTK_MP_COMMUNICATOR_H

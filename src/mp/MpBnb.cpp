@@ -1,0 +1,382 @@
+//===- mp/MpBnb.cpp - Message-passing master/slave B&B ---------------------===//
+
+#include "mp/MpBnb.h"
+
+#include "bnb/Engine.h"
+#include "mp/Communicator.h"
+#include "mp/Serialize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <thread>
+
+using namespace mutk;
+
+namespace {
+
+enum Tag : int {
+  TagInit = 1,
+  TagWork,
+  TagWorkRequest,
+  TagDonation,
+  TagSolution,
+  TagUbUpdate,
+  TagNeedWork,
+  TagTerminate,
+  TagStats,
+};
+
+std::vector<std::uint8_t> encodeSolution(double Cost, const Topology &T) {
+  ByteWriter Writer;
+  Writer.writeF64(Cost);
+  for (std::uint8_t Byte : encodeTopology(T))
+    Writer.writeU8(Byte);
+  return Writer.take();
+}
+
+std::vector<std::uint8_t> encodeStats(const BnbStats &Stats,
+                                      const WorkerStats &Worker) {
+  ByteWriter Writer;
+  Writer.writeU64(Stats.Branched);
+  Writer.writeU64(Stats.Generated);
+  Writer.writeU64(Stats.PrunedByBound);
+  Writer.writeU64(Stats.PrunedByThreeThree);
+  Writer.writeU64(Stats.UbUpdates);
+  Writer.writeU64(Worker.Branched);
+  Writer.writeU64(Worker.PulledFromGlobal);
+  Writer.writeU64(Worker.DonatedToGlobal);
+  Writer.writeU64(Worker.UbUpdates);
+  return Writer.take();
+}
+
+/// One slave computing node: local-pool DFS driven entirely by messages.
+void slaveMain(Communicator::Endpoint Self, const BnbOptions &Options) {
+  // Wait for Init: the relabeled matrix and the starting upper bound.
+  DistanceMatrix Relabeled;
+  double KnownUb = 0.0;
+  {
+    Message Init = Self.recv();
+    assert(Init.Tag == TagInit && "first message must be Init");
+    ByteReader Reader(Init.Payload);
+    double Ub;
+    bool OkUb = Reader.readF64(Ub);
+    assert(OkUb && "malformed Init payload");
+    (void)OkUb;
+    std::vector<std::uint8_t> MatrixBytes(
+        Init.Payload.begin() + 8, Init.Payload.end());
+    auto Decoded = decodeMatrix(MatrixBytes);
+    assert(Decoded && "malformed Init matrix");
+    Relabeled = std::move(*Decoded);
+    KnownUb = Ub;
+  }
+  // The worker's engine must share the master's label space exactly:
+  // the shipped matrix is already maxmin-ordered, so skip relabeling.
+  BnbOptions SlaveOptions = Options;
+  SlaveOptions.InitialUpperBound = KnownUb;
+  SlaveOptions.AssumeMaxminOrdered = true;
+  BnbEngine Engine(Relabeled, SlaveOptions);
+  const double Eps = Options.Epsilon;
+
+  std::deque<Topology> Local; // back = best
+  BnbStats Stats;
+  WorkerStats Worker;
+  bool DonateRequested = false;
+  // Cumulative count of Work messages received; shipped inside every
+  // WorkRequest so the master can recognize stale requests (a request
+  // sent while granted work was still in flight).
+  std::uint64_t WorkReceived = 0;
+
+  auto handle = [&](const Message &Msg) -> bool /*terminate?*/ {
+    switch (Msg.Tag) {
+    case TagUbUpdate: {
+      ByteReader Reader(Msg.Payload);
+      double Ub;
+      if (Reader.readF64(Ub))
+        KnownUb = std::min(KnownUb, Ub);
+      return false;
+    }
+    case TagNeedWork:
+      DonateRequested = true;
+      return false;
+    case TagWork: {
+      auto T = decodeTopology(Msg.Payload);
+      assert(T && "malformed Work payload");
+      Local.push_back(std::move(*T));
+      ++Worker.PulledFromGlobal;
+      ++WorkReceived;
+      return false;
+    }
+    case TagTerminate:
+      return true;
+    default:
+      assert(false && "unexpected message tag at slave");
+      return false;
+    }
+  };
+
+  for (;;) {
+    // Drain pending control traffic.
+    while (auto Msg = Self.tryRecv())
+      if (handle(*Msg)) {
+        Self.send(0, TagStats, encodeStats(Stats, Worker));
+        return;
+      }
+
+    if (DonateRequested && Local.size() > 1) {
+      // The paper's donation step: ship the worst local node (front).
+      Self.send(0, TagDonation, encodeTopology(Local.front()));
+      Local.pop_front();
+      ++Worker.DonatedToGlobal;
+      DonateRequested = false;
+    }
+
+    if (Local.empty()) {
+      ByteWriter Writer;
+      Writer.writeU64(WorkReceived);
+      Self.send(0, TagWorkRequest, Writer.take());
+      // Block until work or termination arrives.
+      for (;;) {
+        Message Msg = Self.recv();
+        bool Terminate = handle(Msg);
+        if (Terminate) {
+          Self.send(0, TagStats, encodeStats(Stats, Worker));
+          return;
+        }
+        if (Msg.Tag == TagWork)
+          break;
+      }
+      continue;
+    }
+
+    Topology Current = std::move(Local.back());
+    Local.pop_back();
+
+    if (Engine.lowerBound(Current) >= KnownUb - Eps) {
+      ++Stats.PrunedByBound;
+      continue;
+    }
+
+    ++Stats.Branched;
+    ++Worker.Branched;
+    for (Topology &Child : Engine.branch(Current, KnownUb, Stats)) {
+      if (Engine.isComplete(Child)) {
+        double Cost = Child.cost();
+        if (Cost < KnownUb - Eps) {
+          KnownUb = Cost;
+          ++Worker.UbUpdates;
+          ++Stats.UbUpdates;
+          Self.send(0, TagSolution, encodeSolution(Cost, Child));
+        }
+        continue;
+      }
+      Local.push_back(std::move(Child)); // ascending order: back = best
+    }
+  }
+}
+
+} // namespace
+
+MpMutResult mutk::solveMutMessagePassing(const DistanceMatrix &M,
+                                         int NumWorkers,
+                                         const BnbOptions &Options) {
+  assert(NumWorkers >= 1 && "need at least one worker rank");
+  assert(!Options.CollectAllOptimal &&
+         "CollectAllOptimal is not supported by the message-passing solver");
+
+  MpMutResult Result;
+  Result.Workers.resize(static_cast<std::size_t>(NumWorkers));
+  if (M.size() <= 1) {
+    if (M.size() == 1) {
+      Result.Tree.addLeaf(0);
+      Result.Tree.setNames(M.names());
+    }
+    return Result;
+  }
+
+  BnbEngine Engine(M, Options);
+  const double Eps = Options.Epsilon;
+  double Ub = Engine.initialUpperBound();
+  bool HasBest = false;
+  Topology BestTopology;
+
+  // Master phase: seed the BBT to 2x the number of computing nodes.
+  std::deque<Topology> Frontier;
+  Frontier.push_back(Engine.rootTopology());
+  BnbStats &Stats = Result.Stats;
+  while (!Frontier.empty() &&
+         static_cast<int>(Frontier.size()) < 2 * NumWorkers) {
+    Topology T = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (Engine.isComplete(T)) {
+      if (T.cost() < Ub - Eps) {
+        Ub = T.cost();
+        BestTopology = T;
+        HasBest = true;
+      }
+      continue;
+    }
+    ++Stats.Branched;
+    for (Topology &Child : Engine.branch(T, Ub, Stats)) {
+      if (Engine.isComplete(Child)) {
+        if (Child.cost() < Ub - Eps) {
+          Ub = Child.cost();
+          BestTopology = Child;
+          HasBest = true;
+          ++Stats.UbUpdates;
+        }
+        continue;
+      }
+      Frontier.push_back(std::move(Child));
+    }
+  }
+  std::vector<Topology> Sorted(std::make_move_iterator(Frontier.begin()),
+                               std::make_move_iterator(Frontier.end()));
+  std::sort(Sorted.begin(), Sorted.end(),
+            [&Engine](const Topology &A, const Topology &B) {
+              return Engine.lowerBound(A) < Engine.lowerBound(B);
+            });
+
+  Communicator World(NumWorkers + 1);
+  Communicator::Endpoint Master = World.endpoint(0);
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<std::size_t>(NumWorkers));
+  for (int W = 1; W <= NumWorkers; ++W)
+    Threads.emplace_back(slaveMain, World.endpoint(W), std::cref(Options));
+
+  // Init every worker with the relabeled matrix and UB.
+  {
+    ByteWriter Writer;
+    Writer.writeF64(Ub);
+    std::vector<std::uint8_t> InitPayload = Writer.take();
+    std::vector<std::uint8_t> MatrixBytes =
+        encodeMatrix(Engine.relabeledMatrix());
+    InitPayload.insert(InitPayload.end(), MatrixBytes.begin(),
+                       MatrixBytes.end());
+    for (int W = 1; W <= NumWorkers; ++W)
+      Master.send(W, TagInit, InitPayload);
+  }
+
+  // Work-message counters per worker rank; a WorkRequest carrying a
+  // smaller received-count than this is stale (its work is in flight).
+  std::vector<std::uint64_t> SentWork(
+      static_cast<std::size_t>(NumWorkers) + 1, 0);
+
+  // Deal the sorted frontier cyclically (Step 6 of the paper).
+  for (std::size_t I = 0; I < Sorted.size(); ++I) {
+    int Dest = 1 + static_cast<int>(I % static_cast<std::size_t>(NumWorkers));
+    ++SentWork[static_cast<std::size_t>(Dest)];
+    Master.send(Dest, TagWork, encodeTopology(Sorted[I]));
+  }
+
+  // Coordinator loop.
+  std::deque<Topology> GlobalPool;
+  std::deque<int> PendingRequesters;
+  int StatsCollected = 0;
+  bool Terminating = false;
+  while (StatsCollected < NumWorkers) {
+    Message Msg = Master.recv();
+    switch (Msg.Tag) {
+    case TagSolution: {
+      ByteReader Reader(Msg.Payload);
+      double Cost;
+      bool Ok = Reader.readF64(Cost);
+      assert(Ok && "malformed Solution payload");
+      (void)Ok;
+      if (Cost < Ub - Eps) {
+        std::vector<std::uint8_t> TopoBytes(Msg.Payload.begin() + 8,
+                                            Msg.Payload.end());
+        auto T = decodeTopology(TopoBytes);
+        assert(T && "malformed Solution topology");
+        Ub = Cost;
+        BestTopology = std::move(*T);
+        HasBest = true;
+        ++Stats.UbUpdates;
+        ByteWriter Writer;
+        Writer.writeF64(Ub);
+        Master.broadcast(TagUbUpdate, Writer.bytes());
+      }
+      break;
+    }
+    case TagDonation: {
+      auto T = decodeTopology(Msg.Payload);
+      assert(T && "malformed Donation payload");
+      if (!PendingRequesters.empty()) {
+        int Dest = PendingRequesters.front();
+        PendingRequesters.pop_front();
+        ++SentWork[static_cast<std::size_t>(Dest)];
+        Master.send(Dest, TagWork, encodeTopology(*T));
+      } else {
+        GlobalPool.push_back(std::move(*T));
+      }
+      break;
+    }
+    case TagWorkRequest: {
+      ByteReader Reader(Msg.Payload);
+      std::uint64_t Received = 0;
+      bool Ok = Reader.readU64(Received);
+      assert(Ok && "malformed WorkRequest payload");
+      (void)Ok;
+      if (Received < SentWork[static_cast<std::size_t>(Msg.Source)])
+        break; // stale: granted work is still in flight to this worker
+      if (!GlobalPool.empty()) {
+        ++SentWork[static_cast<std::size_t>(Msg.Source)];
+        Master.send(Msg.Source, TagWork, encodeTopology(GlobalPool.front()));
+        GlobalPool.pop_front();
+        break;
+      }
+      PendingRequesters.push_back(Msg.Source);
+      if (static_cast<int>(PendingRequesters.size()) == NumWorkers) {
+        // Every computing node is idle and the pool is dry: FIFO
+        // channels guarantee no donation is still in flight.
+        if (!Terminating) {
+          Terminating = true;
+          Master.broadcast(TagTerminate);
+        }
+      } else if (!Terminating) {
+        Master.broadcast(TagNeedWork);
+      }
+      break;
+    }
+    case TagStats: {
+      ByteReader Reader(Msg.Payload);
+      BnbStats S;
+      WorkerStats W;
+      bool Ok = Reader.readU64(S.Branched) && Reader.readU64(S.Generated) &&
+                Reader.readU64(S.PrunedByBound) &&
+                Reader.readU64(S.PrunedByThreeThree) &&
+                Reader.readU64(S.UbUpdates) && Reader.readU64(W.Branched) &&
+                Reader.readU64(W.PulledFromGlobal) &&
+                Reader.readU64(W.DonatedToGlobal) &&
+                Reader.readU64(W.UbUpdates);
+      assert(Ok && "malformed Stats payload");
+      (void)Ok;
+      Stats.Branched += S.Branched;
+      Stats.Generated += S.Generated;
+      Stats.PrunedByBound += S.PrunedByBound;
+      Stats.PrunedByThreeThree += S.PrunedByThreeThree;
+      Result.Workers[static_cast<std::size_t>(Msg.Source - 1)] = W;
+      ++StatsCollected;
+      break;
+    }
+    default:
+      assert(false && "unexpected message tag at master");
+      break;
+    }
+  }
+
+  for (std::thread &T : Threads)
+    T.join();
+
+  if (HasBest) {
+    Result.Tree = Engine.finalize(BestTopology);
+    Result.Cost = BestTopology.cost();
+  } else {
+    Result.Tree = Engine.initialTree();
+    Result.Cost = Engine.initialUpperBound();
+  }
+  Result.MessagesSent = World.messagesSent();
+  Result.BytesSent = World.bytesSent();
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- mp/MpBnb.h - Message-passing master/slave B&B ------------*- C++ -*-===//
+///
+/// \file
+/// A faithful port of the papers' MPI master/slave architecture onto the
+/// in-process `Communicator`: rank 0 is the master control node holding
+/// the global pool, ranks 1..P are slave computing nodes with local
+/// pools. All coordination happens through tagged messages:
+///
+///   Init         master -> worker   relabeled matrix + initial UB
+///   Work         master -> worker   one serialized BBT node
+///   WorkRequest  worker -> master   local pool empty
+///   Donation     worker -> master   worker's worst BBT node (after a
+///                                    NeedWork broadcast — the paper's
+///                                    "send the last UT in sorted LP to
+///                                    GP" step)
+///   Solution     worker -> master   improved complete tree
+///   UbUpdate     master -> workers  new global upper bound
+///   NeedWork     master -> workers  the global pool ran dry
+///   Terminate    master -> workers  all pools empty: search done
+///   Stats        worker -> master   final per-worker counters
+///
+/// Termination is safe because per-channel delivery is FIFO: when every
+/// worker has an outstanding WorkRequest and the global pool is empty,
+/// no Donation can still be in flight.
+///
+/// Unlike `parallel/ThreadedBnb.h` (shared-memory upper bound), nothing
+/// here crosses ranks except messages, so the implementation doubles as
+/// executable documentation of the original cluster protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MP_MPBNB_H
+#define MUTK_MP_MPBNB_H
+
+#include "bnb/SequentialBnb.h"
+#include "parallel/ThreadedBnb.h"
+
+namespace mutk {
+
+/// Result of a message-passing solve, with traffic accounting.
+struct MpMutResult : MutResult {
+  std::vector<WorkerStats> Workers;
+  std::uint64_t MessagesSent = 0;
+  std::uint64_t BytesSent = 0;
+};
+
+/// Solves the MUT problem with \p NumWorkers slave ranks plus one master
+/// rank, all communication via messages. Cost-equal to the sequential
+/// solver. `CollectAllOptimal` and `MaxBranchedNodes` are unsupported
+/// (the protocol always runs to exhaustion).
+MpMutResult solveMutMessagePassing(const DistanceMatrix &M, int NumWorkers,
+                                   const BnbOptions &Options = {});
+
+} // namespace mutk
+
+#endif // MUTK_MP_MPBNB_H

@@ -1,0 +1,164 @@
+//===- mp/Serialize.cpp - Message payload (de)serialization ----------------===//
+
+#include "mp/Serialize.h"
+
+#include <cstring>
+
+using namespace mutk;
+
+void ByteWriter::writeU32(std::uint32_t Value) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Buffer.push_back(static_cast<std::uint8_t>(Value >> Shift));
+}
+
+void ByteWriter::writeU64(std::uint64_t Value) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Buffer.push_back(static_cast<std::uint8_t>(Value >> Shift));
+}
+
+void ByteWriter::writeF64(double Value) {
+  std::uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value), "double must be 64 bits");
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void ByteWriter::writeString(const std::string &Value) {
+  writeU32(static_cast<std::uint32_t>(Value.size()));
+  for (char C : Value)
+    Buffer.push_back(static_cast<std::uint8_t>(C));
+}
+
+bool ByteReader::readU8(std::uint8_t &Value) {
+  if (Position + 1 > Bytes.size())
+    return false;
+  Value = Bytes[Position++];
+  return true;
+}
+
+bool ByteReader::readU32(std::uint32_t &Value) {
+  if (Position + 4 > Bytes.size())
+    return false;
+  Value = 0;
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Value |= static_cast<std::uint32_t>(Bytes[Position++]) << Shift;
+  return true;
+}
+
+bool ByteReader::readI32(std::int32_t &Value) {
+  std::uint32_t Raw;
+  if (!readU32(Raw))
+    return false;
+  Value = static_cast<std::int32_t>(Raw);
+  return true;
+}
+
+bool ByteReader::readU64(std::uint64_t &Value) {
+  if (Position + 8 > Bytes.size())
+    return false;
+  Value = 0;
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Value |= static_cast<std::uint64_t>(Bytes[Position++]) << Shift;
+  return true;
+}
+
+bool ByteReader::readF64(double &Value) {
+  std::uint64_t Bits;
+  if (!readU64(Bits))
+    return false;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return true;
+}
+
+bool ByteReader::readString(std::string &Value) {
+  std::uint32_t Length;
+  if (!readU32(Length))
+    return false;
+  if (Position + Length > Bytes.size())
+    return false;
+  Value.assign(reinterpret_cast<const char *>(&Bytes[Position]), Length);
+  Position += Length;
+  return true;
+}
+
+std::vector<std::uint8_t> mutk::encodeTopology(const Topology &T) {
+  ByteWriter Writer;
+  Writer.writeU32(static_cast<std::uint32_t>(T.numNodes()));
+  Writer.writeI32(T.rootIndex());
+  for (int I = 0; I < T.numNodes(); ++I) {
+    const Topology::Node &N = T.node(I);
+    Writer.writeI32(N.Parent);
+    Writer.writeI32(N.Left);
+    Writer.writeI32(N.Right);
+    Writer.writeI32(N.Leaf);
+    Writer.writeF64(N.Height);
+    // Masks are re-derivable but shipping them avoids a rebuild pass and
+    // lets fromNodes() cross-validate the payload.
+    Writer.writeU64(N.Mask);
+  }
+  return Writer.take();
+}
+
+std::optional<Topology>
+mutk::decodeTopology(const std::vector<std::uint8_t> &Bytes) {
+  ByteReader Reader(Bytes);
+  std::uint32_t Count;
+  std::int32_t Root;
+  if (!Reader.readU32(Count) || !Reader.readI32(Root))
+    return std::nullopt;
+  if (Count > 2 * static_cast<std::uint32_t>(MaxBnbSpecies))
+    return std::nullopt;
+
+  std::vector<Topology::Node> Nodes(Count);
+  for (std::uint32_t I = 0; I < Count; ++I) {
+    Topology::Node &N = Nodes[I];
+    std::int32_t Parent, Left, Right, Leaf;
+    if (!Reader.readI32(Parent) || !Reader.readI32(Left) ||
+        !Reader.readI32(Right) || !Reader.readI32(Leaf) ||
+        !Reader.readF64(N.Height) || !Reader.readU64(N.Mask))
+      return std::nullopt;
+    N.Parent = static_cast<std::int16_t>(Parent);
+    N.Left = static_cast<std::int16_t>(Left);
+    N.Right = static_cast<std::int16_t>(Right);
+    N.Leaf = static_cast<std::int16_t>(Leaf);
+  }
+  if (!Reader.atEnd())
+    return std::nullopt;
+  return Topology::fromNodes(std::move(Nodes), Root);
+}
+
+std::vector<std::uint8_t> mutk::encodeMatrix(const DistanceMatrix &M) {
+  ByteWriter Writer;
+  Writer.writeU32(static_cast<std::uint32_t>(M.size()));
+  for (int I = 0; I < M.size(); ++I)
+    Writer.writeString(M.name(I));
+  for (int I = 0; I < M.size(); ++I)
+    for (int J = I + 1; J < M.size(); ++J)
+      Writer.writeF64(M.at(I, J));
+  return Writer.take();
+}
+
+std::optional<DistanceMatrix>
+mutk::decodeMatrix(const std::vector<std::uint8_t> &Bytes) {
+  ByteReader Reader(Bytes);
+  std::uint32_t N;
+  if (!Reader.readU32(N) || N > 100000)
+    return std::nullopt;
+  DistanceMatrix M(static_cast<int>(N));
+  for (std::uint32_t I = 0; I < N; ++I) {
+    std::string Name;
+    if (!Reader.readString(Name))
+      return std::nullopt;
+    M.setName(static_cast<int>(I), std::move(Name));
+  }
+  for (std::uint32_t I = 0; I < N; ++I)
+    for (std::uint32_t J = I + 1; J < N; ++J) {
+      double Value;
+      if (!Reader.readF64(Value) || Value < 0.0)
+        return std::nullopt;
+      M.set(static_cast<int>(I), static_cast<int>(J), Value);
+    }
+  if (!Reader.atEnd())
+    return std::nullopt;
+  return M;
+}

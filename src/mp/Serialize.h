@@ -1,0 +1,80 @@
+//===- mp/Serialize.h - Message payload (de)serialization -------*- C++ -*-===//
+///
+/// \file
+/// Byte-level encoding for message payloads: little-endian fixed-width
+/// scalars plus codecs for the structures the B&B protocol ships across
+/// ranks — partial topologies and whole distance matrices. Every codec
+/// has an exact round-trip guarantee (tested), since a corrupted BBT
+/// node silently poisons a search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MP_SERIALIZE_H
+#define MUTK_MP_SERIALIZE_H
+
+#include "bnb/Topology.h"
+#include "matrix/DistanceMatrix.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mutk {
+
+/// Appends fixed-width little-endian values to a byte buffer.
+class ByteWriter {
+public:
+  std::vector<std::uint8_t> take() { return std::move(Buffer); }
+  const std::vector<std::uint8_t> &bytes() const { return Buffer; }
+
+  void writeU8(std::uint8_t Value) { Buffer.push_back(Value); }
+  void writeU32(std::uint32_t Value);
+  void writeI32(std::int32_t Value) {
+    writeU32(static_cast<std::uint32_t>(Value));
+  }
+  void writeU64(std::uint64_t Value);
+  void writeF64(double Value);
+  void writeString(const std::string &Value);
+
+private:
+  std::vector<std::uint8_t> Buffer;
+};
+
+/// Reads values written by ByteWriter. All methods fail (return false /
+/// nullopt) instead of reading past the end.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<std::uint8_t> &Bytes)
+      : Bytes(Bytes) {}
+
+  bool atEnd() const { return Position == Bytes.size(); }
+
+  bool readU8(std::uint8_t &Value);
+  bool readU32(std::uint32_t &Value);
+  bool readI32(std::int32_t &Value);
+  bool readU64(std::uint64_t &Value);
+  bool readF64(double &Value);
+  bool readString(std::string &Value);
+
+private:
+  const std::vector<std::uint8_t> &Bytes;
+  std::size_t Position = 0;
+};
+
+/// Encodes a partial topology (BBT node) for shipping to another rank.
+std::vector<std::uint8_t> encodeTopology(const Topology &T);
+
+/// Decodes a topology; nullopt on malformed input.
+std::optional<Topology> decodeTopology(const std::vector<std::uint8_t> &Bytes);
+
+/// Encodes a distance matrix including species names.
+std::vector<std::uint8_t> encodeMatrix(const DistanceMatrix &M);
+
+/// Decodes a matrix; nullopt on malformed input.
+std::optional<DistanceMatrix>
+decodeMatrix(const std::vector<std::uint8_t> &Bytes);
+
+} // namespace mutk
+
+#endif // MUTK_MP_SERIALIZE_H

@@ -1,0 +1,249 @@
+//===- parallel/ThreadedBnb.cpp - Master/slave parallel B&B ---------------===//
+
+#include "parallel/ThreadedBnb.h"
+
+#include "bnb/Engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace mutk;
+
+namespace {
+
+/// State shared by all workers.
+struct SharedState {
+  const BnbEngine &Engine;
+  explicit SharedState(const BnbEngine &Engine) : Engine(Engine) {}
+
+  // Global pool (the master's GP), protected by PoolMutex.
+  std::mutex PoolMutex;
+  std::deque<Topology> GlobalPool;
+  std::condition_variable PoolCv;
+  /// BBT nodes alive anywhere (pools + in-flight). Guarded by PoolMutex
+  /// for the termination handshake.
+  long Outstanding = 0;
+  bool Cancelled = false;
+
+  // Upper bound, shared lock-free; the best topology under a mutex.
+  std::atomic<double> Ub{0.0};
+  std::mutex BestMutex;
+  Topology BestTopology;
+  bool HasBest = false;
+
+  std::atomic<std::uint64_t> TotalBranched{0};
+
+  /// Lowers the shared UB to the cost of \p T if that improves it; keeps
+  /// the tree. \returns true on a strict improvement.
+  bool offerSolution(const Topology &T, double Eps) {
+    double Cost = T.cost();
+    double Current = Ub.load(std::memory_order_relaxed);
+    bool Improved = false;
+    while (Cost < Current - Eps) {
+      // On failure compare_exchange reloads Current and we re-test.
+      if (Ub.compare_exchange_weak(Current, Cost,
+                                   std::memory_order_relaxed)) {
+        Improved = true;
+        break;
+      }
+    }
+    if (!Improved)
+      return false;
+
+    std::lock_guard<std::mutex> Lock(BestMutex);
+    if (!HasBest || Cost < BestTopology.cost()) {
+      BestTopology = T;
+      HasBest = true;
+    }
+    return true;
+  }
+};
+
+/// One slave computing processor: DFS over a local pool with global-pool
+/// load balancing (HPCAsia Table 1, Step 7).
+void workerMain(SharedState &Shared, const BnbOptions &Options,
+                std::deque<Topology> LocalPool, BnbStats &Stats,
+                WorkerStats &Worker) {
+  const double Eps = Options.Epsilon;
+  const BnbEngine &Engine = Shared.Engine;
+
+  for (;;) {
+    Topology Current;
+    bool HaveWork = false;
+
+    if (!LocalPool.empty()) {
+      // Local pools keep the best node at the back.
+      Current = std::move(LocalPool.back());
+      LocalPool.pop_back();
+      HaveWork = true;
+    } else {
+      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
+      Shared.PoolCv.wait(Lock, [&] {
+        return !Shared.GlobalPool.empty() || Shared.Outstanding == 0 ||
+               Shared.Cancelled;
+      });
+      if (Shared.Cancelled || (Shared.GlobalPool.empty() &&
+                               Shared.Outstanding == 0))
+        return;
+      Current = std::move(Shared.GlobalPool.front());
+      Shared.GlobalPool.pop_front();
+      ++Worker.PulledFromGlobal;
+      HaveWork = true;
+    }
+    assert(HaveWork && "reached processing without a node");
+    (void)HaveWork;
+
+    if (Options.MaxBranchedNodes != 0 &&
+        Shared.TotalBranched.load(std::memory_order_relaxed) >=
+            Options.MaxBranchedNodes) {
+      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      Shared.Cancelled = true;
+      Shared.PoolCv.notify_all();
+      return;
+    }
+
+    double Ub = Shared.Ub.load(std::memory_order_relaxed);
+    long Delta = -1; // the consumed node
+    if (Engine.lowerBound(Current) >= Ub - Eps) {
+      ++Stats.PrunedByBound;
+    } else {
+      ++Stats.Branched;
+      ++Worker.Branched;
+      Shared.TotalBranched.fetch_add(1, std::memory_order_relaxed);
+      std::vector<Topology> Children = Engine.branch(Current, Ub, Stats);
+      for (std::size_t I = Children.size(); I > 0; --I) {
+        Topology &Child = Children[I - 1];
+        if (Engine.isComplete(Child)) {
+          if (Shared.offerSolution(Child, Eps)) {
+            ++Stats.UbUpdates;
+            ++Worker.UbUpdates;
+          }
+          continue;
+        }
+        // Worst child first, best last: the back stays the best.
+        LocalPool.push_back(std::move(Child));
+        ++Delta;
+      }
+    }
+
+    // Donate the *worst* local node whenever the global pool is empty,
+    // so idle workers always find something (two-level load balancing).
+    {
+      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      Shared.Outstanding += Delta;
+      if (Shared.GlobalPool.empty() && LocalPool.size() > 1) {
+        Shared.GlobalPool.push_back(std::move(LocalPool.front()));
+        LocalPool.pop_front();
+        ++Worker.DonatedToGlobal;
+        Shared.PoolCv.notify_one();
+      }
+      if (Shared.Outstanding == 0)
+        Shared.PoolCv.notify_all();
+    }
+  }
+}
+
+} // namespace
+
+ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
+                                         int NumWorkers,
+                                         const BnbOptions &Options) {
+  assert(NumWorkers >= 1 && "need at least one worker");
+  assert(!Options.CollectAllOptimal &&
+         "CollectAllOptimal is not supported by the threaded solver");
+
+  ParallelMutResult Result;
+  Result.Workers.resize(static_cast<std::size_t>(NumWorkers));
+  if (M.size() <= 1) {
+    if (M.size() == 1) {
+      Result.Tree.addLeaf(0);
+      Result.Tree.setNames(M.names());
+    }
+    return Result;
+  }
+
+  BnbEngine Engine(M, Options);
+  SharedState Shared(Engine);
+  Shared.Ub.store(Engine.initialUpperBound(), std::memory_order_relaxed);
+
+  // Master phase (Steps 4-5): breadth-first expansion until the frontier
+  // holds 2x the number of computing nodes.
+  const double Eps = Options.Epsilon;
+  std::deque<Topology> Frontier;
+  Frontier.push_back(Engine.rootTopology());
+  BnbStats MasterStats;
+  while (!Frontier.empty() &&
+         static_cast<int>(Frontier.size()) < 2 * NumWorkers) {
+    Topology T = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (Engine.isComplete(T)) {
+      Shared.offerSolution(T, Eps);
+      continue;
+    }
+    ++MasterStats.Branched;
+    double Ub = Shared.Ub.load(std::memory_order_relaxed);
+    for (Topology &Child : Engine.branch(T, Ub, MasterStats)) {
+      if (Engine.isComplete(Child)) {
+        if (Shared.offerSolution(Child, Eps))
+          ++MasterStats.UbUpdates;
+        continue;
+      }
+      Frontier.push_back(std::move(Child));
+    }
+  }
+
+  // Step 6: sort by lower bound and deal cyclically.
+  std::vector<Topology> Sorted(std::make_move_iterator(Frontier.begin()),
+                               std::make_move_iterator(Frontier.end()));
+  std::sort(Sorted.begin(), Sorted.end(),
+            [&Engine](const Topology &A, const Topology &B) {
+              return Engine.lowerBound(A) < Engine.lowerBound(B);
+            });
+  std::vector<std::deque<Topology>> LocalPools(
+      static_cast<std::size_t>(NumWorkers));
+  for (std::size_t I = 0; I < Sorted.size(); ++I)
+    LocalPools[I % static_cast<std::size_t>(NumWorkers)].push_front(
+        std::move(Sorted[I]));
+  // After push_front of ascending nodes, the back of each pool is the
+  // best node — the invariant workerMain maintains.
+
+  Shared.Outstanding = static_cast<long>(Sorted.size());
+
+  std::vector<BnbStats> WorkerBnbStats(static_cast<std::size_t>(NumWorkers));
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<std::size_t>(NumWorkers));
+  for (int W = 0; W < NumWorkers; ++W)
+    Threads.emplace_back(workerMain, std::ref(Shared), std::cref(Options),
+                         std::move(LocalPools[static_cast<std::size_t>(W)]),
+                         std::ref(WorkerBnbStats[static_cast<std::size_t>(W)]),
+                         std::ref(Result.Workers[static_cast<std::size_t>(W)]));
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Merge statistics.
+  Result.Stats = MasterStats;
+  for (const BnbStats &S : WorkerBnbStats) {
+    Result.Stats.Branched += S.Branched;
+    Result.Stats.Generated += S.Generated;
+    Result.Stats.PrunedByBound += S.PrunedByBound;
+    Result.Stats.PrunedByThreeThree += S.PrunedByThreeThree;
+    Result.Stats.UbUpdates += S.UbUpdates;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Shared.BestMutex);
+    if (Shared.HasBest) {
+      Result.Tree = Engine.finalize(Shared.BestTopology);
+      Result.Cost = Shared.BestTopology.cost();
+    } else {
+      Result.Tree = Engine.initialTree();
+      Result.Cost = Engine.initialUpperBound();
+    }
+  }
+  Result.Stats.Complete = !Shared.Cancelled;
+  return Result;
+}

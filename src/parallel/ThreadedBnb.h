@@ -1,0 +1,49 @@
+//===- parallel/ThreadedBnb.h - Master/slave parallel B&B -------*- C++ -*-===//
+///
+/// \file
+/// The parallel branch-and-bound of the HPCAsia paper, realized with
+/// threads instead of MPI ranks (see DESIGN.md §5.2): a master seeds the
+/// BBT until the frontier holds twice as many nodes as there are workers
+/// (Step 5), sorts them by lower bound and deals them cyclically (Step 6);
+/// workers then run DFS on *local pools*, publish every improved upper
+/// bound immediately through a shared atomic, and exchange work through a
+/// mutex-protected *global pool* — an idle worker pulls from it, and a
+/// busy worker donates its worst local node whenever the global pool runs
+/// empty (Step 7's two-level load balancing).
+///
+/// Results are cost-identical to the sequential solver; only the
+/// exploration order differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_PARALLEL_THREADEDBNB_H
+#define MUTK_PARALLEL_THREADEDBNB_H
+
+#include "bnb/SequentialBnb.h"
+
+namespace mutk {
+
+/// Per-worker counters for load-balance analysis.
+struct WorkerStats {
+  std::uint64_t Branched = 0;
+  std::uint64_t PulledFromGlobal = 0;
+  std::uint64_t DonatedToGlobal = 0;
+  std::uint64_t UbUpdates = 0;
+};
+
+/// A MutResult extended with per-worker accounting.
+struct ParallelMutResult : MutResult {
+  std::vector<WorkerStats> Workers;
+};
+
+/// Solves the MUT problem with \p NumWorkers worker threads.
+///
+/// `CollectAllOptimal` is not supported here (the simulated cluster and
+/// sequential solver cover that use case); `MaxBranchedNodes` bounds the
+/// *total* across workers approximately.
+ParallelMutResult solveMutThreaded(const DistanceMatrix &M, int NumWorkers,
+                                   const BnbOptions &Options = {});
+
+} // namespace mutk
+
+#endif // MUTK_PARALLEL_THREADEDBNB_H

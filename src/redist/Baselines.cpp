@@ -1,0 +1,146 @@
+//===- redist/Baselines.cpp - Comparison schedulers -------------------------===//
+
+#include "redist/Baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace mutk;
+
+namespace {
+
+/// Returns true if \p MessageIndex can join \p Step without contention.
+bool fits(const std::vector<RedistMessage> &Messages,
+          const std::vector<int> &Step, int MessageIndex) {
+  const RedistMessage &M = Messages[static_cast<std::size_t>(MessageIndex)];
+  for (int Other : Step) {
+    const RedistMessage &O = Messages[static_cast<std::size_t>(Other)];
+    if (O.Source == M.Source || O.Dest == M.Dest)
+      return false;
+  }
+  return true;
+}
+
+long stepMax(const std::vector<RedistMessage> &Messages,
+             const std::vector<int> &Step) {
+  long Max = 0;
+  for (int Index : Step)
+    Max = std::max(Max, Messages[static_cast<std::size_t>(Index)].Size);
+  return Max;
+}
+
+} // namespace
+
+RedistSchedule
+mutk::scheduleGreedyFfd(const std::vector<RedistMessage> &Messages,
+                        int NumProcessors) {
+  (void)NumProcessors;
+  std::vector<int> Order(Messages.size());
+  for (std::size_t I = 0; I < Messages.size(); ++I)
+    Order[I] = static_cast<int>(I);
+  std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+    if (Messages[static_cast<std::size_t>(A)].Size !=
+        Messages[static_cast<std::size_t>(B)].Size)
+      return Messages[static_cast<std::size_t>(A)].Size >
+             Messages[static_cast<std::size_t>(B)].Size;
+    return A < B;
+  });
+
+  RedistSchedule Schedule;
+  for (int Index : Order) {
+    long Size = Messages[static_cast<std::size_t>(Index)].Size;
+    int Best = -1;
+    long BestIncrease = std::numeric_limits<long>::max();
+    for (int Step = 0; Step < Schedule.numSteps(); ++Step) {
+      if (!fits(Messages, Schedule.Steps[static_cast<std::size_t>(Step)],
+                Index))
+        continue;
+      long Increase = std::max<long>(
+          0, Size - stepMax(Messages,
+                            Schedule.Steps[static_cast<std::size_t>(Step)]));
+      if (Increase < BestIncrease) {
+        Best = Step;
+        BestIncrease = Increase;
+      }
+    }
+    if (Best < 0) {
+      Schedule.Steps.emplace_back();
+      Best = Schedule.numSteps() - 1;
+    }
+    Schedule.Steps[static_cast<std::size_t>(Best)].push_back(Index);
+  }
+  return Schedule;
+}
+
+namespace {
+
+/// Recursive half of the divide-and-conquer scheduler over the message
+/// index range [Lo, Hi).
+RedistSchedule divideConquer(const std::vector<RedistMessage> &Messages,
+                             int Lo, int Hi) {
+  RedistSchedule Result;
+  if (Hi - Lo <= 1) {
+    if (Hi - Lo == 1)
+      Result.Steps.push_back({Lo});
+    return Result;
+  }
+  int Mid = Lo + (Hi - Lo) / 2;
+  Result = divideConquer(Messages, Lo, Mid);
+  RedistSchedule Right = divideConquer(Messages, Mid, Hi);
+
+  // Merge: align Right's steps onto Result's, relocating contended
+  // messages to the first feasible step (in order, not by size).
+  for (std::size_t RightStep = 0; RightStep < Right.Steps.size();
+       ++RightStep) {
+    for (int Index : Right.Steps[RightStep]) {
+      int Chosen = -1;
+      // Prefer the same step position, then scan from the top.
+      if (RightStep < Result.Steps.size() &&
+          fits(Messages, Result.Steps[RightStep], Index))
+        Chosen = static_cast<int>(RightStep);
+      for (int Step = 0; Chosen < 0 && Step < Result.numSteps(); ++Step)
+        if (fits(Messages, Result.Steps[static_cast<std::size_t>(Step)],
+                 Index))
+          Chosen = Step;
+      if (Chosen < 0) {
+        Result.Steps.emplace_back();
+        Chosen = Result.numSteps() - 1;
+      }
+      Result.Steps[static_cast<std::size_t>(Chosen)].push_back(Index);
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
+RedistSchedule
+mutk::scheduleDivideConquer(const std::vector<RedistMessage> &Messages,
+                            int NumProcessors) {
+  (void)NumProcessors;
+  if (Messages.empty())
+    return RedistSchedule{};
+  return divideConquer(Messages, 0, static_cast<int>(Messages.size()));
+}
+
+RedistSchedule mutk::scheduleNaive(const std::vector<RedistMessage> &Messages,
+                                   int NumProcessors) {
+  (void)NumProcessors;
+  RedistSchedule Schedule;
+  for (std::size_t I = 0; I < Messages.size(); ++I) {
+    int Index = static_cast<int>(I);
+    int Chosen = -1;
+    for (int Step = 0; Step < Schedule.numSteps(); ++Step)
+      if (fits(Messages, Schedule.Steps[static_cast<std::size_t>(Step)],
+               Index)) {
+        Chosen = Step;
+        break;
+      }
+    if (Chosen < 0) {
+      Schedule.Steps.emplace_back();
+      Chosen = Schedule.numSteps() - 1;
+    }
+    Schedule.Steps[static_cast<std::size_t>(Chosen)].push_back(Index);
+  }
+  return Schedule;
+}

@@ -1,0 +1,43 @@
+//===- redist/Baselines.h - Comparison schedulers ---------------*- C++ -*-===//
+///
+/// \file
+/// Baseline schedulers for the SCPA evaluation. The APPT paper compares
+/// against Wang-Guo-Wei's divide-and-conquer algorithm; that exact code
+/// is not public, so the stand-in here is first-fit-decreasing list
+/// scheduling — the same minimal-steps guarantee and size awareness, but
+/// without SCPA's conflict-point preplacement (see DESIGN.md §5). A
+/// size-oblivious scheduler is included as the floor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_REDIST_BASELINES_H
+#define MUTK_REDIST_BASELINES_H
+
+#include "redist/Schedule.h"
+
+namespace mutk {
+
+/// First-fit-decreasing: messages in non-increasing size order, each
+/// into the feasible step minimizing the cost increase. Minimal steps on
+/// GEN_BLOCK inputs in practice; no conflict-point analysis.
+RedistSchedule scheduleGreedyFfd(const std::vector<RedistMessage> &Messages,
+                                 int NumProcessors);
+
+/// Size-oblivious list scheduling: messages in array order into the
+/// first feasible step. Valid, usually minimal-steps, poor cost.
+RedistSchedule scheduleNaive(const std::vector<RedistMessage> &Messages,
+                             int NumProcessors);
+
+/// Divide-and-conquer in the spirit of Wang-Guo-Wei 2004 (the paper's
+/// comparator): split the message sequence (which is contiguous in array
+/// order under GEN_BLOCK), schedule both halves recursively, then merge
+/// the halves' steps pairwise, relocating contended messages by first
+/// fit in order. Step-conscious but size-oblivious — the weakness SCPA's
+/// conflict-point analysis addresses.
+RedistSchedule
+scheduleDivideConquer(const std::vector<RedistMessage> &Messages,
+                      int NumProcessors);
+
+} // namespace mutk
+
+#endif // MUTK_REDIST_BASELINES_H

@@ -1,0 +1,99 @@
+//===- redist/GenBlock.cpp - HPF-2 GEN_BLOCK redistribution -----------------===//
+
+#include "redist/GenBlock.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+long GenBlock::totalElements() const {
+  long Total = 0;
+  for (long S : Sizes)
+    Total += S;
+  return Total;
+}
+
+std::vector<RedistMessage> mutk::generateMessages(const GenBlock &Source,
+                                                  const GenBlock &Dest) {
+  assert(Source.numProcessors() >= 1 && Dest.numProcessors() >= 1 &&
+         "need at least one processor on each side");
+  assert(Source.totalElements() == Dest.totalElements() &&
+         "distributions must cover the same array");
+
+  std::vector<RedistMessage> Messages;
+  int Sp = 0, Dp = 0;
+  long SpEnd = Source.Sizes[0];
+  long DpEnd = Dest.Sizes[0];
+  long Offset = 0;
+  const long Total = Source.totalElements();
+
+  // March both segmentations left to right; each interval between
+  // consecutive boundaries is one message.
+  while (Offset < Total) {
+    // Skip zero-length segments.
+    while (Sp < Source.numProcessors() && SpEnd == Offset) {
+      ++Sp;
+      if (Sp < Source.numProcessors())
+        SpEnd += Source.Sizes[static_cast<std::size_t>(Sp)];
+    }
+    while (Dp < Dest.numProcessors() && DpEnd == Offset) {
+      ++Dp;
+      if (Dp < Dest.numProcessors())
+        DpEnd += Dest.Sizes[static_cast<std::size_t>(Dp)];
+    }
+    long Next = std::min(SpEnd, DpEnd);
+    assert(Next > Offset && "segment walk stuck");
+    Messages.push_back(RedistMessage{Sp, Dp, Next - Offset});
+    Offset = Next;
+  }
+  return Messages;
+}
+
+int mutk::maxDegree(const std::vector<RedistMessage> &Messages,
+                    int NumProcessors) {
+  std::vector<int> SendDegree(static_cast<std::size_t>(NumProcessors), 0);
+  std::vector<int> RecvDegree(static_cast<std::size_t>(NumProcessors), 0);
+  int Max = 0;
+  for (const RedistMessage &M : Messages) {
+    Max = std::max(Max, ++SendDegree[static_cast<std::size_t>(M.Source)]);
+    Max = std::max(Max, ++RecvDegree[static_cast<std::size_t>(M.Dest)]);
+  }
+  return Max;
+}
+
+GenBlock mutk::randomGenBlock(int NumProcessors, long Total,
+                              double LowFactor, double HighFactor,
+                              std::uint64_t Seed) {
+  assert(NumProcessors >= 1 && Total >= NumProcessors &&
+         "need at least one element per processor");
+  assert(0.0 < LowFactor && LowFactor <= HighFactor && "bad factor range");
+  Rng Rand(Seed);
+
+  const double Mean = static_cast<double>(Total) / NumProcessors;
+  std::vector<double> Raw(static_cast<std::size_t>(NumProcessors));
+  double Sum = 0.0;
+  for (double &R : Raw) {
+    R = Mean * Rand.nextDouble(LowFactor, HighFactor);
+    Sum += R;
+  }
+
+  // Rescale to the exact total, with integer rounding drift pushed onto
+  // the largest segment.
+  GenBlock Block;
+  Block.Sizes.resize(static_cast<std::size_t>(NumProcessors));
+  long Assigned = 0;
+  for (int I = 0; I < NumProcessors; ++I) {
+    long S = std::max<long>(
+        1, static_cast<long>(Raw[static_cast<std::size_t>(I)] / Sum *
+                             static_cast<double>(Total)));
+    Block.Sizes[static_cast<std::size_t>(I)] = S;
+    Assigned += S;
+  }
+  auto Largest = std::max_element(Block.Sizes.begin(), Block.Sizes.end());
+  *Largest += Total - Assigned;
+  assert(*Largest > 0 && "rounding drift exceeded the largest segment");
+  return Block;
+}

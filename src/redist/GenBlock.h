@@ -1,0 +1,65 @@
+//===- redist/GenBlock.h - HPF-2 GEN_BLOCK redistribution -------*- C++ -*-===//
+///
+/// \file
+/// The data model of the report's APPT 2005 companion paper
+/// ("Contention-Free Communication Scheduling for Irregular Data
+/// Redistribution in Parallelizing Compilers"): an HPF-2 `GEN_BLOCK`
+/// distribution assigns consecutive, unevenly sized array segments to
+/// consecutive processors. Redistributing an array from a source to a
+/// destination GEN_BLOCK induces one message per overlapping
+/// (source, destination) segment pair; because both distributions are
+/// consecutive, there are between `P` and `2P - 1` messages and each
+/// processor's messages address consecutive peers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_REDIST_GENBLOCK_H
+#define MUTK_REDIST_GENBLOCK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mutk {
+
+/// A GEN_BLOCK distribution: segment sizes per processor (>= 0 each).
+struct GenBlock {
+  std::vector<long> Sizes;
+
+  int numProcessors() const { return static_cast<int>(Sizes.size()); }
+  long totalElements() const;
+};
+
+/// One redistribution message: source processor, destination processor,
+/// number of array elements.
+struct RedistMessage {
+  int Source = -1;
+  int Dest = -1;
+  long Size = 0;
+
+  friend bool operator==(const RedistMessage &A, const RedistMessage &B) {
+    return A.Source == B.Source && A.Dest == B.Dest && A.Size == B.Size;
+  }
+};
+
+/// Computes the messages of redistributing from \p Source to \p Dest
+/// (both must cover the same number of elements and processors >= 1).
+/// Messages are ordered by array offset (the paper's m1..m_k order);
+/// zero-size overlaps produce no message.
+std::vector<RedistMessage> generateMessages(const GenBlock &Source,
+                                            const GenBlock &Dest);
+
+/// The maximum number of messages any processor sends or receives — the
+/// lower bound on (and, for valid schedulers here, the exact number of)
+/// communication steps.
+int maxDegree(const std::vector<RedistMessage> &Messages, int NumProcessors);
+
+/// Random GEN_BLOCK generator following the paper's setup: each segment
+/// drawn uniformly from `[LowFactor, HighFactor] * (Total / P)`, then the
+/// sizes are rescaled/adjusted to sum exactly to \p Total. The paper's
+/// "uneven" case uses factors (0.3, 1.5), the "even" case (0.7, 1.3).
+GenBlock randomGenBlock(int NumProcessors, long Total, double LowFactor,
+                        double HighFactor, std::uint64_t Seed);
+
+} // namespace mutk
+
+#endif // MUTK_REDIST_GENBLOCK_H

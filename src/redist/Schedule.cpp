@@ -1,0 +1,50 @@
+//===- redist/Schedule.cpp - Contention-free step schedules -----------------===//
+
+#include "redist/Schedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+long RedistSchedule::totalStepMaxima(
+    const std::vector<RedistMessage> &Messages) const {
+  long Total = 0;
+  for (const auto &Step : Steps) {
+    long Max = 0;
+    for (int Index : Step)
+      Max = std::max(Max, Messages[static_cast<std::size_t>(Index)].Size);
+    Total += Max;
+  }
+  return Total;
+}
+
+double RedistSchedule::cost(const std::vector<RedistMessage> &Messages,
+                            double StartupCost) const {
+  return static_cast<double>(numSteps()) * StartupCost +
+         static_cast<double>(totalStepMaxima(Messages));
+}
+
+bool mutk::isValidSchedule(const RedistSchedule &Schedule,
+                           const std::vector<RedistMessage> &Messages,
+                           int NumProcessors) {
+  std::vector<int> SeenCount(Messages.size(), 0);
+  for (const auto &Step : Schedule.Steps) {
+    std::vector<bool> Sending(static_cast<std::size_t>(NumProcessors), false);
+    std::vector<bool> Receiving(static_cast<std::size_t>(NumProcessors),
+                                false);
+    for (int Index : Step) {
+      if (Index < 0 || static_cast<std::size_t>(Index) >= Messages.size())
+        return false;
+      ++SeenCount[static_cast<std::size_t>(Index)];
+      const RedistMessage &M = Messages[static_cast<std::size_t>(Index)];
+      if (Sending[static_cast<std::size_t>(M.Source)] ||
+          Receiving[static_cast<std::size_t>(M.Dest)])
+        return false; // node contention
+      Sending[static_cast<std::size_t>(M.Source)] = true;
+      Receiving[static_cast<std::size_t>(M.Dest)] = true;
+    }
+  }
+  return std::all_of(SeenCount.begin(), SeenCount.end(),
+                     [](int Count) { return Count == 1; });
+}

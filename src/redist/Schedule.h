@@ -1,0 +1,45 @@
+//===- redist/Schedule.h - Contention-free step schedules -------*- C++ -*-===//
+///
+/// \file
+/// A redistribution schedule partitions the messages into communication
+/// steps such that within a step every processor sends at most one and
+/// receives at most one message (node-contention freedom). The cost
+/// model follows the APPT paper: each step costs a fixed startup plus
+/// the size of its largest message, so the schedule quality is
+/// `numSteps * Startup + sum of per-step maxima`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_REDIST_SCHEDULE_H
+#define MUTK_REDIST_SCHEDULE_H
+
+#include "redist/GenBlock.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// A schedule: step -> indices into the message list.
+struct RedistSchedule {
+  std::vector<std::vector<int>> Steps;
+
+  int numSteps() const { return static_cast<int>(Steps.size()); }
+
+  /// Sum over steps of the largest message size (the data-transmission
+  /// part of the cost).
+  long totalStepMaxima(const std::vector<RedistMessage> &Messages) const;
+
+  /// Full cost: `numSteps * StartupCost + totalStepMaxima`.
+  double cost(const std::vector<RedistMessage> &Messages,
+              double StartupCost = 0.0) const;
+};
+
+/// Checks contention-freedom and completeness: every message scheduled
+/// exactly once, and no step reuses a sender or a receiver.
+bool isValidSchedule(const RedistSchedule &Schedule,
+                     const std::vector<RedistMessage> &Messages,
+                     int NumProcessors);
+
+} // namespace mutk
+
+#endif // MUTK_REDIST_SCHEDULE_H

@@ -1,0 +1,314 @@
+//===- redist/Scpa.cpp - Smallest Conflict Points Algorithm -----------------===//
+
+#include "redist/Scpa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace mutk;
+
+namespace {
+
+/// Placement helper shared by the SCPA phases: a fixed set of `K` steps
+/// with per-step sender/receiver occupancy. When the size-guided greedy
+/// cannot place a message inside the K steps, a Kempe-chain (alternating
+/// path) repair frees a slot — bipartite multigraphs are Delta-edge-
+/// colorable (Koenig), so K steps always suffice and the repair always
+/// terminates.
+class StepBuilder {
+public:
+  StepBuilder(const std::vector<RedistMessage> &Messages, int NumProcessors,
+              int NumSteps)
+      : Messages(Messages), NumProcessors(NumProcessors),
+        SenderOf(static_cast<std::size_t>(NumSteps),
+                 std::vector<int>(static_cast<std::size_t>(NumProcessors),
+                                  -1)),
+        ReceiverOf(SenderOf), StepMax(static_cast<std::size_t>(NumSteps), 0),
+        Assignment(Messages.size(), -1) {}
+
+  bool fits(int Step, int MessageIndex) const {
+    const RedistMessage &M =
+        Messages[static_cast<std::size_t>(MessageIndex)];
+    return SenderOf[static_cast<std::size_t>(Step)]
+                   [static_cast<std::size_t>(M.Source)] < 0 &&
+           ReceiverOf[static_cast<std::size_t>(Step)]
+                     [static_cast<std::size_t>(M.Dest)] < 0;
+  }
+
+  /// The paper's "similar message size" rule: among feasible steps,
+  /// minimize the cost increase `max(0, size - stepMax)`; on a tie (no
+  /// increase), best-fit the smallest stepMax that still covers the
+  /// message. Returns -1 when no step fits.
+  int chooseStep(int MessageIndex) const {
+    const long Size = Messages[static_cast<std::size_t>(MessageIndex)].Size;
+    int Best = -1;
+    long BestIncrease = std::numeric_limits<long>::max();
+    long BestSlack = std::numeric_limits<long>::max();
+    for (int Step = 0; Step < numSteps(); ++Step) {
+      if (!fits(Step, MessageIndex))
+        continue;
+      long Max = StepMax[static_cast<std::size_t>(Step)];
+      long Increase = std::max<long>(0, Size - Max);
+      long Slack = Increase > 0 ? 0 : Max - Size;
+      if (Increase < BestIncrease ||
+          (Increase == BestIncrease && Slack < BestSlack)) {
+        Best = Step;
+        BestIncrease = Increase;
+        BestSlack = Slack;
+      }
+    }
+    return Best;
+  }
+
+  /// Places into the best-fitting step, running the alternating-chain
+  /// repair when the greedy finds no free slot.
+  void placeBestFit(int MessageIndex) {
+    int Step = chooseStep(MessageIndex);
+    if (Step < 0)
+      Step = repair(MessageIndex);
+    insert(Step, MessageIndex);
+  }
+
+  int numSteps() const { return static_cast<int>(StepMax.size()); }
+
+  RedistSchedule take() const {
+    RedistSchedule Result;
+    Result.Steps.resize(static_cast<std::size_t>(numSteps()));
+    for (std::size_t I = 0; I < Assignment.size(); ++I)
+      if (Assignment[I] >= 0)
+        Result.Steps[static_cast<std::size_t>(Assignment[I])].push_back(
+            static_cast<int>(I));
+    return Result;
+  }
+
+private:
+  const std::vector<RedistMessage> &Messages;
+  int NumProcessors;
+  /// Per step: message index occupying each sender / receiver, -1 free.
+  std::vector<std::vector<int>> SenderOf;
+  std::vector<std::vector<int>> ReceiverOf;
+  /// Running per-step maxima (heuristic only; never decreased).
+  std::vector<long> StepMax;
+  /// Message -> step.
+  std::vector<int> Assignment;
+
+  void insert(int Step, int MessageIndex) {
+    assert(fits(Step, MessageIndex) && "contention in chosen step");
+    const RedistMessage &M =
+        Messages[static_cast<std::size_t>(MessageIndex)];
+    SenderOf[static_cast<std::size_t>(Step)]
+            [static_cast<std::size_t>(M.Source)] = MessageIndex;
+    ReceiverOf[static_cast<std::size_t>(Step)]
+              [static_cast<std::size_t>(M.Dest)] = MessageIndex;
+    StepMax[static_cast<std::size_t>(Step)] =
+        std::max(StepMax[static_cast<std::size_t>(Step)], M.Size);
+    Assignment[static_cast<std::size_t>(MessageIndex)] = Step;
+  }
+
+  void remove(int Step, int MessageIndex) {
+    const RedistMessage &M =
+        Messages[static_cast<std::size_t>(MessageIndex)];
+    SenderOf[static_cast<std::size_t>(Step)]
+            [static_cast<std::size_t>(M.Source)] = -1;
+    ReceiverOf[static_cast<std::size_t>(Step)]
+              [static_cast<std::size_t>(M.Dest)] = -1;
+    Assignment[static_cast<std::size_t>(MessageIndex)] = -1;
+  }
+
+  /// Frees a slot for \p MessageIndex via the Koenig alternating chain
+  /// between a step A lacking the sender and a step B lacking the
+  /// receiver; returns A (which afterwards fits the message).
+  int repair(int MessageIndex) {
+    const RedistMessage &M =
+        Messages[static_cast<std::size_t>(MessageIndex)];
+    int A = -1, B = -1;
+    for (int Step = 0; Step < numSteps() && (A < 0 || B < 0); ++Step) {
+      if (A < 0 && SenderOf[static_cast<std::size_t>(Step)]
+                           [static_cast<std::size_t>(M.Source)] < 0)
+        A = Step;
+      else if (B < 0 && ReceiverOf[static_cast<std::size_t>(Step)]
+                                  [static_cast<std::size_t>(M.Dest)] < 0)
+        B = Step;
+    }
+    assert(A >= 0 && B >= 0 &&
+           "degree exceeds the step count: caller sized the builder wrong");
+
+    // Walk the alternating chain starting from the receiver conflict in
+    // A, swapping occupants between A and B until A frees up.
+    int Evictee = ReceiverOf[static_cast<std::size_t>(A)]
+                            [static_cast<std::size_t>(M.Dest)];
+    bool MatchSender = true; // next conflict in B is at the evictee's sender
+    int From = A, To = B;
+    while (Evictee >= 0) {
+      remove(From, Evictee);
+      const RedistMessage &E =
+          Messages[static_cast<std::size_t>(Evictee)];
+      int Next =
+          MatchSender
+              ? SenderOf[static_cast<std::size_t>(To)]
+                        [static_cast<std::size_t>(E.Source)]
+              : ReceiverOf[static_cast<std::size_t>(To)]
+                          [static_cast<std::size_t>(E.Dest)];
+      if (Next >= 0)
+        remove(To, Next);
+      insert(To, Evictee);
+      Evictee = Next;
+      std::swap(From, To);
+      MatchSender = !MatchSender;
+    }
+    assert(fits(A, MessageIndex) && "alternating chain failed to free A");
+    return A;
+  }
+};
+
+} // namespace
+
+ScpaAnalysis mutk::analyzeConflicts(const std::vector<RedistMessage> &Messages,
+                                    int NumProcessors) {
+  ScpaAnalysis Analysis;
+  Analysis.MaxDegree = maxDegree(Messages, NumProcessors);
+  if (Messages.empty())
+    return Analysis;
+
+  // Per-processor message lists on each side.
+  std::vector<std::vector<int>> BySender(
+      static_cast<std::size_t>(NumProcessors));
+  std::vector<std::vector<int>> ByReceiver(
+      static_cast<std::size_t>(NumProcessors));
+  for (std::size_t I = 0; I < Messages.size(); ++I) {
+    BySender[static_cast<std::size_t>(Messages[I].Source)].push_back(
+        static_cast<int>(I));
+    ByReceiver[static_cast<std::size_t>(Messages[I].Dest)].push_back(
+        static_cast<int>(I));
+  }
+
+  // MDMSs: message sets of maximum-degree processors, senders first
+  // (this fixes the "earlier MDMS" order used for implicit conflicts).
+  for (int P = 0; P < NumProcessors; ++P)
+    if (static_cast<int>(BySender[static_cast<std::size_t>(P)].size()) ==
+        Analysis.MaxDegree)
+      Analysis.Sets.push_back(
+          Mdms{P, true, BySender[static_cast<std::size_t>(P)]});
+  for (int P = 0; P < NumProcessors; ++P)
+    if (static_cast<int>(ByReceiver[static_cast<std::size_t>(P)].size()) ==
+        Analysis.MaxDegree)
+      Analysis.Sets.push_back(
+          Mdms{P, false, ByReceiver[static_cast<std::size_t>(P)]});
+
+  // Membership map: message -> MDMS ids.
+  std::vector<std::vector<int>> Membership(Messages.size());
+  for (std::size_t SetId = 0; SetId < Analysis.Sets.size(); ++SetId)
+    for (int Index : Analysis.Sets[SetId].MessageIndices)
+      Membership[static_cast<std::size_t>(Index)].push_back(
+          static_cast<int>(SetId));
+
+  // Explicit conflict points: a message inside two MDMSs.
+  std::vector<bool> IsConflict(Messages.size(), false);
+  for (std::size_t I = 0; I < Messages.size(); ++I)
+    if (Membership[I].size() >= 2) {
+      Analysis.ExplicitConflicts.push_back(static_cast<int>(I));
+      IsConflict[I] = true;
+    }
+
+  // Implicit conflict points: two messages of *different* MDMSs meeting
+  // at a non-maximal processor; the message of the earlier MDMS
+  // conflicts (the other is "restricted" by it, paper §3.1).
+  auto scanSide = [&](const std::vector<std::vector<int>> &ByProcessor,
+                      bool SenderSide) {
+    for (int P = 0; P < NumProcessors; ++P) {
+      const auto &List = ByProcessor[static_cast<std::size_t>(P)];
+      if (static_cast<int>(List.size()) == Analysis.MaxDegree)
+        continue; // maximal: it is an MDMS itself
+      // Collect members of MDMSs among this processor's messages.
+      int First = -1, FirstSet = std::numeric_limits<int>::max();
+      int Distinct = 0, LastSet = -1;
+      for (int Index : List) {
+        const auto &Sets = Membership[static_cast<std::size_t>(Index)];
+        if (Sets.empty())
+          continue;
+        int SetId = Sets.front();
+        if (SetId != LastSet) {
+          ++Distinct;
+          LastSet = SetId;
+        }
+        if (SetId < FirstSet) {
+          FirstSet = SetId;
+          First = Index;
+        }
+      }
+      if (Distinct >= 2 && First >= 0 &&
+          !IsConflict[static_cast<std::size_t>(First)]) {
+        Analysis.ImplicitConflicts.push_back(First);
+        IsConflict[static_cast<std::size_t>(First)] = true;
+      }
+      (void)SenderSide;
+    }
+  };
+  scanSide(BySender, true);
+  scanSide(ByReceiver, false);
+
+  return Analysis;
+}
+
+RedistSchedule mutk::scheduleScpa(const std::vector<RedistMessage> &Messages,
+                                  int NumProcessors) {
+  if (Messages.empty())
+    return RedistSchedule{};
+  ScpaAnalysis Analysis = analyzeConflicts(Messages, NumProcessors);
+  StepBuilder Builder(Messages, NumProcessors,
+                      std::max(1, Analysis.MaxDegree));
+
+  std::vector<bool> Placed(Messages.size(), false);
+  auto placeAll = [&](std::vector<int> Indices, bool BySize) {
+    if (BySize)
+      std::sort(Indices.begin(), Indices.end(), [&](int A, int B) {
+        if (Messages[static_cast<std::size_t>(A)].Size !=
+            Messages[static_cast<std::size_t>(B)].Size)
+          return Messages[static_cast<std::size_t>(A)].Size >
+                 Messages[static_cast<std::size_t>(B)].Size;
+        return A < B;
+      });
+    for (int Index : Indices) {
+      if (Placed[static_cast<std::size_t>(Index)])
+        continue;
+      Builder.placeBestFit(Index);
+      Placed[static_cast<std::size_t>(Index)] = true;
+    }
+  };
+
+  // Phase 1: all conflict points (explicit then implicit). On the still
+  // empty steps the best-fit rule puts them into a common step whenever
+  // the contention rules allow (the paper's "schedule all the conflict
+  // points into the same schedule step"); ordering them by size keeps
+  // the step maxima tight.
+  {
+    std::vector<int> Conflicts = Analysis.ExplicitConflicts;
+    Conflicts.insert(Conflicts.end(), Analysis.ImplicitConflicts.begin(),
+                     Analysis.ImplicitConflicts.end());
+    placeAll(std::move(Conflicts), /*BySize=*/true);
+  }
+
+  // Phase 2: remaining MDMS messages, non-increasing size.
+  std::vector<int> MdmsMessages;
+  for (const Mdms &Set : Analysis.Sets)
+    for (int Index : Set.MessageIndices)
+      MdmsMessages.push_back(Index);
+  placeAll(std::move(MdmsMessages), /*BySize=*/true);
+
+  // Phase 3: everything else, non-increasing size.
+  std::vector<int> Rest;
+  for (std::size_t I = 0; I < Messages.size(); ++I)
+    if (!Placed[I])
+      Rest.push_back(static_cast<int>(I));
+  placeAll(std::move(Rest), /*BySize=*/true);
+
+  RedistSchedule Result = Builder.take();
+  // Drop empty steps (possible when MaxDegree overestimates need after
+  // conflicts merged).
+  Result.Steps.erase(
+      std::remove_if(Result.Steps.begin(), Result.Steps.end(),
+                     [](const std::vector<int> &S) { return S.empty(); }),
+      Result.Steps.end());
+  return Result;
+}

@@ -1,0 +1,124 @@
+//===- seq/Alignment.cpp - Global pairwise alignment -----------------------===//
+
+#include "seq/Alignment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+using namespace mutk;
+
+Alignment mutk::alignGlobal(const std::string &A, const std::string &B,
+                            const AlignmentScoring &Scoring) {
+  const int NA = static_cast<int>(A.size());
+  const int NB = static_cast<int>(B.size());
+
+  // Score[i][j]: best score aligning A[0..i) with B[0..j).
+  std::vector<std::vector<double>> Score(
+      static_cast<std::size_t>(NA) + 1,
+      std::vector<double>(static_cast<std::size_t>(NB) + 1, 0.0));
+  // Move[i][j]: 0 diagonal, 1 up (gap in B), 2 left (gap in A).
+  std::vector<std::vector<unsigned char>> Move(
+      static_cast<std::size_t>(NA) + 1,
+      std::vector<unsigned char>(static_cast<std::size_t>(NB) + 1, 0));
+
+  for (int I = 1; I <= NA; ++I) {
+    Score[static_cast<std::size_t>(I)][0] = I * Scoring.Gap;
+    Move[static_cast<std::size_t>(I)][0] = 1;
+  }
+  for (int J = 1; J <= NB; ++J) {
+    Score[0][static_cast<std::size_t>(J)] = J * Scoring.Gap;
+    Move[0][static_cast<std::size_t>(J)] = 2;
+  }
+
+  for (int I = 1; I <= NA; ++I)
+    for (int J = 1; J <= NB; ++J) {
+      bool IsMatch = A[static_cast<std::size_t>(I - 1)] ==
+                     B[static_cast<std::size_t>(J - 1)];
+      double Diag = Score[static_cast<std::size_t>(I - 1)]
+                         [static_cast<std::size_t>(J - 1)] +
+                    (IsMatch ? Scoring.Match : Scoring.Mismatch);
+      double Up = Score[static_cast<std::size_t>(I - 1)]
+                       [static_cast<std::size_t>(J)] +
+                  Scoring.Gap;
+      double Left = Score[static_cast<std::size_t>(I)]
+                         [static_cast<std::size_t>(J - 1)] +
+                    Scoring.Gap;
+      // Deterministic tie-break: diagonal, then up, then left.
+      double Best = Diag;
+      unsigned char M = 0;
+      if (Up > Best) {
+        Best = Up;
+        M = 1;
+      }
+      if (Left > Best) {
+        Best = Left;
+        M = 2;
+      }
+      Score[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)] = Best;
+      Move[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)] = M;
+    }
+
+  Alignment Result;
+  Result.Score = Score[static_cast<std::size_t>(NA)]
+                      [static_cast<std::size_t>(NB)];
+
+  // Traceback.
+  std::string RevA, RevB;
+  int I = NA, J = NB;
+  while (I > 0 || J > 0) {
+    unsigned char M =
+        Move[static_cast<std::size_t>(I)][static_cast<std::size_t>(J)];
+    if (I > 0 && J > 0 && M == 0) {
+      char CA = A[static_cast<std::size_t>(I - 1)];
+      char CB = B[static_cast<std::size_t>(J - 1)];
+      RevA.push_back(CA);
+      RevB.push_back(CB);
+      if (CA == CB)
+        ++Result.Matches;
+      else
+        ++Result.Mismatches;
+      --I;
+      --J;
+    } else if (I > 0 && (J == 0 || M == 1)) {
+      RevA.push_back(A[static_cast<std::size_t>(I - 1)]);
+      RevB.push_back('-');
+      ++Result.Gaps;
+      --I;
+    } else {
+      assert(J > 0 && "traceback stuck");
+      RevA.push_back('-');
+      RevB.push_back(B[static_cast<std::size_t>(J - 1)]);
+      ++Result.Gaps;
+      --J;
+    }
+  }
+  Result.AlignedA.assign(RevA.rbegin(), RevA.rend());
+  Result.AlignedB.assign(RevB.rbegin(), RevB.rend());
+  return Result;
+}
+
+std::string mutk::formatAlignment(const Alignment &Aligned, int Width) {
+  assert(Width > 0 && "width must be positive");
+  std::ostringstream OS;
+  const int Len = Aligned.length();
+  for (int Start = 0; Start < Len; Start += Width) {
+    int Chunk = std::min(Width, Len - Start);
+    OS << Aligned.AlignedA.substr(static_cast<std::size_t>(Start),
+                                  static_cast<std::size_t>(Chunk))
+       << '\n';
+    for (int K = 0; K < Chunk; ++K) {
+      char CA = Aligned.AlignedA[static_cast<std::size_t>(Start + K)];
+      char CB = Aligned.AlignedB[static_cast<std::size_t>(Start + K)];
+      OS << (CA == CB ? '|' : (CA == '-' || CB == '-' ? ' ' : '.'));
+    }
+    OS << '\n'
+       << Aligned.AlignedB.substr(static_cast<std::size_t>(Start),
+                                  static_cast<std::size_t>(Chunk))
+       << '\n';
+    if (Start + Width < Len)
+      OS << '\n';
+  }
+  return OS.str();
+}

@@ -1,0 +1,71 @@
+//===- seq/Alignment.h - Global pairwise alignment --------------*- C++ -*-===//
+///
+/// \file
+/// Needleman-Wunsch global alignment with traceback. The papers'
+/// introduction contrasts two models — multiple sequence alignment and
+/// the distance matrix — and derives the distances as edit distances;
+/// this module provides the alignment view of the same computation:
+/// configurable match/mismatch/gap scores, the aligned strings, and
+/// identity statistics. With unit costs (`EditDistanceScoring`), the
+/// alignment's mismatch+gap count equals `editDistance`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SEQ_ALIGNMENT_H
+#define MUTK_SEQ_ALIGNMENT_H
+
+#include <string>
+
+namespace mutk {
+
+/// Scoring scheme: alignment *maximizes* the summed score.
+struct AlignmentScoring {
+  double Match = 1.0;
+  double Mismatch = -1.0;
+  double Gap = -1.0;
+};
+
+/// The minimizing-unit-cost scheme whose optimal alignment realizes the
+/// Levenshtein distance (match 0, mismatch/gap -1).
+inline AlignmentScoring editDistanceScoring() {
+  return AlignmentScoring{0.0, -1.0, -1.0};
+}
+
+/// A finished global alignment.
+struct Alignment {
+  /// Gapped versions of the two inputs; equal length, `-` marks a gap.
+  std::string AlignedA;
+  std::string AlignedB;
+  /// Total score under the requested scheme.
+  double Score = 0.0;
+  /// Column counts.
+  int Matches = 0;
+  int Mismatches = 0;
+  int Gaps = 0;
+
+  /// Number of alignment columns.
+  int length() const { return static_cast<int>(AlignedA.size()); }
+
+  /// Fraction of columns that match (0 for an empty alignment).
+  double identity() const {
+    return length() > 0 ? static_cast<double>(Matches) / length() : 0.0;
+  }
+
+  /// Mismatches + gaps; equals the edit distance under
+  /// `editDistanceScoring`.
+  int editOperations() const { return Mismatches + Gaps; }
+};
+
+/// Globally aligns \p A and \p B, maximizing the score under
+/// \p Scoring. O(|A| * |B|) time and memory (full traceback matrix).
+/// Ties prefer diagonal moves, then gaps in B, so the result is
+/// deterministic.
+Alignment alignGlobal(const std::string &A, const std::string &B,
+                      const AlignmentScoring &Scoring = {});
+
+/// Renders the alignment as three lines (`A`, markers, `B`).
+std::string formatAlignment(const Alignment &Aligned, int Width = 60);
+
+} // namespace mutk
+
+#endif // MUTK_SEQ_ALIGNMENT_H

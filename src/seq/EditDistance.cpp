@@ -1,0 +1,92 @@
+//===- seq/EditDistance.cpp - Levenshtein distance -------------------------===//
+
+#include "seq/EditDistance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+using namespace mutk;
+
+int mutk::editDistance(const std::string &A, const std::string &B) {
+  const int NA = static_cast<int>(A.size());
+  const int NB = static_cast<int>(B.size());
+  std::vector<int> Prev(static_cast<std::size_t>(NB) + 1);
+  std::vector<int> Cur(static_cast<std::size_t>(NB) + 1);
+  for (int J = 0; J <= NB; ++J)
+    Prev[static_cast<std::size_t>(J)] = J;
+  for (int I = 1; I <= NA; ++I) {
+    Cur[0] = I;
+    for (int J = 1; J <= NB; ++J) {
+      int Sub = Prev[static_cast<std::size_t>(J - 1)] +
+                (A[static_cast<std::size_t>(I - 1)] !=
+                 B[static_cast<std::size_t>(J - 1)]);
+      int Del = Prev[static_cast<std::size_t>(J)] + 1;
+      int Ins = Cur[static_cast<std::size_t>(J - 1)] + 1;
+      Cur[static_cast<std::size_t>(J)] = std::min({Sub, Del, Ins});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[static_cast<std::size_t>(NB)];
+}
+
+int mutk::bandedEditDistance(const std::string &A, const std::string &B,
+                             int Band) {
+  assert(Band >= 0 && "band must be nonnegative");
+  const int NA = static_cast<int>(A.size());
+  const int NB = static_cast<int>(B.size());
+  // If the lengths differ by more than the band, the distance certainly
+  // exceeds it.
+  if (std::abs(NA - NB) > Band)
+    return Band + 1;
+
+  const int Big = std::numeric_limits<int>::max() / 2;
+  std::vector<int> Prev(static_cast<std::size_t>(NB) + 1, Big);
+  std::vector<int> Cur(static_cast<std::size_t>(NB) + 1, Big);
+  for (int J = 0; J <= std::min(NB, Band); ++J)
+    Prev[static_cast<std::size_t>(J)] = J;
+
+  for (int I = 1; I <= NA; ++I) {
+    const int Lo = std::max(1, I - Band);
+    const int Hi = std::min(NB, I + Band);
+    std::fill(Cur.begin(), Cur.end(), Big);
+    if (Lo == 1)
+      Cur[0] = I;
+    for (int J = Lo; J <= Hi; ++J) {
+      int Sub = Prev[static_cast<std::size_t>(J - 1)] +
+                (A[static_cast<std::size_t>(I - 1)] !=
+                 B[static_cast<std::size_t>(J - 1)]);
+      int Del = Prev[static_cast<std::size_t>(J)] + 1;
+      int Ins = Cur[static_cast<std::size_t>(J - 1)] + 1;
+      Cur[static_cast<std::size_t>(J)] = std::min({Sub, Del, Ins});
+    }
+    std::swap(Prev, Cur);
+  }
+  int Result = Prev[static_cast<std::size_t>(NB)];
+  return std::min(Result, Band + 1);
+}
+
+int mutk::fastEditDistance(const std::string &A, const std::string &B) {
+  const int NA = static_cast<int>(A.size());
+  const int NB = static_cast<int>(B.size());
+  int Band = std::max(1, std::abs(NA - NB));
+  const int MaxDistance = std::max(NA, NB);
+  for (;;) {
+    int D = bandedEditDistance(A, B, Band);
+    if (D <= Band)
+      return D;
+    if (Band >= MaxDistance)
+      return D; // distance equals max length; cannot exceed it
+    Band = std::min(Band * 2, MaxDistance);
+  }
+}
+
+int mutk::hammingDistance(const std::string &A, const std::string &B) {
+  assert(A.size() == B.size() && "hamming distance needs equal lengths");
+  int D = 0;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    D += (A[I] != B[I]);
+  return D;
+}

@@ -1,0 +1,40 @@
+//===- seq/EditDistance.h - Levenshtein distance ----------------*- C++ -*-===//
+///
+/// \file
+/// Edit distance between DNA sequences. The distance-matrix model of the
+/// paper derives species distances as "the edit distance for any two of
+/// species"; this module provides the full dynamic program, a banded
+/// variant, and the Ukkonen-style exact computation that doubles the band
+/// until the result is certified (fast when sequences are similar, which
+/// is exactly the mitochondrial-DNA regime).
+///
+/// Edit distance is a metric (nonnegative, symmetric, triangle
+/// inequality), so matrices built from it need no metric repair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SEQ_EDITDISTANCE_H
+#define MUTK_SEQ_EDITDISTANCE_H
+
+#include <string>
+
+namespace mutk {
+
+/// Full O(|A| * |B|) Levenshtein distance (unit costs).
+int editDistance(const std::string &A, const std::string &B);
+
+/// Banded Levenshtein: only cells with `|i - j| <= Band` are computed.
+/// \returns the exact distance if it is `<= Band`; otherwise a value
+/// `> Band` that is only a lower-bound certificate of "greater than Band".
+int bandedEditDistance(const std::string &A, const std::string &B, int Band);
+
+/// Exact edit distance via band doubling (Ukkonen). Runs in
+/// O(d * max(|A|, |B|)) where `d` is the answer.
+int fastEditDistance(const std::string &A, const std::string &B);
+
+/// Hamming distance; the sequences must have equal length.
+int hammingDistance(const std::string &A, const std::string &B);
+
+} // namespace mutk
+
+#endif // MUTK_SEQ_EDITDISTANCE_H

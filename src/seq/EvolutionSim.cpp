@@ -1,0 +1,169 @@
+//===- seq/EvolutionSim.cpp - Synthetic molecular evolution ----------------===//
+
+#include "seq/EvolutionSim.h"
+
+#include "seq/EditDistance.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace mutk;
+
+namespace {
+
+const char Bases[] = {'A', 'C', 'G', 'T'};
+
+char randomBase(Rng &Rand) {
+  return Bases[Rand.nextBelow(4)];
+}
+
+/// The transition partner (purine<->purine, pyrimidine<->pyrimidine).
+char transitionOf(char Base) {
+  switch (Base) {
+  case 'A':
+    return 'G';
+  case 'G':
+    return 'A';
+  case 'C':
+    return 'T';
+  default:
+    return 'C'; // 'T'
+  }
+}
+
+char mutatedBase(char Old, const EvolutionSpec &Spec, Rng &Rand) {
+  // Kimura two-parameter: a substitution is a transition with
+  // probability TransitionBias, otherwise one of the two transversions.
+  if (Rand.nextBool(Spec.TransitionBias))
+    return transitionOf(Old);
+  char New;
+  do {
+    New = randomBase(Rand);
+  } while (New == Old || New == transitionOf(Old));
+  return New;
+}
+
+std::string randomSequence(int Length, Rng &Rand) {
+  std::string Seq(static_cast<std::size_t>(Length), 'A');
+  for (char &C : Seq)
+    C = randomBase(Rand);
+  return Seq;
+}
+
+/// Evolves \p Seq along a branch of length \p Time.
+std::string evolveAlongBranch(const std::string &Seq, double Time,
+                              const EvolutionSpec &Spec, Rng &Rand) {
+  // Probability a site mutates at least once on this branch.
+  double PSub = 1.0 - std::exp(-Spec.SubstitutionRate * Time);
+  double PIndel = 1.0 - std::exp(-Spec.IndelRate * Time);
+
+  std::string Result;
+  Result.reserve(Seq.size() + 8);
+  for (char C : Seq) {
+    if (Rand.nextBool(PIndel)) {
+      // Indel event: deletion or a short insertion, equally likely.
+      if (Rand.nextBool(0.5))
+        continue; // deletion: drop the site
+      Result.push_back(randomBase(Rand));
+      // fall through to also keep the original site (insertion before it)
+    }
+    Result.push_back(Rand.nextBool(PSub) ? mutatedBase(C, Spec, Rand) : C);
+  }
+  if (Result.empty())
+    Result.push_back(randomBase(Rand)); // never let a lineage vanish
+  return Result;
+}
+
+/// Recursively builds a random binary topology over \p Species and
+/// evolves \p Seq down it. Returns the root node index in \p Tree.
+int growSubtree(PhyloTree &Tree, std::vector<int> Species, double Height,
+                std::string Seq, std::vector<std::string> &LeafSeqs,
+                const EvolutionSpec &Spec, Rng &Rand) {
+  if (Species.size() == 1) {
+    LeafSeqs[static_cast<std::size_t>(Species.front())] = std::move(Seq);
+    return Tree.addLeaf(Species.front());
+  }
+  // Random nonempty split.
+  Rand.shuffle(Species);
+  std::size_t Cut =
+      1 + static_cast<std::size_t>(Rand.nextBelow(Species.size() - 1));
+  std::vector<int> LeftSpecies(Species.begin(),
+                               Species.begin() + static_cast<long>(Cut));
+  std::vector<int> RightSpecies(Species.begin() + static_cast<long>(Cut),
+                                Species.end());
+
+  double LeftHeight =
+      LeftSpecies.size() == 1
+          ? 0.0
+          : Height * Rand.nextDouble(Spec.MinShrink, Spec.MaxShrink);
+  double RightHeight =
+      RightSpecies.size() == 1
+          ? 0.0
+          : Height * Rand.nextDouble(Spec.MinShrink, Spec.MaxShrink);
+
+  // Per-branch rate heterogeneity: the effective amount of evolution on
+  // a branch deviates lognormally from its clock duration.
+  double LeftRate = std::exp(Spec.RateVariation * Rand.nextGaussian());
+  double RightRate = std::exp(Spec.RateVariation * Rand.nextGaussian());
+  std::string LeftSeq =
+      evolveAlongBranch(Seq, (Height - LeftHeight) * LeftRate, Spec, Rand);
+  std::string RightSeq = evolveAlongBranch(
+      Seq, (Height - RightHeight) * RightRate, Spec, Rand);
+
+  int Left = growSubtree(Tree, std::move(LeftSpecies), LeftHeight,
+                         std::move(LeftSeq), LeafSeqs, Spec, Rand);
+  int Right = growSubtree(Tree, std::move(RightSpecies), RightHeight,
+                          std::move(RightSeq), LeafSeqs, Spec, Rand);
+  return Tree.addInternal(Left, Right, Height);
+}
+
+} // namespace
+
+EvolutionResult mutk::simulateEvolution(int NumSpecies, std::uint64_t Seed,
+                                        const EvolutionSpec &Spec) {
+  assert(NumSpecies >= 1 && "need at least one species");
+  assert(Spec.SequenceLength > 0 && "sequence length must be positive");
+  Rng Rand(Seed);
+
+  EvolutionResult Result;
+  Result.Sequences.resize(static_cast<std::size_t>(NumSpecies));
+  Result.Names.reserve(static_cast<std::size_t>(NumSpecies));
+  for (int I = 0; I < NumSpecies; ++I)
+    Result.Names.push_back("dna" + std::to_string(I));
+
+  std::vector<int> Species(static_cast<std::size_t>(NumSpecies));
+  for (int I = 0; I < NumSpecies; ++I)
+    Species[static_cast<std::size_t>(I)] = I;
+
+  std::string Ancestor = randomSequence(Spec.SequenceLength, Rand);
+  double RootHeight = NumSpecies == 1 ? 0.0 : Spec.RootHeight;
+  int Root = growSubtree(Result.TrueTree, std::move(Species), RootHeight,
+                         std::move(Ancestor), Result.Sequences, Spec, Rand);
+  Result.TrueTree.setRoot(Root);
+  Result.TrueTree.setNames(Result.Names);
+  return Result;
+}
+
+DistanceMatrix
+mutk::editDistanceMatrix(const std::vector<std::string> &Sequences,
+                         const std::vector<std::string> &Names) {
+  const int N = static_cast<int>(Sequences.size());
+  DistanceMatrix M(N);
+  for (int I = 0; I < N; ++I)
+    if (static_cast<std::size_t>(I) < Names.size())
+      M.setName(I, Names[static_cast<std::size_t>(I)]);
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      M.set(I, J,
+            static_cast<double>(fastEditDistance(
+                Sequences[static_cast<std::size_t>(I)],
+                Sequences[static_cast<std::size_t>(J)])));
+  return M;
+}
+
+DistanceMatrix mutk::hmdnaLikeMatrix(int NumSpecies, std::uint64_t Seed,
+                                     const EvolutionSpec &Spec) {
+  EvolutionResult Sim = simulateEvolution(NumSpecies, Seed, Spec);
+  return editDistanceMatrix(Sim.Sequences, Sim.Names);
+}

@@ -1,0 +1,76 @@
+//===- seq/EvolutionSim.h - Synthetic molecular evolution -------*- C++ -*-===//
+///
+/// \file
+/// Simulates DNA evolution to stand in for the paper's Human Mitochondrial
+/// DNA datasets (see DESIGN.md §5.1). A random rooted binary tree with
+/// near-constant evolutionary rate is generated; a random ancestral
+/// sequence evolves down its edges under Jukes-Cantor-style point
+/// mutations plus optional insertions/deletions. The leaf sequences are
+/// then compared by exact edit distance to produce the distance matrix —
+/// the same pipeline the original datasets went through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SEQ_EVOLUTIONSIM_H
+#define MUTK_SEQ_EVOLUTIONSIM_H
+
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mutk {
+
+/// Parameters of the sequence-evolution simulation.
+struct EvolutionSpec {
+  /// Length of the ancestral sequence.
+  int SequenceLength = 240;
+  /// Expected substitutions per site along one unit of branch length.
+  double SubstitutionRate = 0.08;
+  /// Expected indel events per site along one unit of branch length.
+  double IndelRate = 0.004;
+  /// Height (time) of the root; pairwise divergence is at most twice this.
+  double RootHeight = 1.0;
+  /// Every child height lies in `[MinShrink, MaxShrink] * parent height`
+  /// (same shape control as the ultrametric matrix generator).
+  double MinShrink = 0.35;
+  double MaxShrink = 0.85;
+  /// Lineage rate heterogeneity: each branch's effective length is
+  /// multiplied by `exp(RateVariation * gaussian)`. 0 = strict molecular
+  /// clock (easy instances); ~0.6 matches the difficulty profile of real
+  /// mitochondrial data, where the clock only holds approximately.
+  double RateVariation = 0.6;
+  /// Probability that a substitution is a *transition* (A<->G, C<->T).
+  /// 1/3 gives the Jukes-Cantor model (all targets equally likely);
+  /// real mitochondrial DNA is transition-dominated (~0.9), which is the
+  /// Kimura two-parameter regime.
+  double TransitionBias = 1.0 / 3.0;
+};
+
+/// Result of one simulation: the leaf sequences, the generating ("true")
+/// tree, and the species names `dna0..dna{n-1}`.
+struct EvolutionResult {
+  std::vector<std::string> Sequences;
+  PhyloTree TrueTree;
+  std::vector<std::string> Names;
+};
+
+/// Simulates \p NumSpecies species. Deterministic in \p Seed.
+EvolutionResult simulateEvolution(int NumSpecies, std::uint64_t Seed,
+                                  const EvolutionSpec &Spec = {});
+
+/// Pairwise exact edit distances between \p Sequences, labeled with
+/// \p Names (which may be empty to keep default labels).
+DistanceMatrix editDistanceMatrix(const std::vector<std::string> &Sequences,
+                                  const std::vector<std::string> &Names = {});
+
+/// Convenience: `simulateEvolution` + `editDistanceMatrix`. This is the
+/// `HMDNA(n, seed)` workload of DESIGN.md.
+DistanceMatrix hmdnaLikeMatrix(int NumSpecies, std::uint64_t Seed,
+                               const EvolutionSpec &Spec = {});
+
+} // namespace mutk
+
+#endif // MUTK_SEQ_EVOLUTIONSIM_H

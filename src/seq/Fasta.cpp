@@ -1,0 +1,92 @@
+//===- seq/Fasta.cpp - FASTA sequence I/O ------------------------------------===//
+
+#include "seq/Fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+using namespace mutk;
+
+void mutk::writeFasta(std::ostream &OS,
+                      const std::vector<FastaRecord> &Records) {
+  constexpr std::size_t Width = 70;
+  for (const FastaRecord &Record : Records) {
+    OS << '>' << Record.Name << '\n';
+    for (std::size_t Offset = 0; Offset < Record.Sequence.size();
+         Offset += Width)
+      OS << Record.Sequence.substr(Offset, Width) << '\n';
+    if (Record.Sequence.empty())
+      OS << '\n';
+  }
+}
+
+std::string mutk::fastaToString(const std::vector<FastaRecord> &Records) {
+  std::ostringstream OS;
+  writeFasta(OS, Records);
+  return OS.str();
+}
+
+std::optional<std::vector<FastaRecord>> mutk::readFasta(std::istream &IS,
+                                                        std::string *Error) {
+  auto fail = [&](const std::string &Message)
+      -> std::optional<std::vector<FastaRecord>> {
+    if (Error)
+      *Error = Message;
+    return std::nullopt;
+  };
+
+  std::vector<FastaRecord> Records;
+  std::string Line;
+  int LineNumber = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNumber;
+    // Strip trailing CR from CRLF files.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty())
+      continue;
+    if (Line.front() == '>') {
+      Records.push_back(FastaRecord{Line.substr(1), ""});
+      continue;
+    }
+    if (Records.empty())
+      return fail("sequence data before the first '>' header (line " +
+                  std::to_string(LineNumber) + ")");
+    for (char C : Line) {
+      if (std::isspace(static_cast<unsigned char>(C)))
+        continue;
+      Records.back().Sequence.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(C))));
+    }
+  }
+  if (Records.empty())
+    return fail("no FASTA records found");
+  return Records;
+}
+
+std::optional<std::vector<FastaRecord>>
+mutk::fastaFromString(const std::string &Text, std::string *Error) {
+  std::istringstream IS(Text);
+  return readFasta(IS, Error);
+}
+
+bool mutk::writeFastaFile(const std::string &Path,
+                          const std::vector<FastaRecord> &Records) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeFasta(OS, Records);
+  return static_cast<bool>(OS);
+}
+
+std::optional<std::vector<FastaRecord>>
+mutk::readFastaFile(const std::string &Path, std::string *Error) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open " + Path;
+    return std::nullopt;
+  }
+  return readFasta(IS, Error);
+}

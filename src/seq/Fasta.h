@@ -1,0 +1,56 @@
+//===- seq/Fasta.h - FASTA sequence I/O --------------------------*- C++ -*-===//
+///
+/// \file
+/// Minimal FASTA reading/writing so simulated datasets can be exported
+/// to — and real sequence sets imported from — the format every
+/// bioinformatics tool speaks. Wrapped at 70 columns on output; on input
+/// the parser accepts arbitrary line lengths, skips blank lines, and
+/// uppercases sequence characters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SEQ_FASTA_H
+#define MUTK_SEQ_FASTA_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mutk {
+
+/// One FASTA record.
+struct FastaRecord {
+  std::string Name;     ///< header without the leading '>'
+  std::string Sequence; ///< uppercase residues
+};
+
+/// Writes records as FASTA (70-column wrapping).
+void writeFasta(std::ostream &OS, const std::vector<FastaRecord> &Records);
+
+/// Serializes records to a FASTA string.
+std::string fastaToString(const std::vector<FastaRecord> &Records);
+
+/// Parses FASTA from \p IS.
+///
+/// \param [out] Error human-readable message on failure (may be null).
+/// \returns the records, or nullopt when the input has sequence data
+/// before the first header or no records at all.
+std::optional<std::vector<FastaRecord>>
+readFasta(std::istream &IS, std::string *Error = nullptr);
+
+/// Parses FASTA from a string.
+std::optional<std::vector<FastaRecord>>
+fastaFromString(const std::string &Text, std::string *Error = nullptr);
+
+/// Writes \p Records to the file at \p Path. \returns true on success.
+bool writeFastaFile(const std::string &Path,
+                    const std::vector<FastaRecord> &Records);
+
+/// Reads records from the file at \p Path.
+std::optional<std::vector<FastaRecord>>
+readFastaFile(const std::string &Path, std::string *Error = nullptr);
+
+} // namespace mutk
+
+#endif // MUTK_SEQ_FASTA_H

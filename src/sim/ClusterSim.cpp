@@ -1,0 +1,257 @@
+//===- sim/ClusterSim.cpp - Discrete-event PC-cluster simulator -----------===//
+
+#include "sim/ClusterSim.h"
+
+#include "bnb/Engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+using namespace mutk;
+
+namespace {
+
+/// A published upper-bound improvement.
+struct UbEvent {
+  double Time = 0.0;
+  double Value = 0.0;
+};
+
+/// A BBT node sitting in the global pool, stamped with the time it became
+/// available there.
+struct PoolEntry {
+  Topology Node;
+  double AvailableTime = 0.0;
+};
+
+/// One simulated computing node.
+struct SimNode {
+  double Clock = 0.0;
+  double Speed = 1.0;
+  /// Back = best (lowest lower bound among the locally known order).
+  std::deque<Topology> Local;
+  /// Upper bound this node currently believes in.
+  double KnownUb = 0.0;
+  SimNodeStats Stats;
+};
+
+} // namespace
+
+ClusterSimResult mutk::simulateClusterBnb(const DistanceMatrix &M,
+                                          const ClusterSpec &Spec,
+                                          const BnbOptions &Options) {
+  assert(Spec.NumNodes >= 1 && "need at least one computing node");
+  assert(!Options.CollectAllOptimal &&
+         "CollectAllOptimal is not supported by the simulator");
+
+  ClusterSimResult Result;
+  Result.Nodes.resize(static_cast<std::size_t>(Spec.NumNodes));
+  if (M.size() <= 1) {
+    if (M.size() == 1) {
+      Result.Tree.addLeaf(0);
+      Result.Tree.setNames(M.names());
+    }
+    return Result;
+  }
+
+  BnbEngine Engine(M, Options);
+  const double Eps = Options.Epsilon;
+  const int P = Spec.NumNodes;
+
+  double GlobalUb = Engine.initialUpperBound();
+  bool HasBest = false;
+  Topology BestTopology;
+
+  auto acceptSolution = [&](const Topology &T) {
+    double Cost = T.cost();
+    if (Cost >= GlobalUb - Eps)
+      return false;
+    GlobalUb = Cost;
+    BestTopology = T;
+    HasBest = true;
+    return true;
+  };
+
+  // --- Master phase (Steps 4-5): seed the BBT to 2 * P frontier nodes.
+  std::deque<Topology> Frontier;
+  Frontier.push_back(Engine.rootTopology());
+  BnbStats &Stats = Result.Stats;
+  std::uint64_t SeedBranched = 0;
+  while (!Frontier.empty() && static_cast<int>(Frontier.size()) < 2 * P) {
+    Topology T = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (Engine.isComplete(T)) {
+      acceptSolution(T);
+      continue;
+    }
+    ++Stats.Branched;
+    ++SeedBranched;
+    for (Topology &Child : Engine.branch(T, GlobalUb, Stats)) {
+      if (Engine.isComplete(Child)) {
+        if (acceptSolution(Child))
+          ++Stats.UbUpdates;
+        continue;
+      }
+      Frontier.push_back(std::move(Child));
+    }
+  }
+  Result.SeedTime =
+      static_cast<double>(SeedBranched) * Spec.BranchCost;
+
+  // --- Step 6: sort by LB, deal cyclically, charge the transfer.
+  std::vector<Topology> Sorted(std::make_move_iterator(Frontier.begin()),
+                               std::make_move_iterator(Frontier.end()));
+  std::sort(Sorted.begin(), Sorted.end(),
+            [&Engine](const Topology &A, const Topology &B) {
+              return Engine.lowerBound(A) < Engine.lowerBound(B);
+            });
+
+  std::vector<SimNode> Nodes(static_cast<std::size_t>(P));
+  for (int I = 0; I < P; ++I) {
+    SimNode &N = Nodes[static_cast<std::size_t>(I)];
+    N.Speed = (static_cast<std::size_t>(I) < Spec.NodeSpeeds.size())
+                  ? Spec.NodeSpeeds[static_cast<std::size_t>(I)]
+                  : 1.0;
+    assert(N.Speed > 0.0 && "node speeds must be positive");
+    N.Clock = Result.SeedTime + Spec.PoolTransferCost;
+    N.KnownUb = GlobalUb;
+  }
+  for (std::size_t I = 0; I < Sorted.size(); ++I)
+    Nodes[I % static_cast<std::size_t>(P)].Local.push_front(
+        std::move(Sorted[I])); // back = best after the push_front deal
+
+  std::vector<UbEvent> Events;
+  std::deque<PoolEntry> GlobalPool;
+
+  // --- Step 7: event loop. Always advance the node able to act at the
+  // earliest virtual time.
+  for (;;) {
+    if (Options.MaxBranchedNodes != 0 &&
+        Stats.Branched >= Options.MaxBranchedNodes) {
+      Stats.Complete = false;
+      break;
+    }
+
+    // Pick the acting node: local work acts at Clock; a pull from the
+    // global pool acts at max(Clock, AvailableTime) + transfer.
+    int Best = -1;
+    double BestStart = std::numeric_limits<double>::infinity();
+    bool BestIsPull = false;
+    for (int I = 0; I < P; ++I) {
+      SimNode &N = Nodes[static_cast<std::size_t>(I)];
+      if (!N.Local.empty()) {
+        if (N.Clock < BestStart) {
+          BestStart = N.Clock;
+          Best = I;
+          BestIsPull = false;
+        }
+      } else if (!GlobalPool.empty()) {
+        double Start = std::max(N.Clock, GlobalPool.front().AvailableTime) +
+                       Spec.PoolTransferCost;
+        if (Start < BestStart) {
+          BestStart = Start;
+          Best = I;
+          BestIsPull = true;
+        }
+      }
+    }
+    if (Best < 0)
+      break; // no node has or can obtain work: done
+
+    SimNode &N = Nodes[static_cast<std::size_t>(Best)];
+    Topology Current;
+    if (BestIsPull) {
+      N.Stats.IdleTime += std::max(0.0, BestStart - Spec.PoolTransferCost -
+                                            N.Clock);
+      N.Clock = BestStart;
+      Current = std::move(GlobalPool.front().Node);
+      GlobalPool.pop_front();
+      ++N.Stats.PulledFromGlobal;
+    } else {
+      Current = std::move(N.Local.back());
+      N.Local.pop_back();
+    }
+
+    // Observe UB broadcasts that have reached this node by now. Event
+    // times are not globally ordered (nodes advance at different rates),
+    // and strict-improvement publications keep the list short, so a full
+    // scan is both correct and cheap.
+    for (const UbEvent &E : Events)
+      if (E.Time + Spec.UbBroadcastLatency <= N.Clock)
+        N.KnownUb = std::min(N.KnownUb, E.Value);
+
+    if (Engine.lowerBound(Current) >= N.KnownUb - Eps) {
+      double Cost = Spec.BoundCheckCost / N.Speed;
+      N.Clock += Cost;
+      N.Stats.BusyTime += Cost;
+      N.Stats.FinishTime = N.Clock;
+      ++Stats.PrunedByBound;
+      continue;
+    }
+
+    ++Stats.Branched;
+    ++N.Stats.Branched;
+    double Cost = Spec.BranchCost / N.Speed;
+    N.Clock += Cost;
+    N.Stats.BusyTime += Cost;
+    N.Stats.FinishTime = N.Clock;
+
+    std::vector<Topology> Children = Engine.branch(Current, N.KnownUb, Stats);
+    for (std::size_t I = Children.size(); I > 0; --I) {
+      Topology &Child = Children[I - 1];
+      if (Engine.isComplete(Child)) {
+        double ChildCost = Child.cost();
+        if (ChildCost < N.KnownUb - Eps) {
+          N.KnownUb = ChildCost;
+          ++N.Stats.UbUpdates;
+          Events.push_back(UbEvent{N.Clock, ChildCost});
+          if (acceptSolution(Child))
+            ++Stats.UbUpdates;
+        }
+        continue;
+      }
+      N.Local.push_back(std::move(Child)); // worst first, best last
+    }
+
+    // Donate the worst local node when the global pool is dry.
+    if (Spec.UseGlobalPool && GlobalPool.empty() && N.Local.size() > 1) {
+      GlobalPool.push_back(PoolEntry{std::move(N.Local.front()), N.Clock});
+      N.Local.pop_front();
+      ++N.Stats.DonatedToGlobal;
+    }
+  }
+
+  double Makespan = Result.SeedTime;
+  for (int I = 0; I < P; ++I) {
+    SimNode &N = Nodes[static_cast<std::size_t>(I)];
+    if (N.Stats.FinishTime == 0.0)
+      N.Stats.FinishTime = N.Clock;
+    Makespan = std::max(Makespan, N.Stats.FinishTime);
+    Result.Nodes[static_cast<std::size_t>(I)] = N.Stats;
+  }
+  // Tail idle time: nodes that finished before the makespan.
+  for (SimNodeStats &S : Result.Nodes)
+    S.IdleTime += Makespan - S.FinishTime;
+  Result.Makespan = Makespan;
+
+  if (HasBest) {
+    Result.Tree = Engine.finalize(BestTopology);
+    Result.Cost = BestTopology.cost();
+  } else {
+    Result.Tree = Engine.initialTree();
+    Result.Cost = Engine.initialUpperBound();
+  }
+  return Result;
+}
+
+ClusterSimResult
+mutk::simulateSequentialBaseline(const DistanceMatrix &M,
+                                 const BnbOptions &Options) {
+  ClusterSpec Spec;
+  Spec.NumNodes = 1;
+  Spec.UbBroadcastLatency = 0.0;
+  Spec.PoolTransferCost = 0.0;
+  return simulateClusterBnb(M, Spec, Options);
+}

@@ -1,0 +1,87 @@
+//===- sim/ClusterSim.h - Discrete-event PC-cluster simulator ---*- C++ -*-===//
+///
+/// \file
+/// A deterministic discrete-event simulation of the papers' experimental
+/// platform: a master plus N computing nodes running the parallel
+/// branch-and-bound (DESIGN.md §5.2 explains this substitution for the
+/// real 16-node cluster). The simulator executes the *actual* B&B work —
+/// every branching decision, bound check and upper-bound publication is
+/// real — while time is accounted in virtual units:
+///
+///  * branching one BBT node costs `BranchCost / speed(node)`,
+///  * a bound-check-only pop costs `BoundCheckCost / speed(node)`,
+///  * a new upper bound published by one node becomes visible to the
+///    others only `UbBroadcastLatency` units later,
+///  * pulling work from the master's global pool costs
+///    `PoolTransferCost` and cannot happen before the work was donated.
+///
+/// Super-linear speedup arises here for the same reason as on the real
+/// cluster: the parallel exploration order finds good upper bounds
+/// earlier, so the total number of branched nodes shrinks below the
+/// sequential count. Heterogeneous node speeds and latencies model the
+/// NCS paper's grid environment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SIM_CLUSTERSIM_H
+#define MUTK_SIM_CLUSTERSIM_H
+
+#include "bnb/SequentialBnb.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// The virtual machine room.
+struct ClusterSpec {
+  int NumNodes = 16;
+  /// Virtual cost of branching one BBT node on a speed-1 node.
+  double BranchCost = 1.0;
+  /// Virtual cost of popping a node that is immediately bounded away.
+  double BoundCheckCost = 0.05;
+  /// Delay before one node's improved UB reaches the others.
+  double UbBroadcastLatency = 4.0;
+  /// Cost of receiving one BBT node from the global pool.
+  double PoolTransferCost = 2.0;
+  /// Per-node relative speeds; empty means all 1.0 (homogeneous cluster).
+  /// A grid is modeled with mixed speeds and a higher broadcast latency.
+  std::vector<double> NodeSpeeds;
+  /// Disable the global pool entirely (load-balancing ablation): nodes
+  /// keep only the work they were dealt initially.
+  bool UseGlobalPool = true;
+};
+
+/// Per-node accounting.
+struct SimNodeStats {
+  double BusyTime = 0.0;
+  double IdleTime = 0.0;  ///< waiting for donated work mid-run
+  double FinishTime = 0.0;
+  std::uint64_t Branched = 0;
+  std::uint64_t PulledFromGlobal = 0;
+  std::uint64_t DonatedToGlobal = 0;
+  std::uint64_t UbUpdates = 0;
+};
+
+/// A MutResult extended with virtual-time accounting.
+struct ClusterSimResult : MutResult {
+  /// Virtual wall-clock of the whole run (the paper's "computing time").
+  double Makespan = 0.0;
+  /// Virtual time the master spent seeding and dealing the BBT.
+  double SeedTime = 0.0;
+  std::vector<SimNodeStats> Nodes;
+};
+
+/// Runs the parallel B&B of the HPCAsia paper on a simulated cluster.
+/// Fully deterministic; cost-equal to the sequential solver's optimum.
+ClusterSimResult simulateClusterBnb(const DistanceMatrix &M,
+                                    const ClusterSpec &Spec,
+                                    const BnbOptions &Options = {});
+
+/// Convenience: virtual time of a 1-node, zero-latency run — the
+/// simulator's sequential baseline for speedup figures.
+ClusterSimResult simulateSequentialBaseline(const DistanceMatrix &M,
+                                            const BnbOptions &Options = {});
+
+} // namespace mutk
+
+#endif // MUTK_SIM_CLUSTERSIM_H

@@ -1,0 +1,48 @@
+//===- support/Bits.h - Leaf-set bitmask helpers ----------------*- C++ -*-===//
+///
+/// \file
+/// Helpers for 64-bit leaf-set bitmasks. The branch-and-bound core keeps the
+/// set of leaves under every internal node as a `uint64_t`, which caps exact
+/// solves at 64 species per block — far above what exhaustive search can
+/// reach anyway (the paper stops at 38).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_BITS_H
+#define MUTK_SUPPORT_BITS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace mutk {
+
+/// A set of leaf indices in `[0, 64)` packed into one word.
+using LeafMask = std::uint64_t;
+
+/// Returns the mask containing only \p Leaf.
+inline LeafMask leafBit(int Leaf) {
+  assert(Leaf >= 0 && Leaf < 64 && "leaf index out of mask range");
+  return LeafMask{1} << Leaf;
+}
+
+/// Returns the number of leaves in \p Mask.
+inline int leafCount(LeafMask Mask) { return std::popcount(Mask); }
+
+/// Returns true if \p Leaf is a member of \p Mask.
+inline bool hasLeaf(LeafMask Mask, int Leaf) {
+  return (Mask & leafBit(Leaf)) != 0;
+}
+
+/// Calls \p Fn(leaf) for every leaf in \p Mask, in increasing order.
+template <typename FnT> inline void forEachLeaf(LeafMask Mask, FnT Fn) {
+  while (Mask) {
+    int Leaf = std::countr_zero(Mask);
+    Fn(Leaf);
+    Mask &= Mask - 1;
+  }
+}
+
+} // namespace mutk
+
+#endif // MUTK_SUPPORT_BITS_H

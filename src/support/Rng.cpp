@@ -1,0 +1,101 @@
+//===- support/Rng.cpp - Deterministic random number generator ------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace mutk;
+
+static std::uint64_t splitMix64(std::uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static std::uint64_t rotl(std::uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(std::uint64_t Seed) {
+  std::uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+  HasSpareGaussian = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const std::uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t Bound) {
+  assert(Bound > 0 && "bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    std::uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int Rng::nextInt(int Lo, int Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + static_cast<int>(nextBelow(
+                  static_cast<std::uint64_t>(Hi - Lo) + 1));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + (Hi - Lo) * nextDouble();
+}
+
+bool Rng::nextBool(double P) { return nextDouble() < P; }
+
+double Rng::nextGaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = 2.0 * nextDouble() - 1.0;
+    V = 2.0 * nextDouble() - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  const double Scale = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Scale;
+  HasSpareGaussian = true;
+  return U * Scale;
+}
+
+double Rng::nextExponential(double Lambda) {
+  assert(Lambda > 0 && "rate must be positive");
+  double U;
+  do {
+    U = nextDouble();
+  } while (U == 0.0);
+  return -std::log(U) / Lambda;
+}
+
+std::vector<int> Rng::permutation(int N) {
+  std::vector<int> Perm(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I)
+    Perm[static_cast<std::size_t>(I)] = I;
+  shuffle(Perm);
+  return Perm;
+}

@@ -1,0 +1,39 @@
+//===- support/Stopwatch.h - Wall-clock timing helper -----------*- C++ -*-===//
+///
+/// \file
+/// A tiny wall-clock stopwatch used by examples and benchmark harnesses to
+/// report elapsed time for experiment rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_STOPWATCH_H
+#define MUTK_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace mutk {
+
+/// Measures wall-clock time from construction (or the last `restart`).
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since the start point.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed since the start point.
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SUPPORT_STOPWATCH_H

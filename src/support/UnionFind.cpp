@@ -1,0 +1,61 @@
+//===- support/UnionFind.cpp - Disjoint-set forest ------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mutk;
+
+UnionFind::UnionFind(std::size_t NumElements)
+    : Parent(NumElements), Size(NumElements, 1),
+      NumComponents(static_cast<int>(NumElements)) {
+  for (std::size_t I = 0; I < NumElements; ++I)
+    Parent[I] = static_cast<int>(I);
+}
+
+int UnionFind::find(int X) const {
+  assert(X >= 0 && static_cast<std::size_t>(X) < Parent.size() &&
+         "element out of range");
+  int Root = X;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression: point every node on the walk directly at the root.
+  while (Parent[X] != Root) {
+    int Next = Parent[X];
+    Parent[X] = Root;
+    X = Next;
+  }
+  return Root;
+}
+
+int UnionFind::unite(int A, int B) {
+  int RA = find(A);
+  int RB = find(B);
+  if (RA == RB)
+    return -1;
+  if (Size[RA] < Size[RB])
+    std::swap(RA, RB);
+  Parent[RB] = RA;
+  Size[RA] += Size[RB];
+  --NumComponents;
+  return RA;
+}
+
+std::vector<std::vector<int>> UnionFind::components() const {
+  // Map each representative to the smallest member seen so groups come out
+  // in a deterministic order.
+  std::map<int, std::vector<int>> Groups;
+  for (std::size_t I = 0; I < Parent.size(); ++I)
+    Groups[find(static_cast<int>(I))].push_back(static_cast<int>(I));
+
+  std::vector<std::vector<int>> Result;
+  Result.reserve(Groups.size());
+  for (auto &[Rep, Members] : Groups)
+    Result.push_back(std::move(Members));
+  std::sort(Result.begin(), Result.end(),
+            [](const std::vector<int> &L, const std::vector<int> &R) {
+              return L.front() < R.front();
+            });
+  return Result;
+}

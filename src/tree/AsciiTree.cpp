@@ -1,0 +1,79 @@
+//===- tree/AsciiTree.cpp - Terminal rendering of trees ---------------------===//
+
+#include "tree/AsciiTree.h"
+
+#include <ostream>
+#include <sstream>
+
+using namespace mutk;
+
+namespace {
+
+enum class Branch { Root, Upper, Lower };
+
+/// Sideways renderer: the upper child's rows come first, then this
+/// node's row, then the lower child's rows. A vertical bar runs between
+/// a child's connector and its parent's row.
+void renderNode(std::ostream &OS, const PhyloTree &T, int Node,
+                const AsciiTreeOptions &Options, const std::string &Prefix,
+                Branch Dir) {
+  const PhyloNode &N = T.node(Node);
+  const std::string Dash(static_cast<std::size_t>(Options.Indent - 2), '-');
+  const std::string Gap(static_cast<std::size_t>(Options.Indent), ' ');
+  const std::string Bar = "|" + std::string(
+      static_cast<std::size_t>(Options.Indent - 1), ' ');
+
+  std::string UpperPrefix = Prefix;
+  std::string LowerPrefix = Prefix;
+  if (Dir == Branch::Upper) {
+    UpperPrefix += Gap;  // nothing connects above an upper child
+    LowerPrefix += Bar;  // the run down to the parent's row
+  } else if (Dir == Branch::Lower) {
+    UpperPrefix += Bar;  // the run up to the parent's row
+    LowerPrefix += Gap;
+  }
+
+  if (!N.isLeaf())
+    renderNode(OS, T, N.Left, Options, UpperPrefix, Branch::Upper);
+
+  OS << Prefix;
+  switch (Dir) {
+  case Branch::Root:
+    break;
+  case Branch::Upper:
+    OS << '/' << Dash << ' ';
+    break;
+  case Branch::Lower:
+    OS << '\\' << Dash << ' ';
+    break;
+  }
+  if (N.isLeaf())
+    OS << T.speciesName(N.Leaf);
+  else {
+    OS << '+';
+    if (Options.ShowHeights)
+      OS << " @" << N.Height;
+  }
+  OS << '\n';
+
+  if (!N.isLeaf())
+    renderNode(OS, T, N.Right, Options, LowerPrefix, Branch::Lower);
+}
+
+} // namespace
+
+void mutk::writeAsciiTree(std::ostream &OS, const PhyloTree &T,
+                          const AsciiTreeOptions &Options) {
+  if (T.root() < 0) {
+    OS << "(empty tree)\n";
+    return;
+  }
+  renderNode(OS, T, T.root(), Options, "", Branch::Root);
+}
+
+std::string mutk::toAsciiTree(const PhyloTree &T,
+                              const AsciiTreeOptions &Options) {
+  std::ostringstream OS;
+  writeAsciiTree(OS, T, Options);
+  return OS.str();
+}

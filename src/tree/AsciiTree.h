@@ -1,0 +1,46 @@
+//===- tree/AsciiTree.h - Terminal rendering of trees -----------*- C++ -*-===//
+///
+/// \file
+/// Renders a PhyloTree as sideways ASCII art, with optional height
+/// annotations — the "readability of the results" piece of the original
+/// project's goals. Example:
+///
+/// \code
+///         +-- human
+///     +---+
+///     |   +-- chimp
+/// ----+
+///     +------- gorilla
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_TREE_ASCIITREE_H
+#define MUTK_TREE_ASCIITREE_H
+
+#include "tree/PhyloTree.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace mutk {
+
+/// Options for the ASCII renderer.
+struct AsciiTreeOptions {
+  /// Append `@height` to internal junctions.
+  bool ShowHeights = false;
+  /// Horizontal dash run per tree level.
+  int Indent = 4;
+};
+
+/// Writes the ASCII rendering of \p T to \p OS (one leaf per line).
+void writeAsciiTree(std::ostream &OS, const PhyloTree &T,
+                    const AsciiTreeOptions &Options = {});
+
+/// Renders \p T to a string.
+std::string toAsciiTree(const PhyloTree &T,
+                        const AsciiTreeOptions &Options = {});
+
+} // namespace mutk
+
+#endif // MUTK_TREE_ASCIITREE_H

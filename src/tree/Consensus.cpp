@@ -1,0 +1,44 @@
+//===- tree/Consensus.cpp - Majority-rule consensus --------------------------===//
+
+#include "tree/Consensus.h"
+
+#include "tree/RobinsonFoulds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace mutk;
+
+bool ConsensusResult::containsClade(const std::vector<int> &Species) const {
+  for (const SupportedClade &Clade : Clades)
+    if (Clade.Species == Species)
+      return true;
+  return false;
+}
+
+ConsensusResult mutk::majorityConsensus(const std::vector<PhyloTree> &Trees,
+                                        double Threshold) {
+  assert(!Trees.empty() && "consensus of zero trees is undefined");
+  assert(Threshold >= 0.0 && Threshold < 1.0 && "threshold in [0, 1)");
+
+  std::map<std::vector<int>, int> Counts;
+  for (const PhyloTree &T : Trees)
+    for (const std::vector<int> &Clade : nontrivialClades(T))
+      ++Counts[Clade];
+
+  ConsensusResult Result;
+  Result.NumTrees = static_cast<int>(Trees.size());
+  for (const auto &[Clade, Count] : Counts) {
+    double Support = static_cast<double>(Count) / Result.NumTrees;
+    if (Support > Threshold)
+      Result.Clades.push_back(SupportedClade{Clade, Support});
+  }
+  std::sort(Result.Clades.begin(), Result.Clades.end(),
+            [](const SupportedClade &A, const SupportedClade &B) {
+              if (A.Species.size() != B.Species.size())
+                return A.Species.size() > B.Species.size();
+              return A.Species < B.Species;
+            });
+  return Result;
+}

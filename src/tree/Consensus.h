@@ -1,0 +1,51 @@
+//===- tree/Consensus.h - Majority-rule consensus ---------------*- C++ -*-===//
+///
+/// \file
+/// Majority-rule consensus over a set of trees on the same species set —
+/// the standard way biologists summarize the *set* of optimal trees that
+/// `CollectAllOptimal` returns (near-equal distances frequently admit
+/// many co-optimal topologies, see the equilateral test cases). The
+/// consensus is reported as clades with support values rather than as a
+/// PhyloTree, because majority-rule consensus trees are generally not
+/// binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_TREE_CONSENSUS_H
+#define MUTK_TREE_CONSENSUS_H
+
+#include "tree/PhyloTree.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// One consensus clade with its support.
+struct SupportedClade {
+  /// Species of the clade, ascending.
+  std::vector<int> Species;
+  /// Fraction of input trees containing the clade, in (0, 1].
+  double Support = 0.0;
+};
+
+/// Result of a consensus computation.
+struct ConsensusResult {
+  /// Clades at or above the threshold, largest first (ties by species).
+  std::vector<SupportedClade> Clades;
+  /// Number of trees summarized.
+  int NumTrees = 0;
+
+  /// True if \p Species (ascending) is among the consensus clades.
+  bool containsClade(const std::vector<int> &Species) const;
+};
+
+/// Computes the consensus of \p Trees: every nontrivial clade appearing
+/// in more than `Threshold` of the trees (default 0.5 = strict majority
+/// rule; clades of a majority are guaranteed pairwise compatible).
+/// All trees must share one species set; requires at least one tree.
+ConsensusResult majorityConsensus(const std::vector<PhyloTree> &Trees,
+                                  double Threshold = 0.5);
+
+} // namespace mutk
+
+#endif // MUTK_TREE_CONSENSUS_H

@@ -1,0 +1,55 @@
+//===- tree/RobinsonFoulds.cpp - Topology distance between trees ----------===//
+
+#include "tree/RobinsonFoulds.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+
+std::set<std::vector<int>> mutk::nontrivialClades(const PhyloTree &T) {
+  std::set<std::vector<int>> Clades;
+  if (T.root() < 0)
+    return Clades;
+  const int Total = T.numLeaves();
+  std::vector<int> Stack = {T.root()};
+  while (!Stack.empty()) {
+    int Node = Stack.back();
+    Stack.pop_back();
+    const PhyloNode &N = T.node(Node);
+    if (N.isLeaf())
+      continue;
+    std::vector<int> Leaves = T.leavesBelow(Node);
+    if (Leaves.size() >= 2 && static_cast<int>(Leaves.size()) < Total) {
+      std::sort(Leaves.begin(), Leaves.end());
+      Clades.insert(std::move(Leaves));
+    }
+    Stack.push_back(N.Left);
+    Stack.push_back(N.Right);
+  }
+  return Clades;
+}
+
+int mutk::rfDistance(const PhyloTree &A, const PhyloTree &B) {
+  std::set<std::vector<int>> CladesA = nontrivialClades(A);
+  std::set<std::vector<int>> CladesB = nontrivialClades(B);
+  int OnlyA = 0;
+  for (const auto &Clade : CladesA)
+    if (!CladesB.count(Clade))
+      ++OnlyA;
+  int OnlyB = 0;
+  for (const auto &Clade : CladesB)
+    if (!CladesA.count(Clade))
+      ++OnlyB;
+  return OnlyA + OnlyB;
+}
+
+double mutk::normalizedRfDistance(const PhyloTree &A, const PhyloTree &B) {
+  assert(A.numLeaves() == B.numLeaves() &&
+         "trees must be over the same species set");
+  int N = A.numLeaves();
+  if (N < 3)
+    return 0.0;
+  return static_cast<double>(rfDistance(A, B)) /
+         static_cast<double>(2 * (N - 2));
+}

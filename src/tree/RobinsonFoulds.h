@@ -1,0 +1,37 @@
+//===- tree/RobinsonFoulds.h - Topology distance between trees --*- C++ -*-===//
+///
+/// \file
+/// Robinson-Foulds distance for rooted trees: the number of nontrivial
+/// clades (leaf sets of internal nodes) present in exactly one of the two
+/// trees. Used to quantify the paper's claim that the compact-set tree
+/// "keeps the precise relations among species": an RF distance of 0 to the
+/// exact MUT means the decomposed tree recovered the same topology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_TREE_ROBINSONFOULDS_H
+#define MUTK_TREE_ROBINSONFOULDS_H
+
+#include "tree/PhyloTree.h"
+
+#include <set>
+#include <vector>
+
+namespace mutk {
+
+/// Returns the sorted leaf sets of every internal node of \p T that covers
+/// at least 2 and fewer than all leaves (the "nontrivial clades").
+std::set<std::vector<int>> nontrivialClades(const PhyloTree &T);
+
+/// Robinson-Foulds distance between rooted trees on the same species set:
+/// `|clades(A) symmetric-difference clades(B)|`.
+int rfDistance(const PhyloTree &A, const PhyloTree &B);
+
+/// RF distance normalized to `[0, 1]` by the maximum possible value for
+/// two rooted binary trees on `n` leaves (`2 * (n - 2)`).
+/// Returns 0 for trees with fewer than 3 leaves.
+double normalizedRfDistance(const PhyloTree &A, const PhyloTree &B);
+
+} // namespace mutk
+
+#endif // MUTK_TREE_ROBINSONFOULDS_H

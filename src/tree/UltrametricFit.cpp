@@ -1,0 +1,101 @@
+//===- tree/UltrametricFit.cpp - Minimal heights for a topology -----------===//
+
+#include "tree/UltrametricFit.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace mutk;
+
+namespace {
+
+/// Postorder walk computing minimal heights. Returns the leaves below
+/// \p Node; fills Heights[node].
+std::vector<int> fitBelow(const PhyloTree &T, const DistanceMatrix &M,
+                          int Node, std::vector<double> &Heights) {
+  const PhyloNode &N = T.node(Node);
+  if (N.isLeaf()) {
+    Heights[static_cast<std::size_t>(Node)] = 0.0;
+    return {N.Leaf};
+  }
+  std::vector<int> Left = fitBelow(T, M, N.Left, Heights);
+  std::vector<int> Right = fitBelow(T, M, N.Right, Heights);
+
+  double H = std::max(Heights[static_cast<std::size_t>(N.Left)],
+                      Heights[static_cast<std::size_t>(N.Right)]);
+  for (int A : Left)
+    for (int B : Right)
+      H = std::max(H, M.at(A, B) / 2.0);
+  Heights[static_cast<std::size_t>(Node)] = H;
+
+  Left.insert(Left.end(), Right.begin(), Right.end());
+  return Left;
+}
+
+} // namespace
+
+double mutk::fitMinimalHeights(PhyloTree &T, const DistanceMatrix &M) {
+  if (T.root() < 0)
+    return 0.0;
+  std::vector<double> Heights(static_cast<std::size_t>(T.numNodes()), 0.0);
+  fitBelow(T, M, T.root(), Heights);
+
+  // Re-build the tree with the new heights in place. PhyloTree exposes no
+  // raw height setter; reconstruct via a copy that preserves indices.
+  PhyloTree Fitted;
+  std::vector<int> Map(static_cast<std::size_t>(T.numNodes()), -1);
+  // Nodes were appended children-first only within addInternal calls, not
+  // globally, so do an explicit postorder rebuild.
+  double Weight = 0.0;
+  {
+    struct Frame {
+      int Node;
+      bool Expanded;
+    };
+    std::vector<Frame> Stack = {{T.root(), false}};
+    while (!Stack.empty()) {
+      Frame F = Stack.back();
+      Stack.pop_back();
+      const PhyloNode &N = T.node(F.Node);
+      if (N.isLeaf()) {
+        Map[static_cast<std::size_t>(F.Node)] = Fitted.addLeaf(N.Leaf);
+        continue;
+      }
+      if (!F.Expanded) {
+        Stack.push_back({F.Node, true});
+        Stack.push_back({N.Left, false});
+        Stack.push_back({N.Right, false});
+        continue;
+      }
+      Map[static_cast<std::size_t>(F.Node)] = Fitted.addInternal(
+          Map[static_cast<std::size_t>(N.Left)],
+          Map[static_cast<std::size_t>(N.Right)],
+          Heights[static_cast<std::size_t>(F.Node)]);
+    }
+  }
+  Fitted.setNames(T.names());
+  Weight = Fitted.weight();
+  T = std::move(Fitted);
+  return Weight;
+}
+
+double mutk::minimalWeightFor(const PhyloTree &T, const DistanceMatrix &M) {
+  if (T.root() < 0)
+    return 0.0;
+  std::vector<double> Heights(static_cast<std::size_t>(T.numNodes()), 0.0);
+  fitBelow(T, M, T.root(), Heights);
+  // w(T) = h(root) + sum of internal heights (leaves contribute 0).
+  double Weight = Heights[static_cast<std::size_t>(T.root())];
+  std::vector<int> Stack = {T.root()};
+  while (!Stack.empty()) {
+    int Node = Stack.back();
+    Stack.pop_back();
+    const PhyloNode &N = T.node(Node);
+    if (N.isLeaf())
+      continue;
+    Weight += Heights[static_cast<std::size_t>(Node)];
+    Stack.push_back(N.Left);
+    Stack.push_back(N.Right);
+  }
+  return Weight;
+}

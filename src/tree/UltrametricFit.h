@@ -1,0 +1,36 @@
+//===- tree/UltrametricFit.h - Minimal heights for a topology ---*- C++ -*-===//
+///
+/// \file
+/// Given a tree *topology* and a distance matrix `M`, computes the minimal
+/// feasible ultrametric heights: `h(v)` must be at least `M[i,j]/2` for
+/// every leaf pair whose LCA is `v`, and at least the heights of `v`'s
+/// children. These are exactly the heights that minimize the tree weight
+/// for that topology, so the MUT problem reduces to searching topologies
+/// (Wu-Chao-Tang 1999). This module is the reference implementation used
+/// for verification; the branch-and-bound maintains the same quantity
+/// incrementally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_TREE_ULTRAMETRICFIT_H
+#define MUTK_TREE_ULTRAMETRICFIT_H
+
+#include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
+
+namespace mutk {
+
+/// Overwrites every node height of \p T with the minimal feasible value
+/// for \p M and returns the resulting tree weight.
+///
+/// Leaves are set to height 0. The tree's species indices must be valid
+/// rows of \p M.
+double fitMinimalHeights(PhyloTree &T, const DistanceMatrix &M);
+
+/// Returns the weight \p T would have after `fitMinimalHeights`, without
+/// modifying it.
+double minimalWeightFor(const PhyloTree &T, const DistanceMatrix &M);
+
+} // namespace mutk
+
+#endif // MUTK_TREE_ULTRAMETRICFIT_H

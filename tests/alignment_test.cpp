@@ -1,0 +1,133 @@
+//===- tests/alignment_test.cpp - Needleman-Wunsch alignment ----*- C++ -*-===//
+
+#include "seq/Alignment.h"
+#include "seq/EditDistance.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+namespace {
+
+std::string stripGaps(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    if (C != '-')
+      Out.push_back(C);
+  return Out;
+}
+
+std::string randomDna(Rng &Rand, int Len) {
+  static const char Bases[] = "ACGT";
+  std::string S(static_cast<std::size_t>(Len), 'A');
+  for (char &C : S)
+    C = Bases[Rand.nextBelow(4)];
+  return S;
+}
+
+} // namespace
+
+TEST(Alignment, IdenticalSequences) {
+  Alignment A = alignGlobal("ACGT", "ACGT");
+  EXPECT_EQ(A.AlignedA, "ACGT");
+  EXPECT_EQ(A.AlignedB, "ACGT");
+  EXPECT_EQ(A.Matches, 4);
+  EXPECT_EQ(A.Mismatches, 0);
+  EXPECT_EQ(A.Gaps, 0);
+  EXPECT_DOUBLE_EQ(A.identity(), 1.0);
+  EXPECT_DOUBLE_EQ(A.Score, 4.0);
+}
+
+TEST(Alignment, EmptyInputs) {
+  Alignment Both = alignGlobal("", "");
+  EXPECT_EQ(Both.length(), 0);
+  EXPECT_DOUBLE_EQ(Both.identity(), 0.0);
+
+  Alignment OneEmpty = alignGlobal("ACG", "");
+  EXPECT_EQ(OneEmpty.AlignedA, "ACG");
+  EXPECT_EQ(OneEmpty.AlignedB, "---");
+  EXPECT_EQ(OneEmpty.Gaps, 3);
+}
+
+TEST(Alignment, SingleSubstitution) {
+  Alignment A = alignGlobal("ACGT", "AGGT");
+  EXPECT_EQ(A.Mismatches, 1);
+  EXPECT_EQ(A.Gaps, 0);
+  EXPECT_EQ(A.editOperations(), 1);
+}
+
+TEST(Alignment, InsertionCreatesGap) {
+  Alignment A = alignGlobal("ACGT", "ACGGT");
+  EXPECT_EQ(A.Gaps, 1);
+  EXPECT_EQ(A.Mismatches, 0);
+  EXPECT_EQ(stripGaps(A.AlignedA), "ACGT");
+  EXPECT_EQ(stripGaps(A.AlignedB), "ACGGT");
+}
+
+TEST(Alignment, ColumnsAlwaysConsistent) {
+  Rng Rand(5);
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    std::string A = randomDna(Rand, Rand.nextInt(0, 30));
+    std::string B = randomDna(Rand, Rand.nextInt(0, 30));
+    Alignment Al = alignGlobal(A, B);
+    ASSERT_EQ(Al.AlignedA.size(), Al.AlignedB.size());
+    EXPECT_EQ(stripGaps(Al.AlignedA), A);
+    EXPECT_EQ(stripGaps(Al.AlignedB), B);
+    EXPECT_EQ(Al.Matches + Al.Mismatches + Al.Gaps, Al.length());
+    // No column may pair two gaps.
+    for (int I = 0; I < Al.length(); ++I)
+      EXPECT_FALSE(Al.AlignedA[static_cast<std::size_t>(I)] == '-' &&
+                   Al.AlignedB[static_cast<std::size_t>(I)] == '-');
+  }
+}
+
+TEST(Alignment, UnitCostSchemeRealizesEditDistance) {
+  Rng Rand(6);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    std::string A = randomDna(Rand, Rand.nextInt(0, 35));
+    std::string B = randomDna(Rand, Rand.nextInt(0, 35));
+    Alignment Al = alignGlobal(A, B, editDistanceScoring());
+    EXPECT_EQ(Al.editOperations(), editDistance(A, B))
+        << "A=" << A << " B=" << B;
+    EXPECT_DOUBLE_EQ(Al.Score, -editDistance(A, B));
+  }
+}
+
+TEST(Alignment, ScoringPreferencesChangeAlignment) {
+  // With a harsh gap penalty, prefer mismatches; with a cheap one,
+  // prefer gaps.
+  AlignmentScoring HarshGaps{1.0, -1.0, -10.0};
+  Alignment A = alignGlobal("ACCT", "AGGT", HarshGaps);
+  EXPECT_EQ(A.Gaps, 0);
+
+  AlignmentScoring CheapGaps{1.0, -10.0, -0.1};
+  Alignment B = alignGlobal("ACCT", "AGGT", CheapGaps);
+  EXPECT_EQ(B.Mismatches, 0);
+}
+
+TEST(Alignment, FormatProducesTripleLines) {
+  Alignment A = alignGlobal("ACGT", "AGGT");
+  std::string Text = formatAlignment(A);
+  // Three lines: sequence, markers, sequence.
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 3);
+  EXPECT_NE(Text.find('|'), std::string::npos); // matches marked
+  EXPECT_NE(Text.find('.'), std::string::npos); // mismatch marked
+}
+
+TEST(Alignment, FormatWrapsAtWidth) {
+  std::string Long(100, 'A');
+  Alignment A = alignGlobal(Long, Long);
+  std::string Text = formatAlignment(A, 40);
+  // 3 chunks of 3 lines plus 2 blank separators = 11 newlines.
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 11);
+}
+
+TEST(Alignment, SymmetricScore) {
+  Rng Rand(9);
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    std::string A = randomDna(Rand, 20);
+    std::string B = randomDna(Rand, 24);
+    EXPECT_DOUBLE_EQ(alignGlobal(A, B).Score, alignGlobal(B, A).Score);
+  }
+}

@@ -1,0 +1,415 @@
+//===- tests/bnb_test.cpp - Topology, bounds, sequential B&B ----*- C++ -*-===//
+
+#include "bnb/Engine.h"
+#include "bnb/SequentialBnb.h"
+#include "bnb/ThreeThree.h"
+#include "bnb/Topology.h"
+#include "heur/Upgma.h"
+#include "matrix/Generators.h"
+#include "matrix/MetricUtils.h"
+#include "seq/EvolutionSim.h"
+#include "tree/RobinsonFoulds.h"
+#include "tree/UltrametricFit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <set>
+
+using namespace mutk;
+
+namespace {
+
+/// Exhaustively enumerates every topology (no pruning) and returns the
+/// minimum tree weight. Exponential; keep n <= 8.
+double bruteForceOptimum(const DistanceMatrix &M) {
+  double Best = std::numeric_limits<double>::infinity();
+  std::function<void(const Topology &)> Recurse = [&](const Topology &T) {
+    if (T.numPlaced() == M.size()) {
+      Best = std::min(Best, T.cost());
+      return;
+    }
+    for (int Pos = 0; Pos < T.numNodes(); ++Pos)
+      Recurse(T.withNextSpeciesAt(Pos, M));
+  };
+  Recurse(Topology::initialPair(M));
+  return Best;
+}
+
+} // namespace
+
+TEST(Topology, InitialPair) {
+  DistanceMatrix M(2);
+  M.set(0, 1, 8);
+  Topology T = Topology::initialPair(M);
+  EXPECT_EQ(T.numPlaced(), 2);
+  EXPECT_EQ(T.numNodes(), 3);
+  EXPECT_DOUBLE_EQ(T.cost(), 8.0); // 2 * h(root) = M[0,1]
+  EXPECT_TRUE(T.invariantsHold(M));
+}
+
+TEST(Topology, InsertionPositionsCount) {
+  DistanceMatrix M = uniformRandomMetric(6, 1);
+  Topology T = Topology::initialPair(M);
+  // k leaves -> 2k - 1 distinct positions = numNodes().
+  for (int K = 2; K < 6; ++K) {
+    EXPECT_EQ(T.numNodes(), 2 * K - 1);
+    T = T.withNextSpeciesAt(0, M);
+  }
+  EXPECT_EQ(T.numPlaced(), 6);
+}
+
+TEST(Topology, IncrementalHeightsMatchFromScratchFit) {
+  DistanceMatrix M = uniformRandomMetric(9, 3);
+  // Walk a pseudo-random insertion path and validate at every step.
+  Topology T = Topology::initialPair(M);
+  std::uint64_t State = 12345;
+  while (T.numPlaced() < 9) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    int Pos = static_cast<int>(State % static_cast<std::uint64_t>(T.numNodes()));
+    T = T.withNextSpeciesAt(Pos, M);
+    EXPECT_TRUE(T.invariantsHold(M))
+        << "after inserting species " << T.numPlaced() - 1;
+  }
+}
+
+TEST(Topology, CostIsMonotoneUnderInsertion) {
+  DistanceMatrix M = uniformRandomMetric(8, 5);
+  Topology T = Topology::initialPair(M);
+  double Last = T.cost();
+  while (T.numPlaced() < 8) {
+    // Every child must cost at least as much as the parent.
+    for (int Pos = 0; Pos < T.numNodes(); ++Pos)
+      EXPECT_GE(T.withNextSpeciesAt(Pos, M).cost(), Last - 1e-9);
+    T = T.withNextSpeciesAt(T.numNodes() - 1, M);
+    Last = T.cost();
+  }
+}
+
+TEST(Topology, AboveRootInsertionEquivalents) {
+  DistanceMatrix M = uniformRandomMetric(4, 9);
+  Topology T = Topology::initialPair(M);
+  // Position rootIndex() and position numNodes() both mean "above root".
+  Topology A = T.withNextSpeciesAt(T.rootIndex(), M);
+  Topology B = T.withNextSpeciesAt(T.numNodes(), M);
+  EXPECT_DOUBLE_EQ(A.cost(), B.cost());
+}
+
+TEST(Topology, LcaAndStrictlyBelow) {
+  DistanceMatrix M = uniformRandomMetric(5, 2);
+  Topology T = Topology::initialPair(M);
+  T = T.withNextSpeciesAt(0, M); // species 2 next to leaf 0
+  int Lca02 = T.lcaOf(0, 2);
+  int Lca01 = T.lcaOf(0, 1);
+  EXPECT_TRUE(T.isStrictlyBelow(Lca02, Lca01));
+  EXPECT_FALSE(T.isStrictlyBelow(Lca01, Lca02));
+  EXPECT_FALSE(T.isStrictlyBelow(Lca01, Lca01));
+}
+
+TEST(Topology, ToPhyloTreeRelabels) {
+  DistanceMatrix M = uniformRandomMetric(4, 4);
+  Topology T = Topology::initialPair(M);
+  T = T.withNextSpeciesAt(0, M);
+  T = T.withNextSpeciesAt(1, M);
+  PhyloTree Tree = T.toPhyloTree({10, 20, 30, 40});
+  std::vector<int> Species = Tree.allSpecies();
+  std::sort(Species.begin(), Species.end());
+  EXPECT_EQ(Species, (std::vector<int>{10, 20, 30, 40}));
+  EXPECT_NEAR(Tree.weight(), T.cost(), 1e-9);
+}
+
+TEST(Topology, FromNodesRoundTripsAndValidates) {
+  DistanceMatrix M = uniformRandomMetric(6, 7);
+  Topology T = Topology::initialPair(M);
+  T = T.withNextSpeciesAt(0, M);
+  T = T.withNextSpeciesAt(2, M);
+
+  std::vector<Topology::Node> Nodes;
+  for (int I = 0; I < T.numNodes(); ++I)
+    Nodes.push_back(T.node(I));
+
+  auto Back = Topology::fromNodes(Nodes, T.rootIndex());
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_DOUBLE_EQ(Back->cost(), T.cost());
+  EXPECT_EQ(Back->numPlaced(), T.numPlaced());
+
+  // Corrupt a parent pointer: must be rejected.
+  auto Broken = Nodes;
+  Broken[0].Parent = static_cast<std::int16_t>(T.rootIndex());
+  EXPECT_FALSE(Topology::fromNodes(Broken, T.rootIndex()).has_value());
+
+  // Duplicate species: must be rejected.
+  Broken = Nodes;
+  for (auto &N : Broken)
+    if (N.Leaf == 1) {
+      N.Leaf = 0;
+      N.Mask = leafBit(0);
+    }
+  EXPECT_FALSE(Topology::fromNodes(Broken, T.rootIndex()).has_value());
+
+  // Wrong root: must be rejected.
+  EXPECT_FALSE(Topology::fromNodes(Nodes, 0).has_value());
+}
+
+TEST(Engine, LowerBoundIsAdmissible) {
+  // LB of a partial topology never exceeds the cost of any completion.
+  DistanceMatrix M = uniformRandomMetric(7, 11);
+  BnbOptions Options;
+  BnbEngine Engine(M, Options);
+
+  std::function<void(const Topology &, double)> Check =
+      [&](const Topology &T, double AncestorLb) {
+        double Lb = Engine.lowerBound(T);
+        EXPECT_GE(Lb, AncestorLb - 1e-9) << "LB must not decrease";
+        if (Engine.isComplete(T)) {
+          EXPECT_LE(Lb, T.cost() + 1e-9);
+          return;
+        }
+        for (int Pos = 0; Pos < T.numNodes(); ++Pos)
+          Check(T.withNextSpeciesAt(Pos, Engine.relabeledMatrix()), Lb);
+      };
+  Check(Engine.rootTopology(), 0.0);
+}
+
+TEST(Engine, InitialUpperBoundIsUpgmm) {
+  DistanceMatrix M = uniformRandomMetric(10, 13);
+  BnbEngine Engine(M, {});
+  EXPECT_DOUBLE_EQ(Engine.initialUpperBound(), upgmmUpperBound(M));
+  EXPECT_TRUE(Engine.initialTree().dominatesMatrix(M));
+}
+
+TEST(Engine, RespectsProvidedUpperBound) {
+  DistanceMatrix M = uniformRandomMetric(6, 17);
+  BnbOptions Options;
+  Options.InitialUpperBound = 1.0; // absurdly tight
+  BnbEngine Engine(M, Options);
+  EXPECT_DOUBLE_EQ(Engine.initialUpperBound(), 1.0);
+}
+
+TEST(SequentialBnb, TrivialSizes) {
+  DistanceMatrix M0(0);
+  MutResult R0 = solveMutSequential(M0);
+  EXPECT_EQ(R0.Cost, 0.0);
+
+  DistanceMatrix M1(1);
+  MutResult R1 = solveMutSequential(M1);
+  EXPECT_EQ(R1.Tree.numLeaves(), 1);
+
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 4);
+  MutResult R2 = solveMutSequential(M2);
+  EXPECT_DOUBLE_EQ(R2.Cost, 4.0);
+  EXPECT_TRUE(R2.Stats.Complete);
+}
+
+TEST(SequentialBnb, MatchesBruteForce) {
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(7, Seed);
+    MutResult R = solveMutSequential(M);
+    EXPECT_NEAR(R.Cost, bruteForceOptimum(M), 1e-9) << "seed " << Seed;
+    EXPECT_TRUE(R.Stats.Complete);
+    EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+    EXPECT_TRUE(R.Tree.hasMonotoneHeights());
+    EXPECT_NEAR(R.Tree.weight(), R.Cost, 1e-9);
+  }
+}
+
+TEST(SequentialBnb, NeverWorseThanUpgmm) {
+  for (std::uint64_t Seed = 20; Seed < 26; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(11, Seed);
+    MutResult R = solveMutSequential(M);
+    EXPECT_LE(R.Cost, upgmmUpperBound(M) + 1e-9);
+  }
+}
+
+TEST(SequentialBnb, UltrametricInputRealizedExactly) {
+  // For an ultrametric matrix the MUT realizes every distance exactly.
+  DistanceMatrix M = randomUltrametricMatrix(9, 31);
+  MutResult R = solveMutSequential(M);
+  EXPECT_TRUE(R.Tree.inducedMatrix().approxEquals(M, 1e-9));
+  // And UPGMM is already optimal there.
+  EXPECT_NEAR(R.Cost, upgmmUpperBound(M), 1e-9);
+}
+
+TEST(SequentialBnb, HmdnaWorkloadSolvesAndDominates) {
+  DistanceMatrix M = hmdnaLikeMatrix(10, 5);
+  MutResult R = solveMutSequential(M);
+  EXPECT_TRUE(R.Stats.Complete);
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+}
+
+TEST(SequentialBnb, NodeLimitYieldsIncomplete) {
+  DistanceMatrix M = uniformRandomMetric(14, 3);
+  BnbOptions Options;
+  Options.MaxBranchedNodes = 5;
+  MutResult R = solveMutSequential(M, Options);
+  EXPECT_FALSE(R.Stats.Complete);
+  EXPECT_LE(R.Stats.Branched, 5u);
+  // Still returns a feasible tree (at worst the UPGMM seed).
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+}
+
+TEST(SequentialBnb, CollectAllOptimalContainsBestAndIsConsistent) {
+  for (std::uint64_t Seed = 0; Seed < 4; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(7, Seed);
+    BnbOptions Options;
+    Options.CollectAllOptimal = true;
+    MutResult R = solveMutSequential(M, Options);
+    ASSERT_FALSE(R.AllOptimal.empty());
+    for (const PhyloTree &T : R.AllOptimal) {
+      EXPECT_NEAR(T.weight(), R.Cost, 1e-9);
+      EXPECT_TRUE(T.dominatesMatrix(M));
+    }
+  }
+}
+
+TEST(SequentialBnb, EquilateralHasManyOptima) {
+  // All pairwise distances equal: every topology costs the same, so the
+  // optimal set is the full count of leaf-labeled binary trees:
+  // (2n-3)!! = 15 for n = 4.
+  DistanceMatrix M(4);
+  for (int I = 0; I < 4; ++I)
+    for (int J = I + 1; J < 4; ++J)
+      M.set(I, J, 2.0);
+  BnbOptions Options;
+  Options.CollectAllOptimal = true;
+  MutResult R = solveMutSequential(M, Options);
+  EXPECT_EQ(R.AllOptimal.size(), 15u);
+}
+
+TEST(SequentialBnb, StatsAreCoherent) {
+  // Some instances prune everything at the root (UPGMM already optimal
+  // with a tight LB); sweep a few seeds and require at least one real
+  // search, with coherent counters whenever branching happened.
+  bool SawSearch = false;
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    MutResult R = solveMutSequential(M);
+    if (R.Stats.Branched == 0)
+      continue;
+    SawSearch = true;
+    EXPECT_GT(R.Stats.Generated, 0u);
+    // Every branching of a k-leaf topology generates 2k - 1 children;
+    // the smallest branching (k = 2) yields 3.
+    EXPECT_GE(R.Stats.Generated, 3 * R.Stats.Branched);
+  }
+  EXPECT_TRUE(SawSearch);
+}
+
+TEST(ThreeThree, InsertionCheckOnConsistentTriple) {
+  // M: 0 and 1 are close, 2 is far from both.
+  DistanceMatrix M(3);
+  M.set(0, 1, 2);
+  M.set(0, 2, 8);
+  M.set(1, 2, 8);
+  Topology T = Topology::initialPair(M);
+  // Insert species 2 next to leaf 0: LCA(0,2) below LCA(0,1)?? That
+  // contradicts "0,1 are closest".
+  Topology Bad = T.withNextSpeciesAt(0, M);
+  EXPECT_FALSE(insertionRespectsThreeThree(Bad, M, 2));
+  // Insert above the root: LCA(0,1) stays below: consistent.
+  Topology Good = T.withNextSpeciesAt(T.rootIndex(), M);
+  EXPECT_TRUE(insertionRespectsThreeThree(Good, M, 2));
+}
+
+TEST(ThreeThree, TiesImposeNoConstraint) {
+  DistanceMatrix M(3);
+  M.set(0, 1, 4);
+  M.set(0, 2, 4);
+  M.set(1, 2, 4);
+  Topology T = Topology::initialPair(M);
+  for (int Pos = 0; Pos < T.numNodes(); ++Pos)
+    EXPECT_TRUE(insertionRespectsThreeThree(T.withNextSpeciesAt(Pos, M), M, 2));
+}
+
+TEST(ThreeThree, ModesPreserveOptimalCostOnStructuredData) {
+  // The HPCAsia paper observed that 3-3 pruned results are a subset with
+  // the same optimum; on tree-derived data the relation truly holds.
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = plantedClusterMetric(10, Seed, 0.05);
+    MutResult Plain = solveMutSequential(M);
+    BnbOptions Third;
+    Third.ThreeThree = ThreeThreeMode::ThirdSpecies;
+    MutResult WithThird = solveMutSequential(M, Third);
+    EXPECT_NEAR(Plain.Cost, WithThird.Cost, 1e-9) << "seed " << Seed;
+    EXPECT_LE(WithThird.Stats.Branched, Plain.Stats.Branched);
+
+    BnbOptions All;
+    All.ThreeThree = ThreeThreeMode::AllInsertions;
+    MutResult WithAll = solveMutSequential(M, All);
+    // AllInsertions is a heuristic: never better than optimal, and the
+    // tree must still be feasible.
+    EXPECT_GE(WithAll.Cost, Plain.Cost - 1e-9);
+    EXPECT_TRUE(WithAll.Tree.dominatesMatrix(M));
+  }
+}
+
+TEST(ThreeThree, OptimalSetWithThirdSpeciesIsSubsetOfPlain) {
+  // HPCAsia: "the result trees with 3-3 relationship are a subset of
+  // result without 3-3 relationship". Compare the full optimal sets via
+  // their clade families.
+  for (std::uint64_t Seed = 0; Seed < 4; ++Seed) {
+    DistanceMatrix M = plantedClusterMetric(8, Seed, 0.1);
+    BnbOptions Plain;
+    Plain.CollectAllOptimal = true;
+    MutResult All = solveMutSequential(M, Plain);
+
+    BnbOptions Third = Plain;
+    Third.ThreeThree = ThreeThreeMode::ThirdSpecies;
+    MutResult Constrained = solveMutSequential(M, Third);
+
+    auto canon = [](const std::vector<PhyloTree> &Trees) {
+      std::set<std::set<std::vector<int>>> Result;
+      for (const PhyloTree &T : Trees)
+        Result.insert(nontrivialClades(T));
+      return Result;
+    };
+    auto AllSet = canon(All.AllOptimal);
+    auto ConstrainedSet = canon(Constrained.AllOptimal);
+    EXPECT_FALSE(ConstrainedSet.empty());
+    for (const auto &Clades : ConstrainedSet)
+      EXPECT_TRUE(AllSet.count(Clades)) << "seed " << Seed;
+  }
+}
+
+TEST(ThreeThree, ZeroContradictionsOnUltrametricTree) {
+  DistanceMatrix M = randomUltrametricMatrix(10, 3);
+  MutResult R = solveMutSequential(M);
+  EXPECT_EQ(countThreeThreeContradictions(R.Tree, M), 0);
+}
+
+TEST(ThreeThree, CountsContradictionsOnMismatchedTree) {
+  // Matrix says (0,1) closest; tree pairs (0,2) instead.
+  DistanceMatrix M(3);
+  M.set(0, 1, 2);
+  M.set(0, 2, 8);
+  M.set(1, 2, 8);
+  PhyloTree T;
+  int L0 = T.addLeaf(0);
+  int L2 = T.addLeaf(2);
+  int X = T.addInternal(L0, L2, 4);
+  int L1 = T.addLeaf(1);
+  T.addInternal(X, L1, 4);
+  EXPECT_EQ(countThreeThreeContradictions(T, M), 1);
+}
+
+// Property sweep: exact solver beats brute force across workloads.
+class BnbProperty : public testing::TestWithParam<int> {};
+
+TEST_P(BnbProperty, OptimalAcrossWorkloads) {
+  int N = GetParam();
+  for (std::uint64_t Seed = 60; Seed < 62; ++Seed) {
+    for (const DistanceMatrix &M :
+         {uniformRandomMetric(N, Seed), plantedClusterMetric(N, Seed),
+          hmdnaLikeMatrix(N, Seed)}) {
+      MutResult R = solveMutSequential(M);
+      EXPECT_NEAR(R.Cost, bruteForceOptimum(M), 1e-9);
+      EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+      EXPECT_TRUE(R.Tree.isWellFormed());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BnbProperty, testing::Values(2, 3, 4, 5, 6, 7));

@@ -1,0 +1,118 @@
+//===- tests/consensus_test.cpp - Majority-rule consensus -------*- C++ -*-===//
+
+#include "bnb/SequentialBnb.h"
+#include "matrix/Generators.h"
+#include "tree/Consensus.h"
+#include "tree/RobinsonFoulds.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+namespace {
+
+PhyloTree twoCherries() {
+  PhyloTree T;
+  int A = T.addInternal(T.addLeaf(0), T.addLeaf(1), 1);
+  int B = T.addInternal(T.addLeaf(2), T.addLeaf(3), 1);
+  T.addInternal(A, B, 2);
+  return T;
+}
+
+PhyloTree caterpillar() {
+  PhyloTree T;
+  int Acc = T.addInternal(T.addLeaf(0), T.addLeaf(1), 1);
+  Acc = T.addInternal(Acc, T.addLeaf(2), 2);
+  T.addInternal(Acc, T.addLeaf(3), 3);
+  return T;
+}
+
+} // namespace
+
+TEST(Consensus, IdenticalTreesKeepAllClades) {
+  std::vector<PhyloTree> Trees = {twoCherries(), twoCherries(),
+                                  twoCherries()};
+  ConsensusResult R = majorityConsensus(Trees);
+  EXPECT_EQ(R.NumTrees, 3);
+  ASSERT_EQ(R.Clades.size(), 2u);
+  for (const SupportedClade &Clade : R.Clades)
+    EXPECT_DOUBLE_EQ(Clade.Support, 1.0);
+  EXPECT_TRUE(R.containsClade({0, 1}));
+  EXPECT_TRUE(R.containsClade({2, 3}));
+}
+
+TEST(Consensus, MajorityCladeSurvivesMinorityDisagreement) {
+  // Two trees agree on {0,1}; the caterpillar also has {0,1} plus
+  // {0,1,2}, which only reaches 1/3 support.
+  std::vector<PhyloTree> Trees = {twoCherries(), twoCherries(),
+                                  caterpillar()};
+  ConsensusResult R = majorityConsensus(Trees);
+  EXPECT_TRUE(R.containsClade({0, 1}));
+  EXPECT_TRUE(R.containsClade({2, 3})); // 2/3 support
+  EXPECT_FALSE(R.containsClade({0, 1, 2}));
+  for (const SupportedClade &Clade : R.Clades)
+    EXPECT_GT(Clade.Support, 0.5);
+}
+
+TEST(Consensus, SingleTreeIsItsOwnConsensus) {
+  std::vector<PhyloTree> Trees = {caterpillar()};
+  ConsensusResult R = majorityConsensus(Trees);
+  EXPECT_EQ(R.Clades.size(), nontrivialClades(Trees[0]).size());
+}
+
+TEST(Consensus, EquilateralOptimaHaveEmptyConsensus) {
+  // All 15 topologies over 4 species tie on the equilateral matrix;
+  // every clade appears in a minority of them, so strict majority rule
+  // returns no clades — the honest summary of total ambiguity.
+  DistanceMatrix M(4);
+  for (int I = 0; I < 4; ++I)
+    for (int J = I + 1; J < 4; ++J)
+      M.set(I, J, 2.0);
+  BnbOptions Options;
+  Options.CollectAllOptimal = true;
+  MutResult R = solveMutSequential(M, Options);
+  ASSERT_EQ(R.AllOptimal.size(), 15u);
+  ConsensusResult C = majorityConsensus(R.AllOptimal);
+  EXPECT_TRUE(C.Clades.empty());
+}
+
+TEST(Consensus, ThresholdZeroKeepsEveryObservedClade) {
+  std::vector<PhyloTree> Trees = {twoCherries(), caterpillar()};
+  ConsensusResult R = majorityConsensus(Trees, 0.0);
+  // Union of both trees' clades: {0,1} (shared), {2,3}, {0,1,2}.
+  EXPECT_EQ(R.Clades.size(), 3u);
+}
+
+TEST(Consensus, LargestCladesFirst) {
+  std::vector<PhyloTree> Trees = {caterpillar()};
+  ConsensusResult R = majorityConsensus(Trees);
+  for (std::size_t I = 1; I < R.Clades.size(); ++I)
+    EXPECT_GE(R.Clades[I - 1].Species.size(), R.Clades[I].Species.size());
+}
+
+TEST(Consensus, OptimalSetOfStructuredInstanceIsDecisive) {
+  // A strict ultrametric instance has a single optimal topology: the
+  // consensus of the collected optima carries full support everywhere.
+  DistanceMatrix M = randomUltrametricMatrix(8, 3);
+  BnbOptions Options;
+  Options.CollectAllOptimal = true;
+  MutResult R = solveMutSequential(M, Options);
+  ASSERT_FALSE(R.AllOptimal.empty());
+  ConsensusResult C = majorityConsensus(R.AllOptimal);
+  for (const SupportedClade &Clade : C.Clades)
+    EXPECT_DOUBLE_EQ(Clade.Support, 1.0);
+  EXPECT_EQ(C.Clades.size(), 6u); // n - 2 nontrivial clades
+}
+
+TEST(ImprovedUpperBound, NeverIncreasesBranchingOnHardInstances) {
+  for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(14, Seed);
+    MutResult Plain = solveMutSequential(M);
+    BnbOptions Options;
+    Options.ImproveInitialUpperBound = true;
+    MutResult Seeded = solveMutSequential(M, Options);
+    EXPECT_NEAR(Plain.Cost, Seeded.Cost, 1e-9) << "seed " << Seed;
+    EXPECT_LE(Seeded.Stats.Branched, Plain.Stats.Branched)
+        << "seed " << Seed;
+  }
+}

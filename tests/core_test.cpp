@@ -1,0 +1,111 @@
+//===- tests/core_test.cpp - TreeBuilder facade ------------------*- C++ -*-===//
+
+#include "core/TreeBuilder.h"
+#include "matrix/Generators.h"
+#include "seq/EvolutionSim.h"
+#include "tree/Newick.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+namespace {
+
+const BuildMethod AllMethods[] = {
+    BuildMethod::Upgma,           BuildMethod::Upgmm,
+    BuildMethod::ExactSequential, BuildMethod::ExactThreaded,
+    BuildMethod::MessagePassing,  BuildMethod::SimulatedCluster,
+    BuildMethod::CompactSets,
+};
+
+} // namespace
+
+TEST(TreeBuilder, EveryMethodProducesAWellFormedTree) {
+  DistanceMatrix M = plantedClusterMetric(12, 3);
+  for (BuildMethod Method : AllMethods) {
+    BuildOptions Options;
+    Options.Method = Method;
+    BuildOutcome Out = buildTree(M, Options);
+    EXPECT_TRUE(Out.Tree.isWellFormed()) << Out.MethodName;
+    EXPECT_TRUE(Out.Tree.hasMonotoneHeights()) << Out.MethodName;
+    EXPECT_EQ(Out.Tree.numLeaves(), 12) << Out.MethodName;
+    EXPECT_NEAR(Out.Cost, Out.Tree.weight(), 1e-9) << Out.MethodName;
+    EXPECT_FALSE(Out.MethodName.empty());
+  }
+}
+
+TEST(TreeBuilder, ExactMethodsAgree) {
+  DistanceMatrix M = uniformRandomMetric(10, 9);
+  std::vector<double> Costs;
+  for (BuildMethod Method :
+       {BuildMethod::ExactSequential, BuildMethod::ExactThreaded,
+        BuildMethod::MessagePassing, BuildMethod::SimulatedCluster}) {
+    BuildOptions Options;
+    Options.Method = Method;
+    BuildOutcome Out = buildTree(M, Options);
+    EXPECT_TRUE(Out.Exact) << methodName(Method);
+    Costs.push_back(Out.Cost);
+  }
+  for (std::size_t I = 1; I < Costs.size(); ++I)
+    EXPECT_NEAR(Costs[0], Costs[I], 1e-9);
+}
+
+TEST(TreeBuilder, HeuristicsAreMarkedInexact) {
+  DistanceMatrix M = uniformRandomMetric(8, 2);
+  for (BuildMethod Method :
+       {BuildMethod::Upgma, BuildMethod::Upgmm, BuildMethod::CompactSets}) {
+    BuildOptions Options;
+    Options.Method = Method;
+    EXPECT_FALSE(buildTree(M, Options).Exact);
+  }
+}
+
+TEST(TreeBuilder, CompactSetsReportsPipelineDetails) {
+  DistanceMatrix M = plantedClusterMetric(14, 8);
+  BuildOptions Options;
+  Options.Method = BuildMethod::CompactSets;
+  BuildOutcome Out = buildTree(M, Options);
+  EXPECT_EQ(Out.MethodName, "compact-sets(max)");
+  EXPECT_FALSE(Out.Pipeline.Sets.empty());
+  EXPECT_FALSE(Out.Pipeline.Blocks.empty());
+}
+
+TEST(TreeBuilder, CondenseModeShowsInName) {
+  DistanceMatrix M = plantedClusterMetric(8, 1);
+  BuildOptions Options;
+  Options.Method = BuildMethod::CompactSets;
+  Options.Pipeline.Mode = CondenseMode::Average;
+  EXPECT_EQ(buildTree(M, Options).MethodName, "compact-sets(avg)");
+  Options.Pipeline.Mode = CondenseMode::Minimum;
+  EXPECT_EQ(buildTree(M, Options).MethodName, "compact-sets(min)");
+}
+
+TEST(TreeBuilder, SimulatedClusterReportsVirtualTime) {
+  DistanceMatrix M = uniformRandomMetric(11, 6);
+  BuildOptions Options;
+  Options.Method = BuildMethod::SimulatedCluster;
+  Options.Cluster.NumNodes = 8;
+  BuildOutcome Out = buildTree(M, Options);
+  EXPECT_GT(Out.VirtualTime, 0.0);
+}
+
+TEST(TreeBuilder, BnbOptionsForwardToPipeline) {
+  DistanceMatrix M = plantedClusterMetric(10, 4, 0.05);
+  BuildOptions Options;
+  Options.Method = BuildMethod::CompactSets;
+  Options.Bnb.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  BuildOutcome Out = buildTree(M, Options);
+  EXPECT_EQ(Out.Tree.numLeaves(), 10);
+}
+
+TEST(TreeBuilder, NewickOutputRoundTripsForAllMethods) {
+  DistanceMatrix M = hmdnaLikeMatrix(9, 12);
+  for (BuildMethod Method : AllMethods) {
+    BuildOptions Options;
+    Options.Method = Method;
+    BuildOutcome Out = buildTree(M, Options);
+    auto Back = parseNewick(toNewick(Out.Tree));
+    ASSERT_TRUE(Back.has_value()) << Out.MethodName;
+    EXPECT_NEAR(Back->weight(), Out.Cost, 1e-6) << Out.MethodName;
+  }
+}

@@ -1,0 +1,183 @@
+//===- tests/edgecases_test.cpp - Cross-module hardening --------*- C++ -*-===//
+//
+// Edge cases and invariance properties that span modules: duplicate
+// species (zero distances), permutation/scaling invariance, the
+// 64-species bitmask boundary, and determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bnb/SequentialBnb.h"
+#include "bnb/Topology.h"
+#include "compact/CompactSetPipeline.h"
+#include "graph/CompactSets.h"
+#include "matrix/Generators.h"
+#include "matrix/MetricUtils.h"
+#include "parallel/ThreadedBnb.h"
+#include "support/Rng.h"
+#include "tree/Newick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mutk;
+
+TEST(EdgeCases, DuplicateSpeciesZeroDistance) {
+  // Species 0 and 1 are identical (distance 0): still a valid
+  // pseudometric; solvers must cope and pair them at height 0.
+  DistanceMatrix M(5);
+  for (int I = 0; I < 5; ++I)
+    for (int J = I + 1; J < 5; ++J)
+      M.set(I, J, 10.0);
+  M.set(0, 1, 0.0);
+  ASSERT_TRUE(isMetric(M));
+
+  MutResult R = solveMutSequential(M);
+  EXPECT_TRUE(R.Stats.Complete);
+  EXPECT_DOUBLE_EQ(R.Tree.leafDistance(0, 1), 0.0);
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+
+  PipelineResult P = buildCompactSetTree(M);
+  EXPECT_TRUE(P.Tree.dominatesMatrix(M));
+  EXPECT_EQ(P.Tree.numLeaves(), 5);
+}
+
+TEST(EdgeCases, OptimalCostIsPermutationInvariant) {
+  Rng Rand(3);
+  for (std::uint64_t Seed = 0; Seed < 4; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(9, Seed);
+    double Cost = solveMutSequential(M).Cost;
+    std::vector<int> Perm = Rand.permutation(9);
+    DistanceMatrix Shuffled = M.permuted(Perm);
+    EXPECT_NEAR(solveMutSequential(Shuffled).Cost, Cost, 1e-9)
+        << "seed " << Seed;
+  }
+}
+
+TEST(EdgeCases, CompactSetsArePermutationEquivariant) {
+  Rng Rand(4);
+  DistanceMatrix M = plantedClusterMetric(14, 8);
+  std::vector<int> Perm = Rand.permutation(14);
+  DistanceMatrix Shuffled = M.permuted(Perm);
+
+  // Map the shuffled matrix's sets back through the permutation.
+  auto Original = findCompactSets(M);
+  auto Mapped = findCompactSets(Shuffled);
+  std::vector<std::vector<int>> A, B;
+  for (const CompactSet &S : Original)
+    A.push_back(S.Members);
+  for (const CompactSet &S : Mapped) {
+    std::vector<int> Back;
+    for (int Local : S.Members)
+      Back.push_back(Perm[static_cast<std::size_t>(Local)]);
+    std::sort(Back.begin(), Back.end());
+    B.push_back(Back);
+  }
+  std::sort(A.begin(), A.end());
+  std::sort(B.begin(), B.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(EdgeCases, CostScalesLinearly) {
+  DistanceMatrix M = uniformRandomMetric(8, 5);
+  double Cost = solveMutSequential(M).Cost;
+  DistanceMatrix Doubled(8);
+  for (int I = 0; I < 8; ++I)
+    for (int J = I + 1; J < 8; ++J)
+      Doubled.set(I, J, 2.0 * M.at(I, J));
+  EXPECT_NEAR(solveMutSequential(Doubled).Cost, 2.0 * Cost, 1e-9);
+}
+
+TEST(EdgeCases, CompactSetsInvariantUnderScaling) {
+  DistanceMatrix M = plantedClusterMetric(12, 6);
+  DistanceMatrix Scaled = scaledToMax(M, 1000.0);
+  auto A = findCompactSets(M);
+  auto B = findCompactSets(Scaled);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I].Members, B[I].Members);
+}
+
+TEST(EdgeCases, MetricClosureIsIdempotent) {
+  DistanceMatrix Raw(10);
+  Rng Rand(11);
+  for (int I = 0; I < 10; ++I)
+    for (int J = I + 1; J < 10; ++J)
+      Raw.set(I, J, Rand.nextDouble(1.0, 100.0));
+  DistanceMatrix Once = metricClosure(Raw);
+  DistanceMatrix Twice = metricClosure(Once);
+  EXPECT_TRUE(Once.approxEquals(Twice, 1e-12));
+}
+
+TEST(EdgeCases, TopologySupportsSpecies63) {
+  // Exercise the top bit of the leaf mask: an easy (ultrametric)
+  // 64-species instance must flow through the pipeline, whose largest
+  // exact block stays tiny.
+  DistanceMatrix M = randomUltrametricMatrix(64, 9);
+  PipelineResult R = buildCompactSetTree(M);
+  EXPECT_EQ(R.Tree.numLeaves(), 64);
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+  // The realized matrix must match exactly (ultrametric input).
+  EXPECT_TRUE(R.Tree.inducedMatrix().approxEquals(M, 1e-9));
+}
+
+TEST(EdgeCases, TopologyMaskBoundaryDirect) {
+  // Insert species up to index 63 by hand along a caterpillar.
+  DistanceMatrix M = randomUltrametricMatrix(64, 2);
+  Topology T = Topology::initialPair(M);
+  while (T.numPlaced() < 64)
+    T = T.withNextSpeciesAt(T.numNodes() - 1, M);
+  EXPECT_EQ(T.numPlaced(), 64);
+  EXPECT_EQ(T.numNodes(), 2 * 64 - 1);
+  EXPECT_EQ(leafCount(T.node(T.rootIndex()).Mask), 64);
+}
+
+TEST(EdgeCases, ThreadedSolverIsCostDeterministic) {
+  DistanceMatrix M = uniformRandomMetric(12, 7);
+  double First = solveMutThreaded(M, 4).Cost;
+  for (int Run = 0; Run < 3; ++Run)
+    EXPECT_DOUBLE_EQ(solveMutThreaded(M, 4).Cost, First);
+}
+
+TEST(EdgeCases, NewickHandlesUnusualNames) {
+  PhyloTree T;
+  T.addInternal(T.addLeaf(0), T.addLeaf(1), 1.0);
+  T.setNames({"Homo_sapiens.X1", "chimp-2b"});
+  auto Back = parseNewick(toNewick(T));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->speciesName(0), "Homo_sapiens.X1");
+  EXPECT_EQ(Back->speciesName(1), "chimp-2b");
+}
+
+TEST(EdgeCases, PipelineLargeClusteredInstance) {
+  // 60 species: far beyond exhaustive search, trivial for the pipeline
+  // on clustered data.
+  DistanceMatrix M = plantedClusterMetric(60, 4);
+  PipelineResult R = buildCompactSetTree(M);
+  EXPECT_EQ(R.Tree.numLeaves(), 60);
+  EXPECT_TRUE(R.Tree.isWellFormed());
+  EXPECT_TRUE(R.Tree.hasMonotoneHeights());
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+}
+
+TEST(EdgeCases, AllDistancesEqualGivesDegenerateButValidTrees) {
+  DistanceMatrix M(7);
+  for (int I = 0; I < 7; ++I)
+    for (int J = I + 1; J < 7; ++J)
+      M.set(I, J, 4.0);
+  MutResult R = solveMutSequential(M);
+  // Every internal node sits at height 2; weight = 2 * (#internal + 1).
+  EXPECT_DOUBLE_EQ(R.Cost, 2.0 * 7);
+  EXPECT_TRUE(R.Tree.inducedMatrix().approxEquals(M, 1e-12));
+}
+
+TEST(EdgeCases, UpperBoundOptionTightensSearch) {
+  DistanceMatrix M = uniformRandomMetric(10, 3);
+  MutResult Plain = solveMutSequential(M);
+  // Seeding with the known optimum must not change the answer.
+  BnbOptions Options;
+  Options.InitialUpperBound = Plain.Cost + 1e-9;
+  MutResult Seeded = solveMutSequential(M, Options);
+  EXPECT_NEAR(Seeded.Cost, Plain.Cost, 1e-9);
+  EXPECT_LE(Seeded.Stats.Branched, Plain.Stats.Branched);
+}

@@ -1,0 +1,145 @@
+//===- tests/heur_test.cpp - UPGMA family & neighbor joining ----*- C++ -*-===//
+
+#include "heur/NeighborJoining.h"
+#include "heur/Upgma.h"
+#include "matrix/Generators.h"
+#include "matrix/MetricUtils.h"
+#include "tree/RobinsonFoulds.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+TEST(Upgma, SingleSpecies) {
+  DistanceMatrix M(1);
+  PhyloTree T = upgma(M);
+  EXPECT_EQ(T.numLeaves(), 1);
+  EXPECT_EQ(T.weight(), 0.0);
+}
+
+TEST(Upgma, TwoSpecies) {
+  DistanceMatrix M(2);
+  M.set(0, 1, 6);
+  PhyloTree T = upgmm(M);
+  EXPECT_DOUBLE_EQ(T.weight(), 6.0);
+  EXPECT_DOUBLE_EQ(T.leafDistance(0, 1), 6.0);
+}
+
+TEST(Upgma, RecoverUltrametricExactly) {
+  // On an exact ultrametric input, all three linkages coincide and the
+  // tree realizes the matrix exactly.
+  DistanceMatrix M = randomUltrametricMatrix(12, 4);
+  for (Linkage Mode :
+       {Linkage::Average, Linkage::Maximum, Linkage::Minimum}) {
+    PhyloTree T = buildLinkageTree(M, Mode);
+    EXPECT_TRUE(T.isWellFormed());
+    EXPECT_TRUE(T.hasMonotoneHeights());
+    EXPECT_TRUE(T.inducedMatrix().approxEquals(M, 1e-9));
+  }
+}
+
+TEST(Upgma, UpgmmIsAlwaysFeasible) {
+  // Complete linkage guarantees d_T >= M: the Algorithm-BBU upper bound
+  // property. Average linkage does not.
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(14, Seed);
+    PhyloTree T = upgmm(M);
+    EXPECT_TRUE(T.dominatesMatrix(M)) << "seed " << Seed;
+    EXPECT_TRUE(T.hasMonotoneHeights()) << "seed " << Seed;
+  }
+}
+
+TEST(Upgma, UpgmaCanBeInfeasible) {
+  // Find at least one uniform instance where UPGMA underestimates a pair.
+  bool FoundInfeasible = false;
+  for (std::uint64_t Seed = 0; Seed < 20 && !FoundInfeasible; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(12, Seed);
+    FoundInfeasible = !upgma(M).dominatesMatrix(M);
+  }
+  EXPECT_TRUE(FoundInfeasible);
+}
+
+TEST(Upgma, SingleLinkageIsSmallest) {
+  // min linkage <= avg linkage <= max linkage in tree weight.
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(13, Seed);
+    double Min = buildLinkageTree(M, Linkage::Minimum).weight();
+    double Avg = buildLinkageTree(M, Linkage::Average).weight();
+    double Max = buildLinkageTree(M, Linkage::Maximum).weight();
+    EXPECT_LE(Min, Avg + 1e-9);
+    EXPECT_LE(Avg, Max + 1e-9);
+  }
+}
+
+TEST(Upgma, NamesPropagate) {
+  DistanceMatrix M(3);
+  M.setName(0, "human");
+  M.set(0, 1, 2);
+  M.set(0, 2, 4);
+  M.set(1, 2, 4);
+  PhyloTree T = upgmm(M);
+  EXPECT_EQ(T.speciesName(0), "human");
+}
+
+TEST(Upgma, UpperBoundMatchesTreeWeight) {
+  DistanceMatrix M = uniformRandomMetric(10, 77);
+  EXPECT_DOUBLE_EQ(upgmmUpperBound(M), upgmm(M).weight());
+}
+
+TEST(NeighborJoining, TwoAndThreeSpecies) {
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 5);
+  AdditiveTree T2 = neighborJoining(M2);
+  EXPECT_DOUBLE_EQ(T2.leafDistance(0, 1), 5.0);
+
+  DistanceMatrix M3(3);
+  M3.set(0, 1, 4);
+  M3.set(0, 2, 6);
+  M3.set(1, 2, 8);
+  AdditiveTree T3 = neighborJoining(M3);
+  EXPECT_NEAR(T3.leafDistance(0, 1), 4.0, 1e-9);
+  EXPECT_NEAR(T3.leafDistance(0, 2), 6.0, 1e-9);
+  EXPECT_NEAR(T3.leafDistance(1, 2), 8.0, 1e-9);
+}
+
+TEST(NeighborJoining, RecoversAdditiveMatrixExactly) {
+  // NJ is exact on additive inputs; tree metrics from ultrametric trees
+  // are additive, so the induced matrix must round-trip.
+  for (std::uint64_t Seed : {3u, 9u, 27u}) {
+    DistanceMatrix M = randomUltrametricMatrix(10, Seed);
+    AdditiveTree T = neighborJoining(M);
+    DistanceMatrix Back = T.inducedMatrix();
+    EXPECT_TRUE(M.approxEquals(Back, 1e-6)) << "seed " << Seed;
+  }
+}
+
+TEST(NeighborJoining, NewickMentionsAllSpecies) {
+  DistanceMatrix M = uniformRandomMetric(6, 5);
+  M.setName(3, "gibbon");
+  AdditiveTree T = neighborJoining(M);
+  std::string Text = T.toNewick();
+  EXPECT_NE(Text.find("gibbon"), std::string::npos);
+  EXPECT_NE(Text.find("s0"), std::string::npos);
+  EXPECT_EQ(Text.back(), ';');
+}
+
+// Property: UPGMM feasibility holds across workload families and sizes.
+class UpgmmProperty : public testing::TestWithParam<int> {};
+
+TEST_P(UpgmmProperty, FeasibleOnAllWorkloads) {
+  int N = GetParam();
+  for (std::uint64_t Seed = 40; Seed < 43; ++Seed) {
+    for (const DistanceMatrix &M :
+         {uniformRandomMetric(N, Seed), plantedClusterMetric(N, Seed),
+          randomUltrametricMatrix(N, Seed)}) {
+      PhyloTree T = upgmm(M);
+      EXPECT_TRUE(T.dominatesMatrix(M));
+      EXPECT_TRUE(T.isWellFormed());
+      EXPECT_TRUE(T.hasMonotoneHeights());
+      EXPECT_EQ(T.numLeaves(), N);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UpgmmProperty,
+                         testing::Values(2, 3, 4, 7, 12, 20, 33));

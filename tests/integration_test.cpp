@@ -1,0 +1,130 @@
+//===- tests/integration_test.cpp - Paper claims as invariants --*- C++ -*-===//
+//
+// Miniature versions of the reproduced experiments, small enough for CI:
+// each test pins one of the papers' headline claims so a regression in
+// any module that would change an experiment's *shape* fails loudly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Profile.h"
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+#include "matrix/Generators.h"
+#include "mp/MpBnb.h"
+#include "seq/EvolutionSim.h"
+#include "sim/ClusterSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+namespace {
+
+DistanceMatrix unif(int N, std::uint64_t Seed) {
+  return uniformRandomMetric(N, Seed, 1.0, 100.0);
+}
+
+} // namespace
+
+// PaCT Figure 8: compact sets save most of the work on random data.
+TEST(PaperClaims, CompactSetsSaveWorkOnRandomData) {
+  std::uint64_t FullWork = 0, FastWork = 0;
+  for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    DistanceMatrix M = unif(16, Seed);
+    FullWork += solveMutSequential(M).Stats.Branched;
+    FastWork += buildCompactSetTree(M).TotalStats.Branched;
+  }
+  // The paper reports 77.19%..99.7% time saved; require at least half
+  // the branching to vanish in this mini version.
+  EXPECT_LT(FastWork * 2, FullWork);
+}
+
+// PaCT Figure 9: the cost difference stays under 5%.
+TEST(PaperClaims, CompactSetCostWithinFivePercent) {
+  for (std::uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    DistanceMatrix M = unif(14, Seed);
+    double Exact = solveMutSequential(M).Cost;
+    double Fast = buildCompactSetTree(M).Cost;
+    EXPECT_LE(Fast, Exact * 1.05) << "seed " << Seed;
+    EXPECT_GE(Fast, Exact - 1e-9) << "seed " << Seed;
+  }
+}
+
+// PaCT Figures 10-12: on DNA data the costs are nearly equal (<= 1.5%).
+TEST(PaperClaims, DnaCostsNearlyEqual) {
+  for (std::uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    DistanceMatrix M = hmdnaLikeMatrix(16, Seed);
+    double Exact = solveMutSequential(M).Cost;
+    double Fast = buildCompactSetTree(M).Cost;
+    EXPECT_LE(Fast, Exact * 1.015 + 1e-9) << "seed " << Seed;
+  }
+}
+
+// PaCT Figure 11's observation: DNA data is close to a molecular clock,
+// so even the plain B&B stays cheap (the matrix profile explains why).
+TEST(PaperClaims, DnaInstancesAreClockLike) {
+  DistanceMatrix Dna = hmdnaLikeMatrix(14, 2);
+  DistanceMatrix Random = unif(14, 2);
+  MatrixProfile DnaProfile = profileMatrix(Dna);
+  MatrixProfile RandomProfile = profileMatrix(Random);
+  EXPECT_LT(DnaProfile.UltrametricityDefect,
+            RandomProfile.UltrametricityDefect);
+  EXPECT_GT(DnaProfile.CompactCoverage, 0.0);
+}
+
+// HPCAsia Figures 1-3: 16 nodes finish hard instances much earlier than
+// one node; the cost stays the provable optimum.
+TEST(PaperClaims, SixteenNodesBeatOneOnHardInstances) {
+  DistanceMatrix M = unif(15, 2);
+  ClusterSimResult Seq = simulateSequentialBaseline(M);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  ClusterSimResult Par = simulateClusterBnb(M, Spec);
+  EXPECT_NEAR(Par.Cost, Seq.Cost, 1e-9);
+  EXPECT_LT(Par.Makespan * 2, Seq.Makespan); // at least 2x speedup here
+}
+
+// HPCAsia Figure 4: the 3-3 relationship preserves the optimum while
+// never increasing the explored space.
+TEST(PaperClaims, ThreeThreePreservesOptimum) {
+  for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    DistanceMatrix M = hmdnaLikeMatrix(13, Seed);
+    MutResult Plain = solveMutSequential(M);
+    BnbOptions Options;
+    Options.ThreeThree = ThreeThreeMode::ThirdSpecies;
+    MutResult Constrained = solveMutSequential(M, Options);
+    EXPECT_NEAR(Plain.Cost, Constrained.Cost, 1e-9) << "seed " << Seed;
+    // Pruning removes subtrees, but a pruned subtree can also be the one
+    // that would have supplied an early upper bound — allow small noise.
+    EXPECT_LE(Constrained.Stats.Branched,
+              Plain.Stats.Branched + Plain.Stats.Branched / 10 + 10);
+  }
+}
+
+// NCS: the message-passing port and the simulator agree with the
+// sequential solver — one optimum across all three architectures.
+TEST(PaperClaims, AllArchitecturesAgreeOnTheOptimum) {
+  DistanceMatrix M = hmdnaLikeMatrix(12, 7);
+  double Expected = solveMutSequential(M).Cost;
+  EXPECT_NEAR(solveMutMessagePassing(M, 3).Cost, Expected, 1e-9);
+  ClusterSpec Grid;
+  Grid.NumNodes = 6;
+  Grid.NodeSpeeds = {1.0, 0.9, 0.6, 1.0, 0.9, 0.6};
+  Grid.UbBroadcastLatency = 40.0;
+  EXPECT_NEAR(simulateClusterBnb(M, Grid).Cost, Expected, 1e-9);
+}
+
+// End-to-end: sequences -> edit distances -> decomposition -> merged
+// tree that is feasible, complete, and structurally sane.
+TEST(PaperClaims, FullPipelineEndToEnd) {
+  EvolutionResult Sim = simulateEvolution(20, 9);
+  DistanceMatrix M = editDistanceMatrix(Sim.Sequences, Sim.Names);
+  PipelineResult R = buildCompactSetTree(M);
+  EXPECT_EQ(R.Tree.numLeaves(), 20);
+  EXPECT_TRUE(R.Tree.isWellFormed());
+  EXPECT_TRUE(R.Tree.hasMonotoneHeights());
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+  TreeProfile Shape = profileTree(R.Tree);
+  EXPECT_EQ(Shape.NumLeaves, 20);
+  EXPECT_GT(Shape.RootHeight, 0.0);
+}

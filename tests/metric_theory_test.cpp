@@ -1,0 +1,106 @@
+//===- tests/metric_theory_test.cpp - Subdominant & four-point --*- C++ -*-===//
+
+#include "graph/Subdominant.h"
+#include "heur/Upgma.h"
+#include "matrix/Generators.h"
+#include "matrix/MetricUtils.h"
+#include "seq/EvolutionSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+TEST(Subdominant, FixesUltrametricInput) {
+  DistanceMatrix M = randomUltrametricMatrix(14, 3);
+  DistanceMatrix U = subdominantUltrametric(M);
+  EXPECT_TRUE(M.approxEquals(U, 1e-9));
+  EXPECT_TRUE(isUltrametricFast(M));
+  EXPECT_NEAR(subdominantGap(M), 0.0, 1e-9);
+}
+
+TEST(Subdominant, LiesBelowTheInputAndIsUltrametric) {
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(15, Seed);
+    DistanceMatrix U = subdominantUltrametric(M);
+    for (int I = 0; I < 15; ++I)
+      for (int J = I + 1; J < 15; ++J)
+        EXPECT_LE(U.at(I, J), M.at(I, J) + 1e-12);
+    EXPECT_TRUE(isUltrametric(U)) << "seed " << Seed;
+    EXPECT_GT(subdominantGap(M), 0.0);
+    EXPECT_FALSE(isUltrametricFast(M));
+  }
+}
+
+TEST(Subdominant, IsTheLargestUltrametricBelow) {
+  // Any ultrametric V <= M must lie below the subdominant U. Use the
+  // single-linkage tree metric as a candidate V: it must equal U.
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(12, Seed);
+    DistanceMatrix U = subdominantUltrametric(M);
+    DistanceMatrix SingleLinkage =
+        buildLinkageTree(M, Linkage::Minimum).inducedMatrix();
+    EXPECT_TRUE(U.approxEquals(SingleLinkage, 1e-9)) << "seed " << Seed;
+  }
+}
+
+TEST(Subdominant, FastRecognitionMatchesTripleCheck) {
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    for (const DistanceMatrix &M :
+         {uniformRandomMetric(13, Seed), randomUltrametricMatrix(13, Seed),
+          plantedClusterMetric(13, Seed), hmdnaLikeMatrix(10, Seed)}) {
+      EXPECT_EQ(isUltrametricFast(M), isUltrametric(M)) << "seed " << Seed;
+    }
+  }
+}
+
+TEST(Subdominant, TinySizes) {
+  EXPECT_EQ(subdominantUltrametric(DistanceMatrix(1)).size(), 1);
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 7);
+  DistanceMatrix U = subdominantUltrametric(M2);
+  EXPECT_DOUBLE_EQ(U.at(0, 1), 7.0);
+  EXPECT_TRUE(isUltrametricFast(M2));
+}
+
+TEST(FourPoint, UltrametricsAreAdditive) {
+  DistanceMatrix M = randomUltrametricMatrix(10, 5);
+  EXPECT_TRUE(isAdditive(M));
+}
+
+TEST(FourPoint, TreeMetricsAreAdditive) {
+  // Any tree realizes an additive metric; use a true evolution tree.
+  EvolutionResult R = simulateEvolution(9, 7);
+  DistanceMatrix M = R.TrueTree.inducedMatrix();
+  EXPECT_TRUE(isAdditive(M, 1e-6));
+}
+
+TEST(FourPoint, UniformRandomIsNotAdditive) {
+  int Violations = 0;
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed)
+    if (!isAdditive(uniformRandomMetric(10, Seed)))
+      ++Violations;
+  EXPECT_EQ(Violations, 5);
+}
+
+TEST(FourPoint, ViolationIsReported) {
+  // A square: d = 1 on edges, 1 on diagonals violates four points?
+  // Use the classic non-additive example: unit 4-cycle distances.
+  DistanceMatrix M(4);
+  M.set(0, 1, 1);
+  M.set(1, 2, 1);
+  M.set(2, 3, 1);
+  M.set(0, 3, 1);
+  M.set(0, 2, 2);
+  M.set(1, 3, 2);
+  // Sums: d01+d23 = 2, d02+d13 = 4, d03+d12 = 2: the two largest are
+  // 4 and 2 -> violated.
+  auto V = findFourPointViolation(M);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_NEAR(V->Slack, 2.0, 1e-12);
+  EXPECT_FALSE(isAdditive(M));
+}
+
+TEST(FourPoint, FewerThanFourSpeciesTriviallyAdditive) {
+  EXPECT_TRUE(isAdditive(DistanceMatrix(3)));
+  EXPECT_TRUE(isAdditive(DistanceMatrix(0)));
+}

@@ -1,0 +1,106 @@
+//===- tests/misc_coverage_test.cpp - Odds and ends -------------*- C++ -*-===//
+
+#include "heur/NeighborJoining.h"
+#include "matrix/Condense.h"
+#include "matrix/Generators.h"
+#include "matrix/MetricUtils.h"
+#include "redist/Baselines.h"
+#include "redist/Scpa.h"
+#include "seq/EvolutionSim.h"
+#include "support/Stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mutk;
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch W;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double First = W.seconds();
+  EXPECT_GT(First, 0.0);
+  EXPECT_GE(W.milliseconds(), First * 1e3 - 1.0);
+  W.restart();
+  EXPECT_LT(W.seconds(), First);
+}
+
+TEST(GenBlockEdge, ZeroSizeSegmentsAreSkipped) {
+  GenBlock Source{{5, 0, 5}};
+  GenBlock Dest{{3, 7, 0}};
+  auto Messages = generateMessages(Source, Dest);
+  // SP1 owns nothing and DP2 receives nothing: no message touches them.
+  for (const RedistMessage &M : Messages) {
+    EXPECT_NE(M.Source, 1);
+    EXPECT_NE(M.Dest, 2);
+    EXPECT_GT(M.Size, 0);
+  }
+  long Total = 0;
+  for (const RedistMessage &M : Messages)
+    Total += M.Size;
+  EXPECT_EQ(Total, 10);
+}
+
+TEST(GenBlockEdge, SingleProcessorIsOneMessage) {
+  GenBlock One{{42}};
+  auto Messages = generateMessages(One, One);
+  ASSERT_EQ(Messages.size(), 1u);
+  EXPECT_EQ(Messages[0], (RedistMessage{0, 0, 42}));
+}
+
+TEST(ScheduleCost, StartupTermCountsSteps) {
+  GenBlock S{{6, 6}};
+  GenBlock D{{4, 8}};
+  auto Messages = generateMessages(S, D);
+  RedistSchedule Schedule = scheduleScpa(Messages, 2);
+  double NoStartup = Schedule.cost(Messages, 0.0);
+  double WithStartup = Schedule.cost(Messages, 10.0);
+  EXPECT_DOUBLE_EQ(WithStartup - NoStartup, 10.0 * Schedule.numSteps());
+}
+
+TEST(CondenseEdge, SingleBlockYieldsOneByOne) {
+  DistanceMatrix M = uniformRandomMetric(5, 1);
+  DistanceMatrix C = condense(M, {{0, 1, 2, 3, 4}}, CondenseMode::Maximum);
+  EXPECT_EQ(C.size(), 1);
+}
+
+TEST(MaxminEdge, AllEqualDistancesGiveDeterministicPermutation) {
+  DistanceMatrix M(5);
+  for (int I = 0; I < 5; ++I)
+    for (int J = I + 1; J < 5; ++J)
+      M.set(I, J, 3.0);
+  std::vector<int> First = maxminPermutation(M);
+  EXPECT_EQ(First, maxminPermutation(M));
+  EXPECT_TRUE(isMaxminPermutation(M, First));
+  // Smallest-index tie-breaks: the identity ordering.
+  EXPECT_EQ(First, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EvolutionEdge, HeavyIndelsStillYieldMetricMatrix) {
+  EvolutionSpec Spec;
+  Spec.IndelRate = 0.05; // ~12 expected indel events per unit branch
+  Spec.SequenceLength = 120;
+  DistanceMatrix M = hmdnaLikeMatrix(8, 4, Spec);
+  EXPECT_TRUE(isMetric(M));
+  // Lineages must not collapse to empty sequences.
+  EvolutionResult R = simulateEvolution(8, 4, Spec);
+  for (const std::string &S : R.Sequences)
+    EXPECT_FALSE(S.empty());
+}
+
+TEST(NeighborJoiningEdge, NewickOfTwoSpecies) {
+  DistanceMatrix M(2);
+  M.set(0, 1, 3);
+  AdditiveTree T = neighborJoining(M);
+  std::string Text = T.toNewick();
+  EXPECT_EQ(Text.back(), ';');
+  EXPECT_NE(Text.find("s0"), std::string::npos);
+}
+
+TEST(UnionScheduleEdge, EmptyMessageListIsEmptySchedule) {
+  std::vector<RedistMessage> None;
+  EXPECT_EQ(scheduleScpa(None, 4).numSteps(), 0);
+  EXPECT_EQ(scheduleGreedyFfd(None, 4).numSteps(), 0);
+  EXPECT_EQ(scheduleDivideConquer(None, 4).numSteps(), 0);
+  EXPECT_TRUE(isValidSchedule(RedistSchedule{}, None, 4));
+}

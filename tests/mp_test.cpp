@@ -1,0 +1,243 @@
+//===- tests/mp_test.cpp - Message passing & distributed B&B ----*- C++ -*-===//
+
+#include "matrix/Generators.h"
+#include "mp/Communicator.h"
+#include "mp/MpBnb.h"
+#include "mp/Serialize.h"
+#include "seq/EvolutionSim.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mutk;
+
+TEST(Communicator, SendAndReceive) {
+  Communicator World(2);
+  auto A = World.endpoint(0);
+  auto B = World.endpoint(1);
+  A.send(1, 7, {1, 2, 3});
+  Message Msg = B.recv();
+  EXPECT_EQ(Msg.Source, 0);
+  EXPECT_EQ(Msg.Tag, 7);
+  EXPECT_EQ(Msg.Payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Communicator, FifoPerChannel) {
+  Communicator World(2);
+  auto A = World.endpoint(0);
+  auto B = World.endpoint(1);
+  for (std::uint8_t I = 0; I < 10; ++I)
+    A.send(1, I, {I});
+  for (std::uint8_t I = 0; I < 10; ++I) {
+    Message Msg = B.recv();
+    EXPECT_EQ(Msg.Tag, I);
+  }
+}
+
+TEST(Communicator, TryRecvNonBlocking) {
+  Communicator World(1);
+  auto A = World.endpoint(0);
+  EXPECT_FALSE(A.tryRecv().has_value());
+  A.send(0, 1); // self-send
+  EXPECT_TRUE(A.tryRecv().has_value());
+  EXPECT_FALSE(A.tryRecv().has_value());
+}
+
+TEST(Communicator, BroadcastSkipsSelf) {
+  Communicator World(4);
+  auto A = World.endpoint(0);
+  A.broadcast(9, {42});
+  EXPECT_FALSE(A.tryRecv().has_value());
+  for (int R = 1; R < 4; ++R) {
+    auto Msg = World.endpoint(R).tryRecv();
+    ASSERT_TRUE(Msg.has_value());
+    EXPECT_EQ(Msg->Tag, 9);
+  }
+  EXPECT_EQ(World.messagesSent(), 3u);
+  EXPECT_EQ(World.bytesSent(), 3u);
+}
+
+TEST(Communicator, BlockingRecvAcrossThreads) {
+  Communicator World(2);
+  int Received = -1;
+  std::thread Consumer([&] {
+    Message Msg = World.endpoint(1).recv();
+    Received = Msg.Tag;
+  });
+  World.endpoint(0).send(1, 123);
+  Consumer.join();
+  EXPECT_EQ(Received, 123);
+}
+
+TEST(Communicator, PingPong) {
+  Communicator World(2);
+  std::thread Echo([&] {
+    auto B = World.endpoint(1);
+    for (int I = 0; I < 50; ++I) {
+      Message Msg = B.recv();
+      B.send(0, Msg.Tag + 1, std::move(Msg.Payload));
+    }
+  });
+  auto A = World.endpoint(0);
+  for (int I = 0; I < 50; ++I) {
+    A.send(1, 2 * I, {static_cast<std::uint8_t>(I)});
+    Message Back = A.recv();
+    EXPECT_EQ(Back.Tag, 2 * I + 1);
+  }
+  Echo.join();
+}
+
+TEST(Serialize, ScalarRoundTrips) {
+  ByteWriter Writer;
+  Writer.writeU8(200);
+  Writer.writeU32(0xDEADBEEF);
+  Writer.writeI32(-12345);
+  Writer.writeU64(0x0123456789ABCDEFULL);
+  Writer.writeF64(-3.14159);
+  Writer.writeString("hello world");
+  std::vector<std::uint8_t> Bytes = Writer.take();
+
+  ByteReader Reader(Bytes);
+  std::uint8_t U8;
+  std::uint32_t U32;
+  std::int32_t I32;
+  std::uint64_t U64;
+  double F64;
+  std::string Text;
+  ASSERT_TRUE(Reader.readU8(U8));
+  ASSERT_TRUE(Reader.readU32(U32));
+  ASSERT_TRUE(Reader.readI32(I32));
+  ASSERT_TRUE(Reader.readU64(U64));
+  ASSERT_TRUE(Reader.readF64(F64));
+  ASSERT_TRUE(Reader.readString(Text));
+  EXPECT_TRUE(Reader.atEnd());
+  EXPECT_EQ(U8, 200);
+  EXPECT_EQ(U32, 0xDEADBEEFu);
+  EXPECT_EQ(I32, -12345);
+  EXPECT_EQ(U64, 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(F64, -3.14159);
+  EXPECT_EQ(Text, "hello world");
+}
+
+TEST(Serialize, ReaderRejectsTruncation) {
+  ByteWriter Writer;
+  Writer.writeU64(7);
+  std::vector<std::uint8_t> Bytes = Writer.take();
+  Bytes.pop_back();
+  ByteReader Reader(Bytes);
+  std::uint64_t Value;
+  EXPECT_FALSE(Reader.readU64(Value));
+}
+
+TEST(Serialize, TopologyRoundTrip) {
+  DistanceMatrix M = uniformRandomMetric(9, 3);
+  Topology T = Topology::initialPair(M);
+  while (T.numPlaced() < 7)
+    T = T.withNextSpeciesAt(T.numNodes() / 2, M);
+
+  auto Back = decodeTopology(encodeTopology(T));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->numPlaced(), T.numPlaced());
+  EXPECT_EQ(Back->numNodes(), T.numNodes());
+  EXPECT_DOUBLE_EQ(Back->cost(), T.cost());
+  for (int I = 0; I < T.numNodes(); ++I) {
+    EXPECT_EQ(Back->node(I).Mask, T.node(I).Mask);
+    EXPECT_DOUBLE_EQ(Back->node(I).Height, T.node(I).Height);
+  }
+}
+
+TEST(Serialize, TopologyRejectsCorruption) {
+  DistanceMatrix M = uniformRandomMetric(5, 1);
+  Topology T = Topology::initialPair(M);
+  T = T.withNextSpeciesAt(0, M);
+  std::vector<std::uint8_t> Bytes = encodeTopology(T);
+  // Flip a mask byte: the cross-validation in fromNodes must reject it.
+  Bytes[Bytes.size() - 3] ^= 0xFF;
+  EXPECT_FALSE(decodeTopology(Bytes).has_value());
+  // Truncation must also be rejected.
+  Bytes.resize(Bytes.size() / 2);
+  EXPECT_FALSE(decodeTopology(Bytes).has_value());
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  DistanceMatrix M = hmdnaLikeMatrix(8, 5);
+  auto Back = decodeMatrix(encodeMatrix(M));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(M.approxEquals(*Back, 0.0));
+  EXPECT_EQ(Back->name(0), "dna0");
+}
+
+TEST(MpBnb, TrivialSizes) {
+  DistanceMatrix M1(1);
+  EXPECT_EQ(solveMutMessagePassing(M1, 3).Tree.numLeaves(), 1);
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 8);
+  EXPECT_DOUBLE_EQ(solveMutMessagePassing(M2, 3).Cost, 8.0);
+}
+
+TEST(MpBnb, MatchesSequentialCost) {
+  for (std::uint64_t Seed = 0; Seed < 4; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    double Sequential = solveMutSequential(M).Cost;
+    for (int Workers : {1, 2, 5}) {
+      MpMutResult R = solveMutMessagePassing(M, Workers);
+      EXPECT_NEAR(R.Cost, Sequential, 1e-9)
+          << "seed " << Seed << " workers " << Workers;
+      EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+      EXPECT_GT(R.MessagesSent, 0u);
+    }
+  }
+}
+
+TEST(MpBnb, MatchesSequentialOnDnaData) {
+  DistanceMatrix M = hmdnaLikeMatrix(12, 6);
+  EXPECT_NEAR(solveMutMessagePassing(M, 4).Cost, solveMutSequential(M).Cost,
+              1e-9);
+}
+
+TEST(MpBnb, ThreeThreeSupported) {
+  DistanceMatrix M = plantedClusterMetric(10, 3, 0.05);
+  BnbOptions Options;
+  Options.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  MpMutResult R = solveMutMessagePassing(M, 3, Options);
+  EXPECT_NEAR(R.Cost, solveMutSequential(M).Cost, 1e-9);
+}
+
+TEST(MpBnb, TrafficAccounting) {
+  DistanceMatrix M = uniformRandomMetric(11, 2);
+  MpMutResult R = solveMutMessagePassing(M, 4);
+  EXPECT_GT(R.BytesSent, 0u);
+  ASSERT_EQ(R.Workers.size(), 4u);
+  std::uint64_t WorkerBranched = 0;
+  for (const WorkerStats &W : R.Workers)
+    WorkerBranched += W.Branched;
+  EXPECT_LE(WorkerBranched, R.Stats.Branched);
+}
+
+TEST(MpBnb, NoPrematureTerminationWithSingleWorker) {
+  // Regression: a worker could send its WorkRequest before the master's
+  // dealt Work arrived; the master then saw "all workers idle" and
+  // terminated the search early (observed on this exact instance). The
+  // credit counters in WorkRequest must prevent that.
+  DistanceMatrix M = uniformRandomMetric(18, 1, 1.0, 100.0);
+  double Sequential = solveMutSequential(M).Cost;
+  for (int Run = 0; Run < 3; ++Run) {
+    MpMutResult R = solveMutMessagePassing(M, 1);
+    EXPECT_NEAR(R.Cost, Sequential, 1e-9) << "run " << Run;
+    // The single worker must actually perform the search, not just
+    // absorb the master's seeding.
+    EXPECT_GT(R.Stats.Branched, 100u);
+  }
+}
+
+class MpProperty : public testing::TestWithParam<int> {};
+
+TEST_P(MpProperty, OptimalAcrossWorkerCounts) {
+  DistanceMatrix M = uniformRandomMetric(11, 9);
+  double Sequential = solveMutSequential(M).Cost;
+  EXPECT_NEAR(solveMutMessagePassing(M, GetParam()).Cost, Sequential, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, MpProperty,
+                         testing::Values(1, 2, 3, 4, 8));

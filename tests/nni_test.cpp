@@ -1,0 +1,193 @@
+//===- tests/nni_test.cpp - NNI polish ---------------------------*- C++ -*-===//
+
+#include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
+#include "heur/NniSearch.h"
+#include "heur/Upgma.h"
+#include "matrix/Generators.h"
+#include "tree/UltrametricFit.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+TEST(PhyloTreeSwap, SwapSubtreesRelinksBothSides) {
+  // ((0,1),(2,3)): swap leaf 1 with leaf 2 -> ((0,2),(1,3)).
+  PhyloTree T;
+  int L0 = T.addLeaf(0);
+  int L1 = T.addLeaf(1);
+  int A = T.addInternal(L0, L1, 1);
+  int L2 = T.addLeaf(2);
+  int L3 = T.addLeaf(3);
+  int B = T.addInternal(L2, L3, 1);
+  T.addInternal(A, B, 2);
+
+  T.swapSubtrees(L1, L2);
+  EXPECT_TRUE(T.isWellFormed());
+  EXPECT_EQ(T.lcaOfSpecies(0, 2), A);
+  EXPECT_EQ(T.lcaOfSpecies(1, 3), B);
+}
+
+TEST(PhyloTreeSwap, AncestorQueries) {
+  PhyloTree T;
+  int L0 = T.addLeaf(0);
+  int L1 = T.addLeaf(1);
+  int A = T.addInternal(L0, L1, 1);
+  int L2 = T.addLeaf(2);
+  int Root = T.addInternal(A, L2, 2);
+  EXPECT_TRUE(T.isAncestorOf(Root, L0));
+  EXPECT_TRUE(T.isAncestorOf(A, L1));
+  EXPECT_TRUE(T.isAncestorOf(A, A));
+  EXPECT_FALSE(T.isAncestorOf(L0, A));
+  EXPECT_FALSE(T.isAncestorOf(A, L2));
+}
+
+TEST(Nni, NeverIncreasesCost) {
+  for (std::uint64_t Seed = 0; Seed < 8; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(12, Seed);
+    PhyloTree T = upgma(M); // possibly infeasible start; refit fixes it
+    double Before = minimalWeightFor(T, M);
+    NniReport R = nniImprove(T, M);
+    EXPECT_LE(R.FinalCost, Before + 1e-9) << "seed " << Seed;
+    EXPECT_NEAR(R.FinalCost, T.weight(), 1e-9);
+    EXPECT_TRUE(T.dominatesMatrix(M));
+    EXPECT_TRUE(T.isWellFormed());
+  }
+}
+
+TEST(Nni, OptimalTreeIsAFixedPoint) {
+  DistanceMatrix M = uniformRandomMetric(10, 4);
+  MutResult Exact = solveMutSequential(M);
+  PhyloTree T = Exact.Tree;
+  NniReport R = nniImprove(T, M);
+  EXPECT_EQ(R.MovesApplied, 0);
+  EXPECT_NEAR(R.FinalCost, Exact.Cost, 1e-9);
+}
+
+TEST(Spr, ImprovesUpgmmOnHardInstances) {
+  // UPGMM trees are typically NNI-optimal but not SPR-optimal: the
+  // wider neighborhood must find improvements on some instances.
+  int Improved = 0;
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(13, Seed);
+    PhyloTree T = upgmm(M);
+    NniReport R = sprImprove(T, M);
+    EXPECT_LE(R.FinalCost, R.InitialCost + 1e-9);
+    EXPECT_TRUE(T.dominatesMatrix(M));
+    if (R.FinalCost < R.InitialCost - 1e-9)
+      ++Improved;
+  }
+  EXPECT_GT(Improved, 0);
+}
+
+TEST(Spr, NeverBeatsOptimumAndOftenReachesIt) {
+  int ReachedOptimum = 0;
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(11, Seed);
+    double Optimal = solveMutSequential(M).Cost;
+    PhyloTree T = upgmm(M);
+    NniReport R = sprImprove(T, M);
+    EXPECT_GE(R.FinalCost, Optimal - 1e-9) << "seed " << Seed;
+    if (R.FinalCost <= Optimal + 1e-9)
+      ++ReachedOptimum;
+  }
+  EXPECT_GT(ReachedOptimum, 0);
+}
+
+TEST(Spr, OptimalTreeIsAFixedPoint) {
+  DistanceMatrix M = uniformRandomMetric(9, 8);
+  MutResult Exact = solveMutSequential(M);
+  PhyloTree T = Exact.Tree;
+  NniReport R = sprImprove(T, M);
+  EXPECT_EQ(R.MovesApplied, 0);
+  EXPECT_NEAR(R.FinalCost, Exact.Cost, 1e-9);
+}
+
+TEST(Spr, TinyTrees) {
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 4);
+  PhyloTree T = upgmm(M2);
+  NniReport R = sprImprove(T, M2);
+  EXPECT_EQ(R.MovesApplied, 0);
+  EXPECT_DOUBLE_EQ(R.FinalCost, 4.0);
+}
+
+TEST(Spr, SubsumesNni) {
+  // Any NNI improvement is also available to SPR: SPR's final cost is
+  // never above NNI's.
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    PhyloTree A = upgma(M);
+    PhyloTree B = A;
+    NniReport Nni = nniImprove(A, M);
+    NniReport Spr = sprImprove(B, M);
+    EXPECT_LE(Spr.FinalCost, Nni.FinalCost + 1e-9) << "seed " << Seed;
+  }
+}
+
+TEST(Nni, NeverBeatsTheOptimum) {
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    double Optimal = solveMutSequential(M).Cost;
+    PhyloTree T = upgmm(M);
+    NniReport R = nniImprove(T, M);
+    EXPECT_GE(R.FinalCost, Optimal - 1e-9) << "seed " << Seed;
+  }
+}
+
+TEST(Nni, RoundBudgetRespected) {
+  DistanceMatrix M = uniformRandomMetric(14, 2);
+  PhyloTree T = upgma(M);
+  NniReport R = nniImprove(T, M, /*MaxRounds=*/1);
+  EXPECT_LE(R.Rounds, 1);
+  EXPECT_LE(R.MovesApplied, 1);
+}
+
+TEST(Nni, TinyTrees) {
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 4);
+  PhyloTree T = upgmm(M2);
+  NniReport R = nniImprove(T, M2);
+  EXPECT_EQ(R.MovesApplied, 0);
+  EXPECT_DOUBLE_EQ(R.FinalCost, 4.0);
+
+  PhyloTree Empty;
+  NniReport RE = nniImprove(Empty, DistanceMatrix(0));
+  EXPECT_EQ(RE.Rounds, 0);
+}
+
+TEST(Nni, PipelinePolishClosesFallbackGap) {
+  // Force the UPGMM fallback (equilateral-free uniform instance with a
+  // tiny block cap), then check the polish only helps.
+  DistanceMatrix M = uniformRandomMetric(16, 3);
+  PipelineOptions Plain;
+  Plain.MaxExactBlockSize = 2;
+  PipelineResult A = buildCompactSetTree(M, Plain);
+
+  PipelineOptions Polished = Plain;
+  Polished.PolishTopology = true;
+  PipelineResult B = buildCompactSetTree(M, Polished);
+
+  EXPECT_LE(B.Cost, A.Cost + 1e-9);
+  EXPECT_TRUE(B.Tree.dominatesMatrix(M));
+  if (B.PolishMoves > 0)
+    EXPECT_LT(B.Cost, A.Cost);
+}
+
+class NniProperty : public testing::TestWithParam<int> {};
+
+TEST_P(NniProperty, MonotoneAcrossSizesAndWorkloads) {
+  int N = GetParam();
+  for (std::uint64_t Seed = 30; Seed < 32; ++Seed) {
+    for (const DistanceMatrix &M :
+         {uniformRandomMetric(N, Seed), plantedClusterMetric(N, Seed)}) {
+      PhyloTree T = upgmm(M);
+      NniReport R = nniImprove(T, M);
+      EXPECT_LE(R.FinalCost, R.InitialCost + 1e-9);
+      EXPECT_TRUE(T.dominatesMatrix(M));
+      EXPECT_TRUE(T.hasMonotoneHeights());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NniProperty, testing::Values(2, 3, 5, 8, 13, 21));

@@ -1,0 +1,92 @@
+//===- tests/parallel_test.cpp - Threaded B&B -------------------*- C++ -*-===//
+
+#include "matrix/Generators.h"
+#include "parallel/ThreadedBnb.h"
+#include "seq/EvolutionSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+TEST(ThreadedBnb, TrivialSizes) {
+  DistanceMatrix M1(1);
+  ParallelMutResult R1 = solveMutThreaded(M1, 4);
+  EXPECT_EQ(R1.Tree.numLeaves(), 1);
+
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 6);
+  ParallelMutResult R2 = solveMutThreaded(M2, 4);
+  EXPECT_DOUBLE_EQ(R2.Cost, 6.0);
+}
+
+TEST(ThreadedBnb, MatchesSequentialCost) {
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    double Sequential = solveMutSequential(M).Cost;
+    for (int Workers : {1, 2, 4, 7}) {
+      ParallelMutResult R = solveMutThreaded(M, Workers);
+      EXPECT_NEAR(R.Cost, Sequential, 1e-9)
+          << "seed " << Seed << " workers " << Workers;
+      EXPECT_TRUE(R.Stats.Complete);
+      EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+      EXPECT_EQ(static_cast<int>(R.Workers.size()), Workers);
+    }
+  }
+}
+
+TEST(ThreadedBnb, MatchesSequentialOnHmdna) {
+  DistanceMatrix M = hmdnaLikeMatrix(12, 9);
+  double Sequential = solveMutSequential(M).Cost;
+  ParallelMutResult R = solveMutThreaded(M, 4);
+  EXPECT_NEAR(R.Cost, Sequential, 1e-9);
+}
+
+TEST(ThreadedBnb, ThreeThreeModesWork) {
+  DistanceMatrix M = plantedClusterMetric(10, 2, 0.05);
+  double Sequential = solveMutSequential(M).Cost;
+  BnbOptions Options;
+  Options.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  ParallelMutResult R = solveMutThreaded(M, 4, Options);
+  EXPECT_NEAR(R.Cost, Sequential, 1e-9);
+}
+
+TEST(ThreadedBnb, NodeLimitTerminates) {
+  DistanceMatrix M = uniformRandomMetric(16, 1);
+  BnbOptions Options;
+  Options.MaxBranchedNodes = 50;
+  ParallelMutResult R = solveMutThreaded(M, 4, Options);
+  EXPECT_FALSE(R.Stats.Complete);
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M)); // UPGMM fallback at worst
+}
+
+TEST(ThreadedBnb, WorkerStatsAccountBranches) {
+  DistanceMatrix M = uniformRandomMetric(12, 4);
+  ParallelMutResult R = solveMutThreaded(M, 3);
+  std::uint64_t WorkerTotal = 0;
+  for (const WorkerStats &W : R.Workers)
+    WorkerTotal += W.Branched;
+  // Master branches a few seeding nodes; workers do the rest.
+  EXPECT_LE(WorkerTotal, R.Stats.Branched);
+  EXPECT_GT(R.Stats.Branched, 0u);
+}
+
+TEST(ThreadedBnb, ManyWorkersOnTinyProblem) {
+  // More workers than frontier nodes: must still terminate and be right.
+  DistanceMatrix M = uniformRandomMetric(5, 6);
+  double Sequential = solveMutSequential(M).Cost;
+  ParallelMutResult R = solveMutThreaded(M, 12);
+  EXPECT_NEAR(R.Cost, Sequential, 1e-9);
+}
+
+class ThreadedProperty : public testing::TestWithParam<int> {};
+
+TEST_P(ThreadedProperty, CostEqualsSequentialAcrossSizes) {
+  int N = GetParam();
+  DistanceMatrix M = plantedClusterMetric(N, 123);
+  double Sequential = solveMutSequential(M).Cost;
+  ParallelMutResult R = solveMutThreaded(M, 4);
+  EXPECT_NEAR(R.Cost, Sequential, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadedProperty,
+                         testing::Values(2, 3, 5, 8, 11, 13));

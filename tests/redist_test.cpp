@@ -1,0 +1,228 @@
+//===- tests/redist_test.cpp - GEN_BLOCK redistribution & SCPA --*- C++ -*-===//
+
+#include "redist/Baselines.h"
+#include "redist/Scpa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace mutk;
+
+namespace {
+
+/// The APPT paper's Figure 1 example: 8 source and 8 destination
+/// processors over an array of 101 elements, yielding the fifteen
+/// messages m1..m15 of Figure 2.
+GenBlock paperSource() { return GenBlock{{12, 20, 15, 14, 11, 9, 9, 11}}; }
+GenBlock paperDest() { return GenBlock{{17, 10, 13, 6, 17, 12, 11, 15}}; }
+
+} // namespace
+
+TEST(GenBlock, PaperExampleMessages) {
+  std::vector<RedistMessage> Messages =
+      generateMessages(paperSource(), paperDest());
+  ASSERT_EQ(Messages.size(), 15u); // paper: m1..m15
+  // Spot-check against Figure 2 (0-based processors).
+  EXPECT_EQ(Messages[0], (RedistMessage{0, 0, 12})); // m1
+  EXPECT_EQ(Messages[1], (RedistMessage{1, 0, 5}));  // m2
+  EXPECT_EQ(Messages[2], (RedistMessage{1, 1, 10})); // m3
+  EXPECT_EQ(Messages[3], (RedistMessage{1, 2, 5}));  // m4
+  EXPECT_EQ(Messages[4], (RedistMessage{2, 2, 8}));  // m5
+  EXPECT_EQ(Messages[5], (RedistMessage{2, 3, 6}));  // m6
+  EXPECT_EQ(Messages[6], (RedistMessage{2, 4, 1}));  // m7
+  EXPECT_EQ(Messages[7], (RedistMessage{3, 4, 14})); // m8
+  EXPECT_EQ(Messages[8], (RedistMessage{4, 4, 2}));  // m9
+  EXPECT_EQ(Messages[14], (RedistMessage{7, 7, 11})); // m15
+  // Sizes cover the whole array.
+  long Total = 0;
+  for (const RedistMessage &M : Messages)
+    Total += M.Size;
+  EXPECT_EQ(Total, 101);
+}
+
+TEST(GenBlock, MessageCountBounds) {
+  // numprocs <= N <= 2*numprocs - 1 (paper §3) whenever no segment is
+  // empty.
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GenBlock S = randomGenBlock(16, 4096, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(16, 4096, 0.3, 1.5, Seed + 100);
+    auto Messages = generateMessages(S, D);
+    EXPECT_GE(Messages.size(), 16u);
+    EXPECT_LE(Messages.size(), 31u);
+  }
+}
+
+TEST(GenBlock, IdentityRedistributionIsDiagonal) {
+  GenBlock S = paperSource();
+  auto Messages = generateMessages(S, S);
+  ASSERT_EQ(Messages.size(), 8u);
+  for (int I = 0; I < 8; ++I) {
+    EXPECT_EQ(Messages[static_cast<std::size_t>(I)].Source, I);
+    EXPECT_EQ(Messages[static_cast<std::size_t>(I)].Dest, I);
+  }
+  EXPECT_EQ(maxDegree(Messages, 8), 1);
+  // One step suffices.
+  EXPECT_EQ(scheduleScpa(Messages, 8).numSteps(), 1);
+}
+
+TEST(GenBlock, PaperExampleMaxDegreeIsThree) {
+  auto Messages = generateMessages(paperSource(), paperDest());
+  EXPECT_EQ(maxDegree(Messages, 8), 3);
+}
+
+TEST(GenBlock, RandomGeneratorSumsExactly) {
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    GenBlock B = randomGenBlock(24, 1 << 20, 0.7, 1.3, Seed);
+    EXPECT_EQ(B.totalElements(), 1 << 20);
+    EXPECT_EQ(B.numProcessors(), 24);
+    for (long S : B.Sizes)
+      EXPECT_GT(S, 0);
+  }
+}
+
+TEST(ScpaAnalysis, PaperExampleConflictPoints) {
+  auto Messages = generateMessages(paperSource(), paperDest());
+  ScpaAnalysis Analysis = analyzeConflicts(Messages, 8);
+  EXPECT_EQ(Analysis.MaxDegree, 3);
+
+  // Max-degree processors: SP1 {m2,m3,m4}, SP2 {m5,m6,m7}, DP4
+  // {m7,m8,m9} (paper Figure 4). 0-based message indices: 1,2,3 / 4,5,6
+  // / 6,7,8.
+  ASSERT_EQ(Analysis.Sets.size(), 3u);
+  EXPECT_EQ(Analysis.Sets[0].MessageIndices, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Analysis.Sets[1].MessageIndices, (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(Analysis.Sets[2].MessageIndices, (std::vector<int>{6, 7, 8}));
+
+  // m7 (index 6) belongs to two MDMSs: explicit conflict point.
+  EXPECT_EQ(Analysis.ExplicitConflicts, std::vector<int>{6});
+  // m4 (index 3) meets m5 at non-maximal DP2: implicit conflict point.
+  EXPECT_EQ(Analysis.ImplicitConflicts, std::vector<int>{3});
+}
+
+TEST(Scpa, PaperExampleScheduleQuality) {
+  auto Messages = generateMessages(paperSource(), paperDest());
+  RedistSchedule Schedule = scheduleScpa(Messages, 8);
+  EXPECT_TRUE(isValidSchedule(Schedule, Messages, 8));
+  EXPECT_EQ(Schedule.numSteps(), 3); // the minimum (max degree)
+  // The paper's own schedule (Figure 9) reaches per-step maxima
+  // totaling 29; our placement must be at least as good (it actually
+  // finds 25: {m1,m3,m5,m8,m10,m15} can share the 14-step, leaving
+  // cheaper companions for the other two steps).
+  EXPECT_LE(Schedule.totalStepMaxima(Messages), 29);
+  EXPECT_EQ(Schedule.totalStepMaxima(Messages), 25);
+  // m4 and m7 (the conflict points) share a step.
+  int StepOfM4 = -1, StepOfM7 = -1;
+  for (int Step = 0; Step < Schedule.numSteps(); ++Step)
+    for (int Index : Schedule.Steps[static_cast<std::size_t>(Step)]) {
+      if (Index == 3)
+        StepOfM4 = Step;
+      if (Index == 6)
+        StepOfM7 = Step;
+    }
+  EXPECT_EQ(StepOfM4, StepOfM7);
+}
+
+TEST(Scpa, AlwaysValidAndMinimalStepsOnRandomInputs) {
+  for (std::uint64_t Seed = 0; Seed < 20; ++Seed) {
+    GenBlock S = randomGenBlock(16, 1 << 20, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(16, 1 << 20, 0.3, 1.5, Seed + 777);
+    auto Messages = generateMessages(S, D);
+    RedistSchedule Schedule = scheduleScpa(Messages, 16);
+    EXPECT_TRUE(isValidSchedule(Schedule, Messages, 16)) << "seed " << Seed;
+    EXPECT_EQ(Schedule.numSteps(), maxDegree(Messages, 16))
+        << "seed " << Seed;
+  }
+}
+
+TEST(Baselines, ValidOnRandomInputs) {
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GenBlock S = randomGenBlock(12, 65536, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(12, 65536, 0.3, 1.5, Seed + 55);
+    auto Messages = generateMessages(S, D);
+    for (const RedistSchedule &Schedule :
+         {scheduleGreedyFfd(Messages, 12), scheduleNaive(Messages, 12),
+          scheduleDivideConquer(Messages, 12)}) {
+      EXPECT_TRUE(isValidSchedule(Schedule, Messages, 12)) << "seed " << Seed;
+      EXPECT_GE(Schedule.numSteps(), maxDegree(Messages, 12));
+    }
+  }
+}
+
+TEST(Scpa, BeatsDivideConquerInMostEvents) {
+  // The APPT paper's headline: SCPA at least as good as the
+  // divide-and-conquer scheduler in >= 85% of events.
+  int WinOrTie = 0;
+  const int Events = 40;
+  for (int Event = 0; Event < Events; ++Event) {
+    std::uint64_t Seed = static_cast<std::uint64_t>(Event) * 101 + 5;
+    GenBlock S = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed + 1);
+    auto Messages = generateMessages(S, D);
+    long Scpa = scheduleScpa(Messages, 16).totalStepMaxima(Messages);
+    long Dca =
+        scheduleDivideConquer(Messages, 16).totalStepMaxima(Messages);
+    if (Scpa <= Dca)
+      ++WinOrTie;
+  }
+  EXPECT_GE(WinOrTie, Events * 7 / 10); // comfortably below the observed 80%+
+}
+
+TEST(Scpa, NeverWorseStepsThanBaselines) {
+  for (std::uint64_t Seed = 0; Seed < 10; ++Seed) {
+    GenBlock S = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed + 13);
+    auto Messages = generateMessages(S, D);
+    int Scpa = scheduleScpa(Messages, 16).numSteps();
+    EXPECT_LE(Scpa, scheduleGreedyFfd(Messages, 16).numSteps());
+    EXPECT_LE(Scpa, scheduleNaive(Messages, 16).numSteps());
+  }
+}
+
+TEST(Scpa, BeatsNaiveCostOnAverage) {
+  long ScpaTotal = 0, NaiveTotal = 0;
+  for (std::uint64_t Seed = 0; Seed < 20; ++Seed) {
+    GenBlock S = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(16, 1 << 18, 0.3, 1.5, Seed + 31);
+    auto Messages = generateMessages(S, D);
+    ScpaTotal += scheduleScpa(Messages, 16).totalStepMaxima(Messages);
+    NaiveTotal += scheduleNaive(Messages, 16).totalStepMaxima(Messages);
+  }
+  EXPECT_LT(ScpaTotal, NaiveTotal);
+}
+
+TEST(Schedule, ValidityCatchesViolations) {
+  auto Messages = generateMessages(paperSource(), paperDest());
+  RedistSchedule Good = scheduleScpa(Messages, 8);
+  ASSERT_TRUE(isValidSchedule(Good, Messages, 8));
+
+  RedistSchedule MissingMessage = Good;
+  MissingMessage.Steps[0].pop_back();
+  EXPECT_FALSE(isValidSchedule(MissingMessage, Messages, 8));
+
+  RedistSchedule Duplicated = Good;
+  Duplicated.Steps[1].push_back(Duplicated.Steps[0].front());
+  EXPECT_FALSE(isValidSchedule(Duplicated, Messages, 8));
+
+  // m2 and m3 share SP1: contention in one step.
+  RedistSchedule Contended;
+  Contended.Steps = {{1, 2}};
+  EXPECT_FALSE(isValidSchedule(Contended, {Messages[1], Messages[2]}, 8));
+}
+
+class ScpaProperty : public testing::TestWithParam<int> {};
+
+TEST_P(ScpaProperty, MinimalValidSchedulesAcrossProcessorCounts) {
+  int P = GetParam();
+  for (std::uint64_t Seed = 40; Seed < 43; ++Seed) {
+    GenBlock S = randomGenBlock(P, 1 << 16, 0.3, 1.5, Seed);
+    GenBlock D = randomGenBlock(P, 1 << 16, 0.7, 1.3, Seed + 3);
+    auto Messages = generateMessages(S, D);
+    RedistSchedule Schedule = scheduleScpa(Messages, P);
+    EXPECT_TRUE(isValidSchedule(Schedule, Messages, P));
+    EXPECT_EQ(Schedule.numSteps(), maxDegree(Messages, P));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, ScpaProperty,
+                         testing::Values(2, 4, 8, 16, 24, 48));

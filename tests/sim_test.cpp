@@ -1,0 +1,182 @@
+//===- tests/sim_test.cpp - Cluster discrete-event simulator ----*- C++ -*-===//
+
+#include "matrix/Generators.h"
+#include "seq/EvolutionSim.h"
+#include "sim/ClusterSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+TEST(ClusterSim, TrivialSizes) {
+  ClusterSpec Spec;
+  Spec.NumNodes = 4;
+  DistanceMatrix M1(1);
+  ClusterSimResult R1 = simulateClusterBnb(M1, Spec);
+  EXPECT_EQ(R1.Tree.numLeaves(), 1);
+  EXPECT_EQ(R1.Makespan, 0.0);
+
+  DistanceMatrix M2(2);
+  M2.set(0, 1, 10);
+  ClusterSimResult R2 = simulateClusterBnb(M2, Spec);
+  EXPECT_DOUBLE_EQ(R2.Cost, 10.0);
+}
+
+TEST(ClusterSim, CostEqualsSequentialOptimum) {
+  for (std::uint64_t Seed = 0; Seed < 5; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10, Seed);
+    double Optimal = solveMutSequential(M).Cost;
+    for (int Nodes : {1, 2, 8, 16}) {
+      ClusterSpec Spec;
+      Spec.NumNodes = Nodes;
+      ClusterSimResult R = simulateClusterBnb(M, Spec);
+      EXPECT_NEAR(R.Cost, Optimal, 1e-9)
+          << "seed " << Seed << " nodes " << Nodes;
+      EXPECT_TRUE(R.Stats.Complete);
+      EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+    }
+  }
+}
+
+TEST(ClusterSim, Deterministic) {
+  DistanceMatrix M = hmdnaLikeMatrix(11, 4);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  ClusterSimResult A = simulateClusterBnb(M, Spec);
+  ClusterSimResult B = simulateClusterBnb(M, Spec);
+  EXPECT_DOUBLE_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.Stats.Branched, B.Stats.Branched);
+  EXPECT_DOUBLE_EQ(A.Cost, B.Cost);
+}
+
+TEST(ClusterSim, MakespanBoundedByWork) {
+  DistanceMatrix M = uniformRandomMetric(12, 7);
+  ClusterSpec Spec;
+  Spec.NumNodes = 8;
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  // The makespan can never beat a perfect split of the busy time, and
+  // never exceeds seed time + total busy + idle accounting.
+  double Busy = 0.0;
+  for (const SimNodeStats &N : R.Nodes)
+    Busy += N.BusyTime;
+  EXPECT_GE(R.Makespan + 1e-9, R.SeedTime + Busy / Spec.NumNodes);
+  EXPECT_GE(Busy, 0.0);
+  for (const SimNodeStats &N : R.Nodes) {
+    EXPECT_LE(N.FinishTime, R.Makespan + 1e-9);
+    EXPECT_GE(N.IdleTime, 0.0);
+  }
+}
+
+TEST(ClusterSim, SequentialBaselineHasNoIdleNodes) {
+  DistanceMatrix M = uniformRandomMetric(10, 3);
+  ClusterSimResult R = simulateSequentialBaseline(M);
+  ASSERT_EQ(R.Nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.Nodes[0].IdleTime, 0.0);
+  EXPECT_GT(R.Makespan, 0.0);
+}
+
+TEST(ClusterSim, MoreNodesDoNotIncreaseMakespanMuch) {
+  // On a nontrivial instance, 16 virtual nodes should finish well before
+  // the 1-node baseline (the headline claim of the HPCAsia figures).
+  DistanceMatrix M = uniformRandomMetric(13, 11);
+  ClusterSimResult Seq = simulateSequentialBaseline(M);
+  ClusterSpec Spec;
+  Spec.NumNodes = 16;
+  ClusterSimResult Par = simulateClusterBnb(M, Spec);
+  EXPECT_LT(Par.Makespan, Seq.Makespan);
+}
+
+TEST(ClusterSim, GlobalPoolAblationStaysCorrect) {
+  DistanceMatrix M = uniformRandomMetric(11, 5);
+  double Optimal = solveMutSequential(M).Cost;
+  ClusterSpec Spec;
+  Spec.NumNodes = 8;
+  Spec.UseGlobalPool = false;
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  EXPECT_NEAR(R.Cost, Optimal, 1e-9);
+  for (const SimNodeStats &N : R.Nodes) {
+    EXPECT_EQ(N.PulledFromGlobal, 0u);
+    EXPECT_EQ(N.DonatedToGlobal, 0u);
+  }
+}
+
+TEST(ClusterSim, HeterogeneousSpeedsStayCorrect) {
+  DistanceMatrix M = hmdnaLikeMatrix(10, 8);
+  double Optimal = solveMutSequential(M).Cost;
+  ClusterSpec Grid;
+  Grid.NumNodes = 6;
+  Grid.NodeSpeeds = {1.0, 1.0, 0.5, 0.5, 0.25, 0.25};
+  Grid.UbBroadcastLatency = 20.0;
+  Grid.PoolTransferCost = 8.0;
+  ClusterSimResult R = simulateClusterBnb(M, Grid);
+  EXPECT_NEAR(R.Cost, Optimal, 1e-9);
+}
+
+TEST(ClusterSim, SlowerNodesDoLessWork) {
+  DistanceMatrix M = uniformRandomMetric(13, 17);
+  ClusterSpec Spec;
+  Spec.NumNodes = 4;
+  Spec.NodeSpeeds = {4.0, 4.0, 0.25, 0.25};
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  std::uint64_t FastWork = R.Nodes[0].Branched + R.Nodes[1].Branched;
+  std::uint64_t SlowWork = R.Nodes[2].Branched + R.Nodes[3].Branched;
+  EXPECT_GT(FastWork, SlowWork);
+}
+
+TEST(ClusterSim, ExtremeLatencyOnlyDelaysInformation) {
+  // With a near-infinite UB broadcast latency, workers never see each
+  // other's bounds — more work, but still the exact optimum (each node's
+  // own discoveries are enough for correctness).
+  DistanceMatrix M = uniformRandomMetric(11, 13);
+  double Optimal = solveMutSequential(M).Cost;
+  ClusterSpec Spec;
+  Spec.NumNodes = 8;
+  Spec.UbBroadcastLatency = 1e12;
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  EXPECT_NEAR(R.Cost, Optimal, 1e-9);
+
+  ClusterSpec Fast = Spec;
+  Fast.UbBroadcastLatency = 0.0;
+  ClusterSimResult Quick = simulateClusterBnb(M, Fast);
+  EXPECT_NEAR(Quick.Cost, Optimal, 1e-9);
+}
+
+TEST(ClusterSim, ZeroCostModelStillTerminates) {
+  // Degenerate cost model: all virtual costs zero. The schedule loses
+  // meaning but the search must still terminate with the optimum.
+  DistanceMatrix M = uniformRandomMetric(9, 4);
+  ClusterSpec Spec;
+  Spec.NumNodes = 4;
+  Spec.BranchCost = 0.0;
+  Spec.BoundCheckCost = 0.0;
+  Spec.PoolTransferCost = 0.0;
+  Spec.UbBroadcastLatency = 0.0;
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  EXPECT_NEAR(R.Cost, solveMutSequential(M).Cost, 1e-9);
+  EXPECT_EQ(R.Makespan, 0.0);
+}
+
+TEST(ClusterSim, NodeLimitTerminates) {
+  DistanceMatrix M = uniformRandomMetric(16, 2);
+  ClusterSpec Spec;
+  Spec.NumNodes = 8;
+  BnbOptions Options;
+  Options.MaxBranchedNodes = 100;
+  ClusterSimResult R = simulateClusterBnb(M, Spec, Options);
+  EXPECT_FALSE(R.Stats.Complete);
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+}
+
+class ClusterSimProperty : public testing::TestWithParam<int> {};
+
+TEST_P(ClusterSimProperty, OptimalCostAcrossNodeCounts) {
+  DistanceMatrix M = plantedClusterMetric(11, 321);
+  double Optimal = solveMutSequential(M).Cost;
+  ClusterSpec Spec;
+  Spec.NumNodes = GetParam();
+  ClusterSimResult R = simulateClusterBnb(M, Spec);
+  EXPECT_NEAR(R.Cost, Optimal, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ClusterSimProperty,
+                         testing::Values(1, 2, 3, 4, 8, 16, 32));

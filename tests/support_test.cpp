@@ -1,0 +1,163 @@
+//===- tests/support_test.cpp - UnionFind, Rng, Bits ------------*- C++ -*-===//
+
+#include "support/Bits.h"
+#include "support/Rng.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace mutk;
+
+TEST(UnionFind, StartsAsSingletons) {
+  UnionFind Uf(5);
+  EXPECT_EQ(Uf.numComponents(), 5);
+  for (int I = 0; I < 5; ++I) {
+    EXPECT_EQ(Uf.find(I), I);
+    EXPECT_EQ(Uf.componentSize(I), 1);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndReportsRepresentative) {
+  UnionFind Uf(4);
+  int Rep = Uf.unite(0, 1);
+  EXPECT_GE(Rep, 0);
+  EXPECT_TRUE(Uf.connected(0, 1));
+  EXPECT_FALSE(Uf.connected(0, 2));
+  EXPECT_EQ(Uf.numComponents(), 3);
+  EXPECT_EQ(Uf.componentSize(0), 2);
+}
+
+TEST(UnionFind, UniteSameComponentReturnsMinusOne) {
+  UnionFind Uf(3);
+  EXPECT_GE(Uf.unite(0, 1), 0);
+  EXPECT_EQ(Uf.unite(1, 0), -1);
+  EXPECT_EQ(Uf.numComponents(), 2);
+}
+
+TEST(UnionFind, ComponentsAreSortedAndComplete) {
+  UnionFind Uf(6);
+  Uf.unite(4, 2);
+  Uf.unite(2, 0);
+  Uf.unite(5, 3);
+  auto Groups = Uf.components();
+  ASSERT_EQ(Groups.size(), 3u);
+  EXPECT_EQ(Groups[0], (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(Groups[1], (std::vector<int>{1}));
+  EXPECT_EQ(Groups[2], (std::vector<int>{3, 5}));
+}
+
+TEST(UnionFind, ChainMergesEndWithOneComponent) {
+  const int N = 200;
+  UnionFind Uf(N);
+  for (int I = 1; I < N; ++I)
+    EXPECT_GE(Uf.unite(I - 1, I), 0);
+  EXPECT_EQ(Uf.numComponents(), 1);
+  EXPECT_EQ(Uf.componentSize(17), N);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng R(9);
+  std::set<int> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int V = R.nextInt(-2, 3);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 6u); // all values hit eventually
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, GaussianHasRoughlyZeroMean) {
+  Rng R(13);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.nextGaussian();
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositiveWithMeanOneOverLambda) {
+  Rng R(17);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.nextExponential(2.0);
+    EXPECT_GT(V, 0.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / N, 0.5, 0.05);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng R(19);
+  std::vector<int> Perm = R.permutation(50);
+  std::sort(Perm.begin(), Perm.end());
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(Perm[static_cast<std::size_t>(I)], I);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng R(23);
+  std::vector<int> V = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  std::sort(Orig.begin(), Orig.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Bits, LeafBitAndHasLeaf) {
+  LeafMask M = leafBit(0) | leafBit(5) | leafBit(63);
+  EXPECT_TRUE(hasLeaf(M, 0));
+  EXPECT_TRUE(hasLeaf(M, 5));
+  EXPECT_TRUE(hasLeaf(M, 63));
+  EXPECT_FALSE(hasLeaf(M, 1));
+  EXPECT_EQ(leafCount(M), 3);
+}
+
+TEST(Bits, ForEachLeafVisitsAscending) {
+  LeafMask M = leafBit(3) | leafBit(10) | leafBit(40);
+  std::vector<int> Seen;
+  forEachLeaf(M, [&](int L) { Seen.push_back(L); });
+  EXPECT_EQ(Seen, (std::vector<int>{3, 10, 40}));
+}
+
+TEST(Bits, EmptyMaskVisitsNothing) {
+  int Count = 0;
+  forEachLeaf(0, [&](int) { ++Count; });
+  EXPECT_EQ(Count, 0);
+  EXPECT_EQ(leafCount(0), 0);
+}
