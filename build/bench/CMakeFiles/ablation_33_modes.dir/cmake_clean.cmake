@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_33_modes.dir/ablation_33_modes.cpp.o"
+  "CMakeFiles/ablation_33_modes.dir/ablation_33_modes.cpp.o.d"
+  "ablation_33_modes"
+  "ablation_33_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_33_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_condense_modes.dir/ablation_condense_modes.cpp.o"
+  "CMakeFiles/ablation_condense_modes.dir/ablation_condense_modes.cpp.o.d"
+  "ablation_condense_modes"
+  "ablation_condense_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_condense_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_balance.dir/ablation_load_balance.cpp.o"
+  "CMakeFiles/ablation_load_balance.dir/ablation_load_balance.cpp.o.d"
+  "ablation_load_balance"
+  "ablation_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_order.dir/ablation_search_order.cpp.o"
+  "CMakeFiles/ablation_search_order.dir/ablation_search_order.cpp.o.d"
+  "ablation_search_order"
+  "ablation_search_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spr_polish.dir/ablation_spr_polish.cpp.o"
+  "CMakeFiles/ablation_spr_polish.dir/ablation_spr_polish.cpp.o.d"
+  "ablation_spr_polish"
+  "ablation_spr_polish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spr_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_spr_polish.
+# This may be replaced when dependencies are built.

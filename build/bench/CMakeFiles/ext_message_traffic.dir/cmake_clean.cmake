@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_message_traffic.dir/ext_message_traffic.cpp.o"
+  "CMakeFiles/ext_message_traffic.dir/ext_message_traffic.cpp.o.d"
+  "ext_message_traffic"
+  "ext_message_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_message_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

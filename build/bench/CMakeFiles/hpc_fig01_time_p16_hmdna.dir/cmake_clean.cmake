@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_fig01_time_p16_hmdna.dir/hpc_fig01_time_p16_hmdna.cpp.o"
+  "CMakeFiles/hpc_fig01_time_p16_hmdna.dir/hpc_fig01_time_p16_hmdna.cpp.o.d"
+  "hpc_fig01_time_p16_hmdna"
+  "hpc_fig01_time_p16_hmdna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_fig01_time_p16_hmdna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig01_time_p16_hmdna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig02_time_p1_hmdna.
+# This may be replaced when dependencies are built.

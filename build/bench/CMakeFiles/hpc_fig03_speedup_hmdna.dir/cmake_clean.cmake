@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_fig03_speedup_hmdna.dir/hpc_fig03_speedup_hmdna.cpp.o"
+  "CMakeFiles/hpc_fig03_speedup_hmdna.dir/hpc_fig03_speedup_hmdna.cpp.o.d"
+  "hpc_fig03_speedup_hmdna"
+  "hpc_fig03_speedup_hmdna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_fig03_speedup_hmdna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpc_fig03_speedup_hmdna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig03_speedup_hmdna.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig05_time_p16_random.
+# This may be replaced when dependencies are built.

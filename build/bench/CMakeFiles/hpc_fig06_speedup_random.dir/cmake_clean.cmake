@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_fig06_speedup_random.dir/hpc_fig06_speedup_random.cpp.o"
+  "CMakeFiles/hpc_fig06_speedup_random.dir/hpc_fig06_speedup_random.cpp.o.d"
+  "hpc_fig06_speedup_random"
+  "hpc_fig06_speedup_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_fig06_speedup_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig07_time_p1_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpc_fig08_33_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncs_grid_tables.dir/ncs_grid_tables.cpp.o"
+  "CMakeFiles/ncs_grid_tables.dir/ncs_grid_tables.cpp.o.d"
+  "ncs_grid_tables"
+  "ncs_grid_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncs_grid_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pact_fig08_time_random.dir/pact_fig08_time_random.cpp.o"
+  "CMakeFiles/pact_fig08_time_random.dir/pact_fig08_time_random.cpp.o.d"
+  "pact_fig08_time_random"
+  "pact_fig08_time_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pact_fig08_time_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

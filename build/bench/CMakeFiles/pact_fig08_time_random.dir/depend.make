@@ -1,0 +1,2 @@
+# Empty dependencies file for pact_fig08_time_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pact_fig09_cost_random.dir/pact_fig09_cost_random.cpp.o"
+  "CMakeFiles/pact_fig09_cost_random.dir/pact_fig09_cost_random.cpp.o.d"
+  "pact_fig09_cost_random"
+  "pact_fig09_cost_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pact_fig09_cost_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pact_fig09_cost_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pact_fig10_cost_hmdna26.dir/pact_fig10_cost_hmdna26.cpp.o"
+  "CMakeFiles/pact_fig10_cost_hmdna26.dir/pact_fig10_cost_hmdna26.cpp.o.d"
+  "pact_fig10_cost_hmdna26"
+  "pact_fig10_cost_hmdna26.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pact_fig10_cost_hmdna26.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pact_fig10_cost_hmdna26.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pact_fig11_time_hmdna26.dir/pact_fig11_time_hmdna26.cpp.o"
+  "CMakeFiles/pact_fig11_time_hmdna26.dir/pact_fig11_time_hmdna26.cpp.o.d"
+  "pact_fig11_time_hmdna26"
+  "pact_fig11_time_hmdna26.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pact_fig11_time_hmdna26.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

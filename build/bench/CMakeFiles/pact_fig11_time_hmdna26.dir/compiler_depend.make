@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pact_fig11_time_hmdna26.
+# This may be replaced when dependencies are built.

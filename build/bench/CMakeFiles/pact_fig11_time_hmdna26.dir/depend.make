@@ -1,0 +1,2 @@
+# Empty dependencies file for pact_fig11_time_hmdna26.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pact_fig12_cost_hmdna30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pact_fig13_time_hmdna30.dir/pact_fig13_time_hmdna30.cpp.o"
+  "CMakeFiles/pact_fig13_time_hmdna30.dir/pact_fig13_time_hmdna30.cpp.o.d"
+  "pact_fig13_time_hmdna30"
+  "pact_fig13_time_hmdna30.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pact_fig13_time_hmdna30.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

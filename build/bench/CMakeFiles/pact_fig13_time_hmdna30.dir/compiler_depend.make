@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pact_fig13_time_hmdna30.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scpa_fig10_11_redistribution.dir/scpa_fig10_11_redistribution.cpp.o"
+  "CMakeFiles/scpa_fig10_11_redistribution.dir/scpa_fig10_11_redistribution.cpp.o.d"
+  "scpa_fig10_11_redistribution"
+  "scpa_fig10_11_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scpa_fig10_11_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scpa_fig10_11_redistribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_sets_tour.dir/compact_sets_tour.cpp.o"
+  "CMakeFiles/compact_sets_tour.dir/compact_sets_tour.cpp.o.d"
+  "compact_sets_tour"
+  "compact_sets_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_sets_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

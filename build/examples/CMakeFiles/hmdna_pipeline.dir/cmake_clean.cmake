@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdna_pipeline.dir/hmdna_pipeline.cpp.o"
+  "CMakeFiles/hmdna_pipeline.dir/hmdna_pipeline.cpp.o.d"
+  "hmdna_pipeline"
+  "hmdna_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdna_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

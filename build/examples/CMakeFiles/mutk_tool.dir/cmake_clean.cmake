@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_tool.dir/mutk_tool.cpp.o"
+  "CMakeFiles/mutk_tool.dir/mutk_tool.cpp.o.d"
+  "mutk_tool"
+  "mutk_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

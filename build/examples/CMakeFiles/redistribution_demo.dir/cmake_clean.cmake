@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribution_demo.dir/redistribution_demo.cpp.o"
+  "CMakeFiles/redistribution_demo.dir/redistribution_demo.cpp.o.d"
+  "redistribution_demo"
+  "redistribution_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribution_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

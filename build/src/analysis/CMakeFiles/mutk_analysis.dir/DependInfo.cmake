@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/DotExport.cpp" "src/analysis/CMakeFiles/mutk_analysis.dir/DotExport.cpp.o" "gcc" "src/analysis/CMakeFiles/mutk_analysis.dir/DotExport.cpp.o.d"
+  "/root/repo/src/analysis/Profile.cpp" "src/analysis/CMakeFiles/mutk_analysis.dir/Profile.cpp.o" "gcc" "src/analysis/CMakeFiles/mutk_analysis.dir/Profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mutk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_analysis.dir/DotExport.cpp.o"
+  "CMakeFiles/mutk_analysis.dir/DotExport.cpp.o.d"
+  "CMakeFiles/mutk_analysis.dir/Profile.cpp.o"
+  "CMakeFiles/mutk_analysis.dir/Profile.cpp.o.d"
+  "libmutk_analysis.a"
+  "libmutk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

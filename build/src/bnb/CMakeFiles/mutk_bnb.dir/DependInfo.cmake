@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bnb/BestFirstBnb.cpp" "src/bnb/CMakeFiles/mutk_bnb.dir/BestFirstBnb.cpp.o" "gcc" "src/bnb/CMakeFiles/mutk_bnb.dir/BestFirstBnb.cpp.o.d"
+  "/root/repo/src/bnb/Engine.cpp" "src/bnb/CMakeFiles/mutk_bnb.dir/Engine.cpp.o" "gcc" "src/bnb/CMakeFiles/mutk_bnb.dir/Engine.cpp.o.d"
+  "/root/repo/src/bnb/SequentialBnb.cpp" "src/bnb/CMakeFiles/mutk_bnb.dir/SequentialBnb.cpp.o" "gcc" "src/bnb/CMakeFiles/mutk_bnb.dir/SequentialBnb.cpp.o.d"
+  "/root/repo/src/bnb/ThreeThree.cpp" "src/bnb/CMakeFiles/mutk_bnb.dir/ThreeThree.cpp.o" "gcc" "src/bnb/CMakeFiles/mutk_bnb.dir/ThreeThree.cpp.o.d"
+  "/root/repo/src/bnb/Topology.cpp" "src/bnb/CMakeFiles/mutk_bnb.dir/Topology.cpp.o" "gcc" "src/bnb/CMakeFiles/mutk_bnb.dir/Topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/heur/CMakeFiles/mutk_heur.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_bnb.dir/BestFirstBnb.cpp.o"
+  "CMakeFiles/mutk_bnb.dir/BestFirstBnb.cpp.o.d"
+  "CMakeFiles/mutk_bnb.dir/Engine.cpp.o"
+  "CMakeFiles/mutk_bnb.dir/Engine.cpp.o.d"
+  "CMakeFiles/mutk_bnb.dir/SequentialBnb.cpp.o"
+  "CMakeFiles/mutk_bnb.dir/SequentialBnb.cpp.o.d"
+  "CMakeFiles/mutk_bnb.dir/ThreeThree.cpp.o"
+  "CMakeFiles/mutk_bnb.dir/ThreeThree.cpp.o.d"
+  "CMakeFiles/mutk_bnb.dir/Topology.cpp.o"
+  "CMakeFiles/mutk_bnb.dir/Topology.cpp.o.d"
+  "libmutk_bnb.a"
+  "libmutk_bnb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_bnb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

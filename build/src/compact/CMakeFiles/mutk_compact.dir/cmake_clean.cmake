@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_compact.dir/CompactSetPipeline.cpp.o"
+  "CMakeFiles/mutk_compact.dir/CompactSetPipeline.cpp.o.d"
+  "libmutk_compact.a"
+  "libmutk_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

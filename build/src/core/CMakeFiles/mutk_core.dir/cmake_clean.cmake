@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_core.dir/TreeBuilder.cpp.o"
+  "CMakeFiles/mutk_core.dir/TreeBuilder.cpp.o.d"
+  "libmutk_core.a"
+  "libmutk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/CompactSets.cpp" "src/graph/CMakeFiles/mutk_graph.dir/CompactSets.cpp.o" "gcc" "src/graph/CMakeFiles/mutk_graph.dir/CompactSets.cpp.o.d"
+  "/root/repo/src/graph/Hierarchy.cpp" "src/graph/CMakeFiles/mutk_graph.dir/Hierarchy.cpp.o" "gcc" "src/graph/CMakeFiles/mutk_graph.dir/Hierarchy.cpp.o.d"
+  "/root/repo/src/graph/Mst.cpp" "src/graph/CMakeFiles/mutk_graph.dir/Mst.cpp.o" "gcc" "src/graph/CMakeFiles/mutk_graph.dir/Mst.cpp.o.d"
+  "/root/repo/src/graph/Subdominant.cpp" "src/graph/CMakeFiles/mutk_graph.dir/Subdominant.cpp.o" "gcc" "src/graph/CMakeFiles/mutk_graph.dir/Subdominant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_graph.dir/CompactSets.cpp.o"
+  "CMakeFiles/mutk_graph.dir/CompactSets.cpp.o.d"
+  "CMakeFiles/mutk_graph.dir/Hierarchy.cpp.o"
+  "CMakeFiles/mutk_graph.dir/Hierarchy.cpp.o.d"
+  "CMakeFiles/mutk_graph.dir/Mst.cpp.o"
+  "CMakeFiles/mutk_graph.dir/Mst.cpp.o.d"
+  "CMakeFiles/mutk_graph.dir/Subdominant.cpp.o"
+  "CMakeFiles/mutk_graph.dir/Subdominant.cpp.o.d"
+  "libmutk_graph.a"
+  "libmutk_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

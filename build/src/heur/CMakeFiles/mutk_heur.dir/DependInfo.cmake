@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heur/NeighborJoining.cpp" "src/heur/CMakeFiles/mutk_heur.dir/NeighborJoining.cpp.o" "gcc" "src/heur/CMakeFiles/mutk_heur.dir/NeighborJoining.cpp.o.d"
+  "/root/repo/src/heur/NniSearch.cpp" "src/heur/CMakeFiles/mutk_heur.dir/NniSearch.cpp.o" "gcc" "src/heur/CMakeFiles/mutk_heur.dir/NniSearch.cpp.o.d"
+  "/root/repo/src/heur/Upgma.cpp" "src/heur/CMakeFiles/mutk_heur.dir/Upgma.cpp.o" "gcc" "src/heur/CMakeFiles/mutk_heur.dir/Upgma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

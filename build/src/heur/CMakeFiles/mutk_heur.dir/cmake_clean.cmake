@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_heur.dir/NeighborJoining.cpp.o"
+  "CMakeFiles/mutk_heur.dir/NeighborJoining.cpp.o.d"
+  "CMakeFiles/mutk_heur.dir/NniSearch.cpp.o"
+  "CMakeFiles/mutk_heur.dir/NniSearch.cpp.o.d"
+  "CMakeFiles/mutk_heur.dir/Upgma.cpp.o"
+  "CMakeFiles/mutk_heur.dir/Upgma.cpp.o.d"
+  "libmutk_heur.a"
+  "libmutk_heur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_heur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mutk_heur.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/Condense.cpp" "src/matrix/CMakeFiles/mutk_matrix.dir/Condense.cpp.o" "gcc" "src/matrix/CMakeFiles/mutk_matrix.dir/Condense.cpp.o.d"
+  "/root/repo/src/matrix/DistanceMatrix.cpp" "src/matrix/CMakeFiles/mutk_matrix.dir/DistanceMatrix.cpp.o" "gcc" "src/matrix/CMakeFiles/mutk_matrix.dir/DistanceMatrix.cpp.o.d"
+  "/root/repo/src/matrix/Generators.cpp" "src/matrix/CMakeFiles/mutk_matrix.dir/Generators.cpp.o" "gcc" "src/matrix/CMakeFiles/mutk_matrix.dir/Generators.cpp.o.d"
+  "/root/repo/src/matrix/MatrixIO.cpp" "src/matrix/CMakeFiles/mutk_matrix.dir/MatrixIO.cpp.o" "gcc" "src/matrix/CMakeFiles/mutk_matrix.dir/MatrixIO.cpp.o.d"
+  "/root/repo/src/matrix/MetricUtils.cpp" "src/matrix/CMakeFiles/mutk_matrix.dir/MetricUtils.cpp.o" "gcc" "src/matrix/CMakeFiles/mutk_matrix.dir/MetricUtils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

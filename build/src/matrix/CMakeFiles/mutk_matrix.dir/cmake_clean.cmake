@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_matrix.dir/Condense.cpp.o"
+  "CMakeFiles/mutk_matrix.dir/Condense.cpp.o.d"
+  "CMakeFiles/mutk_matrix.dir/DistanceMatrix.cpp.o"
+  "CMakeFiles/mutk_matrix.dir/DistanceMatrix.cpp.o.d"
+  "CMakeFiles/mutk_matrix.dir/Generators.cpp.o"
+  "CMakeFiles/mutk_matrix.dir/Generators.cpp.o.d"
+  "CMakeFiles/mutk_matrix.dir/MatrixIO.cpp.o"
+  "CMakeFiles/mutk_matrix.dir/MatrixIO.cpp.o.d"
+  "CMakeFiles/mutk_matrix.dir/MetricUtils.cpp.o"
+  "CMakeFiles/mutk_matrix.dir/MetricUtils.cpp.o.d"
+  "libmutk_matrix.a"
+  "libmutk_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

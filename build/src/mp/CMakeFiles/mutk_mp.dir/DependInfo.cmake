@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/Communicator.cpp" "src/mp/CMakeFiles/mutk_mp.dir/Communicator.cpp.o" "gcc" "src/mp/CMakeFiles/mutk_mp.dir/Communicator.cpp.o.d"
+  "/root/repo/src/mp/MpBnb.cpp" "src/mp/CMakeFiles/mutk_mp.dir/MpBnb.cpp.o" "gcc" "src/mp/CMakeFiles/mutk_mp.dir/MpBnb.cpp.o.d"
+  "/root/repo/src/mp/Serialize.cpp" "src/mp/CMakeFiles/mutk_mp.dir/Serialize.cpp.o" "gcc" "src/mp/CMakeFiles/mutk_mp.dir/Serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bnb/CMakeFiles/mutk_bnb.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mutk_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/heur/CMakeFiles/mutk_heur.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

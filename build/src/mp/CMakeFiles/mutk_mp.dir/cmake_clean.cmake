@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_mp.dir/Communicator.cpp.o"
+  "CMakeFiles/mutk_mp.dir/Communicator.cpp.o.d"
+  "CMakeFiles/mutk_mp.dir/MpBnb.cpp.o"
+  "CMakeFiles/mutk_mp.dir/MpBnb.cpp.o.d"
+  "CMakeFiles/mutk_mp.dir/Serialize.cpp.o"
+  "CMakeFiles/mutk_mp.dir/Serialize.cpp.o.d"
+  "libmutk_mp.a"
+  "libmutk_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

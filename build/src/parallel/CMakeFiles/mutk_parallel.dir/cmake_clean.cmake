@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_parallel.dir/ThreadedBnb.cpp.o"
+  "CMakeFiles/mutk_parallel.dir/ThreadedBnb.cpp.o.d"
+  "libmutk_parallel.a"
+  "libmutk_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redist/Baselines.cpp" "src/redist/CMakeFiles/mutk_redist.dir/Baselines.cpp.o" "gcc" "src/redist/CMakeFiles/mutk_redist.dir/Baselines.cpp.o.d"
+  "/root/repo/src/redist/GenBlock.cpp" "src/redist/CMakeFiles/mutk_redist.dir/GenBlock.cpp.o" "gcc" "src/redist/CMakeFiles/mutk_redist.dir/GenBlock.cpp.o.d"
+  "/root/repo/src/redist/Schedule.cpp" "src/redist/CMakeFiles/mutk_redist.dir/Schedule.cpp.o" "gcc" "src/redist/CMakeFiles/mutk_redist.dir/Schedule.cpp.o.d"
+  "/root/repo/src/redist/Scpa.cpp" "src/redist/CMakeFiles/mutk_redist.dir/Scpa.cpp.o" "gcc" "src/redist/CMakeFiles/mutk_redist.dir/Scpa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_redist.dir/Baselines.cpp.o"
+  "CMakeFiles/mutk_redist.dir/Baselines.cpp.o.d"
+  "CMakeFiles/mutk_redist.dir/GenBlock.cpp.o"
+  "CMakeFiles/mutk_redist.dir/GenBlock.cpp.o.d"
+  "CMakeFiles/mutk_redist.dir/Schedule.cpp.o"
+  "CMakeFiles/mutk_redist.dir/Schedule.cpp.o.d"
+  "CMakeFiles/mutk_redist.dir/Scpa.cpp.o"
+  "CMakeFiles/mutk_redist.dir/Scpa.cpp.o.d"
+  "libmutk_redist.a"
+  "libmutk_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

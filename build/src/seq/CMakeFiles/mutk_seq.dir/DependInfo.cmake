@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/Alignment.cpp" "src/seq/CMakeFiles/mutk_seq.dir/Alignment.cpp.o" "gcc" "src/seq/CMakeFiles/mutk_seq.dir/Alignment.cpp.o.d"
+  "/root/repo/src/seq/EditDistance.cpp" "src/seq/CMakeFiles/mutk_seq.dir/EditDistance.cpp.o" "gcc" "src/seq/CMakeFiles/mutk_seq.dir/EditDistance.cpp.o.d"
+  "/root/repo/src/seq/EvolutionSim.cpp" "src/seq/CMakeFiles/mutk_seq.dir/EvolutionSim.cpp.o" "gcc" "src/seq/CMakeFiles/mutk_seq.dir/EvolutionSim.cpp.o.d"
+  "/root/repo/src/seq/Fasta.cpp" "src/seq/CMakeFiles/mutk_seq.dir/Fasta.cpp.o" "gcc" "src/seq/CMakeFiles/mutk_seq.dir/Fasta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

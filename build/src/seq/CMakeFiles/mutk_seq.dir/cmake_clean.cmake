@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_seq.dir/Alignment.cpp.o"
+  "CMakeFiles/mutk_seq.dir/Alignment.cpp.o.d"
+  "CMakeFiles/mutk_seq.dir/EditDistance.cpp.o"
+  "CMakeFiles/mutk_seq.dir/EditDistance.cpp.o.d"
+  "CMakeFiles/mutk_seq.dir/EvolutionSim.cpp.o"
+  "CMakeFiles/mutk_seq.dir/EvolutionSim.cpp.o.d"
+  "CMakeFiles/mutk_seq.dir/Fasta.cpp.o"
+  "CMakeFiles/mutk_seq.dir/Fasta.cpp.o.d"
+  "libmutk_seq.a"
+  "libmutk_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_sim.dir/ClusterSim.cpp.o"
+  "CMakeFiles/mutk_sim.dir/ClusterSim.cpp.o.d"
+  "libmutk_sim.a"
+  "libmutk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

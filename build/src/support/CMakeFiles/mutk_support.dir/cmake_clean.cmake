@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_support.dir/Rng.cpp.o"
+  "CMakeFiles/mutk_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/mutk_support.dir/UnionFind.cpp.o"
+  "CMakeFiles/mutk_support.dir/UnionFind.cpp.o.d"
+  "libmutk_support.a"
+  "libmutk_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

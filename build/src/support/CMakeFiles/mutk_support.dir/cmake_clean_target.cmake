@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmutk_support.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/AsciiTree.cpp" "src/tree/CMakeFiles/mutk_tree.dir/AsciiTree.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/AsciiTree.cpp.o.d"
+  "/root/repo/src/tree/Consensus.cpp" "src/tree/CMakeFiles/mutk_tree.dir/Consensus.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/Consensus.cpp.o.d"
+  "/root/repo/src/tree/Newick.cpp" "src/tree/CMakeFiles/mutk_tree.dir/Newick.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/Newick.cpp.o.d"
+  "/root/repo/src/tree/PhyloTree.cpp" "src/tree/CMakeFiles/mutk_tree.dir/PhyloTree.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/PhyloTree.cpp.o.d"
+  "/root/repo/src/tree/RobinsonFoulds.cpp" "src/tree/CMakeFiles/mutk_tree.dir/RobinsonFoulds.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/RobinsonFoulds.cpp.o.d"
+  "/root/repo/src/tree/UltrametricFit.cpp" "src/tree/CMakeFiles/mutk_tree.dir/UltrametricFit.cpp.o" "gcc" "src/tree/CMakeFiles/mutk_tree.dir/UltrametricFit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutk_tree.dir/AsciiTree.cpp.o"
+  "CMakeFiles/mutk_tree.dir/AsciiTree.cpp.o.d"
+  "CMakeFiles/mutk_tree.dir/Consensus.cpp.o"
+  "CMakeFiles/mutk_tree.dir/Consensus.cpp.o.d"
+  "CMakeFiles/mutk_tree.dir/Newick.cpp.o"
+  "CMakeFiles/mutk_tree.dir/Newick.cpp.o.d"
+  "CMakeFiles/mutk_tree.dir/PhyloTree.cpp.o"
+  "CMakeFiles/mutk_tree.dir/PhyloTree.cpp.o.d"
+  "CMakeFiles/mutk_tree.dir/RobinsonFoulds.cpp.o"
+  "CMakeFiles/mutk_tree.dir/RobinsonFoulds.cpp.o.d"
+  "CMakeFiles/mutk_tree.dir/UltrametricFit.cpp.o"
+  "CMakeFiles/mutk_tree.dir/UltrametricFit.cpp.o.d"
+  "libmutk_tree.a"
+  "libmutk_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutk_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

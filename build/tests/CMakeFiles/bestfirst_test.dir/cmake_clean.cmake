@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestfirst_test.dir/bestfirst_test.cpp.o"
+  "CMakeFiles/bestfirst_test.dir/bestfirst_test.cpp.o.d"
+  "bestfirst_test"
+  "bestfirst_test.pdb"
+  "bestfirst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestfirst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_pipeline_test.dir/compact_pipeline_test.cpp.o"
+  "CMakeFiles/compact_pipeline_test.dir/compact_pipeline_test.cpp.o.d"
+  "compact_pipeline_test"
+  "compact_pipeline_test.pdb"
+  "compact_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_theory_test.dir/metric_theory_test.cpp.o"
+  "CMakeFiles/metric_theory_test.dir/metric_theory_test.cpp.o.d"
+  "metric_theory_test"
+  "metric_theory_test.pdb"
+  "metric_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

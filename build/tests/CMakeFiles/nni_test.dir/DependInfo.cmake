@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nni_test.cpp" "tests/CMakeFiles/nni_test.dir/nni_test.cpp.o" "gcc" "tests/CMakeFiles/nni_test.dir/nni_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mutk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/mutk_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/mutk_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mutk_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mutk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bnb/CMakeFiles/mutk_bnb.dir/DependInfo.cmake"
+  "/root/repo/build/src/heur/CMakeFiles/mutk_heur.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/mutk_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mutk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mutk_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/redist/CMakeFiles/mutk_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/mutk_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/mutk_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mutk_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

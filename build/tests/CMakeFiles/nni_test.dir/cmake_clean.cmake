@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nni_test.dir/nni_test.cpp.o"
+  "CMakeFiles/nni_test.dir/nni_test.cpp.o.d"
+  "nni_test"
+  "nni_test.pdb"
+  "nni_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nni_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
