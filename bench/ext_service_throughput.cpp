@@ -1,0 +1,155 @@
+//===- bench/ext_service_throughput.cpp - mutkd service throughput ---------===//
+//
+// Extension study: closed-loop load generation against the loopback
+// TreeService. N client threads each keep exactly one request in flight
+// over a fixed working set of matrices and we measure requests/second —
+// first against a cold cache (every matrix unseen, workers must run
+// branch-and-bound) and then against a warm cache (the same working set
+// again, answered by fingerprint replay). The warm/cold ratio is the
+// headline: the result cache must buy at least ~2x on repeated queries
+// for the daemon design to pay for itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "service/Service.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace mutk;
+
+namespace {
+
+/// Runs \p Clients closed-loop client threads for \p RequestsPerClient
+/// requests each over \p Matrices (round-robin, staggered start) and
+/// returns aggregate requests/second.
+double closedLoopRps(TreeService &Service,
+                     const std::vector<DistanceMatrix> &Matrices,
+                     int Clients, int RequestsPerClient) {
+  std::atomic<int> Errors{0};
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (int C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      for (int R = 0; R < RequestsPerClient; ++R) {
+        BuildRequest Request;
+        Request.Matrix =
+            Matrices[(static_cast<std::size_t>(C) + R) % Matrices.size()];
+        if (!Service.submit(std::move(Request)).ok())
+          Errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  if (Errors.load() > 0)
+    std::printf("  !! %d requests failed\n", Errors.load());
+  return static_cast<double>(Clients) * RequestsPerClient / Seconds;
+}
+
+std::vector<DistanceMatrix> workingSet(int NumMatrices, int NumSpecies) {
+  std::vector<DistanceMatrix> Set;
+  Set.reserve(static_cast<std::size_t>(NumMatrices));
+  for (int I = 0; I < NumMatrices; ++I)
+    Set.push_back(
+        bench::unifWorkload(NumSpecies, static_cast<std::uint64_t>(I) + 1));
+  return Set;
+}
+
+void printTable() {
+  bench::banner(
+      "Extension: service throughput, cold vs warm result cache",
+      "Closed-loop clients against the loopback TreeService; the warm "
+      "pass replays cached solutions (>= 2x is the acceptance bar).");
+  std::printf("%8s %8s %8s | %12s %12s %8s | %10s %10s\n", "species",
+              "clients", "workers", "cold req/s", "warm req/s", "ratio",
+              "whole-hit", "block-hit");
+  const int NumMatrices = 16;
+  const int RequestsPerClient = 64;
+  for (int NumSpecies : {12, 16, 20}) {
+    std::vector<DistanceMatrix> Matrices =
+        workingSet(NumMatrices, NumSpecies);
+    for (int Clients : {1, 4, 8}) {
+      ServiceOptions Options;
+      Options.NumWorkers = 4;
+      TreeService Service(Options);
+      // Cold baseline: caching disabled, so every request pays the full
+      // pipeline (repeating the working set would otherwise warm the
+      // cache mid-measurement).
+      double ColdRps = 0.0;
+      {
+        ServiceOptions ColdOptions = Options;
+        ColdOptions.CacheCapacity = 0;
+        TreeService ColdService(ColdOptions);
+        ColdRps = closedLoopRps(ColdService, Matrices, Clients,
+                                RequestsPerClient);
+        ColdService.stop();
+      }
+      // Warm-up pass fills the cache, then the measured warm pass.
+      closedLoopRps(Service, Matrices, 1, NumMatrices);
+      double WarmRps =
+          closedLoopRps(Service, Matrices, Clients, RequestsPerClient);
+      StatsSnapshot S = Service.stats();
+      std::printf("%8d %8d %8d | %12.0f %12.0f %7.1fx | %10llu %10llu\n",
+                  NumSpecies, Clients, Options.NumWorkers, ColdRps, WarmRps,
+                  WarmRps / ColdRps,
+                  static_cast<unsigned long long>(S.WholeHits),
+                  static_cast<unsigned long long>(S.BlockHits));
+      Service.stop();
+    }
+  }
+}
+
+void BM_ServiceSubmitCold(benchmark::State &State) {
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  Options.CacheCapacity = 0;
+  TreeService Service(Options);
+  std::uint64_t Seed = 1;
+  for (auto _ : State) {
+    State.PauseTiming();
+    BuildRequest Request;
+    Request.Matrix = bench::unifWorkload(14, Seed++);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(Service.submit(std::move(Request)).Cost);
+  }
+}
+
+void BM_ServiceSubmitWarm(benchmark::State &State) {
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  TreeService Service(Options);
+  DistanceMatrix M = bench::unifWorkload(14, 1);
+  {
+    BuildRequest Prime;
+    Prime.Matrix = M;
+    Service.submit(std::move(Prime));
+  }
+  for (auto _ : State) {
+    BuildRequest Request;
+    Request.Matrix = M;
+    benchmark::DoNotOptimize(Service.submit(std::move(Request)).Cost);
+  }
+}
+
+BENCHMARK(BM_ServiceSubmitCold)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServiceSubmitWarm)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

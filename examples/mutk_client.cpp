@@ -1,0 +1,256 @@
+//===- examples/mutk_client.cpp - CLI client for mutkd --------------------===//
+//
+// Submits tree-construction jobs to a running mutkd over its framed
+// socket protocol and prints the result (human-readable or --json,
+// sharing the JSON schema with `mutk_tool --json`).
+//
+// Usage:
+//   mutk_client --connect unix:PATH | --connect HOST:PORT  COMMAND
+// Commands:
+//   --matrix FILE | --generate {uniform|clustered|ultrametric|dna}
+//             --species N [--seed S]     submit a Build job
+//   --stats                              print service counters
+//   --ping                               liveness probe
+//   --shutdown                           stop the daemon
+// Build options:
+//   --condense {max|min|avg}  --three-three {none|third|all}
+//   --max-exact N  --budget NODES  --deadline MILLIS  --no-cache
+//   --polish  --json
+//
+//===----------------------------------------------------------------------===//
+
+#include "matrix/MatrixIO.h"
+#include "service/Client.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace mutk;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --connect unix:PATH|HOST:PORT\n"
+      "       (--matrix FILE | --generate KIND --species N [--seed S]\n"
+      "        | --stats | --ping | --shutdown)\n"
+      "       [--condense max|min|avg] [--three-three none|third|all]\n"
+      "       [--max-exact N] [--budget NODES] [--deadline MS]\n"
+      "       [--no-cache] [--polish] [--json]\n",
+      Argv0);
+  return 1;
+}
+
+/// Escapes a string for embedding in a JSON literal.
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+void printBuildJson(const BuildResponse &R) {
+  std::printf("{\"error\":\"%s\",", serviceErrorName(R.Error));
+  if (!R.ok()) {
+    std::printf("\"message\":\"%s\"}\n", jsonEscape(R.Message).c_str());
+    return;
+  }
+  std::printf("\"cost\":%.10g,\"exact\":%s,\"cache_hit\":%s,"
+              "\"block_cache_hits\":%u,\"branched\":%llu,"
+              "\"queue_ms\":%.3f,\"solve_ms\":%.3f,"
+              "\"blocks\":%zu,\"newick\":\"%s\"}\n",
+              R.Cost, R.Exact ? "true" : "false",
+              R.CacheHit ? "true" : "false", R.BlockCacheHits,
+              static_cast<unsigned long long>(R.Branched), R.QueueMillis,
+              R.SolveMillis, R.Blocks.size(),
+              jsonEscape(R.Newick).c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Connect, MatrixPath, Generate;
+  bool Stats = false, Ping = false, Shutdown = false, Json = false;
+  BuildRequest Request;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (Arg == "--connect" && (V = next()))
+      Connect = V;
+    else if (Arg == "--matrix" && (V = next()))
+      MatrixPath = V;
+    else if (Arg == "--generate" && (V = next()))
+      Generate = V;
+    else if (Arg == "--species" && (V = next()))
+      Request.GenSpecies = std::atoi(V);
+    else if (Arg == "--seed" && (V = next()))
+      Request.GenSeed = std::strtoull(V, nullptr, 10);
+    else if (Arg == "--condense" && (V = next())) {
+      std::string Mode = V;
+      if (Mode == "max")
+        Request.Mode = CondenseMode::Maximum;
+      else if (Mode == "min")
+        Request.Mode = CondenseMode::Minimum;
+      else if (Mode == "avg")
+        Request.Mode = CondenseMode::Average;
+      else
+        return usage(argv[0]);
+    } else if (Arg == "--three-three" && (V = next())) {
+      std::string Mode = V;
+      if (Mode == "none")
+        Request.ThreeThree = ThreeThreeMode::None;
+      else if (Mode == "third")
+        Request.ThreeThree = ThreeThreeMode::ThirdSpecies;
+      else if (Mode == "all")
+        Request.ThreeThree = ThreeThreeMode::AllInsertions;
+      else
+        return usage(argv[0]);
+    } else if (Arg == "--max-exact" && (V = next()))
+      Request.MaxExactBlockSize = std::atoi(V);
+    else if (Arg == "--budget" && (V = next()))
+      Request.NodeBudget = std::strtoull(V, nullptr, 10);
+    else if (Arg == "--deadline" && (V = next()))
+      Request.DeadlineMillis =
+          static_cast<std::uint32_t>(std::strtoul(V, nullptr, 10));
+    else if (Arg == "--no-cache")
+      Request.UseCache = false;
+    else if (Arg == "--polish")
+      Request.Polish = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--ping")
+      Ping = true;
+    else if (Arg == "--shutdown")
+      Shutdown = true;
+    else if (Arg == "--json")
+      Json = true;
+    else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (Connect.empty())
+    return usage(argv[0]);
+
+  ServiceClient Client;
+  std::string Error;
+  bool Connected = false;
+  if (Connect.rfind("unix:", 0) == 0) {
+    Connected = Client.connectUnix(Connect.substr(5), &Error);
+  } else {
+    std::size_t Colon = Connect.rfind(':');
+    if (Colon == std::string::npos) {
+      std::fprintf(stderr, "error: --connect expects unix:PATH or "
+                           "HOST:PORT\n");
+      return 1;
+    }
+    Connected = Client.connectTcp(Connect.substr(0, Colon),
+                                  std::atoi(Connect.c_str() + Colon + 1),
+                                  &Error);
+  }
+  if (!Connected) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Ping) {
+    if (!Client.ping(&Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (Shutdown) {
+    if (!Client.shutdownServer(&Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+  if (Stats) {
+    std::optional<StatsSnapshot> S = Client.stats(&Error);
+    if (!S) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("accepted:     %llu\ncompleted:    %llu\nfailed:       "
+                "%llu\nwhole cache:  %llu hits / %llu misses\nblock cache: "
+                " %llu hits / %llu misses\ndeadline:     %llu expired\n"
+                "rejected:     %llu\nqueue depth:  %llu\ncache size:   "
+                "%llu\nlatency:      p50 %.2fms p95 %.2fms\n",
+                static_cast<unsigned long long>(S->Accepted),
+                static_cast<unsigned long long>(S->Completed),
+                static_cast<unsigned long long>(S->Failed),
+                static_cast<unsigned long long>(S->WholeHits),
+                static_cast<unsigned long long>(S->WholeMisses),
+                static_cast<unsigned long long>(S->BlockHits),
+                static_cast<unsigned long long>(S->BlockMisses),
+                static_cast<unsigned long long>(S->DeadlineExpired),
+                static_cast<unsigned long long>(S->Rejected),
+                static_cast<unsigned long long>(S->QueueDepth),
+                static_cast<unsigned long long>(S->CacheEntries),
+                S->P50Millis, S->P95Millis);
+    return 0;
+  }
+
+  // Build job: inline matrix or server-side generator.
+  if (!MatrixPath.empty()) {
+    std::string IoError;
+    auto Loaded = readMatrixFile(MatrixPath, &IoError);
+    if (!Loaded) {
+      std::fprintf(stderr, "error: %s\n", IoError.c_str());
+      return 1;
+    }
+    Request.Matrix = std::move(*Loaded);
+    Request.Generator = GeneratorKind::None;
+  } else if (Generate == "uniform")
+    Request.Generator = GeneratorKind::Uniform;
+  else if (Generate == "clustered")
+    Request.Generator = GeneratorKind::Clustered;
+  else if (Generate == "ultrametric")
+    Request.Generator = GeneratorKind::Ultrametric;
+  else if (Generate == "dna")
+    Request.Generator = GeneratorKind::Dna;
+  else
+    return usage(argv[0]);
+
+  std::optional<BuildResponse> Resp = Client.build(Request, &Error);
+  if (!Resp) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (Json) {
+    printBuildJson(*Resp);
+    return Resp->ok() ? 0 : 1;
+  }
+  if (!Resp->ok()) {
+    std::fprintf(stderr, "error [%s]: %s\n", serviceErrorName(Resp->Error),
+                 Resp->Message.c_str());
+    return 1;
+  }
+  std::printf("cost:     %.4f%s\n", Resp->Cost,
+              Resp->Exact ? "  (all blocks exact)" : "");
+  std::printf("cache:    %s, %u block hit(s)\n",
+              Resp->CacheHit ? "whole-matrix hit" : "miss",
+              Resp->BlockCacheHits);
+  std::printf("time:     %.3fms queued + %.3fms solve, branched %llu\n",
+              Resp->QueueMillis, Resp->SolveMillis,
+              static_cast<unsigned long long>(Resp->Branched));
+  std::printf("blocks:   %zu\n", Resp->Blocks.size());
+  std::printf("newick:   %s\n", Resp->Newick.c_str());
+  return 0;
+}

@@ -17,6 +17,7 @@
 //   --nodes N        virtual cluster nodes                 (default 16)
 //   --ascii          print the tree as ASCII art
 //   --profile        print the dataset profile
+//   --json           machine-readable output (schema shared with mutk_client)
 //   --out FILE       write the Newick string to FILE
 //
 //===----------------------------------------------------------------------===//
@@ -46,9 +47,22 @@ int usage(const char *Argv0) {
                "[--seed S]\n"
                "       [--method upgma|upgmm|exact|threads|cluster|compact]\n"
                "       [--condense max|min|avg] [--three-three none|third|all]\n"
-               "       [--nodes N] [--ascii] [--profile] [--out FILE]\n",
+               "       [--nodes N] [--ascii] [--profile] [--json] "
+               "[--out FILE]\n",
                Argv0);
   return 1;
+}
+
+/// Escapes a string for embedding in a JSON literal.
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
 }
 
 } // namespace
@@ -59,7 +73,7 @@ int main(int argc, char **argv) {
   int Species = 16;
   std::uint64_t Seed = 1;
   int Nodes = 16;
-  bool Ascii = false, Profile = false;
+  bool Ascii = false, Profile = false, Json = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -110,6 +124,8 @@ int main(int argc, char **argv) {
       Ascii = true;
     } else if (Arg == "--profile") {
       Profile = true;
+    } else if (Arg == "--json") {
+      Json = true;
     } else if (Arg == "--out") {
       const char *V = next();
       if (!V)
@@ -143,7 +159,7 @@ int main(int argc, char **argv) {
     return usage(argv[0]);
   }
 
-  if (Profile) {
+  if (Profile && !Json) {
     std::printf("--- dataset profile ---\n");
     printProfile(std::cout, profileMatrix(M));
     std::printf("\n");
@@ -191,26 +207,45 @@ int main(int argc, char **argv) {
   BuildOutcome Out = buildTree(M, Options);
   double Elapsed = W.seconds();
 
-  std::printf("method:   %s\n", Out.MethodName.c_str());
-  std::printf("cost:     %.4f%s\n", Out.Cost,
-              Out.Exact ? "  (provably minimal)" : "");
-  std::printf("time:     %.3fs, branched %llu BBT nodes\n", Elapsed,
-              static_cast<unsigned long long>(Out.Stats.Branched));
-  if (Out.VirtualTime > 0)
-    std::printf("virtual:  %.1f cluster units\n", Out.VirtualTime);
-  std::printf("newick:   %s\n", toNewick(Out.Tree).c_str());
-  if (Ascii) {
-    std::printf("\n%s", toAsciiTree(Out.Tree).c_str());
+  if (Json) {
+    // Field names match the `mutk_client --json` schema so downstream
+    // tooling can consume either source interchangeably.
+    std::printf("{\"method\":\"%s\",\"cost\":%.10g,\"exact\":%s,"
+                "\"branched\":%llu,\"solve_ms\":%.3f,\"newick\":\"%s\"}\n",
+                jsonEscape(Out.MethodName).c_str(), Out.Cost,
+                Out.Exact ? "true" : "false",
+                static_cast<unsigned long long>(Out.Stats.Branched),
+                Elapsed * 1000.0, jsonEscape(toNewick(Out.Tree)).c_str());
+  } else {
+    std::printf("method:   %s\n", Out.MethodName.c_str());
+    std::printf("cost:     %.4f%s\n", Out.Cost,
+                Out.Exact ? "  (provably minimal)" : "");
+    std::printf("time:     %.3fs, branched %llu BBT nodes\n", Elapsed,
+                static_cast<unsigned long long>(Out.Stats.Branched));
+    if (Out.VirtualTime > 0)
+      std::printf("virtual:  %.1f cluster units\n", Out.VirtualTime);
+    std::printf("newick:   %s\n", toNewick(Out.Tree).c_str());
+    if (Ascii) {
+      std::printf("\n%s", toAsciiTree(Out.Tree).c_str());
+    }
   }
   if (!OutPath.empty()) {
     std::ofstream OS(OutPath);
     if (!OS) {
-      std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", OutPath.c_str());
       return 1;
     }
     writeNewick(OS, Out.Tree);
     OS << '\n';
-    std::printf("\nwrote %s\n", OutPath.c_str());
+    // A full disk or revoked permission surfaces only when the stream
+    // flushes — report it instead of claiming success.
+    OS.flush();
+    if (!OS) {
+      std::fprintf(stderr, "error: failed writing %s\n", OutPath.c_str());
+      return 1;
+    }
+    if (!Json)
+      std::printf("\nwrote %s\n", OutPath.c_str());
   }
   return 0;
 }

@@ -1,0 +1,137 @@
+//===- examples/mutkd.cpp - Tree-construction daemon ----------------------===//
+//
+// The long-lived service binary: a TreeService worker pool behind a
+// Unix or TCP socket. Clients (examples/mutk_client.cpp or anything
+// speaking the framed protocol of docs/service.md) submit matrices or
+// generator specs and receive Newick trees; repeated or relabeled
+// queries are answered from the result cache without re-running
+// branch-and-bound.
+//
+// Usage:
+//   mutkd --unix PATH | --port N [--host A.B.C.D]
+//         [--workers N] [--queue N] [--cache N] [--max-species N]
+//
+// The daemon runs until a client sends the Shutdown verb (or SIGINT /
+// SIGTERM arrives), then drains in-flight jobs and exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace mutk;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --unix PATH | --port N [--host IPV4]\n"
+               "       [--workers N] [--queue N] [--cache N]"
+               " [--max-species N]\n",
+               Argv0);
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string UnixPath, Host = "127.0.0.1";
+  int Port = -1;
+  ServiceOptions Options;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    const char *V = nullptr;
+    if (Arg == "--unix" && (V = next()))
+      UnixPath = V;
+    else if (Arg == "--port" && (V = next()))
+      Port = std::atoi(V);
+    else if (Arg == "--host" && (V = next()))
+      Host = V;
+    else if (Arg == "--workers" && (V = next()))
+      Options.NumWorkers = std::atoi(V);
+    else if (Arg == "--queue" && (V = next()))
+      Options.QueueCapacity = static_cast<std::size_t>(std::atoll(V));
+    else if (Arg == "--cache" && (V = next()))
+      Options.CacheCapacity = static_cast<std::size_t>(std::atoll(V));
+    else if (Arg == "--max-species" && (V = next()))
+      Options.MaxSpecies = std::atoi(V);
+    else {
+      std::fprintf(stderr, "unknown or incomplete option '%s'\n",
+                   Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (UnixPath.empty() && Port < 0)
+    return usage(argv[0]);
+
+  // Block SIGINT/SIGTERM before any thread exists: every thread the
+  // service spawns inherits this mask, so a process-directed signal can
+  // only be consumed by the dedicated sigwait thread below. Masking
+  // after the pools start would leave a window where a signal lands on
+  // a worker and kills the process with the default disposition.
+  sigset_t Signals;
+  sigemptyset(&Signals);
+  sigaddset(&Signals, SIGINT);
+  sigaddset(&Signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &Signals, nullptr);
+
+  TreeService Service(Options);
+  SocketServer Server(Service);
+  std::string Error;
+  if (!UnixPath.empty()) {
+    if (!Server.listenUnix(UnixPath, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("mutkd: listening on unix socket %s\n", UnixPath.c_str());
+  } else {
+    if (!Server.listenTcp(Host, Port, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("mutkd: listening on %s:%d\n", Host.c_str(), Server.port());
+  }
+  std::printf("mutkd: %d workers, queue %zu, cache %zu entries\n",
+              Options.NumWorkers, Options.QueueCapacity,
+              Options.CacheCapacity);
+  std::fflush(stdout);
+
+  // Route the blocked SIGINT/SIGTERM through a dedicated sigwait
+  // thread: handlers cannot safely stop a server, a blocked thread can.
+  // The thread is detached — if shutdown arrives by protocol verb
+  // instead, it is still parked in sigwait at exit, which is harmless.
+  std::thread([&Server, Signals]() mutable {
+    int Sig = 0;
+    sigwait(&Signals, &Sig);
+    Server.stop();
+  }).detach();
+
+  Server.start();
+  Server.waitForShutdown();
+  Server.stop();
+  Service.stop();
+
+  StatsSnapshot S = Service.stats();
+  std::printf("mutkd: served %llu jobs (%llu ok, %llu failed), "
+              "whole-cache %llu/%llu, block-cache %llu/%llu, "
+              "p50 %.2fms p95 %.2fms\n",
+              static_cast<unsigned long long>(S.Accepted),
+              static_cast<unsigned long long>(S.Completed),
+              static_cast<unsigned long long>(S.Failed),
+              static_cast<unsigned long long>(S.WholeHits),
+              static_cast<unsigned long long>(S.WholeHits + S.WholeMisses),
+              static_cast<unsigned long long>(S.BlockHits),
+              static_cast<unsigned long long>(S.BlockHits + S.BlockMisses),
+              S.P50Millis, S.P95Millis);
+  return 0;
+}

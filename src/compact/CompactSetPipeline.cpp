@@ -6,6 +6,7 @@
 #include "graph/Hierarchy.h"
 #include "heur/NniSearch.h"
 #include "heur/Upgma.h"
+#include "matrix/Fingerprint.h"
 
 #include <algorithm>
 #include <cassert>
@@ -22,12 +23,38 @@ struct PipelineState {
   PipelineResult &Result;
 };
 
+/// Remaps the leaf labels of \p Tree through \p Map (`new = Map[old]`).
+PhyloTree relabelLeaves(const PhyloTree &Tree, const std::vector<int> &Map) {
+  PhyloTree Out;
+  Out.setRoot(Out.adoptSubtree(Tree, Map));
+  return Out;
+}
+
 /// Solves one condensed matrix and reports the accounting.
 PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
                      int HierarchyNode) {
   BlockReport Report;
   Report.HierarchyNode = HierarchyNode;
   Report.NumBlocks = Condensed.size();
+
+  // Consult the block cache: the canonical fingerprint is invariant under
+  // block relabeling, so a hit replays the stored canonical tree with the
+  // leaves permuted back into this block's label space.
+  const BlockCacheHooks *Cache = State.Options.BlockCache;
+  CanonicalForm Form;
+  if (Cache && Condensed.size() >= 2) {
+    Form = canonicalForm(Condensed);
+    if (Cache->Lookup) {
+      if (std::optional<BlockCacheEntry> Hit =
+              Cache->Lookup(Form.Key, Form.Bytes)) {
+        Report.Exact = Hit->Exact;
+        Report.Cost = Hit->Cost;
+        Report.FromCache = true;
+        State.Result.Blocks.push_back(Report);
+        return relabelLeaves(Hit->Tree, Form.Perm);
+      }
+    }
+  }
 
   PhyloTree Tree;
   if (Condensed.size() > State.Options.MaxExactBlockSize ||
@@ -61,6 +88,19 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
     State.Result.TotalStats.PrunedByThreeThree +=
         Solved.Stats.PrunedByThreeThree;
     State.Result.TotalStats.UbUpdates += Solved.Stats.UbUpdates;
+  }
+
+  if (Cache && Cache->Store && Condensed.size() >= 2) {
+    // Store in canonical labels: canonical index k sits where the solve
+    // saw block index Form.Perm[k].
+    std::vector<int> Inverse(Form.Perm.size());
+    for (std::size_t K = 0; K < Form.Perm.size(); ++K)
+      Inverse[static_cast<std::size_t>(Form.Perm[K])] = static_cast<int>(K);
+    BlockCacheEntry Entry;
+    Entry.Tree = relabelLeaves(Tree, Inverse);
+    Entry.Cost = Report.Cost;
+    Entry.Exact = Report.Exact;
+    Cache->Store(Form.Key, Form.Bytes, Entry);
   }
 
   State.Result.TotalVirtualTime += Report.VirtualTime;

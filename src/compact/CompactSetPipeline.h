@@ -22,6 +22,9 @@
 #include "matrix/Condense.h"
 #include "sim/ClusterSim.h"
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 namespace mutk {
@@ -30,6 +33,33 @@ namespace mutk {
 enum class BlockSolver {
   Sequential,       ///< Algorithm BBU per block.
   SimulatedCluster, ///< Parallel B&B on the simulated cluster per block.
+};
+
+/// A memoized block solution. The tree's leaves carry *canonical* labels
+/// (`matrix/Fingerprint.h` maxmin order of the condensed matrix), so one
+/// entry serves every relabeling of the same block.
+struct BlockCacheEntry {
+  PhyloTree Tree;
+  double Cost = 0.0;
+  bool Exact = true;
+};
+
+/// Optional memoization hooks consulted for every condensed matrix D'.
+///
+/// `Lookup` receives the block's relabeling-invariant fingerprint and the
+/// canonical bytes backing it (see `CanonicalForm`); implementations must
+/// compare the bytes before returning a hit so hash collisions stay
+/// harmless. `Store` is called after a fresh solve with the entry already
+/// in canonical labels. Both may be called concurrently from several
+/// pipelines sharing one cache.
+struct BlockCacheHooks {
+  std::function<std::optional<BlockCacheEntry>(
+      std::uint64_t Key, const std::vector<std::uint8_t> &Bytes)>
+      Lookup;
+  std::function<void(std::uint64_t Key,
+                     const std::vector<std::uint8_t> &Bytes,
+                     const BlockCacheEntry &Entry)>
+      Store;
 };
 
 /// Options of the decomposition pipeline.
@@ -50,6 +80,9 @@ struct PipelineOptions {
   /// (`heur/NniSearch.h`) — the papers' future-work extension. Never
   /// increases the cost; most useful when blocks fell back to UPGMM.
   bool PolishTopology = false;
+  /// When set, every block solve first consults the cache (borrowed, must
+  /// outlive the pipeline run).
+  const BlockCacheHooks *BlockCache = nullptr;
 };
 
 /// Accounting for one condensed matrix D'.
@@ -62,6 +95,9 @@ struct BlockReport {
   double Cost = 0.0;
   /// False when the size cap forced the UPGMM fallback.
   bool Exact = true;
+  /// True when the block tree was replayed from the block cache (then
+  /// `Branched == 0` and no solver ran).
+  bool FromCache = false;
   /// BBT nodes branched solving this block.
   std::uint64_t Branched = 0;
   /// Virtual makespan of the block's cluster run (0 for Sequential).

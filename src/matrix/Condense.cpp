@@ -26,10 +26,37 @@ bool mutk::isPartition(const std::vector<std::vector<int>> &Blocks,
   return Count == NumSpecies;
 }
 
+namespace {
+
+/// Returns true if every block is nonempty and the blocks are pairwise
+/// disjoint subsets of `0..NumSpecies-1`. Unlike isPartition, the union
+/// need not cover all species: the compact-set pipeline condenses the
+/// sub-partition at each hierarchy node, which spans only that node's
+/// subset of the matrix.
+[[maybe_unused]] bool
+areDisjointBlocks(const std::vector<std::vector<int>> &Blocks,
+                  int NumSpecies) {
+  std::vector<bool> Seen(static_cast<std::size_t>(NumSpecies), false);
+  for (const auto &Block : Blocks) {
+    if (Block.empty())
+      return false;
+    for (int Species : Block) {
+      if (Species < 0 || Species >= NumSpecies ||
+          Seen[static_cast<std::size_t>(Species)])
+        return false;
+      Seen[static_cast<std::size_t>(Species)] = true;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
 DistanceMatrix mutk::condense(const DistanceMatrix &M,
                               const std::vector<std::vector<int>> &Blocks,
                               CondenseMode Mode) {
-  assert(isPartition(Blocks, M.size()) && "blocks must partition the species");
+  assert(areDisjointBlocks(Blocks, M.size()) &&
+         "blocks must be nonempty, disjoint, and within the matrix");
   const int K = static_cast<int>(Blocks.size());
   DistanceMatrix Result(K);
 

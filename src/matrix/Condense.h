@@ -29,10 +29,11 @@ enum class CondenseMode {
 
 /// Returns the condensed matrix over \p Blocks.
 ///
-/// \p Blocks must be a partition of `0..M.size()-1` into nonempty,
-/// disjoint groups; block `i` of the result is named after the smallest
-/// member when the block has several species, or keeps the species name
-/// for singleton blocks.
+/// \p Blocks must be nonempty, pairwise-disjoint groups of valid species
+/// indices; they need not cover every species (the compact-set pipeline
+/// condenses the sub-partition at each hierarchy node). Block `i` of the
+/// result is named after the smallest member when the block has several
+/// species, or keeps the species name for singleton blocks.
 DistanceMatrix condense(const DistanceMatrix &M,
                         const std::vector<std::vector<int>> &Blocks,
                         CondenseMode Mode);

@@ -1,0 +1,130 @@
+//===- matrix/Fingerprint.cpp - Canonical matrix fingerprints -------------===//
+
+#include "matrix/Fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace mutk;
+
+namespace {
+
+void appendU32(std::vector<std::uint8_t> &Bytes, std::uint32_t Value) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Bytes.push_back(static_cast<std::uint8_t>(Value >> Shift));
+}
+
+void appendF64(std::vector<std::uint8_t> &Bytes, double Value) {
+  std::uint64_t Bits = 0;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Bytes.push_back(static_cast<std::uint8_t>(Bits >> Shift));
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t> &Bytes) {
+  std::uint64_t Hash = 1469598103934665603ull;
+  for (std::uint8_t B : Bytes) {
+    Hash ^= B;
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+/// Greedy maxmin order seeded with (\p First, \p Second): each further
+/// species maximizes its minimum distance to the prefix. Identical to
+/// `maxminPermutation` except that the seed orientation is the caller's
+/// choice instead of index order.
+std::vector<int> maxminOrderFrom(const DistanceMatrix &M, int First,
+                                 int Second) {
+  const int N = M.size();
+  std::vector<int> Perm{First, Second};
+  Perm.reserve(static_cast<std::size_t>(N));
+  std::vector<bool> Chosen(static_cast<std::size_t>(N), false);
+  Chosen[static_cast<std::size_t>(First)] = true;
+  Chosen[static_cast<std::size_t>(Second)] = true;
+  std::vector<double> MinToPrefix(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I)
+    MinToPrefix[static_cast<std::size_t>(I)] =
+        std::min(M.at(I, First), M.at(I, Second));
+  for (int Step = 2; Step < N; ++Step) {
+    int Best = -1;
+    for (int I = 0; I < N; ++I) {
+      if (Chosen[static_cast<std::size_t>(I)])
+        continue;
+      if (Best < 0 || MinToPrefix[static_cast<std::size_t>(I)] >
+                          MinToPrefix[static_cast<std::size_t>(Best)])
+        Best = I;
+    }
+    Perm.push_back(Best);
+    Chosen[static_cast<std::size_t>(Best)] = true;
+    for (int I = 0; I < N; ++I)
+      MinToPrefix[static_cast<std::size_t>(I)] =
+          std::min(MinToPrefix[static_cast<std::size_t>(I)], M.at(I, Best));
+  }
+  return Perm;
+}
+
+std::vector<std::uint8_t> canonicalBytes(const DistanceMatrix &M,
+                                         const std::vector<int> &Perm) {
+  const int N = M.size();
+  std::vector<std::uint8_t> Bytes;
+  Bytes.reserve(4 + static_cast<std::size_t>(N) * (N - 1) / 2 * 8);
+  appendU32(Bytes, static_cast<std::uint32_t>(N));
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      appendF64(Bytes, M.at(Perm[static_cast<std::size_t>(I)],
+                            Perm[static_cast<std::size_t>(J)]));
+  return Bytes;
+}
+
+} // namespace
+
+CanonicalForm mutk::canonicalForm(const DistanceMatrix &M) {
+  CanonicalForm Form;
+  const int N = M.size();
+  if (N < 2) {
+    // Trivial matrices carry no distances; the size alone is the form.
+    Form.Perm.resize(static_cast<std::size_t>(N));
+    for (int I = 0; I < N; ++I)
+      Form.Perm[static_cast<std::size_t>(I)] = I;
+    appendU32(Form.Bytes, static_cast<std::uint32_t>(N));
+    Form.Key = fnv1a(Form.Bytes);
+    return Form;
+  }
+
+  // The greedy order is seeded with the farthest pair, and a relabeling
+  // can change which tied pair (or which of its endpoints) a scan finds
+  // first. Enumerate every tied farthest pair in both orientations and
+  // keep the lexicographically smallest encoding — a label-free choice as
+  // long as all tied pairs are enumerated, so the cap only matters for
+  // pathologically tie-heavy matrices, where dropping candidates costs at
+  // worst a cache miss, never a wrong hit.
+  constexpr std::size_t MaxSeedPairs = 16;
+  double Farthest = M.at(0, 1);
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      Farthest = std::max(Farthest, M.at(I, J));
+  std::vector<std::pair<int, int>> Seeds;
+  for (int I = 0; I < N && Seeds.size() < MaxSeedPairs; ++I)
+    for (int J = I + 1; J < N && Seeds.size() < MaxSeedPairs; ++J)
+      if (M.at(I, J) == Farthest)
+        Seeds.emplace_back(I, J);
+
+  for (const auto &[I, J] : Seeds)
+    for (const auto &[First, Second] :
+         {std::pair<int, int>{I, J}, std::pair<int, int>{J, I}}) {
+      std::vector<int> Perm = maxminOrderFrom(M, First, Second);
+      std::vector<std::uint8_t> Bytes = canonicalBytes(M, Perm);
+      if (Form.Bytes.empty() || Bytes < Form.Bytes) {
+        Form.Perm = std::move(Perm);
+        Form.Bytes = std::move(Bytes);
+      }
+    }
+  Form.Key = fnv1a(Form.Bytes);
+  return Form;
+}
+
+std::uint64_t mutk::fingerprint(const DistanceMatrix &M) {
+  return canonicalForm(M).Key;
+}

@@ -1,0 +1,155 @@
+//===- service/Client.cpp - mutkd client library --------------------------===//
+
+#include "service/Client.h"
+
+#include "service/Server.h" // readFrame/writeFrame
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mutk;
+
+namespace {
+
+void fillError(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What;
+}
+
+void fillErrno(std::string *Error, const char *What) {
+  fillError(Error, std::string(What) + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+ServiceClient::~ServiceClient() { disconnect(); }
+
+void ServiceClient::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool ServiceClient::connectUnix(const std::string &Path, std::string *Error) {
+  disconnect();
+  sockaddr_un Addr{};
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    fillError(Error, "unix socket path too long");
+    return false;
+  }
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    fillErrno(Error, "socket");
+    return false;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    fillErrno(Error, "connect");
+    ::close(NewFd);
+    return false;
+  }
+  Fd = NewFd;
+  return true;
+}
+
+bool ServiceClient::connectTcp(const std::string &Host, int Port,
+                               std::string *Error) {
+  disconnect();
+  int NewFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    fillErrno(Error, "socket");
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    fillError(Error, "invalid address '" + Host + "' (numeric IPv4)");
+    ::close(NewFd);
+    return false;
+  }
+  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    fillErrno(Error, "connect");
+    ::close(NewFd);
+    return false;
+  }
+  Fd = NewFd;
+  return true;
+}
+
+std::optional<Response> ServiceClient::roundTrip(const Request &R,
+                                                 std::string *Error) {
+  if (Fd < 0) {
+    fillError(Error, "not connected");
+    return std::nullopt;
+  }
+  if (!writeFrame(Fd, encodeRequest(R))) {
+    fillError(Error, "send failed");
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> Payload;
+  if (!readFrame(Fd, Payload)) {
+    fillError(Error, "connection closed while awaiting response");
+    return std::nullopt;
+  }
+  std::string DecodeError;
+  std::optional<Response> Resp = decodeResponse(Payload, &DecodeError);
+  if (!Resp)
+    fillError(Error, "bad response: " + DecodeError);
+  return Resp;
+}
+
+std::optional<BuildResponse> ServiceClient::build(const BuildRequest &Request,
+                                                  std::string *Error) {
+  std::optional<Response> Resp =
+      roundTrip(makeBuildRequest(Request), Error);
+  if (!Resp)
+    return std::nullopt;
+  if (!Resp->ok()) {
+    // Error responses carry no build body (whether the failure was
+    // protocol-level, e.g. BadFrame, or service-level, e.g. BadRequest),
+    // so the outer code must be copied in — returning Resp->Build here
+    // would silently report a default-constructed success.
+    BuildResponse Out;
+    Out.Error = Resp->Error;
+    Out.Message = Resp->Message;
+    return Out;
+  }
+  return Resp->Build;
+}
+
+std::optional<StatsSnapshot> ServiceClient::stats(std::string *Error) {
+  Request R;
+  R.V = Verb::Stats;
+  std::optional<Response> Resp = roundTrip(R, Error);
+  if (!Resp)
+    return std::nullopt;
+  if (!Resp->ok()) {
+    fillError(Error, Resp->Message);
+    return std::nullopt;
+  }
+  return Resp->Stats;
+}
+
+bool ServiceClient::ping(std::string *Error) {
+  Request R;
+  R.V = Verb::Ping;
+  std::optional<Response> Resp = roundTrip(R, Error);
+  return Resp && Resp->ok();
+}
+
+bool ServiceClient::shutdownServer(std::string *Error) {
+  Request R;
+  R.V = Verb::Shutdown;
+  std::optional<Response> Resp = roundTrip(R, Error);
+  return Resp && Resp->ok();
+}

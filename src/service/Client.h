@@ -1,0 +1,58 @@
+//===- service/Client.h - mutkd client library ------------------*- C++ -*-===//
+///
+/// \file
+/// Blocking client for the `mutkd` wire protocol: connect over a Unix
+/// or TCP socket, then issue `build`/`stats`/`ping`/`shutdownServer`
+/// calls that each send one frame and wait for the answering frame.
+/// One client drives one connection and is not thread-safe; spawn one
+/// client per thread for closed-loop load generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_CLIENT_H
+#define MUTK_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <optional>
+#include <string>
+
+namespace mutk {
+
+/// Synchronous framed-protocol client.
+class ServiceClient {
+public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient &) = delete;
+  ServiceClient &operator=(const ServiceClient &) = delete;
+
+  bool connectUnix(const std::string &Path, std::string *Error = nullptr);
+  bool connectTcp(const std::string &Host, int Port,
+                  std::string *Error = nullptr);
+  void disconnect();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends a Build request; nullopt on transport failure (the response
+  /// object itself carries service-level errors).
+  std::optional<BuildResponse> build(const BuildRequest &Request,
+                                     std::string *Error = nullptr);
+
+  std::optional<StatsSnapshot> stats(std::string *Error = nullptr);
+
+  /// Liveness probe.
+  bool ping(std::string *Error = nullptr);
+
+  /// Asks the server to stop accepting and shut down.
+  bool shutdownServer(std::string *Error = nullptr);
+
+private:
+  std::optional<Response> roundTrip(const Request &R, std::string *Error);
+
+  int Fd = -1;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_CLIENT_H

@@ -1,0 +1,111 @@
+//===- service/JobQueue.h - Bounded MPMC work queue -------------*- C++ -*-===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer queue with close semantics,
+/// the admission buffer between the service's socket/loopback frontends
+/// and its worker pool. Producers block when the queue is full (or use
+/// `tryPush` for load shedding); consumers block when it is empty;
+/// `close()` wakes everyone so shutdown cannot deadlock, and `drain()`
+/// hands the not-yet-started items back so they can be failed
+/// explicitly instead of silently dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_JOBQUEUE_H
+#define MUTK_SERVICE_JOBQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace mutk {
+
+/// Bounded FIFO shared by any number of producers and consumers.
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(std::size_t Capacity) : Capacity(Capacity) {}
+
+  BoundedQueue(const BoundedQueue &) = delete;
+  BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+  /// Blocks while full. \returns false once closed — the item is then
+  /// left untouched in the caller (important when it carries a promise
+  /// that still has to be resolved).
+  bool push(T &&Item) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotFull.wait(Lock, [&] { return Items.size() < Capacity || Closed; });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. \returns false when full or closed (item left
+  /// untouched, as with `push`).
+  bool tryPush(T &&Item) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Closed || Items.size() >= Capacity)
+      return false;
+    Items.push_back(std::move(Item));
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. \returns nullopt once closed *and* drained, so
+  /// consumers finish whatever was accepted before the close.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    NotFull.notify_one();
+    return Item;
+  }
+
+  /// Atomically removes and returns everything currently queued.
+  std::vector<T> drain() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    std::vector<T> Out;
+    Out.reserve(Items.size());
+    for (T &Item : Items)
+      Out.push_back(std::move(Item));
+    Items.clear();
+    NotFull.notify_all();
+    return Out;
+  }
+
+  /// Rejects future pushes and wakes every blocked producer/consumer.
+  void close() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Closed;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  std::size_t Capacity;
+  bool Closed = false;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_JOBQUEUE_H

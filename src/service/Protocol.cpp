@@ -1,0 +1,293 @@
+//===- service/Protocol.cpp - mutkd wire protocol -------------------------===//
+
+#include "service/Protocol.h"
+
+#include "mp/Serialize.h"
+
+using namespace mutk;
+
+const char *mutk::serviceErrorName(ServiceError Error) {
+  switch (Error) {
+  case ServiceError::None:
+    return "ok";
+  case ServiceError::BadFrame:
+    return "bad-frame";
+  case ServiceError::BadRequest:
+    return "bad-request";
+  case ServiceError::BadMatrix:
+    return "bad-matrix";
+  case ServiceError::TooLarge:
+    return "too-large";
+  case ServiceError::DeadlineExpired:
+    return "deadline-expired";
+  case ServiceError::QueueFull:
+    return "queue-full";
+  case ServiceError::ShuttingDown:
+    return "shutting-down";
+  case ServiceError::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::optional<Request> failReq(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+  return std::nullopt;
+}
+
+std::optional<Response> failResp(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+  return std::nullopt;
+}
+
+/// Matrix fields: i32 size, names, then the upper triangle row-major.
+void writeMatrix(ByteWriter &W, const DistanceMatrix &M) {
+  W.writeI32(M.size());
+  for (int I = 0; I < M.size(); ++I)
+    W.writeString(M.name(I));
+  for (int I = 0; I < M.size(); ++I)
+    for (int J = I + 1; J < M.size(); ++J)
+      W.writeF64(M.at(I, J));
+}
+
+bool readMatrix(ByteReader &R, DistanceMatrix &M) {
+  std::int32_t N = 0;
+  if (!R.readI32(N) || N < 0 || N > MaxProtocolSpecies)
+    return false;
+  DistanceMatrix Out(N);
+  for (int I = 0; I < N; ++I) {
+    std::string Name;
+    if (!R.readString(Name))
+      return false;
+    Out.setName(I, std::move(Name));
+  }
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J) {
+      double Value = 0.0;
+      if (!R.readF64(Value) || !(Value >= 0.0)) // also rejects NaN
+        return false;
+      Out.set(I, J, Value);
+    }
+  M = std::move(Out);
+  return true;
+}
+
+void writeBuildRequest(ByteWriter &W, const BuildRequest &B) {
+  W.writeU8(static_cast<std::uint8_t>(B.Generator));
+  if (B.Generator == GeneratorKind::None)
+    writeMatrix(W, B.Matrix);
+  else {
+    W.writeI32(B.GenSpecies);
+    W.writeU64(B.GenSeed);
+  }
+  W.writeU8(static_cast<std::uint8_t>(B.Mode));
+  W.writeU8(static_cast<std::uint8_t>(B.ThreeThree));
+  W.writeI32(B.MaxExactBlockSize);
+  W.writeU8(B.Polish ? 1 : 0);
+  W.writeU64(B.NodeBudget);
+  W.writeU32(B.DeadlineMillis);
+  W.writeU8(B.UseCache ? 1 : 0);
+}
+
+bool readBuildRequest(ByteReader &R, BuildRequest &B) {
+  std::uint8_t Generator = 0, Mode = 0, ThreeThree = 0, Polish = 0,
+               UseCache = 0;
+  if (!R.readU8(Generator) ||
+      Generator > static_cast<std::uint8_t>(GeneratorKind::Dna))
+    return false;
+  B.Generator = static_cast<GeneratorKind>(Generator);
+  if (B.Generator == GeneratorKind::None) {
+    if (!readMatrix(R, B.Matrix))
+      return false;
+  } else if (!R.readI32(B.GenSpecies) || !R.readU64(B.GenSeed)) {
+    return false;
+  }
+  if (!R.readU8(Mode) || Mode > static_cast<std::uint8_t>(CondenseMode::Average))
+    return false;
+  B.Mode = static_cast<CondenseMode>(Mode);
+  if (!R.readU8(ThreeThree) ||
+      ThreeThree > static_cast<std::uint8_t>(ThreeThreeMode::AllInsertions))
+    return false;
+  B.ThreeThree = static_cast<ThreeThreeMode>(ThreeThree);
+  if (!R.readI32(B.MaxExactBlockSize) || !R.readU8(Polish) ||
+      !R.readU64(B.NodeBudget) || !R.readU32(B.DeadlineMillis) ||
+      !R.readU8(UseCache))
+    return false;
+  B.Polish = Polish != 0;
+  B.UseCache = UseCache != 0;
+  return true;
+}
+
+void writeBuildResponse(ByteWriter &W, const BuildResponse &B) {
+  W.writeU8(static_cast<std::uint8_t>(B.Error));
+  W.writeString(B.Message);
+  W.writeString(B.Newick);
+  W.writeF64(B.Cost);
+  W.writeU8(B.Exact ? 1 : 0);
+  W.writeU8(B.CacheHit ? 1 : 0);
+  W.writeU32(B.BlockCacheHits);
+  W.writeU64(B.Branched);
+  W.writeU32(static_cast<std::uint32_t>(B.Blocks.size()));
+  for (const BlockSummary &S : B.Blocks) {
+    W.writeI32(S.NumBlocks);
+    W.writeF64(S.Cost);
+    W.writeU8(S.Exact ? 1 : 0);
+    W.writeU8(S.FromCache ? 1 : 0);
+  }
+  W.writeF64(B.QueueMillis);
+  W.writeF64(B.SolveMillis);
+}
+
+bool readBuildResponse(ByteReader &R, BuildResponse &B) {
+  std::uint8_t Error = 0, Exact = 0, CacheHit = 0;
+  if (!R.readU8(Error) ||
+      Error > static_cast<std::uint8_t>(ServiceError::Internal))
+    return false;
+  B.Error = static_cast<ServiceError>(Error);
+  if (!R.readString(B.Message) || !R.readString(B.Newick) ||
+      !R.readF64(B.Cost) || !R.readU8(Exact) || !R.readU8(CacheHit) ||
+      !R.readU32(B.BlockCacheHits) || !R.readU64(B.Branched))
+    return false;
+  B.Exact = Exact != 0;
+  B.CacheHit = CacheHit != 0;
+  std::uint32_t NumBlocks = 0;
+  if (!R.readU32(NumBlocks) || NumBlocks > MaxFrameBytes / 8)
+    return false;
+  B.Blocks.resize(NumBlocks);
+  for (BlockSummary &S : B.Blocks) {
+    std::uint8_t BlockExact = 0, FromCache = 0;
+    if (!R.readI32(S.NumBlocks) || !R.readF64(S.Cost) ||
+        !R.readU8(BlockExact) || !R.readU8(FromCache))
+      return false;
+    S.Exact = BlockExact != 0;
+    S.FromCache = FromCache != 0;
+  }
+  return R.readF64(B.QueueMillis) && R.readF64(B.SolveMillis);
+}
+
+void writeStats(ByteWriter &W, const StatsSnapshot &S) {
+  W.writeU64(S.Accepted);
+  W.writeU64(S.Completed);
+  W.writeU64(S.Failed);
+  W.writeU64(S.WholeHits);
+  W.writeU64(S.WholeMisses);
+  W.writeU64(S.BlockHits);
+  W.writeU64(S.BlockMisses);
+  W.writeU64(S.DeadlineExpired);
+  W.writeU64(S.Rejected);
+  W.writeU64(S.QueueDepth);
+  W.writeU64(S.CacheEntries);
+  W.writeF64(S.P50Millis);
+  W.writeF64(S.P95Millis);
+}
+
+bool readStats(ByteReader &R, StatsSnapshot &S) {
+  return R.readU64(S.Accepted) && R.readU64(S.Completed) &&
+         R.readU64(S.Failed) && R.readU64(S.WholeHits) &&
+         R.readU64(S.WholeMisses) && R.readU64(S.BlockHits) &&
+         R.readU64(S.BlockMisses) && R.readU64(S.DeadlineExpired) &&
+         R.readU64(S.Rejected) && R.readU64(S.QueueDepth) &&
+         R.readU64(S.CacheEntries) && R.readF64(S.P50Millis) &&
+         R.readF64(S.P95Millis);
+}
+
+} // namespace
+
+std::vector<std::uint8_t> mutk::encodeRequest(const Request &R) {
+  ByteWriter W;
+  W.writeU8(static_cast<std::uint8_t>(R.V));
+  W.writeU32(ServiceProtocolVersion);
+  if (R.V == Verb::Build)
+    writeBuildRequest(W, R.Build);
+  return W.take();
+}
+
+std::optional<Request>
+mutk::decodeRequest(const std::vector<std::uint8_t> &Bytes,
+                    std::string *Error) {
+  ByteReader R(Bytes);
+  std::uint8_t RawVerb = 0;
+  std::uint32_t Version = 0;
+  if (!R.readU8(RawVerb) || !R.readU32(Version))
+    return failReq(Error, "truncated request header");
+  if (Version != ServiceProtocolVersion)
+    return failReq(Error, "protocol version mismatch");
+  if (RawVerb < static_cast<std::uint8_t>(Verb::Build) ||
+      RawVerb > static_cast<std::uint8_t>(Verb::Shutdown))
+    return failReq(Error, "unknown verb");
+
+  Request Out;
+  Out.V = static_cast<Verb>(RawVerb);
+  if (Out.V == Verb::Build && !readBuildRequest(R, Out.Build))
+    return failReq(Error, "malformed build request");
+  if (!R.atEnd())
+    return failReq(Error, "trailing bytes after request");
+  return Out;
+}
+
+std::vector<std::uint8_t> mutk::encodeResponse(const Response &R) {
+  ByteWriter W;
+  W.writeU8(static_cast<std::uint8_t>(R.V));
+  W.writeU8(static_cast<std::uint8_t>(R.Error));
+  W.writeString(R.Message);
+  if (R.Error == ServiceError::None) {
+    if (R.V == Verb::Build)
+      writeBuildResponse(W, R.Build);
+    else if (R.V == Verb::Stats)
+      writeStats(W, R.Stats);
+  }
+  return W.take();
+}
+
+std::optional<Response>
+mutk::decodeResponse(const std::vector<std::uint8_t> &Bytes,
+                     std::string *Error) {
+  ByteReader R(Bytes);
+  std::uint8_t RawVerb = 0, RawError = 0;
+  if (!R.readU8(RawVerb) || !R.readU8(RawError))
+    return failResp(Error, "truncated response header");
+  if (RawVerb < static_cast<std::uint8_t>(Verb::Build) ||
+      RawVerb > static_cast<std::uint8_t>(Verb::Shutdown))
+    return failResp(Error, "unknown verb");
+  if (RawError > static_cast<std::uint8_t>(ServiceError::Internal))
+    return failResp(Error, "unknown error code");
+
+  Response Out;
+  Out.V = static_cast<Verb>(RawVerb);
+  Out.Error = static_cast<ServiceError>(RawError);
+  if (!R.readString(Out.Message))
+    return failResp(Error, "truncated response message");
+  if (Out.Error == ServiceError::None) {
+    if (Out.V == Verb::Build && !readBuildResponse(R, Out.Build))
+      return failResp(Error, "malformed build response");
+    if (Out.V == Verb::Stats && !readStats(R, Out.Stats))
+      return failResp(Error, "malformed stats response");
+  }
+  if (!R.atEnd())
+    return failResp(Error, "trailing bytes after response");
+  return Out;
+}
+
+Request mutk::makeBuildRequest(BuildRequest Build) {
+  Request R;
+  R.V = Verb::Build;
+  R.Build = std::move(Build);
+  return R;
+}
+
+Response mutk::makeErrorResponse(Verb V, ServiceError Error,
+                                 std::string Message) {
+  Response R;
+  R.V = V;
+  R.Error = Error;
+  R.Message = std::move(Message);
+  if (V == Verb::Build) {
+    R.Build.Error = Error;
+    R.Build.Message = R.Message;
+  }
+  return R;
+}

@@ -1,0 +1,75 @@
+//===- service/ResultCache.cpp - Sharded LRU solution cache ---------------===//
+
+#include "service/ResultCache.h"
+
+#include <algorithm>
+
+using namespace mutk;
+
+ShardedLruCache::ShardedLruCache(std::size_t Capacity, int NumShards) {
+  NumShards = std::max(1, NumShards);
+  Shards.reserve(static_cast<std::size_t>(NumShards));
+  for (int I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  CapacityPerShard =
+      std::max<std::size_t>(1, Capacity / static_cast<std::size_t>(NumShards));
+}
+
+ShardedLruCache::Shard &ShardedLruCache::shardFor(std::uint64_t Key) {
+  // The key is already an FNV hash; fold the high bits in so shard
+  // selection does not just reuse the low bits the index hashes with.
+  std::uint64_t Mixed = Key ^ (Key >> 32);
+  return *Shards[static_cast<std::size_t>(Mixed % Shards.size())];
+}
+
+std::optional<CachedSolution>
+ShardedLruCache::lookup(std::uint64_t Key,
+                        const std::vector<std::uint8_t> &Bytes) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end() || It->second->second.Bytes != Bytes) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second->second;
+}
+
+void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    // Refresh: a colliding key overwrites (last writer wins; the bytes
+    // check on lookup keeps either outcome correct).
+    It->second->second = std::move(Value);
+    S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+    return;
+  }
+  if (S.Lru.size() >= CapacityPerShard) {
+    S.Index.erase(S.Lru.back().first);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  S.Lru.emplace_front(Key, std::move(Value));
+  S.Index.emplace(Key, S.Lru.begin());
+}
+
+void ShardedLruCache::clear() {
+  for (auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->Lru.clear();
+    S->Index.clear();
+  }
+}
+
+std::size_t ShardedLruCache::size() const {
+  std::size_t Total = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    Total += S->Lru.size();
+  }
+  return Total;
+}

@@ -1,0 +1,89 @@
+//===- service/ResultCache.h - Sharded LRU solution cache -------*- C++ -*-===//
+///
+/// \file
+/// The memoization layer of the tree-construction service: a sharded LRU
+/// cache from canonical matrix fingerprints (`matrix/Fingerprint.h`) to
+/// solved trees in canonical leaf labels. One cache instance holds both
+/// whole-matrix results and per-condensed-block subtrees (the service
+/// salts the two key spaces apart), so repeated or overlapping queries
+/// skip branch-and-bound entirely.
+///
+/// Sharding bounds lock contention: a key maps to one of `NumShards`
+/// independent LRU lists, each behind its own mutex, so concurrent
+/// workers rarely serialize. Hash collisions are handled by storing the
+/// canonical bytes with each entry and comparing them on lookup — a
+/// colliding key is a miss, never a wrong tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_RESULTCACHE_H
+#define MUTK_SERVICE_RESULTCACHE_H
+
+#include "tree/PhyloTree.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace mutk {
+
+/// A cached solution: the tree is stored in *canonical* leaf labels (the
+/// maxmin order of the matrix it solves), names stripped; `Bytes` is the
+/// canonical form that produced the key, kept for collision checks.
+struct CachedSolution {
+  PhyloTree Tree;
+  double Cost = 0.0;
+  bool Exact = true;
+  std::vector<std::uint8_t> Bytes;
+};
+
+/// Sharded LRU map `fingerprint -> CachedSolution`, safe for concurrent
+/// lookup/store from any number of threads.
+class ShardedLruCache {
+public:
+  /// \p Capacity is the *total* entry budget, split evenly across
+  /// \p NumShards (each shard holds at least one entry).
+  explicit ShardedLruCache(std::size_t Capacity, int NumShards = 8);
+
+  /// Returns a copy of the entry for \p Key whose stored bytes equal
+  /// \p Bytes, refreshing its recency; nullopt (a miss) otherwise.
+  std::optional<CachedSolution> lookup(std::uint64_t Key,
+                                       const std::vector<std::uint8_t> &Bytes);
+
+  /// Inserts or refreshes \p Value under \p Key, evicting the shard's
+  /// least-recently-used entry when full.
+  void store(std::uint64_t Key, CachedSolution Value);
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  std::uint64_t hits() const { return Hits.load(); }
+  std::uint64_t misses() const { return Misses.load(); }
+  std::uint64_t evictions() const { return Evictions.load(); }
+  std::size_t size() const;
+
+private:
+  struct Shard {
+    std::mutex Mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::uint64_t, CachedSolution>> Lru;
+    std::unordered_map<std::uint64_t, decltype(Lru)::iterator> Index;
+  };
+
+  Shard &shardFor(std::uint64_t Key);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::size_t CapacityPerShard;
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Misses{0};
+  std::atomic<std::uint64_t> Evictions{0};
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_RESULTCACHE_H

@@ -1,0 +1,96 @@
+//===- service/Server.h - Socket frontend for TreeService -------*- C++ -*-===//
+///
+/// \file
+/// The transport layer of `mutkd`: listens on a Unix-domain or TCP
+/// socket, reads length-prefixed frames, dispatches decoded requests to
+/// a `TreeService`, and writes framed responses back. One thread per
+/// connection (connections are expected to be few and long-lived —
+/// clients pipeline requests over one socket); the worker pool behind
+/// the service provides the actual solve concurrency.
+///
+/// A `Shutdown` verb is acknowledged on the wire first, then stops the
+/// accept loop and wakes `waitForShutdown`, which `mutkd` uses as its
+/// run-until-told-otherwise loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_SERVER_H
+#define MUTK_SERVICE_SERVER_H
+
+#include "service/Service.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mutk {
+
+/// Framed-socket server over a TreeService.
+class SocketServer {
+public:
+  explicit SocketServer(TreeService &Service);
+  ~SocketServer();
+
+  SocketServer(const SocketServer &) = delete;
+  SocketServer &operator=(const SocketServer &) = delete;
+
+  /// Binds a Unix-domain socket at \p Path (unlinks a stale file first).
+  bool listenUnix(const std::string &Path, std::string *Error = nullptr);
+
+  /// Binds a TCP socket on \p Host. \p Port 0 asks the kernel for an
+  /// ephemeral port; read it back with `port()`.
+  bool listenTcp(const std::string &Host, int Port,
+                 std::string *Error = nullptr);
+
+  /// Bound TCP port (-1 before a successful `listenTcp`).
+  int port() const { return BoundPort; }
+
+  /// Starts the accept loop in a background thread. Call after one of
+  /// the `listen*` calls succeeded.
+  void start();
+
+  /// Blocks until a client sends `Shutdown` or `stop()` is called.
+  void waitForShutdown();
+
+  /// Stops accepting, closes the listener and every live connection,
+  /// and joins all threads. Idempotent and safe to call from several
+  /// threads; the destructor calls it.
+  void stop();
+
+private:
+  void acceptLoop();
+  void serveConnection(int Fd);
+  void requestShutdown();
+
+  TreeService &Service;
+  int ListenFd = -1;
+  int BoundPort = -1;
+  std::string UnixPath;
+  std::thread Acceptor;
+  std::vector<std::thread> Connections;
+  /// Fds of live connections; entries are removed and closed under `Mu`
+  /// so `stop()` never shuts down a recycled descriptor.
+  std::vector<int> LiveFds;
+  std::mutex Mu;
+  /// Serializes whole `stop()` runs (a signal thread and the main
+  /// thread may both request shutdown).
+  std::mutex StopMu;
+  std::condition_variable ShutdownCv;
+  bool ShutdownRequested = false;
+  std::atomic<bool> Running{false};
+};
+
+/// \name Frame transport shared by server and client.
+/// Blocking full-frame io on a connected socket; false on EOF, short
+/// io, or an oversized length prefix.
+/// @{
+bool readFrame(int Fd, std::vector<std::uint8_t> &Payload);
+bool writeFrame(int Fd, const std::vector<std::uint8_t> &Payload);
+/// @}
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_SERVER_H

@@ -1,0 +1,373 @@
+//===- service/Service.cpp - Concurrent tree-construction service ---------===//
+
+#include "service/Service.h"
+
+#include "matrix/Fingerprint.h"
+#include "matrix/Generators.h"
+#include "seq/EvolutionSim.h"
+#include "tree/Newick.h"
+
+#include <algorithm>
+#include <exception>
+
+using namespace mutk;
+
+namespace {
+
+/// Key-space salts: whole-matrix and per-block entries share one cache
+/// but must never answer for each other.
+constexpr std::uint64_t WholeKeySalt = 0x9e3779b97f4a7c15ull;
+
+/// Returns \p Tree with leaves relabeled through \p Map (`new = Map[old]`).
+PhyloTree relabelLeaves(const PhyloTree &Tree, const std::vector<int> &Map) {
+  PhyloTree Out;
+  Out.setRoot(Out.adoptSubtree(Tree, Map));
+  return Out;
+}
+
+/// Whole-matrix cache identity: the canonical matrix bytes extended by
+/// the knobs that change the merged tree (mode, polish). Exact-only
+/// entries make the remaining knobs (budgets, size caps) irrelevant.
+std::vector<std::uint8_t> wholeCacheBytes(const CanonicalForm &Form,
+                                          const BuildRequest &Request) {
+  std::vector<std::uint8_t> Bytes = Form.Bytes;
+  Bytes.push_back(static_cast<std::uint8_t>(Request.Mode));
+  Bytes.push_back(Request.Polish ? 1 : 0);
+  return Bytes;
+}
+
+std::uint64_t wholeCacheKey(const CanonicalForm &Form,
+                            const BuildRequest &Request) {
+  std::uint64_t Key = Form.Key ^ WholeKeySalt;
+  Key ^= static_cast<std::uint64_t>(Request.Mode) * 0x100000001b3ull;
+  if (Request.Polish)
+    Key ^= 0x2545f4914f6cdd1dull;
+  return Key;
+}
+
+} // namespace
+
+TreeService::TreeService(const ServiceOptions &Options)
+    : Options(Options), Queue(std::max<std::size_t>(1, Options.QueueCapacity)),
+      Cache(std::max<std::size_t>(1, Options.CacheCapacity),
+            Options.CacheShards) {
+  int NumWorkers = std::max(1, Options.NumWorkers);
+  Workers.reserve(static_cast<std::size_t>(NumWorkers));
+  for (int I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+TreeService::~TreeService() { stop(); }
+
+std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
+  Job J;
+  J.Request = std::move(Request);
+  J.SubmitTime = Clock::now();
+  std::future<BuildResponse> Future = J.Promise.get_future();
+
+  auto reject = [&](ServiceError Error, const char *Message) {
+    Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    BuildResponse Resp;
+    Resp.Error = Error;
+    Resp.Message = Message;
+    J.Promise.set_value(std::move(Resp));
+  };
+
+  if (stopping()) {
+    reject(ServiceError::ShuttingDown, "service is shutting down");
+    return Future;
+  }
+
+  bool Admitted = Options.BlockOnFullQueue
+                      ? Queue.push(std::move(J))
+                      : Queue.tryPush(std::move(J));
+  if (!Admitted) {
+    // push/tryPush leave the job (and its promise) untouched on failure.
+    reject(Queue.closed() ? ServiceError::ShuttingDown
+                          : ServiceError::QueueFull,
+           Queue.closed() ? "service is shutting down" : "job queue full");
+    return Future;
+  }
+
+  Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+  return Future;
+}
+
+BuildResponse TreeService::submit(BuildRequest Request) {
+  return submitAsync(std::move(Request)).get();
+}
+
+Response TreeService::handle(const Request &R) {
+  Response Out;
+  Out.V = R.V;
+  switch (R.V) {
+  case Verb::Build:
+    Out.Build = submit(R.Build);
+    Out.Error = Out.Build.Error;
+    Out.Message = Out.Build.Message;
+    break;
+  case Verb::Stats:
+    Out.Stats = stats();
+    break;
+  case Verb::Ping:
+  case Verb::Shutdown:
+    break;
+  }
+  return Out;
+}
+
+StatsSnapshot TreeService::stats() const {
+  StatsSnapshot S = Counters.snapshot();
+  S.QueueDepth = Queue.depth();
+  S.CacheEntries = Cache.size();
+  return S;
+}
+
+void TreeService::stop() {
+  std::lock_guard<std::mutex> Lock(StopMu);
+  if (Stopping.exchange(true, std::memory_order_acq_rel)) {
+    // Already stopped (or stopping on another thread holding the lock
+    // first); workers are joined below only once.
+    return;
+  }
+  Queue.close();
+  // Fail everything that never reached a worker; in-flight jobs keep
+  // running and resolve their promises normally.
+  for (Job &J : Queue.drain()) {
+    Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    BuildResponse Resp;
+    Resp.Error = ServiceError::ShuttingDown;
+    Resp.Message = "service stopped before the job started";
+    J.Promise.set_value(std::move(Resp));
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+}
+
+void TreeService::workerLoop() {
+  while (std::optional<Job> J = Queue.pop()) {
+    BuildResponse Resp;
+    try {
+      Resp = process(J->Request, J->SubmitTime);
+    } catch (const std::exception &E) {
+      Resp.Error = ServiceError::Internal;
+      Resp.Message = E.what();
+    } catch (...) {
+      Resp.Error = ServiceError::Internal;
+      Resp.Message = "unknown failure";
+    }
+    if (Resp.ok())
+      Counters.Completed.fetch_add(1, std::memory_order_relaxed);
+    else
+      Counters.Failed.fetch_add(1, std::memory_order_relaxed);
+    double TotalMillis = std::chrono::duration<double, std::milli>(
+                             Clock::now() - J->SubmitTime)
+                             .count();
+    Counters.Latency.record(TotalMillis);
+    J->Promise.set_value(std::move(Resp));
+  }
+}
+
+BuildResponse TreeService::process(const BuildRequest &Request,
+                                   Clock::time_point SubmitTime) {
+  BuildResponse Resp;
+  Clock::time_point Start = Clock::now();
+  Resp.QueueMillis =
+      std::chrono::duration<double, std::milli>(Start - SubmitTime).count();
+
+  auto fail = [&](ServiceError Error, std::string Message) {
+    Resp.Error = Error;
+    Resp.Message = std::move(Message);
+    return Resp;
+  };
+
+  // Deadline accounting: expired jobs are answered, never solved.
+  bool HasDeadline = Request.DeadlineMillis > 0;
+  Clock::time_point Deadline =
+      SubmitTime + std::chrono::milliseconds(Request.DeadlineMillis);
+  if (HasDeadline && Start >= Deadline) {
+    Counters.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    return fail(ServiceError::DeadlineExpired,
+                "deadline elapsed while the job was queued");
+  }
+
+  // Materialize the matrix.
+  DistanceMatrix M;
+  switch (Request.Generator) {
+  case GeneratorKind::None:
+    M = Request.Matrix;
+    break;
+  case GeneratorKind::Uniform:
+  case GeneratorKind::Clustered:
+  case GeneratorKind::Ultrametric:
+  case GeneratorKind::Dna: {
+    if (Request.GenSpecies < 2 || Request.GenSpecies > Options.MaxSpecies)
+      return fail(ServiceError::BadRequest,
+                  "generator species count out of range");
+    int N = Request.GenSpecies;
+    std::uint64_t Seed = Request.GenSeed;
+    if (Request.Generator == GeneratorKind::Uniform)
+      M = uniformRandomMetric(N, Seed, 1.0, 100.0);
+    else if (Request.Generator == GeneratorKind::Clustered)
+      M = scaledToMax(plantedClusterMetric(N, Seed), 100.0);
+    else if (Request.Generator == GeneratorKind::Ultrametric)
+      M = randomUltrametricMatrix(N, Seed);
+    else
+      M = hmdnaLikeMatrix(N, Seed);
+    break;
+  }
+  }
+  if (M.size() == 0)
+    return fail(ServiceError::BadMatrix, "empty matrix");
+  if (M.size() > Options.MaxSpecies)
+    return fail(ServiceError::TooLarge,
+                "matrix exceeds the service species cap");
+
+  if (M.size() == 1) {
+    PipelineResult Trivial = buildCompactSetTree(M);
+    Resp.Newick = toNewick(Trivial.Tree);
+    Resp.Cost = Trivial.Cost;
+    Resp.Exact = true;
+    Resp.SolveMillis = std::chrono::duration<double, std::milli>(
+                           Clock::now() - Start)
+                           .count();
+    return Resp;
+  }
+
+  // Whole-matrix cache probe.
+  bool CacheOn = Options.CacheCapacity > 0 && Request.UseCache;
+  CanonicalForm Form;
+  if (CacheOn) {
+    Form = canonicalForm(M);
+    std::vector<std::uint8_t> Identity = wholeCacheBytes(Form, Request);
+    if (std::optional<CachedSolution> Hit =
+            Cache.lookup(wholeCacheKey(Form, Request), Identity)) {
+      Counters.WholeHits.fetch_add(1, std::memory_order_relaxed);
+      PhyloTree Tree = relabelLeaves(Hit->Tree, Form.Perm);
+      Tree.setNames(M.names());
+      Resp.Newick = toNewick(Tree);
+      Resp.Cost = Hit->Cost;
+      Resp.Exact = Hit->Exact;
+      Resp.CacheHit = true;
+      Resp.SolveMillis = std::chrono::duration<double, std::milli>(
+                             Clock::now() - Start)
+                             .count();
+      return Resp;
+    }
+    Counters.WholeMisses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PhyloTree SolvedTree;
+  Resp = solveFresh(M, Request, Deadline, HasDeadline, SolvedTree);
+  Resp.QueueMillis =
+      std::chrono::duration<double, std::milli>(Start - SubmitTime).count();
+
+  if (Resp.ok() && Resp.Exact && CacheOn) {
+    // Store in canonical labels so any relabeling of M replays it.
+    std::vector<int> Inverse(Form.Perm.size());
+    for (std::size_t K = 0; K < Form.Perm.size(); ++K)
+      Inverse[static_cast<std::size_t>(Form.Perm[K])] = static_cast<int>(K);
+    CachedSolution Entry;
+    Entry.Cost = Resp.Cost;
+    Entry.Exact = Resp.Exact;
+    Entry.Bytes = wholeCacheBytes(Form, Request);
+    Entry.Tree = relabelLeaves(SolvedTree, Inverse);
+    Cache.store(wholeCacheKey(Form, Request), std::move(Entry));
+  }
+  return Resp;
+}
+
+BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
+                                      const BuildRequest &Request,
+                                      Clock::time_point Deadline,
+                                      bool HasDeadline, PhyloTree &OutTree) {
+  BuildResponse Resp;
+  Clock::time_point Start = Clock::now();
+
+  PipelineOptions Pipeline;
+  Pipeline.Mode = Request.Mode;
+  Pipeline.MaxExactBlockSize = std::max(1, Request.MaxExactBlockSize);
+  Pipeline.PolishTopology = Request.Polish;
+  Pipeline.Solver = Options.Solver;
+  Pipeline.Bnb.ThreeThree = Request.ThreeThree;
+
+  // Deadline -> node budget: bound every block's branch-and-bound so an
+  // over-deadline job is truncated instead of pinning a worker.
+  std::uint64_t Budget = Request.NodeBudget;
+  if (HasDeadline) {
+    double RemainingMillis = std::chrono::duration<double, std::milli>(
+                                 Deadline - Start)
+                                 .count();
+    std::uint64_t DeadlineBudget = static_cast<std::uint64_t>(
+        std::max(1.0, RemainingMillis) *
+        static_cast<double>(Options.NodesPerMilli));
+    Budget = Budget == 0 ? DeadlineBudget : std::min(Budget, DeadlineBudget);
+  }
+  Pipeline.Bnb.MaxBranchedNodes = Budget;
+
+  // Per-block memoization hooks around the shared cache.
+  std::uint32_t LocalBlockHits = 0;
+  BlockCacheHooks Hooks;
+  bool CacheOn = Options.CacheCapacity > 0 && Request.UseCache;
+  if (CacheOn) {
+    Hooks.Lookup = [&](std::uint64_t Key,
+                       const std::vector<std::uint8_t> &Bytes)
+        -> std::optional<BlockCacheEntry> {
+      std::optional<CachedSolution> Hit = Cache.lookup(Key, Bytes);
+      if (!Hit) {
+        Counters.BlockMisses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      Counters.BlockHits.fetch_add(1, std::memory_order_relaxed);
+      ++LocalBlockHits;
+      BlockCacheEntry Entry;
+      Entry.Tree = std::move(Hit->Tree);
+      Entry.Cost = Hit->Cost;
+      Entry.Exact = Hit->Exact;
+      return Entry;
+    };
+    Hooks.Store = [&](std::uint64_t Key,
+                      const std::vector<std::uint8_t> &Bytes,
+                      const BlockCacheEntry &Entry) {
+      if (!Entry.Exact)
+        return; // only proven-optimal blocks are budget/knob-independent
+      CachedSolution Value;
+      Value.Tree = Entry.Tree;
+      Value.Cost = Entry.Cost;
+      Value.Exact = Entry.Exact;
+      Value.Bytes = Bytes;
+      Cache.store(Key, std::move(Value));
+    };
+    Pipeline.BlockCache = &Hooks;
+  }
+
+  PipelineResult Result = buildCompactSetTree(M, Pipeline);
+
+  if (HasDeadline && Clock::now() > Deadline) {
+    Counters.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    Resp.Error = ServiceError::DeadlineExpired;
+    Resp.Message = "deadline elapsed during the solve";
+    return Resp;
+  }
+
+  Resp.Newick = toNewick(Result.Tree);
+  Resp.Cost = Result.Cost;
+  Resp.Branched = Result.TotalStats.Branched;
+  Resp.BlockCacheHits = LocalBlockHits;
+  Resp.Exact = !Result.Blocks.empty();
+  Resp.Blocks.reserve(Result.Blocks.size());
+  for (const BlockReport &Report : Result.Blocks) {
+    Resp.Exact = Resp.Exact && Report.Exact;
+    BlockSummary S;
+    S.NumBlocks = Report.NumBlocks;
+    S.Cost = Report.Cost;
+    S.Exact = Report.Exact;
+    S.FromCache = Report.FromCache;
+    Resp.Blocks.push_back(S);
+  }
+  OutTree = std::move(Result.Tree);
+  Resp.SolveMillis =
+      std::chrono::duration<double, std::milli>(Clock::now() - Start).count();
+  return Resp;
+}

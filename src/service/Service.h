@@ -1,0 +1,119 @@
+//===- service/Service.h - Concurrent tree-construction service -*- C++ -*-===//
+///
+/// \file
+/// The long-lived core of `mutkd`: a bounded MPMC job queue feeding a
+/// worker pool that runs the compact-set pipeline, fronted by a sharded
+/// LRU result cache keyed by relabeling-invariant matrix fingerprints.
+/// Whole-matrix hits replay a stored canonical tree onto the request's
+/// labels without touching a solver; misses still reuse per-condensed-
+/// block subtrees, so overlapping queries pay only for the blocks they
+/// have never seen.
+///
+/// The class is transport-free ("loopback mode"): tests and benches call
+/// `submit`/`submitAsync` directly, while `service/Server.h` feeds it
+/// from sockets. Deadlines are enforced at dequeue time and wired into
+/// the per-block branch-and-bound node budget
+/// (`BnbOptions::MaxBranchedNodes`), so an over-deadline job cannot pin
+/// a worker indefinitely; shutdown drains in-flight work and fails
+/// queued jobs with `ShuttingDown` instead of dropping them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_SERVICE_H
+#define MUTK_SERVICE_SERVICE_H
+
+#include "compact/CompactSetPipeline.h"
+#include "service/JobQueue.h"
+#include "service/Protocol.h"
+#include "service/ResultCache.h"
+#include "service/ServiceStats.h"
+
+#include <chrono>
+#include <future>
+#include <thread>
+
+namespace mutk {
+
+/// Deployment knobs of a TreeService instance.
+struct ServiceOptions {
+  int NumWorkers = 4;
+  std::size_t QueueCapacity = 256;
+  /// Total cache entries across shards (0 disables caching).
+  std::size_t CacheCapacity = 1024;
+  int CacheShards = 8;
+  /// Deadline-to-budget conversion: a request with `DeadlineMillis = d`
+  /// gets a per-block node budget of `d * NodesPerMilli` (tighter of
+  /// this and the request's own `NodeBudget`). Calibrate to the
+  /// hardware; the default is conservative for ~1us/node branching.
+  std::uint64_t NodesPerMilli = 20'000;
+  /// Inline matrices larger than this are rejected with `TooLarge`.
+  int MaxSpecies = 2048;
+  /// `submitAsync` blocks when the queue is full (backpressure); set to
+  /// false to shed load with `QueueFull` instead.
+  bool BlockOnFullQueue = true;
+  /// Engine used for each condensed block.
+  BlockSolver Solver = BlockSolver::Sequential;
+};
+
+/// A concurrent tree-construction service (queue + workers + cache).
+class TreeService {
+public:
+  explicit TreeService(const ServiceOptions &Options = {});
+  ~TreeService();
+
+  TreeService(const TreeService &) = delete;
+  TreeService &operator=(const TreeService &) = delete;
+
+  /// Enqueues a job; the future resolves when a worker answers it (every
+  /// admitted job is answered, even across shutdown).
+  std::future<BuildResponse> submitAsync(BuildRequest Request);
+
+  /// Synchronous convenience wrapper around `submitAsync`.
+  BuildResponse submit(BuildRequest Request);
+
+  /// Protocol-level dispatch used by the socket server and by loopback
+  /// clients that speak encoded frames. `Shutdown` is acknowledged but
+  /// acted upon by the caller (the transport decides when to stop).
+  Response handle(const Request &R);
+
+  /// Current counters (includes live queue depth and cache size).
+  StatsSnapshot stats() const;
+
+  /// Graceful shutdown: stops admissions, fails queued jobs with
+  /// `ShuttingDown`, lets in-flight solves finish, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  bool stopping() const { return Stopping.load(std::memory_order_acquire); }
+
+  const ServiceOptions &options() const { return Options; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    BuildRequest Request;
+    std::promise<BuildResponse> Promise;
+    Clock::time_point SubmitTime;
+  };
+
+  void workerLoop();
+  BuildResponse process(const BuildRequest &Request,
+                        Clock::time_point SubmitTime);
+  BuildResponse solveFresh(const DistanceMatrix &M,
+                           const BuildRequest &Request,
+                           Clock::time_point Deadline, bool HasDeadline,
+                           PhyloTree &OutTree);
+
+  ServiceOptions Options;
+  BoundedQueue<Job> Queue;
+  ShardedLruCache Cache;
+  ServiceCounters Counters;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> Stopping{false};
+  std::mutex StopMu;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_SERVICE_H

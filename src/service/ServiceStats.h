@@ -1,0 +1,107 @@
+//===- service/ServiceStats.h - Service counters & latency ------*- C++ -*-===//
+///
+/// \file
+/// Lock-free counters for the tree-construction service, exposed through
+/// the `Stats` protocol verb. Latency percentiles come from a fixed
+/// power-of-two histogram over microseconds: `record` is one atomic
+/// increment on the hot path, and p50/p95 are reconstructed from the
+/// bucket counts with at most ~40% relative quantization error — plenty
+/// for dashboards, free of allocation and locks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_SERVICESTATS_H
+#define MUTK_SERVICE_SERVICESTATS_H
+
+#include "service/Protocol.h"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace mutk {
+
+/// Histogram with one bucket per power of two of microseconds
+/// (bucket 0 covers <= 1us, bucket 63 everything above ~146 hours).
+class LatencyHistogram {
+public:
+  void record(double Millis) {
+    double Micros = Millis * 1000.0;
+    std::uint64_t Us = Micros <= 1.0 ? 1 : static_cast<std::uint64_t>(Micros);
+    int Bucket = std::bit_width(Us) - 1;
+    if (Bucket >= NumBuckets)
+      Bucket = NumBuckets - 1;
+    Buckets[static_cast<std::size_t>(Bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Returns the approximate \p P quantile (0 < P < 1) in milliseconds;
+  /// 0 when nothing was recorded. The returned value is the geometric
+  /// midpoint of the bucket containing the quantile.
+  double percentileMillis(double P) const {
+    std::uint64_t Total = 0;
+    std::array<std::uint64_t, NumBuckets> Snapshot;
+    for (int I = 0; I < NumBuckets; ++I) {
+      Snapshot[static_cast<std::size_t>(I)] =
+          Buckets[static_cast<std::size_t>(I)].load(
+              std::memory_order_relaxed);
+      Total += Snapshot[static_cast<std::size_t>(I)];
+    }
+    if (Total == 0)
+      return 0.0;
+    std::uint64_t Rank = static_cast<std::uint64_t>(P * Total);
+    if (Rank >= Total)
+      Rank = Total - 1;
+    std::uint64_t Seen = 0;
+    for (int I = 0; I < NumBuckets; ++I) {
+      Seen += Snapshot[static_cast<std::size_t>(I)];
+      if (Seen > Rank) {
+        // Bucket I spans [2^I, 2^(I+1)) microseconds.
+        double MidUs = 1.5 * static_cast<double>(1ull << I);
+        return MidUs / 1000.0;
+      }
+    }
+    return 0.0;
+  }
+
+private:
+  static constexpr int NumBuckets = 64;
+  std::array<std::atomic<std::uint64_t>, NumBuckets> Buckets{};
+};
+
+/// The service's monotonically increasing counters.
+struct ServiceCounters {
+  std::atomic<std::uint64_t> Accepted{0};
+  std::atomic<std::uint64_t> Completed{0};
+  std::atomic<std::uint64_t> Failed{0};
+  std::atomic<std::uint64_t> WholeHits{0};
+  std::atomic<std::uint64_t> WholeMisses{0};
+  std::atomic<std::uint64_t> BlockHits{0};
+  std::atomic<std::uint64_t> BlockMisses{0};
+  std::atomic<std::uint64_t> DeadlineExpired{0};
+  std::atomic<std::uint64_t> Rejected{0};
+  LatencyHistogram Latency;
+
+  /// Snapshot into the wire struct; queue depth and cache size are owned
+  /// by the service and filled by the caller.
+  StatsSnapshot snapshot() const {
+    StatsSnapshot S;
+    S.Accepted = Accepted.load(std::memory_order_relaxed);
+    S.Completed = Completed.load(std::memory_order_relaxed);
+    S.Failed = Failed.load(std::memory_order_relaxed);
+    S.WholeHits = WholeHits.load(std::memory_order_relaxed);
+    S.WholeMisses = WholeMisses.load(std::memory_order_relaxed);
+    S.BlockHits = BlockHits.load(std::memory_order_relaxed);
+    S.BlockMisses = BlockMisses.load(std::memory_order_relaxed);
+    S.DeadlineExpired = DeadlineExpired.load(std::memory_order_relaxed);
+    S.Rejected = Rejected.load(std::memory_order_relaxed);
+    S.P50Millis = Latency.percentileMillis(0.50);
+    S.P95Millis = Latency.percentileMillis(0.95);
+    return S;
+  }
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_SERVICESTATS_H

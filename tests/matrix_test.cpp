@@ -273,6 +273,47 @@ TEST(MatrixIO, RejectsTruncatedInput) {
   EXPECT_FALSE(matrixFromString("", &Error).has_value());
 }
 
+TEST(MatrixIO, RejectsTruncatedRow) {
+  // Row "b" ends one distance short; the parser must not read row "c"'s
+  // name as the missing number or silently zero-fill.
+  std::string Error;
+  EXPECT_FALSE(
+      matrixFromString("3\na 0 1 2\nb 1 0\nc 2 1 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("entry"), std::string::npos);
+}
+
+TEST(MatrixIO, RejectsNonNumericToken) {
+  std::string Error;
+  EXPECT_FALSE(matrixFromString("2\na 0 oops\nb 1 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("entry"), std::string::npos);
+  // Non-numeric species count is also malformed, not zero species.
+  EXPECT_FALSE(matrixFromString("two\na 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("count"), std::string::npos);
+}
+
+TEST(MatrixIO, RejectsNegativeCount) {
+  std::string Error;
+  EXPECT_FALSE(matrixFromString("-1\n", &Error).has_value());
+  EXPECT_NE(Error.find("negative"), std::string::npos);
+}
+
+TEST(MatrixIO, ParsesEmptyAndSingletonMatrices) {
+  // n = 0 and n = 1 are degenerate but well-formed inputs.
+  auto Empty = matrixFromString("0\n");
+  ASSERT_TRUE(Empty.has_value());
+  EXPECT_EQ(Empty->size(), 0);
+
+  auto One = matrixFromString("1\nonly 0\n");
+  ASSERT_TRUE(One.has_value());
+  EXPECT_EQ(One->size(), 1);
+  EXPECT_EQ(One->name(0), "only");
+
+  // ...but a singleton with a nonzero self-distance is still rejected.
+  std::string Error;
+  EXPECT_FALSE(matrixFromString("1\nonly 7\n", &Error).has_value());
+  EXPECT_NE(Error.find("diagonal"), std::string::npos);
+}
+
 TEST(MatrixIO, FileRoundTrip) {
   DistanceMatrix M = uniformRandomMetric(7, 21);
   std::string Path = testing::TempDir() + "mutk_matrix_io_test.txt";

@@ -1,0 +1,841 @@
+//===- tests/service_test.cpp - Tree-construction service tests -----------===//
+//
+// Covers the `mutkd` subsystem bottom-up: matrix fingerprints, the
+// bounded job queue, the sharded LRU cache, the wire-protocol codecs,
+// the loopback TreeService (concurrency, determinism, caching,
+// deadlines, shutdown) and the socket transport end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/CompactSetPipeline.h"
+#include "matrix/Fingerprint.h"
+#include "matrix/Generators.h"
+#include "service/Client.h"
+#include "service/JobQueue.h"
+#include "service/ResultCache.h"
+#include "service/Server.h"
+#include "service/Service.h"
+#include "service/ServiceStats.h"
+#include "tree/Newick.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace mutk;
+
+namespace {
+
+/// A metric whose distances all lie in [99, 100]: the triangle
+/// inequality holds trivially, and the only compact sets are forced
+/// minimum pairs, so the top condensed block stays large and exact B&B
+/// on it prunes poorly — a reliable way to keep a worker busy for a
+/// bounded-but-nontrivial number of branched nodes.
+DistanceMatrix narrowBandMatrix(int N, std::uint64_t Seed) {
+  DistanceMatrix M(N);
+  std::uint64_t State = Seed * 0x9e3779b97f4a7c15ull + 1;
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J) {
+      State = State * 6364136223846793005ull + 1442695040888963407ull;
+      double Unit = static_cast<double>(State >> 11) /
+                    static_cast<double>(1ull << 53);
+      M.set(I, J, 99.0 + Unit);
+    }
+  return M;
+}
+
+/// The knobs a default BuildRequest maps to on the pipeline side.
+PipelineOptions defaultPipelineOptions() {
+  PipelineOptions Options;
+  Options.Mode = CondenseMode::Maximum;
+  Options.MaxExactBlockSize = 16;
+  return Options;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matrix fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(Fingerprint, InvariantUnderRelabeling) {
+  for (std::uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(12, Seed);
+    std::uint64_t Want = fingerprint(M);
+    std::vector<std::uint8_t> WantBytes = canonicalForm(M).Bytes;
+    std::vector<int> Perm(12);
+    std::iota(Perm.begin(), Perm.end(), 0);
+    // A deterministic batch of permutations: reversals and rotations
+    // compose into fairly arbitrary relabelings across iterations.
+    for (int Round = 0; Round < 6; ++Round) {
+      if (Round % 2 == 0)
+        std::reverse(Perm.begin() + Round / 2, Perm.end());
+      else
+        std::rotate(Perm.begin(), Perm.begin() + 1 + Round / 2, Perm.end());
+      DistanceMatrix P = M.permuted(Perm);
+      EXPECT_EQ(Want, fingerprint(P)) << "seed " << Seed << " round "
+                                      << Round;
+      EXPECT_EQ(WantBytes, canonicalForm(P).Bytes);
+    }
+  }
+}
+
+TEST(Fingerprint, NamesDoNotMatter) {
+  DistanceMatrix M = uniformRandomMetric(8, 9);
+  DistanceMatrix Renamed = M;
+  for (int I = 0; I < 8; ++I)
+    Renamed.setName(I, "species_" + std::to_string(100 - I));
+  EXPECT_EQ(fingerprint(M), fingerprint(Renamed));
+}
+
+TEST(Fingerprint, DistinguishesMatrices) {
+  DistanceMatrix A = uniformRandomMetric(10, 1);
+  DistanceMatrix B = uniformRandomMetric(10, 2);
+  EXPECT_NE(fingerprint(A), fingerprint(B));
+
+  DistanceMatrix C = A;
+  C.set(2, 7, A.at(2, 7) + 0.5);
+  EXPECT_NE(fingerprint(A), fingerprint(C));
+}
+
+TEST(Fingerprint, TinySizes) {
+  EXPECT_NE(fingerprint(DistanceMatrix(0)), fingerprint(DistanceMatrix(1)));
+  CanonicalForm Form = canonicalForm(DistanceMatrix(1));
+  EXPECT_EQ(Form.Perm, std::vector<int>{0});
+}
+
+TEST(Fingerprint, PermutationMapsToCanonicalOrder) {
+  DistanceMatrix M = uniformRandomMetric(9, 33);
+  CanonicalForm Form = canonicalForm(M);
+  ASSERT_EQ(static_cast<int>(Form.Perm.size()), 9);
+  // Perm maps canonical index -> original index, so permuting M by it
+  // must reproduce the canonical bytes with an identity permutation.
+  DistanceMatrix Canon = M.permuted(Form.Perm);
+  CanonicalForm Again = canonicalForm(Canon);
+  EXPECT_EQ(Form.Key, Again.Key);
+  EXPECT_EQ(Form.Bytes, Again.Bytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded job queue
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedQueue, FifoAndDrainAfterClose) {
+  BoundedQueue<int> Q(4);
+  EXPECT_TRUE(Q.push(1));
+  EXPECT_TRUE(Q.push(2));
+  EXPECT_TRUE(Q.push(3));
+  EXPECT_EQ(Q.depth(), 3u);
+  Q.close();
+  EXPECT_FALSE(Q.push(4));
+  // Consumers still see everything accepted before the close.
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+  EXPECT_EQ(Q.pop(), std::optional<int>(3));
+  EXPECT_EQ(Q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, TryPushShedsWhenFull) {
+  BoundedQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3));
+  EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  EXPECT_TRUE(Q.tryPush(3));
+}
+
+TEST(BoundedQueue, FailedPushLeavesItemIntact) {
+  BoundedQueue<std::string> Q(1);
+  Q.close();
+  std::string Item = "still here";
+  EXPECT_FALSE(Q.push(std::move(Item)));
+  EXPECT_EQ(Item, "still here");
+  std::string Other = "me too";
+  EXPECT_FALSE(Q.tryPush(std::move(Other)));
+  EXPECT_EQ(Other, "me too");
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForConsumer) {
+  BoundedQueue<int> Q(1);
+  EXPECT_TRUE(Q.push(1));
+  std::thread Consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(Q.pop(), std::optional<int>(1));
+  });
+  EXPECT_TRUE(Q.push(2)); // blocks until the consumer frees a slot
+  Consumer.join();
+  EXPECT_EQ(Q.pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueue, DrainReturnsPending) {
+  BoundedQueue<int> Q(8);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(Q.push(std::move(I)));
+  std::vector<int> Pending = Q.drain();
+  EXPECT_EQ(Pending, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(Q.depth(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded LRU cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+CachedSolution solutionWithCost(double Cost,
+                                std::vector<std::uint8_t> Bytes) {
+  CachedSolution S;
+  S.Cost = Cost;
+  S.Bytes = std::move(Bytes);
+  return S;
+}
+
+} // namespace
+
+TEST(ShardedLruCache, StoreAndLookup) {
+  ShardedLruCache Cache(16, 4);
+  Cache.store(7, solutionWithCost(1.5, {1, 2, 3}));
+  auto Hit = Cache.lookup(7, {1, 2, 3});
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_DOUBLE_EQ(Hit->Cost, 1.5);
+  EXPECT_FALSE(Cache.lookup(8, {1, 2, 3}).has_value());
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+}
+
+TEST(ShardedLruCache, HashCollisionIsAMissNotAWrongTree) {
+  ShardedLruCache Cache(16, 4);
+  Cache.store(7, solutionWithCost(1.5, {1, 2, 3}));
+  // Same key, different canonical bytes: must refuse the entry.
+  EXPECT_FALSE(Cache.lookup(7, {9, 9, 9}).has_value());
+}
+
+TEST(ShardedLruCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache Cache(2, 1); // single shard, two entries
+  Cache.store(1, solutionWithCost(1, {1}));
+  Cache.store(2, solutionWithCost(2, {2}));
+  ASSERT_TRUE(Cache.lookup(1, {1}).has_value()); // 1 now most recent
+  Cache.store(3, solutionWithCost(3, {3}));      // evicts 2
+  EXPECT_TRUE(Cache.lookup(1, {1}).has_value());
+  EXPECT_FALSE(Cache.lookup(2, {2}).has_value());
+  EXPECT_TRUE(Cache.lookup(3, {3}).has_value());
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(ShardedLruCache, ClearEmpties) {
+  ShardedLruCache Cache(16, 4);
+  Cache.store(1, solutionWithCost(1, {1}));
+  Cache.store(2, solutionWithCost(2, {2}));
+  EXPECT_EQ(Cache.size(), 2u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_FALSE(Cache.lookup(1, {1}).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+BuildRequest sampleBuildRequest() {
+  BuildRequest R;
+  R.Matrix = uniformRandomMetric(6, 11);
+  R.Matrix.setName(0, "needs escaping?");
+  R.Mode = CondenseMode::Average;
+  R.ThreeThree = ThreeThreeMode::AllInsertions;
+  R.MaxExactBlockSize = 9;
+  R.Polish = true;
+  R.NodeBudget = 123456789;
+  R.DeadlineMillis = 2500;
+  R.UseCache = false;
+  return R;
+}
+
+} // namespace
+
+TEST(Protocol, BuildRequestRoundTrip) {
+  Request Original = makeBuildRequest(sampleBuildRequest());
+  std::vector<std::uint8_t> Bytes = encodeRequest(Original);
+  std::optional<Request> Back = decodeRequest(Bytes);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->V, Verb::Build);
+  const BuildRequest &B = Back->Build;
+  EXPECT_TRUE(Original.Build.Matrix.approxEquals(B.Matrix, 0.0));
+  EXPECT_EQ(B.Matrix.name(0), "needs escaping?");
+  EXPECT_EQ(B.Mode, CondenseMode::Average);
+  EXPECT_EQ(B.ThreeThree, ThreeThreeMode::AllInsertions);
+  EXPECT_EQ(B.MaxExactBlockSize, 9);
+  EXPECT_TRUE(B.Polish);
+  EXPECT_EQ(B.NodeBudget, 123456789u);
+  EXPECT_EQ(B.DeadlineMillis, 2500u);
+  EXPECT_FALSE(B.UseCache);
+}
+
+TEST(Protocol, GeneratorRequestRoundTrip) {
+  BuildRequest G;
+  G.Generator = GeneratorKind::Clustered;
+  G.GenSpecies = 40;
+  G.GenSeed = 77;
+  std::optional<Request> Back = decodeRequest(encodeRequest(makeBuildRequest(G)));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Build.Generator, GeneratorKind::Clustered);
+  EXPECT_EQ(Back->Build.GenSpecies, 40);
+  EXPECT_EQ(Back->Build.GenSeed, 77u);
+  EXPECT_EQ(Back->Build.Matrix.size(), 0);
+}
+
+TEST(Protocol, BuildResponseRoundTrip) {
+  Response R;
+  R.V = Verb::Build;
+  R.Build.Newick = "((a:1,b:1):1,c:2);";
+  R.Build.Cost = 42.25;
+  R.Build.Exact = true;
+  R.Build.CacheHit = true;
+  R.Build.BlockCacheHits = 3;
+  R.Build.Branched = 999;
+  R.Build.QueueMillis = 0.5;
+  R.Build.SolveMillis = 7.25;
+  BlockSummary S;
+  S.NumBlocks = 4;
+  S.Cost = 10.5;
+  S.Exact = false;
+  S.FromCache = true;
+  R.Build.Blocks = {S, S};
+  std::optional<Response> Back = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_TRUE(Back->ok());
+  EXPECT_EQ(Back->Build.Newick, R.Build.Newick);
+  EXPECT_DOUBLE_EQ(Back->Build.Cost, 42.25);
+  EXPECT_TRUE(Back->Build.Exact);
+  EXPECT_TRUE(Back->Build.CacheHit);
+  EXPECT_EQ(Back->Build.BlockCacheHits, 3u);
+  EXPECT_EQ(Back->Build.Branched, 999u);
+  ASSERT_EQ(Back->Build.Blocks.size(), 2u);
+  EXPECT_EQ(Back->Build.Blocks[0].NumBlocks, 4);
+  EXPECT_FALSE(Back->Build.Blocks[0].Exact);
+  EXPECT_TRUE(Back->Build.Blocks[0].FromCache);
+}
+
+TEST(Protocol, ErrorResponseRoundTrip) {
+  Response R = makeErrorResponse(Verb::Build, ServiceError::DeadlineExpired,
+                                 "too slow");
+  std::optional<Response> Back = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Error, ServiceError::DeadlineExpired);
+  EXPECT_EQ(Back->Message, "too slow");
+  EXPECT_FALSE(Back->ok());
+}
+
+TEST(Protocol, StatsRoundTrip) {
+  Response R;
+  R.V = Verb::Stats;
+  R.Stats.Accepted = 10;
+  R.Stats.WholeHits = 4;
+  R.Stats.QueueDepth = 2;
+  R.Stats.P95Millis = 12.5;
+  std::optional<Response> Back = decodeResponse(encodeResponse(R));
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Stats.Accepted, 10u);
+  EXPECT_EQ(Back->Stats.WholeHits, 4u);
+  EXPECT_EQ(Back->Stats.QueueDepth, 2u);
+  EXPECT_DOUBLE_EQ(Back->Stats.P95Millis, 12.5);
+}
+
+TEST(Protocol, RejectsCorruptFrames) {
+  EXPECT_FALSE(decodeRequest({}).has_value());
+  EXPECT_FALSE(decodeRequest({99}).has_value());      // unknown verb
+  EXPECT_FALSE(decodeResponse({}).has_value());
+  EXPECT_FALSE(decodeResponse({0xff}).has_value());
+
+  // Every strict prefix of a valid encoding must fail, and so must
+  // trailing garbage — decoders consume exactly the payload.
+  std::vector<std::uint8_t> Bytes =
+      encodeRequest(makeBuildRequest(sampleBuildRequest()));
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<std::uint8_t> Prefix(Bytes.begin(), Bytes.begin() + Len);
+    EXPECT_FALSE(decodeRequest(Prefix).has_value()) << "prefix " << Len;
+  }
+  std::vector<std::uint8_t> Padded = Bytes;
+  Padded.push_back(0);
+  EXPECT_FALSE(decodeRequest(Padded).has_value());
+}
+
+TEST(Protocol, RejectsOversizedMatrixHeader) {
+  // A forged species count beyond the protocol cap must be rejected
+  // before any n^2 allocation happens.
+  BuildRequest R;
+  R.Matrix = DistanceMatrix(2);
+  std::vector<std::uint8_t> Bytes = encodeRequest(makeBuildRequest(R));
+  // Layout: verb u8, version u32, generator u8, then the i32 species
+  // count of the inline matrix.
+  std::size_t CountOffset = 1 + 4 + 1;
+  std::uint32_t Huge = 1u << 30;
+  for (int I = 0; I < 4; ++I)
+    Bytes[CountOffset + I] = static_cast<std::uint8_t>(Huge >> (8 * I));
+  EXPECT_FALSE(decodeRequest(Bytes).has_value());
+}
+
+TEST(Protocol, RejectsNegativeAndNanDistances) {
+  // DistanceMatrix itself refuses such values (asserts in debug), so
+  // forge them on the wire: overwrite the single f64 distance of a
+  // 2-species request. It sits right before the 20 trailing bytes of
+  // knob fields (mode u8, 3-3 u8, cap i32, polish u8, budget u64,
+  // deadline u32, cache u8).
+  DistanceMatrix M(2);
+  M.set(0, 1, 3.0);
+  BuildRequest R;
+  R.Matrix = M;
+  std::vector<std::uint8_t> Good = encodeRequest(makeBuildRequest(R));
+  ASSERT_TRUE(decodeRequest(Good).has_value());
+
+  auto withDistance = [&](double Value) {
+    std::vector<std::uint8_t> Forged = Good;
+    std::uint64_t Bits = 0;
+    std::memcpy(&Bits, &Value, sizeof(Bits));
+    std::size_t Offset = Forged.size() - 20 - 8;
+    for (int I = 0; I < 8; ++I)
+      Forged[Offset + static_cast<std::size_t>(I)] =
+          static_cast<std::uint8_t>(Bits >> (8 * I));
+    return Forged;
+  };
+  ASSERT_TRUE(decodeRequest(withDistance(3.0)).has_value()); // offset sane
+  EXPECT_FALSE(decodeRequest(withDistance(-1.0)).has_value());
+  EXPECT_FALSE(
+      decodeRequest(withDistance(std::numeric_limits<double>::quiet_NaN()))
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histogram
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogram, PercentilesAreOrderedAndInRange) {
+  LatencyHistogram H;
+  EXPECT_DOUBLE_EQ(H.percentileMillis(0.5), 0.0);
+  for (int I = 0; I < 95; ++I)
+    H.record(1.0);
+  for (int I = 0; I < 5; ++I)
+    H.record(200.0);
+  double P50 = H.percentileMillis(0.50);
+  double P95 = H.percentileMillis(0.95);
+  EXPECT_GT(P50, 0.2);
+  EXPECT_LT(P50, 3.0); // power-of-two buckets: within ~2x of 1ms
+  EXPECT_LE(P50, P95);
+  double P99 = H.percentileMillis(0.99);
+  EXPECT_GT(P99, 100.0);
+  EXPECT_LT(P99, 500.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback service
+//===----------------------------------------------------------------------===//
+
+TEST(TreeService, ConcurrentClientsMatchDirectPipeline) {
+  // Direct single-threaded reference results for three matrices.
+  std::vector<DistanceMatrix> Matrices;
+  std::vector<std::string> WantNewick;
+  std::vector<double> WantCost;
+  for (std::uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(10 + 2 * static_cast<int>(Seed),
+                                           Seed);
+    PipelineResult Direct = buildCompactSetTree(M, defaultPipelineOptions());
+    Matrices.push_back(std::move(M));
+    WantNewick.push_back(toNewick(Direct.Tree));
+    WantCost.push_back(Direct.Cost);
+  }
+
+  ServiceOptions Options;
+  Options.NumWorkers = 4;
+  TreeService Service(Options);
+
+  // 4 client threads, each submitting every matrix several times in a
+  // different order: exercises queue, workers and cache concurrently.
+  constexpr int NumClients = 4;
+  constexpr int Rounds = 3;
+  std::vector<std::thread> Clients;
+  std::vector<std::string> Failures[NumClients];
+  for (int C = 0; C < NumClients; ++C) {
+    Clients.emplace_back([&, C] {
+      for (int Round = 0; Round < Rounds; ++Round) {
+        for (std::size_t K = 0; K < Matrices.size(); ++K) {
+          std::size_t Pick = (K + static_cast<std::size_t>(C)) %
+                             Matrices.size();
+          BuildRequest R;
+          R.Matrix = Matrices[Pick];
+          BuildResponse Resp = Service.submit(std::move(R));
+          if (!Resp.ok())
+            Failures[C].push_back(Resp.Message);
+          else if (Resp.Newick != WantNewick[Pick] ||
+                   std::abs(Resp.Cost - WantCost[Pick]) > 1e-9)
+            Failures[C].push_back("mismatch on matrix " +
+                                  std::to_string(Pick));
+        }
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  for (int C = 0; C < NumClients; ++C)
+    EXPECT_TRUE(Failures[C].empty())
+        << "client " << C << ": " << Failures[C].front();
+
+  StatsSnapshot S = Service.stats();
+  EXPECT_EQ(S.Accepted, static_cast<std::uint64_t>(NumClients) * Rounds * 3);
+  EXPECT_EQ(S.Completed, S.Accepted);
+  EXPECT_EQ(S.Failed, 0u);
+  // 12 submissions per matrix and only the first can miss everywhere;
+  // some overlap is guaranteed to hit one of the two cache layers.
+  EXPECT_GT(S.WholeHits + S.BlockHits, 0u);
+}
+
+TEST(TreeService, RelabeledDuplicateHitsWholeCache) {
+  DistanceMatrix M = uniformRandomMetric(12, 42);
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  TreeService Service(Options);
+
+  BuildRequest First;
+  First.Matrix = M;
+  BuildResponse R1 = Service.submit(std::move(First));
+  ASSERT_TRUE(R1.ok()) << R1.Message;
+  ASSERT_TRUE(R1.Exact); // only exact results are cached
+  EXPECT_FALSE(R1.CacheHit);
+
+  // The same metric under a different labeling: must be answered from
+  // the whole-matrix cache without running a solver.
+  std::vector<int> Perm(12);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  std::reverse(Perm.begin(), Perm.end());
+  BuildRequest Second;
+  Second.Matrix = M.permuted(Perm);
+  for (int I = 0; I < 12; ++I)
+    Second.Matrix.setName(I, "relabeled_" + std::to_string(I));
+  BuildResponse R2 = Service.submit(std::move(Second));
+  ASSERT_TRUE(R2.ok()) << R2.Message;
+  EXPECT_TRUE(R2.CacheHit);
+  EXPECT_NEAR(R2.Cost, R1.Cost, 1e-9);
+  EXPECT_NE(R2.Newick.find("relabeled_3"), std::string::npos);
+
+  std::optional<PhyloTree> Replayed = parseNewick(R2.Newick);
+  ASSERT_TRUE(Replayed.has_value());
+  EXPECT_EQ(Replayed->numLeaves(), 12);
+
+  StatsSnapshot S = Service.stats();
+  EXPECT_EQ(S.WholeHits, 1u);
+  EXPECT_EQ(S.WholeMisses, 1u);
+}
+
+TEST(TreeService, CacheOptOutSolvesFresh) {
+  DistanceMatrix M = uniformRandomMetric(10, 4);
+  TreeService Service;
+  BuildRequest First;
+  First.Matrix = M;
+  BuildResponse R1 = Service.submit(std::move(First));
+  ASSERT_TRUE(R1.ok());
+  BuildRequest Second;
+  Second.Matrix = M;
+  Second.UseCache = false;
+  BuildResponse R2 = Service.submit(std::move(Second));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_FALSE(R2.CacheHit);
+  EXPECT_EQ(R2.BlockCacheHits, 0u);
+  EXPECT_EQ(R2.Newick, R1.Newick); // still deterministic
+}
+
+TEST(TreeService, KnobsArePartOfTheCacheKey) {
+  DistanceMatrix M = uniformRandomMetric(12, 8);
+  TreeService Service;
+  BuildRequest MaxMode;
+  MaxMode.Matrix = M;
+  BuildResponse R1 = Service.submit(std::move(MaxMode));
+  ASSERT_TRUE(R1.ok());
+
+  BuildRequest AvgMode;
+  AvgMode.Matrix = M;
+  AvgMode.Mode = CondenseMode::Average;
+  BuildResponse R2 = Service.submit(std::move(AvgMode));
+  ASSERT_TRUE(R2.ok());
+  // A different condense mode must not be answered from the Maximum
+  // entry (costs may or may not differ; the hit flag must not lie).
+  EXPECT_FALSE(R2.CacheHit);
+}
+
+TEST(TreeService, RejectsBadAndOversizedRequests) {
+  ServiceOptions Options;
+  Options.MaxSpecies = 32;
+  TreeService Service(Options);
+
+  BuildRequest Empty; // neither matrix nor generator
+  EXPECT_EQ(Service.submit(std::move(Empty)).Error, ServiceError::BadMatrix);
+
+  BuildRequest TooBig;
+  TooBig.Generator = GeneratorKind::Uniform;
+  TooBig.GenSpecies = 100;
+  EXPECT_EQ(Service.submit(std::move(TooBig)).Error,
+            ServiceError::BadRequest);
+
+  BuildRequest Inline;
+  Inline.Matrix = uniformRandomMetric(33, 1);
+  EXPECT_EQ(Service.submit(std::move(Inline)).Error, ServiceError::TooLarge);
+
+  BuildRequest Single;
+  Single.Matrix = DistanceMatrix(1);
+  BuildResponse R = Service.submit(std::move(Single));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.Exact);
+  EXPECT_EQ(R.Cost, 0.0);
+}
+
+TEST(TreeService, DeadlineExpiredIsAStructuredError) {
+  // One worker, and a blocker in front that branches a large (but
+  // budget-bounded) number of B&B nodes: by the time the worker reaches
+  // the second job its 1ms deadline has long expired, which must yield
+  // a structured error, not a stall or a silent heuristic answer.
+  ServiceOptions Options;
+  Options.NumWorkers = 1;
+  TreeService Service(Options);
+
+  BuildRequest Blocker;
+  Blocker.Matrix = narrowBandMatrix(18, 3);
+  Blocker.MaxExactBlockSize = 18;
+  Blocker.NodeBudget = 400'000;
+  Blocker.UseCache = false;
+  std::future<BuildResponse> BlockerDone =
+      Service.submitAsync(std::move(Blocker));
+
+  BuildRequest Doomed;
+  Doomed.Matrix = uniformRandomMetric(8, 1);
+  Doomed.DeadlineMillis = 1;
+  std::future<BuildResponse> DoomedDone =
+      Service.submitAsync(std::move(Doomed));
+
+  BuildResponse BlockerResp = BlockerDone.get();
+  EXPECT_TRUE(BlockerResp.ok()) << BlockerResp.Message;
+  BuildResponse DoomedResp = DoomedDone.get();
+  EXPECT_EQ(DoomedResp.Error, ServiceError::DeadlineExpired);
+  EXPECT_FALSE(DoomedResp.Message.empty());
+  EXPECT_GE(Service.stats().DeadlineExpired, 1u);
+}
+
+TEST(TreeService, DeadlineCapsNodeBudget) {
+  // A request with both a node budget and a deadline gets the tighter
+  // of the two: the solver must never branch past its explicit budget.
+  TreeService Service;
+  BuildRequest R;
+  R.Matrix = narrowBandMatrix(14, 9);
+  R.MaxExactBlockSize = 14;
+  R.NodeBudget = 1000;
+  R.DeadlineMillis = 60'000;
+  BuildResponse Resp = Service.submit(std::move(R));
+  ASSERT_TRUE(Resp.ok()) << Resp.Message;
+  EXPECT_LE(Resp.Branched, 1000u + 14);
+}
+
+TEST(TreeService, CleanShutdownWithJobsInFlight) {
+  ServiceOptions Options;
+  Options.NumWorkers = 1;
+  TreeService Service(Options);
+
+  std::vector<std::future<BuildResponse>> Futures;
+  for (int I = 0; I < 6; ++I) {
+    BuildRequest R;
+    R.Matrix = narrowBandMatrix(14, static_cast<std::uint64_t>(I));
+    R.MaxExactBlockSize = 14;
+    R.NodeBudget = 50'000;
+    Futures.push_back(Service.submitAsync(std::move(R)));
+  }
+  Service.stop();
+
+  // Every admitted job must be answered: solved if a worker got to it,
+  // failed with ShuttingDown otherwise — never a broken promise.
+  int Solved = 0, Failed = 0;
+  for (std::future<BuildResponse> &F : Futures) {
+    BuildResponse R = F.get();
+    if (R.ok())
+      ++Solved;
+    else {
+      EXPECT_EQ(R.Error, ServiceError::ShuttingDown);
+      ++Failed;
+    }
+  }
+  EXPECT_EQ(Solved + Failed, 6);
+
+  // Post-shutdown submissions are refused, not queued forever.
+  BuildRequest Late;
+  Late.Matrix = uniformRandomMetric(6, 1);
+  EXPECT_EQ(Service.submit(std::move(Late)).Error,
+            ServiceError::ShuttingDown);
+  Service.stop(); // idempotent
+}
+
+TEST(TreeService, HandleDispatchesProtocolVerbs) {
+  TreeService Service;
+  Request Ping;
+  Ping.V = Verb::Ping;
+  EXPECT_TRUE(Service.handle(Ping).ok());
+
+  Request Build = makeBuildRequest([] {
+    BuildRequest R;
+    R.Generator = GeneratorKind::Ultrametric;
+    R.GenSpecies = 9;
+    R.GenSeed = 5;
+    return R;
+  }());
+  Response BuildResp = Service.handle(Build);
+  ASSERT_TRUE(BuildResp.ok()) << BuildResp.Message;
+  std::optional<PhyloTree> Tree = parseNewick(BuildResp.Build.Newick);
+  ASSERT_TRUE(Tree.has_value());
+  EXPECT_EQ(Tree->numLeaves(), 9);
+
+  Request Stats;
+  Stats.V = Verb::Stats;
+  Response StatsResp = Service.handle(Stats);
+  ASSERT_TRUE(StatsResp.ok());
+  EXPECT_EQ(StatsResp.Stats.Accepted, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Socket transport
+//===----------------------------------------------------------------------===//
+
+TEST(SocketServer, UnixSocketEndToEnd) {
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  TreeService Service(Options);
+  SocketServer Server(Service);
+  std::string Path = testing::TempDir() + "mutk_service_test.sock";
+  std::string Error;
+  ASSERT_TRUE(Server.listenUnix(Path, &Error)) << Error;
+  Server.start();
+
+  ServiceClient Client;
+  ASSERT_TRUE(Client.connectUnix(Path, &Error)) << Error;
+  EXPECT_TRUE(Client.ping(&Error)) << Error;
+
+  BuildRequest R;
+  R.Matrix = uniformRandomMetric(10, 6);
+  std::optional<BuildResponse> Resp = Client.build(R, &Error);
+  ASSERT_TRUE(Resp.has_value()) << Error;
+  ASSERT_TRUE(Resp->ok()) << Resp->Message;
+  PipelineResult Direct =
+      buildCompactSetTree(R.Matrix, defaultPipelineOptions());
+  EXPECT_EQ(Resp->Newick, toNewick(Direct.Tree));
+  EXPECT_NEAR(Resp->Cost, Direct.Cost, 1e-9);
+
+  std::optional<StatsSnapshot> S = Client.stats(&Error);
+  ASSERT_TRUE(S.has_value()) << Error;
+  EXPECT_GE(S->Accepted, 1u);
+
+  EXPECT_TRUE(Client.shutdownServer(&Error)) << Error;
+  Server.waitForShutdown();
+  Server.stop();
+  Service.stop();
+}
+
+// Regression: a failed Build echoes the Build verb with no body; the
+// client must surface the outer error code instead of returning a
+// default-constructed (silently successful) BuildResponse.
+TEST(SocketServer, BuildErrorsCrossTheWire) {
+  TreeService Service;
+  SocketServer Server(Service);
+  std::string Path = testing::TempDir() + "mutk_service_err.sock";
+  std::string Error;
+  ASSERT_TRUE(Server.listenUnix(Path, &Error)) << Error;
+  Server.start();
+
+  ServiceClient Client;
+  ASSERT_TRUE(Client.connectUnix(Path, &Error)) << Error;
+
+  BuildRequest R;
+  R.Generator = GeneratorKind::Uniform;
+  R.GenSpecies = 1 << 20;
+  std::optional<BuildResponse> Resp = Client.build(R, &Error);
+  ASSERT_TRUE(Resp.has_value()) << Error;
+  EXPECT_EQ(Resp->Error, ServiceError::BadRequest);
+  EXPECT_FALSE(Resp->Message.empty());
+
+  Server.stop();
+  Service.stop();
+}
+
+TEST(SocketServer, TcpEphemeralPortEndToEnd) {
+  TreeService Service;
+  SocketServer Server(Service);
+  std::string Error;
+  ASSERT_TRUE(Server.listenTcp("127.0.0.1", 0, &Error)) << Error;
+  ASSERT_GT(Server.port(), 0);
+  Server.start();
+
+  ServiceClient Client;
+  ASSERT_TRUE(Client.connectTcp("127.0.0.1", Server.port(), &Error)) << Error;
+  EXPECT_TRUE(Client.ping(&Error)) << Error;
+  BuildRequest R;
+  R.Generator = GeneratorKind::Uniform;
+  R.GenSpecies = 8;
+  R.GenSeed = 2;
+  std::optional<BuildResponse> Resp = Client.build(R, &Error);
+  ASSERT_TRUE(Resp.has_value()) << Error;
+  EXPECT_TRUE(Resp->ok()) << Resp->Message;
+  Client.disconnect();
+  Server.stop();
+  Service.stop();
+}
+
+TEST(SocketServer, AnswersGarbageWithBadFrame) {
+  TreeService Service;
+  SocketServer Server(Service);
+  std::string Path = testing::TempDir() + "mutk_badframe_test.sock";
+  std::string Error;
+  ASSERT_TRUE(Server.listenUnix(Path, &Error)) << Error;
+  Server.start();
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  // A well-framed payload that does not decode as any request.
+  ASSERT_TRUE(writeFrame(Fd, {0xde, 0xad, 0xbe, 0xef}));
+  std::vector<std::uint8_t> Payload;
+  ASSERT_TRUE(readFrame(Fd, Payload));
+  std::optional<Response> Resp = decodeResponse(Payload);
+  ASSERT_TRUE(Resp.has_value());
+  EXPECT_EQ(Resp->Error, ServiceError::BadFrame);
+  ::close(Fd);
+
+  Server.stop();
+  Service.stop();
+}
+
+TEST(SocketServer, StopWithConnectedClientDoesNotHang) {
+  TreeService Service;
+  SocketServer Server(Service);
+  std::string Path = testing::TempDir() + "mutk_stop_test.sock";
+  ASSERT_TRUE(Server.listenUnix(Path));
+  Server.start();
+  ServiceClient Client;
+  ASSERT_TRUE(Client.connectUnix(Path));
+  ASSERT_TRUE(Client.ping());
+  // Client stays connected and idle; stop() must shut the connection
+  // down rather than wait for the client to hang up.
+  Server.stop();
+  Service.stop();
+  EXPECT_FALSE(Client.ping());
+}
