@@ -1,0 +1,61 @@
+# Sanitizer and invariant-audit toggles shared by every preset.
+#
+# MUTK_SANITIZE is a semicolon-separated list of sanitizers to compile
+# and link the whole tree with. Supported combinations:
+#
+#   -DMUTK_SANITIZE=address;undefined   (the `asan` preset)
+#   -DMUTK_SANITIZE=thread              (the `tsan` preset)
+#
+# ThreadSanitizer is incompatible with AddressSanitizer/LeakSanitizer,
+# so mixing them is rejected at configure time instead of failing with
+# an obscure compiler error later.
+#
+# MUTK_AUDIT controls the MUTK_AUDIT(...) runtime invariant checks
+# (support/Audit.h): AUTO enables them for Debug and any sanitized
+# build, ON/OFF force them. Release builds with AUTO compile the audits
+# out entirely.
+
+set(MUTK_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address, undefined, leak, thread")
+set(MUTK_AUDIT "AUTO" CACHE STRING
+    "Runtime invariant audits: AUTO (Debug/sanitized only), ON, OFF")
+set_property(CACHE MUTK_AUDIT PROPERTY STRINGS AUTO ON OFF)
+
+if(MUTK_SANITIZE)
+  set(_mutk_known_sanitizers address undefined leak thread)
+  foreach(_san IN LISTS MUTK_SANITIZE)
+    if(NOT _san IN_LIST _mutk_known_sanitizers)
+      message(FATAL_ERROR "MUTK_SANITIZE: unknown sanitizer '${_san}' "
+                          "(supported: ${_mutk_known_sanitizers})")
+    endif()
+  endforeach()
+  if("thread" IN_LIST MUTK_SANITIZE AND
+     ("address" IN_LIST MUTK_SANITIZE OR "leak" IN_LIST MUTK_SANITIZE))
+    message(FATAL_ERROR "MUTK_SANITIZE: thread cannot be combined with "
+                        "address/leak (TSan owns the shadow memory)")
+  endif()
+
+  string(REPLACE ";" "," _mutk_sanitize_flag "${MUTK_SANITIZE}")
+  add_compile_options(-fsanitize=${_mutk_sanitize_flag}
+                      -fno-sanitize-recover=all
+                      -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_mutk_sanitize_flag})
+  message(STATUS "mutk: sanitizers enabled: ${MUTK_SANITIZE}")
+endif()
+
+if(MUTK_AUDIT STREQUAL "ON")
+  set(_mutk_audit_on TRUE)
+elseif(MUTK_AUDIT STREQUAL "OFF")
+  set(_mutk_audit_on FALSE)
+else() # AUTO: audits ride along with any debugging/sanitizing build
+  if(MUTK_SANITIZE OR CMAKE_BUILD_TYPE STREQUAL "Debug")
+    set(_mutk_audit_on TRUE)
+  else()
+    set(_mutk_audit_on FALSE)
+  endif()
+endif()
+
+if(_mutk_audit_on)
+  add_compile_definitions(MUTK_ENABLE_AUDIT=1)
+  message(STATUS "mutk: runtime invariant audits enabled")
+endif()

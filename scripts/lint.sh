@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Lint gate for the mutk tree.
+#
+# Two layers:
+#   1. clang-tidy over the compilation database (config: .clang-tidy,
+#      warnings are errors). Skipped with a warning when clang-tidy is
+#      not installed, unless MUTK_LINT_REQUIRE_TIDY=1 (CI sets this).
+#   2. Repo-specific greps that codify project rules clang-tidy cannot
+#      express: no naked new/delete outside RAII wrappers, no rand()
+#      (all randomness goes through SplitMix64/std engines with seeds),
+#      no sleep-based synchronization in src/, and no mutable shared
+#      counters that bypass <atomic>.
+#
+# Usage: scripts/lint.sh [build-dir]
+#   build-dir must contain compile_commands.json (any preset works;
+#   defaults to ./build). Exits non-zero on any finding.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+FAILED=0
+
+note() { printf '%s\n' "$*"; }
+fail() {
+  printf 'lint: %s\n' "$*" >&2
+  FAILED=1
+}
+
+# --- Layer 1: clang-tidy ---------------------------------------------------
+
+run_clang_tidy() {
+  local tidy=""
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+  if [ -z "$tidy" ]; then
+    if [ "${MUTK_LINT_REQUIRE_TIDY:-0}" = "1" ]; then
+      fail "clang-tidy not found but MUTK_LINT_REQUIRE_TIDY=1"
+    else
+      note "lint: clang-tidy not installed; skipping static analysis layer"
+    fi
+    return
+  fi
+  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    fail "no compile_commands.json in ${BUILD_DIR} (configure with cmake first)"
+    return
+  fi
+  note "lint: running ${tidy} over src/ (config: .clang-tidy)"
+  # Sources only; headers are pulled in via HeaderFilterRegex.
+  local sources
+  sources=$(cd "$REPO_ROOT" && find src -name '*.cpp' | sort)
+  local runner=""
+  for cand in run-clang-tidy run-clang-tidy-18 run-clang-tidy-17 \
+              run-clang-tidy-16 run-clang-tidy-15 run-clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      runner="$cand"
+      break
+    fi
+  done
+  if [ -n "$runner" ]; then
+    # shellcheck disable=SC2086  # word-splitting the file list is intended
+    if ! (cd "$REPO_ROOT" &&
+          "$runner" -clang-tidy-binary "$(command -v "$tidy")" -quiet \
+                    -p "$BUILD_DIR" $sources); then
+      fail "clang-tidy reported findings"
+    fi
+  else
+    # shellcheck disable=SC2086
+    if ! (cd "$REPO_ROOT" && "$tidy" -p "$BUILD_DIR" --quiet $sources); then
+      fail "clang-tidy reported findings"
+    fi
+  fi
+}
+
+run_clang_tidy
+
+# --- Layer 2: repo-specific greps ------------------------------------------
+
+# grep_rule <description> <pattern>
+# Flags any match in src/ (tests and examples are exempt: they may
+# exercise forbidden constructs deliberately). Line comments are
+# stripped before the pattern is re-applied so prose about "the new
+# node" does not trip the naked-new rule.
+grep_rule() {
+  local desc="$1" pattern="$2"
+  local hits
+  hits=$(cd "$REPO_ROOT" &&
+         grep -rnE "$pattern" src --include='*.cpp' --include='*.h' \
+           2>/dev/null |
+         sed 's|//.*||' | grep -E "$pattern")
+  if [ -n "$hits" ]; then
+    fail "$desc"
+    printf '%s\n' "$hits" >&2
+  fi
+}
+
+# Ownership is std::unique_ptr/std::vector everywhere; a naked new or
+# delete is a leak waiting for an early return.
+grep_rule "naked 'new' expression (use std::make_unique / containers)" \
+  '(^|[^[:alnum:]_."])new[[:space:]]+[[:alnum:]_:<]'
+grep_rule "naked 'delete' expression (use RAII ownership)" \
+  '(^|[^[:alnum:]_."])delete([[:space:]]*\[\])?[[:space:]]+[[:alnum:]_]'
+
+# All randomness must be seedable and reproducible: SplitMix64 or a
+# std engine with an explicit seed — never the global C PRNG.
+grep_rule "C PRNG (rand/srand/random); use SplitMix64 or seeded std engines" \
+  '(^|[^[:alnum:]_."])s?rand(om)?[[:space:]]*\('
+
+# Cross-thread counters must be std::atomic (or guarded and documented);
+# "volatile" is never a synchronization primitive.
+grep_rule "volatile used as a (non-)synchronization primitive" \
+  '(^|[^[:alnum:]_."])volatile[[:space:]]'
+
+# Sleeping is not synchronization. Production code coordinates with
+# condition variables and join(); sleeps belong in tests only.
+grep_rule "sleep-based waiting in src/ (use condition variables)" \
+  'sleep_for|sleep_until|usleep\(|::sleep\('
+
+# printf-family debugging must not linger outside the designated
+# reporting surfaces (tools, Audit failure reporting, ASCII renderers).
+DEBUG_PRINT_ALLOWLIST='src/support/Audit.cpp|src/tools/|src/analysis/'
+hits=$(cd "$REPO_ROOT" &&
+       grep -rnE '(^|[^[:alnum:]_."])fprintf\(stderr' src \
+         --include='*.cpp' --include='*.h' 2>/dev/null |
+       grep -vE "^(${DEBUG_PRINT_ALLOWLIST})")
+if [ -n "$hits" ]; then
+  fail "stray fprintf(stderr, ...) debugging outside reporting surfaces"
+  printf '%s\n' "$hits" >&2
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  note "lint: FAILED"
+  exit 1
+fi
+note "lint: OK"

@@ -3,6 +3,7 @@
 #include "bnb/BestFirstBnb.h"
 
 #include "bnb/Engine.h"
+#include "support/Audit.h"
 
 #include <cmath>
 #include <queue>
@@ -101,5 +102,10 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
   Result.Tree = std::move(Best);
   Result.Cost = Ub;
   Result.AllOptimal = std::move(Optimal);
+  // Same contract as the DFS solver: the answer must be feasible.
+  MUTK_AUDIT(Result.Tree.hasMonotoneHeights(),
+             "best-first B&B result must be ultrametric");
+  MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
+             "best-first B&B result must dominate the input matrix");
   return Result;
 }

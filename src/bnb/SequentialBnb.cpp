@@ -3,6 +3,7 @@
 #include "bnb/SequentialBnb.h"
 
 #include "bnb/Engine.h"
+#include "support/Audit.h"
 
 #include <cmath>
 
@@ -91,5 +92,12 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
   Result.Tree = std::move(Best);
   Result.Cost = Ub;
   Result.AllOptimal = std::move(Optimal);
+  // Any answer — optimal, truncated, or the UPGMM seed — must be a
+  // feasible ultrametric tree for M (Definition 8: d_T >= M).
+  MUTK_AUDIT(Result.Tree.hasMonotoneHeights(),
+             "B&B result must be ultrametric (leaves at 0, heights "
+             "nondecreasing toward the root)");
+  MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
+             "B&B result must dominate the input matrix (d_T >= M)");
   return Result;
 }

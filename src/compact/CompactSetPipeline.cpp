@@ -7,6 +7,8 @@
 #include "heur/NniSearch.h"
 #include "heur/Upgma.h"
 #include "matrix/Fingerprint.h"
+#include "matrix/MetricUtils.h"
+#include "support/Audit.h"
 
 #include <algorithm>
 #include <cassert>
@@ -187,7 +189,15 @@ PipelineResult mutk::buildCompactSetTree(const DistanceMatrix &M,
     return Result;
   }
 
+  // The MUT problem (and the compactness lemmas) assume a metric input;
+  // non-metric matrices reach here only through a bug upstream.
+  MUTK_AUDIT(M.size() > MaxAuditedSpecies || isMetric(M),
+             "pipeline input must satisfy the triangle inequality "
+             "(Definition 2)");
+
   Result.Sets = findCompactSets(M);
+  MUTK_AUDIT(isLaminarFamily(Result.Sets),
+             "detected compact sets must be laminar (Lemma 3)");
   CompactHierarchy Hierarchy(M.size(), Result.Sets);
 
   PipelineState State{M, Options, Hierarchy, Result};
@@ -201,5 +211,18 @@ PipelineResult mutk::buildCompactSetTree(const DistanceMatrix &M,
   }
   Result.Cost = Tree.weight();
   Result.Tree = std::move(Tree);
+  // Maximum condensation is the mode with the paper's feasibility
+  // guarantee: the merged tree never understates a distance, and no
+  // merge step had to clamp a height (Minimum/Average trade exactly
+  // this away, so they are exempt).
+  if (Options.Mode == CondenseMode::Maximum) {
+    MUTK_AUDIT(Result.HeightClamps == 0,
+               "maximum condensation must never clamp merge heights");
+    MUTK_AUDIT(Result.Tree.hasMonotoneHeights(),
+               "merged tree must be ultrametric");
+    MUTK_AUDIT(M.size() > MaxAuditedSpecies ||
+                   Result.Tree.dominatesMatrix(M),
+               "merged tree must dominate the input matrix (d_T >= M)");
+  }
   return Result;
 }

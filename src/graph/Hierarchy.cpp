@@ -2,6 +2,8 @@
 
 #include "graph/Hierarchy.h"
 
+#include "support/Audit.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -11,7 +13,11 @@ CompactHierarchy::CompactHierarchy(int NumSpecies,
                                    const std::vector<CompactSet> &Sets)
     : NumSpecies(NumSpecies) {
   assert(NumSpecies >= 1 && "need at least one species");
-  assert(isLaminarFamily(Sets) && "compact sets must be laminar");
+  // Audited (not just asserted): laminarity is the paper's Lemma 3 and
+  // every condensation step depends on it, so sanitizer builds — which
+  // define NDEBUG in RelWithDebInfo — must still check it.
+  MUTK_AUDIT(isLaminarFamily(Sets),
+             "compact sets must form a laminar family (Lemma 3)");
 
   // Gather distinct member lists, largest first so parents precede
   // children when we link below.
@@ -84,6 +90,17 @@ std::vector<std::vector<int>> CompactHierarchy::partitionAt(int Id) const {
   std::vector<std::vector<int>> Blocks;
   for (int Child : node(Id).Children)
     Blocks.push_back(node(Child).Species);
+  // The blocks must partition the node's species: each member covered by
+  // exactly one block, nothing from outside.
+  MUTK_AUDIT(
+      [&] {
+        std::vector<int> Flat;
+        for (const std::vector<int> &Block : Blocks)
+          Flat.insert(Flat.end(), Block.begin(), Block.end());
+        std::sort(Flat.begin(), Flat.end());
+        return Flat == node(Id).Species;
+      }(),
+      "hierarchy children must partition their parent's species");
   return Blocks;
 }
 

@@ -3,6 +3,7 @@
 #include "matrix/Generators.h"
 
 #include "matrix/MetricUtils.h"
+#include "support/Audit.h"
 #include "support/Rng.h"
 
 #include <cassert>
@@ -18,7 +19,10 @@ DistanceMatrix mutk::uniformRandomMetric(int NumSpecies, std::uint64_t Seed,
   for (int I = 0; I < NumSpecies; ++I)
     for (int J = I + 1; J < NumSpecies; ++J)
       M.set(I, J, Rand.nextDouble(MinValue, MaxValue));
-  return metricClosure(M);
+  DistanceMatrix Closed = metricClosure(M);
+  MUTK_AUDIT(Closed.size() > MaxAuditedSpecies || isMetric(Closed),
+             "metric closure must yield a metric");
+  return Closed;
 }
 
 namespace {
@@ -99,6 +103,9 @@ DistanceMatrix mutk::randomUltrametricMatrix(int NumSpecies,
   }
 
   fillDistances(Nodes, 0, M);
+  MUTK_AUDIT(M.size() > MaxAuditedSpecies || isUltrametric(M),
+             "tree-realized distances must satisfy the three-point "
+             "condition");
   return M;
 }
 
@@ -113,7 +120,10 @@ DistanceMatrix mutk::plantedClusterMetric(int NumSpecies, std::uint64_t Seed,
       M.set(I, J, M.at(I, J) * (1.0 - Jitter * Rand.nextDouble()));
   // The jitter can introduce small triangle violations; the closure repairs
   // them while preserving the planted cluster structure.
-  return metricClosure(M);
+  DistanceMatrix Closed = metricClosure(M);
+  MUTK_AUDIT(Closed.size() > MaxAuditedSpecies || isMetric(Closed),
+             "metric closure must yield a metric");
+  return Closed;
 }
 
 DistanceMatrix mutk::scaledToMax(const DistanceMatrix &M, double NewMax) {

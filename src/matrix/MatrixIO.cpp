@@ -2,6 +2,8 @@
 
 #include "matrix/MatrixIO.h"
 
+#include "support/Audit.h"
+
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -75,6 +77,20 @@ std::optional<DistanceMatrix> mutk::readMatrix(std::istream &IS,
       M.set(I, J, A);
     }
   }
+  // What the parser just promised its callers: a zero diagonal and exact
+  // symmetry (DistanceMatrix::set mirrors every entry).
+  MUTK_AUDIT(
+      [&] {
+        for (int I = 0; I < N; ++I) {
+          if (M.at(I, I) != 0.0)
+            return false;
+          for (int J = I + 1; J < N; ++J)
+            if (M.at(I, J) != M.at(J, I) || M.at(I, J) < 0.0)
+              return false;
+        }
+        return true;
+      }(),
+      "parsed matrix must be symmetric, nonnegative, zero-diagonal");
   return M;
 }
 

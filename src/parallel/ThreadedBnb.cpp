@@ -3,6 +3,7 @@
 #include "parallel/ThreadedBnb.h"
 
 #include "bnb/Engine.h"
+#include "support/Audit.h"
 
 #include <algorithm>
 #include <atomic>
@@ -245,5 +246,12 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
     }
   }
   Result.Stats.Complete = !Shared.Cancelled;
+  // Same contract as the sequential solver: whatever tree we answer with
+  // must be a feasible ultrametric tree for M.
+  MUTK_AUDIT(Result.Tree.hasMonotoneHeights(),
+             "threaded B&B result must be ultrametric");
+  MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
+             "threaded B&B result must dominate the input matrix "
+             "(d_T >= M)");
   return Result;
 }

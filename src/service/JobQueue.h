@@ -14,6 +14,8 @@
 #ifndef MUTK_SERVICE_JOBQUEUE_H
 #define MUTK_SERVICE_JOBQUEUE_H
 
+#include "support/Audit.h"
+
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -39,6 +41,8 @@ public:
     if (Closed)
       return false;
     Items.push_back(std::move(Item));
+    MUTK_AUDIT(Items.size() <= Capacity,
+               "bounded queue exceeded its capacity");
     NotEmpty.notify_one();
     return true;
   }
@@ -50,6 +54,8 @@ public:
     if (Closed || Items.size() >= Capacity)
       return false;
     Items.push_back(std::move(Item));
+    MUTK_AUDIT(Items.size() <= Capacity,
+               "bounded queue exceeded its capacity");
     NotEmpty.notify_one();
     return true;
   }

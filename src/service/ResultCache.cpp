@@ -2,9 +2,31 @@
 
 #include "service/ResultCache.h"
 
+#include "support/Audit.h"
+
 #include <algorithm>
 
 using namespace mutk;
+
+namespace {
+
+/// Shard structural invariants, checked under the shard lock: the index
+/// mirrors the LRU list one-to-one and capacity is respected.
+#if MUTK_AUDIT_ENABLED
+template <typename ShardT>
+bool shardConsistent(const ShardT &S, std::size_t CapacityPerShard) {
+  if (S.Index.size() != S.Lru.size() || S.Lru.size() > CapacityPerShard)
+    return false;
+  for (auto It = S.Lru.begin(); It != S.Lru.end(); ++It) {
+    auto Found = S.Index.find(It->first);
+    if (Found == S.Index.end() || Found->second != It)
+      return false;
+  }
+  return true;
+}
+#endif
+
+} // namespace
 
 ShardedLruCache::ShardedLruCache(std::size_t Capacity, int NumShards) {
   NumShards = std::max(1, NumShards);
@@ -34,6 +56,8 @@ ShardedLruCache::lookup(std::uint64_t Key,
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Hits.fetch_add(1, std::memory_order_relaxed);
+  MUTK_AUDIT(shardConsistent(S, CapacityPerShard),
+             "cache shard index/LRU desynchronized after lookup");
   return It->second->second;
 }
 
@@ -55,6 +79,8 @@ void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
   }
   S.Lru.emplace_front(Key, std::move(Value));
   S.Index.emplace(Key, S.Lru.begin());
+  MUTK_AUDIT(shardConsistent(S, CapacityPerShard),
+             "cache shard index/LRU desynchronized after store");
 }
 
 void ShardedLruCache::clear() {

@@ -150,7 +150,8 @@ void SocketServer::start() {
 
 void SocketServer::acceptLoop() {
   while (Running.load(std::memory_order_acquire)) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(ListenFd.load(std::memory_order_acquire), nullptr,
+                      nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
@@ -203,17 +204,16 @@ void SocketServer::stop() {
   std::lock_guard<std::mutex> StopLock(StopMu);
   if (!Running.exchange(false)) {
     // Never started (or already stopped): still release the listener.
-    if (ListenFd >= 0) {
-      ::close(ListenFd);
-      ListenFd = -1;
-    }
+    int Fd = ListenFd.exchange(-1);
+    if (Fd >= 0)
+      ::close(Fd);
   } else {
     // Closing the listener unblocks accept(); shutdown() covers the
     // accept-in-progress race on Linux.
-    if (ListenFd >= 0) {
-      ::shutdown(ListenFd, SHUT_RDWR);
-      ::close(ListenFd);
-      ListenFd = -1;
+    int Fd = ListenFd.exchange(-1);
+    if (Fd >= 0) {
+      ::shutdown(Fd, SHUT_RDWR);
+      ::close(Fd);
     }
     if (Acceptor.joinable())
       Acceptor.join();

@@ -66,7 +66,9 @@ private:
   void requestShutdown();
 
   TreeService &Service;
-  int ListenFd = -1;
+  /// Atomic: the acceptor thread reads it concurrently with `stop()`
+  /// closing the listener and writing -1.
+  std::atomic<int> ListenFd{-1};
   int BoundPort = -1;
   std::string UnixPath;
   std::thread Acceptor;

@@ -5,6 +5,7 @@
 #include "matrix/Fingerprint.h"
 #include "matrix/Generators.h"
 #include "seq/EvolutionSim.h"
+#include "support/Audit.h"
 #include "tree/Newick.h"
 
 #include <algorithm>
@@ -246,6 +247,18 @@ BuildResponse TreeService::process(const BuildRequest &Request,
       Counters.WholeHits.fetch_add(1, std::memory_order_relaxed);
       PhyloTree Tree = relabelLeaves(Hit->Tree, Form.Perm);
       Tree.setNames(M.names());
+      // A replayed tree must be exactly as good as a fresh solve: same
+      // leaf set, ultrametric, and (exact entries are stored only for
+      // the feasibility-guaranteeing Maximum mode knobs that are part
+      // of the key) dominating the request matrix.
+      MUTK_AUDIT(Tree.numLeaves() == M.size(),
+                 "cache replay must cover every requested species");
+      MUTK_AUDIT(Tree.hasMonotoneHeights(),
+                 "cache replay must stay ultrametric after relabeling");
+      MUTK_AUDIT(M.size() > MaxAuditedSpecies ||
+                     Request.Mode != CondenseMode::Maximum ||
+                     !Hit->Exact || Tree.dominatesMatrix(M),
+                 "cache replay must dominate the request matrix");
       Resp.Newick = toNewick(Tree);
       Resp.Cost = Hit->Cost;
       Resp.Exact = Hit->Exact;

@@ -1,0 +1,16 @@
+//===- support/Audit.cpp - Runtime invariant audits -----------------------===//
+
+#include "support/Audit.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void mutk::detail::auditFailure(const char *Condition, const char *File,
+                                int Line, const char *Message) {
+  // fprintf, not iostreams: audits fire from arbitrary threads and
+  // stderr must stay readable even mid-crash.
+  std::fprintf(stderr, "MUTK AUDIT FAILED: %s\n  at %s:%d\n  %s\n",
+               Condition, File, Line, Message);
+  std::fflush(stderr);
+  std::abort();
+}

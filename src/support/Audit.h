@@ -1,0 +1,64 @@
+//===- support/Audit.h - Runtime invariant audits ---------------*- C++ -*-===//
+///
+/// \file
+/// `MUTK_AUDIT(Cond, Message)`: a runtime check of a mathematical or
+/// structural invariant, compiled in only when the build defines
+/// `MUTK_ENABLE_AUDIT` (the Debug and sanitizer presets do; Release does
+/// not — see cmake/Sanitizers.cmake). A failed audit prints the
+/// condition, location and message to stderr and aborts, so sanitizer CI
+/// runs catch invariant drift exactly like they catch memory errors.
+///
+/// Contract:
+///  * The condition must be side-effect free — in Release builds it is
+///    never evaluated (the macro expands to nothing), so correctness must
+///    not depend on it running.
+///  * Audits may be arbitrarily expensive relative to asserts (full
+///    metricity scans, tree-vs-matrix domination checks); call sites
+///    bound the cost with `MaxAuditedSpecies` where the input size is
+///    unbounded.
+///  * Audits guard *invariants the code is supposed to establish*, not
+///    user input; bad input must still be rejected with error paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_AUDIT_H
+#define MUTK_SUPPORT_AUDIT_H
+
+#if defined(MUTK_ENABLE_AUDIT)
+#define MUTK_AUDIT_ENABLED 1
+#else
+#define MUTK_AUDIT_ENABLED 0
+#endif
+
+namespace mutk {
+
+/// True when MUTK_AUDIT checks are compiled into this build.
+constexpr bool auditsEnabled() { return MUTK_AUDIT_ENABLED != 0; }
+
+/// Inputs larger than this skip the superlinear audits (O(n^2) tree
+/// domination, O(n^3) metricity): big enough to cover every test and
+/// stress workload, small enough that a sanitized Debug run stays fast.
+constexpr int MaxAuditedSpecies = 256;
+
+namespace detail {
+/// Reports a failed audit and aborts. Out-of-line so the macro inlines
+/// to a single compare-and-branch at the call site.
+[[noreturn]] void auditFailure(const char *Condition, const char *File,
+                               int Line, const char *Message);
+} // namespace detail
+
+} // namespace mutk
+
+#if MUTK_AUDIT_ENABLED
+#define MUTK_AUDIT(Cond, Message)                                            \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::mutk::detail::auditFailure(#Cond, __FILE__, __LINE__, Message);      \
+  } while (false)
+#else
+#define MUTK_AUDIT(Cond, Message)                                            \
+  do {                                                                       \
+  } while (false)
+#endif
+
+#endif // MUTK_SUPPORT_AUDIT_H

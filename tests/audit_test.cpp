@@ -1,0 +1,82 @@
+//===- tests/audit_test.cpp - MUTK_AUDIT harness behavior -----------------===//
+//
+// Verifies the two halves of the audit contract (support/Audit.h): in
+// audit-enabled builds (Debug and every sanitizer preset) a violated
+// invariant aborts loudly — demonstrated by feeding a deliberately
+// non-metric matrix to the compact-set pipeline; in Release builds the
+// same code path runs to completion because the audits compile to
+// nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/CompactSetPipeline.h"
+#include "matrix/MetricUtils.h"
+#include "support/Audit.h"
+
+#include <gtest/gtest.h>
+
+using namespace mutk;
+
+namespace {
+
+/// d(0,2) = 100 while d(0,1) = d(1,2) = 1: a gross triangle-inequality
+/// violation no generator or repair pass would ever produce.
+DistanceMatrix nonMetricMatrix() {
+  DistanceMatrix M(4);
+  M.set(0, 1, 1.0);
+  M.set(1, 2, 1.0);
+  M.set(0, 2, 100.0);
+  M.set(0, 3, 1.0);
+  M.set(1, 3, 1.0);
+  M.set(2, 3, 1.0);
+  return M;
+}
+
+} // namespace
+
+TEST(Audit, BuildFlagMatchesConstexprProbe) {
+#if MUTK_AUDIT_ENABLED
+  EXPECT_TRUE(auditsEnabled());
+#else
+  EXPECT_FALSE(auditsEnabled());
+#endif
+}
+
+TEST(Audit, SampleMatrixReallyViolatesTheTriangleInequality) {
+  EXPECT_FALSE(isMetric(nonMetricMatrix()));
+}
+
+#if MUTK_AUDIT_ENABLED
+
+// The pipeline's entry audit must catch the violation and abort with
+// the audit banner (not crash some other way deeper in the solve).
+TEST(AuditDeathTest, NonMetricPipelineInputFires) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(buildCompactSetTree(nonMetricMatrix()),
+               "MUTK AUDIT FAILED");
+}
+
+// A passing audit is silent and free of side effects.
+TEST(Audit, MetricInputPassesAllAudits) {
+  DistanceMatrix M(3);
+  M.set(0, 1, 2.0);
+  M.set(1, 2, 2.0);
+  M.set(0, 2, 3.0);
+  PipelineResult R = buildCompactSetTree(M);
+  EXPECT_TRUE(R.Tree.isWellFormed());
+  EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+}
+
+#else
+
+// Release: the audit macro must compile to nothing — a false condition
+// is never evaluated, and the non-metric input flows through the
+// pipeline unchecked (structurally fine, mathematically the caller's
+// problem).
+TEST(Audit, CompiledOutInRelease) {
+  MUTK_AUDIT(false, "never evaluated in Release builds");
+  PipelineResult R = buildCompactSetTree(nonMetricMatrix());
+  EXPECT_TRUE(R.Tree.isWellFormed());
+}
+
+#endif
