@@ -9,16 +9,23 @@
 // headline: the result cache must buy at least ~2x on repeated queries
 // for the daemon design to pay for itself.
 //
+// Besides the console table, the run writes `BENCH_service.json` to the
+// working directory: one machine-readable record per row plus a dump of
+// the metrics registry, following the BENCH_*.json convention described
+// in docs/benchmarking.md.
+//
 //===----------------------------------------------------------------------===//
 
 #include "Workloads.h"
 
+#include "obs/Metrics.h"
 #include "service/Service.h"
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -65,6 +72,46 @@ std::vector<DistanceMatrix> workingSet(int NumMatrices, int NumSpecies) {
   return Set;
 }
 
+/// One measured configuration, serialized into BENCH_service.json.
+struct ResultRow {
+  int Species = 0;
+  int Clients = 0;
+  int Workers = 0;
+  double ColdRps = 0.0;
+  double WarmRps = 0.0;
+  std::uint64_t WholeHits = 0;
+  std::uint64_t BlockHits = 0;
+};
+
+/// BENCH_*.json convention: {"bench":NAME,"rows":[...],"registry":{...}}
+/// so plotting scripts can diff runs without scraping stdout.
+void writeJson(const std::vector<ResultRow> &Rows) {
+  std::ofstream Out("BENCH_service.json", std::ios::trunc);
+  if (!Out) {
+    std::printf("  !! could not write BENCH_service.json\n");
+    return;
+  }
+  Out << "{\"bench\":\"ext_service_throughput\",\"rows\":[";
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const ResultRow &R = Rows[I];
+    if (I > 0)
+      Out << ",";
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"species\":%d,\"clients\":%d,\"workers\":%d,"
+                  "\"cold_rps\":%.1f,\"warm_rps\":%.1f,\"ratio\":%.3f,"
+                  "\"whole_hits\":%llu,\"block_hits\":%llu}",
+                  R.Species, R.Clients, R.Workers, R.ColdRps, R.WarmRps,
+                  R.ColdRps > 0.0 ? R.WarmRps / R.ColdRps : 0.0,
+                  static_cast<unsigned long long>(R.WholeHits),
+                  static_cast<unsigned long long>(R.BlockHits));
+    Out << Buf;
+  }
+  Out << "],\"registry\":"
+      << mutk::obs::MetricsRegistry::global().renderJson() << "}\n";
+  std::printf("  wrote BENCH_service.json (%zu rows)\n", Rows.size());
+}
+
 void printTable() {
   bench::banner(
       "Extension: service throughput, cold vs warm result cache",
@@ -75,6 +122,7 @@ void printTable() {
               "whole-hit", "block-hit");
   const int NumMatrices = 16;
   const int RequestsPerClient = 64;
+  std::vector<ResultRow> Rows;
   for (int NumSpecies : {12, 16, 20}) {
     std::vector<DistanceMatrix> Matrices =
         workingSet(NumMatrices, NumSpecies);
@@ -104,9 +152,12 @@ void printTable() {
                   WarmRps / ColdRps,
                   static_cast<unsigned long long>(S.WholeHits),
                   static_cast<unsigned long long>(S.BlockHits));
+      Rows.push_back(ResultRow{NumSpecies, Clients, Options.NumWorkers,
+                               ColdRps, WarmRps, S.WholeHits, S.BlockHits});
       Service.stop();
     }
   }
+  writeJson(Rows);
 }
 
 void BM_ServiceSubmitCold(benchmark::State &State) {

@@ -10,6 +10,9 @@
 //   --matrix FILE | --generate {uniform|clustered|ultrametric|dna}
 //             --species N [--seed S]     submit a Build job
 //   --stats                              print service counters
+//                                        (--stats --json issues the
+//                                        StatsJson verb: full metrics
+//                                        registry as one JSON object)
 //   --ping                               liveness probe
 //   --shutdown                           stop the daemon
 // Build options:
@@ -36,7 +39,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s --connect unix:PATH|HOST:PORT\n"
       "       (--matrix FILE | --generate KIND --species N [--seed S]\n"
-      "        | --stats | --ping | --shutdown)\n"
+      "        | --stats [--json] | --ping | --shutdown)\n"
       "       [--condense max|min|avg] [--three-three none|third|all]\n"
       "       [--max-exact N] [--budget NODES] [--deadline MS]\n"
       "       [--no-cache] [--polish] [--json]\n",
@@ -182,6 +185,18 @@ int main(int argc, char **argv) {
     return 0;
   }
   if (Stats) {
+    if (Json) {
+      // The StatsJson verb answers with the whole metrics registry —
+      // queue, cache, request-latency and B&B counters — merged with
+      // the per-instance snapshot.
+      std::optional<std::string> S = Client.statsJson(&Error);
+      if (!S) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      std::printf("%s\n", S->c_str());
+      return 0;
+    }
     std::optional<StatsSnapshot> S = Client.stats(&Error);
     if (!S) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());

@@ -10,18 +10,33 @@
 // Usage:
 //   mutkd --unix PATH | --port N [--host A.B.C.D]
 //         [--workers N] [--queue N] [--cache N] [--max-species N]
+//         [--stats-dump PATH [--stats-interval SEC]]
 //
 // The daemon runs until a client sends the Shutdown verb (or SIGINT /
-// SIGTERM arrives), then drains in-flight jobs and exits 0.
+// SIGTERM arrives), then drains in-flight jobs and exits 0. Startup,
+// shutdown and per-connection events are structured log records on
+// stderr (key=value, levels via MUTK_LOG — see docs/observability.md);
+// --stats-dump atomically rewrites a Prometheus-style text file with
+// every registry metric each interval (default 10s) and once on exit.
 //
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
 
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "support/Audit.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -33,15 +48,103 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s --unix PATH | --port N [--host IPV4]\n"
                "       [--workers N] [--queue N] [--cache N]"
-               " [--max-species N]\n",
+               " [--max-species N]\n"
+               "       [--stats-dump PATH [--stats-interval SEC]]\n",
                Argv0);
   return 1;
 }
+
+/// Compile-time build flavor for the startup record: optimization level
+/// plus whichever sanitizer/audit layers this binary carries.
+std::string buildFlavor() {
+#ifdef NDEBUG
+  std::string Flavor = "release";
+#else
+  std::string Flavor = "debug";
+#endif
+#if MUTK_AUDIT_ENABLED
+  Flavor += "+audit";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+  Flavor += "+asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  Flavor += "+asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  Flavor += "+tsan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  Flavor += "+tsan";
+#endif
+#endif
+  return Flavor;
+}
+
+/// Writes the full registry in Prometheus text exposition to \p Path,
+/// atomically (temp file + rename) so scrapers never read a torn file.
+void dumpStats(const std::string &Path) {
+  std::string Temp = Path + ".tmp";
+  {
+    std::ofstream Out(Temp, std::ios::trunc);
+    if (!Out) {
+      obs::log(obs::LogLevel::Warn, "mutkd", "stats dump failed")
+          .kv("path", Temp);
+      return;
+    }
+    Out << obs::MetricsRegistry::global().renderPrometheus();
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0)
+    obs::log(obs::LogLevel::Warn, "mutkd", "stats dump rename failed")
+        .kv("from", Temp)
+        .kv("to", Path);
+}
+
+/// Periodic stats writer; interruptible sleep so shutdown never waits a
+/// full interval.
+class StatsDumper {
+public:
+  StatsDumper(std::string Path, int IntervalSeconds)
+      : Path(std::move(Path)), IntervalSeconds(IntervalSeconds),
+        Worker([this] { run(); }) {}
+
+  ~StatsDumper() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    Cv.notify_all();
+    Worker.join();
+    dumpStats(Path); // final totals, post-drain
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    while (!Stopping) {
+      Lock.unlock();
+      dumpStats(Path);
+      Lock.lock();
+      Cv.wait_for(Lock, std::chrono::seconds(IntervalSeconds),
+                  [this] { return Stopping; });
+    }
+  }
+
+  std::string Path;
+  int IntervalSeconds;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Stopping = false;
+  std::thread Worker;
+};
 
 } // namespace
 
 int main(int argc, char **argv) {
   std::string UnixPath, Host = "127.0.0.1";
+  std::string StatsDumpPath;
+  int StatsIntervalSeconds = 10;
   int Port = -1;
   ServiceOptions Options;
 
@@ -65,6 +168,10 @@ int main(int argc, char **argv) {
       Options.CacheCapacity = static_cast<std::size_t>(std::atoll(V));
     else if (Arg == "--max-species" && (V = next()))
       Options.MaxSpecies = std::atoi(V);
+    else if (Arg == "--stats-dump" && (V = next()))
+      StatsDumpPath = V;
+    else if (Arg == "--stats-interval" && (V = next()))
+      StatsIntervalSeconds = std::max(1, std::atoi(V));
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n",
                    Arg.c_str());
@@ -85,26 +192,42 @@ int main(int argc, char **argv) {
   sigaddset(&Signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &Signals, nullptr);
 
+  auto StartTime = std::chrono::steady_clock::now();
   TreeService Service(Options);
   SocketServer Server(Service);
   std::string Error;
+  std::string Transport, Addr;
   if (!UnixPath.empty()) {
     if (!Server.listenUnix(UnixPath, &Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      obs::log(obs::LogLevel::Error, "mutkd", "listen failed")
+          .kv("transport", "unix")
+          .kv("addr", UnixPath)
+          .kv("error", Error);
       return 1;
     }
-    std::printf("mutkd: listening on unix socket %s\n", UnixPath.c_str());
+    Transport = "unix";
+    Addr = UnixPath;
   } else {
     if (!Server.listenTcp(Host, Port, &Error)) {
-      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      obs::log(obs::LogLevel::Error, "mutkd", "listen failed")
+          .kv("transport", "tcp")
+          .kv("addr", Host + ":" + std::to_string(Port))
+          .kv("error", Error);
       return 1;
     }
-    std::printf("mutkd: listening on %s:%d\n", Host.c_str(), Server.port());
+    Transport = "tcp";
+    Addr = Host + ":" + std::to_string(Server.port());
   }
-  std::printf("mutkd: %d workers, queue %zu, cache %zu entries\n",
-              Options.NumWorkers, Options.QueueCapacity,
-              Options.CacheCapacity);
-  std::fflush(stdout);
+  obs::log(obs::LogLevel::Info, "mutkd", "listening")
+      .kv("transport", Transport)
+      .kv("addr", Addr)
+      .kv("workers", Options.NumWorkers)
+      .kv("queue_capacity", Options.QueueCapacity)
+      .kv("cache_capacity", Options.CacheCapacity)
+      .kv("max_species", Options.MaxSpecies)
+      .kv("build", buildFlavor())
+      .kv("stats_dump",
+          StatsDumpPath.empty() ? std::string("off") : StatsDumpPath);
 
   // Route the blocked SIGINT/SIGTERM through a dedicated sigwait
   // thread: handlers cannot safely stop a server, a blocked thread can.
@@ -117,21 +240,33 @@ int main(int argc, char **argv) {
   }).detach();
 
   Server.start();
-  Server.waitForShutdown();
-  Server.stop();
-  Service.stop();
+  {
+    // Scoped so the dumper stops (and writes its final snapshot) after
+    // the service drained but before the process reports shutdown.
+    std::unique_ptr<StatsDumper> Dumper;
+    if (!StatsDumpPath.empty())
+      Dumper = std::make_unique<StatsDumper>(StatsDumpPath,
+                                             StatsIntervalSeconds);
+    Server.waitForShutdown();
+    Server.stop();
+    Service.stop();
+  }
 
   StatsSnapshot S = Service.stats();
-  std::printf("mutkd: served %llu jobs (%llu ok, %llu failed), "
-              "whole-cache %llu/%llu, block-cache %llu/%llu, "
-              "p50 %.2fms p95 %.2fms\n",
-              static_cast<unsigned long long>(S.Accepted),
-              static_cast<unsigned long long>(S.Completed),
-              static_cast<unsigned long long>(S.Failed),
-              static_cast<unsigned long long>(S.WholeHits),
-              static_cast<unsigned long long>(S.WholeHits + S.WholeMisses),
-              static_cast<unsigned long long>(S.BlockHits),
-              static_cast<unsigned long long>(S.BlockHits + S.BlockMisses),
-              S.P50Millis, S.P95Millis);
+  double UptimeSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - StartTime)
+                             .count();
+  obs::log(obs::LogLevel::Info, "mutkd", "shutdown")
+      .kv("uptime_s", UptimeSeconds)
+      .kv("accepted", S.Accepted)
+      .kv("completed", S.Completed)
+      .kv("failed", S.Failed)
+      .kv("rejected", S.Rejected)
+      .kv("whole_hits", S.WholeHits)
+      .kv("whole_misses", S.WholeMisses)
+      .kv("block_hits", S.BlockHits)
+      .kv("block_misses", S.BlockMisses)
+      .kv("p50_ms", S.P50Millis)
+      .kv("p95_ms", S.P95Millis);
   return 0;
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo's documentation.
+#
+# Walks every tracked *.md outside build trees and verifies that each
+# relative link target — [text](path), [text](path#anchor) — exists on
+# disk, resolved against the linking file's directory (with a repo-root
+# fallback for links written root-relative). External links (http/https/
+# mailto) are not fetched; this gate is about the repo staying
+# self-consistent, not about the internet being up.
+#
+# Usage: scripts/check_links.sh
+#   Exits non-zero listing every dangling link.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FAILED=0
+
+# shellcheck disable=SC2044  # filenames are repo-controlled, no spaces
+for md in $(cd "$REPO_ROOT" &&
+            find . -name '*.md' -not -path './build*' -not -path './.git/*' |
+            sort); do
+  md="${md#./}"
+  dir="$(dirname "$md")"
+  # One match per line: the (...) part of [...](...) with any #anchor
+  # and surrounding whitespace stripped.
+  links=$(grep -oE '\]\([^)]+\)' "${REPO_ROOT}/${md}" 2>/dev/null |
+          sed -e 's/^](//' -e 's/)$//' -e 's/#.*$//' -e 's/[[:space:]]*$//')
+  for link in $links; do
+    case "$link" in
+    ''|http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "${REPO_ROOT}/${dir}/${link}" ] &&
+       [ ! -e "${REPO_ROOT}/${link}" ]; then
+      printf 'check_links: %s -> %s (missing)\n' "$md" "$link" >&2
+      FAILED=1
+    fi
+  done
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "check_links: FAILED"
+  exit 1
+fi
+echo "check_links: OK"

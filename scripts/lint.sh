@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Lint gate for the mutk tree.
 #
-# Two layers:
+# Three layers:
 #   1. clang-tidy over the compilation database (config: .clang-tidy,
 #      warnings are errors). Skipped with a warning when clang-tidy is
-#      not installed, unless MUTK_LINT_REQUIRE_TIDY=1 (CI sets this).
+#      not installed, unless MUTK_LINT_REQUIRE_TIDY=1 (CI sets this);
+#      skipped silently when MUTK_LINT_SKIP_TIDY=1 (the CI docs job
+#      wants the grep layers without a compile).
 #   2. Repo-specific greps that codify project rules clang-tidy cannot
 #      express: no naked new/delete outside RAII wrappers, no rand()
 #      (all randomness goes through SplitMix64/std engines with seeds),
 #      no sleep-based synchronization in src/, and no mutable shared
 #      counters that bypass <atomic>.
+#   3. Metric catalog completeness: every metric name literal in
+#      src/obs/ must be documented in docs/observability.md.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir must contain compile_commands.json (any preset works;
@@ -30,6 +34,10 @@ fail() {
 # --- Layer 1: clang-tidy ---------------------------------------------------
 
 run_clang_tidy() {
+  if [ "${MUTK_LINT_SKIP_TIDY:-0}" = "1" ]; then
+    note "lint: MUTK_LINT_SKIP_TIDY=1; skipping static analysis layer"
+    return
+  fi
   local tidy=""
   for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
               clang-tidy-15 clang-tidy-14; do
@@ -131,6 +139,33 @@ hits=$(cd "$REPO_ROOT" &&
 if [ -n "$hits" ]; then
   fail "stray fprintf(stderr, ...) debugging outside reporting surfaces"
   printf '%s\n' "$hits" >&2
+fi
+
+# --- Layer 3: metric catalog completeness -----------------------------------
+#
+# docs/observability.md promises to document every metric the process
+# exports. Every "mutk_..." name literal in src/obs/ must therefore
+# appear in that file; renaming or adding an instrument without updating
+# the catalog fails the lint.
+METRIC_DOC="${REPO_ROOT}/docs/observability.md"
+if [ ! -f "$METRIC_DOC" ]; then
+  fail "docs/observability.md missing (the metric catalog)"
+else
+  metric_names=$(cd "$REPO_ROOT" &&
+                 grep -ohE '"mutk_[a-z0-9_]+"' src/obs/*.cpp src/obs/*.h \
+                   2>/dev/null |
+                 tr -d '"' | sort -u)
+  undocumented=""
+  for name in $metric_names; do
+    if ! grep -q "$name" "$METRIC_DOC"; then
+      undocumented="${undocumented} ${name}"
+    fi
+  done
+  if [ -n "$undocumented" ]; then
+    fail "metrics registered in src/obs/ but absent from docs/observability.md:${undocumented}"
+  else
+    note "lint: metric catalog covers all $(printf '%s\n' "$metric_names" | wc -l) names in src/obs/"
+  fi
 fi
 
 if [ "$FAILED" -ne 0 ]; then

@@ -3,6 +3,7 @@
 #include "bnb/BestFirstBnb.h"
 
 #include "bnb/Engine.h"
+#include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <cmath>
@@ -107,5 +108,7 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
              "best-first B&B result must be ultrametric");
   MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
              "best-first B&B result must dominate the input matrix");
+  if (Options.PublishMetrics)
+    obs::recordBnbSolve(Result.Stats);
   return Result;
 }

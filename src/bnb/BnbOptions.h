@@ -54,6 +54,13 @@ struct BnbOptions {
   /// starts (an extension beyond Algorithm BBU): a tighter initial upper
   /// bound prunes more of the BBT at the cost of an O(n^4)-ish polish.
   bool ImproveInitialUpperBound = false;
+
+  /// Flush this solve's `BnbStats` into the process-wide metrics
+  /// registry (`mutk_bnb_*`, see docs/observability.md) when it
+  /// finishes. One counter batch per solve — never on the search hot
+  /// path. Disable for micro-benchmarks that call the solver in a tight
+  /// loop and want zero shared-cache traffic.
+  bool PublishMetrics = true;
 };
 
 /// Counters reported by a solve.

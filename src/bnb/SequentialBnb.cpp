@@ -3,6 +3,7 @@
 #include "bnb/SequentialBnb.h"
 
 #include "bnb/Engine.h"
+#include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <cmath>
@@ -99,5 +100,7 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
              "nondecreasing toward the root)");
   MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
              "B&B result must dominate the input matrix (d_T >= M)");
+  if (Options.PublishMetrics)
+    obs::recordBnbSolve(Result.Stats);
   return Result;
 }

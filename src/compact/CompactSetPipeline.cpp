@@ -8,6 +8,7 @@
 #include "heur/Upgma.h"
 #include "matrix/Fingerprint.h"
 #include "matrix/MetricUtils.h"
+#include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <algorithm>
@@ -39,6 +40,13 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
   Report.HierarchyNode = HierarchyNode;
   Report.NumBlocks = Condensed.size();
 
+  const bool Publish = State.Options.Bnb.PublishMetrics;
+  if (Publish) {
+    obs::PipelineInstruments &I = obs::pipelineInstruments();
+    I.Blocks.inc();
+    I.BlockSize.record(static_cast<double>(Condensed.size()));
+  }
+
   // Consult the block cache: the canonical fingerprint is invariant under
   // block relabeling, so a hit replays the stored canonical tree with the
   // leaves permuted back into this block's label space.
@@ -52,6 +60,8 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
         Report.Exact = Hit->Exact;
         Report.Cost = Hit->Cost;
         Report.FromCache = true;
+        if (Publish)
+          obs::pipelineInstruments().BlockCacheHits.inc();
         State.Result.Blocks.push_back(Report);
         return relabelLeaves(Hit->Tree, Form.Perm);
       }
@@ -105,6 +115,13 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
     Cache->Store(Form.Key, Form.Bytes, Entry);
   }
 
+  if (Publish) {
+    obs::PipelineInstruments &I = obs::pipelineInstruments();
+    if (Report.Exact)
+      I.ExactBlocks.inc();
+    else
+      I.HeuristicBlocks.inc();
+  }
   State.Result.TotalVirtualTime += Report.VirtualTime;
   State.Result.ParallelVirtualTime =
       std::max(State.Result.ParallelVirtualTime, Report.VirtualTime);
@@ -200,6 +217,8 @@ PipelineResult mutk::buildCompactSetTree(const DistanceMatrix &M,
              "detected compact sets must be laminar (Lemma 3)");
   CompactHierarchy Hierarchy(M.size(), Result.Sets);
 
+  if (Options.Bnb.PublishMetrics)
+    obs::pipelineInstruments().Runs.inc();
   PipelineState State{M, Options, Hierarchy, Result};
   PhyloTree Tree = assemble(State, Hierarchy.rootId());
   Tree.setNames(M.names());
@@ -211,6 +230,9 @@ PipelineResult mutk::buildCompactSetTree(const DistanceMatrix &M,
   }
   Result.Cost = Tree.weight();
   Result.Tree = std::move(Tree);
+  if (Options.Bnb.PublishMetrics && Result.HeightClamps > 0)
+    obs::pipelineInstruments().HeightClamps.inc(
+        static_cast<std::uint64_t>(Result.HeightClamps));
   // Maximum condensation is the mode with the paper's feasibility
   // guarantee: the merged tree never understates a distance, and no
   // merge step had to clamp a height (Minimum/Average trade exactly

@@ -1,0 +1,119 @@
+//===- obs/Instruments.h - Built-in instrument bundles ----------*- C++ -*-===//
+///
+/// \file
+/// Every metric the mutk tree exports, registered once in the global
+/// `MetricsRegistry` and handed to the instrumented components as plain
+/// pointers/references. All metric *names* live in `Instruments.cpp` —
+/// nowhere else — so `scripts/lint.sh` can verify that each registered
+/// name is documented in `docs/observability.md` (the full catalog with
+/// meanings lives there).
+///
+/// Bundles are process-wide singletons: several `TreeService` instances
+/// in one process share the counters, which matches the Prometheus model
+/// (cumulative per process) and keeps instrument lifetime trivially
+/// safe — the registry never frees an instrument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_OBS_INSTRUMENTS_H
+#define MUTK_OBS_INSTRUMENTS_H
+
+#include "obs/Metrics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mutk {
+struct BnbStats;
+} // namespace mutk
+
+namespace mutk::obs {
+
+/// Hooks a `BoundedQueue` updates when attached (all optional).
+struct QueueInstruments {
+  Gauge *Depth = nullptr;       ///< Items currently queued.
+  Counter *Enqueued = nullptr;  ///< Successful pushes.
+  Counter *Rejected = nullptr;  ///< Pushes refused (full or closed).
+};
+
+/// Request-path instruments of the tree-construction service.
+struct ServiceInstruments {
+  Counter &Submitted;
+  Counter &Completed;
+  Counter &Failed;
+  Counter &Rejected;
+  Counter &DeadlineExpired;
+  Counter &WholeHits;
+  Counter &WholeMisses;
+  Gauge &InFlight;
+  Histogram &RequestOkMillis;
+  Histogram &RequestErrorMillis;
+  Histogram &QueueWaitMillis;
+  QueueInstruments Queue;
+};
+ServiceInstruments &serviceInstruments();
+
+/// Per-shard counter trio of the result cache (also used as the
+/// aggregate trio with null-free pointers).
+struct CacheShardInstruments {
+  Counter *Hits = nullptr;
+  Counter *Misses = nullptr;
+  Counter *Evictions = nullptr;
+};
+
+/// Aggregate cache counters.
+struct CacheInstruments {
+  Counter &Hits;
+  Counter &Misses;
+  Counter &Evictions;
+};
+CacheInstruments &cacheInstruments();
+
+/// Labeled `{shard="i"}` instrument families for shards `0..NumShards-1`
+/// (registered on first request; repeated calls return the same
+/// instruments).
+std::vector<CacheShardInstruments> cacheShardInstruments(int NumShards);
+
+/// Socket-frontend instruments.
+struct ServerInstruments {
+  Counter &ConnectionsAccepted;
+  Gauge &ConnectionsActive;
+  Counter &FramesRead;
+  Counter &ParseErrors;
+};
+ServerInstruments &serverInstruments();
+
+/// Branch-and-bound search counters, aggregated across every solver
+/// (sequential DFS, best-first, threaded). Solvers accumulate their
+/// per-solve `BnbStats` locally — zero contention on the search hot
+/// path — and flush once per solve via `recordBnbSolve`.
+struct BnbInstruments {
+  Counter &Solves;
+  Counter &Incomplete;
+  Counter &NodesExpanded;
+  Counter &NodesGenerated;
+  Counter &PrunedByBound;
+  Counter &PrunedByThreeThree;
+  Counter &UbUpdates;
+};
+BnbInstruments &bnbInstruments();
+
+/// Flushes one solve's counters into the global registry (gated by
+/// `BnbOptions::PublishMetrics` at the call sites).
+void recordBnbSolve(const BnbStats &Stats);
+
+/// Compact-set pipeline counters.
+struct PipelineInstruments {
+  Counter &Runs;
+  Counter &Blocks;
+  Counter &BlockCacheHits;
+  Counter &ExactBlocks;
+  Counter &HeuristicBlocks;
+  Counter &HeightClamps;
+  Histogram &BlockSize;
+};
+PipelineInstruments &pipelineInstruments();
+
+} // namespace mutk::obs
+
+#endif // MUTK_OBS_INSTRUMENTS_H

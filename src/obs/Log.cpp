@@ -1,0 +1,269 @@
+//===- obs/Log.cpp - Leveled structured logger ----------------------------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <mutex>
+
+using namespace mutk;
+using namespace mutk::obs;
+
+namespace {
+
+/// Logger configuration. The default level is mirrored into an atomic so
+/// the common fast path (no component overrides, level disabled) costs
+/// two atomic loads and no lock.
+struct LogConfig {
+  std::mutex Mu;
+  std::map<std::string, LogLevel, std::less<>> ComponentLevels;
+  LogSink Sink; // empty -> stderr
+  std::atomic<int> DefaultLevel{static_cast<int>(LogLevel::Info)};
+  std::atomic<bool> HasComponentLevels{false};
+  std::atomic<bool> EnvParsed{false};
+};
+
+LogConfig &config() {
+  static LogConfig C;
+  return C;
+}
+
+void applySpecLocked(LogConfig &C, std::string_view Spec) {
+  C.ComponentLevels.clear();
+  LogLevel Default = LogLevel::Info;
+  std::size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    std::size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string_view::npos)
+      Comma = Spec.size();
+    std::string_view Token = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Token.empty())
+      continue;
+    std::size_t Eq = Token.find('=');
+    if (Eq == std::string_view::npos) {
+      parseLogLevel(Token, Default); // unknown tokens ignored
+    } else {
+      LogLevel Level = LogLevel::Info;
+      if (parseLogLevel(Token.substr(Eq + 1), Level))
+        C.ComponentLevels.emplace(std::string(Token.substr(0, Eq)), Level);
+    }
+  }
+  C.DefaultLevel.store(static_cast<int>(Default), std::memory_order_relaxed);
+  C.HasComponentLevels.store(!C.ComponentLevels.empty(),
+                             std::memory_order_release);
+}
+
+/// Reads MUTK_LOG exactly once (unless configureLogging replaced the
+/// config first, which also marks the env as consumed).
+void ensureEnvParsed(LogConfig &C) {
+  if (C.EnvParsed.load(std::memory_order_acquire))
+    return;
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  if (C.EnvParsed.load(std::memory_order_relaxed))
+    return;
+  if (const char *Spec = std::getenv("MUTK_LOG"))
+    applySpecLocked(C, Spec);
+  C.EnvParsed.store(true, std::memory_order_release);
+}
+
+/// `ts=` value: UTC wall clock with millisecond resolution.
+void appendTimestamp(std::string &Out) {
+  using namespace std::chrono;
+  auto Now = system_clock::now();
+  std::time_t Secs = system_clock::to_time_t(Now);
+  auto Millis =
+      duration_cast<milliseconds>(Now.time_since_epoch()).count() % 1000;
+  std::tm Tm{};
+  gmtime_r(&Secs, &Tm);
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                Tm.tm_year + 1900, Tm.tm_mon + 1, Tm.tm_mday, Tm.tm_hour,
+                Tm.tm_min, Tm.tm_sec, static_cast<int>(Millis));
+  Out += Buf;
+}
+
+bool needsQuoting(std::string_view Value) {
+  if (Value.empty())
+    return true;
+  for (char C : Value)
+    if (C == ' ' || C == '"' || C == '=' || C == '\\' || C == '\n' ||
+        C == '\t')
+      return true;
+  return false;
+}
+
+void appendValue(std::string &Out, std::string_view Value) {
+  if (!needsQuoting(Value)) {
+    Out += Value;
+    return;
+  }
+  Out += '"';
+  for (char C : Value) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+const char *mutk::obs::logLevelName(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Trace:
+    return "trace";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "unknown";
+}
+
+bool mutk::obs::parseLogLevel(std::string_view Name, LogLevel &Out) {
+  if (Name == "trace")
+    Out = LogLevel::Trace;
+  else if (Name == "debug")
+    Out = LogLevel::Debug;
+  else if (Name == "info")
+    Out = LogLevel::Info;
+  else if (Name == "warn" || Name == "warning")
+    Out = LogLevel::Warn;
+  else if (Name == "error")
+    Out = LogLevel::Error;
+  else if (Name == "off" || Name == "none")
+    Out = LogLevel::Off;
+  else
+    return false;
+  return true;
+}
+
+bool mutk::obs::logEnabled(LogLevel Level, std::string_view Component) {
+  LogConfig &C = config();
+  ensureEnvParsed(C);
+  if (C.HasComponentLevels.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    auto It = C.ComponentLevels.find(Component);
+    if (It != C.ComponentLevels.end())
+      return static_cast<int>(Level) >= static_cast<int>(It->second);
+  }
+  return static_cast<int>(Level) >=
+         C.DefaultLevel.load(std::memory_order_relaxed);
+}
+
+void mutk::obs::configureLogging(std::string_view Spec) {
+  LogConfig &C = config();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  applySpecLocked(C, Spec);
+  C.EnvParsed.store(true, std::memory_order_release);
+}
+
+void mutk::obs::setLogLevel(LogLevel DefaultLevel) {
+  LogConfig &C = config();
+  ensureEnvParsed(C);
+  C.DefaultLevel.store(static_cast<int>(DefaultLevel),
+                       std::memory_order_relaxed);
+}
+
+void mutk::obs::setComponentLogLevel(std::string_view Component,
+                                     LogLevel Level) {
+  LogConfig &C = config();
+  ensureEnvParsed(C);
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.ComponentLevels.insert_or_assign(std::string(Component), Level);
+  C.HasComponentLevels.store(true, std::memory_order_release);
+}
+
+void mutk::obs::setLogSink(LogSink Sink) {
+  LogConfig &C = config();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Sink = std::move(Sink);
+}
+
+LogLine::LogLine(LogLevel Level, std::string_view Component,
+                 std::string_view Msg)
+    : Enabled(logEnabled(Level, Component)) {
+  if (!Enabled)
+    return;
+  Buffer.reserve(128);
+  Buffer += "ts=";
+  appendTimestamp(Buffer);
+  Buffer += " level=";
+  Buffer += logLevelName(Level);
+  Buffer += " comp=";
+  appendValue(Buffer, Component);
+  Buffer += " msg=";
+  // The message is always quoted so `msg` stays trivially parseable.
+  Buffer += '"';
+  for (char C : Msg) {
+    if (C == '"' || C == '\\')
+      Buffer += '\\';
+    Buffer += C == '\n' ? ' ' : C;
+  }
+  Buffer += '"';
+}
+
+LogLine &LogLine::appendRaw(std::string_view Key, std::string_view Value) {
+  Buffer += ' ';
+  Buffer += Key;
+  Buffer += '=';
+  Buffer += Value;
+  return *this;
+}
+
+LogLine &LogLine::kv(std::string_view Key, std::string_view Value) {
+  if (!Enabled)
+    return *this;
+  Buffer += ' ';
+  Buffer += Key;
+  Buffer += '=';
+  appendValue(Buffer, Value);
+  return *this;
+}
+
+LogLine &LogLine::kv(std::string_view Key, double Value) {
+  if (!Enabled)
+    return *this;
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return appendRaw(Key, Buf);
+}
+
+LogLine::~LogLine() {
+  if (!Enabled)
+    return;
+  Buffer += '\n';
+  LogConfig &C = config();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  if (C.Sink) {
+    C.Sink(Buffer);
+    return;
+  }
+  // One write per record keeps concurrent emitters from interleaving.
+  std::fwrite(Buffer.data(), 1, Buffer.size(), stderr);
+  std::fflush(stderr);
+}

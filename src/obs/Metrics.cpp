@@ -1,0 +1,228 @@
+//===- obs/Metrics.cpp - Lock-cheap metrics registry ----------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+
+using namespace mutk;
+using namespace mutk::obs;
+
+namespace {
+
+/// Quantile from power-of-two bucket counts: the geometric midpoint of
+/// the bucket containing the rank.
+double quantileFromBuckets(const std::vector<std::uint64_t> &Counts,
+                           std::uint64_t Total, double P) {
+  if (Total == 0)
+    return 0.0;
+  std::uint64_t Rank = static_cast<std::uint64_t>(P * static_cast<double>(Total));
+  if (Rank >= Total)
+    Rank = Total - 1;
+  std::uint64_t Seen = 0;
+  for (std::size_t I = 0; I < Counts.size(); ++I) {
+    Seen += Counts[I];
+    if (Seen > Rank)
+      return 1.5 * static_cast<double>(1ull << I);
+  }
+  return 0.0;
+}
+
+/// Escapes a metric name for use as a JSON object key (shard families
+/// carry `{shard="3"}` suffixes whose quotes must not end the key).
+std::string jsonKeyEscape(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+/// `mutk_cache_shard_hits_total{shard="3"}` -> `mutk_cache_shard_hits_total`.
+std::string_view familyOf(const std::string &Name) {
+  std::size_t Brace = Name.find('{');
+  return Brace == std::string::npos
+             ? std::string_view(Name)
+             : std::string_view(Name).substr(0, Brace);
+}
+
+void appendF(std::string &Out, const char *Fmt, double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), Fmt, V);
+  Out += Buf;
+}
+
+} // namespace
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot S;
+  std::vector<std::uint64_t> Counts(NumBuckets, 0);
+  for (int I = 0; I < NumBuckets; ++I) {
+    Counts[static_cast<std::size_t>(I)] =
+        Buckets[static_cast<std::size_t>(I)].load(std::memory_order_relaxed);
+    S.Count += Counts[static_cast<std::size_t>(I)];
+  }
+  S.Sum = static_cast<double>(SumMilli.load(std::memory_order_relaxed)) /
+          1000.0;
+  S.P50 = quantileFromBuckets(Counts, S.Count, 0.50);
+  S.P95 = quantileFromBuckets(Counts, S.Count, 0.95);
+  S.P99 = quantileFromBuckets(Counts, S.Count, 0.99);
+  for (int I = NumBuckets - 1; I >= 0; --I)
+    if (Counts[static_cast<std::size_t>(I)] != 0) {
+      // Upper edge of the highest populated bucket.
+      S.Max = static_cast<double>(1ull << (I + 1));
+      break;
+    }
+  return S;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t Total = 0;
+  for (int I = 0; I < NumBuckets; ++I)
+    Total += Buckets[static_cast<std::size_t>(I)].load(
+        std::memory_order_relaxed);
+  return Total;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace_back(Name, C->value());
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.emplace_back(Name, G->value());
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms.emplace_back(Name, H->snapshot());
+  return S;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+  MetricsSnapshot S = snapshot();
+  std::string Out;
+  std::string_view LastFamily;
+  auto typeLine = [&](const std::string &Name, const char *Kind) {
+    std::string_view Family = familyOf(Name);
+    if (Family != LastFamily) {
+      Out += "# TYPE ";
+      Out += Family;
+      Out += ' ';
+      Out += Kind;
+      Out += '\n';
+      LastFamily = Family;
+    }
+  };
+  for (const auto &[Name, V] : S.Counters) {
+    typeLine(Name, "counter");
+    Out += Name;
+    Out += ' ';
+    Out += std::to_string(V);
+    Out += '\n';
+  }
+  for (const auto &[Name, V] : S.Gauges) {
+    typeLine(Name, "gauge");
+    Out += Name;
+    Out += ' ';
+    Out += std::to_string(V);
+    Out += '\n';
+  }
+  for (const auto &[Name, H] : S.Histograms) {
+    typeLine(Name, "summary");
+    for (const auto &[Label, Q] :
+         {std::pair<const char *, double>{"0.5", H.P50},
+          std::pair<const char *, double>{"0.95", H.P95},
+          std::pair<const char *, double>{"0.99", H.P99}}) {
+      Out += Name;
+      Out += "{quantile=\"";
+      Out += Label;
+      Out += "\"} ";
+      appendF(Out, "%.6g", Q);
+      Out += '\n';
+    }
+    Out += Name;
+    Out += "_sum ";
+    appendF(Out, "%.6g", H.Sum);
+    Out += '\n';
+    Out += Name;
+    Out += "_count ";
+    Out += std::to_string(H.Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+  MetricsSnapshot S = snapshot();
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + jsonKeyEscape(Name) + "\":" + std::to_string(V);
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, V] : S.Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + jsonKeyEscape(Name) + "\":" + std::to_string(V);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : S.Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"' + jsonKeyEscape(Name) + "\":{\"count\":" +
+           std::to_string(H.Count) + ",\"sum\":";
+    appendF(Out, "%.6g", H.Sum);
+    Out += ",\"p50\":";
+    appendF(Out, "%.6g", H.P50);
+    Out += ",\"p95\":";
+    appendF(Out, "%.6g", H.P95);
+    Out += ",\"p99\":";
+    appendF(Out, "%.6g", H.P99);
+    Out += ",\"max\":";
+    appendF(Out, "%.6g", H.Max);
+    Out += '}';
+  }
+  Out += "}}";
+  return Out;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}

@@ -3,6 +3,7 @@
 #include "parallel/ThreadedBnb.h"
 
 #include "bnb/Engine.h"
+#include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <algorithm>
@@ -253,5 +254,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
   MUTK_AUDIT(Result.Tree.dominatesMatrix(M),
              "threaded B&B result must dominate the input matrix "
              "(d_T >= M)");
+  if (Options.PublishMetrics)
+    obs::recordBnbSolve(Result.Stats);
   return Result;
 }

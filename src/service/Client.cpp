@@ -140,6 +140,19 @@ std::optional<StatsSnapshot> ServiceClient::stats(std::string *Error) {
   return Resp->Stats;
 }
 
+std::optional<std::string> ServiceClient::statsJson(std::string *Error) {
+  Request R;
+  R.V = Verb::StatsJson;
+  std::optional<Response> Resp = roundTrip(R, Error);
+  if (!Resp)
+    return std::nullopt;
+  if (!Resp->ok()) {
+    fillError(Error, Resp->Message);
+    return std::nullopt;
+  }
+  return Resp->StatsJson;
+}
+
 bool ServiceClient::ping(std::string *Error) {
   Request R;
   R.V = Verb::Ping;

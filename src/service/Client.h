@@ -41,6 +41,11 @@ public:
 
   std::optional<StatsSnapshot> stats(std::string *Error = nullptr);
 
+  /// Full metrics-registry dump (the `StatsJson` verb): one JSON string
+  /// with queue, cache, request-latency and B&B counters. Schema in
+  /// `docs/observability.md`.
+  std::optional<std::string> statsJson(std::string *Error = nullptr);
+
   /// Liveness probe.
   bool ping(std::string *Error = nullptr);
 

@@ -14,6 +14,7 @@
 #ifndef MUTK_SERVICE_JOBQUEUE_H
 #define MUTK_SERVICE_JOBQUEUE_H
 
+#include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <condition_variable>
@@ -27,7 +28,12 @@ namespace mutk {
 /// Bounded FIFO shared by any number of producers and consumers.
 template <typename T> class BoundedQueue {
 public:
-  explicit BoundedQueue(std::size_t Capacity) : Capacity(Capacity) {}
+  /// \p Instruments is optional: when supplied the queue keeps its depth
+  /// gauge and enqueue/reject counters up to date (tests and ad-hoc
+  /// queues simply omit it).
+  explicit BoundedQueue(std::size_t Capacity,
+                        obs::QueueInstruments Instruments = {})
+      : Instruments(Instruments), Capacity(Capacity) {}
 
   BoundedQueue(const BoundedQueue &) = delete;
   BoundedQueue &operator=(const BoundedQueue &) = delete;
@@ -38,11 +44,14 @@ public:
   bool push(T &&Item) {
     std::unique_lock<std::mutex> Lock(Mu);
     NotFull.wait(Lock, [&] { return Items.size() < Capacity || Closed; });
-    if (Closed)
+    if (Closed) {
+      noteRejected();
       return false;
+    }
     Items.push_back(std::move(Item));
     MUTK_AUDIT(Items.size() <= Capacity,
                "bounded queue exceeded its capacity");
+    noteEnqueued();
     NotEmpty.notify_one();
     return true;
   }
@@ -51,11 +60,14 @@ public:
   /// untouched, as with `push`).
   bool tryPush(T &&Item) {
     std::lock_guard<std::mutex> Lock(Mu);
-    if (Closed || Items.size() >= Capacity)
+    if (Closed || Items.size() >= Capacity) {
+      noteRejected();
       return false;
+    }
     Items.push_back(std::move(Item));
     MUTK_AUDIT(Items.size() <= Capacity,
                "bounded queue exceeded its capacity");
+    noteEnqueued();
     NotEmpty.notify_one();
     return true;
   }
@@ -69,6 +81,8 @@ public:
       return std::nullopt;
     T Item = std::move(Items.front());
     Items.pop_front();
+    if (Instruments.Depth)
+      Instruments.Depth->sub(1);
     NotFull.notify_one();
     return Item;
   }
@@ -80,6 +94,8 @@ public:
     Out.reserve(Items.size());
     for (T &Item : Items)
       Out.push_back(std::move(Item));
+    if (Instruments.Depth)
+      Instruments.Depth->sub(static_cast<std::int64_t>(Items.size()));
     Items.clear();
     NotFull.notify_all();
     return Out;
@@ -104,6 +120,19 @@ public:
   }
 
 private:
+  void noteEnqueued() {
+    if (Instruments.Depth)
+      Instruments.Depth->add(1);
+    if (Instruments.Enqueued)
+      Instruments.Enqueued->inc();
+  }
+
+  void noteRejected() {
+    if (Instruments.Rejected)
+      Instruments.Rejected->inc();
+  }
+
+  obs::QueueInstruments Instruments;
   mutable std::mutex Mu;
   std::condition_variable NotFull;
   std::condition_variable NotEmpty;

@@ -217,7 +217,7 @@ mutk::decodeRequest(const std::vector<std::uint8_t> &Bytes,
   if (Version != ServiceProtocolVersion)
     return failReq(Error, "protocol version mismatch");
   if (RawVerb < static_cast<std::uint8_t>(Verb::Build) ||
-      RawVerb > static_cast<std::uint8_t>(Verb::Shutdown))
+      RawVerb > static_cast<std::uint8_t>(Verb::StatsJson))
     return failReq(Error, "unknown verb");
 
   Request Out;
@@ -239,6 +239,8 @@ std::vector<std::uint8_t> mutk::encodeResponse(const Response &R) {
       writeBuildResponse(W, R.Build);
     else if (R.V == Verb::Stats)
       writeStats(W, R.Stats);
+    else if (R.V == Verb::StatsJson)
+      W.writeString(R.StatsJson);
   }
   return W.take();
 }
@@ -251,7 +253,7 @@ mutk::decodeResponse(const std::vector<std::uint8_t> &Bytes,
   if (!R.readU8(RawVerb) || !R.readU8(RawError))
     return failResp(Error, "truncated response header");
   if (RawVerb < static_cast<std::uint8_t>(Verb::Build) ||
-      RawVerb > static_cast<std::uint8_t>(Verb::Shutdown))
+      RawVerb > static_cast<std::uint8_t>(Verb::StatsJson))
     return failResp(Error, "unknown verb");
   if (RawError > static_cast<std::uint8_t>(ServiceError::Internal))
     return failResp(Error, "unknown error code");
@@ -266,6 +268,8 @@ mutk::decodeResponse(const std::vector<std::uint8_t> &Bytes,
       return failResp(Error, "malformed build response");
     if (Out.V == Verb::Stats && !readStats(R, Out.Stats))
       return failResp(Error, "malformed stats response");
+    if (Out.V == Verb::StatsJson && !R.readString(Out.StatsJson))
+      return failResp(Error, "malformed stats-json response");
   }
   if (!R.atEnd())
     return failResp(Error, "trailing bytes after response");

@@ -16,6 +16,9 @@
 ///   * `Stats`    — answers with a `StatsSnapshot` counter block.
 ///   * `Ping`     — liveness probe; answers with an empty `Ok`.
 ///   * `Shutdown` — acknowledges, then the server stops accepting.
+///   * `StatsJson`— answers with one JSON string: the full metrics
+///                  registry (queue, cache, request-latency and B&B
+///                  counters) merged with the per-instance snapshot.
 ///
 /// See `docs/service.md` for the byte-level layout and error-code
 /// semantics. Decoders never trust lengths: any truncated or oversized
@@ -56,6 +59,7 @@ enum class Verb : std::uint8_t {
   Stats = 2,
   Ping = 3,
   Shutdown = 4,
+  StatsJson = 5,
 };
 
 /// Structured error codes carried by responses.
@@ -174,6 +178,9 @@ struct Response {
   std::string Message;
   BuildResponse Build;
   StatsSnapshot Stats;
+  /// Valid when `V == Verb::StatsJson`: one JSON object (see
+  /// `docs/observability.md` for the schema).
+  std::string StatsJson;
 
   bool ok() const { return Error == ServiceError::None; }
 };

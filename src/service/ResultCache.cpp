@@ -31,10 +31,43 @@ bool shardConsistent(const ShardT &S, std::size_t CapacityPerShard) {
 ShardedLruCache::ShardedLruCache(std::size_t Capacity, int NumShards) {
   NumShards = std::max(1, NumShards);
   Shards.reserve(static_cast<std::size_t>(NumShards));
-  for (int I = 0; I < NumShards; ++I)
+  for (int I = 0; I < NumShards; ++I) {
     Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->Id = I;
+  }
   CapacityPerShard =
       std::max<std::size_t>(1, Capacity / static_cast<std::size_t>(NumShards));
+}
+
+void ShardedLruCache::setInstruments(
+    const obs::CacheInstruments *Aggregate,
+    std::vector<obs::CacheShardInstruments> PerShard) {
+  this->Aggregate = Aggregate;
+  this->PerShard = std::move(PerShard);
+}
+
+void ShardedLruCache::noteHit(const Shard &S) {
+  if (Aggregate)
+    Aggregate->Hits.inc();
+  auto I = static_cast<std::size_t>(S.Id);
+  if (I < PerShard.size() && PerShard[I].Hits)
+    PerShard[I].Hits->inc();
+}
+
+void ShardedLruCache::noteMiss(const Shard &S) {
+  if (Aggregate)
+    Aggregate->Misses.inc();
+  auto I = static_cast<std::size_t>(S.Id);
+  if (I < PerShard.size() && PerShard[I].Misses)
+    PerShard[I].Misses->inc();
+}
+
+void ShardedLruCache::noteEviction(const Shard &S) {
+  if (Aggregate)
+    Aggregate->Evictions.inc();
+  auto I = static_cast<std::size_t>(S.Id);
+  if (I < PerShard.size() && PerShard[I].Evictions)
+    PerShard[I].Evictions->inc();
 }
 
 ShardedLruCache::Shard &ShardedLruCache::shardFor(std::uint64_t Key) {
@@ -52,10 +85,12 @@ ShardedLruCache::lookup(std::uint64_t Key,
   auto It = S.Index.find(Key);
   if (It == S.Index.end() || It->second->second.Bytes != Bytes) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    noteMiss(S);
     return std::nullopt;
   }
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Hits.fetch_add(1, std::memory_order_relaxed);
+  noteHit(S);
   MUTK_AUDIT(shardConsistent(S, CapacityPerShard),
              "cache shard index/LRU desynchronized after lookup");
   return It->second->second;
@@ -76,6 +111,7 @@ void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
     S.Index.erase(S.Lru.back().first);
     S.Lru.pop_back();
     Evictions.fetch_add(1, std::memory_order_relaxed);
+    noteEviction(S);
   }
   S.Lru.emplace_front(Key, std::move(Value));
   S.Index.emplace(Key, S.Lru.begin());

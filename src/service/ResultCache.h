@@ -19,6 +19,7 @@
 #ifndef MUTK_SERVICE_RESULTCACHE_H
 #define MUTK_SERVICE_RESULTCACHE_H
 
+#include "obs/Instruments.h"
 #include "tree/PhyloTree.h"
 
 #include <atomic>
@@ -62,6 +63,12 @@ public:
   /// Drops every entry (counters are kept).
   void clear();
 
+  /// Attaches registry counters: the aggregate hit/miss/eviction trio
+  /// plus one labeled trio per shard (`Shards.size()` entries expected;
+  /// extras ignored). Existing totals are not replayed.
+  void setInstruments(const obs::CacheInstruments *Aggregate,
+                      std::vector<obs::CacheShardInstruments> PerShard);
+
   std::uint64_t hits() const { return Hits.load(); }
   std::uint64_t misses() const { return Misses.load(); }
   std::uint64_t evictions() const { return Evictions.load(); }
@@ -69,6 +76,7 @@ public:
 
 private:
   struct Shard {
+    int Id = 0;
     std::mutex Mu;
     /// Front = most recently used.
     std::list<std::pair<std::uint64_t, CachedSolution>> Lru;
@@ -77,7 +85,13 @@ private:
 
   Shard &shardFor(std::uint64_t Key);
 
+  void noteHit(const Shard &S);
+  void noteMiss(const Shard &S);
+  void noteEviction(const Shard &S);
+
   std::vector<std::unique_ptr<Shard>> Shards;
+  const obs::CacheInstruments *Aggregate = nullptr;
+  std::vector<obs::CacheShardInstruments> PerShard;
   std::size_t CapacityPerShard;
   std::atomic<std::uint64_t> Hits{0};
   std::atomic<std::uint64_t> Misses{0};

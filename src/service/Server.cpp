@@ -2,6 +2,9 @@
 
 #include "service/Server.h"
 
+#include "obs/Instruments.h"
+#include "obs/Log.h"
+
 #include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
@@ -163,15 +166,30 @@ void SocketServer::acceptLoop() {
       break;
     }
     LiveFds.push_back(Fd);
+    obs::ServerInstruments &I = obs::serverInstruments();
+    I.ConnectionsAccepted.inc();
+    I.ConnectionsActive.add(1);
+    obs::log(obs::LogLevel::Debug, "server", "connection accepted")
+        .kv("fd", Fd)
+        .kv("active", LiveFds.size());
     Connections.emplace_back([this, Fd] { serveConnection(Fd); });
   }
 }
 
 void SocketServer::serveConnection(int Fd) {
+  obs::ServerInstruments &I = obs::serverInstruments();
   std::vector<std::uint8_t> Payload;
   while (Running.load(std::memory_order_acquire) && readFrame(Fd, Payload)) {
+    I.FramesRead.inc();
     std::string DecodeError;
     std::optional<Request> Req = decodeRequest(Payload, &DecodeError);
+    if (!Req) {
+      I.ParseErrors.inc();
+      obs::log(obs::LogLevel::Warn, "server", "undecodable request frame")
+          .kv("fd", Fd)
+          .kv("error", DecodeError)
+          .kv("bytes", Payload.size());
+    }
     Response Resp =
         Req ? Service.handle(*Req)
             : makeErrorResponse(Verb::Ping, ServiceError::BadFrame,
@@ -179,10 +197,14 @@ void SocketServer::serveConnection(int Fd) {
     if (!writeFrame(Fd, encodeResponse(Resp)))
       break;
     if (Req && Req->V == Verb::Shutdown) {
+      obs::log(obs::LogLevel::Info, "server", "shutdown requested")
+          .kv("fd", Fd);
       requestShutdown();
       break;
     }
   }
+  I.ConnectionsActive.sub(1);
+  obs::log(obs::LogLevel::Debug, "server", "connection closed").kv("fd", Fd);
   std::lock_guard<std::mutex> Lock(Mu);
   LiveFds.erase(std::remove(LiveFds.begin(), LiveFds.end(), Fd),
                 LiveFds.end());

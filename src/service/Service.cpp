@@ -4,11 +4,13 @@
 
 #include "matrix/Fingerprint.h"
 #include "matrix/Generators.h"
+#include "obs/Log.h"
 #include "seq/EvolutionSim.h"
 #include "support/Audit.h"
 #include "tree/Newick.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 
 using namespace mutk;
@@ -49,13 +51,22 @@ std::uint64_t wholeCacheKey(const CanonicalForm &Form,
 } // namespace
 
 TreeService::TreeService(const ServiceOptions &Options)
-    : Options(Options), Queue(std::max<std::size_t>(1, Options.QueueCapacity)),
+    : Options(Options), Obs(obs::serviceInstruments()),
+      Queue(std::max<std::size_t>(1, Options.QueueCapacity), Obs.Queue),
       Cache(std::max<std::size_t>(1, Options.CacheCapacity),
             Options.CacheShards) {
+  Cache.setInstruments(&obs::cacheInstruments(),
+                       obs::cacheShardInstruments(
+                           std::max(1, Options.CacheShards)));
   int NumWorkers = std::max(1, Options.NumWorkers);
   Workers.reserve(static_cast<std::size_t>(NumWorkers));
   for (int I = 0; I < NumWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  obs::log(obs::LogLevel::Debug, "service", "started")
+      .kv("workers", NumWorkers)
+      .kv("queue_capacity", std::max<std::size_t>(1, Options.QueueCapacity))
+      .kv("cache_capacity", Options.CacheCapacity)
+      .kv("cache_shards", std::max(1, Options.CacheShards));
 }
 
 TreeService::~TreeService() { stop(); }
@@ -68,6 +79,7 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
 
   auto reject = [&](ServiceError Error, const char *Message) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    Obs.Rejected.inc();
     BuildResponse Resp;
     Resp.Error = Error;
     Resp.Message = Message;
@@ -91,6 +103,7 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
   }
 
   Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+  Obs.Submitted.inc();
   return Future;
 }
 
@@ -110,6 +123,9 @@ Response TreeService::handle(const Request &R) {
   case Verb::Stats:
     Out.Stats = stats();
     break;
+  case Verb::StatsJson:
+    Out.StatsJson = statsJson();
+    break;
   case Verb::Ping:
   case Verb::Shutdown:
     break;
@@ -124,6 +140,34 @@ StatsSnapshot TreeService::stats() const {
   return S;
 }
 
+std::string TreeService::statsJson() const {
+  StatsSnapshot S = stats();
+  auto u64 = [](std::uint64_t V) { return std::to_string(V); };
+  auto f64 = [](double V) {
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    return std::string(Buf);
+  };
+  std::string Out = "{\"service\":{";
+  Out += "\"accepted\":" + u64(S.Accepted);
+  Out += ",\"completed\":" + u64(S.Completed);
+  Out += ",\"failed\":" + u64(S.Failed);
+  Out += ",\"rejected\":" + u64(S.Rejected);
+  Out += ",\"deadline_expired\":" + u64(S.DeadlineExpired);
+  Out += ",\"whole_hits\":" + u64(S.WholeHits);
+  Out += ",\"whole_misses\":" + u64(S.WholeMisses);
+  Out += ",\"block_hits\":" + u64(S.BlockHits);
+  Out += ",\"block_misses\":" + u64(S.BlockMisses);
+  Out += ",\"queue_depth\":" + u64(S.QueueDepth);
+  Out += ",\"cache_entries\":" + u64(S.CacheEntries);
+  Out += ",\"p50_ms\":" + f64(S.P50Millis);
+  Out += ",\"p95_ms\":" + f64(S.P95Millis);
+  Out += "},\"registry\":";
+  Out += obs::MetricsRegistry::global().renderJson();
+  Out += "}";
+  return Out;
+}
+
 void TreeService::stop() {
   std::lock_guard<std::mutex> Lock(StopMu);
   if (Stopping.exchange(true, std::memory_order_acq_rel)) {
@@ -136,6 +180,7 @@ void TreeService::stop() {
   // running and resolve their promises normally.
   for (Job &J : Queue.drain()) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    Obs.Rejected.inc();
     BuildResponse Resp;
     Resp.Error = ServiceError::ShuttingDown;
     Resp.Message = "service stopped before the job started";
@@ -148,23 +193,40 @@ void TreeService::stop() {
 
 void TreeService::workerLoop() {
   while (std::optional<Job> J = Queue.pop()) {
+    Obs.QueueWaitMillis.record(std::chrono::duration<double, std::milli>(
+                                   Clock::now() - J->SubmitTime)
+                                   .count());
+    Obs.InFlight.add(1);
     BuildResponse Resp;
     try {
       Resp = process(J->Request, J->SubmitTime);
     } catch (const std::exception &E) {
       Resp.Error = ServiceError::Internal;
       Resp.Message = E.what();
+      obs::log(obs::LogLevel::Warn, "service", "job failed with exception")
+          .kv("error", E.what());
     } catch (...) {
       Resp.Error = ServiceError::Internal;
       Resp.Message = "unknown failure";
+      obs::log(obs::LogLevel::Warn, "service",
+               "job failed with unknown exception");
     }
-    if (Resp.ok())
-      Counters.Completed.fetch_add(1, std::memory_order_relaxed);
-    else
-      Counters.Failed.fetch_add(1, std::memory_order_relaxed);
+    Obs.InFlight.sub(1);
     double TotalMillis = std::chrono::duration<double, std::milli>(
                              Clock::now() - J->SubmitTime)
                              .count();
+    if (Resp.ok()) {
+      Counters.Completed.fetch_add(1, std::memory_order_relaxed);
+      Obs.Completed.inc();
+      Obs.RequestOkMillis.record(TotalMillis);
+    } else {
+      Counters.Failed.fetch_add(1, std::memory_order_relaxed);
+      Obs.Failed.inc();
+      Obs.RequestErrorMillis.record(TotalMillis);
+      obs::log(obs::LogLevel::Debug, "service", "job answered with error")
+          .kv("error", serviceErrorName(Resp.Error))
+          .kv("total_ms", TotalMillis);
+    }
     Counters.Latency.record(TotalMillis);
     J->Promise.set_value(std::move(Resp));
   }
@@ -189,6 +251,7 @@ BuildResponse TreeService::process(const BuildRequest &Request,
       SubmitTime + std::chrono::milliseconds(Request.DeadlineMillis);
   if (HasDeadline && Start >= Deadline) {
     Counters.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    Obs.DeadlineExpired.inc();
     return fail(ServiceError::DeadlineExpired,
                 "deadline elapsed while the job was queued");
   }
@@ -245,6 +308,7 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     if (std::optional<CachedSolution> Hit =
             Cache.lookup(wholeCacheKey(Form, Request), Identity)) {
       Counters.WholeHits.fetch_add(1, std::memory_order_relaxed);
+      Obs.WholeHits.inc();
       PhyloTree Tree = relabelLeaves(Hit->Tree, Form.Perm);
       Tree.setNames(M.names());
       // A replayed tree must be exactly as good as a fresh solve: same
@@ -269,6 +333,7 @@ BuildResponse TreeService::process(const BuildRequest &Request,
       return Resp;
     }
     Counters.WholeMisses.fetch_add(1, std::memory_order_relaxed);
+    Obs.WholeMisses.inc();
   }
 
   PhyloTree SolvedTree;
@@ -359,6 +424,7 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
 
   if (HasDeadline && Clock::now() > Deadline) {
     Counters.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+    Obs.DeadlineExpired.inc();
     Resp.Error = ServiceError::DeadlineExpired;
     Resp.Message = "deadline elapsed during the solve";
     return Resp;

@@ -23,6 +23,7 @@
 #define MUTK_SERVICE_SERVICE_H
 
 #include "compact/CompactSetPipeline.h"
+#include "obs/Instruments.h"
 #include "service/JobQueue.h"
 #include "service/Protocol.h"
 #include "service/ResultCache.h"
@@ -79,6 +80,12 @@ public:
   /// Current counters (includes live queue depth and cache size).
   StatsSnapshot stats() const;
 
+  /// One JSON object merging this instance's snapshot with the
+  /// process-wide metrics registry (queue, cache, request-latency and
+  /// B&B counters). Answered to the `StatsJson` verb; schema in
+  /// `docs/observability.md`.
+  std::string statsJson() const;
+
   /// Graceful shutdown: stops admissions, fails queued jobs with
   /// `ShuttingDown`, lets in-flight solves finish, joins the workers.
   /// Idempotent; the destructor calls it.
@@ -106,6 +113,7 @@ private:
                            PhyloTree &OutTree);
 
   ServiceOptions Options;
+  obs::ServiceInstruments &Obs;
   BoundedQueue<Job> Queue;
   ShardedLruCache Cache;
   ServiceCounters Counters;

@@ -2,72 +2,45 @@
 ///
 /// \file
 /// Lock-free counters for the tree-construction service, exposed through
-/// the `Stats` protocol verb. Latency percentiles come from a fixed
-/// power-of-two histogram over microseconds: `record` is one atomic
-/// increment on the hot path, and p50/p95 are reconstructed from the
-/// bucket counts with at most ~40% relative quantization error — plenty
-/// for dashboards, free of allocation and locks.
+/// the `Stats` protocol verb. Latency percentiles come from an
+/// `obs::Histogram` recording microseconds (sub-millisecond requests
+/// keep their resolution): `record` is two relaxed atomic adds on the
+/// hot path, and p50/p95 are reconstructed from the power-of-two bucket
+/// counts — plenty for dashboards, free of allocation and locks.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MUTK_SERVICE_SERVICESTATS_H
 #define MUTK_SERVICE_SERVICESTATS_H
 
+#include "obs/Metrics.h"
 #include "service/Protocol.h"
 
-#include <array>
 #include <atomic>
-#include <bit>
 #include <cstdint>
 
 namespace mutk {
 
-/// Histogram with one bucket per power of two of microseconds
-/// (bucket 0 covers <= 1us, bucket 63 everything above ~146 hours).
+/// Millisecond latency histogram backed by an `obs::Histogram` over
+/// microseconds, so sub-millisecond solves still land in distinct
+/// buckets.
 class LatencyHistogram {
 public:
-  void record(double Millis) {
-    double Micros = Millis * 1000.0;
-    std::uint64_t Us = Micros <= 1.0 ? 1 : static_cast<std::uint64_t>(Micros);
-    int Bucket = std::bit_width(Us) - 1;
-    if (Bucket >= NumBuckets)
-      Bucket = NumBuckets - 1;
-    Buckets[static_cast<std::size_t>(Bucket)].fetch_add(
-        1, std::memory_order_relaxed);
-  }
+  void record(double Millis) { H.record(Millis * 1000.0); }
 
-  /// Returns the approximate \p P quantile (0 < P < 1) in milliseconds;
-  /// 0 when nothing was recorded. The returned value is the geometric
-  /// midpoint of the bucket containing the quantile.
-  double percentileMillis(double P) const {
-    std::uint64_t Total = 0;
-    std::array<std::uint64_t, NumBuckets> Snapshot;
-    for (int I = 0; I < NumBuckets; ++I) {
-      Snapshot[static_cast<std::size_t>(I)] =
-          Buckets[static_cast<std::size_t>(I)].load(
-              std::memory_order_relaxed);
-      Total += Snapshot[static_cast<std::size_t>(I)];
-    }
-    if (Total == 0)
-      return 0.0;
-    std::uint64_t Rank = static_cast<std::uint64_t>(P * Total);
-    if (Rank >= Total)
-      Rank = Total - 1;
-    std::uint64_t Seen = 0;
-    for (int I = 0; I < NumBuckets; ++I) {
-      Seen += Snapshot[static_cast<std::size_t>(I)];
-      if (Seen > Rank) {
-        // Bucket I spans [2^I, 2^(I+1)) microseconds.
-        double MidUs = 1.5 * static_cast<double>(1ull << I);
-        return MidUs / 1000.0;
-      }
-    }
-    return 0.0;
+  /// Snapshot with every value converted back to milliseconds.
+  obs::HistogramSnapshot snapshotMillis() const {
+    obs::HistogramSnapshot S = H.snapshot();
+    S.Sum /= 1000.0;
+    S.P50 /= 1000.0;
+    S.P95 /= 1000.0;
+    S.P99 /= 1000.0;
+    S.Max /= 1000.0;
+    return S;
   }
 
 private:
-  static constexpr int NumBuckets = 64;
-  std::array<std::atomic<std::uint64_t>, NumBuckets> Buckets{};
+  obs::Histogram H;
 };
 
 /// The service's monotonically increasing counters.
@@ -96,8 +69,9 @@ struct ServiceCounters {
     S.BlockMisses = BlockMisses.load(std::memory_order_relaxed);
     S.DeadlineExpired = DeadlineExpired.load(std::memory_order_relaxed);
     S.Rejected = Rejected.load(std::memory_order_relaxed);
-    S.P50Millis = Latency.percentileMillis(0.50);
-    S.P95Millis = Latency.percentileMillis(0.95);
+    obs::HistogramSnapshot L = Latency.snapshotMillis();
+    S.P50Millis = L.P50;
+    S.P95Millis = L.P95;
     return S;
   }
 };

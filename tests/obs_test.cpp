@@ -1,0 +1,326 @@
+//===- tests/obs_test.cpp - Observability layer tests ---------------------===//
+//
+// Covers src/obs bottom-up: counters/gauges/histograms under concurrent
+// writers, registry snapshot consistency and rendering, structured-log
+// level filtering and record format, and an end-to-end STATS round trip
+// over a live socket server asserting the cache counters move after a
+// duplicate-matrix request.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Instruments.h"
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "service/Client.h"
+#include "service/Server.h"
+#include "service/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mutk;
+using namespace mutk::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Instruments under concurrent writers
+//===----------------------------------------------------------------------===//
+
+TEST(ObsCounter, ConcurrentIncrementsAllLand) {
+  Counter C;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10'000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<std::uint64_t>(NumThreads) * PerThread);
+}
+
+TEST(ObsGauge, MatchedAddSubReturnsToZero) {
+  Gauge G;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 5'000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&G] {
+      for (int I = 0; I < PerThread; ++I) {
+        G.add(3);
+        G.sub(3);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(G.value(), 0);
+  G.set(-7);
+  EXPECT_EQ(G.value(), -7);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepCountAndSum) {
+  Histogram H;
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 4'000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&H] {
+      for (int I = 0; I < PerThread; ++I)
+        H.record(2.0);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, static_cast<std::uint64_t>(NumThreads) * PerThread);
+  EXPECT_NEAR(S.Sum, 2.0 * NumThreads * PerThread,
+              0.01 * NumThreads * PerThread);
+  EXPECT_GT(S.P50, 0.0);
+}
+
+TEST(ObsHistogram, QuantilesOrderedAndBucketed) {
+  Histogram H;
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  EXPECT_DOUBLE_EQ(H.snapshot().P99, 0.0);
+  for (int I = 0; I < 90; ++I)
+    H.record(4.0); // bucket [4,8)
+  for (int I = 0; I < 10; ++I)
+    H.record(1000.0); // bucket [512,1024) midpoint 768
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 100u);
+  EXPECT_GT(S.P50, 2.0);
+  EXPECT_LT(S.P50, 10.0);
+  EXPECT_LE(S.P50, S.P95);
+  EXPECT_LE(S.P95, S.P99);
+  EXPECT_GT(S.P99, 300.0);
+  EXPECT_GE(S.Max, S.P99);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry: registration, snapshot, rendering
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry R;
+  Counter &A = R.counter("x_total");
+  Counter &B = R.counter("x_total");
+  EXPECT_EQ(&A, &B);
+  A.inc(5);
+  EXPECT_EQ(B.value(), 5u);
+  EXPECT_NE(static_cast<void *>(&R.gauge("g")),
+            static_cast<void *>(&R.counter("g2")));
+}
+
+TEST(ObsRegistry, SnapshotWhileWritersRun) {
+  MetricsRegistry R;
+  Counter &C = R.counter("writes_total");
+  Histogram &H = R.histogram("lat_ms");
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      C.inc();
+      H.record(1.5);
+    }
+  });
+  for (int I = 0; I < 50; ++I) {
+    MetricsSnapshot S = R.snapshot();
+    ASSERT_EQ(S.Counters.size(), 1u);
+    ASSERT_EQ(S.Histograms.size(), 1u);
+    EXPECT_EQ(S.Counters[0].first, "writes_total");
+  }
+  Stop.store(true);
+  Writer.join();
+  MetricsSnapshot Final = R.snapshot();
+  EXPECT_EQ(Final.Counters[0].second, C.value());
+  EXPECT_EQ(Final.Histograms[0].second.Count, H.count());
+}
+
+TEST(ObsRegistry, RendersPrometheusAndJson) {
+  MetricsRegistry R;
+  R.counter("mutk_test_events_total").inc(3);
+  R.counter("mutk_test_shard_total{shard=\"0\"}").inc(1);
+  R.gauge("mutk_test_depth").set(4);
+  R.histogram("mutk_test_ms").record(10.0);
+
+  std::string Prom = R.renderPrometheus();
+  EXPECT_NE(Prom.find("# TYPE mutk_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("mutk_test_events_total 3"), std::string::npos);
+  EXPECT_NE(Prom.find("mutk_test_shard_total{shard=\"0\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("mutk_test_depth 4"), std::string::npos);
+  EXPECT_NE(Prom.find("mutk_test_ms_count 1"), std::string::npos);
+  EXPECT_NE(Prom.find("quantile=\"0.95\""), std::string::npos);
+
+  std::string Json = R.renderJson();
+  EXPECT_NE(Json.find("\"mutk_test_events_total\":3"), std::string::npos);
+  EXPECT_NE(Json.find("\"mutk_test_depth\":4"), std::string::npos);
+  EXPECT_NE(Json.find("\"count\":1"), std::string::npos);
+  // Label quotes must arrive escaped inside the JSON key.
+  EXPECT_NE(Json.find("mutk_test_shard_total{shard=\\\"0\\\"}"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logging
+//===----------------------------------------------------------------------===//
+
+/// Captures emitted records for the duration of a test and restores the
+/// stderr sink afterwards.
+class LogCapture {
+public:
+  LogCapture() {
+    setLogSink([this](std::string_view Line) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Lines.emplace_back(Line);
+    });
+  }
+  ~LogCapture() {
+    setLogSink(nullptr);
+    configureLogging("info");
+  }
+
+  std::vector<std::string> lines() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Lines;
+  }
+
+private:
+  std::mutex Mu;
+  std::vector<std::string> Lines;
+};
+
+TEST(ObsLog, LevelFilteringAndRecordFormat) {
+  LogCapture Capture;
+  configureLogging("warn");
+  log(LogLevel::Info, "queue", "dropped");
+  log(LogLevel::Warn, "queue", "overflow").kv("depth", 17).kv("ok", false);
+  std::vector<std::string> Lines = Capture.lines();
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_NE(Lines[0].find("level=warn"), std::string::npos);
+  EXPECT_NE(Lines[0].find("comp=queue"), std::string::npos);
+  EXPECT_NE(Lines[0].find("msg=\"overflow\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("depth=17"), std::string::npos);
+  EXPECT_NE(Lines[0].find("ok=false"), std::string::npos);
+  EXPECT_NE(Lines[0].find("ts="), std::string::npos);
+  EXPECT_EQ(Lines[0].back(), '\n');
+}
+
+TEST(ObsLog, ComponentOverridesBeatDefault) {
+  LogCapture Capture;
+  configureLogging("error,cache=debug");
+  log(LogLevel::Debug, "cache", "probe").kv("key", 1);
+  log(LogLevel::Warn, "server", "suppressed");
+  log(LogLevel::Error, "server", "kept");
+  std::vector<std::string> Lines = Capture.lines();
+  ASSERT_EQ(Lines.size(), 2u);
+  EXPECT_NE(Lines[0].find("comp=cache"), std::string::npos);
+  EXPECT_NE(Lines[1].find("msg=\"kept\""), std::string::npos);
+}
+
+TEST(ObsLog, ValuesWithSpacesAreQuoted) {
+  LogCapture Capture;
+  configureLogging("info");
+  log(LogLevel::Info, "svc", "x").kv("err", "queue is full").kv("n", 2.5);
+  std::vector<std::string> Lines = Capture.lines();
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_NE(Lines[0].find("err=\"queue is full\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("n=2.5"), std::string::npos);
+}
+
+TEST(ObsLog, ConcurrentEmittersNeverInterleave) {
+  LogCapture Capture;
+  configureLogging("info");
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 200;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I < PerThread; ++I)
+        log(LogLevel::Info, "worker", "tick").kv("t", T).kv("i", I);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  std::vector<std::string> Lines = Capture.lines();
+  ASSERT_EQ(Lines.size(),
+            static_cast<std::size_t>(NumThreads) * PerThread);
+  for (const std::string &L : Lines) {
+    // Every record is complete: exactly one ts= prefix and one newline.
+    EXPECT_EQ(L.rfind("ts=", 0), 0u);
+    EXPECT_EQ(L.find('\n'), L.size() - 1);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: STATS verb over a live socket
+//===----------------------------------------------------------------------===//
+
+TEST(ObsEndToEnd, StatsJsonMovesAfterDuplicateBuild) {
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  TreeService Service(Options);
+  SocketServer Server(Service);
+  std::string SocketPath = testing::TempDir() + "obs_e2e.sock";
+  std::string Error;
+  ASSERT_TRUE(Server.listenUnix(SocketPath, &Error)) << Error;
+  Server.start();
+
+  ServiceClient Client;
+  ASSERT_TRUE(Client.connectUnix(SocketPath, &Error)) << Error;
+
+  DistanceMatrix M(6);
+  for (int I = 0; I < 6; ++I)
+    for (int J = I + 1; J < 6; ++J)
+      M.set(I, J, static_cast<double>(I + J + 1));
+
+  // First build misses the whole-matrix cache, second one hits it.
+  std::optional<StatsSnapshot> Before = Client.stats(&Error);
+  ASSERT_TRUE(Before.has_value()) << Error;
+  for (int Round = 0; Round < 2; ++Round) {
+    BuildRequest Request;
+    Request.Matrix = M;
+    std::optional<BuildResponse> Resp = Client.build(Request, &Error);
+    ASSERT_TRUE(Resp.has_value()) << Error;
+    ASSERT_TRUE(Resp->ok()) << Resp->Message;
+    EXPECT_EQ(Resp->CacheHit, Round == 1);
+  }
+  std::optional<StatsSnapshot> After = Client.stats(&Error);
+  ASSERT_TRUE(After.has_value()) << Error;
+  EXPECT_EQ(After->Completed - Before->Completed, 2u);
+  EXPECT_EQ(After->WholeHits - Before->WholeHits, 1u);
+  EXPECT_EQ(After->WholeMisses - Before->WholeMisses, 1u);
+
+  // StatsJson: full registry dump. The build above went through queue,
+  // cache, solver and pipeline, so every advertised counter family is
+  // present and the line-protocol JSON parses far enough to find them.
+  std::optional<std::string> Json = Client.statsJson(&Error);
+  ASSERT_TRUE(Json.has_value()) << Error;
+  EXPECT_EQ(Json->front(), '{');
+  EXPECT_EQ(Json->back(), '}');
+  for (const char *Key :
+       {"\"service\":", "\"registry\":", "\"counters\":", "\"histograms\":",
+        "\"mutk_service_requests_total\":", "\"mutk_queue_enqueued_total\":",
+        "\"mutk_cache_whole_hits_total\":", "\"mutk_bnb_solves_total\":",
+        "\"mutk_pipeline_runs_total\":", "\"mutk_service_request_ok_ms\":",
+        "\"mutk_server_frames_total\":"})
+    EXPECT_NE(Json->find(Key), std::string::npos) << Key;
+
+  // The global singletons moved: whole-cache hit recorded, solver ran.
+  EXPECT_GE(serviceInstruments().WholeHits.value(), 1u);
+  EXPECT_GE(bnbInstruments().Solves.value(), 1u);
+  EXPECT_GE(pipelineInstruments().Runs.value(), 1u);
+  EXPECT_GE(serverInstruments().FramesRead.value(), 4u);
+
+  Client.disconnect();
+  Server.stop();
+  Service.stop();
+}
+
+} // namespace

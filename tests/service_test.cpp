@@ -426,19 +426,19 @@ TEST(Protocol, RejectsNegativeAndNanDistances) {
 
 TEST(LatencyHistogram, PercentilesAreOrderedAndInRange) {
   LatencyHistogram H;
-  EXPECT_DOUBLE_EQ(H.percentileMillis(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(H.snapshotMillis().P50, 0.0);
   for (int I = 0; I < 95; ++I)
     H.record(1.0);
   for (int I = 0; I < 5; ++I)
     H.record(200.0);
-  double P50 = H.percentileMillis(0.50);
-  double P95 = H.percentileMillis(0.95);
-  EXPECT_GT(P50, 0.2);
-  EXPECT_LT(P50, 3.0); // power-of-two buckets: within ~2x of 1ms
-  EXPECT_LE(P50, P95);
-  double P99 = H.percentileMillis(0.99);
-  EXPECT_GT(P99, 100.0);
-  EXPECT_LT(P99, 500.0);
+  obs::HistogramSnapshot S = H.snapshotMillis();
+  EXPECT_EQ(S.Count, 100u);
+  EXPECT_GT(S.P50, 0.2);
+  EXPECT_LT(S.P50, 3.0); // power-of-two buckets: within ~2x of 1ms
+  EXPECT_LE(S.P50, S.P95);
+  EXPECT_GT(S.P99, 100.0);
+  EXPECT_LT(S.P99, 500.0);
+  EXPECT_GT(S.Max, 100.0);
 }
 
 //===----------------------------------------------------------------------===//
