@@ -19,16 +19,23 @@
 //   --condense {max|min|avg}  --three-three {none|third|all}
 //   --max-exact N  --budget NODES  --deadline MILLIS  --no-cache
 //   --polish  --json
+// Connection options:
+//   --retries N      retry a failed connect up to N times (default 0)
+//   --backoff-ms MS  initial retry delay, doubled per attempt and
+//                    capped at 5000ms (default 100)
 //
 //===----------------------------------------------------------------------===//
 
 #include "matrix/MatrixIO.h"
 #include "service/Client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 using namespace mutk;
 
@@ -42,7 +49,8 @@ int usage(const char *Argv0) {
       "        | --stats [--json] | --ping | --shutdown)\n"
       "       [--condense max|min|avg] [--three-three none|third|all]\n"
       "       [--max-exact N] [--budget NODES] [--deadline MS]\n"
-      "       [--no-cache] [--polish] [--json]\n",
+      "       [--no-cache] [--polish] [--json]\n"
+      "       [--retries N] [--backoff-ms MS]\n",
       Argv0);
   return 1;
 }
@@ -81,6 +89,9 @@ void printBuildJson(const BuildResponse &R) {
 int main(int argc, char **argv) {
   std::string Connect, MatrixPath, Generate;
   bool Stats = false, Ping = false, Shutdown = false, Json = false;
+  int ConnectRetries = 0;
+  long ConnectBackoffMillis = 100;
+  constexpr long MaxBackoffMillis = 5000;
   BuildRequest Request;
 
   for (int I = 1; I < argc; ++I) {
@@ -138,6 +149,10 @@ int main(int argc, char **argv) {
       Shutdown = true;
     else if (Arg == "--json")
       Json = true;
+    else if (Arg == "--retries" && (V = next()))
+      ConnectRetries = std::max(0, std::atoi(V));
+    else if (Arg == "--backoff-ms" && (V = next()))
+      ConnectBackoffMillis = std::max(1L, std::atol(V));
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n",
                    Arg.c_str());
@@ -149,19 +164,34 @@ int main(int argc, char **argv) {
 
   ServiceClient Client;
   std::string Error;
-  bool Connected = false;
-  if (Connect.rfind("unix:", 0) == 0) {
-    Connected = Client.connectUnix(Connect.substr(5), &Error);
-  } else {
-    std::size_t Colon = Connect.rfind(':');
+  std::size_t Colon = std::string::npos;
+  bool IsUnix = Connect.rfind("unix:", 0) == 0;
+  if (!IsUnix) {
+    Colon = Connect.rfind(':');
     if (Colon == std::string::npos) {
       std::fprintf(stderr, "error: --connect expects unix:PATH or "
                            "HOST:PORT\n");
       return 1;
     }
-    Connected = Client.connectTcp(Connect.substr(0, Colon),
-                                  std::atoi(Connect.c_str() + Colon + 1),
-                                  &Error);
+  }
+
+  // Connect with capped exponential backoff: daemon restarts (e.g. a
+  // crash-recovery bounce with --state-dir) briefly close the socket,
+  // and a scripted client should ride that out instead of failing.
+  bool Connected = false;
+  long BackoffMillis = ConnectBackoffMillis;
+  for (int Attempt = 0;; ++Attempt) {
+    Connected = IsUnix
+                    ? Client.connectUnix(Connect.substr(5), &Error)
+                    : Client.connectTcp(Connect.substr(0, Colon),
+                                        std::atoi(Connect.c_str() + Colon + 1),
+                                        &Error);
+    if (Connected || Attempt >= ConnectRetries)
+      break;
+    std::fprintf(stderr, "connect failed (%s), retry %d/%d in %ldms\n",
+                 Error.c_str(), Attempt + 1, ConnectRetries, BackoffMillis);
+    std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMillis));
+    BackoffMillis = std::min(BackoffMillis * 2, MaxBackoffMillis);
   }
   if (!Connected) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());

@@ -11,6 +11,7 @@
 //   mutkd --unix PATH | --port N [--host A.B.C.D]
 //         [--workers N] [--queue N] [--cache N] [--max-species N]
 //         [--stats-dump PATH [--stats-interval SEC]]
+//         [--state-dir DIR]
 //
 // The daemon runs until a client sends the Shutdown verb (or SIGINT /
 // SIGTERM arrives), then drains in-flight jobs and exits 0. Startup,
@@ -18,6 +19,11 @@
 // stderr (key=value, levels via MUTK_LOG — see docs/observability.md);
 // --stats-dump atomically rewrites a Prometheus-style text file with
 // every registry metric each interval (default 10s) and once on exit.
+// --state-dir makes the daemon crash-safe: solved results persist in a
+// snapshot + WAL and are served as cache hits after a restart, accepted
+// jobs are journaled and re-run if the process dies mid-solve, and long
+// block searches checkpoint so a restart resumes instead of restarting
+// them (formats and recovery semantics in docs/persistence.md).
 //
 //===----------------------------------------------------------------------===//
 
@@ -49,7 +55,8 @@ int usage(const char *Argv0) {
                "usage: %s --unix PATH | --port N [--host IPV4]\n"
                "       [--workers N] [--queue N] [--cache N]"
                " [--max-species N]\n"
-               "       [--stats-dump PATH [--stats-interval SEC]]\n",
+               "       [--stats-dump PATH [--stats-interval SEC]]"
+               " [--state-dir DIR]\n",
                Argv0);
   return 1;
 }
@@ -172,6 +179,8 @@ int main(int argc, char **argv) {
       StatsDumpPath = V;
     else if (Arg == "--stats-interval" && (V = next()))
       StatsIntervalSeconds = std::max(1, std::atoi(V));
+    else if (Arg == "--state-dir" && (V = next()))
+      Options.StateDir = V;
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n",
                    Arg.c_str());
@@ -227,7 +236,9 @@ int main(int argc, char **argv) {
       .kv("max_species", Options.MaxSpecies)
       .kv("build", buildFlavor())
       .kv("stats_dump",
-          StatsDumpPath.empty() ? std::string("off") : StatsDumpPath);
+          StatsDumpPath.empty() ? std::string("off") : StatsDumpPath)
+      .kv("state_dir",
+          Options.StateDir.empty() ? std::string("off") : Options.StateDir);
 
   // Route the blocked SIGINT/SIGTERM through a dedicated sigwait
   // thread: handlers cannot safely stop a server, a blocked thread can.

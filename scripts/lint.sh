@@ -129,6 +129,18 @@ grep_rule "volatile used as a (non-)synchronization primitive" \
 grep_rule "sleep-based waiting in src/ (use condition variables)" \
   'sleep_for|sleep_until|usleep\(|::sleep\('
 
+# Durable state may only be written through persist/Files.h (atomic
+# temp+fsync+rename, or the O_APPEND AppendFile): stream/stdio file
+# output under src/persist/ would bypass the crash-safety discipline.
+hits=$(cd "$REPO_ROOT" &&
+       grep -rnE 'std::ofstream|std::fstream|fopen\(|freopen\(' src/persist \
+         --include='*.cpp' --include='*.h' 2>/dev/null |
+       sed 's|//.*||' | grep -E 'std::ofstream|std::fstream|fopen\(|freopen\(')
+if [ -n "$hits" ]; then
+  fail "non-atomic file writes under src/persist/ (use persist/Files.h primitives)"
+  printf '%s\n' "$hits" >&2
+fi
+
 # printf-family debugging must not linger outside the designated
 # reporting surfaces (tools, Audit failure reporting, ASCII renderers).
 DEBUG_PRINT_ALLOWLIST='src/support/Audit.cpp|src/tools/|src/analysis/'

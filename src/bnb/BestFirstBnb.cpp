@@ -2,18 +2,21 @@
 
 #include "bnb/BestFirstBnb.h"
 
+#include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
+#include "matrix/Fingerprint.h"
 #include "obs/Instruments.h"
 #include "support/Audit.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
-#include <queue>
 
 using namespace mutk;
 
 namespace {
 
-/// Queue entry: the topology plus its cached lower bound (avoids
+/// Heap entry: the topology plus its cached lower bound (avoids
 /// recomputing inside the heap comparator).
 struct QueueEntry {
   Topology Node;
@@ -30,6 +33,8 @@ struct WorseLowerBound {
 
 BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
                                         const BnbOptions &Options) {
+  assert(!(Options.Checkpoint && Options.CollectAllOptimal) &&
+         "checkpointing does not capture the co-optimal set");
   BestFirstResult Result;
   if (M.size() <= 1) {
     if (M.size() == 1) {
@@ -42,19 +47,56 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
   BnbEngine Engine(M, Options);
   const double Eps = Options.Epsilon;
 
+  std::uint64_t MatrixKey = 0;
+  if (Options.Checkpoint || Options.ResumeFrom)
+    MatrixKey = fingerprint(M);
+  const SearchCheckpoint *Resume = usableResume(Options, MatrixKey);
+
   double Ub = Engine.initialUpperBound();
   PhyloTree Best = Engine.initialTree();
   std::vector<PhyloTree> Optimal;
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, WorseLowerBound>
-      Queue;
-  {
+  // An explicit binary heap (std::push_heap/pop_heap over a vector)
+  // instead of std::priority_queue: the checkpoint needs to walk the
+  // whole frontier, which the adaptor hides.
+  std::vector<QueueEntry> Queue;
+  BnbStats &Stats = Result.Stats;
+  if (Resume) {
+    if (Resume->UpperBound < Ub) {
+      Ub = Resume->UpperBound;
+      Best = Resume->Incumbent;
+      Best.setNames(M.names());
+    }
+    Stats = Resume->Stats;
+    Stats.Complete = true; // re-decided by this run
+    Queue.reserve(Resume->Frontier.size());
+    for (const Topology &T : Resume->Frontier)
+      Queue.push_back(QueueEntry{T, Engine.lowerBound(T)});
+    std::make_heap(Queue.begin(), Queue.end(), WorseLowerBound{});
+  } else {
     Topology Root = Engine.rootTopology();
     double Lb = Engine.lowerBound(Root);
-    Queue.push(QueueEntry{std::move(Root), Lb});
+    Queue.push_back(QueueEntry{std::move(Root), Lb});
   }
 
-  BnbStats &Stats = Result.Stats;
+  CheckpointPacer Pacer(Options.CheckpointEveryNodes,
+                        Options.CheckpointEverySeconds, Stats.Branched);
+  auto maybeCheckpoint = [&]() {
+    if (!Options.Checkpoint || !Pacer.due(Stats.Branched))
+      return;
+    SearchCheckpoint Ck;
+    Ck.Frontier.reserve(Queue.size());
+    for (const QueueEntry &Entry : Queue)
+      Ck.Frontier.push_back(Entry.Node);
+    Ck.Incumbent = Best;
+    Ck.UpperBound = Ub;
+    Ck.Stats = Stats;
+    Ck.Stats.Complete = false; // a checkpoint is an unfinished search
+    Ck.MatrixKey = MatrixKey;
+    Options.Checkpoint->checkpoint(Ck);
+    Pacer.taken(Stats.Branched);
+  };
+
   while (!Queue.empty()) {
     if (Options.MaxBranchedNodes != 0 &&
         Stats.Branched >= Options.MaxBranchedNodes) {
@@ -63,8 +105,9 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
     }
     Result.PeakFrontier = std::max(Result.PeakFrontier, Queue.size());
 
-    QueueEntry Entry = Queue.top();
-    Queue.pop();
+    std::pop_heap(Queue.begin(), Queue.end(), WorseLowerBound{});
+    QueueEntry Entry = std::move(Queue.back());
+    Queue.pop_back();
 
     // Best-first property: once the best lower bound reaches the upper
     // bound, nothing left in the queue can improve on it.
@@ -92,8 +135,10 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
         continue;
       }
       double Lb = Engine.lowerBound(Child);
-      Queue.push(QueueEntry{std::move(Child), Lb});
+      Queue.push_back(QueueEntry{std::move(Child), Lb});
+      std::push_heap(Queue.begin(), Queue.end(), WorseLowerBound{});
     }
+    maybeCheckpoint();
   }
 
   if (Options.CollectAllOptimal && Optimal.empty() &&

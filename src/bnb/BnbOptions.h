@@ -18,6 +18,9 @@
 
 namespace mutk {
 
+class CheckpointSink;
+struct SearchCheckpoint;
+
 /// Where the 3-3 relationship constraint is enforced during branching.
 enum class ThreeThreeMode {
   None,          ///< No triple pruning (pure Algorithm BBU).
@@ -61,6 +64,25 @@ struct BnbOptions {
   /// path. Disable for micro-benchmarks that call the solver in a tight
   /// loop and want zero shared-cache traffic.
   bool PublishMetrics = true;
+
+  /// Checkpointing (see `bnb/Checkpoint.h`): when non-null, the solver
+  /// hands its full search state to the sink every `CheckpointEveryNodes`
+  /// branched nodes or `CheckpointEverySeconds` wall seconds, whichever
+  /// fires first (a zero disables that trigger; both zero disables
+  /// checkpointing even with a sink attached). Borrowed; must outlive
+  /// the solve. Not supported together with `CollectAllOptimal` (the
+  /// co-optimal set is not captured).
+  CheckpointSink *Checkpoint = nullptr;
+  std::uint64_t CheckpointEveryNodes = 0;
+  double CheckpointEverySeconds = 0.0;
+
+  /// Resume a previous search instead of starting from the root: the
+  /// solver seeds its frontier, incumbent, upper bound and counters from
+  /// this state. Must have been captured from a solve of the *same*
+  /// matrix with the same `ThreeThree`/`AssumeMaxminOrdered` settings
+  /// (the persist layer verifies the matrix fingerprint). Borrowed; must
+  /// outlive the solve.
+  const SearchCheckpoint *ResumeFrom = nullptr;
 };
 
 /// Counters reported by a solve.

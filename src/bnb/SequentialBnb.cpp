@@ -2,10 +2,13 @@
 
 #include "bnb/SequentialBnb.h"
 
+#include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
+#include "matrix/Fingerprint.h"
 #include "obs/Instruments.h"
 #include "support/Audit.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace mutk;
@@ -26,8 +29,24 @@ bool solveTrivial(const DistanceMatrix &M, MutResult &Result) {
 
 } // namespace
 
+/// Resume validity shared by all solvers: a checkpoint stamped with a
+/// different matrix fingerprint must not seed this search. \returns the
+/// usable checkpoint or nullptr (fresh start).
+const SearchCheckpoint *mutk::usableResume(const BnbOptions &Options,
+                                           std::uint64_t MatrixKey) {
+  const SearchCheckpoint *Resume = Options.ResumeFrom;
+  if (!Resume)
+    return nullptr;
+  if (Resume->MatrixKey != 0 && MatrixKey != 0 &&
+      Resume->MatrixKey != MatrixKey)
+    return nullptr;
+  return Resume;
+}
+
 MutResult mutk::solveMutSequential(const DistanceMatrix &M,
                                    const BnbOptions &Options) {
+  assert(!(Options.Checkpoint && Options.CollectAllOptimal) &&
+         "checkpointing does not capture the co-optimal set");
   MutResult Result;
   if (solveTrivial(M, Result))
     return Result;
@@ -35,14 +54,49 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
   BnbEngine Engine(M, Options);
   const double Eps = Options.Epsilon;
 
+  // The fingerprint stamps checkpoints (and guards resumes) so a state
+  // file can never be replayed onto the wrong matrix. Only computed when
+  // the feature is in use: canonicalization is O(n^2).
+  std::uint64_t MatrixKey = 0;
+  if (Options.Checkpoint || Options.ResumeFrom)
+    MatrixKey = fingerprint(M);
+  const SearchCheckpoint *Resume = usableResume(Options, MatrixKey);
+
   double Ub = Engine.initialUpperBound();
   PhyloTree Best = Engine.initialTree();
   std::vector<PhyloTree> Optimal;
 
   std::vector<Topology> Stack;
-  Stack.push_back(Engine.rootTopology());
-
   BnbStats &Stats = Result.Stats;
+  if (Resume) {
+    Stack = Resume->Frontier;
+    if (Resume->UpperBound < Ub) {
+      Ub = Resume->UpperBound;
+      Best = Resume->Incumbent;
+      Best.setNames(M.names());
+    }
+    Stats = Resume->Stats;
+    Stats.Complete = true; // re-decided by this run
+  } else {
+    Stack.push_back(Engine.rootTopology());
+  }
+
+  CheckpointPacer Pacer(Options.CheckpointEveryNodes,
+                        Options.CheckpointEverySeconds, Stats.Branched);
+  auto maybeCheckpoint = [&]() {
+    if (!Options.Checkpoint || !Pacer.due(Stats.Branched))
+      return;
+    SearchCheckpoint Ck;
+    Ck.Frontier = Stack;
+    Ck.Incumbent = Best;
+    Ck.UpperBound = Ub;
+    Ck.Stats = Stats;
+    Ck.Stats.Complete = false; // a checkpoint is an unfinished search
+    Ck.MatrixKey = MatrixKey;
+    Options.Checkpoint->checkpoint(Ck);
+    Pacer.taken(Stats.Branched);
+  };
+
   while (!Stack.empty()) {
     if (Options.MaxBranchedNodes != 0 &&
         Stats.Branched >= Options.MaxBranchedNodes) {
@@ -83,6 +137,9 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
       }
       Stack.push_back(std::move(Child));
     }
+    // After the expansion is fully applied the state is consistent:
+    // the popped node is represented by its surviving children.
+    maybeCheckpoint();
   }
 
   // The UPGMM seed may already have been optimal.

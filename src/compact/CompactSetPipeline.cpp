@@ -51,9 +51,14 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
   // block relabeling, so a hit replays the stored canonical tree with the
   // leaves permuted back into this block's label space.
   const BlockCacheHooks *Cache = State.Options.BlockCache;
+  const BlockCheckpointHooks *Ckpt = State.Options.BlockCheckpoint;
   CanonicalForm Form;
-  if (Cache && Condensed.size() >= 2) {
+  bool HaveForm = false;
+  if ((Cache || Ckpt) && Condensed.size() >= 2) {
     Form = canonicalForm(Condensed);
+    HaveForm = true;
+  }
+  if (Cache && HaveForm) {
     if (Cache->Lookup) {
       if (std::optional<BlockCacheEntry> Hit =
               Cache->Lookup(Form.Key, Form.Bytes)) {
@@ -62,15 +67,40 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
         Report.FromCache = true;
         if (Publish)
           obs::pipelineInstruments().BlockCacheHits.inc();
+        // The block is solved for good; a checkpoint left by an
+        // interrupted earlier run is obsolete.
+        if (Ckpt && Ckpt->Done)
+          Ckpt->Done(Form.Key);
         State.Result.Blocks.push_back(Report);
         return relabelLeaves(Hit->Tree, Form.Perm);
       }
     }
   }
 
+  // Per-block checkpoint/resume (sequential exact solves only: the
+  // UPGMM fallback is instant and the simulated cluster has no durable
+  // state worth saving).
+  const bool ExactPath =
+      Condensed.size() <= State.Options.MaxExactBlockSize &&
+      Condensed.size() <= MaxBnbSpecies;
+  BnbOptions BlockBnb = State.Options.Bnb;
+  std::unique_ptr<CheckpointSink> Sink;
+  std::optional<SearchCheckpoint> Resume;
+  if (Ckpt && HaveForm && ExactPath &&
+      State.Options.Solver == BlockSolver::Sequential &&
+      !BlockBnb.CollectAllOptimal) {
+    if (Ckpt->SinkFor)
+      Sink = Ckpt->SinkFor(Form.Key);
+    BlockBnb.Checkpoint = Sink.get();
+    if (Ckpt->Load) {
+      Resume = Ckpt->Load(Form.Key);
+      if (Resume)
+        BlockBnb.ResumeFrom = &*Resume;
+    }
+  }
+
   PhyloTree Tree;
-  if (Condensed.size() > State.Options.MaxExactBlockSize ||
-      Condensed.size() > MaxBnbSpecies) {
+  if (!ExactPath) {
     Tree = upgmm(Condensed);
     Report.Exact = false;
     Report.Cost = Tree.weight();
@@ -89,7 +119,7 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
         Solved.Stats.PrunedByThreeThree;
     State.Result.TotalStats.UbUpdates += Solved.Stats.UbUpdates;
   } else {
-    MutResult Solved = solveMutSequential(Condensed, State.Options.Bnb);
+    MutResult Solved = solveMutSequential(Condensed, BlockBnb);
     Tree = std::move(Solved.Tree);
     Report.Cost = Solved.Cost;
     Report.Branched = Solved.Stats.Branched;
@@ -101,6 +131,12 @@ PhyloTree solveBlock(PipelineState &State, const DistanceMatrix &Condensed,
         Solved.Stats.PrunedByThreeThree;
     State.Result.TotalStats.UbUpdates += Solved.Stats.UbUpdates;
   }
+
+  // A completed exact search makes the block's checkpoint obsolete; an
+  // interrupted one (budget/deadline truncation) keeps it so the next
+  // attempt resumes instead of restarting.
+  if (Ckpt && Ckpt->Done && HaveForm && ExactPath && Report.Exact)
+    Ckpt->Done(Form.Key);
 
   if (Cache && Cache->Store && Condensed.size() >= 2) {
     // Store in canonical labels: canonical index k sits where the solve

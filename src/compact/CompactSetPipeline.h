@@ -17,6 +17,7 @@
 #ifndef MUTK_COMPACT_COMPACTSETPIPELINE_H
 #define MUTK_COMPACT_COMPACTSETPIPELINE_H
 
+#include "bnb/Checkpoint.h"
 #include "bnb/SequentialBnb.h"
 #include "graph/CompactSets.h"
 #include "matrix/Condense.h"
@@ -24,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -62,6 +64,25 @@ struct BlockCacheHooks {
       Store;
 };
 
+/// Optional per-compact-set checkpoint/resume hooks. Each exactly-solved
+/// block is an independent branch-and-bound search; with these hooks the
+/// pipeline checkpoints every such search under the block's canonical
+/// fingerprint (cadence from `PipelineOptions::Bnb`) and, when a prior
+/// run was interrupted, resumes each unfinished block from its saved
+/// state instead of from the root. Only the sequential block solver
+/// checkpoints (the simulated-cluster solver is itself a simulation).
+/// The solver re-validates the matrix fingerprint before resuming, so a
+/// stale or colliding state costs a fresh solve, never a wrong tree.
+struct BlockCheckpointHooks {
+  /// Returns the sink that persists checkpoints for the block with this
+  /// canonical key (null = do not checkpoint this block).
+  std::function<std::unique_ptr<CheckpointSink>(std::uint64_t Key)> SinkFor;
+  /// Loads a previously-captured state for the block (nullopt = none).
+  std::function<std::optional<SearchCheckpoint>(std::uint64_t Key)> Load;
+  /// The block finished — its checkpoint file is obsolete.
+  std::function<void(std::uint64_t Key)> Done;
+};
+
 /// Options of the decomposition pipeline.
 struct PipelineOptions {
   /// How cross-block distances collapse into D' entries; the paper
@@ -83,6 +104,9 @@ struct PipelineOptions {
   /// When set, every block solve first consults the cache (borrowed, must
   /// outlive the pipeline run).
   const BlockCacheHooks *BlockCache = nullptr;
+  /// When set, exact block solves checkpoint/resume through these hooks
+  /// (borrowed, must outlive the pipeline run).
+  const BlockCheckpointHooks *BlockCheckpoint = nullptr;
 };
 
 /// Accounting for one condensed matrix D'.

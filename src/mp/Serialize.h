@@ -12,8 +12,10 @@
 #ifndef MUTK_MP_SERIALIZE_H
 #define MUTK_MP_SERIALIZE_H
 
+#include "bnb/Checkpoint.h"
 #include "bnb/Topology.h"
 #include "matrix/DistanceMatrix.h"
+#include "tree/PhyloTree.h"
 
 #include <cstdint>
 #include <optional>
@@ -36,6 +38,8 @@ public:
   void writeU64(std::uint64_t Value);
   void writeF64(double Value);
   void writeString(const std::string &Value);
+  /// Length-prefixed raw byte blob (u32 size + bytes).
+  void writeBytes(const std::vector<std::uint8_t> &Value);
 
 private:
   std::vector<std::uint8_t> Buffer;
@@ -56,6 +60,7 @@ public:
   bool readU64(std::uint64_t &Value);
   bool readF64(double &Value);
   bool readString(std::string &Value);
+  bool readBytes(std::vector<std::uint8_t> &Value);
 
 private:
   const std::vector<std::uint8_t> &Bytes;
@@ -74,6 +79,36 @@ std::vector<std::uint8_t> encodeMatrix(const DistanceMatrix &M);
 /// Decodes a matrix; nullopt on malformed input.
 std::optional<DistanceMatrix>
 decodeMatrix(const std::vector<std::uint8_t> &Bytes);
+
+/// \name Inline codecs (append to / read from an open stream).
+///
+/// The whole-buffer codecs above own their framing; these variants let
+/// composite structures (search checkpoints, durable-cache records)
+/// embed trees and topologies inside a larger payload.
+/// @{
+void writePhyloTree(ByteWriter &Writer, const PhyloTree &Tree);
+bool readPhyloTree(ByteReader &Reader, PhyloTree &Tree);
+void writeTopology(ByteWriter &Writer, const Topology &T);
+bool readTopology(ByteReader &Reader, std::optional<Topology> &T);
+/// @}
+
+/// Encodes an ultrametric tree (shape, heights, species ids, names).
+/// Exact round trip: heights are shipped bit-exact.
+std::vector<std::uint8_t> encodePhyloTree(const PhyloTree &Tree);
+
+/// Decodes a tree; nullopt on malformed input.
+std::optional<PhyloTree>
+decodePhyloTree(const std::vector<std::uint8_t> &Bytes);
+
+/// Encodes a branch-and-bound search checkpoint: the open frontier, the
+/// incumbent tree, the upper bound and the counters accumulated so far
+/// (`bnb/Checkpoint.h`). Persisted atomically by `persist/Checkpoint.h`.
+std::vector<std::uint8_t> encodeSearchCheckpoint(const SearchCheckpoint &Ck);
+
+/// Decodes a checkpoint; nullopt on malformed input (every embedded
+/// topology is re-validated through `Topology::fromNodes`).
+std::optional<SearchCheckpoint>
+decodeSearchCheckpoint(const std::vector<std::uint8_t> &Bytes);
 
 } // namespace mutk
 

@@ -104,6 +104,22 @@ void mutk::obs::recordBnbSolve(const BnbStats &Stats) {
   I.UbUpdates.inc(Stats.UbUpdates);
 }
 
+PersistInstruments &mutk::obs::persistInstruments() {
+  static PersistInstruments I{
+      reg().counter("mutk_persist_wal_appends_total"),
+      reg().counter("mutk_persist_wal_append_bytes_total"),
+      reg().counter("mutk_persist_snapshot_writes_total"),
+      reg().counter("mutk_persist_recovered_records_total"),
+      reg().counter("mutk_persist_dropped_records_total"),
+      reg().counter("mutk_persist_recovered_jobs_total"),
+      reg().counter("mutk_persist_checkpoint_writes_total"),
+      reg().gauge("mutk_persist_wal_bytes"),
+      reg().gauge("mutk_persist_snapshot_bytes"),
+      reg().histogram("mutk_persist_checkpoint_write_ms"),
+  };
+  return I;
+}
+
 PipelineInstruments &mutk::obs::pipelineInstruments() {
   static PipelineInstruments I{
       reg().counter("mutk_pipeline_runs_total"),

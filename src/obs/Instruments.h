@@ -102,6 +102,22 @@ BnbInstruments &bnbInstruments();
 /// `BnbOptions::PublishMetrics` at the call sites).
 void recordBnbSolve(const BnbStats &Stats);
 
+/// Durability-layer instruments (`src/persist`): WAL traffic, snapshot
+/// compactions, startup recovery and B&B checkpoint writes.
+struct PersistInstruments {
+  Counter &WalAppends;
+  Counter &WalAppendBytes;
+  Counter &SnapshotWrites;
+  Counter &RecoveredRecords;
+  Counter &DroppedRecords;
+  Counter &RecoveredJobs;
+  Counter &CheckpointWrites;
+  Gauge &WalBytes;
+  Gauge &SnapshotBytes;
+  Histogram &CheckpointWriteMillis;
+};
+PersistInstruments &persistInstruments();
+
 /// Compact-set pipeline counters.
 struct PipelineInstruments {
   Counter &Runs;

@@ -2,13 +2,16 @@
 
 #include "parallel/ThreadedBnb.h"
 
+#include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
+#include "matrix/Fingerprint.h"
 #include "obs/Instruments.h"
 #include "support/Audit.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -31,6 +34,11 @@ struct SharedState {
   /// for the termination handshake.
   long Outstanding = 0;
   bool Cancelled = false;
+  /// Checkpoint rendezvous (guarded by PoolMutex): when set, every
+  /// worker returns its local pool to the global pool and exits, leaving
+  /// the master with the complete frontier. Outstanding is untouched —
+  /// the nodes stay alive, they just change owner.
+  bool Paused = false;
 
   // Upper bound, shared lock-free; the best topology under a mutex.
   std::atomic<double> Ub{0.0};
@@ -78,23 +86,40 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
     Topology Current;
     bool HaveWork = false;
 
-    if (!LocalPool.empty()) {
+    {
+      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
+      // Checkpoint rendezvous: hand the whole local pool back and exit.
+      // Only checked between expansions, so every returned node is a
+      // consistent, un-expanded BBT node.
+      if (Shared.Paused) {
+        for (Topology &T : LocalPool)
+          Shared.GlobalPool.push_back(std::move(T));
+        LocalPool.clear();
+        Shared.PoolCv.notify_all();
+        return;
+      }
+      if (LocalPool.empty()) {
+        Shared.PoolCv.wait(Lock, [&] {
+          return !Shared.GlobalPool.empty() || Shared.Outstanding == 0 ||
+                 Shared.Cancelled || Shared.Paused;
+        });
+        if (Shared.Paused) {
+          Shared.PoolCv.notify_all();
+          return;
+        }
+        if (Shared.Cancelled ||
+            (Shared.GlobalPool.empty() && Shared.Outstanding == 0))
+          return;
+        Current = std::move(Shared.GlobalPool.front());
+        Shared.GlobalPool.pop_front();
+        ++Worker.PulledFromGlobal;
+        HaveWork = true;
+      }
+    }
+    if (!HaveWork) {
       // Local pools keep the best node at the back.
       Current = std::move(LocalPool.back());
       LocalPool.pop_back();
-      HaveWork = true;
-    } else {
-      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
-      Shared.PoolCv.wait(Lock, [&] {
-        return !Shared.GlobalPool.empty() || Shared.Outstanding == 0 ||
-               Shared.Cancelled;
-      });
-      if (Shared.Cancelled || (Shared.GlobalPool.empty() &&
-                               Shared.Outstanding == 0))
-        return;
-      Current = std::move(Shared.GlobalPool.front());
-      Shared.GlobalPool.pop_front();
-      ++Worker.PulledFromGlobal;
       HaveWork = true;
     }
     assert(HaveWork && "reached processing without a node");
@@ -173,79 +198,185 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
   SharedState Shared(Engine);
   Shared.Ub.store(Engine.initialUpperBound(), std::memory_order_relaxed);
 
-  // Master phase (Steps 4-5): breadth-first expansion until the frontier
-  // holds 2x the number of computing nodes.
+  std::uint64_t MatrixKey = 0;
+  if (Options.Checkpoint || Options.ResumeFrom)
+    MatrixKey = fingerprint(M);
+  const SearchCheckpoint *Resume = usableResume(Options, MatrixKey);
+
   const double Eps = Options.Epsilon;
-  std::deque<Topology> Frontier;
-  Frontier.push_back(Engine.rootTopology());
   BnbStats MasterStats;
-  while (!Frontier.empty() &&
-         static_cast<int>(Frontier.size()) < 2 * NumWorkers) {
-    Topology T = std::move(Frontier.front());
-    Frontier.pop_front();
-    if (Engine.isComplete(T)) {
-      Shared.offerSolution(T, Eps);
-      continue;
-    }
-    ++MasterStats.Branched;
-    double Ub = Shared.Ub.load(std::memory_order_relaxed);
-    for (Topology &Child : Engine.branch(T, Ub, MasterStats)) {
-      if (Engine.isComplete(Child)) {
-        if (Shared.offerSolution(Child, Eps))
-          ++MasterStats.UbUpdates;
+  // The incumbent carried over from a resumed checkpoint. Workers only
+  // publish topologies that strictly beat the shared UB (seeded below),
+  // so `HasBest` implies "better than this tree".
+  PhyloTree ResumeIncumbent;
+  bool HasResumeIncumbent = false;
+  double ResumeUb = 0.0;
+
+  std::vector<Topology> Frontier;
+  if (Resume) {
+    if (Resume->UpperBound <
+        Shared.Ub.load(std::memory_order_relaxed))
+      Shared.Ub.store(Resume->UpperBound, std::memory_order_relaxed);
+    ResumeIncumbent = Resume->Incumbent;
+    ResumeIncumbent.setNames(M.names());
+    HasResumeIncumbent = true;
+    ResumeUb = Resume->UpperBound;
+    MasterStats = Resume->Stats;
+    MasterStats.Complete = true; // re-decided by this run
+    Shared.TotalBranched.store(Resume->Stats.Branched,
+                               std::memory_order_relaxed);
+    Frontier = Resume->Frontier;
+  } else {
+    // Master phase (Steps 4-5): breadth-first expansion until the
+    // frontier holds 2x the number of computing nodes.
+    std::deque<Topology> Bfs;
+    Bfs.push_back(Engine.rootTopology());
+    while (!Bfs.empty() &&
+           static_cast<int>(Bfs.size()) < 2 * NumWorkers) {
+      Topology T = std::move(Bfs.front());
+      Bfs.pop_front();
+      if (Engine.isComplete(T)) {
+        Shared.offerSolution(T, Eps);
         continue;
       }
-      Frontier.push_back(std::move(Child));
+      ++MasterStats.Branched;
+      double Ub = Shared.Ub.load(std::memory_order_relaxed);
+      for (Topology &Child : Engine.branch(T, Ub, MasterStats)) {
+        if (Engine.isComplete(Child)) {
+          if (Shared.offerSolution(Child, Eps))
+            ++MasterStats.UbUpdates;
+          continue;
+        }
+        Bfs.push_back(std::move(Child));
+      }
     }
+    Frontier.assign(std::make_move_iterator(Bfs.begin()),
+                    std::make_move_iterator(Bfs.end()));
   }
-
-  // Step 6: sort by lower bound and deal cyclically.
-  std::vector<Topology> Sorted(std::make_move_iterator(Frontier.begin()),
-                               std::make_move_iterator(Frontier.end()));
-  std::sort(Sorted.begin(), Sorted.end(),
-            [&Engine](const Topology &A, const Topology &B) {
-              return Engine.lowerBound(A) < Engine.lowerBound(B);
-            });
-  std::vector<std::deque<Topology>> LocalPools(
-      static_cast<std::size_t>(NumWorkers));
-  for (std::size_t I = 0; I < Sorted.size(); ++I)
-    LocalPools[I % static_cast<std::size_t>(NumWorkers)].push_front(
-        std::move(Sorted[I]));
-  // After push_front of ascending nodes, the back of each pool is the
-  // best node — the invariant workerMain maintains.
-
-  Shared.Outstanding = static_cast<long>(Sorted.size());
 
   std::vector<BnbStats> WorkerBnbStats(static_cast<std::size_t>(NumWorkers));
-  std::vector<std::thread> Threads;
-  Threads.reserve(static_cast<std::size_t>(NumWorkers));
-  for (int W = 0; W < NumWorkers; ++W)
-    Threads.emplace_back(workerMain, std::ref(Shared), std::cref(Options),
-                         std::move(LocalPools[static_cast<std::size_t>(W)]),
-                         std::ref(WorkerBnbStats[static_cast<std::size_t>(W)]),
-                         std::ref(Result.Workers[static_cast<std::size_t>(W)]));
-  for (std::thread &T : Threads)
-    T.join();
-
-  // Merge statistics.
-  Result.Stats = MasterStats;
-  for (const BnbStats &S : WorkerBnbStats) {
-    Result.Stats.Branched += S.Branched;
-    Result.Stats.Generated += S.Generated;
-    Result.Stats.PrunedByBound += S.PrunedByBound;
-    Result.Stats.PrunedByThreeThree += S.PrunedByThreeThree;
-    Result.Stats.UbUpdates += S.UbUpdates;
-  }
-  {
+  auto mergedStats = [&]() {
+    BnbStats S = MasterStats;
+    for (const BnbStats &W : WorkerBnbStats) {
+      S.Branched += W.Branched;
+      S.Generated += W.Generated;
+      S.PrunedByBound += W.PrunedByBound;
+      S.PrunedByThreeThree += W.PrunedByThreeThree;
+      S.UbUpdates += W.UbUpdates;
+    }
+    return S;
+  };
+  // The incumbent as a finished tree plus its cost, for checkpoints and
+  // the final answer. Call only while no workers run (no BestMutex
+  // contention concerns, but finalize() is not free).
+  auto currentIncumbent = [&](double &CostOut) {
     std::lock_guard<std::mutex> Lock(Shared.BestMutex);
     if (Shared.HasBest) {
-      Result.Tree = Engine.finalize(Shared.BestTopology);
-      Result.Cost = Shared.BestTopology.cost();
-    } else {
-      Result.Tree = Engine.initialTree();
-      Result.Cost = Engine.initialUpperBound();
+      CostOut = Shared.BestTopology.cost();
+      return Engine.finalize(Shared.BestTopology);
     }
+    if (HasResumeIncumbent &&
+        ResumeUb <= Engine.initialUpperBound() + Eps) {
+      CostOut = ResumeUb;
+      return ResumeIncumbent;
+    }
+    CostOut = Engine.initialUpperBound();
+    return Engine.initialTree();
+  };
+
+  const bool Checkpointing =
+      Options.Checkpoint != nullptr && (Options.CheckpointEveryNodes > 0 ||
+                                        Options.CheckpointEverySeconds > 0.0);
+  CheckpointPacer Pacer(Options.CheckpointEveryNodes,
+                        Options.CheckpointEverySeconds,
+                        Shared.TotalBranched.load(std::memory_order_relaxed));
+
+  // Checkpoint rounds: run the workers; when a checkpoint comes due,
+  // raise `Paused` so every worker returns its pool to the global pool
+  // and exits, capture the reassembled frontier, then redistribute and
+  // respawn. Without checkpointing the loop body runs exactly once.
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<std::size_t>(NumWorkers));
+  while (!Frontier.empty()) {
+    // Step 6: sort by lower bound and deal cyclically.
+    std::sort(Frontier.begin(), Frontier.end(),
+              [&Engine](const Topology &A, const Topology &B) {
+                return Engine.lowerBound(A) < Engine.lowerBound(B);
+              });
+    std::vector<std::deque<Topology>> LocalPools(
+        static_cast<std::size_t>(NumWorkers));
+    for (std::size_t I = 0; I < Frontier.size(); ++I)
+      LocalPools[I % static_cast<std::size_t>(NumWorkers)].push_front(
+          std::move(Frontier[I]));
+    // After push_front of ascending nodes, the back of each pool is the
+    // best node — the invariant workerMain maintains.
+    {
+      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      Shared.Outstanding = static_cast<long>(Frontier.size());
+      Shared.Paused = false;
+    }
+    Frontier.clear();
+
+    Threads.clear();
+    for (int W = 0; W < NumWorkers; ++W)
+      Threads.emplace_back(
+          workerMain, std::ref(Shared), std::cref(Options),
+          std::move(LocalPools[static_cast<std::size_t>(W)]),
+          std::ref(WorkerBnbStats[static_cast<std::size_t>(W)]),
+          std::ref(Result.Workers[static_cast<std::size_t>(W)]));
+
+    if (Checkpointing) {
+      // Poll for the checkpoint cadence while the round runs. wait_for
+      // (not a sleep) so worker completion wakes us immediately.
+      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
+      for (;;) {
+        bool Done = Shared.PoolCv.wait_for(
+            Lock, std::chrono::milliseconds(20),
+            [&] { return Shared.Outstanding == 0 || Shared.Cancelled; });
+        if (Done)
+          break;
+        if (Pacer.due(
+                Shared.TotalBranched.load(std::memory_order_relaxed))) {
+          Shared.Paused = true;
+          Shared.PoolCv.notify_all();
+          break;
+        }
+      }
+      Lock.unlock();
+    }
+    for (std::thread &T : Threads)
+      T.join();
+
+    if (!Checkpointing)
+      break;
+
+    // Reclaim whatever the workers returned. Empty means the search
+    // finished (exhausted or cancelled) during this round.
+    {
+      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      Frontier.assign(std::make_move_iterator(Shared.GlobalPool.begin()),
+                      std::make_move_iterator(Shared.GlobalPool.end()));
+      Shared.GlobalPool.clear();
+      if (Shared.Cancelled)
+        Frontier.clear();
+    }
+    if (Frontier.empty())
+      break;
+
+    SearchCheckpoint Ck;
+    Ck.Frontier = Frontier;
+    Ck.UpperBound = 0.0;
+    Ck.Incumbent = currentIncumbent(Ck.UpperBound);
+    Ck.Stats = mergedStats();
+    Ck.Stats.Complete = false; // a checkpoint is an unfinished search
+    Ck.MatrixKey = MatrixKey;
+    Options.Checkpoint->checkpoint(Ck);
+    Pacer.taken(Shared.TotalBranched.load(std::memory_order_relaxed));
   }
+
+  // Merge statistics.
+  Result.Stats = mergedStats();
+  Result.Tree = currentIncumbent(Result.Cost);
   Result.Stats.Complete = !Shared.Cancelled;
   // Same contract as the sequential solver: whatever tree we answer with
   // must be a feasible ultrametric tree for M.

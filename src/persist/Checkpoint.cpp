@@ -1,0 +1,68 @@
+//===- persist/Checkpoint.cpp - Durable B&B checkpoints -------------------===//
+
+#include "persist/Checkpoint.h"
+
+#include "mp/Serialize.h"
+#include "obs/Instruments.h"
+#include "obs/Log.h"
+
+#include <chrono>
+#include <utility>
+
+using namespace mutk;
+using namespace mutk::persist;
+
+namespace {
+constexpr std::uint32_t CheckpointFormatVersion = 1;
+constexpr const char *CheckpointMagic = "MUTKCKPT";
+} // namespace
+
+FileCheckpointSink::FileCheckpointSink(std::string Path)
+    : File(std::move(Path), CheckpointMagic, CheckpointFormatVersion) {}
+
+void FileCheckpointSink::checkpoint(const SearchCheckpoint &State) {
+  auto Start = std::chrono::steady_clock::now();
+  bool Ok = File.rewrite({encodeSearchCheckpoint(State)});
+  double Millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  obs::PersistInstruments &I = obs::persistInstruments();
+  I.CheckpointWriteMillis.record(Millis);
+  if (!Ok) {
+    obs::log(obs::LogLevel::Warn, "persist", "checkpoint write failed")
+        .kv("path", File.path());
+    return;
+  }
+  ++Writes;
+  I.CheckpointWrites.inc();
+  obs::log(obs::LogLevel::Debug, "persist", "checkpoint written")
+      .kv("path", File.path())
+      .kv("frontier", static_cast<std::uint64_t>(State.Frontier.size()))
+      .kv("branched", State.Stats.Branched)
+      .kv("ms", Millis);
+}
+
+std::optional<SearchCheckpoint>
+mutk::persist::loadCheckpoint(const std::string &Path) {
+  Wal File(Path, CheckpointMagic, CheckpointFormatVersion);
+  Wal::ReplayResult Replay = File.replay();
+  if (Replay.Missing)
+    return std::nullopt;
+  if (Replay.Incompatible || Replay.Damaged || Replay.Records.size() != 1) {
+    obs::log(obs::LogLevel::Warn, "persist", "unusable checkpoint ignored")
+        .kv("path", Path)
+        .kv("incompatible", Replay.Incompatible ? 1 : 0)
+        .kv("damaged", Replay.Damaged ? 1 : 0);
+    return std::nullopt;
+  }
+  std::optional<SearchCheckpoint> Ck =
+      decodeSearchCheckpoint(Replay.Records.front());
+  if (!Ck)
+    obs::log(obs::LogLevel::Warn, "persist", "undecodable checkpoint ignored")
+        .kv("path", Path);
+  return Ck;
+}
+
+bool mutk::persist::removeCheckpoint(const std::string &Path) {
+  return removeFile(Path);
+}

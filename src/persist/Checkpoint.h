@@ -1,0 +1,50 @@
+//===- persist/Checkpoint.h - Durable B&B checkpoints -----------*- C++ -*-===//
+///
+/// \file
+/// File backing for `bnb/Checkpoint.h`: a `CheckpointSink` that writes
+/// each captured search state to one file, atomically (temp + rename),
+/// so the file on disk is always the *latest complete* checkpoint — a
+/// crash mid-write leaves the previous one intact. Loading verifies the
+/// CRC frame and the header (format version + build flavor) and decodes
+/// through `mp/Serialize`, which re-validates every embedded topology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_PERSIST_CHECKPOINT_H
+#define MUTK_PERSIST_CHECKPOINT_H
+
+#include "bnb/Checkpoint.h"
+#include "persist/Wal.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mutk::persist {
+
+/// Writes every checkpoint to \p Path, replacing the previous one.
+class FileCheckpointSink : public CheckpointSink {
+public:
+  explicit FileCheckpointSink(std::string Path);
+
+  void checkpoint(const SearchCheckpoint &State) override;
+
+  /// Number of checkpoints successfully written (for tests/metrics).
+  std::uint64_t writes() const { return Writes; }
+  const std::string &path() const { return File.path(); }
+
+private:
+  Wal File;
+  std::uint64_t Writes = 0;
+};
+
+/// Loads the checkpoint at \p Path; nullopt when absent, damaged, or
+/// written by an incompatible format version / build flavor.
+std::optional<SearchCheckpoint> loadCheckpoint(const std::string &Path);
+
+/// Deletes a checkpoint file (after the search it belonged to finished).
+bool removeCheckpoint(const std::string &Path);
+
+} // namespace mutk::persist
+
+#endif // MUTK_PERSIST_CHECKPOINT_H

@@ -1,0 +1,32 @@
+//===- persist/Crc32.cpp - CRC-32 for durable records ---------------------===//
+
+#include "persist/Crc32.h"
+
+#include <array>
+
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected polynomial 0xEDB88320,
+/// built once at first use (constexpr-computable, but a function-local
+/// static keeps C++17-era compilers happy too).
+std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> Table{};
+  for (std::uint32_t I = 0; I < 256; ++I) {
+    std::uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1u) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+std::uint32_t mutk::persist::crc32(const std::uint8_t *Bytes,
+                                   std::size_t Size, std::uint32_t Seed) {
+  static const std::array<std::uint32_t, 256> Table = makeTable();
+  std::uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (std::size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

@@ -1,0 +1,97 @@
+//===- persist/JobJournal.cpp - Crash-safe job journal --------------------===//
+
+#include "persist/JobJournal.h"
+
+#include "mp/Serialize.h"
+#include "obs/Instruments.h"
+#include "obs/Log.h"
+
+#include <algorithm>
+
+using namespace mutk;
+using namespace mutk::persist;
+
+namespace {
+
+constexpr std::uint32_t JournalFormatVersion = 1;
+constexpr std::uint8_t TagSubmitted = 0;
+constexpr std::uint8_t TagCompleted = 1;
+
+std::vector<std::uint8_t> encodeSubmitted(std::uint64_t Id,
+                                          const std::vector<std::uint8_t> &Req) {
+  ByteWriter Writer;
+  Writer.writeU8(TagSubmitted);
+  Writer.writeU64(Id);
+  Writer.writeBytes(Req);
+  return Writer.take();
+}
+
+std::vector<std::uint8_t> encodeCompleted(std::uint64_t Id) {
+  ByteWriter Writer;
+  Writer.writeU8(TagCompleted);
+  Writer.writeU64(Id);
+  return Writer.take();
+}
+
+} // namespace
+
+JobJournal::JobJournal(const std::string &StateDir)
+    : Log(StateDir + "/jobs.wal", "MUTKJOBS", JournalFormatVersion) {
+  ensureDir(StateDir);
+}
+
+std::vector<PendingJob> JobJournal::load() {
+  Wal::ReplayResult Replay = Log.replay();
+  if (Replay.Incompatible) {
+    obs::log(obs::LogLevel::Warn, "persist",
+             "incompatible job journal, discarding")
+        .kv("path", Log.path());
+    Log.rewrite({});
+    return {};
+  }
+  if (Replay.Damaged)
+    obs::log(obs::LogLevel::Warn, "persist",
+             "job journal has a damaged tail, truncating it")
+        .kv("path", Log.path());
+
+  std::vector<PendingJob> Pending;
+  for (const std::vector<std::uint8_t> &Payload : Replay.Records) {
+    ByteReader Reader(Payload);
+    std::uint8_t Tag = 0;
+    std::uint64_t Id = 0;
+    if (!Reader.readU8(Tag) || !Reader.readU64(Id))
+      continue;
+    if (Tag == TagSubmitted) {
+      PendingJob Job;
+      Job.Id = Id;
+      if (Reader.readBytes(Job.EncodedRequest))
+        Pending.push_back(std::move(Job));
+    } else if (Tag == TagCompleted) {
+      Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                   [Id](const PendingJob &J) {
+                                     return J.Id == Id;
+                                   }),
+                    Pending.end());
+    }
+  }
+
+  // Compact: survivors only, so the journal never grows across restarts
+  // and a damaged tail is truncated as a side effect.
+  std::vector<std::vector<std::uint8_t>> Frames;
+  Frames.reserve(Pending.size());
+  for (const PendingJob &Job : Pending)
+    Frames.push_back(encodeSubmitted(Job.Id, Job.EncodedRequest));
+  Log.rewrite(Frames);
+
+  obs::persistInstruments().RecoveredJobs.inc(Pending.size());
+  return Pending;
+}
+
+bool JobJournal::submitted(std::uint64_t Id,
+                           const std::vector<std::uint8_t> &EncodedRequest) {
+  return Log.append(encodeSubmitted(Id, EncodedRequest), /*Sync=*/true);
+}
+
+bool JobJournal::completed(std::uint64_t Id) {
+  return Log.append(encodeCompleted(Id), /*Sync=*/false);
+}

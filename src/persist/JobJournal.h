@@ -1,0 +1,59 @@
+//===- persist/JobJournal.h - Crash-safe job journal ------------*- C++ -*-===//
+///
+/// \file
+/// A WAL of in-flight service work: `Submitted(id, encoded request)`
+/// when a build request enters the queue, `Completed(id)` when its
+/// response is ready. After a crash, `load()` returns exactly the jobs
+/// that were accepted but never finished — the daemon re-enqueues them
+/// on startup so accepted work survives restarts. Requests are stored in
+/// the wire encoding (`service/Protocol.h`), which already round-trips
+/// every field; this layer treats them as opaque bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_PERSIST_JOBJOURNAL_H
+#define MUTK_PERSIST_JOBJOURNAL_H
+
+#include "persist/Wal.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mutk::persist {
+
+/// A journaled job that never completed.
+struct PendingJob {
+  std::uint64_t Id = 0;
+  std::vector<std::uint8_t> EncodedRequest;
+};
+
+class JobJournal {
+public:
+  /// The journal lives at `<StateDir>/jobs.wal`.
+  explicit JobJournal(const std::string &StateDir);
+
+  /// Replays the journal and returns submitted-but-not-completed jobs in
+  /// submission order. Repairs a damaged tail, resets an incompatible
+  /// file, and compacts the journal down to the survivors (completed
+  /// pairs are dead weight after recovery).
+  std::vector<PendingJob> load();
+
+  /// Journals acceptance of \p EncodedRequest under \p Id. Synced: the
+  /// caller is about to promise the client an answer.
+  bool submitted(std::uint64_t Id,
+                 const std::vector<std::uint8_t> &EncodedRequest);
+
+  /// Journals completion of \p Id (not synced — replaying a completed
+  /// job is wasted work, not lost work).
+  bool completed(std::uint64_t Id);
+
+  std::uint64_t bytes() const { return Log.bytes(); }
+
+private:
+  Wal Log;
+};
+
+} // namespace mutk::persist
+
+#endif // MUTK_PERSIST_JOBJOURNAL_H

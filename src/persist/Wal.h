@@ -1,0 +1,93 @@
+//===- persist/Wal.h - Append-only write-ahead log --------------*- C++ -*-===//
+///
+/// \file
+/// The framed-record machinery every durable file shares. A *frame* is
+/// `u32 payload-length | u32 crc32(payload) | payload` (little-endian);
+/// a WAL file is a header frame — magic, format version, build flavor —
+/// followed by data frames. Appends are O_APPEND writes of whole frames,
+/// so concurrent readers and crashes can only ever observe a *prefix*
+/// plus possibly one torn frame at the tail. Replay therefore walks
+/// frames until the first length/CRC violation and drops everything
+/// after it: a damaged tail costs the records in the tail, never an
+/// abort and never a silently-wrong record.
+///
+/// Header mismatches (unknown magic, newer format version, different
+/// build flavor) mark the log *incompatible*; the owner discards it and
+/// starts cold rather than guessing at the byte layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_PERSIST_WAL_H
+#define MUTK_PERSIST_WAL_H
+
+#include "persist/Files.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mutk::persist {
+
+/// Appends one frame (`len | crc | payload`) to \p Out.
+void appendFrame(std::vector<std::uint8_t> &Out,
+                 const std::vector<std::uint8_t> &Payload);
+
+/// Walks frames from \p Offset until the buffer ends or a frame fails
+/// its length or CRC check.
+struct FrameScan {
+  std::vector<std::vector<std::uint8_t>> Payloads;
+  /// Bytes of the intact prefix (frames that parsed and checksummed).
+  std::size_t CleanBytes = 0;
+  /// True when bytes remained after the intact prefix (torn or corrupt
+  /// tail — the caller should log and may truncate).
+  bool Damaged = false;
+};
+FrameScan scanFrames(const std::vector<std::uint8_t> &Bytes,
+                     std::size_t Offset = 0);
+
+/// An append-only log of frames with a self-identifying header frame.
+class Wal {
+public:
+  /// \p Magic names the log type (e.g. "MUTKCWAL"), \p Version its
+  /// payload format; bump the version on any layout change.
+  Wal(std::string Path, std::string Magic, std::uint32_t Version);
+
+  struct ReplayResult {
+    /// Data-frame payloads in append order (header frame excluded).
+    std::vector<std::vector<std::uint8_t>> Records;
+    /// A torn/corrupt tail was dropped.
+    bool Damaged = false;
+    /// Header missing or mismatched — contents unusable, start cold.
+    bool Incompatible = false;
+    /// True when the file did not exist at all.
+    bool Missing = false;
+  };
+  /// Reads and validates the whole log. Does not modify the file.
+  ReplayResult replay() const;
+
+  /// Appends one data frame, creating the file (with its header frame)
+  /// on first use. \p Sync forces fdatasync after the write.
+  bool append(const std::vector<std::uint8_t> &Payload, bool Sync);
+
+  /// Atomically rewrites the log as header + \p Payloads. Used to
+  /// truncate a damaged tail and to compact after a snapshot.
+  bool rewrite(const std::vector<std::vector<std::uint8_t>> &Payloads);
+
+  /// Current size on disk in bytes (0 when absent).
+  std::uint64_t bytes() const { return fileSize(LogPath); }
+
+  const std::string &path() const { return LogPath; }
+
+private:
+  std::vector<std::uint8_t> headerFrame() const;
+  bool headerMatches(const std::vector<std::uint8_t> &Payload) const;
+
+  std::string LogPath;
+  std::string Magic;
+  std::uint32_t Version;
+  AppendFile Out;
+};
+
+} // namespace mutk::persist
+
+#endif // MUTK_PERSIST_WAL_H

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,6 +24,33 @@ void fillError(std::string *Error, const std::string &What) {
 
 void fillErrno(std::string *Error, const char *What) {
   fillError(Error, std::string(What) + ": " + std::strerror(errno));
+}
+
+/// ::connect with EINTR handling. A blocking connect interrupted by a
+/// signal keeps establishing the connection in the background; calling
+/// connect again is unspecified (EALREADY/EISCONN), so the interrupted
+/// attempt must be finished by polling for writability and reading the
+/// final status from SO_ERROR.
+bool connectFd(int Fd, const sockaddr *Addr, socklen_t Len) {
+  if (::connect(Fd, Addr, Len) == 0)
+    return true;
+  if (errno != EINTR)
+    return false;
+  pollfd P{};
+  P.fd = Fd;
+  P.events = POLLOUT;
+  while (::poll(&P, 1, -1) < 0)
+    if (errno != EINTR)
+      return false;
+  int Status = 0;
+  socklen_t StatusLen = sizeof(Status);
+  if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Status, &StatusLen) < 0)
+    return false;
+  if (Status != 0) {
+    errno = Status;
+    return false;
+  }
+  return true;
 }
 
 } // namespace
@@ -50,8 +78,7 @@ bool ServiceClient::connectUnix(const std::string &Path, std::string *Error) {
   }
   Addr.sun_family = AF_UNIX;
   std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
-  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
+  if (!connectFd(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr))) {
     fillErrno(Error, "connect");
     ::close(NewFd);
     return false;
@@ -76,8 +103,7 @@ bool ServiceClient::connectTcp(const std::string &Host, int Port,
     ::close(NewFd);
     return false;
   }
-  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
+  if (!connectFd(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr))) {
     fillErrno(Error, "connect");
     ::close(NewFd);
     return false;
@@ -93,7 +119,9 @@ std::optional<Response> ServiceClient::roundTrip(const Request &R,
     return std::nullopt;
   }
   if (!writeFrame(Fd, encodeRequest(R))) {
-    fillError(Error, "send failed");
+    // EPIPE here means the daemon went away between requests (writes
+    // use MSG_NOSIGNAL, so the hangup surfaces as errno, not SIGPIPE).
+    fillErrno(Error, "send");
     return std::nullopt;
   }
   std::vector<std::uint8_t> Payload;

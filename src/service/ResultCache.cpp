@@ -127,6 +127,18 @@ void ShardedLruCache::clear() {
   }
 }
 
+std::vector<std::pair<std::uint64_t, CachedSolution>>
+ShardedLruCache::entries() const {
+  std::vector<std::pair<std::uint64_t, CachedSolution>> Out;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    // Front = most recently used; walk backwards for LRU-first order.
+    for (auto It = S->Lru.rbegin(); It != S->Lru.rend(); ++It)
+      Out.push_back(*It);
+  }
+  return Out;
+}
+
 std::size_t ShardedLruCache::size() const {
   std::size_t Total = 0;
   for (const auto &S : Shards) {

@@ -63,6 +63,11 @@ public:
   /// Drops every entry (counters are kept).
   void clear();
 
+  /// Copies out every entry, least-recently-used first (so replaying the
+  /// list through `store` reproduces the recency order). Used by the
+  /// persistence layer to compact the cache into a snapshot file.
+  std::vector<std::pair<std::uint64_t, CachedSolution>> entries() const;
+
   /// Attaches registry counters: the aggregate hit/miss/eviction trio
   /// plus one labeled trio per shard (`Shards.size()` entries expected;
   /// extras ignored). Existing totals are not replayed.

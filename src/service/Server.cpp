@@ -194,8 +194,19 @@ void SocketServer::serveConnection(int Fd) {
         Req ? Service.handle(*Req)
             : makeErrorResponse(Verb::Ping, ServiceError::BadFrame,
                                 DecodeError);
-    if (!writeFrame(Fd, encodeResponse(Resp)))
+    if (!writeFrame(Fd, encodeResponse(Resp))) {
+      // A peer that hung up before reading its response raises EPIPE
+      // (writes use MSG_NOSIGNAL) — that is a normal close, not an
+      // error; anything else on the write path deserves a warning.
+      if (errno == EPIPE || errno == ECONNRESET)
+        obs::log(obs::LogLevel::Debug, "server", "peer closed mid-write")
+            .kv("fd", Fd);
+      else
+        obs::log(obs::LogLevel::Warn, "server", "response write failed")
+            .kv("fd", Fd)
+            .kv("error", std::strerror(errno));
       break;
+    }
     if (Req && Req->V == Verb::Shutdown) {
       obs::log(obs::LogLevel::Info, "server", "shutdown requested")
           .kv("fd", Fd);

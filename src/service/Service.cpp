@@ -5,6 +5,7 @@
 #include "matrix/Fingerprint.h"
 #include "matrix/Generators.h"
 #include "obs/Log.h"
+#include "persist/Checkpoint.h"
 #include "seq/EvolutionSim.h"
 #include "support/Audit.h"
 #include "tree/Newick.h"
@@ -20,6 +21,24 @@ namespace {
 /// Key-space salts: whole-matrix and per-block entries share one cache
 /// but must never answer for each other.
 constexpr std::uint64_t WholeKeySalt = 0x9e3779b97f4a7c15ull;
+
+/// In-memory cache entries -> durable records (shared by early and
+/// shutdown compaction).
+std::vector<persist::DurableCacheRecord>
+toDurableRecords(std::vector<std::pair<std::uint64_t, CachedSolution>> Entries) {
+  std::vector<persist::DurableCacheRecord> Records;
+  Records.reserve(Entries.size());
+  for (auto &[Key, Value] : Entries) {
+    persist::DurableCacheRecord Rec;
+    Rec.Key = Key;
+    Rec.CanonicalBytes = std::move(Value.Bytes);
+    Rec.Tree = std::move(Value.Tree);
+    Rec.Cost = Value.Cost;
+    Rec.Exact = Value.Exact;
+    Records.push_back(std::move(Rec));
+  }
+  return Records;
+}
 
 /// Returns \p Tree with leaves relabeled through \p Map (`new = Map[old]`).
 PhyloTree relabelLeaves(const PhyloTree &Tree, const std::vector<int> &Map) {
@@ -58,6 +77,22 @@ TreeService::TreeService(const ServiceOptions &Options)
   Cache.setInstruments(&obs::cacheInstruments(),
                        obs::cacheShardInstruments(
                            std::max(1, Options.CacheShards)));
+  if (!Options.StateDir.empty()) {
+    Store = std::make_unique<persist::CacheStore>(Options.StateDir);
+    Journal = std::make_unique<persist::JobJournal>(Options.StateDir);
+    persist::ensureDir(Options.StateDir + "/ckpt");
+    CheckpointHooks.SinkFor =
+        [this](std::uint64_t Key) -> std::unique_ptr<CheckpointSink> {
+      return std::make_unique<persist::FileCheckpointSink>(
+          checkpointPath(Key));
+    };
+    CheckpointHooks.Load = [this](std::uint64_t Key) {
+      return persist::loadCheckpoint(checkpointPath(Key));
+    };
+    CheckpointHooks.Done = [this](std::uint64_t Key) {
+      persist::removeCheckpoint(checkpointPath(Key));
+    };
+  }
   int NumWorkers = std::max(1, Options.NumWorkers);
   Workers.reserve(static_cast<std::size_t>(NumWorkers));
   for (int I = 0; I < NumWorkers; ++I)
@@ -66,7 +101,96 @@ TreeService::TreeService(const ServiceOptions &Options)
       .kv("workers", NumWorkers)
       .kv("queue_capacity", std::max<std::size_t>(1, Options.QueueCapacity))
       .kv("cache_capacity", Options.CacheCapacity)
-      .kv("cache_shards", std::max(1, Options.CacheShards));
+      .kv("cache_shards", std::max(1, Options.CacheShards))
+      .kv("state_dir",
+          Options.StateDir.empty() ? std::string("off") : Options.StateDir);
+  // Workers are live before recovery re-enqueues interrupted jobs, so a
+  // recovered backlog larger than the queue capacity still drains.
+  recoverState();
+}
+
+std::string TreeService::checkpointPath(std::uint64_t Key) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "%016llx.ckpt",
+                static_cast<unsigned long long>(Key));
+  return Options.StateDir + "/ckpt/" + Name;
+}
+
+void TreeService::recoverState() {
+  if (!Store)
+    return;
+  persist::CacheStore::LoadResult Loaded = Store->load();
+  for (persist::DurableCacheRecord &Rec : Loaded.Records) {
+    CachedSolution Value;
+    Value.Tree = std::move(Rec.Tree);
+    Value.Cost = Rec.Cost;
+    Value.Exact = Rec.Exact;
+    Value.Bytes = std::move(Rec.CanonicalBytes);
+    Cache.store(Rec.Key, std::move(Value));
+  }
+  obs::log(obs::LogLevel::Info, "service", "durable cache recovered")
+      .kv("snapshot_records", Loaded.SnapshotRecords)
+      .kv("wal_records", Loaded.WalRecords)
+      .kv("dropped", Loaded.DroppedRecords)
+      .kv("cold_start", Loaded.ColdStart ? 1 : 0)
+      .kv("wal_damaged", Loaded.WalDamaged ? 1 : 0);
+
+  // Re-enqueue jobs that were accepted but never answered. Their
+  // requesters are gone, so nobody reads the promises — the value of
+  // finishing is the durable cache entry the solve will produce.
+  std::vector<persist::PendingJob> Pending = Journal->load();
+  std::uint64_t MaxId = 0;
+  for (persist::PendingJob &P : Pending) {
+    MaxId = std::max(MaxId, P.Id);
+    std::optional<Request> Req = decodeRequest(P.EncodedRequest);
+    if (!Req || Req->V != Verb::Build) {
+      std::lock_guard<std::mutex> Lock(PersistMu);
+      Journal->completed(P.Id);
+      continue;
+    }
+    Job J;
+    J.Request = std::move(Req->Build);
+    // The original deadline was relative to a submission in a previous
+    // process life; running to completion is the whole point now.
+    J.Request.DeadlineMillis = 0;
+    J.SubmitTime = Clock::now();
+    J.JournalId = P.Id;
+    obs::log(obs::LogLevel::Info, "service", "re-enqueued interrupted job")
+        .kv("journal_id", P.Id);
+    if (!Queue.push(std::move(J))) {
+      std::lock_guard<std::mutex> Lock(PersistMu);
+      Journal->completed(P.Id);
+      continue;
+    }
+    Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+    Obs.Submitted.inc();
+  }
+  // Fresh ids must never collide with journaled ones.
+  NextJobId.store(MaxId + 1, std::memory_order_relaxed);
+}
+
+void TreeService::persistSolution(std::uint64_t Key,
+                                  const CachedSolution &Value) {
+  if (!Store)
+    return;
+  persist::DurableCacheRecord Rec;
+  Rec.Key = Key;
+  Rec.CanonicalBytes = Value.Bytes;
+  Rec.Tree = Value.Tree;
+  Rec.Cost = Value.Cost;
+  Rec.Exact = Value.Exact;
+  std::lock_guard<std::mutex> Lock(PersistMu);
+  Store->append(Rec, Options.SyncWrites);
+  if (Options.WalCompactBytes != 0 &&
+      Store->walBytes() > Options.WalCompactBytes)
+    Store->compact(toDurableRecords(Cache.entries()));
+}
+
+void TreeService::journalCompleted(std::uint64_t JournalId) {
+  if (!Journal || JournalId == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(PersistMu);
+  Journal->completed(JournalId);
 }
 
 TreeService::~TreeService() { stop(); }
@@ -80,6 +204,9 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
   auto reject = [&](ServiceError Error, const char *Message) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
+    // A journaled-then-rejected job was still answered; without the
+    // completion mark a restart would re-run it.
+    journalCompleted(J.JournalId);
     BuildResponse Resp;
     Resp.Error = Error;
     Resp.Message = Message;
@@ -91,11 +218,24 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
     return Future;
   }
 
+  if (Journal) {
+    // Journal *before* the queue admits the job: once push returns the
+    // worker may already be solving it, and `Completed(id)` must never
+    // reach the journal ahead of `Submitted(id)`.
+    J.JournalId = NextJobId.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::uint8_t> Encoded =
+        encodeRequest(makeBuildRequest(J.Request));
+    std::lock_guard<std::mutex> Lock(PersistMu);
+    Journal->submitted(J.JournalId, Encoded);
+  }
+
+  std::uint64_t JournalId = J.JournalId;
   bool Admitted = Options.BlockOnFullQueue
                       ? Queue.push(std::move(J))
                       : Queue.tryPush(std::move(J));
   if (!Admitted) {
     // push/tryPush leave the job (and its promise) untouched on failure.
+    J.JournalId = JournalId;
     reject(Queue.closed() ? ServiceError::ShuttingDown
                           : ServiceError::QueueFull,
            Queue.closed() ? "service is shutting down" : "job queue full");
@@ -181,6 +321,9 @@ void TreeService::stop() {
   for (Job &J : Queue.drain()) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
+    // The requester gets an answer (ShuttingDown), so the job is done
+    // from the journal's point of view.
+    journalCompleted(J.JournalId);
     BuildResponse Resp;
     Resp.Error = ServiceError::ShuttingDown;
     Resp.Message = "service stopped before the job started";
@@ -189,6 +332,12 @@ void TreeService::stop() {
   for (std::thread &W : Workers)
     W.join();
   Workers.clear();
+  if (Store) {
+    // Shutdown compaction folds the WAL into the snapshot so the next
+    // start replays one file and an empty log.
+    std::lock_guard<std::mutex> PLock(PersistMu);
+    Store->compact(toDurableRecords(Cache.entries()));
+  }
 }
 
 void TreeService::workerLoop() {
@@ -228,6 +377,9 @@ void TreeService::workerLoop() {
           .kv("total_ms", TotalMillis);
     }
     Counters.Latency.record(TotalMillis);
+    // Answered = done, whether ok or error: either way the client got a
+    // response, so a restart must not re-run it.
+    journalCompleted(J->JournalId);
     J->Promise.set_value(std::move(Resp));
   }
 }
@@ -351,6 +503,7 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     Entry.Exact = Resp.Exact;
     Entry.Bytes = wholeCacheBytes(Form, Request);
     Entry.Tree = relabelLeaves(SolvedTree, Inverse);
+    persistSolution(wholeCacheKey(Form, Request), Entry);
     Cache.store(wholeCacheKey(Form, Request), std::move(Entry));
   }
   return Resp;
@@ -415,9 +568,18 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
       Value.Cost = Entry.Cost;
       Value.Exact = Entry.Exact;
       Value.Bytes = Bytes;
+      persistSolution(Key, Value);
       Cache.store(Key, std::move(Value));
     };
     Pipeline.BlockCache = &Hooks;
+  }
+  if (Store) {
+    // Long block solves leave resumable state under <StateDir>/ckpt/;
+    // a re-enqueued job after a crash picks each block up where the
+    // previous process stopped.
+    Pipeline.BlockCheckpoint = &CheckpointHooks;
+    Pipeline.Bnb.CheckpointEveryNodes = Options.CheckpointEveryNodes;
+    Pipeline.Bnb.CheckpointEverySeconds = Options.CheckpointEverySeconds;
   }
 
   PipelineResult Result = buildCompactSetTree(M, Pipeline);

@@ -24,6 +24,8 @@
 
 #include "compact/CompactSetPipeline.h"
 #include "obs/Instruments.h"
+#include "persist/CacheStore.h"
+#include "persist/JobJournal.h"
 #include "service/JobQueue.h"
 #include "service/Protocol.h"
 #include "service/ResultCache.h"
@@ -31,6 +33,7 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 
 namespace mutk {
@@ -54,6 +57,25 @@ struct ServiceOptions {
   bool BlockOnFullQueue = true;
   /// Engine used for each condensed block.
   BlockSolver Solver = BlockSolver::Sequential;
+
+  /// Durable state directory; empty disables persistence. When set the
+  /// service recovers the result cache (snapshot + WAL replay) and
+  /// re-enqueues journaled-but-unfinished jobs on startup, journals
+  /// every exact solution and accepted job while running, checkpoints
+  /// long block solves under `<StateDir>/ckpt/`, and compacts the cache
+  /// into the snapshot on shutdown. Formats and recovery semantics are
+  /// documented in docs/persistence.md.
+  std::string StateDir;
+  /// Compact the durable cache early once its WAL exceeds this many
+  /// bytes (0 = compact only on shutdown).
+  std::uint64_t WalCompactBytes = 8u << 20;
+  /// fdatasync each cache/journal append. Durable by default; switch
+  /// off to trade crash-durability of the newest records for latency.
+  bool SyncWrites = true;
+  /// Cadence of per-block search checkpoints (both zero disables them;
+  /// only meaningful with a StateDir).
+  std::uint64_t CheckpointEveryNodes = 200'000;
+  double CheckpointEverySeconds = 5.0;
 };
 
 /// A concurrent tree-construction service (queue + workers + cache).
@@ -102,9 +124,16 @@ private:
     BuildRequest Request;
     std::promise<BuildResponse> Promise;
     Clock::time_point SubmitTime;
+    /// Job-journal id (0 = not journaled: persistence off, or a
+    /// rejected job that never reached the journal).
+    std::uint64_t JournalId = 0;
   };
 
   void workerLoop();
+  void recoverState();
+  void persistSolution(std::uint64_t Key, const CachedSolution &Value);
+  void journalCompleted(std::uint64_t JournalId);
+  std::string checkpointPath(std::uint64_t Key) const;
   BuildResponse process(const BuildRequest &Request,
                         Clock::time_point SubmitTime);
   BuildResponse solveFresh(const DistanceMatrix &M,
@@ -120,6 +149,15 @@ private:
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
   std::mutex StopMu;
+
+  /// Persistence (null when `Options.StateDir` is empty). `PersistMu`
+  /// serializes every durable append/compaction — the WAL classes are
+  /// not thread-safe and workers store concurrently.
+  std::unique_ptr<persist::CacheStore> Store;
+  std::unique_ptr<persist::JobJournal> Journal;
+  std::mutex PersistMu;
+  std::atomic<std::uint64_t> NextJobId{1};
+  BlockCheckpointHooks CheckpointHooks;
 };
 
 } // namespace mutk
