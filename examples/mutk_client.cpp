@@ -152,7 +152,11 @@ int main(int argc, char **argv) {
     else if (Arg == "--retries" && (V = next()))
       ConnectRetries = std::max(0, std::atoi(V));
     else if (Arg == "--backoff-ms" && (V = next()))
-      ConnectBackoffMillis = std::max(1L, std::atol(V));
+      // Clamp into [1, cap] up front: values beyond the cap would only
+      // be cut down after the first (absurdly long) sleep otherwise.
+      ConnectBackoffMillis =
+          std::min(std::max(1L, std::strtol(V, nullptr, 10)),
+                   MaxBackoffMillis);
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n",
                    Arg.c_str());
@@ -191,7 +195,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "connect failed (%s), retry %d/%d in %ldms\n",
                  Error.c_str(), Attempt + 1, ConnectRetries, BackoffMillis);
     std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMillis));
-    BackoffMillis = std::min(BackoffMillis * 2, MaxBackoffMillis);
+    BackoffMillis = nextBackoffMillis(BackoffMillis, MaxBackoffMillis);
   }
   if (!Connected) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());

@@ -10,6 +10,8 @@
 // Usage:
 //   mutkd --unix PATH | --port N [--host A.B.C.D]
 //         [--workers N] [--queue N] [--cache N] [--max-species N]
+//         [--block-solver seq|threaded|cluster]
+//         [--block-concurrency N] [--threads-per-block N]
 //         [--stats-dump PATH [--stats-interval SEC]]
 //         [--state-dir DIR]
 //
@@ -55,6 +57,8 @@ int usage(const char *Argv0) {
                "usage: %s --unix PATH | --port N [--host IPV4]\n"
                "       [--workers N] [--queue N] [--cache N]"
                " [--max-species N]\n"
+               "       [--block-solver seq|threaded|cluster]\n"
+               "       [--block-concurrency N] [--threads-per-block N]\n"
                "       [--stats-dump PATH [--stats-interval SEC]]"
                " [--state-dir DIR]\n",
                Argv0);
@@ -175,6 +179,21 @@ int main(int argc, char **argv) {
       Options.CacheCapacity = static_cast<std::size_t>(std::atoll(V));
     else if (Arg == "--max-species" && (V = next()))
       Options.MaxSpecies = std::atoi(V);
+    else if (Arg == "--block-solver" && (V = next())) {
+      if (std::strcmp(V, "seq") == 0)
+        Options.Solver = BlockSolver::Sequential;
+      else if (std::strcmp(V, "threaded") == 0)
+        Options.Solver = BlockSolver::Threaded;
+      else if (std::strcmp(V, "cluster") == 0)
+        Options.Solver = BlockSolver::SimulatedCluster;
+      else {
+        std::fprintf(stderr, "unknown --block-solver '%s'\n", V);
+        return usage(argv[0]);
+      }
+    } else if (Arg == "--block-concurrency" && (V = next()))
+      Options.BlockConcurrency = std::max(0, std::atoi(V));
+    else if (Arg == "--threads-per-block" && (V = next()))
+      Options.ThreadsPerBlock = std::max(0, std::atoi(V));
     else if (Arg == "--stats-dump" && (V = next()))
       StatsDumpPath = V;
     else if (Arg == "--stats-interval" && (V = next()))
@@ -234,6 +253,8 @@ int main(int argc, char **argv) {
       .kv("queue_capacity", Options.QueueCapacity)
       .kv("cache_capacity", Options.CacheCapacity)
       .kv("max_species", Options.MaxSpecies)
+      .kv("block_concurrency", Options.BlockConcurrency)
+      .kv("threads_per_block", Options.ThreadsPerBlock)
       .kv("build", buildFlavor())
       .kv("stats_dump",
           StatsDumpPath.empty() ? std::string("off") : StatsDumpPath)

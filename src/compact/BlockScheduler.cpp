@@ -1,0 +1,217 @@
+//===- compact/BlockScheduler.cpp - Parallel block DAG executor -----------===//
+
+#include "compact/BlockScheduler.h"
+
+#include "obs/Instruments.h"
+#include "support/Stopwatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace mutk;
+
+ThreadBudget mutk::splitThreadBudget(int RequestedBlocks,
+                                     int RequestedPerBlock,
+                                     bool ThreadedSolver, int SolvableBlocks,
+                                     unsigned HardwareThreads) {
+  // hardware_concurrency() may legally return 0 ("unknown").
+  const int Hardware = std::max(1, static_cast<int>(HardwareThreads));
+  const int BlockCap = std::max(1, SolvableBlocks);
+
+  ThreadBudget Budget;
+  if (RequestedBlocks == 1)
+    Budget.Blocks = 1;
+  else if (RequestedBlocks <= 0)
+    Budget.Blocks = std::min(Hardware, BlockCap);
+  else
+    Budget.Blocks = std::min(RequestedBlocks, BlockCap);
+
+  if (!ThreadedSolver)
+    Budget.PerBlock = 1;
+  else if (RequestedPerBlock > 0)
+    Budget.PerBlock = RequestedPerBlock;
+  else
+    Budget.PerBlock = std::max(1, Hardware / Budget.Blocks);
+  return Budget;
+}
+
+namespace {
+
+/// Shared state of one scheduler run.
+struct DagRun {
+  const CompactHierarchy &Hierarchy;
+  const std::function<PhyloTree(int Id)> &Solve;
+  const std::function<PhyloTree(int Id, PhyloTree BlockTree,
+                                std::vector<PhyloTree> ChildTrees)>
+      &Assemble;
+  bool Publish = false;
+
+  /// Per-node slots, indexed by hierarchy node id. Each slot is written
+  /// by exactly one thread per stage; the `Pending` counter publishes
+  /// the writes (release on the decrement, acquire on the zero-read).
+  std::vector<PhyloTree> BlockTrees;
+  std::vector<PhyloTree> Assembled;
+  std::vector<std::atomic<int>> Pending;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  /// Solve tasks not yet claimed, largest block first (guarded by Mu).
+  std::deque<int> Ready;
+  /// Root's subtree finished (guarded by Mu).
+  bool RootDone = false;
+  /// First failure; once set, workers drain without starting new solves
+  /// (guarded by Mu).
+  std::exception_ptr Error;
+
+  DagRun(const CompactHierarchy &Hierarchy,
+         const std::function<PhyloTree(int Id)> &Solve,
+         const std::function<PhyloTree(int Id, PhyloTree,
+                                       std::vector<PhyloTree>)> &Assemble)
+      : Hierarchy(Hierarchy), Solve(Solve), Assemble(Assemble),
+        BlockTrees(static_cast<std::size_t>(Hierarchy.numNodes())),
+        Assembled(static_cast<std::size_t>(Hierarchy.numNodes())),
+        Pending(static_cast<std::size_t>(Hierarchy.numNodes())) {}
+
+  bool aborted() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Error != nullptr;
+  }
+
+  void fail(std::exception_ptr E) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Error)
+      Error = std::move(E);
+    Ready.clear();
+    Cv.notify_all();
+  }
+
+  /// A node's last dependency retired: assemble it and cascade upward.
+  /// Runs on the worker that performed the final decrement.
+  void finish(int Id) {
+    const CompactHierarchy::Node &Node = Hierarchy.node(Id);
+    std::vector<PhyloTree> ChildTrees;
+    ChildTrees.reserve(Node.Children.size());
+    for (int Child : Node.Children) {
+      const CompactHierarchy::Node &C = Hierarchy.node(Child);
+      if (C.isSingleton()) {
+        PhyloTree Leaf;
+        Leaf.addLeaf(C.Species.front());
+        ChildTrees.push_back(std::move(Leaf));
+      } else {
+        ChildTrees.push_back(
+            std::move(Assembled[static_cast<std::size_t>(Child)]));
+      }
+    }
+    Assembled[static_cast<std::size_t>(Id)] =
+        Assemble(Id, std::move(BlockTrees[static_cast<std::size_t>(Id)]),
+                 std::move(ChildTrees));
+
+    const int Parent = Node.Parent;
+    if (Parent < 0) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      RootDone = true;
+      Cv.notify_all();
+      return;
+    }
+    if (Pending[static_cast<std::size_t>(Parent)].fetch_sub(
+            1, std::memory_order_acq_rel) == 1)
+      finish(Parent);
+  }
+
+  void workerLoop() {
+    obs::PipelineInstruments &I = obs::pipelineInstruments();
+    for (;;) {
+      int Id = -1;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Cv.wait(Lock, [&] { return !Ready.empty() || RootDone || Error; });
+        if (Ready.empty())
+          return;
+        Id = Ready.front();
+        Ready.pop_front();
+      }
+      try {
+        if (Publish)
+          I.BlocksInflight.add(1);
+        Stopwatch Timer;
+        PhyloTree Tree = Solve(Id);
+        if (Publish) {
+          I.BlockSolveMillis.record(Timer.milliseconds());
+          I.BlocksInflight.sub(1);
+        }
+        BlockTrees[static_cast<std::size_t>(Id)] = std::move(Tree);
+        if (Pending[static_cast<std::size_t>(Id)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+          finish(Id);
+      } catch (...) {
+        if (Publish)
+          I.BlocksInflight.sub(1);
+        fail(std::current_exception());
+        return;
+      }
+    }
+  }
+};
+
+} // namespace
+
+PhyloTree mutk::scheduleBlockDag(
+    const CompactHierarchy &Hierarchy, int NumThreads, bool PublishMetrics,
+    const std::function<PhyloTree(int Id)> &Solve,
+    const std::function<PhyloTree(int Id, PhyloTree BlockTree,
+                                  std::vector<PhyloTree> ChildTrees)>
+        &Assemble) {
+  DagRun Run(Hierarchy, Solve, Assemble);
+  Run.Publish = PublishMetrics;
+
+  std::vector<int> Internal = Hierarchy.internalNodesTopDown();
+  for (int Id : Internal) {
+    int InternalChildren = 0;
+    for (int Child : Hierarchy.node(Id).Children)
+      if (!Hierarchy.node(Child).isSingleton())
+        ++InternalChildren;
+    // One pending unit for the node's own solve plus one per child
+    // subtree still being assembled.
+    Run.Pending[static_cast<std::size_t>(Id)].store(
+        1 + InternalChildren, std::memory_order_relaxed);
+  }
+
+  // Every solve is ready from the start; order largest-first so a big
+  // block never becomes the lone straggler behind a drained queue.
+  std::sort(Internal.begin(), Internal.end(), [&](int A, int B) {
+    const std::size_t SizeA = Hierarchy.node(A).Children.size();
+    const std::size_t SizeB = Hierarchy.node(B).Children.size();
+    if (SizeA != SizeB)
+      return SizeA > SizeB;
+    return A < B;
+  });
+  Run.Ready.assign(Internal.begin(), Internal.end());
+  if (PublishMetrics)
+    obs::pipelineInstruments().ReadyBlocks.inc(Internal.size());
+
+  const int PoolSize =
+      std::max(1, std::min<int>(NumThreads,
+                                static_cast<int>(Internal.size())));
+  std::vector<std::thread> Pool;
+  Pool.reserve(static_cast<std::size_t>(PoolSize));
+  for (int T = 0; T < PoolSize; ++T)
+    Pool.emplace_back([&Run] { Run.workerLoop(); });
+
+  {
+    std::unique_lock<std::mutex> Lock(Run.Mu);
+    Run.Cv.wait(Lock, [&] { return Run.RootDone || Run.Error; });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+  {
+    std::lock_guard<std::mutex> Lock(Run.Mu);
+    if (Run.Error)
+      std::rethrow_exception(Run.Error);
+  }
+  return std::move(Run.Assembled[static_cast<std::size_t>(Hierarchy.rootId())]);
+}

@@ -1,0 +1,87 @@
+//===- compact/BlockScheduler.h - Parallel block DAG executor ---*- C++ -*-===//
+///
+/// \file
+/// The compact-set decomposition produces a laminar hierarchy of
+/// *independent* condensed matrices — the easiest parallelism the paper
+/// leaves on the table. This scheduler solves every hierarchy block on a
+/// shared pool of threads and assembles parent subtrees the moment their
+/// children complete: a small DAG executor with one completion counter
+/// per node, no barrier per level.
+///
+/// Every block solve is ready immediately (condensation needs only the
+/// input matrix), so the ready queue starts full, ordered largest block
+/// first (an LPT-style heuristic against a long straggler at the end).
+/// Assembly is the cheap part and runs inline on whichever worker
+/// retires a node's last dependency, cascading toward the root.
+///
+/// The thread budget composes with the per-block solver: `K` concurrent
+/// blocks times `W` branch-and-bound workers inside each block (only the
+/// `BlockSolver::Threaded` engine uses `W > 1`), auto-tuned from
+/// `std::thread::hardware_concurrency` via `splitThreadBudget`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_COMPACT_BLOCKSCHEDULER_H
+#define MUTK_COMPACT_BLOCKSCHEDULER_H
+
+#include "graph/Hierarchy.h"
+#include "tree/PhyloTree.h"
+
+#include <functional>
+#include <vector>
+
+namespace mutk {
+
+/// How one pipeline run's thread budget splits between concurrent block
+/// solves and workers inside each solve.
+struct ThreadBudget {
+  /// Blocks solved concurrently (K). 1 = the sequential walk.
+  int Blocks = 1;
+  /// B&B worker threads per block solve (W); only `BlockSolver::Threaded`
+  /// runs more than one.
+  int PerBlock = 1;
+};
+
+/// Resolves the user-facing knobs into a concrete K×W split.
+///
+/// \param RequestedBlocks  `PipelineOptions::BlockConcurrency`: 1 keeps
+///        the sequential walk, 0 auto-tunes from the hardware, >1 is
+///        taken literally (capped at \p SolvableBlocks — extra pool
+///        threads would never find work).
+/// \param RequestedPerBlock `PipelineOptions::ThreadsPerBlock`: 0
+///        divides the remaining hardware threads among the K concurrent
+///        blocks, >0 is taken literally.
+/// \param ThreadedSolver   whether the per-block engine can use W > 1.
+/// \param SolvableBlocks   internal hierarchy nodes (block solves) in
+///        this run.
+/// \param HardwareThreads  `std::thread::hardware_concurrency()` (0 is
+///        treated as 1, as the standard allows it to be unknown).
+ThreadBudget splitThreadBudget(int RequestedBlocks, int RequestedPerBlock,
+                               bool ThreadedSolver, int SolvableBlocks,
+                               unsigned HardwareThreads);
+
+/// Solves every internal node of \p Hierarchy and assembles the root's
+/// subtree, running up to \p NumThreads block solves concurrently.
+///
+/// \p Solve is invoked once per internal node, concurrently from pool
+/// threads — it must be thread-safe across distinct nodes. \p Assemble
+/// is invoked once per internal node after its own solve *and* every
+/// child subtree finished; `ChildTrees` holds one assembled tree per
+/// child in `Node::Children` order (singleton children arrive as
+/// one-leaf trees). Assembly of independent nodes may also run
+/// concurrently, but a node's assembly is always ordered after its
+/// children's (completion-counter release/acquire).
+///
+/// The first exception thrown by either callback aborts the run: no new
+/// solves start, in-flight ones finish, and the exception is rethrown
+/// on the calling thread.
+PhyloTree scheduleBlockDag(
+    const CompactHierarchy &Hierarchy, int NumThreads, bool PublishMetrics,
+    const std::function<PhyloTree(int Id)> &Solve,
+    const std::function<PhyloTree(int Id, PhyloTree BlockTree,
+                                  std::vector<PhyloTree> ChildTrees)>
+        &Assemble);
+
+} // namespace mutk
+
+#endif // MUTK_COMPACT_BLOCKSCHEDULER_H

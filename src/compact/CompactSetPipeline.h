@@ -34,6 +34,8 @@ namespace mutk {
 /// Which engine solves each condensed matrix.
 enum class BlockSolver {
   Sequential,       ///< Algorithm BBU per block.
+  Threaded,         ///< Shared-memory parallel B&B (`parallel/ThreadedBnb`)
+                    ///< with `PipelineOptions::ThreadsPerBlock` workers.
   SimulatedCluster, ///< Parallel B&B on the simulated cluster per block.
 };
 
@@ -97,6 +99,16 @@ struct PipelineOptions {
   BlockSolver Solver = BlockSolver::Sequential;
   /// Cluster model used when `Solver == SimulatedCluster`.
   ClusterSpec Cluster;
+  /// Condensed matrices solved concurrently by the block DAG scheduler
+  /// (`compact/BlockScheduler.h`). 1 = the classic sequential recursive
+  /// walk; 0 = auto-tune from `hardware_concurrency`; K > 1 = that many
+  /// pool threads (capped at the number of blocks). The merged tree is
+  /// identical for every value — only wall-clock changes.
+  int BlockConcurrency = 1;
+  /// B&B workers inside each block solve when `Solver == Threaded`
+  /// (0 = auto: divide the remaining hardware threads among the
+  /// concurrent blocks). Ignored by the other solvers.
+  int ThreadsPerBlock = 0;
   /// Run a subtree-prune-and-regraft polish on the merged tree
   /// (`heur/NniSearch.h`) — the papers' future-work extension. Never
   /// increases the cost; most useful when blocks fell back to UPGMM.
@@ -152,6 +164,11 @@ struct PipelineResult {
   /// SPR moves applied by the optional polish (0 when disabled or when
   /// the merged tree was already SPR-optimal).
   int PolishMoves = 0;
+  /// The resolved thread-budget split this run actually used: number of
+  /// concurrent block solves (1 = sequential walk) × B&B workers per
+  /// block. Reported so benchmarks and tests can confirm the auto-tune.
+  int BlockConcurrency = 1;
+  int WorkersPerBlock = 1;
 };
 
 /// Runs the fast technique on \p M.

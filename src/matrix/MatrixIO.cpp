@@ -5,6 +5,7 @@
 #include "support/Audit.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -36,31 +37,93 @@ static std::optional<DistanceMatrix> fail(std::string *Error,
   return std::nullopt;
 }
 
+namespace {
+
+/// Advances \p IS to the next line carrying content. Strips the
+/// trailing CR of CRLF files and any trailing whitespace, and skips
+/// blank lines (files produced on Windows or padded with trailing
+/// newlines parse the same as their minimal form). Returns false at
+/// end of input.
+bool nextContentLine(std::istream &IS, std::string &Line) {
+  while (std::getline(IS, Line)) {
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' ' ||
+                             Line.back() == '\t'))
+      Line.pop_back();
+    if (Line.find_first_not_of(" \t") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+std::vector<std::string> splitTokens(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::istringstream SS(Line);
+  std::string Token;
+  while (SS >> Token)
+    Out.push_back(std::move(Token));
+  return Out;
+}
+
+/// Parses \p Token as a double, requiring the whole token to be
+/// consumed (`operator>>` would silently accept `1.5x` prefixes).
+bool parseDouble(const std::string &Token, double &Out) {
+  if (Token.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtod(Token.c_str(), &End);
+  return End == Token.c_str() + Token.size();
+}
+
+} // namespace
+
 std::optional<DistanceMatrix> mutk::readMatrix(std::istream &IS,
                                                std::string *Error) {
-  int N = 0;
-  if (!(IS >> N))
+  // Line-oriented on purpose: a token stream cannot tell "row ended"
+  // from "row continued on the next line", so a row with an extra value
+  // would silently absorb the next row's name and report a misleading
+  // error several rows later.
+  std::string Line;
+  if (!nextContentLine(IS, Line))
     return fail(Error, "missing species count");
+  std::vector<std::string> Header = splitTokens(Line);
+  char *End = nullptr;
+  long N = std::strtol(Header.front().c_str(), &End, 10);
+  if (End != Header.front().c_str() + Header.front().size())
+    return fail(Error, "bad species count '" + Header.front() + "'");
+  if (Header.size() > 1)
+    return fail(Error, "unexpected token '" + Header[1] +
+                           "' after species count");
   if (N < 0)
     return fail(Error, "negative species count");
+  if (N > std::numeric_limits<int>::max())
+    return fail(Error, "species count out of range");
 
-  DistanceMatrix M(N);
+  DistanceMatrix M(static_cast<int>(N));
   // Raw values first; symmetry is validated after the full read so the
   // error message can name both offending entries.
   std::vector<double> Raw(static_cast<std::size_t>(N) * N, 0.0);
   for (int I = 0; I < N; ++I) {
-    std::string Name;
-    if (!(IS >> Name))
+    if (!nextContentLine(IS, Line))
       return fail(Error, "missing name for row " + std::to_string(I));
-    M.setName(I, Name);
+    std::vector<std::string> Row = splitTokens(Line);
+    M.setName(I, Row.front());
+    if (Row.size() < static_cast<std::size_t>(N) + 1)
+      return fail(Error, "missing entry (" + std::to_string(I) + ", " +
+                             std::to_string(Row.size() - 1) + ")");
+    if (Row.size() > static_cast<std::size_t>(N) + 1)
+      return fail(Error, "unexpected token '" + Row[static_cast<std::size_t>(N) + 1] +
+                             "' after row " + std::to_string(I));
     for (int J = 0; J < N; ++J) {
       double Value = 0.0;
-      if (!(IS >> Value))
-        return fail(Error, "missing entry (" + std::to_string(I) + ", " +
-                               std::to_string(J) + ")");
+      if (!parseDouble(Row[static_cast<std::size_t>(J) + 1], Value))
+        return fail(Error, "bad entry (" + std::to_string(I) + ", " +
+                               std::to_string(J) + "): '" +
+                               Row[static_cast<std::size_t>(J) + 1] + "'");
       Raw[static_cast<std::size_t>(I) * N + J] = Value;
     }
   }
+  if (nextContentLine(IS, Line))
+    return fail(Error, "unexpected content after last row: '" + Line + "'");
 
   for (int I = 0; I < N; ++I) {
     if (Raw[static_cast<std::size_t>(I) * N + I] != 0.0)

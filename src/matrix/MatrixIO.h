@@ -11,9 +11,13 @@
 ///   orang   5 5 2 0
 /// \endcode
 ///
-/// The first token is the species count; each following row is a species
-/// name followed by a full row of distances. Parsing is strict about
-/// symmetry and the zero diagonal and reports the first problem found.
+/// The first line is the species count; each following line is a species
+/// name followed by a full row of distances. Parsing is line-oriented
+/// and tolerant of CRLF line endings, trailing whitespace and blank
+/// lines (anywhere), but strict about everything else: extra tokens on
+/// a line, partial rows, non-numeric entries, trailing garbage after
+/// the last row, asymmetry and a nonzero diagonal are all reported as
+/// errors naming the first problem found.
 ///
 //===----------------------------------------------------------------------===//
 

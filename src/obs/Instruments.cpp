@@ -128,7 +128,11 @@ PipelineInstruments &mutk::obs::pipelineInstruments() {
       reg().counter("mutk_pipeline_exact_blocks_total"),
       reg().counter("mutk_pipeline_heuristic_blocks_total"),
       reg().counter("mutk_pipeline_height_clamps_total"),
+      reg().counter("mutk_pipeline_ready_blocks_total"),
+      reg().counter("mutk_pipeline_single_flight_waits_total"),
+      reg().gauge("mutk_pipeline_blocks_inflight"),
       reg().histogram("mutk_pipeline_block_size"),
+      reg().histogram("mutk_pipeline_block_solve_ms"),
   };
   return I;
 }

@@ -126,7 +126,15 @@ struct PipelineInstruments {
   Counter &ExactBlocks;
   Counter &HeuristicBlocks;
   Counter &HeightClamps;
+  /// Block solves handed to the DAG scheduler's ready queue
+  /// (`compact/BlockScheduler.h`); only parallel runs increment it.
+  Counter &ReadyBlocks;
+  /// Solves that blocked on another thread already solving a block with
+  /// the same canonical fingerprint (single-flight contention).
+  Counter &SingleFlightWaits;
+  Gauge &BlocksInflight;
   Histogram &BlockSize;
+  Histogram &BlockSolveMillis;
 };
 PipelineInstruments &pipelineInstruments();
 

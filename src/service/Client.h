@@ -19,6 +19,18 @@
 
 namespace mutk {
 
+/// One step of capped exponential backoff: doubles \p CurrentMillis,
+/// saturating at \p CapMillis. Written to never overflow: doubling only
+/// happens below `CapMillis / 2`, so `CurrentMillis * 2 <= CapMillis`
+/// always holds when evaluated — a naive `min(Current * 2, Cap)` wraps
+/// to a negative delay once `Current` exceeds `LONG_MAX / 2` (a huge
+/// user-supplied `--backoff-ms` gets there on the first retry).
+constexpr long nextBackoffMillis(long CurrentMillis, long CapMillis) {
+  if (CurrentMillis >= CapMillis / 2)
+    return CapMillis;
+  return CurrentMillis < 1 ? 1 : CurrentMillis * 2;
+}
+
 /// Synchronous framed-protocol client.
 class ServiceClient {
 public:

@@ -521,6 +521,18 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
   Pipeline.MaxExactBlockSize = std::max(1, Request.MaxExactBlockSize);
   Pipeline.PolishTopology = Request.Polish;
   Pipeline.Solver = Options.Solver;
+  // Auto block concurrency shares the machine among the request
+  // workers: each request gets ~hardware/NumWorkers pool threads so a
+  // fully-loaded service does not oversubscribe.
+  if (Options.BlockConcurrency == 0) {
+    const int Hardware =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    Pipeline.BlockConcurrency =
+        std::max(1, Hardware / std::max(1, Options.NumWorkers));
+  } else {
+    Pipeline.BlockConcurrency = Options.BlockConcurrency;
+  }
+  Pipeline.ThreadsPerBlock = Options.ThreadsPerBlock;
   Pipeline.Bnb.ThreeThree = Request.ThreeThree;
 
   // Deadline -> node budget: bound every block's branch-and-bound so an

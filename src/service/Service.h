@@ -57,6 +57,14 @@ struct ServiceOptions {
   bool BlockOnFullQueue = true;
   /// Engine used for each condensed block.
   BlockSolver Solver = BlockSolver::Sequential;
+  /// Condensed blocks each request solves concurrently
+  /// (`PipelineOptions::BlockConcurrency`): 1 = sequential walk, 0 =
+  /// auto — divide the machine's threads among the `NumWorkers`
+  /// request workers so concurrent requests do not oversubscribe.
+  int BlockConcurrency = 1;
+  /// B&B workers inside each block solve when `Solver == Threaded`
+  /// (`PipelineOptions::ThreadsPerBlock`; 0 = auto).
+  int ThreadsPerBlock = 0;
 
   /// Durable state directory; empty disables persistence. When set the
   /// service recovers the result cache (snapshot + WAL replay) and

@@ -1,0 +1,48 @@
+//===- support/SingleFlight.cpp - Per-key mutual exclusion ----------------===//
+
+#include "support/SingleFlight.h"
+
+using namespace mutk;
+
+KeyedMutex::Guard KeyedMutex::lock(std::uint64_t Key, bool *Contended) {
+  Slot *S = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(MapMu);
+    std::unique_ptr<Slot> &Entry = Slots[Key];
+    if (!Entry)
+      Entry = std::make_unique<Slot>();
+    S = Entry.get();
+    // The reference is taken under MapMu *before* blocking on the slot
+    // mutex, so the slot cannot be reclaimed while this thread waits.
+    ++S->Refs;
+  }
+  if (S->Mu.try_lock()) {
+    if (Contended)
+      *Contended = false;
+  } else {
+    if (Contended)
+      *Contended = true;
+    S->Mu.lock();
+  }
+  return Guard(this, S, Key);
+}
+
+void KeyedMutex::unlock(Slot *S, std::uint64_t Key) {
+  S->Mu.unlock();
+  std::lock_guard<std::mutex> Lock(MapMu);
+  if (--S->Refs == 0)
+    Slots.erase(Key);
+}
+
+void KeyedMutex::Guard::release() {
+  if (!Held)
+    return;
+  Parent->unlock(Held, Key);
+  Parent = nullptr;
+  Held = nullptr;
+}
+
+std::size_t KeyedMutex::liveSlots() const {
+  std::lock_guard<std::mutex> Lock(MapMu);
+  return Slots.size();
+}

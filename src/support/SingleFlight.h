@@ -1,0 +1,94 @@
+//===- support/SingleFlight.h - Per-key mutual exclusion --------*- C++ -*-===//
+///
+/// \file
+/// A registry of mutexes keyed by 64-bit identifiers, used to
+/// single-flight work that must not run concurrently for the *same* key
+/// while staying fully parallel across different keys. The compact-set
+/// pipeline serializes block solves per canonical fingerprint with it:
+/// two concurrent pipelines (or two blocks of one parallel pipeline)
+/// that condense to the same matrix would otherwise race one checkpoint
+/// file under `ckpt/<fingerprint>.ckpt` and duplicate one B&B search.
+///
+/// Slots are created on first use and reclaimed when the last holder or
+/// waiter releases, so the registry's footprint is bounded by the number
+/// of keys *currently* contended, not ever seen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_SINGLEFLIGHT_H
+#define MUTK_SUPPORT_SINGLEFLIGHT_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace mutk {
+
+/// Mutual exclusion per 64-bit key. `lock(K)` blocks while another
+/// thread holds `K`; different keys never contend (beyond the brief
+/// registry lookup).
+class KeyedMutex {
+  struct Slot {
+    std::mutex Mu;
+    /// Holders + waiters with a live reference; guarded by the
+    /// registry's `MapMu`. The slot is erased when this drops to zero.
+    int Refs = 0;
+  };
+
+public:
+  /// RAII ownership of one key's lock.
+  class Guard {
+  public:
+    Guard() = default;
+    Guard(Guard &&Other) noexcept { *this = std::move(Other); }
+    Guard &operator=(Guard &&Other) noexcept {
+      release();
+      Parent = Other.Parent;
+      Held = Other.Held;
+      Key = Other.Key;
+      Other.Parent = nullptr;
+      Other.Held = nullptr;
+      return *this;
+    }
+    Guard(const Guard &) = delete;
+    Guard &operator=(const Guard &) = delete;
+    ~Guard() { release(); }
+
+    /// True when this guard holds a key (default-constructed guards
+    /// hold nothing).
+    explicit operator bool() const { return Held != nullptr; }
+
+    /// Unlocks early (idempotent).
+    void release();
+
+  private:
+    friend class KeyedMutex;
+    Guard(KeyedMutex *Parent, Slot *Held, std::uint64_t Key)
+        : Parent(Parent), Held(Held), Key(Key) {}
+
+    KeyedMutex *Parent = nullptr;
+    Slot *Held = nullptr;
+    std::uint64_t Key = 0;
+  };
+
+  /// Acquires the mutex for \p Key, blocking while another thread holds
+  /// it. When \p Contended is non-null it is set to true iff the lock
+  /// was not immediately available (the caller waited on another
+  /// holder) — the pipeline counts those as single-flight waits.
+  Guard lock(std::uint64_t Key, bool *Contended = nullptr);
+
+  /// Number of live slots (contended or held keys); for tests.
+  std::size_t liveSlots() const;
+
+private:
+  friend class Guard;
+  void unlock(Slot *S, std::uint64_t Key);
+
+  mutable std::mutex MapMu;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Slot>> Slots;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SUPPORT_SINGLEFLIGHT_H

@@ -314,6 +314,58 @@ TEST(MatrixIO, ParsesEmptyAndSingletonMatrices) {
   EXPECT_NE(Error.find("diagonal"), std::string::npos);
 }
 
+TEST(MatrixIO, AcceptsCrlfLineEndings) {
+  // A matrix saved on Windows carries \r\n terminators; it must parse
+  // identically to its Unix twin, names unpolluted by the \r.
+  auto Unix = matrixFromString("2\na 0 1\nb 1 0\n");
+  auto Crlf = matrixFromString("2\r\na 0 1\r\nb 1 0\r\n");
+  ASSERT_TRUE(Unix.has_value());
+  ASSERT_TRUE(Crlf.has_value());
+  EXPECT_TRUE(Unix->approxEquals(*Crlf, 0.0));
+  EXPECT_EQ(Crlf->name(0), "a");
+  EXPECT_EQ(Crlf->name(1), "b");
+}
+
+TEST(MatrixIO, AcceptsBlankLinesAndTrailingWhitespace) {
+  // Blank lines (even interior ones) and trailing spaces/tabs are
+  // formatting noise, not data.
+  auto Parsed =
+      matrixFromString("\n2  \n\na 0 1\t\n\r\n\nb 1 0   \n\n\r\n");
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->size(), 2);
+  EXPECT_EQ(Parsed->at(0, 1), 1.0);
+}
+
+TEST(MatrixIO, RejectsExtraTokensOnRow) {
+  // One value too many used to be absorbed as the *next* row's name,
+  // producing a misleading error far from the actual defect.
+  std::string Error;
+  EXPECT_FALSE(
+      matrixFromString("2\na 0 1 9\nb 1 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("after row 0"), std::string::npos);
+}
+
+TEST(MatrixIO, RejectsTrailingGarbage) {
+  std::string Error;
+  EXPECT_FALSE(
+      matrixFromString("2\na 0 1\nb 1 0\nextra stuff\n", &Error).has_value());
+  EXPECT_NE(Error.find("after last row"), std::string::npos);
+}
+
+TEST(MatrixIO, RejectsExtraTokenAfterCount) {
+  std::string Error;
+  EXPECT_FALSE(matrixFromString("2 junk\na 0 1\nb 1 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("after species count"), std::string::npos);
+}
+
+TEST(MatrixIO, RejectsNumericPrefixToken) {
+  // "1.5x" parses as 1.5 under operator>>-style extraction; the whole
+  // token must be numeric.
+  std::string Error;
+  EXPECT_FALSE(matrixFromString("2\na 0 1.5x\nb 1.5 0\n", &Error).has_value());
+  EXPECT_NE(Error.find("bad entry"), std::string::npos);
+}
+
 TEST(MatrixIO, FileRoundTrip) {
   DistanceMatrix M = uniformRandomMetric(7, 21);
   std::string Path = testing::TempDir() + "mutk_matrix_io_test.txt";

@@ -1,0 +1,302 @@
+//===- tests/pipeline_scheduler_test.cpp - Parallel block scheduler -------===//
+//
+// The dependency-aware block scheduler (compact/BlockScheduler.h) and
+// its integration into the compact-set pipeline: thread-budget
+// resolution, determinism of the merged tree across every concurrency
+// level, single-flight of identical blocks, eager removal of stale
+// checkpoints, and a race-hunting stress for the tsan preset (two
+// concurrent pipelines sharing one cache and one checkpoint directory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compact/BlockScheduler.h"
+#include "compact/CompactSetPipeline.h"
+#include "matrix/Fingerprint.h"
+#include "matrix/Generators.h"
+#include "persist/Checkpoint.h"
+#include "persist/Files.h"
+#include "tree/Newick.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace mutk;
+
+namespace {
+
+/// An equilateral matrix has no compact sets: the hierarchy degenerates
+/// to a single block of all species.
+DistanceMatrix equilateral(int N, double D = 5.0) {
+  DistanceMatrix M(N);
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      M.set(I, J, D);
+  return M;
+}
+
+/// Thread-safe in-memory block cache for hook tests.
+struct MemoryBlockCache {
+  BlockCacheHooks hooks() {
+    BlockCacheHooks H;
+    H.Lookup = [this](std::uint64_t Key, const std::vector<std::uint8_t> &B)
+        -> std::optional<BlockCacheEntry> {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Entries.find(Key);
+      if (It == Entries.end() || It->second.first != B) {
+        ++Misses;
+        return std::nullopt;
+      }
+      ++Hits;
+      return It->second.second;
+    };
+    H.Store = [this](std::uint64_t Key, const std::vector<std::uint8_t> &B,
+                     const BlockCacheEntry &E) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Entries[Key] = {B, E};
+    };
+    return H;
+  }
+
+  std::mutex Mu;
+  std::map<std::uint64_t, std::pair<std::vector<std::uint8_t>,
+                                    BlockCacheEntry>>
+      Entries;
+  int Hits = 0;
+  int Misses = 0;
+};
+
+} // namespace
+
+TEST(ThreadBudgetSplit, OneMeansSequentialWalk) {
+  ThreadBudget B = splitThreadBudget(1, 0, false, 10, 16);
+  EXPECT_EQ(B.Blocks, 1);
+  EXPECT_EQ(B.PerBlock, 1);
+}
+
+TEST(ThreadBudgetSplit, ZeroAutoTunesFromHardwareCappedAtBlocks) {
+  EXPECT_EQ(splitThreadBudget(0, 0, false, 100, 8).Blocks, 8);
+  EXPECT_EQ(splitThreadBudget(0, 0, false, 3, 8).Blocks, 3);
+  // Unknown hardware (0) degrades to sequential, never to zero threads.
+  EXPECT_EQ(splitThreadBudget(0, 0, false, 100, 0).Blocks, 1);
+}
+
+TEST(ThreadBudgetSplit, ExplicitRequestCappedAtSolvableBlocks) {
+  EXPECT_EQ(splitThreadBudget(16, 0, false, 5, 8).Blocks, 5);
+  EXPECT_EQ(splitThreadBudget(2, 0, false, 5, 8).Blocks, 2);
+  // A hierarchy with no internal nodes still yields a sane budget.
+  EXPECT_EQ(splitThreadBudget(8, 0, false, 0, 8).Blocks, 1);
+}
+
+TEST(ThreadBudgetSplit, PerBlockWorkersOnlyForThreadedSolver) {
+  // Non-threaded solvers always get one worker per block.
+  EXPECT_EQ(splitThreadBudget(4, 7, false, 10, 16).PerBlock, 1);
+  // Threaded: explicit request wins; auto divides the hardware across
+  // the concurrent blocks.
+  EXPECT_EQ(splitThreadBudget(4, 3, true, 10, 16).PerBlock, 3);
+  EXPECT_EQ(splitThreadBudget(4, 0, true, 10, 16).PerBlock, 4);
+  EXPECT_EQ(splitThreadBudget(8, 0, true, 10, 4).PerBlock, 1);
+}
+
+TEST(Scheduler, MergedTreeIsIdenticalAcrossConcurrencyLevels) {
+  // The tentpole determinism claim: with the (deterministic) sequential
+  // per-block solver, the scheduler produces a byte-identical canonical
+  // tree for every K — including the classic recursive walk (K = 1).
+  for (std::uint64_t Seed = 0; Seed < 4; ++Seed) {
+    DistanceMatrix M = plantedClusterMetric(26, Seed);
+
+    PipelineOptions Walk;
+    Walk.BlockConcurrency = 1;
+    PipelineResult Reference = buildCompactSetTree(M, Walk);
+    EXPECT_EQ(Reference.BlockConcurrency, 1);
+
+    for (int K : {2, 8}) {
+      PipelineOptions Par;
+      Par.BlockConcurrency = K;
+      PipelineResult R = buildCompactSetTree(M, Par);
+      EXPECT_GE(R.BlockConcurrency, 1);
+      EXPECT_EQ(toNewick(R.Tree), toNewick(Reference.Tree))
+          << "seed " << Seed << " K " << K;
+      EXPECT_DOUBLE_EQ(R.Cost, Reference.Cost);
+      EXPECT_EQ(R.HeightClamps, 0);
+      // The per-block reports come out in the sequential walk's order
+      // with identical accounting.
+      ASSERT_EQ(R.Blocks.size(), Reference.Blocks.size());
+      for (std::size_t I = 0; I < R.Blocks.size(); ++I) {
+        EXPECT_EQ(R.Blocks[I].HierarchyNode,
+                  Reference.Blocks[I].HierarchyNode);
+        EXPECT_EQ(R.Blocks[I].NumBlocks, Reference.Blocks[I].NumBlocks);
+        EXPECT_DOUBLE_EQ(R.Blocks[I].Cost, Reference.Blocks[I].Cost);
+        EXPECT_EQ(R.Blocks[I].Branched, Reference.Blocks[I].Branched);
+      }
+      EXPECT_EQ(R.TotalStats.Branched, Reference.TotalStats.Branched);
+    }
+  }
+}
+
+TEST(Scheduler, AutoConcurrencyProducesTheSameTree) {
+  DistanceMatrix M = plantedClusterMetric(20, 7);
+  PipelineOptions Walk;
+  PipelineResult Reference = buildCompactSetTree(M, Walk);
+  PipelineOptions Auto;
+  Auto.BlockConcurrency = 0; // resolve from hardware_concurrency
+  PipelineResult R = buildCompactSetTree(M, Auto);
+  EXPECT_EQ(toNewick(R.Tree), toNewick(Reference.Tree));
+  EXPECT_GE(R.BlockConcurrency, 1);
+}
+
+TEST(Scheduler, ThreadedBlockSolverMatchesSequentialCost) {
+  // The threaded B&B races co-optimal incumbents, so only the cost is
+  // deterministic — same contract as parallel_test.
+  for (std::uint64_t Seed = 0; Seed < 3; ++Seed) {
+    DistanceMatrix M = plantedClusterMetric(18, Seed);
+    PipelineResult Reference = buildCompactSetTree(M);
+
+    PipelineOptions Par;
+    Par.Solver = BlockSolver::Threaded;
+    Par.BlockConcurrency = 4;
+    Par.ThreadsPerBlock = 2;
+    PipelineResult R = buildCompactSetTree(M, Par);
+    EXPECT_EQ(R.WorkersPerBlock, 2);
+    EXPECT_NEAR(R.Cost, Reference.Cost, 1e-9) << "seed " << Seed;
+    EXPECT_TRUE(R.Tree.isWellFormed());
+    EXPECT_TRUE(R.Tree.hasMonotoneHeights());
+    EXPECT_TRUE(R.Tree.dominatesMatrix(M));
+  }
+}
+
+TEST(Scheduler, SolveExceptionPropagatesToCaller) {
+  DistanceMatrix M = plantedClusterMetric(16, 3);
+  BlockCacheHooks Hooks;
+  Hooks.Lookup = [](std::uint64_t, const std::vector<std::uint8_t> &)
+      -> std::optional<BlockCacheEntry> {
+    throw std::runtime_error("cache backend down");
+  };
+  PipelineOptions Par;
+  Par.BlockConcurrency = 4;
+  Par.BlockCache = &Hooks;
+  EXPECT_THROW(buildCompactSetTree(M, Par), std::runtime_error);
+}
+
+TEST(Scheduler, SharedCacheIsConsultedAndFilledUnderConcurrency) {
+  DistanceMatrix M = plantedClusterMetric(24, 11);
+  MemoryBlockCache Cache;
+  BlockCacheHooks Hooks = Cache.hooks();
+
+  PipelineOptions Par;
+  Par.BlockConcurrency = 8;
+  Par.BlockCache = &Hooks;
+  PipelineResult Cold = buildCompactSetTree(M, Par);
+  EXPECT_EQ(Cache.Hits, 0);
+  EXPECT_FALSE(Cache.Entries.empty());
+
+  PipelineResult Warm = buildCompactSetTree(M, Par);
+  EXPECT_EQ(toNewick(Warm.Tree), toNewick(Cold.Tree));
+  // Every block of the warm run replays from the cache.
+  for (const BlockReport &B : Warm.Blocks)
+    EXPECT_TRUE(B.FromCache);
+}
+
+TEST(Checkpoint, StaleCheckpointIsRemovedEagerlyOnKeyMismatch) {
+  // A checkpoint whose MatrixKey does not match the block is useless;
+  // it must be deleted at load time, not after a successful solve — a
+  // block whose every attempt is truncated (tight budget here) would
+  // otherwise reload the dead file forever.
+  DistanceMatrix M = uniformRandomMetric(14, 0);
+
+  std::atomic<int> DoneCalls{0};
+  std::atomic<int> LoadCalls{0};
+  BlockCheckpointHooks Hooks;
+  Hooks.Load = [&](std::uint64_t) -> std::optional<SearchCheckpoint> {
+    ++LoadCalls;
+    SearchCheckpoint Stale;
+    Stale.MatrixKey = 0xdeadbeefdeadbeefULL; // never a real fingerprint
+    return Stale;
+  };
+  Hooks.Done = [&](std::uint64_t) { ++DoneCalls; };
+
+  PipelineOptions Options;
+  Options.Bnb.MaxBranchedNodes = 1; // the root block truncates
+  Options.BlockCheckpoint = &Hooks;
+  PipelineResult R = buildCompactSetTree(M, Options);
+
+  int ExactBlocks = 0, TruncatedBlocks = 0;
+  for (const BlockReport &B : R.Blocks)
+    (B.Exact ? ExactBlocks : TruncatedBlocks) += 1;
+  ASSERT_GT(TruncatedBlocks, 0) << "budget must truncate at least one block";
+  EXPECT_EQ(LoadCalls.load(), static_cast<int>(R.Blocks.size()));
+  // One eager removal per stale load, plus the regular removal after
+  // each block that completed exactly. Pre-fix behavior was
+  // `DoneCalls == ExactBlocks`: the truncated block's stale file
+  // survived to be reloaded on every future attempt.
+  EXPECT_EQ(DoneCalls.load(), LoadCalls.load() + ExactBlocks);
+}
+
+TEST(Checkpoint, CompletedSolveStillRemovesItsCheckpoint) {
+  DistanceMatrix M = equilateral(8);
+  std::atomic<int> DoneCalls{0};
+  BlockCheckpointHooks Hooks;
+  Hooks.Done = [&](std::uint64_t) { ++DoneCalls; };
+  PipelineOptions Options;
+  Options.BlockCheckpoint = &Hooks;
+  PipelineResult R = buildCompactSetTree(M, Options);
+  ASSERT_EQ(R.Blocks.size(), 1u);
+  EXPECT_TRUE(R.Blocks[0].Exact);
+  EXPECT_EQ(DoneCalls.load(), 1);
+}
+
+TEST(SchedulerStress, TwoPipelinesShareCacheAndCheckpointDir) {
+  // Race hunt for the tsan preset: two concurrent pipelines, each with
+  // its own internal block parallelism, share one cache and one
+  // checkpoint directory keyed by fingerprint. Identical inputs mean
+  // every block collides across the two runs — the single-flight layer
+  // must serialize them per key with no torn checkpoint files and both
+  // runs must still produce the reference tree.
+  DistanceMatrix M = plantedClusterMetric(24, 19);
+  PipelineResult Reference = buildCompactSetTree(M);
+
+  std::string Dir = testing::TempDir() + "mutk_sched_stress_ckpt";
+  persist::ensureDir(Dir);
+  auto Path = [&](std::uint64_t Key) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "%016llx.ckpt",
+                  static_cast<unsigned long long>(Key));
+    return Dir + "/" + Name;
+  };
+  BlockCheckpointHooks Ckpt;
+  Ckpt.SinkFor = [&](std::uint64_t Key) -> std::unique_ptr<CheckpointSink> {
+    return std::make_unique<persist::FileCheckpointSink>(Path(Key));
+  };
+  Ckpt.Load = [&](std::uint64_t Key) {
+    return persist::loadCheckpoint(Path(Key));
+  };
+  Ckpt.Done = [&](std::uint64_t Key) { persist::removeCheckpoint(Path(Key)); };
+
+  MemoryBlockCache Cache;
+  BlockCacheHooks CacheHooks = Cache.hooks();
+
+  for (int Round = 0; Round < 4; ++Round) {
+    std::string NewickA, NewickB;
+    auto Run = [&](std::string &Out) {
+      PipelineOptions Options;
+      Options.BlockConcurrency = 4;
+      Options.BlockCache = &CacheHooks;
+      Options.BlockCheckpoint = &Ckpt;
+      // Checkpoint aggressively so sinks are actually written during
+      // the race window.
+      Options.Bnb.CheckpointEveryNodes = 16;
+      Out = toNewick(buildCompactSetTree(M, Options).Tree);
+    };
+    std::thread A([&] { Run(NewickA); });
+    std::thread B([&] { Run(NewickB); });
+    A.join();
+    B.join();
+    EXPECT_EQ(NewickA, toNewick(Reference.Tree)) << "round " << Round;
+    EXPECT_EQ(NewickB, toNewick(Reference.Tree)) << "round " << Round;
+  }
+  EXPECT_GT(Cache.Hits, 0) << "colliding blocks should replay the cache";
+}

@@ -839,3 +839,25 @@ TEST(SocketServer, StopWithConnectedClientDoesNotHang) {
   Service.stop();
   EXPECT_FALSE(Client.ping());
 }
+
+TEST(ClientBackoff, DoublesAndSaturatesAtCap) {
+  EXPECT_EQ(nextBackoffMillis(100, 5000), 200);
+  EXPECT_EQ(nextBackoffMillis(200, 5000), 400);
+  EXPECT_EQ(nextBackoffMillis(2499, 5000), 4998);
+  // At or past half the cap, doubling would overshoot: saturate.
+  EXPECT_EQ(nextBackoffMillis(2500, 5000), 5000);
+  EXPECT_EQ(nextBackoffMillis(5000, 5000), 5000);
+  EXPECT_EQ(nextBackoffMillis(9999, 5000), 5000);
+}
+
+TEST(ClientBackoff, NeverOverflows) {
+  // A huge current delay (e.g. user-supplied --backoff-ms near LONG_MAX)
+  // must clamp to the cap, not wrap to a negative sleep. The naive
+  // `min(Current * 2, Cap)` is undefined behavior here.
+  constexpr long Cap = 5000;
+  EXPECT_EQ(nextBackoffMillis(std::numeric_limits<long>::max(), Cap), Cap);
+  EXPECT_EQ(nextBackoffMillis(std::numeric_limits<long>::max() / 2, Cap), Cap);
+  // Degenerate inputs stay positive.
+  EXPECT_EQ(nextBackoffMillis(0, 5000), 1);
+  EXPECT_GT(nextBackoffMillis(1, 5000), 0);
+}
