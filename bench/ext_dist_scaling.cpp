@@ -1,0 +1,330 @@
+//===- bench/ext_dist_scaling.cpp - Multi-node cluster scaling ------------===//
+//
+// Extension study: wall-clock scaling of the distributed B&B
+// (dist/DistBnb.h) across real mutkd peers. The harness boots three
+// full cluster nodes (TreeService + ClusterNode, each listening on a
+// localhost TCP port) and solves one hard instance with 1, 2 and 3 of
+// them as remote computing nodes via `solveMutOverPeers` — the same
+// framed-socket path a production cluster uses, steal frames and
+// incumbent broadcasts included.
+//
+// Every peer count must return the cost of the sequential solver (the
+// protocol is exact; the run aborts if not) and the table reports the
+// measured speedup next to the prediction of the discrete-event
+// simulator (sim/ClusterSim.h) for the same node count — the bench is
+// the reality check on DESIGN.md §5.2's simulator substitution. Rows
+// land in `BENCH_dist.json` following docs/benchmarking.md.
+//
+// MUTK_BENCH_SMOKE=1 swaps in a lighter instance for seconds-long CI
+// runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Workloads.h"
+
+#include "bnb/SequentialBnb.h"
+#include "dist/Cluster.h"
+#include "dist/DistBnb.h"
+#include "obs/Metrics.h"
+#include "service/Service.h"
+#include "sim/ClusterSim.h"
+
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace mutk;
+using namespace mutk::dist;
+
+namespace {
+
+/// Reserves a localhost TCP port: bind(0), read it back, close (the
+/// node's listener re-binds it with SO_REUSEADDR).
+int reservePort() {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = 0;
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+  int Port = ntohs(Addr.sin_port);
+  ::close(Fd);
+  return Port;
+}
+
+/// Live localhost peers for the duration of one study phase. Job
+/// stealing is off for the B&B latency phase (the session itself is the
+/// workload) and on for the throughput phase (stealing IS the
+/// distribution mechanism there).
+struct LocalCluster {
+  std::vector<PeerSpec> Peers;
+  std::vector<std::unique_ptr<TreeService>> Services;
+  std::vector<std::unique_ptr<ClusterNode>> Nodes;
+
+  bool start(int Count, bool StealJobs = false) {
+    for (int I = 0; I < Count; ++I)
+      Peers.push_back({I, "127.0.0.1", reservePort()});
+    for (int I = 0; I < Count; ++I) {
+      ServiceOptions SvcOpts;
+      SvcOpts.NumWorkers = 1;
+      Services.push_back(std::make_unique<TreeService>(SvcOpts));
+      ClusterOptions Opts;
+      Opts.SelfId = I;
+      Opts.Peers = Peers;
+      Opts.StealJobs = StealJobs;
+      Nodes.push_back(std::make_unique<ClusterNode>(*Services[I], Opts));
+      std::string Error;
+      if (!Nodes.back()->start(&Error)) {
+        std::printf("  !! peer %d failed to start: %s\n", I, Error.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  ~LocalCluster() {
+    for (auto &N : Nodes)
+      N->stop();
+    for (auto &S : Services)
+      S->stop();
+  }
+};
+
+struct ResultRow {
+  /// "latency" = one B&B session over P slave peers; "throughput" = a
+  /// batch of independent jobs spread across P peers by job stealing.
+  const char *Mode = "latency";
+  int Species = 0;
+  int Peers = 0;
+  double Millis = 0.0;
+  double Speedup = 1.0;
+  double SimSpeedup = 1.0;
+  double Cost = 0.0;
+  std::uint64_t Messages = 0;
+  std::uint64_t Bytes = 0;
+};
+
+/// BENCH_*.json convention: {"bench":NAME,"rows":[...],"registry":{...}}.
+void writeJson(const std::vector<ResultRow> &Rows) {
+  std::ofstream Out("BENCH_dist.json", std::ios::trunc);
+  if (!Out) {
+    std::printf("  !! could not write BENCH_dist.json\n");
+    return;
+  }
+  Out << "{\"bench\":\"ext_dist_scaling\",\"rows\":[";
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const ResultRow &R = Rows[I];
+    if (I > 0)
+      Out << ",";
+    char Buf[384];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"mode\":\"%s\",\"species\":%d,\"peers\":%d,"
+                  "\"millis\":%.2f,\"speedup\":%.3f,\"sim_speedup\":%.3f,"
+                  "\"cost\":%.6f,\"messages\":%llu,\"bytes\":%llu}",
+                  R.Mode, R.Species, R.Peers, R.Millis, R.Speedup,
+                  R.SimSpeedup, R.Cost,
+                  static_cast<unsigned long long>(R.Messages),
+                  static_cast<unsigned long long>(R.Bytes));
+    Out << Buf;
+  }
+  Out << "],\"registry\":"
+      << mutk::obs::MetricsRegistry::global().renderJson() << "}\n";
+  std::printf("  wrote BENCH_dist.json (%zu rows)\n", Rows.size());
+}
+
+/// Virtual-time speedup the simulator predicts for \p NumNodes
+/// computing nodes on the same instance.
+double simPredictedSpeedup(const DistanceMatrix &M, int NumNodes) {
+  ClusterSimResult Base = simulateSequentialBaseline(M);
+  ClusterSpec Spec;
+  Spec.NumNodes = NumNodes;
+  ClusterSimResult Par = simulateClusterBnb(M, Spec);
+  return Par.Makespan > 0.0 ? Base.Makespan / Par.Makespan : 1.0;
+}
+
+/// Batch throughput over the job-stealing path: \p Jobs independent
+/// generated instances all submitted to peer 0, stolen and solved
+/// cluster-wide. Returns wall-clock ms for the whole batch.
+double runThroughputBatch(int PeerCount, int Jobs, int Species) {
+  LocalCluster Cluster;
+  if (!Cluster.start(PeerCount, /*StealJobs=*/true))
+    return -1.0;
+  std::vector<std::future<BuildResponse>> Futures;
+  auto Start = std::chrono::steady_clock::now();
+  for (int J = 0; J < Jobs; ++J) {
+    BuildRequest R;
+    R.Generator = GeneratorKind::Uniform;
+    R.GenSpecies = Species;
+    R.GenSeed = 1000 + J;
+    R.UseCache = false;
+    Futures.push_back(Cluster.Services[0]->submitAsync(std::move(R)));
+  }
+  for (auto &F : Futures) {
+    BuildResponse Resp = F.get();
+    if (!Resp.ok()) {
+      std::printf("  !! throughput job failed: %s\n", Resp.Message.c_str());
+      return -1.0;
+    }
+  }
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+void printTable() {
+  const bool Smoke = std::getenv("MUTK_BENCH_SMOKE") != nullptr;
+  bench::banner(
+      "Extension: distributed B&B scaling across mutkd peers",
+      "One hard instance solved over 1/2/3 live localhost peers via the "
+      "framed-socket MpOpen path; cost must equal the sequential solver "
+      "at every width. sim = the discrete-event simulator's prediction.");
+
+  // hardDna instances sit in the papers' hard regime (the B&B branches
+  // 10^5..10^6 nodes), so the session is compute-bound rather than
+  // connect-bound even over loopback TCP.
+  const int Species = Smoke ? 23 : 25;
+  const DistanceMatrix M =
+      bench::hardDnaWorkload(Species, Smoke ? 3 : 1);
+
+  auto Start = std::chrono::steady_clock::now();
+  MutResult Seq = solveMutSequential(M);
+  double SeqMillis = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+  std::printf("  sequential: %.0f ms, cost %.4f, %llu branched\n\n",
+              SeqMillis, Seq.Cost,
+              static_cast<unsigned long long>(Seq.Stats.Branched));
+
+  LocalCluster Cluster;
+  if (!Cluster.start(3))
+    return;
+
+  MpProtocolOptions Proto;
+  Proto.WorkStealing = true;
+  Proto.PeerUbBroadcast = true;
+
+  std::printf("%8s %8s | %10s %8s %8s | %10s %12s\n", "species", "peers",
+              "millis", "speedup", "sim", "messages", "bytes");
+  std::vector<ResultRow> Rows;
+  bool CostMismatch = false;
+  for (int P = 1; P <= 3; ++P) {
+    std::vector<PeerSpec> Slaves(Cluster.Peers.begin(),
+                                 Cluster.Peers.begin() + P);
+    std::string Error;
+    Start = std::chrono::steady_clock::now();
+    auto R = solveMutOverPeers(M, Slaves, {}, Proto, 5.0, &Error);
+    double Millis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+    if (!R) {
+      std::printf("  !! %d-peer solve failed: %s\n", P, Error.c_str());
+      return;
+    }
+    if (std::abs(R->Cost - Seq.Cost) > 1e-9) {
+      std::printf("  !! COST MISMATCH at %d peers: %.9f vs %.9f\n", P,
+                  R->Cost, Seq.Cost);
+      CostMismatch = true;
+    }
+    ResultRow Row;
+    Row.Species = Species;
+    Row.Peers = P;
+    Row.Millis = Millis;
+    Row.Speedup = Millis > 0.0 ? SeqMillis / Millis : 1.0;
+    Row.SimSpeedup = simPredictedSpeedup(M, P);
+    Row.Cost = R->Cost;
+    Row.Messages = R->MessagesSent;
+    Row.Bytes = R->BytesSent;
+    Rows.push_back(Row);
+    std::printf("%8d %8d | %10.0f %8.2f %8.2f | %10llu %12llu\n", Species,
+                P, Row.Millis, Row.Speedup, Row.SimSpeedup,
+                static_cast<unsigned long long>(Row.Messages),
+                static_cast<unsigned long long>(Row.Bytes));
+  }
+  if (CostMismatch)
+    std::abort();
+
+  // Phase 2: cluster job throughput. A batch of independent instances
+  // all lands on peer 0; idle peers steal queued jobs over the
+  // StealJob/JobGrant verbs, so the batch spreads to however many peers
+  // exist. On multi-core (or multi-machine) hardware this scales close
+  // to linearly with the peer count; on a single-core host every peer
+  // shares one CPU and the measured ratio degenerates to ~1, which is
+  // why the ideal P-way ratio is recorded alongside in sim_speedup.
+  const int JobSpecies = Smoke ? 300 : 800;
+  const int Jobs = Smoke ? 4 : 9;
+  std::printf("\n  throughput: %d generated jobs of %d species via the "
+              "job-stealing path (%u hardware threads on this host)\n",
+              Jobs, JobSpecies, std::thread::hardware_concurrency());
+  std::printf("%8s %8s | %10s %8s %8s\n", "jobs", "peers", "millis",
+              "speedup", "ideal");
+  double BaseMillis = 0.0;
+  for (int P = 1; P <= 3; P += 2) {
+    double Millis = runThroughputBatch(P, Jobs, JobSpecies);
+    if (Millis < 0.0)
+      return;
+    if (P == 1)
+      BaseMillis = Millis;
+    ResultRow Row;
+    Row.Mode = "throughput";
+    Row.Species = JobSpecies;
+    Row.Peers = P;
+    Row.Millis = Millis;
+    Row.Speedup = Millis > 0.0 ? BaseMillis / Millis : 1.0;
+    Row.SimSpeedup = static_cast<double>(P);
+    Rows.push_back(Row);
+    std::printf("%8d %8d | %10.0f %8.2f %8.2f\n", Jobs, P, Millis,
+                Row.Speedup, Row.SimSpeedup);
+  }
+  writeJson(Rows);
+}
+
+/// Timed micro-variant for `benchmark`: one small solve over a single
+/// live peer (session setup + protocol, not the heavy search).
+void BM_SolveOverOnePeer(benchmark::State &State) {
+  LocalCluster Cluster;
+  if (!Cluster.start(1)) {
+    State.SkipWithError("peer failed to start");
+    return;
+  }
+  DistanceMatrix M = bench::unifWorkload(12, 1);
+  std::vector<PeerSpec> Slaves = {Cluster.Peers[0]};
+  for (auto _ : State) {
+    auto R = solveMutOverPeers(M, Slaves);
+    if (!R) {
+      State.SkipWithError("solve failed");
+      return;
+    }
+    benchmark::DoNotOptimize(R->Cost);
+  }
+}
+
+BENCHMARK(BM_SolveOverOnePeer)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  printTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,24 +12,75 @@
 #include "Workloads.h"
 
 #include "mp/MpBnb.h"
+#include "obs/Metrics.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
 
 using namespace mutk;
 
 namespace {
 
+/// One per-tag measurement of one (species, workers) solve, flattened
+/// for BENCH_mp.json.
+struct TrafficRow {
+  int Species = 0;
+  int Workers = 0;
+  int Tag = 0;
+  const char *TagName = "?";
+  std::uint64_t Messages = 0;
+  std::uint64_t Bytes = 0;
+};
+
+/// BENCH_*.json convention: {"bench":NAME,"rows":[...],"registry":{...}}.
+/// Each row is one protocol tag of one solve, so the message/byte mix
+/// by tag (Init vs Work vs Bound vs steal frames) is machine-readable.
+void writeJson(const std::vector<TrafficRow> &Rows) {
+  std::ofstream Out("BENCH_mp.json", std::ios::trunc);
+  if (!Out) {
+    std::printf("  !! could not write BENCH_mp.json\n");
+    return;
+  }
+  Out << "{\"bench\":\"ext_message_traffic\",\"rows\":[";
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const TrafficRow &R = Rows[I];
+    if (I > 0)
+      Out << ",";
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"species\":%d,\"workers\":%d,\"tag\":%d,"
+                  "\"tag_name\":\"%s\",\"messages\":%llu,\"bytes\":%llu}",
+                  R.Species, R.Workers, R.Tag, R.TagName,
+                  static_cast<unsigned long long>(R.Messages),
+                  static_cast<unsigned long long>(R.Bytes));
+    Out << Buf;
+  }
+  Out << "],\"registry\":"
+      << mutk::obs::MetricsRegistry::global().renderJson() << "}\n";
+  std::printf("  wrote BENCH_mp.json (%zu rows)\n", Rows.size());
+}
+
 void printTable() {
+  const bool Smoke = std::getenv("MUTK_BENCH_SMOKE") != nullptr;
   bench::banner(
       "Extension: message traffic of the master/slave protocol",
       "Messages and payload bytes per full solve; pulls = Work grants, "
-      "donations = worst-node transfers to the global pool.");
+      "donations = worst-node transfers to the global pool. Per-tag "
+      "counts land in BENCH_mp.json.");
   std::printf("%8s %8s | %10s %12s %10s %10s | %12s\n", "species",
               "workers", "messages", "bytes", "pulls", "donations",
               "branched");
-  for (int N : {14, 18}) {
+  const std::vector<int> Species = Smoke ? std::vector<int>{12}
+                                         : std::vector<int>{14, 18};
+  const std::vector<int> WorkerSweep =
+      Smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16};
+  std::vector<TrafficRow> Rows;
+  for (int N : Species) {
     DistanceMatrix M = bench::unifWorkload(N, 1);
-    for (int Workers : {1, 2, 4, 8, 16}) {
+    for (int Workers : WorkerSweep) {
       MpMutResult R = solveMutMessagePassing(M, Workers);
       std::uint64_t Pulls = 0, Donations = 0;
       for (const WorkerStats &W : R.Workers) {
@@ -43,8 +94,12 @@ void printTable() {
                   static_cast<unsigned long long>(Pulls),
                   static_cast<unsigned long long>(Donations),
                   static_cast<unsigned long long>(R.Stats.Branched));
+      for (const TagTraffic &T : R.Traffic)
+        Rows.push_back({N, Workers, T.Tag, mpTagName(T.Tag), T.Messages,
+                        T.Bytes});
     }
   }
+  writeJson(Rows);
 }
 
 void BM_MessagePassingSolve(benchmark::State &State) {

@@ -14,6 +14,15 @@
 //         [--block-concurrency N] [--threads-per-block N]
 //         [--stats-dump PATH [--stats-interval SEC]]
 //         [--state-dir DIR]
+//         [--cluster-id N --cluster-peers host:port,host:port,...
+//          [--cluster-port N] [--cluster-heartbeat SEC]
+//          [--cluster-dead-after SEC] [--cluster-no-steal]]
+//
+// With --cluster-id/--cluster-peers the daemon also joins a mutkd
+// cluster (docs/distributed.md): the peers heartbeat each other over a
+// second listener (the port named in the seed list, separate from the
+// client --port), shard the result cache by consistent hashing, and
+// steal queued jobs from each other when idle.
 //
 // The daemon runs until a client sends the Shutdown verb (or SIGINT /
 // SIGTERM arrives), then drains in-flight jobs and exits 0. Startup,
@@ -31,6 +40,7 @@
 
 #include "service/Server.h"
 
+#include "dist/Cluster.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "support/Audit.h"
@@ -60,7 +70,10 @@ int usage(const char *Argv0) {
                "       [--block-solver seq|threaded|cluster]\n"
                "       [--block-concurrency N] [--threads-per-block N]\n"
                "       [--stats-dump PATH [--stats-interval SEC]]"
-               " [--state-dir DIR]\n",
+               " [--state-dir DIR]\n"
+               "       [--cluster-id N --cluster-peers HOST:PORT,...]\n"
+               "       [--cluster-port N] [--cluster-heartbeat SEC]"
+               " [--cluster-dead-after SEC] [--cluster-no-steal]\n",
                Argv0);
   return 1;
 }
@@ -158,6 +171,9 @@ int main(int argc, char **argv) {
   int StatsIntervalSeconds = 10;
   int Port = -1;
   ServiceOptions Options;
+  dist::ClusterOptions Cluster;
+  std::string ClusterPeersText;
+  int ClusterId = -1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -200,6 +216,18 @@ int main(int argc, char **argv) {
       StatsIntervalSeconds = std::max(1, std::atoi(V));
     else if (Arg == "--state-dir" && (V = next()))
       Options.StateDir = V;
+    else if (Arg == "--cluster-id" && (V = next()))
+      ClusterId = std::atoi(V);
+    else if (Arg == "--cluster-peers" && (V = next()))
+      ClusterPeersText = V;
+    else if (Arg == "--cluster-port" && (V = next()))
+      Cluster.ListenPort = std::atoi(V);
+    else if (Arg == "--cluster-heartbeat" && (V = next()))
+      Cluster.HeartbeatSeconds = std::max(0.01, std::atof(V));
+    else if (Arg == "--cluster-dead-after" && (V = next()))
+      Cluster.DeadAfterSeconds = std::max(0.1, std::atof(V));
+    else if (Arg == "--cluster-no-steal")
+      Cluster.StealJobs = false;
     else {
       std::fprintf(stderr, "unknown or incomplete option '%s'\n",
                    Arg.c_str());
@@ -208,6 +236,28 @@ int main(int argc, char **argv) {
   }
   if (UnixPath.empty() && Port < 0)
     return usage(argv[0]);
+  bool ClusterMode = ClusterId >= 0 || !ClusterPeersText.empty();
+  if (ClusterMode) {
+    if (ClusterId < 0 || ClusterPeersText.empty()) {
+      std::fprintf(stderr,
+                   "--cluster-id and --cluster-peers go together\n");
+      return usage(argv[0]);
+    }
+    auto Peers = dist::parsePeerList(ClusterPeersText);
+    if (!Peers) {
+      std::fprintf(stderr, "malformed --cluster-peers '%s'\n",
+                   ClusterPeersText.c_str());
+      return usage(argv[0]);
+    }
+    if (ClusterId >= static_cast<int>(Peers->size())) {
+      std::fprintf(stderr,
+                   "--cluster-id %d out of range for %zu peers\n",
+                   ClusterId, Peers->size());
+      return usage(argv[0]);
+    }
+    Cluster.SelfId = ClusterId;
+    Cluster.Peers = std::move(*Peers);
+  }
 
   // Block SIGINT/SIGTERM before any thread exists: every thread the
   // service spawns inherits this mask, so a process-directed signal can
@@ -246,6 +296,25 @@ int main(int argc, char **argv) {
     Transport = "tcp";
     Addr = Host + ":" + std::to_string(Server.port());
   }
+  // The cluster node starts after the service exists (its steal and
+  // cache hooks submit into the worker pool) and stops before the
+  // service drains, so re-enqueued lent jobs still find live workers.
+  std::unique_ptr<dist::ClusterNode> Node;
+  if (ClusterMode) {
+    Node = std::make_unique<dist::ClusterNode>(Service, Cluster);
+    if (!Node->start(&Error)) {
+      obs::log(obs::LogLevel::Error, "mutkd", "cluster start failed")
+          .kv("self", Cluster.SelfId)
+          .kv("error", Error);
+      return 1;
+    }
+    obs::log(obs::LogLevel::Info, "mutkd", "cluster joined")
+        .kv("self", Cluster.SelfId)
+        .kv("peers", Cluster.Peers.size())
+        .kv("port", Node->port())
+        .kv("steal", Cluster.StealJobs ? "on" : "off");
+  }
+
   obs::log(obs::LogLevel::Info, "mutkd", "listening")
       .kv("transport", Transport)
       .kv("addr", Addr)
@@ -281,6 +350,8 @@ int main(int argc, char **argv) {
                                              StatsIntervalSeconds);
     Server.waitForShutdown();
     Server.stop();
+    if (Node)
+      Node->stop();
     Service.stop();
   }
 

@@ -1,0 +1,88 @@
+//===- dist/DistBnb.h - Multi-node B&B over socket endpoints ----*- C++ -*-===//
+///
+/// \file
+/// Runs the `mp/MpBnb.h` master/slave search across `mutkd` peers. The
+/// initiating node connects to each participating peer's cluster port,
+/// opens a B&B session with an `MpOpen` frame carrying an
+/// `MpSessionSpec` (the slave's rank, the world size, and the solver /
+/// protocol knobs both sides must agree on), and then runs the
+/// unmodified `runMpMaster` loop over a `MasterSocketEndpoint`. Each
+/// peer answers the `MpOpen` by parking the accepted connection in
+/// `serveMpSlaveSession`, which is just `runMpSlave` over a
+/// `SlaveSocketEndpoint`.
+///
+/// The matrix itself is NOT in the spec — it travels in the protocol's
+/// own `Init` message, exactly as in-process. Only configuration that
+/// the protocol does not carry (3-3 mode, epsilon, steal/broadcast
+/// options) rides in the spec, so a master and its slaves provably
+/// branch and prune identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_DIST_DISTBNB_H
+#define MUTK_DIST_DISTBNB_H
+
+#include "dist/Peers.h"
+#include "mp/MpBnb.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mutk::dist {
+
+/// Configuration of one remote B&B slave session, shipped in the
+/// `MpOpen` body. Every field the slave's engine needs beyond what the
+/// `Init` message already carries.
+struct MpSessionSpec {
+  /// This slave's rank (1..WorldSize-1).
+  int Rank = 1;
+  /// Total ranks including the master.
+  int WorldSize = 2;
+  ThreeThreeMode ThreeThree = ThreeThreeMode::None;
+  double Epsilon = 1e-9;
+  MpProtocolOptions Proto;
+};
+
+/// Encodes a session spec into an `MpOpen` body.
+std::vector<std::uint8_t> encodeMpSessionSpec(const MpSessionSpec &Spec);
+
+/// Decodes an `MpOpen` body; nullopt on malformed input.
+std::optional<MpSessionSpec>
+decodeMpSessionSpec(const std::vector<std::uint8_t> &Body);
+
+/// Outcome of one slave session, for the hosting peer's metrics.
+struct SlaveSessionOutcome {
+  WorkerStats Stats;
+  /// True when the link to the master broke before a clean Terminate.
+  bool Failed = false;
+  std::uint64_t BytesSent = 0;
+  std::uint64_t BytesReceived = 0;
+};
+
+/// Serves one B&B slave session over the accepted connection \p Fd
+/// (positioned just after its `MpOpen` frame). Blocks until the master
+/// terminates the search or the link dies. Does not close \p Fd.
+SlaveSessionOutcome serveMpSlaveSession(int Fd, const MpSessionSpec &Spec);
+
+/// Solves the MUT problem for \p M using \p Slaves as remote computing
+/// nodes: connects to each peer's cluster port, opens sessions, runs the
+/// master loop locally. Cost-equal to `solveMutSequential`.
+///
+/// \param FailedRanks when non-null, receives the ranks whose connection
+/// died mid-solve (the search still completes from the remaining
+/// frontier only if the dead slave held no work — callers that need
+/// stronger guarantees re-run; the cluster job layer does).
+/// \returns nullopt (with \p Error filled) when any slave connection
+/// cannot be established — the solve is all-or-nothing at start.
+std::optional<MpMutResult>
+solveMutOverPeers(const DistanceMatrix &M, const std::vector<PeerSpec> &Slaves,
+                  const BnbOptions &Options = {},
+                  const MpProtocolOptions &Proto = {},
+                  double ConnectTimeoutSeconds = 5.0,
+                  std::string *Error = nullptr,
+                  std::vector<int> *FailedRanks = nullptr);
+
+} // namespace mutk::dist
+
+#endif // MUTK_DIST_DISTBNB_H

@@ -1,0 +1,216 @@
+//===- dist/Peers.cpp - Peer registry and consistent-hash ring -------------===//
+
+#include "dist/Peers.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mutk;
+using namespace mutk::dist;
+
+std::optional<std::vector<PeerSpec>>
+mutk::dist::parsePeerList(const std::string &Text) {
+  std::vector<PeerSpec> Out;
+  std::size_t Start = 0;
+  while (Start <= Text.size()) {
+    std::size_t Comma = Text.find(',', Start);
+    std::string Entry = Text.substr(
+        Start, Comma == std::string::npos ? std::string::npos : Comma - Start);
+    std::size_t Colon = Entry.rfind(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 >= Entry.size())
+      return std::nullopt;
+    PeerSpec Spec;
+    Spec.Id = static_cast<int>(Out.size());
+    Spec.Host = Entry.substr(0, Colon);
+    std::string PortText = Entry.substr(Colon + 1);
+    int Port = 0;
+    for (char C : PortText) {
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      Port = Port * 10 + (C - '0');
+      if (Port > 65535)
+        return std::nullopt;
+    }
+    if (Port <= 0)
+      return std::nullopt;
+    Spec.Port = Port;
+    Out.push_back(std::move(Spec));
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+  if (Out.empty())
+    return std::nullopt;
+  return Out;
+}
+
+const char *mutk::dist::peerStateName(PeerState State) {
+  switch (State) {
+  case PeerState::Unknown:
+    return "unknown";
+  case PeerState::Alive:
+    return "alive";
+  case PeerState::Suspect:
+    return "suspect";
+  case PeerState::Dead:
+    return "dead";
+  }
+  return "?";
+}
+
+PeerRegistry::PeerRegistry(std::vector<PeerSpec> Peers, int SelfId,
+                           double DeadAfterSeconds)
+    : Specs(std::move(Peers)), SelfId(SelfId),
+      DeadAfterSeconds(DeadAfterSeconds) {
+  assert(SelfId >= 0 && SelfId < static_cast<int>(Specs.size()) &&
+         "self id out of range");
+  Entries.resize(Specs.size());
+  Clock::time_point Now = Clock::now();
+  for (Entry &E : Entries)
+    E.LastSeen = Now; // startup grace period
+  Entries[static_cast<std::size_t>(SelfId)].State = PeerState::Alive;
+}
+
+bool PeerRegistry::markAlive(int PeerId) {
+  if (PeerId < 0 || PeerId >= static_cast<int>(Specs.size()))
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Entries[static_cast<std::size_t>(PeerId)];
+  bool Revived = E.State == PeerState::Dead;
+  E.State = PeerState::Alive;
+  E.LastSeen = Clock::now();
+  return Revived;
+}
+
+void PeerRegistry::noteFailure(int PeerId) {
+  if (PeerId < 0 || PeerId >= static_cast<int>(Specs.size()) ||
+      PeerId == SelfId)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &E = Entries[static_cast<std::size_t>(PeerId)];
+  if (E.State != PeerState::Dead)
+    E.State = PeerState::Suspect;
+}
+
+std::vector<int> PeerRegistry::sweep() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<int> NewlyDead;
+  Clock::time_point Now = Clock::now();
+  for (std::size_t I = 0; I < Entries.size(); ++I) {
+    if (static_cast<int>(I) == SelfId)
+      continue;
+    Entry &E = Entries[I];
+    if (E.State == PeerState::Dead)
+      continue;
+    double Since = std::chrono::duration<double>(Now - E.LastSeen).count();
+    if (Since > DeadAfterSeconds) {
+      E.State = PeerState::Dead;
+      NewlyDead.push_back(static_cast<int>(I));
+    }
+  }
+  return NewlyDead;
+}
+
+bool PeerRegistry::isAlive(int PeerId) const {
+  if (PeerId < 0 || PeerId >= static_cast<int>(Specs.size()))
+    return false;
+  if (PeerId == SelfId)
+    return true;
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries[static_cast<std::size_t>(PeerId)].State != PeerState::Dead;
+}
+
+std::vector<int> PeerRegistry::aliveIds() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<int> Out;
+  for (std::size_t I = 0; I < Entries.size(); ++I)
+    if (static_cast<int>(I) == SelfId ||
+        Entries[I].State != PeerState::Dead)
+      Out.push_back(static_cast<int>(I));
+  return Out;
+}
+
+std::vector<PeerRegistry::PeerInfo> PeerRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<PeerInfo> Out;
+  Out.reserve(Specs.size());
+  Clock::time_point Now = Clock::now();
+  for (std::size_t I = 0; I < Specs.size(); ++I) {
+    PeerInfo Info;
+    Info.Spec = Specs[I];
+    Info.State = Entries[I].State;
+    Info.SinceLastSeenSeconds =
+        std::chrono::duration<double>(Now - Entries[I].LastSeen).count();
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}
+
+namespace {
+
+/// SplitMix64: cheap, well-mixed 64-bit hash for ring points and keys.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+ShardRing::ShardRing(const std::vector<int> &PeerIds, int VirtualNodes) {
+  VirtualNodes = std::max(1, VirtualNodes);
+  Points.reserve(PeerIds.size() * static_cast<std::size_t>(VirtualNodes));
+  for (int Peer : PeerIds)
+    for (int V = 0; V < VirtualNodes; ++V) {
+      std::uint64_t Point =
+          mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(Peer))
+                 << 20) +
+                static_cast<std::uint64_t>(V));
+      Points.emplace_back(Point, Peer);
+    }
+  std::sort(Points.begin(), Points.end());
+}
+
+int ShardRing::ownerOf(std::uint64_t Key) const {
+  if (Points.empty())
+    return -1;
+  std::uint64_t H = mix64(Key);
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), std::make_pair(H, -1),
+      [](const std::pair<std::uint64_t, int> &A,
+         const std::pair<std::uint64_t, int> &B) { return A.first < B.first; });
+  if (It == Points.end())
+    It = Points.begin(); // wrap around
+  return It->second;
+}
+
+double ShardRing::ownedShare(int PeerId) const {
+  if (Points.empty())
+    return 0.0;
+  // Each point owns the arc that *ends* at it (keys map to the next
+  // point at or after their hash).
+  long double Owned = 0.0L;
+  for (std::size_t I = 0; I < Points.size(); ++I) {
+    if (Points[I].second != PeerId)
+      continue;
+    std::uint64_t End = Points[I].first;
+    std::uint64_t Prev = I == 0 ? Points.back().first : Points[I - 1].first;
+    std::uint64_t Arc = End - Prev; // u64 wraparound gives the arc length
+    if (Points.size() == 1)
+      Owned += 1.0L;
+    else
+      Owned += static_cast<long double>(Arc) / 18446744073709551615.0L;
+  }
+  return static_cast<double>(Owned);
+}
+
+std::vector<int> ShardRing::peers() const {
+  std::vector<int> Out;
+  for (const auto &[Hash, Peer] : Points)
+    Out.push_back(Peer);
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  return Out;
+}

@@ -1,0 +1,147 @@
+//===- dist/Peers.h - Peer registry and consistent-hash ring ----*- C++ -*-===//
+///
+/// \file
+/// Cluster membership for `mutkd` peers: a static seed list (every peer
+/// knows the same ordered `host:port` list; a peer's index in it is its
+/// id), a liveness registry driven by received heartbeats, and a
+/// consistent-hash ring that assigns each result-cache key an owning
+/// peer. Virtual nodes smooth the ownership split; when a peer dies its
+/// arc — and only its arc — is inherited by the surviving peers, so a
+/// membership change invalidates the minimum number of shard
+/// assignments (the new owner simply starts cold for those keys).
+///
+/// Liveness is intentionally eventual: each node judges peers from its
+/// own clock and heartbeat stream, so two nodes can briefly disagree on
+/// ring ownership. That is safe here — a lookup routed to a non-owner
+/// is a cache miss (fall back to local solve), and an insert landing on
+/// a non-owner is merely an extra copy, collision-checked like any
+/// other entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_DIST_PEERS_H
+#define MUTK_DIST_PEERS_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mutk::dist {
+
+/// One peer's address; `Id` is its index in the shared seed list.
+struct PeerSpec {
+  int Id = 0;
+  std::string Host;
+  int Port = 0;
+};
+
+/// Parses a `host:port,host:port,...` seed list (ids = positions).
+/// \returns nullopt on malformed input (empty entries, bad ports).
+std::optional<std::vector<PeerSpec>> parsePeerList(const std::string &Text);
+
+/// Liveness states of a peer, as judged by the local node.
+enum class PeerState : std::uint8_t {
+  /// In the seed list but no heartbeat received yet (grace period).
+  Unknown = 0,
+  Alive = 1,
+  /// A link operation failed but the death timeout has not elapsed.
+  Suspect = 2,
+  Dead = 3,
+};
+
+/// Stable lower-case name for a `PeerState`.
+const char *peerStateName(PeerState State);
+
+/// Heartbeat-driven liveness registry over the static seed list.
+/// Thread-safe. A peer is counted toward the ring until no heartbeat
+/// has been seen for `DeadAfterSeconds` (the construction time seeds
+/// the clock, so peers get a startup grace period); a heartbeat from a
+/// dead peer revives it.
+class PeerRegistry {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  PeerRegistry(std::vector<PeerSpec> Peers, int SelfId,
+               double DeadAfterSeconds);
+
+  /// Records a heartbeat (or any sign of life) from \p PeerId.
+  /// \returns true when this transitioned the peer back from Dead —
+  /// the caller must rebuild the ring.
+  bool markAlive(int PeerId);
+
+  /// Records a failed link operation: Alive/Unknown -> Suspect. Death
+  /// still waits for the timeout (a busy peer is not a dead peer).
+  void noteFailure(int PeerId);
+
+  /// Applies the death timeout. \returns the ids that transitioned to
+  /// Dead in this sweep (callers re-enqueue their lent jobs and rebuild
+  /// the ring).
+  std::vector<int> sweep();
+
+  /// True while the peer counts toward the ring (everything but Dead;
+  /// self is always alive).
+  bool isAlive(int PeerId) const;
+
+  /// Ids currently counting toward the ring, ascending; includes self.
+  std::vector<int> aliveIds() const;
+
+  /// Point-in-time view of one peer for stats.
+  struct PeerInfo {
+    PeerSpec Spec;
+    PeerState State = PeerState::Unknown;
+    double SinceLastSeenSeconds = 0.0;
+  };
+  std::vector<PeerInfo> snapshot() const;
+
+  int selfId() const { return SelfId; }
+  std::size_t numPeers() const { return Specs.size(); }
+  const PeerSpec &spec(int PeerId) const {
+    return Specs[static_cast<std::size_t>(PeerId)];
+  }
+
+private:
+  struct Entry {
+    PeerState State = PeerState::Unknown;
+    Clock::time_point LastSeen;
+  };
+
+  std::vector<PeerSpec> Specs;
+  int SelfId;
+  double DeadAfterSeconds;
+  mutable std::mutex Mu;
+  std::vector<Entry> Entries;
+};
+
+/// Consistent-hash ring mapping 64-bit cache keys to peer ids.
+/// Immutable once built; the cluster node rebuilds it (cheap, O(peers *
+/// vnodes * log)) whenever membership changes.
+class ShardRing {
+public:
+  ShardRing() = default;
+
+  /// Builds the ring over \p PeerIds with \p VirtualNodes points each.
+  ShardRing(const std::vector<int> &PeerIds, int VirtualNodes);
+
+  /// Owner of \p Key: the first ring point at or after `hash(Key)`,
+  /// wrapping around. \returns -1 on an empty ring.
+  int ownerOf(std::uint64_t Key) const;
+
+  bool empty() const { return Points.empty(); }
+
+  /// Fraction of a uniform key space owned by \p PeerId (for stats).
+  double ownedShare(int PeerId) const;
+
+  /// Peer ids on the ring, ascending.
+  std::vector<int> peers() const;
+
+private:
+  /// (point hash, peer id), sorted by hash.
+  std::vector<std::pair<std::uint64_t, int>> Points;
+};
+
+} // namespace mutk::dist
+
+#endif // MUTK_DIST_PEERS_H

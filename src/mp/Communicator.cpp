@@ -25,6 +25,10 @@ void Communicator::deliver(int Dest, Message Msg) {
     std::lock_guard<std::mutex> Stats(StatsLock);
     ++Messages;
     Bytes += Msg.Payload.size();
+    TagTraffic &T = Traffic[Msg.Tag];
+    T.Tag = Msg.Tag;
+    ++T.Messages;
+    T.Bytes += Msg.Payload.size();
   }
   Inbox &Box = *Inboxes[static_cast<std::size_t>(Dest)];
   {
@@ -42,14 +46,6 @@ void Communicator::Endpoint::send(int Dest, int Tag,
   Msg.Tag = Tag;
   Msg.Payload = std::move(Payload);
   World->deliver(Dest, std::move(Msg));
-}
-
-void Communicator::Endpoint::broadcast(
-    int Tag, const std::vector<std::uint8_t> &Payload) {
-  assert(World && "endpoint not bound to a communicator");
-  for (int Dest = 0; Dest < World->size(); ++Dest)
-    if (Dest != Rank)
-      send(Dest, Tag, Payload);
 }
 
 std::optional<Message> Communicator::Endpoint::tryRecv() {
@@ -81,4 +77,13 @@ std::uint64_t Communicator::messagesSent() const {
 std::uint64_t Communicator::bytesSent() const {
   std::lock_guard<std::mutex> Stats(StatsLock);
   return Bytes;
+}
+
+std::vector<TagTraffic> Communicator::trafficByTag() const {
+  std::lock_guard<std::mutex> Stats(StatsLock);
+  std::vector<TagTraffic> Out;
+  Out.reserve(Traffic.size());
+  for (const auto &[Tag, T] : Traffic)
+    Out.push_back(T);
+  return Out;
 }

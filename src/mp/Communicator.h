@@ -14,9 +14,12 @@
 #ifndef MUTK_MP_COMMUNICATOR_H
 #define MUTK_MP_COMMUNICATOR_H
 
+#include "mp/Endpoint.h"
+
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -24,11 +27,12 @@
 
 namespace mutk {
 
-/// A tagged, rank-addressed message.
-struct Message {
-  int Source = -1;
+/// Message/byte counters for one tag value; see
+/// `Communicator::trafficByTag`.
+struct TagTraffic {
   int Tag = 0;
-  std::vector<std::uint8_t> Payload;
+  std::uint64_t Messages = 0;
+  std::uint64_t Bytes = 0;
 };
 
 /// A world of message-passing ranks.
@@ -44,25 +48,24 @@ public:
 
   int size() const { return static_cast<int>(Inboxes.size()); }
 
-  /// Per-rank handle. Cheap to copy.
-  class Endpoint {
+  /// Per-rank handle. Cheap to copy; implements the transport-agnostic
+  /// `MpEndpoint` contract so the B&B loops also run over sockets.
+  class Endpoint : public MpEndpoint {
   public:
     Endpoint() = default;
 
-    int rank() const { return Rank; }
-    int size() const { return World->size(); }
+    int rank() const override { return Rank; }
+    int size() const override { return World->size(); }
 
     /// Sends \p Payload to \p Dest with \p Tag. Self-sends are allowed.
-    void send(int Dest, int Tag, std::vector<std::uint8_t> Payload = {});
-
-    /// Sends to every other rank (not self).
-    void broadcast(int Tag, const std::vector<std::uint8_t> &Payload = {});
+    void send(int Dest, int Tag,
+              std::vector<std::uint8_t> Payload = {}) override;
 
     /// Non-blocking receive; empty when no message is waiting.
-    std::optional<Message> tryRecv();
+    std::optional<Message> tryRecv() override;
 
     /// Blocking receive.
-    Message recv();
+    Message recv() override;
 
   private:
     friend class Communicator;
@@ -80,6 +83,11 @@ public:
   /// Total payload bytes delivered so far.
   std::uint64_t bytesSent() const;
 
+  /// Per-tag message/byte counters, ascending by tag. The traffic shape
+  /// of the protocol (how much of the volume is Work vs UbUpdate vs
+  /// control chatter) is what `bench/ext_message_traffic` tracks.
+  std::vector<TagTraffic> trafficByTag() const;
+
 private:
   struct Inbox {
     std::mutex Lock;
@@ -92,6 +100,7 @@ private:
   mutable std::mutex StatsLock;
   std::uint64_t Messages = 0;
   std::uint64_t Bytes = 0;
+  std::map<int, TagTraffic> Traffic;
 
   void deliver(int Dest, Message Msg);
 };

@@ -1,0 +1,67 @@
+//===- mp/Endpoint.h - Abstract message-passing endpoint --------*- C++ -*-===//
+///
+/// \file
+/// The rank-local view of a message-passing world, abstracted away from
+/// the transport. `mp/MpBnb.h`'s master and slave loops are written
+/// against this interface only, so the same protocol runs over the
+/// in-process `Communicator` (ranks = threads) and over framed TCP
+/// sockets between `mutkd` peers (`dist/MpSocket.h`) without change —
+/// the property the papers' MPI port relies on.
+///
+/// Contract required by the protocol:
+///  - delivery is FIFO per (source, destination) pair;
+///  - `recv` blocks until a message arrives; `tryRecv` never blocks;
+///  - `send` never blocks on the receiver (buffered transports).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MP_ENDPOINT_H
+#define MUTK_MP_ENDPOINT_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mutk {
+
+/// A tagged, rank-addressed message.
+struct Message {
+  int Source = -1;
+  int Tag = 0;
+  std::vector<std::uint8_t> Payload;
+};
+
+/// One rank's handle into a message-passing world.
+class MpEndpoint {
+public:
+  virtual ~MpEndpoint() = default;
+
+  /// This endpoint's rank (0 = master by convention).
+  virtual int rank() const = 0;
+
+  /// Number of ranks in the world, master included.
+  virtual int size() const = 0;
+
+  /// Sends \p Payload to \p Dest with \p Tag. Self-sends are allowed on
+  /// transports that support them; the B&B protocol never self-sends.
+  virtual void send(int Dest, int Tag,
+                    std::vector<std::uint8_t> Payload = {}) = 0;
+
+  /// Non-blocking receive; empty when no message is waiting.
+  virtual std::optional<Message> tryRecv() = 0;
+
+  /// Blocking receive.
+  virtual Message recv() = 0;
+
+  /// Sends to every other rank (not self). Transports may override with
+  /// a cheaper native broadcast.
+  virtual void broadcast(int Tag, const std::vector<std::uint8_t> &Payload = {}) {
+    for (int Dest = 0; Dest < size(); ++Dest)
+      if (Dest != rank())
+        send(Dest, Tag, Payload);
+  }
+};
+
+} // namespace mutk
+
+#endif // MUTK_MP_ENDPOINT_H

@@ -120,6 +120,30 @@ PersistInstruments &mutk::obs::persistInstruments() {
   return I;
 }
 
+DistInstruments &mutk::obs::distInstruments() {
+  static DistInstruments I{
+      reg().gauge("mutk_dist_peers_alive"),
+      reg().counter("mutk_dist_peer_deaths_total"),
+      reg().counter("mutk_dist_peer_revivals_total"),
+      reg().counter("mutk_dist_heartbeats_sent_total"),
+      reg().counter("mutk_dist_heartbeats_received_total"),
+      reg().counter("mutk_dist_frames_total"),
+      reg().counter("mutk_dist_frame_errors_total"),
+      reg().counter("mutk_dist_jobs_lent_total"),
+      reg().counter("mutk_dist_jobs_stolen_total"),
+      reg().counter("mutk_dist_jobs_reenqueued_total"),
+      reg().counter("mutk_dist_cache_remote_lookups_total"),
+      reg().counter("mutk_dist_cache_remote_hits_total"),
+      reg().counter("mutk_dist_cache_remote_timeouts_total"),
+      reg().counter("mutk_dist_cache_inserts_forwarded_total"),
+      reg().counter("mutk_dist_mp_sessions_total"),
+      reg().counter("mutk_dist_work_stolen_total"),
+      reg().counter("mutk_dist_work_donated_total"),
+      reg().counter("mutk_dist_incumbent_broadcasts_total"),
+  };
+  return I;
+}
+
 PipelineInstruments &mutk::obs::pipelineInstruments() {
   static PipelineInstruments I{
       reg().counter("mutk_pipeline_runs_total"),

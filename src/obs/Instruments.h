@@ -118,6 +118,31 @@ struct PersistInstruments {
 };
 PersistInstruments &persistInstruments();
 
+/// Cluster-layer instruments (`src/dist`): peer liveness, cluster-frame
+/// traffic, cross-node job stealing, the sharded remote result cache
+/// and distributed B&B slave sessions.
+struct DistInstruments {
+  Gauge &PeersAlive;
+  Counter &PeerDeaths;
+  Counter &PeerRevivals;
+  Counter &HeartbeatsSent;
+  Counter &HeartbeatsReceived;
+  Counter &Frames;
+  Counter &FrameErrors;
+  Counter &JobsLent;
+  Counter &JobsStolen;
+  Counter &JobsReenqueued;
+  Counter &RemoteLookups;
+  Counter &RemoteHits;
+  Counter &RemoteTimeouts;
+  Counter &InsertsForwarded;
+  Counter &MpSessions;
+  Counter &WorkStolen;
+  Counter &WorkDonated;
+  Counter &IncumbentBroadcasts;
+};
+DistInstruments &distInstruments();
+
 /// Compact-set pipeline counters.
 struct PipelineInstruments {
   Counter &Runs;

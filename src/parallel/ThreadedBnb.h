@@ -29,6 +29,13 @@ struct WorkerStats {
   std::uint64_t PulledFromGlobal = 0;
   std::uint64_t DonatedToGlobal = 0;
   std::uint64_t UbUpdates = 0;
+  /// Peer-to-peer work stealing (message-passing solver only; zero for
+  /// the shared-memory solver, which has no peer channels).
+  std::uint64_t StolenFromPeers = 0;
+  std::uint64_t DonatedToPeers = 0;
+  /// Direct worker->worker incumbent broadcasts (mp solver with
+  /// `MpProtocolOptions::PeerUbBroadcast`).
+  std::uint64_t PeerUbBroadcasts = 0;
 };
 
 /// A MutResult extended with per-worker accounting.

@@ -87,6 +87,21 @@ public:
     return Item;
   }
 
+  /// Non-blocking pop. \returns nullopt when nothing is queued (whether
+  /// or not the queue is closed). The cluster layer uses it to lend a
+  /// queued job to an idle peer without ever blocking a network thread.
+  std::optional<T> tryPop() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    if (Instruments.Depth)
+      Instruments.Depth->sub(1);
+    NotFull.notify_one();
+    return Item;
+  }
+
   /// Atomically removes and returns everything currently queued.
   std::vector<T> drain() {
     std::lock_guard<std::mutex> Lock(Mu);

@@ -302,7 +302,15 @@ std::string TreeService::statsJson() const {
   Out += ",\"cache_entries\":" + u64(S.CacheEntries);
   Out += ",\"p50_ms\":" + f64(S.P50Millis);
   Out += ",\"p95_ms\":" + f64(S.P95Millis);
-  Out += "},\"registry\":";
+  Out += "}";
+  std::function<std::string()> Cluster;
+  {
+    std::lock_guard<std::mutex> Lock(ClusterStatsMu);
+    Cluster = ClusterStats;
+  }
+  if (Cluster)
+    Out += ",\"cluster\":" + Cluster();
+  Out += ",\"registry\":";
   Out += obs::MetricsRegistry::global().renderJson();
   Out += "}";
   return Out;
@@ -329,6 +337,22 @@ void TreeService::stop() {
     Resp.Message = "service stopped before the job started";
     J.Promise.set_value(std::move(Resp));
   }
+  // Jobs lent to peers can no longer be completed or re-enqueued; their
+  // requesters get the same answer as queued jobs.
+  std::unordered_map<std::uint64_t, Job> Leftover;
+  {
+    std::lock_guard<std::mutex> LentLock(LentMu);
+    Leftover.swap(Lent);
+  }
+  for (auto &[Token, J] : Leftover) {
+    Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    Obs.Rejected.inc();
+    journalCompleted(J.JournalId);
+    BuildResponse Resp;
+    Resp.Error = ServiceError::ShuttingDown;
+    Resp.Message = "service stopped while the job was lent to a peer";
+    J.Promise.set_value(std::move(Resp));
+  }
   for (std::thread &W : Workers)
     W.join();
   Workers.clear();
@@ -340,12 +364,105 @@ void TreeService::stop() {
   }
 }
 
+void TreeService::setClusterStats(std::function<std::string()> Fn) {
+  std::lock_guard<std::mutex> Lock(ClusterStatsMu);
+  ClusterStats = std::move(Fn);
+}
+
+std::optional<TreeService::LentJob> TreeService::lendQueuedJob() {
+  std::optional<Job> J = Queue.tryPop();
+  if (!J)
+    return std::nullopt;
+  LentJob Out;
+  Out.EncodedRequest = encodeRequest(makeBuildRequest(J->Request));
+  std::lock_guard<std::mutex> Lock(LentMu);
+  Out.Token = NextLentToken++;
+  Lent.emplace(Out.Token, std::move(*J));
+  return Out;
+}
+
+bool TreeService::completeLentJob(std::uint64_t Token,
+                                  BuildResponse Response) {
+  Job J;
+  {
+    std::lock_guard<std::mutex> Lock(LentMu);
+    auto It = Lent.find(Token);
+    if (It == Lent.end())
+      return false;
+    J = std::move(It->second);
+    Lent.erase(It);
+  }
+  double TotalMillis =
+      std::chrono::duration<double, std::milli>(Clock::now() - J.SubmitTime)
+          .count();
+  if (Response.ok()) {
+    Counters.Completed.fetch_add(1, std::memory_order_relaxed);
+    Obs.Completed.inc();
+    Obs.RequestOkMillis.record(TotalMillis);
+  } else {
+    Counters.Failed.fetch_add(1, std::memory_order_relaxed);
+    Obs.Failed.inc();
+    Obs.RequestErrorMillis.record(TotalMillis);
+  }
+  Counters.Latency.record(TotalMillis);
+  journalCompleted(J.JournalId);
+  J.Promise.set_value(std::move(Response));
+  return true;
+}
+
+bool TreeService::reenqueueLentJob(std::uint64_t Token) {
+  Job J;
+  {
+    std::lock_guard<std::mutex> Lock(LentMu);
+    auto It = Lent.find(Token);
+    if (It == Lent.end())
+      return false;
+    J = std::move(It->second);
+    Lent.erase(It);
+  }
+  std::uint64_t JournalId = J.JournalId;
+  if (!Queue.tryPush(std::move(J))) {
+    // Closed or full: the requester still gets an answer.
+    J.JournalId = JournalId;
+    Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
+    Obs.Rejected.inc();
+    journalCompleted(J.JournalId);
+    BuildResponse Resp;
+    Resp.Error = ServiceError::ShuttingDown;
+    Resp.Message = "lent job could not be re-enqueued";
+    J.Promise.set_value(std::move(Resp));
+    return false;
+  }
+  return true;
+}
+
+std::size_t TreeService::lentJobCount() const {
+  std::lock_guard<std::mutex> Lock(LentMu);
+  return Lent.size();
+}
+
+std::optional<CachedSolution>
+TreeService::cacheLookup(std::uint64_t Key,
+                         const std::vector<std::uint8_t> &Bytes) {
+  if (Options.CacheCapacity == 0)
+    return std::nullopt;
+  return Cache.lookup(Key, Bytes);
+}
+
+void TreeService::cacheStore(std::uint64_t Key, CachedSolution Value) {
+  if (Options.CacheCapacity == 0)
+    return;
+  persistSolution(Key, Value);
+  Cache.store(Key, std::move(Value));
+}
+
 void TreeService::workerLoop() {
   while (std::optional<Job> J = Queue.pop()) {
     Obs.QueueWaitMillis.record(std::chrono::duration<double, std::milli>(
                                    Clock::now() - J->SubmitTime)
                                    .count());
     Obs.InFlight.add(1);
+    InFlightJobs.fetch_add(1, std::memory_order_relaxed);
     BuildResponse Resp;
     try {
       Resp = process(J->Request, J->SubmitTime);
@@ -361,6 +478,7 @@ void TreeService::workerLoop() {
                "job failed with unknown exception");
     }
     Obs.InFlight.sub(1);
+    InFlightJobs.fetch_sub(1, std::memory_order_relaxed);
     double TotalMillis = std::chrono::duration<double, std::milli>(
                              Clock::now() - J->SubmitTime)
                              .count();
@@ -451,41 +569,52 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     return Resp;
   }
 
-  // Whole-matrix cache probe.
+  // Whole-matrix cache probe: local tier, then (when clustered) the
+  // owning peer's shard.
   bool CacheOn = Options.CacheCapacity > 0 && Request.UseCache;
   CanonicalForm Form;
   if (CacheOn) {
     Form = canonicalForm(M);
     std::vector<std::uint8_t> Identity = wholeCacheBytes(Form, Request);
-    if (std::optional<CachedSolution> Hit =
-            Cache.lookup(wholeCacheKey(Form, Request), Identity)) {
+    std::uint64_t Key = wholeCacheKey(Form, Request);
+    auto replay = [&](const CachedSolution &Hit) {
       Counters.WholeHits.fetch_add(1, std::memory_order_relaxed);
       Obs.WholeHits.inc();
-      PhyloTree Tree = relabelLeaves(Hit->Tree, Form.Perm);
+      PhyloTree Tree = relabelLeaves(Hit.Tree, Form.Perm);
       Tree.setNames(M.names());
       // A replayed tree must be exactly as good as a fresh solve: same
       // leaf set, ultrametric, and (exact entries are stored only for
       // the feasibility-guaranteeing Maximum mode knobs that are part
-      // of the key) dominating the request matrix.
+      // of the key) dominating the request matrix. Remote entries get
+      // the same scrutiny — a peer's cache is no more trusted than ours.
       MUTK_AUDIT(Tree.numLeaves() == M.size(),
                  "cache replay must cover every requested species");
       MUTK_AUDIT(Tree.hasMonotoneHeights(),
                  "cache replay must stay ultrametric after relabeling");
       MUTK_AUDIT(M.size() > MaxAuditedSpecies ||
                      Request.Mode != CondenseMode::Maximum ||
-                     !Hit->Exact || Tree.dominatesMatrix(M),
+                     !Hit.Exact || Tree.dominatesMatrix(M),
                  "cache replay must dominate the request matrix");
       Resp.Newick = toNewick(Tree);
-      Resp.Cost = Hit->Cost;
-      Resp.Exact = Hit->Exact;
+      Resp.Cost = Hit.Cost;
+      Resp.Exact = Hit.Exact;
       Resp.CacheHit = true;
       Resp.SolveMillis = std::chrono::duration<double, std::milli>(
                              Clock::now() - Start)
                              .count();
       return Resp;
-    }
+    };
+    if (std::optional<CachedSolution> Hit = Cache.lookup(Key, Identity))
+      return replay(*Hit);
     Counters.WholeMisses.fetch_add(1, std::memory_order_relaxed);
     Obs.WholeMisses.inc();
+    if (DistCache *Cluster = Remote.load(std::memory_order_acquire)) {
+      if (std::optional<CachedSolution> Hit = Cluster->lookup(Key, Identity)) {
+        // Adopt the shard's entry locally so the next probe stays here.
+        Cache.store(Key, *Hit);
+        return replay(*Hit);
+      }
+    }
   }
 
   PhyloTree SolvedTree;
@@ -504,6 +633,8 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     Entry.Bytes = wholeCacheBytes(Form, Request);
     Entry.Tree = relabelLeaves(SolvedTree, Inverse);
     persistSolution(wholeCacheKey(Form, Request), Entry);
+    if (DistCache *Cluster = Remote.load(std::memory_order_acquire))
+      Cluster->insert(wholeCacheKey(Form, Request), Entry);
     Cache.store(wholeCacheKey(Form, Request), std::move(Entry));
   }
   return Resp;

@@ -32,11 +32,32 @@
 #include "service/ServiceStats.h"
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 
 namespace mutk {
+
+/// Remote extension point of the result cache: when attached
+/// (`TreeService::setDistCache`) a whole-matrix local miss also probes
+/// the cluster's consistent-hash-sharded cache, and exact solutions are
+/// forwarded to their owning peer. Implemented by `dist::ClusterNode`;
+/// both calls run on service worker threads, so implementations must be
+/// bounded (timeouts, not retries) and thread-safe.
+class DistCache {
+public:
+  virtual ~DistCache() = default;
+
+  /// Probe the owning peer for \p Key. A miss, a timeout, a dead owner
+  /// and "self owns it" all return nullopt — the caller solves locally.
+  virtual std::optional<CachedSolution>
+  lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) = 0;
+
+  /// Forward \p Value to the owning peer (one-way, fire-and-forget).
+  virtual void insert(std::uint64_t Key, const CachedSolution &Value) = 0;
+};
 
 /// Deployment knobs of a TreeService instance.
 struct ServiceOptions {
@@ -116,6 +137,59 @@ public:
   /// `docs/observability.md`.
   std::string statsJson() const;
 
+  /// \name Cluster integration (`src/dist`).
+  /// @{
+
+  /// Attaches the remote cache tier probed after a local whole-matrix
+  /// miss. Borrowed; detach (nullptr) before destroying the cache.
+  void setDistCache(DistCache *Cache) {
+    Remote.store(Cache, std::memory_order_release);
+  }
+
+  /// Merges \p Fn's JSON object into `statsJson()` as the `cluster`
+  /// section (schema in docs/distributed.md).
+  void setClusterStats(std::function<std::string()> Fn);
+
+  /// A queued job handed to a remote peer. `Token` redeems it in
+  /// `completeLentJob`/`reenqueueLentJob`; `EncodedRequest` is the
+  /// protocol frame the thief decodes and solves.
+  struct LentJob {
+    std::uint64_t Token = 0;
+    std::vector<std::uint8_t> EncodedRequest;
+  };
+
+  /// Pops one queued job for a remote peer to solve (nullopt when the
+  /// queue is empty). The job's promise and journal entry stay here:
+  /// the requester is answered by `completeLentJob`, and a crash of
+  /// this node still re-runs the job from the journal on restart.
+  std::optional<LentJob> lendQueuedJob();
+
+  /// Resolves a lent job with the thief's response. \returns false for
+  /// an unknown token (already completed, re-enqueued, or failed over).
+  bool completeLentJob(std::uint64_t Token, BuildResponse Response);
+
+  /// Returns a lent job to the local queue (thief died). \returns false
+  /// for an unknown token; a job that no longer fits the queue is
+  /// answered `ShuttingDown` instead of dropped.
+  bool reenqueueLentJob(std::uint64_t Token);
+
+  /// Jobs currently lent out to peers.
+  std::size_t lentJobCount() const;
+
+  /// Direct result-cache access for serving remote peers' shard
+  /// lookups/inserts (collision-checked like any local access; stores
+  /// also reach the durable tier). No-ops / misses when caching is off.
+  std::optional<CachedSolution>
+  cacheLookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes);
+  void cacheStore(std::uint64_t Key, CachedSolution Value);
+
+  /// Jobs being solved by workers right now (steal-idleness probe).
+  std::uint64_t inFlight() const {
+    return InFlightJobs.load(std::memory_order_relaxed);
+  }
+
+  /// @}
+
   /// Graceful shutdown: stops admissions, fails queued jobs with
   /// `ShuttingDown`, lets in-flight solves finish, joins the workers.
   /// Idempotent; the destructor calls it.
@@ -166,6 +240,17 @@ private:
   std::mutex PersistMu;
   std::atomic<std::uint64_t> NextJobId{1};
   BlockCheckpointHooks CheckpointHooks;
+
+  /// Cluster integration state. `Remote` is borrowed (see
+  /// `setDistCache`); `Lent` holds the promises of jobs peers are
+  /// solving, keyed by loan token.
+  std::atomic<DistCache *> Remote{nullptr};
+  mutable std::mutex ClusterStatsMu;
+  std::function<std::string()> ClusterStats;
+  mutable std::mutex LentMu;
+  std::unordered_map<std::uint64_t, Job> Lent;
+  std::uint64_t NextLentToken = 1;
+  std::atomic<std::uint64_t> InFlightJobs{0};
 };
 
 } // namespace mutk

@@ -231,6 +231,99 @@ TEST(MpBnb, NoPrematureTerminationWithSingleWorker) {
   }
 }
 
+TEST(MpBnb, WorkStealingMatchesSequential) {
+  MpProtocolOptions Proto;
+  Proto.WorkStealing = true;
+  for (std::uint64_t Seed = 0; Seed < 3; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(11, 30 + Seed);
+    double Sequential = solveMutSequential(M).Cost;
+    for (int Workers : {1, 2, 4}) {
+      MpMutResult R = solveMutMessagePassing(M, Workers, {}, Proto);
+      EXPECT_NEAR(R.Cost, Sequential, 1e-9)
+          << "seed " << Seed << " workers " << Workers;
+    }
+  }
+}
+
+TEST(MpBnb, StealingMovesWorkBetweenPeers) {
+  // On a hard instance with several workers, at least one steal must
+  // land (each dry worker tries a peer before falling back to the
+  // master) — this is the per-peer work-stealing extension actually
+  // exercising, not just matching costs by idling.
+  MpProtocolOptions Proto;
+  Proto.WorkStealing = true;
+  DistanceMatrix M = uniformRandomMetric(13, 4, 1.0, 100.0);
+  MpMutResult R = solveMutMessagePassing(M, 4, {}, Proto);
+  std::uint64_t Stolen = 0, Donated = 0;
+  for (const WorkerStats &W : R.Workers) {
+    Stolen += W.StolenFromPeers;
+    Donated += W.DonatedToPeers;
+  }
+  EXPECT_EQ(Stolen, Donated) << "every grant has exactly one receiver";
+  EXPECT_GT(Stolen, 0u);
+  EXPECT_NEAR(R.Cost, solveMutSequential(M).Cost, 1e-9);
+}
+
+TEST(MpBnb, DepthBoundedStealingStaysOptimal) {
+  MpProtocolOptions Proto;
+  Proto.WorkStealing = true;
+  Proto.StealDepthBound = 6;
+  DistanceMatrix M = uniformRandomMetric(11, 12);
+  EXPECT_NEAR(solveMutMessagePassing(M, 3, {}, Proto).Cost,
+              solveMutSequential(M).Cost, 1e-9);
+}
+
+TEST(MpBnb, PeerUbBroadcastMatchesSequential) {
+  MpProtocolOptions Proto;
+  Proto.PeerUbBroadcast = true;
+  for (std::uint64_t Seed = 0; Seed < 3; ++Seed) {
+    DistanceMatrix M = uniformRandomMetric(11, 60 + Seed);
+    double Sequential = solveMutSequential(M).Cost;
+    MpMutResult R = solveMutMessagePassing(M, 4, {}, Proto);
+    EXPECT_NEAR(R.Cost, Sequential, 1e-9) << "seed " << Seed;
+  }
+}
+
+TEST(MpBnb, StealingAndBroadcastTogetherMatchSequential) {
+  MpProtocolOptions Proto;
+  Proto.WorkStealing = true;
+  Proto.PeerUbBroadcast = true;
+  DistanceMatrix M = hmdnaLikeMatrix(12, 9);
+  EXPECT_NEAR(solveMutMessagePassing(M, 5, {}, Proto).Cost,
+              solveMutSequential(M).Cost, 1e-9);
+}
+
+// Over a socket transport the master's reader threads relay
+// worker-to-worker frames concurrently with the main thread's Init
+// writes, so a slave's first message can legally be a peer's
+// StealRequest or UbUpdate rather than Init. The slave must refuse the
+// steal (the thief blocks on the reply) and keep running the protocol.
+TEST(MpBnb, SlaveToleratesRelayedFramesBeforeInit) {
+  Communicator World(3);
+  Communicator::Endpoint Slave = World.endpoint(2);
+  std::thread SlaveThread([&] { runMpSlave(Slave); });
+
+  // A peer's steal lands first; then a relayed incumbent broadcast.
+  World.endpoint(1).send(2, MpTagStealRequest, {});
+  ByteWriter Ub;
+  Ub.writeF64(123.0);
+  World.endpoint(1).send(2, MpTagUbUpdate, Ub.take());
+
+  // The thief must get an explicit refusal or it deadlocks in its
+  // blocking steal-wait.
+  Message Reply = World.endpoint(1).recv();
+  EXPECT_EQ(Reply.Tag, MpTagStealReply);
+  EXPECT_EQ(Reply.Source, 2);
+  ASSERT_EQ(Reply.Payload.size(), 1u);
+  EXPECT_EQ(Reply.Payload[0], 0);
+
+  // Terminate-before-Init still ends the session cleanly afterwards.
+  World.endpoint(0).send(2, MpTagTerminate, {});
+  Message Stats = World.endpoint(0).recv();
+  EXPECT_EQ(Stats.Tag, MpTagStats);
+  SlaveThread.join();
+}
+
 class MpProperty : public testing::TestWithParam<int> {};
 
 TEST_P(MpProperty, OptimalAcrossWorkerCounts) {

@@ -1,0 +1,288 @@
+//===- tests/serialize_property_test.cpp - Codec properties -----*- C++ -*-===//
+//
+// Property tests over every codec the cluster ships across machines:
+// search checkpoints, phylogenetic trees, protocol requests/responses
+// and shard-cache entries. Two properties per codec: decode(encode(x))
+// reproduces x for randomized inputs, and corrupted bytes (truncations,
+// bit flips) are *rejected or ignored* — never crash, never decode into
+// a value that silently lies about the original. The flip loops run the
+// decoders over thousands of malformed buffers, which is where ASan/
+// UBSan earn their keep.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bnb/Checkpoint.h"
+#include "bnb/SequentialBnb.h"
+#include "dist/Cluster.h"
+#include "matrix/Fingerprint.h"
+#include "matrix/Generators.h"
+#include "mp/Serialize.h"
+#include "service/Protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace mutk;
+
+namespace {
+
+/// Deterministic splitmix64 stream — keeps every "random" case
+/// reproducible from its seed.
+struct Rng {
+  std::uint64_t State;
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  std::uint64_t below(std::uint64_t Bound) { return next() % Bound; }
+};
+
+/// A partial topology with a random number of placed species.
+Topology randomTopology(const DistanceMatrix &M, Rng &R) {
+  Topology T = Topology::initialPair(M);
+  int Target = 2 + static_cast<int>(R.below(
+                       static_cast<std::uint64_t>(M.size() - 1)));
+  while (T.numPlaced() < Target)
+    T = T.withNextSpeciesAt(static_cast<int>(R.below(
+                                static_cast<std::uint64_t>(T.numNodes()))),
+                            M);
+  return T;
+}
+
+SearchCheckpoint randomCheckpoint(const DistanceMatrix &M, Rng &R) {
+  SearchCheckpoint Ck;
+  int FrontierSize = 1 + static_cast<int>(R.below(6));
+  for (int I = 0; I < FrontierSize; ++I)
+    Ck.Frontier.push_back(randomTopology(M, R));
+  MutResult Solved = solveMutSequential(M);
+  Ck.Incumbent = Solved.Tree;
+  Ck.UpperBound = Solved.Cost;
+  Ck.Stats.Branched = R.next() % 100000;
+  Ck.Stats.Generated = R.next() % 100000;
+  Ck.Stats.PrunedByBound = R.next() % 100000;
+  Ck.Stats.PrunedByThreeThree = R.next() % 100000;
+  Ck.Stats.UbUpdates = R.next() % 1000;
+  Ck.Stats.Complete = (R.next() & 1) != 0;
+  Ck.MatrixKey = fingerprint(M);
+  return Ck;
+}
+
+std::vector<std::uint8_t> randomBytes(Rng &R, std::size_t MaxLen) {
+  std::vector<std::uint8_t> Out(R.below(MaxLen + 1));
+  for (std::uint8_t &B : Out)
+    B = static_cast<std::uint8_t>(R.next());
+  return Out;
+}
+
+void expectTopologyEq(const Topology &A, const Topology &B) {
+  ASSERT_EQ(A.numNodes(), B.numNodes());
+  EXPECT_EQ(A.numPlaced(), B.numPlaced());
+  EXPECT_DOUBLE_EQ(A.cost(), B.cost());
+  for (int I = 0; I < A.numNodes(); ++I) {
+    EXPECT_EQ(A.node(I).Mask, B.node(I).Mask);
+    EXPECT_DOUBLE_EQ(A.node(I).Height, B.node(I).Height);
+  }
+}
+
+/// Structural equality. The codec stores a pre-order traversal, so a
+/// decoded tree may index its nodes differently from the original;
+/// comparing the canonical encodings compares shape, species, heights
+/// and names while ignoring the storage order.
+void expectTreeEq(const PhyloTree &A, const PhyloTree &B) {
+  EXPECT_EQ(A.numNodes(), B.numNodes());
+  EXPECT_EQ(A.numLeaves(), B.numLeaves());
+  EXPECT_DOUBLE_EQ(A.weight(), B.weight());
+  EXPECT_EQ(encodePhyloTree(A), encodePhyloTree(B));
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoints
+//===----------------------------------------------------------------------===//
+
+TEST(CheckpointCodec, RandomRoundTrips) {
+  for (std::uint64_t Seed = 0; Seed < 6; ++Seed) {
+    Rng R(Seed * 7919 + 1);
+    DistanceMatrix M =
+        uniformRandomMetric(6 + static_cast<int>(Seed % 4), Seed);
+    SearchCheckpoint Ck = randomCheckpoint(M, R);
+    auto Back = decodeSearchCheckpoint(encodeSearchCheckpoint(Ck));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    ASSERT_EQ(Back->Frontier.size(), Ck.Frontier.size());
+    for (std::size_t I = 0; I < Ck.Frontier.size(); ++I)
+      expectTopologyEq(Back->Frontier[I], Ck.Frontier[I]);
+    expectTreeEq(Back->Incumbent, Ck.Incumbent);
+    EXPECT_DOUBLE_EQ(Back->UpperBound, Ck.UpperBound);
+    EXPECT_EQ(Back->Stats.Branched, Ck.Stats.Branched);
+    EXPECT_EQ(Back->Stats.Generated, Ck.Stats.Generated);
+    EXPECT_EQ(Back->Stats.PrunedByBound, Ck.Stats.PrunedByBound);
+    EXPECT_EQ(Back->Stats.PrunedByThreeThree, Ck.Stats.PrunedByThreeThree);
+    EXPECT_EQ(Back->Stats.UbUpdates, Ck.Stats.UbUpdates);
+    EXPECT_EQ(Back->Stats.Complete, Ck.Stats.Complete);
+    EXPECT_EQ(Back->MatrixKey, Ck.MatrixKey);
+  }
+}
+
+TEST(CheckpointCodec, EveryTruncationIsRejected) {
+  Rng R(17);
+  DistanceMatrix M = uniformRandomMetric(7, 3);
+  std::vector<std::uint8_t> Bytes =
+      encodeSearchCheckpoint(randomCheckpoint(M, R));
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<std::uint8_t> Prefix(Bytes.begin(),
+                                     Bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(Len));
+    EXPECT_FALSE(decodeSearchCheckpoint(Prefix).has_value())
+        << "strict prefix of length " << Len << " decoded";
+  }
+}
+
+TEST(CheckpointCodec, ByteFlipsNeverCrashTheDecoder) {
+  Rng R(23);
+  DistanceMatrix M = uniformRandomMetric(7, 5);
+  std::vector<std::uint8_t> Bytes =
+      encodeSearchCheckpoint(randomCheckpoint(M, R));
+  // Flip every byte position through a handful of masks. Decoding may
+  // succeed (a flipped count or height is still well-formed) or fail —
+  // it must only never read out of bounds.
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<std::uint8_t> Mutated = Bytes;
+    Mutated[I] ^= static_cast<std::uint8_t>(1u << (I % 8));
+    (void)decodeSearchCheckpoint(Mutated);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trees
+//===----------------------------------------------------------------------===//
+
+TEST(TreeCodec, RandomRoundTrips) {
+  for (std::uint64_t Seed = 0; Seed < 8; ++Seed) {
+    DistanceMatrix M =
+        uniformRandomMetric(2 + static_cast<int>(Seed), Seed + 100);
+    PhyloTree Tree = solveMutSequential(M).Tree;
+    auto Back = decodePhyloTree(encodePhyloTree(Tree));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    expectTreeEq(*Back, Tree);
+  }
+  // Degenerate shapes survive too.
+  PhyloTree Single;
+  Single.setRoot(Single.addLeaf(0));
+  auto Back = decodePhyloTree(encodePhyloTree(Single));
+  ASSERT_TRUE(Back.has_value());
+  expectTreeEq(*Back, Single);
+}
+
+TEST(TreeCodec, ByteFlipsNeverCrashTheDecoder) {
+  PhyloTree Tree = solveMutSequential(uniformRandomMetric(9, 9)).Tree;
+  std::vector<std::uint8_t> Bytes = encodePhyloTree(Tree);
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<std::uint8_t> Mutated = Bytes;
+    Mutated[I] ^= 0xFF;
+    (void)decodePhyloTree(Mutated);
+    Mutated.resize(I);
+    EXPECT_FALSE(decodePhyloTree(Mutated).has_value());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol requests and responses (the JobGrant / JobResult bodies)
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolCodec, RandomBuildRequestsRoundTrip) {
+  for (std::uint64_t Seed = 0; Seed < 8; ++Seed) {
+    Rng R(Seed * 31 + 7);
+    BuildRequest Build;
+    Build.Matrix = uniformRandomMetric(4 + static_cast<int>(R.below(8)),
+                                       Seed);
+    Build.Mode = (R.next() & 1) ? CondenseMode::Maximum : CondenseMode::Minimum;
+    Build.ThreeThree = (R.next() & 1) ? ThreeThreeMode::ThirdSpecies
+                                      : ThreeThreeMode::None;
+    Build.MaxExactBlockSize = 4 + static_cast<int>(R.below(20));
+    Build.Polish = (R.next() & 1) != 0;
+    Build.NodeBudget = R.next() % 1000000;
+    Build.DeadlineMillis = static_cast<std::uint32_t>(R.below(100000));
+    Build.UseCache = (R.next() & 1) != 0;
+
+    auto Back = decodeRequest(encodeRequest(makeBuildRequest(Build)));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Back->V, Verb::Build);
+    EXPECT_TRUE(Back->Build.Matrix.approxEquals(Build.Matrix, 0.0));
+    EXPECT_EQ(Back->Build.Mode, Build.Mode);
+    EXPECT_EQ(Back->Build.ThreeThree, Build.ThreeThree);
+    EXPECT_EQ(Back->Build.MaxExactBlockSize, Build.MaxExactBlockSize);
+    EXPECT_EQ(Back->Build.Polish, Build.Polish);
+    EXPECT_EQ(Back->Build.NodeBudget, Build.NodeBudget);
+    EXPECT_EQ(Back->Build.DeadlineMillis, Build.DeadlineMillis);
+    EXPECT_EQ(Back->Build.UseCache, Build.UseCache);
+  }
+}
+
+TEST(ProtocolCodec, RequestByteFlipsNeverCrash) {
+  BuildRequest Build;
+  Build.Matrix = uniformRandomMetric(6, 2);
+  std::vector<std::uint8_t> Bytes = encodeRequest(makeBuildRequest(Build));
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<std::uint8_t> Mutated = Bytes;
+    Mutated[I] ^= 0x55;
+    (void)decodeRequest(Mutated);
+    Mutated.resize(I);
+    (void)decodeRequest(Mutated);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shard-cache entries (CacheHit / CacheInsert bodies)
+//===----------------------------------------------------------------------===//
+
+TEST(CacheEntryCodec, RandomRoundTrips) {
+  for (std::uint64_t Seed = 0; Seed < 8; ++Seed) {
+    Rng R(Seed + 500);
+    DistanceMatrix M =
+        uniformRandomMetric(3 + static_cast<int>(R.below(8)), Seed);
+    MutResult Solved = solveMutSequential(M);
+    CachedSolution Value;
+    Value.Tree = Solved.Tree;
+    Value.Cost = Solved.Cost;
+    Value.Exact = (R.next() & 1) != 0;
+    Value.Bytes = randomBytes(R, 200);
+    std::uint64_t Key = R.next();
+
+    auto Back = dist::decodeCacheEntry(dist::encodeCacheEntry(Key, Value));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Back->first, Key);
+    EXPECT_DOUBLE_EQ(Back->second.Cost, Value.Cost);
+    EXPECT_EQ(Back->second.Exact, Value.Exact);
+    EXPECT_EQ(Back->second.Bytes, Value.Bytes);
+    expectTreeEq(Back->second.Tree, Value.Tree);
+  }
+}
+
+TEST(CacheEntryCodec, CorruptionIsRejectedOrHarmless) {
+  Rng R(77);
+  MutResult Solved = solveMutSequential(uniformRandomMetric(8, 7));
+  CachedSolution Value;
+  Value.Tree = Solved.Tree;
+  Value.Cost = Solved.Cost;
+  Value.Exact = true;
+  Value.Bytes = randomBytes(R, 64);
+  std::vector<std::uint8_t> Bytes = dist::encodeCacheEntry(99, Value);
+  for (std::size_t Len = 0; Len < Bytes.size(); ++Len) {
+    std::vector<std::uint8_t> Prefix(Bytes.begin(),
+                                     Bytes.begin() +
+                                         static_cast<std::ptrdiff_t>(Len));
+    EXPECT_FALSE(dist::decodeCacheEntry(Prefix).has_value())
+        << "strict prefix of length " << Len << " decoded";
+  }
+  for (std::size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<std::uint8_t> Mutated = Bytes;
+    Mutated[I] ^= 0xA5;
+    (void)dist::decodeCacheEntry(Mutated);
+  }
+}
+
+} // namespace
