@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Clang Static Analyzer gate for the mutk tree.
+#
+# Runs clang-tidy with only the clang-analyzer-* checks (path-sensitive
+# symbolic execution: null derefs, use-after-move/free, leaked handles)
+# over every src/**/*.cpp in the compilation database, normalizes the
+# findings to `file:check: message` lines, and diffs them against the
+# committed baseline. New findings fail the gate; fixing a baselined
+# finding shows up as a removal, and the baseline should be re-recorded
+# (MUTK_ANALYZE_RECORD=1) so it only ever shrinks.
+#
+# Usage: scripts/analyze.sh [build-dir]
+#   build-dir must contain compile_commands.json (defaults to ./build).
+#   MUTK_ANALYZE_REQUIRE=1  fail (instead of skip) when clang-tidy is
+#                           missing; CI sets this.
+#   MUTK_ANALYZE_RECORD=1   rewrite scripts/analyze_baseline.txt from
+#                           this run instead of diffing against it.
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+BASELINE="${REPO_ROOT}/scripts/analyze_baseline.txt"
+
+note() { printf '%s\n' "$*"; }
+
+tidy=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+            clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  if [ "${MUTK_ANALYZE_REQUIRE:-0}" = "1" ]; then
+    note "analyze: clang-tidy not found but MUTK_ANALYZE_REQUIRE=1" >&2
+    exit 1
+  fi
+  note "analyze: clang-tidy not installed; skipping the analyzer gate"
+  exit 0
+fi
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  note "analyze: no compile_commands.json in ${BUILD_DIR} (configure first)" >&2
+  exit 1
+fi
+
+note "analyze: running ${tidy} -checks=clang-analyzer-* over src/"
+sources=$(cd "$REPO_ROOT" && find src -name '*.cpp' | sort)
+raw="$(mktemp)"
+findings="$(mktemp)"
+trap 'rm -f "$raw" "$findings"' EXIT
+
+# The analyzer is advisory here (findings are diffed, not fatal), so the
+# tidy exit status itself is ignored; a crash still shows as new text.
+# shellcheck disable=SC2086  # word-splitting the file list is intended
+(cd "$REPO_ROOT" &&
+ "$tidy" -p "$BUILD_DIR" --quiet \
+         -checks='-*,clang-analyzer-*' $sources) >"$raw" 2>/dev/null || true
+
+# Normalize "path:line:col: warning: msg [check]" to "path:check: msg":
+# line numbers churn with every edit and would make the baseline noisy.
+grep -E 'warning:.*\[clang-analyzer-' "$raw" |
+  sed -E "s|^${REPO_ROOT}/||" |
+  sed -E 's|^([^:]+):[0-9]+:[0-9]+: warning: (.*) \[(clang-analyzer-[^]]+)\]$|\1:\3: \2|' |
+  sort -u >"$findings" || true
+
+if [ "${MUTK_ANALYZE_RECORD:-0}" = "1" ]; then
+  cp "$findings" "$BASELINE"
+  note "analyze: recorded $(wc -l <"$BASELINE") finding(s) to ${BASELINE}"
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  note "analyze: missing baseline ${BASELINE}" >&2
+  exit 1
+fi
+
+new=$(comm -13 <(sort -u "$BASELINE") "$findings")
+if [ -n "$new" ]; then
+  note "analyze: new static-analyzer findings (not in scripts/analyze_baseline.txt):" >&2
+  printf '%s\n' "$new" >&2
+  exit 1
+fi
+
+fixed=$(comm -23 <(sort -u "$BASELINE") "$findings")
+if [ -n "$fixed" ]; then
+  note "analyze: baselined findings no longer reported (re-record to shrink the baseline):"
+  printf '%s\n' "$fixed"
+fi
+note "analyze: OK ($(wc -l <"$findings") finding(s), all baselined)"

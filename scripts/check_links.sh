@@ -11,7 +11,7 @@
 # Usage: scripts/check_links.sh
 #   Exits non-zero listing every dangling link.
 
-set -u
+set -u -o pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 FAILED=0

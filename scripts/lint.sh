@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Lint gate for the mutk tree.
 #
-# Three layers:
+# Four layers:
 #   1. clang-tidy over the compilation database (config: .clang-tidy,
 #      warnings are errors). Skipped with a warning when clang-tidy is
 #      not installed, unless MUTK_LINT_REQUIRE_TIDY=1 (CI sets this);
@@ -14,14 +14,20 @@
 #      counters that bypass <atomic>.
 #   3. Metric catalog completeness: every metric name literal in
 #      src/obs/ must be documented in docs/observability.md.
+#   4. Lock discipline: no raw standard-library locking primitives in
+#      src/ outside the annotated wrappers (support/Mutex.h), so every
+#      mutex carries a thread-safety capability and feeds the
+#      lock-order auditor.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir must contain compile_commands.json (any preset works;
 #   defaults to ./build). Exits non-zero on any finding.
+#   MUTK_LINT_ROOT overrides the tree being linted (the lint gate's own
+#   fixture tests point it at synthetic trees).
 
-set -u
+set -u -o pipefail
 
-REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+REPO_ROOT="${MUTK_LINT_ROOT:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 FAILED=0
 
@@ -143,7 +149,7 @@ fi
 
 # printf-family debugging must not linger outside the designated
 # reporting surfaces (tools, Audit failure reporting, ASCII renderers).
-DEBUG_PRINT_ALLOWLIST='src/support/Audit.cpp|src/tools/|src/analysis/'
+DEBUG_PRINT_ALLOWLIST='src/support/Audit.cpp|src/support/LockOrder.cpp|src/tools/|src/analysis/'
 hits=$(cd "$REPO_ROOT" &&
        grep -rnE '(^|[^[:alnum:]_."])fprintf\(stderr' src \
          --include='*.cpp' --include='*.h' 2>/dev/null |
@@ -178,6 +184,25 @@ else
   else
     note "lint: metric catalog covers all $(printf '%s\n' "$metric_names" | wc -l) names in src/obs/"
   fi
+fi
+
+# --- Layer 4: lock discipline ------------------------------------------------
+#
+# Every mutex in src/ must be a mutk::Mutex (support/Mutex.h) so it
+# carries a Clang thread-safety capability and participates in the
+# MUTK_AUDIT lock-order auditor. Raw standard-library primitives are
+# confined to the wrapper itself; everything else would be invisible to
+# both checkers. docs/development.md#lock-hierarchy documents the rule.
+LOCK_PRIMITIVE_ALLOWLIST='src/support/Mutex\.h|src/support/ThreadAnnotations\.h|src/support/LockOrder\.cpp'
+LOCK_PRIMITIVE_PATTERN='std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)'
+hits=$(cd "$REPO_ROOT" &&
+       grep -rnE "$LOCK_PRIMITIVE_PATTERN" src \
+         --include='*.cpp' --include='*.h' 2>/dev/null |
+       grep -vE "^(${LOCK_PRIMITIVE_ALLOWLIST})" |
+       sed 's|//.*||' | grep -E "$LOCK_PRIMITIVE_PATTERN" || true)
+if [ -n "$hits" ]; then
+  fail "raw standard-library locking primitive in src/ (use mutk::Mutex / MutexLock / CondVar from support/Mutex.h so the capability annotations and lock-order auditor apply)"
+  printf '%s\n' "$hits" >&2
 fi
 
 if [ "$FAILED" -ne 0 ]; then

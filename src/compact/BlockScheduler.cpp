@@ -3,14 +3,13 @@
 #include "compact/BlockScheduler.h"
 
 #include "obs/Instruments.h"
+#include "support/Mutex.h"
 #include "support/Stopwatch.h"
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 using namespace mutk;
@@ -58,15 +57,14 @@ struct DagRun {
   std::vector<PhyloTree> Assembled;
   std::vector<std::atomic<int>> Pending;
 
-  std::mutex Mu;
-  std::condition_variable Cv;
-  /// Solve tasks not yet claimed, largest block first (guarded by Mu).
-  std::deque<int> Ready;
-  /// Root's subtree finished (guarded by Mu).
-  bool RootDone = false;
-  /// First failure; once set, workers drain without starting new solves
-  /// (guarded by Mu).
-  std::exception_ptr Error;
+  Mutex Mu{"dag.run"};
+  CondVar Cv;
+  /// Solve tasks not yet claimed, largest block first.
+  std::deque<int> Ready MUTK_GUARDED_BY(Mu);
+  /// Root's subtree finished.
+  bool RootDone MUTK_GUARDED_BY(Mu) = false;
+  /// First failure; once set, workers drain without starting new solves.
+  std::exception_ptr Error MUTK_GUARDED_BY(Mu);
 
   DagRun(const CompactHierarchy &Hierarchy,
          const std::function<PhyloTree(int Id)> &Solve,
@@ -78,12 +76,12 @@ struct DagRun {
         Pending(static_cast<std::size_t>(Hierarchy.numNodes())) {}
 
   bool aborted() {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     return Error != nullptr;
   }
 
   void fail(std::exception_ptr E) {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     if (!Error)
       Error = std::move(E);
     Ready.clear();
@@ -113,7 +111,7 @@ struct DagRun {
 
     const int Parent = Node.Parent;
     if (Parent < 0) {
-      std::lock_guard<std::mutex> Lock(Mu);
+      MutexLock Lock(Mu);
       RootDone = true;
       Cv.notify_all();
       return;
@@ -128,8 +126,9 @@ struct DagRun {
     for (;;) {
       int Id = -1;
       {
-        std::unique_lock<std::mutex> Lock(Mu);
-        Cv.wait(Lock, [&] { return !Ready.empty() || RootDone || Error; });
+        MutexLock Lock(Mu);
+        while (Ready.empty() && !RootDone && !Error)
+          Cv.wait(Lock);
         if (Ready.empty())
           return;
         Id = Ready.front();
@@ -190,7 +189,11 @@ PhyloTree mutk::scheduleBlockDag(
       return SizeA > SizeB;
     return A < B;
   });
-  Run.Ready.assign(Internal.begin(), Internal.end());
+  {
+    // No workers exist yet; the lock is only for the analysis.
+    MutexLock Lock(Run.Mu);
+    Run.Ready.assign(Internal.begin(), Internal.end());
+  }
   if (PublishMetrics)
     obs::pipelineInstruments().ReadyBlocks.inc(Internal.size());
 
@@ -203,13 +206,14 @@ PhyloTree mutk::scheduleBlockDag(
     Pool.emplace_back([&Run] { Run.workerLoop(); });
 
   {
-    std::unique_lock<std::mutex> Lock(Run.Mu);
-    Run.Cv.wait(Lock, [&] { return Run.RootDone || Run.Error; });
+    MutexLock Lock(Run.Mu);
+    while (!Run.RootDone && !Run.Error)
+      Run.Cv.wait(Lock);
   }
   for (std::thread &T : Pool)
     T.join();
   {
-    std::lock_guard<std::mutex> Lock(Run.Mu);
+    MutexLock Lock(Run.Mu);
     if (Run.Error)
       std::rethrow_exception(Run.Error);
   }

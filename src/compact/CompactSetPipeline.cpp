@@ -65,7 +65,13 @@ PhyloTree relabelLeaves(const PhyloTree &Tree, const std::vector<int> &Map) {
 /// Thread-safe across distinct calls: shared state is only reached
 /// through the (caller-synchronized) cache/checkpoint hooks, which are
 /// single-flighted per fingerprint below.
-PhyloTree solveOneBlock(const SolveContext &Ctx, int Id, BlockOutcome &Out) {
+///
+/// Opted out of thread-safety analysis: the single-flight guard is
+/// default-constructed and conditionally move-assigned from
+/// `KeyedMutex::lock`, a hand-off the scoped-capability model cannot
+/// express (which key is held is runtime data).
+PhyloTree solveOneBlock(const SolveContext &Ctx, int Id, BlockOutcome &Out)
+    MUTK_NO_THREAD_SAFETY_ANALYSIS {
   DistanceMatrix Condensed =
       condense(Ctx.M, Ctx.Hierarchy.partitionAt(Id), Ctx.Options.Mode);
   BlockReport &Report = Out.Report;

@@ -105,14 +105,14 @@ bool ClusterNode::start(std::string *Error) {
 }
 
 void ClusterNode::stop() {
-  std::lock_guard<std::mutex> StopLock(StopMu);
+  MutexLock StopLock(StopMu);
   if (Stopped.exchange(true, std::memory_order_acq_rel))
     return;
   Service.setDistCache(nullptr);
   Service.setClusterStats(nullptr);
   Running.store(false, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> Lock(PacerMu);
+    MutexLock Lock(PacerMu);
     StopFlag = true;
   }
   PacerCv.notify_all();
@@ -124,7 +124,7 @@ void ClusterNode::stop() {
   {
     // Sessions own (and close) their fds; a shutdown unblocks their
     // reads so they exit promptly.
-    std::lock_guard<std::mutex> Lock(SessionsMu);
+    MutexLock Lock(SessionsMu);
     for (int SessionFd : SessionFds)
       ::shutdown(SessionFd, SHUT_RDWR);
   }
@@ -138,7 +138,7 @@ void ClusterNode::stop() {
   Stealers.clear();
   std::vector<std::thread> ToJoin;
   {
-    std::lock_guard<std::mutex> Lock(SessionsMu);
+    MutexLock Lock(SessionsMu);
     ToJoin.swap(Sessions);
   }
   for (std::thread &T : ToJoin)
@@ -150,7 +150,7 @@ void ClusterNode::stop() {
   // queue so the service (still running) resolves their promises.
   std::unordered_map<std::uint64_t, int> Outstanding;
   {
-    std::lock_guard<std::mutex> Lock(LentMu);
+    MutexLock Lock(LentMu);
     Outstanding.swap(LentToPeer);
   }
   for (const auto &[Token, Peer] : Outstanding) {
@@ -161,13 +161,13 @@ void ClusterNode::stop() {
 }
 
 int ClusterNode::ownerOf(std::uint64_t Key) const {
-  std::lock_guard<std::mutex> Lock(RingMu);
+  MutexLock Lock(RingMu);
   return Ring.ownerOf(Key);
 }
 
 void ClusterNode::rebuildRing() {
   std::vector<int> Alive = Registry.aliveIds();
-  std::lock_guard<std::mutex> Lock(RingMu);
+  MutexLock Lock(RingMu);
   Ring = ShardRing(Alive, Options.VirtualNodes);
   std::int64_t NewAlive = static_cast<std::int64_t>(Alive.size());
   Obs.PeersAlive.add(NewAlive - AliveGaugeValue);
@@ -191,7 +191,7 @@ void ClusterNode::onPeerDead(int Peer) {
   // and journal entry live here, so re-enqueueing locally loses nothing.
   std::vector<std::uint64_t> Tokens;
   {
-    std::lock_guard<std::mutex> Lock(LentMu);
+    MutexLock Lock(LentMu);
     for (auto It = LentToPeer.begin(); It != LentToPeer.end();) {
       if (It->second == Peer) {
         Tokens.push_back(It->first);
@@ -212,7 +212,7 @@ void ClusterNode::onPeerDead(int Peer) {
 
 void ClusterNode::closeLink(int Peer) {
   PeerLink &Link = *Links[static_cast<std::size_t>(Peer)];
-  std::lock_guard<std::mutex> Lock(Link.Mu);
+  MutexLock Lock(Link.Mu);
   if (Link.Fd >= 0) {
     ::close(Link.Fd);
     Link.Fd = -1;
@@ -250,7 +250,7 @@ bool ClusterNode::ensureConnected(PeerLink &Link, int Peer) {
 
 bool ClusterNode::sendOneWay(int Peer, const DistFrame &Frame) {
   PeerLink &Link = *Links[static_cast<std::size_t>(Peer)];
-  std::lock_guard<std::mutex> Lock(Link.Mu);
+  MutexLock Lock(Link.Mu);
   for (int Attempt = 0; Attempt < 2; ++Attempt) {
     if (!ensureConnected(Link, Peer))
       return false;
@@ -265,7 +265,7 @@ bool ClusterNode::sendOneWay(int Peer, const DistFrame &Frame) {
 
 std::optional<DistFrame> ClusterNode::rpc(int Peer, DistFrame Request) {
   PeerLink &Link = *Links[static_cast<std::size_t>(Peer)];
-  std::lock_guard<std::mutex> Lock(Link.Mu);
+  MutexLock Lock(Link.Mu);
   if (!ensureConnected(Link, Peer))
     return std::nullopt;
   Request.Seq = Link.NextSeq++;
@@ -368,7 +368,7 @@ void ClusterNode::acceptLoop() {
     }
     int One = 1;
     ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
-    std::lock_guard<std::mutex> Lock(SessionsMu);
+    MutexLock Lock(SessionsMu);
     SessionFds.push_back(Fd);
     Sessions.emplace_back([this, Fd] { serveConnection(Fd); });
   }
@@ -408,7 +408,7 @@ void ClusterNode::serveConnection(int Fd) {
     Obs.FrameErrors.inc();
   }
   {
-    std::lock_guard<std::mutex> Lock(SessionsMu);
+    MutexLock Lock(SessionsMu);
     SessionFds.erase(std::remove(SessionFds.begin(), SessionFds.end(), Fd),
                      SessionFds.end());
   }
@@ -474,7 +474,7 @@ void ClusterNode::controlLoop(int Fd, int Peer) {
       std::optional<TreeService::LentJob> Lent = Service.lendQueuedJob();
       if (Lent) {
         {
-          std::lock_guard<std::mutex> Lock(LentMu);
+          MutexLock Lock(LentMu);
           LentToPeer[Lent->Token] = Peer;
         }
         Obs.JobsLent.inc();
@@ -490,7 +490,7 @@ void ClusterNode::controlLoop(int Fd, int Peer) {
         if (Lent) {
           // The grant never reached the thief: take the job back.
           {
-            std::lock_guard<std::mutex> Lock(LentMu);
+            MutexLock Lock(LentMu);
             LentToPeer.erase(Lent->Token);
           }
           if (Service.reenqueueLentJob(Lent->Token))
@@ -510,7 +510,7 @@ void ClusterNode::controlLoop(int Fd, int Peer) {
         return;
       }
       {
-        std::lock_guard<std::mutex> Lock(LentMu);
+        MutexLock Lock(LentMu);
         LentToPeer.erase(Token);
       }
       std::optional<Response> Decoded = decodeResponse(Encoded);
@@ -537,11 +537,14 @@ void ClusterNode::controlLoop(int Fd, int Peer) {
 //===----------------------------------------------------------------------===//
 
 void ClusterNode::pacerLoop() {
-  std::unique_lock<std::mutex> Lock(PacerMu);
+  MutexLock Lock(PacerMu);
   while (!StopFlag) {
-    PacerCv.wait_for(Lock,
-                     std::chrono::duration<double>(Options.HeartbeatSeconds),
-                     [this] { return StopFlag; });
+    const auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(Options.HeartbeatSeconds);
+    while (!StopFlag &&
+           PacerCv.waitUntil(Lock, Deadline) != std::cv_status::timeout) {
+    }
     if (StopFlag)
       return;
     Lock.unlock();
@@ -578,11 +581,14 @@ int ClusterNode::nextVictim() {
 }
 
 void ClusterNode::stealLoop() {
-  std::unique_lock<std::mutex> Lock(PacerMu);
+  MutexLock Lock(PacerMu);
   while (!StopFlag) {
-    PacerCv.wait_for(Lock,
-                     std::chrono::duration<double>(Options.StealPollSeconds),
-                     [this] { return StopFlag; });
+    const auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(Options.StealPollSeconds);
+    while (!StopFlag &&
+           PacerCv.waitUntil(Lock, Deadline) != std::cv_status::timeout) {
+    }
     if (StopFlag)
       return;
     Lock.unlock();
@@ -658,7 +664,7 @@ std::string ClusterNode::statsJson() const {
   std::vector<PeerRegistry::PeerInfo> Peers = Registry.snapshot();
   ShardRing RingCopy;
   {
-    std::lock_guard<std::mutex> Lock(RingMu);
+    MutexLock Lock(RingMu);
     RingCopy = Ring;
   }
   std::string Out = "{\"self\":" + std::to_string(Options.SelfId);

@@ -37,12 +37,11 @@
 #include "dist/Peers.h"
 #include "dist/Wire.h"
 #include "service/Service.h"
+#include "support/Mutex.h"
 #include "support/SingleFlight.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -135,9 +134,9 @@ private:
   /// only belong to the request that is waiting for it; `Seq` echo is
   /// verified anyway, and any failure closes the fd (reconnect next use).
   struct PeerLink {
-    std::mutex Mu;
-    int Fd = -1;
-    std::uint64_t NextSeq = 1;
+    Mutex Mu{"cluster.link"};
+    int Fd MUTK_GUARDED_BY(Mu) = -1;
+    std::uint64_t NextSeq MUTK_GUARDED_BY(Mu) = 1;
   };
 
   void acceptLoop();
@@ -154,7 +153,7 @@ private:
   void closeLink(int Peer);
 
   /// Under `Link.Mu`: connect + `Hello` if needed. False marks failure.
-  bool ensureConnected(PeerLink &Link, int Peer);
+  bool ensureConnected(PeerLink &Link, int Peer) MUTK_REQUIRES(Link.Mu);
   /// One-way frame; retries once through a reconnect.
   bool sendOneWay(int Peer, const DistFrame &Frame);
   /// Request/response with `Seq` correlation and the RPC timeout.
@@ -167,28 +166,28 @@ private:
   obs::DistInstruments &Obs;
   PeerRegistry Registry;
 
-  mutable std::mutex RingMu;
-  ShardRing Ring;
-  std::int64_t AliveGaugeValue = 0;
+  mutable Mutex RingMu{"cluster.ring"};
+  ShardRing Ring MUTK_GUARDED_BY(RingMu);
+  std::int64_t AliveGaugeValue MUTK_GUARDED_BY(RingMu) = 0;
 
   std::vector<std::unique_ptr<PeerLink>> Links;
 
   std::atomic<int> ListenFd{-1};
   int BoundPort = -1;
   std::thread Acceptor;
-  std::vector<std::thread> Sessions;
-  std::vector<int> SessionFds;
-  std::mutex SessionsMu;
+  std::vector<std::thread> Sessions MUTK_GUARDED_BY(SessionsMu);
+  std::vector<int> SessionFds MUTK_GUARDED_BY(SessionsMu);
+  Mutex SessionsMu{"cluster.sessions"};
 
   std::thread Pacer;
   std::vector<std::thread> Stealers;
-  std::mutex PacerMu;
-  std::condition_variable PacerCv;
-  bool StopFlag = false;
+  Mutex PacerMu{"cluster.pacer"};
+  CondVar PacerCv;
+  bool StopFlag MUTK_GUARDED_BY(PacerMu) = false;
 
   /// Which peer each lent-out job token went to (victim side).
-  mutable std::mutex LentMu;
-  std::unordered_map<std::uint64_t, int> LentToPeer;
+  mutable Mutex LentMu{"cluster.lent"};
+  std::unordered_map<std::uint64_t, int> LentToPeer MUTK_GUARDED_BY(LentMu);
 
   /// Per-key single flight of remote lookups: concurrent misses on one
   /// key make one RPC, the rest re-probe the local cache afterwards.
@@ -197,7 +196,8 @@ private:
   std::atomic<std::uint64_t> VictimCursor{0};
   std::atomic<bool> Running{false};
   std::atomic<bool> Stopped{false};
-  std::mutex StopMu;
+  /// Serializes whole `stop()` runs; the outermost cluster lock.
+  Mutex StopMu{"cluster.stop"};
 };
 
 } // namespace mutk::dist

@@ -59,7 +59,7 @@ void SlaveSocketEndpoint::send(int Dest, int Tag,
   DistFrame Frame;
   Frame.Verb = DistVerb::MpMsg;
   Frame.Body = encodeMpMsgBody(Rank, Dest, Tag, Payload);
-  std::lock_guard<std::mutex> Lock(WriteMu);
+  MutexLock Lock(WriteMu);
   if (!writeDistFrame(Fd, Frame)) {
     Broken.store(true, std::memory_order_release);
     return;
@@ -135,7 +135,7 @@ MasterSocketEndpoint::~MasterSocketEndpoint() {
 void MasterSocketEndpoint::noteTraffic(int Tag, std::uint64_t PayloadBytes) {
   Messages.fetch_add(1, std::memory_order_relaxed);
   Bytes.fetch_add(PayloadBytes, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> Lock(TrafficMu);
+  MutexLock Lock(TrafficMu);
   TagTraffic &T = Traffic[Tag];
   T.Tag = Tag;
   ++T.Messages;
@@ -146,7 +146,7 @@ void MasterSocketEndpoint::writeTo(int Dest, const DistFrame &Frame) {
   assert(Dest >= 1 && Dest <= static_cast<int>(Links.size()) &&
          "relay destination out of range");
   Link &L = *Links[static_cast<std::size_t>(Dest - 1)];
-  std::lock_guard<std::mutex> Lock(L.WriteMu);
+  MutexLock Lock(L.WriteMu);
   if (!writeDistFrame(L.Fd, Frame))
     L.Failed.store(true, std::memory_order_release);
 }
@@ -193,7 +193,7 @@ void MasterSocketEndpoint::readerLoop(int LinkIndex) {
       Msg.Tag = Tag;
       Msg.Payload = std::move(Payload);
       {
-        std::lock_guard<std::mutex> Lock(InboxMu);
+        MutexLock Lock(InboxMu);
         Inbox.push_back(std::move(Msg));
       }
       InboxReady.notify_one();
@@ -206,7 +206,7 @@ void MasterSocketEndpoint::readerLoop(int LinkIndex) {
 }
 
 std::optional<Message> MasterSocketEndpoint::tryRecv() {
-  std::lock_guard<std::mutex> Lock(InboxMu);
+  MutexLock Lock(InboxMu);
   if (Inbox.empty())
     return std::nullopt;
   Message Msg = std::move(Inbox.front());
@@ -215,8 +215,9 @@ std::optional<Message> MasterSocketEndpoint::tryRecv() {
 }
 
 Message MasterSocketEndpoint::recv() {
-  std::unique_lock<std::mutex> Lock(InboxMu);
-  InboxReady.wait(Lock, [&] { return !Inbox.empty(); });
+  MutexLock Lock(InboxMu);
+  while (Inbox.empty())
+    InboxReady.wait(Lock);
   Message Msg = std::move(Inbox.front());
   Inbox.pop_front();
   return Msg;
@@ -231,7 +232,7 @@ std::vector<int> MasterSocketEndpoint::failedRanks() const {
 }
 
 std::vector<TagTraffic> MasterSocketEndpoint::trafficByTag() const {
-  std::lock_guard<std::mutex> Lock(TrafficMu);
+  MutexLock Lock(TrafficMu);
   std::vector<TagTraffic> Out;
   Out.reserve(Traffic.size());
   for (const auto &[Tag, T] : Traffic)

@@ -28,13 +28,12 @@
 #include "dist/Wire.h"
 #include "mp/Communicator.h"
 #include "mp/Endpoint.h"
+#include "support/Mutex.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -69,7 +68,8 @@ private:
   int Fd;
   int Rank;
   int WorldSize;
-  std::mutex WriteMu;
+  /// Serializes frame writes; guards no fields (the fd is immutable).
+  Mutex WriteMu{"mpsock.write"};
   std::atomic<bool> Broken{false};
   std::atomic<std::uint64_t> BytesOut{0};
   std::atomic<std::uint64_t> BytesIn{0};
@@ -108,7 +108,8 @@ public:
 private:
   struct Link {
     int Fd = -1;
-    std::mutex WriteMu;
+    /// Serializes frame writes on this link; guards no fields.
+    Mutex WriteMu{"mpsock.write"};
     std::thread Reader;
     std::atomic<bool> Failed{false};
     // Set once the slave's final Stats message landed in the inbox; an
@@ -122,14 +123,14 @@ private:
   void noteTraffic(int Tag, std::uint64_t WireBytes);
 
   std::vector<std::unique_ptr<Link>> Links;
-  std::mutex InboxMu;
-  std::condition_variable InboxReady;
-  std::deque<Message> Inbox;
+  Mutex InboxMu{"mpsock.inbox"};
+  CondVar InboxReady;
+  std::deque<Message> Inbox MUTK_GUARDED_BY(InboxMu);
   std::atomic<bool> Stopping{false};
   std::atomic<std::uint64_t> Messages{0};
   std::atomic<std::uint64_t> Bytes{0};
-  mutable std::mutex TrafficMu;
-  std::map<int, TagTraffic> Traffic;
+  mutable Mutex TrafficMu{"mpsock.traffic"};
+  std::map<int, TagTraffic> Traffic MUTK_GUARDED_BY(TrafficMu);
 };
 
 /// \name MpMsg body codec shared by both endpoints.

@@ -75,7 +75,7 @@ PeerRegistry::PeerRegistry(std::vector<PeerSpec> Peers, int SelfId,
 bool PeerRegistry::markAlive(int PeerId) {
   if (PeerId < 0 || PeerId >= static_cast<int>(Specs.size()))
     return false;
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   Entry &E = Entries[static_cast<std::size_t>(PeerId)];
   bool Revived = E.State == PeerState::Dead;
   E.State = PeerState::Alive;
@@ -87,14 +87,14 @@ void PeerRegistry::noteFailure(int PeerId) {
   if (PeerId < 0 || PeerId >= static_cast<int>(Specs.size()) ||
       PeerId == SelfId)
     return;
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   Entry &E = Entries[static_cast<std::size_t>(PeerId)];
   if (E.State != PeerState::Dead)
     E.State = PeerState::Suspect;
 }
 
 std::vector<int> PeerRegistry::sweep() {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<int> NewlyDead;
   Clock::time_point Now = Clock::now();
   for (std::size_t I = 0; I < Entries.size(); ++I) {
@@ -117,12 +117,12 @@ bool PeerRegistry::isAlive(int PeerId) const {
     return false;
   if (PeerId == SelfId)
     return true;
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Entries[static_cast<std::size_t>(PeerId)].State != PeerState::Dead;
 }
 
 std::vector<int> PeerRegistry::aliveIds() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<int> Out;
   for (std::size_t I = 0; I < Entries.size(); ++I)
     if (static_cast<int>(I) == SelfId ||
@@ -132,7 +132,7 @@ std::vector<int> PeerRegistry::aliveIds() const {
 }
 
 std::vector<PeerRegistry::PeerInfo> PeerRegistry::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<PeerInfo> Out;
   Out.reserve(Specs.size());
   Clock::time_point Now = Clock::now();

@@ -22,9 +22,10 @@
 #ifndef MUTK_DIST_PEERS_H
 #define MUTK_DIST_PEERS_H
 
+#include "support/Mutex.h"
+
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -111,8 +112,8 @@ private:
   std::vector<PeerSpec> Specs;
   int SelfId;
   double DeadAfterSeconds;
-  mutable std::mutex Mu;
-  std::vector<Entry> Entries;
+  mutable Mutex Mu{"peers.registry"};
+  std::vector<Entry> Entries MUTK_GUARDED_BY(Mu);
 };
 
 /// Consistent-hash ring mapping 64-bit cache keys to peer ids.

@@ -22,7 +22,7 @@ Communicator::Endpoint Communicator::endpoint(int Rank) {
 void Communicator::deliver(int Dest, Message Msg) {
   assert(Dest >= 0 && Dest < size() && "destination out of range");
   {
-    std::lock_guard<std::mutex> Stats(StatsLock);
+    MutexLock Stats(StatsLock);
     ++Messages;
     Bytes += Msg.Payload.size();
     TagTraffic &T = Traffic[Msg.Tag];
@@ -32,7 +32,7 @@ void Communicator::deliver(int Dest, Message Msg) {
   }
   Inbox &Box = *Inboxes[static_cast<std::size_t>(Dest)];
   {
-    std::lock_guard<std::mutex> Lock(Box.Lock);
+    MutexLock Lock(Box.Lock);
     Box.Queue.push_back(std::move(Msg));
   }
   Box.Ready.notify_one();
@@ -51,7 +51,7 @@ void Communicator::Endpoint::send(int Dest, int Tag,
 std::optional<Message> Communicator::Endpoint::tryRecv() {
   assert(World && "endpoint not bound to a communicator");
   auto &Box = *World->Inboxes[static_cast<std::size_t>(Rank)];
-  std::lock_guard<std::mutex> Lock(Box.Lock);
+  MutexLock Lock(Box.Lock);
   if (Box.Queue.empty())
     return std::nullopt;
   Message Msg = std::move(Box.Queue.front());
@@ -62,25 +62,26 @@ std::optional<Message> Communicator::Endpoint::tryRecv() {
 Message Communicator::Endpoint::recv() {
   assert(World && "endpoint not bound to a communicator");
   auto &Box = *World->Inboxes[static_cast<std::size_t>(Rank)];
-  std::unique_lock<std::mutex> Lock(Box.Lock);
-  Box.Ready.wait(Lock, [&] { return !Box.Queue.empty(); });
+  MutexLock Lock(Box.Lock);
+  while (Box.Queue.empty())
+    Box.Ready.wait(Lock);
   Message Msg = std::move(Box.Queue.front());
   Box.Queue.pop_front();
   return Msg;
 }
 
 std::uint64_t Communicator::messagesSent() const {
-  std::lock_guard<std::mutex> Stats(StatsLock);
+  MutexLock Stats(StatsLock);
   return Messages;
 }
 
 std::uint64_t Communicator::bytesSent() const {
-  std::lock_guard<std::mutex> Stats(StatsLock);
+  MutexLock Stats(StatsLock);
   return Bytes;
 }
 
 std::vector<TagTraffic> Communicator::trafficByTag() const {
-  std::lock_guard<std::mutex> Stats(StatsLock);
+  MutexLock Stats(StatsLock);
   std::vector<TagTraffic> Out;
   Out.reserve(Traffic.size());
   for (const auto &[Tag, T] : Traffic)

@@ -15,13 +15,12 @@
 #define MUTK_MP_COMMUNICATOR_H
 
 #include "mp/Endpoint.h"
+#include "support/Mutex.h"
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -90,17 +89,17 @@ public:
 
 private:
   struct Inbox {
-    std::mutex Lock;
-    std::condition_variable Ready;
-    std::deque<Message> Queue;
+    Mutex Lock{"mp.inbox"};
+    CondVar Ready;
+    std::deque<Message> Queue MUTK_GUARDED_BY(Lock);
   };
   // unique_ptr would also work; deque of Inbox is immovable, so use a
   // vector of pointers for stable addresses.
   std::vector<std::unique_ptr<Inbox>> Inboxes;
-  mutable std::mutex StatsLock;
-  std::uint64_t Messages = 0;
-  std::uint64_t Bytes = 0;
-  std::map<int, TagTraffic> Traffic;
+  mutable Mutex StatsLock{"mp.stats"};
+  std::uint64_t Messages MUTK_GUARDED_BY(StatsLock) = 0;
+  std::uint64_t Bytes MUTK_GUARDED_BY(StatsLock) = 0;
+  std::map<int, TagTraffic> Traffic MUTK_GUARDED_BY(StatsLock);
 
   void deliver(int Dest, Message Msg);
 };

@@ -5,10 +5,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include "support/Mutex.h"
+
 #include <cstdlib>
 #include <ctime>
 #include <map>
-#include <mutex>
 
 using namespace mutk;
 using namespace mutk::obs;
@@ -19,9 +20,10 @@ namespace {
 /// the common fast path (no component overrides, level disabled) costs
 /// two atomic loads and no lock.
 struct LogConfig {
-  std::mutex Mu;
-  std::map<std::string, LogLevel, std::less<>> ComponentLevels;
-  LogSink Sink; // empty -> stderr
+  mutk::Mutex Mu{"obs.log"};
+  std::map<std::string, LogLevel, std::less<>> ComponentLevels
+      MUTK_GUARDED_BY(Mu);
+  LogSink Sink MUTK_GUARDED_BY(Mu); // empty -> stderr
   std::atomic<int> DefaultLevel{static_cast<int>(LogLevel::Info)};
   std::atomic<bool> HasComponentLevels{false};
   std::atomic<bool> EnvParsed{false};
@@ -32,7 +34,8 @@ LogConfig &config() {
   return C;
 }
 
-void applySpecLocked(LogConfig &C, std::string_view Spec) {
+void applySpecLocked(LogConfig &C, std::string_view Spec)
+    MUTK_REQUIRES(C.Mu) {
   C.ComponentLevels.clear();
   LogLevel Default = LogLevel::Info;
   std::size_t Pos = 0;
@@ -63,7 +66,7 @@ void applySpecLocked(LogConfig &C, std::string_view Spec) {
 void ensureEnvParsed(LogConfig &C) {
   if (C.EnvParsed.load(std::memory_order_acquire))
     return;
-  std::lock_guard<std::mutex> Lock(C.Mu);
+  mutk::MutexLock Lock(C.Mu);
   if (C.EnvParsed.load(std::memory_order_relaxed))
     return;
   if (const char *Spec = std::getenv("MUTK_LOG"))
@@ -166,7 +169,7 @@ bool mutk::obs::logEnabled(LogLevel Level, std::string_view Component) {
   LogConfig &C = config();
   ensureEnvParsed(C);
   if (C.HasComponentLevels.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> Lock(C.Mu);
+    mutk::MutexLock Lock(C.Mu);
     auto It = C.ComponentLevels.find(Component);
     if (It != C.ComponentLevels.end())
       return static_cast<int>(Level) >= static_cast<int>(It->second);
@@ -177,7 +180,7 @@ bool mutk::obs::logEnabled(LogLevel Level, std::string_view Component) {
 
 void mutk::obs::configureLogging(std::string_view Spec) {
   LogConfig &C = config();
-  std::lock_guard<std::mutex> Lock(C.Mu);
+  mutk::MutexLock Lock(C.Mu);
   applySpecLocked(C, Spec);
   C.EnvParsed.store(true, std::memory_order_release);
 }
@@ -193,14 +196,14 @@ void mutk::obs::setComponentLogLevel(std::string_view Component,
                                      LogLevel Level) {
   LogConfig &C = config();
   ensureEnvParsed(C);
-  std::lock_guard<std::mutex> Lock(C.Mu);
+  mutk::MutexLock Lock(C.Mu);
   C.ComponentLevels.insert_or_assign(std::string(Component), Level);
   C.HasComponentLevels.store(true, std::memory_order_release);
 }
 
 void mutk::obs::setLogSink(LogSink Sink) {
   LogConfig &C = config();
-  std::lock_guard<std::mutex> Lock(C.Mu);
+  mutk::MutexLock Lock(C.Mu);
   C.Sink = std::move(Sink);
 }
 
@@ -258,7 +261,7 @@ LogLine::~LogLine() {
     return;
   Buffer += '\n';
   LogConfig &C = config();
-  std::lock_guard<std::mutex> Lock(C.Mu);
+  mutk::MutexLock Lock(C.Mu);
   if (C.Sink) {
     C.Sink(Buffer);
     return;

@@ -87,7 +87,7 @@ std::uint64_t Histogram::count() const {
 }
 
 Counter &MetricsRegistry::counter(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Counters.find(Name);
   if (It == Counters.end())
     It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
@@ -96,7 +96,7 @@ Counter &MetricsRegistry::counter(std::string_view Name) {
 }
 
 Gauge &MetricsRegistry::gauge(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Gauges.find(Name);
   if (It == Gauges.end())
     It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
@@ -104,7 +104,7 @@ Gauge &MetricsRegistry::gauge(std::string_view Name) {
 }
 
 Histogram &MetricsRegistry::histogram(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
     It = Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
@@ -113,7 +113,7 @@ Histogram &MetricsRegistry::histogram(std::string_view Name) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   MetricsSnapshot S;
   S.Counters.reserve(Counters.size());
   for (const auto &[Name, C] : Counters)

@@ -25,13 +25,14 @@
 #ifndef MUTK_OBS_METRICS_H
 #define MUTK_OBS_METRICS_H
 
+#include "support/Mutex.h"
+
 #include <array>
 #include <atomic>
 #include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -140,12 +141,15 @@ public:
   static MetricsRegistry &global();
 
 private:
-  mutable std::mutex Mu;
+  mutable Mutex Mu{"obs.metrics"};
   // std::map keeps names sorted for stable renders; unique_ptr keeps
   // instrument addresses stable across rehash-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters
+      MUTK_GUARDED_BY(Mu);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges
+      MUTK_GUARDED_BY(Mu);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms
+      MUTK_GUARDED_BY(Mu);
 };
 
 } // namespace mutk::obs

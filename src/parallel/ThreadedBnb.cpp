@@ -7,14 +7,13 @@
 #include "matrix/Fingerprint.h"
 #include "obs/Instruments.h"
 #include "support/Audit.h"
+#include "support/Mutex.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
 using namespace mutk;
@@ -27,24 +26,24 @@ struct SharedState {
   explicit SharedState(const BnbEngine &Engine) : Engine(Engine) {}
 
   // Global pool (the master's GP), protected by PoolMutex.
-  std::mutex PoolMutex;
-  std::deque<Topology> GlobalPool;
-  std::condition_variable PoolCv;
-  /// BBT nodes alive anywhere (pools + in-flight). Guarded by PoolMutex
-  /// for the termination handshake.
-  long Outstanding = 0;
-  bool Cancelled = false;
-  /// Checkpoint rendezvous (guarded by PoolMutex): when set, every
-  /// worker returns its local pool to the global pool and exits, leaving
-  /// the master with the complete frontier. Outstanding is untouched —
-  /// the nodes stay alive, they just change owner.
-  bool Paused = false;
+  Mutex PoolMutex{"bnb.pool"};
+  std::deque<Topology> GlobalPool MUTK_GUARDED_BY(PoolMutex);
+  CondVar PoolCv;
+  /// BBT nodes alive anywhere (pools + in-flight); part of the
+  /// termination handshake.
+  long Outstanding MUTK_GUARDED_BY(PoolMutex) = 0;
+  bool Cancelled MUTK_GUARDED_BY(PoolMutex) = false;
+  /// Checkpoint rendezvous: when set, every worker returns its local
+  /// pool to the global pool and exits, leaving the master with the
+  /// complete frontier. Outstanding is untouched — the nodes stay
+  /// alive, they just change owner.
+  bool Paused MUTK_GUARDED_BY(PoolMutex) = false;
 
   // Upper bound, shared lock-free; the best topology under a mutex.
   std::atomic<double> Ub{0.0};
-  std::mutex BestMutex;
-  Topology BestTopology;
-  bool HasBest = false;
+  Mutex BestMutex{"bnb.best"};
+  Topology BestTopology MUTK_GUARDED_BY(BestMutex);
+  bool HasBest MUTK_GUARDED_BY(BestMutex) = false;
 
   std::atomic<std::uint64_t> TotalBranched{0};
 
@@ -65,7 +64,7 @@ struct SharedState {
     if (!Improved)
       return false;
 
-    std::lock_guard<std::mutex> Lock(BestMutex);
+    MutexLock Lock(BestMutex);
     if (!HasBest || Cost < BestTopology.cost()) {
       BestTopology = T;
       HasBest = true;
@@ -87,7 +86,7 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
     bool HaveWork = false;
 
     {
-      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
+      MutexLock Lock(Shared.PoolMutex);
       // Checkpoint rendezvous: hand the whole local pool back and exit.
       // Only checked between expansions, so every returned node is a
       // consistent, un-expanded BBT node.
@@ -99,10 +98,9 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
         return;
       }
       if (LocalPool.empty()) {
-        Shared.PoolCv.wait(Lock, [&] {
-          return !Shared.GlobalPool.empty() || Shared.Outstanding == 0 ||
-                 Shared.Cancelled || Shared.Paused;
-        });
+        while (Shared.GlobalPool.empty() && Shared.Outstanding != 0 &&
+               !Shared.Cancelled && !Shared.Paused)
+          Shared.PoolCv.wait(Lock);
         if (Shared.Paused) {
           Shared.PoolCv.notify_all();
           return;
@@ -128,7 +126,7 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
     if (Options.MaxBranchedNodes != 0 &&
         Shared.TotalBranched.load(std::memory_order_relaxed) >=
             Options.MaxBranchedNodes) {
-      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      MutexLock Lock(Shared.PoolMutex);
       Shared.Cancelled = true;
       Shared.PoolCv.notify_all();
       return;
@@ -161,7 +159,7 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
     // Donate the *worst* local node whenever the global pool is empty,
     // so idle workers always find something (two-level load balancing).
     {
-      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      MutexLock Lock(Shared.PoolMutex);
       Shared.Outstanding += Delta;
       if (Shared.GlobalPool.empty() && LocalPool.size() > 1) {
         Shared.GlobalPool.push_back(std::move(LocalPool.front()));
@@ -270,7 +268,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
   // the final answer. Call only while no workers run (no BestMutex
   // contention concerns, but finalize() is not free).
   auto currentIncumbent = [&](double &CostOut) {
-    std::lock_guard<std::mutex> Lock(Shared.BestMutex);
+    MutexLock Lock(Shared.BestMutex);
     if (Shared.HasBest) {
       CostOut = Shared.BestTopology.cost();
       return Engine.finalize(Shared.BestTopology);
@@ -311,7 +309,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
     // After push_front of ascending nodes, the back of each pool is the
     // best node — the invariant workerMain maintains.
     {
-      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      MutexLock Lock(Shared.PoolMutex);
       Shared.Outstanding = static_cast<long>(Frontier.size());
       Shared.Paused = false;
     }
@@ -326,14 +324,12 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
           std::ref(Result.Workers[static_cast<std::size_t>(W)]));
 
     if (Checkpointing) {
-      // Poll for the checkpoint cadence while the round runs. wait_for
-      // (not a sleep) so worker completion wakes us immediately.
-      std::unique_lock<std::mutex> Lock(Shared.PoolMutex);
-      for (;;) {
-        bool Done = Shared.PoolCv.wait_for(
-            Lock, std::chrono::milliseconds(20),
-            [&] { return Shared.Outstanding == 0 || Shared.Cancelled; });
-        if (Done)
+      // Poll for the checkpoint cadence while the round runs. A timed
+      // wait (not a sleep) so worker completion wakes us immediately.
+      MutexLock Lock(Shared.PoolMutex);
+      while (Shared.Outstanding != 0 && !Shared.Cancelled) {
+        Shared.PoolCv.waitFor(Lock, std::chrono::milliseconds(20));
+        if (Shared.Outstanding == 0 || Shared.Cancelled)
           break;
         if (Pacer.due(
                 Shared.TotalBranched.load(std::memory_order_relaxed))) {
@@ -353,7 +349,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
     // Reclaim whatever the workers returned. Empty means the search
     // finished (exhausted or cancelled) during this round.
     {
-      std::lock_guard<std::mutex> Lock(Shared.PoolMutex);
+      MutexLock Lock(Shared.PoolMutex);
       Frontier.assign(std::make_move_iterator(Shared.GlobalPool.begin()),
                       std::make_move_iterator(Shared.GlobalPool.end()));
       Shared.GlobalPool.clear();
@@ -377,7 +373,11 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
   // Merge statistics.
   Result.Stats = mergedStats();
   Result.Tree = currentIncumbent(Result.Cost);
-  Result.Stats.Complete = !Shared.Cancelled;
+  {
+    // Workers are joined; the lock only satisfies the analysis.
+    MutexLock Lock(Shared.PoolMutex);
+    Result.Stats.Complete = !Shared.Cancelled;
+  }
   // Same contract as the sequential solver: whatever tree we answer with
   // must be a feasible ultrametric tree for M.
   MUTK_AUDIT(Result.Tree.hasMonotoneHeights(),

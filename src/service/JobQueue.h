@@ -16,10 +16,9 @@
 
 #include "obs/Instruments.h"
 #include "support/Audit.h"
+#include "support/Mutex.h"
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -42,8 +41,9 @@ public:
   /// left untouched in the caller (important when it carries a promise
   /// that still has to be resolved).
   bool push(T &&Item) {
-    std::unique_lock<std::mutex> Lock(Mu);
-    NotFull.wait(Lock, [&] { return Items.size() < Capacity || Closed; });
+    MutexLock Lock(Mu);
+    while (Items.size() >= Capacity && !Closed)
+      NotFull.wait(Lock);
     if (Closed) {
       noteRejected();
       return false;
@@ -59,7 +59,7 @@ public:
   /// Non-blocking push. \returns false when full or closed (item left
   /// untouched, as with `push`).
   bool tryPush(T &&Item) {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     if (Closed || Items.size() >= Capacity) {
       noteRejected();
       return false;
@@ -75,8 +75,9 @@ public:
   /// Blocks while empty. \returns nullopt once closed *and* drained, so
   /// consumers finish whatever was accepted before the close.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> Lock(Mu);
-    NotEmpty.wait(Lock, [&] { return !Items.empty() || Closed; });
+    MutexLock Lock(Mu);
+    while (Items.empty() && !Closed)
+      NotEmpty.wait(Lock);
     if (Items.empty())
       return std::nullopt;
     T Item = std::move(Items.front());
@@ -91,7 +92,7 @@ public:
   /// or not the queue is closed). The cluster layer uses it to lend a
   /// queued job to an idle peer without ever blocking a network thread.
   std::optional<T> tryPop() {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     if (Items.empty())
       return std::nullopt;
     T Item = std::move(Items.front());
@@ -104,7 +105,7 @@ public:
 
   /// Atomically removes and returns everything currently queued.
   std::vector<T> drain() {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     std::vector<T> Out;
     Out.reserve(Items.size());
     for (T &Item : Items)
@@ -118,19 +119,19 @@ public:
 
   /// Rejects future pushes and wakes every blocked producer/consumer.
   void close() {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     Closed = true;
     NotEmpty.notify_all();
     NotFull.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     return Closed;
   }
 
   std::size_t depth() const {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     return Items.size();
   }
 
@@ -148,12 +149,12 @@ private:
   }
 
   obs::QueueInstruments Instruments;
-  mutable std::mutex Mu;
-  std::condition_variable NotFull;
-  std::condition_variable NotEmpty;
-  std::deque<T> Items;
+  mutable Mutex Mu{"service.queue"};
+  CondVar NotFull;
+  CondVar NotEmpty;
+  std::deque<T> Items MUTK_GUARDED_BY(Mu);
   std::size_t Capacity;
-  bool Closed = false;
+  bool Closed MUTK_GUARDED_BY(Mu) = false;
 };
 
 } // namespace mutk

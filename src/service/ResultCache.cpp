@@ -8,13 +8,8 @@
 
 using namespace mutk;
 
-namespace {
-
-/// Shard structural invariants, checked under the shard lock: the index
-/// mirrors the LRU list one-to-one and capacity is respected.
 #if MUTK_AUDIT_ENABLED
-template <typename ShardT>
-bool shardConsistent(const ShardT &S, std::size_t CapacityPerShard) {
+bool ShardedLruCache::shardConsistent(const Shard &S) const {
   if (S.Index.size() != S.Lru.size() || S.Lru.size() > CapacityPerShard)
     return false;
   for (auto It = S.Lru.begin(); It != S.Lru.end(); ++It) {
@@ -25,8 +20,6 @@ bool shardConsistent(const ShardT &S, std::size_t CapacityPerShard) {
   return true;
 }
 #endif
-
-} // namespace
 
 ShardedLruCache::ShardedLruCache(std::size_t Capacity, int NumShards) {
   NumShards = std::max(1, NumShards);
@@ -81,7 +74,7 @@ std::optional<CachedSolution>
 ShardedLruCache::lookup(std::uint64_t Key,
                         const std::vector<std::uint8_t> &Bytes) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> Lock(S.Mu);
+  MutexLock Lock(S.Mu);
   auto It = S.Index.find(Key);
   if (It == S.Index.end() || It->second->second.Bytes != Bytes) {
     Misses.fetch_add(1, std::memory_order_relaxed);
@@ -91,14 +84,14 @@ ShardedLruCache::lookup(std::uint64_t Key,
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   Hits.fetch_add(1, std::memory_order_relaxed);
   noteHit(S);
-  MUTK_AUDIT(shardConsistent(S, CapacityPerShard),
+  MUTK_AUDIT(shardConsistent(S),
              "cache shard index/LRU desynchronized after lookup");
   return It->second->second;
 }
 
 void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> Lock(S.Mu);
+  MutexLock Lock(S.Mu);
   auto It = S.Index.find(Key);
   if (It != S.Index.end()) {
     // Refresh: a colliding key overwrites (last writer wins; the bytes
@@ -115,13 +108,13 @@ void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
   }
   S.Lru.emplace_front(Key, std::move(Value));
   S.Index.emplace(Key, S.Lru.begin());
-  MUTK_AUDIT(shardConsistent(S, CapacityPerShard),
+  MUTK_AUDIT(shardConsistent(S),
              "cache shard index/LRU desynchronized after store");
 }
 
 void ShardedLruCache::clear() {
   for (auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->Mu);
+    MutexLock Lock(S->Mu);
     S->Lru.clear();
     S->Index.clear();
   }
@@ -131,7 +124,7 @@ std::vector<std::pair<std::uint64_t, CachedSolution>>
 ShardedLruCache::entries() const {
   std::vector<std::pair<std::uint64_t, CachedSolution>> Out;
   for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->Mu);
+    MutexLock Lock(S->Mu);
     // Front = most recently used; walk backwards for LRU-first order.
     for (auto It = S->Lru.rbegin(); It != S->Lru.rend(); ++It)
       Out.push_back(*It);
@@ -142,7 +135,7 @@ ShardedLruCache::entries() const {
 std::size_t ShardedLruCache::size() const {
   std::size_t Total = 0;
   for (const auto &S : Shards) {
-    std::lock_guard<std::mutex> Lock(S->Mu);
+    MutexLock Lock(S->Mu);
     Total += S->Lru.size();
   }
   return Total;

@@ -20,13 +20,14 @@
 #define MUTK_SERVICE_RESULTCACHE_H
 
 #include "obs/Instruments.h"
+#include "support/Audit.h"
+#include "support/Mutex.h"
 #include "tree/PhyloTree.h"
 
 #include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -82,10 +83,11 @@ public:
 private:
   struct Shard {
     int Id = 0;
-    std::mutex Mu;
+    mutable Mutex Mu{"service.cache.shard"};
     /// Front = most recently used.
-    std::list<std::pair<std::uint64_t, CachedSolution>> Lru;
-    std::unordered_map<std::uint64_t, decltype(Lru)::iterator> Index;
+    std::list<std::pair<std::uint64_t, CachedSolution>> Lru MUTK_GUARDED_BY(Mu);
+    std::unordered_map<std::uint64_t, decltype(Lru)::iterator> Index
+        MUTK_GUARDED_BY(Mu);
   };
 
   Shard &shardFor(std::uint64_t Key);
@@ -93,6 +95,12 @@ private:
   void noteHit(const Shard &S);
   void noteMiss(const Shard &S);
   void noteEviction(const Shard &S);
+
+#if MUTK_AUDIT_ENABLED
+  /// Shard structural invariants, checked under the shard lock: the
+  /// index mirrors the LRU list one-to-one and capacity is respected.
+  bool shardConsistent(const Shard &S) const MUTK_REQUIRES(S.Mu);
+#endif
 
   std::vector<std::unique_ptr<Shard>> Shards;
   const obs::CacheInstruments *Aggregate = nullptr;

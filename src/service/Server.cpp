@@ -160,7 +160,7 @@ void SocketServer::acceptLoop() {
         continue;
       break; // listener closed by stop()
     }
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     if (!Running.load(std::memory_order_acquire)) {
       ::close(Fd);
       break;
@@ -216,25 +216,26 @@ void SocketServer::serveConnection(int Fd) {
   }
   I.ConnectionsActive.sub(1);
   obs::log(obs::LogLevel::Debug, "server", "connection closed").kv("fd", Fd);
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   LiveFds.erase(std::remove(LiveFds.begin(), LiveFds.end(), Fd),
                 LiveFds.end());
   ::close(Fd);
 }
 
 void SocketServer::requestShutdown() {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   ShutdownRequested = true;
   ShutdownCv.notify_all();
 }
 
 void SocketServer::waitForShutdown() {
-  std::unique_lock<std::mutex> Lock(Mu);
-  ShutdownCv.wait(Lock, [&] { return ShutdownRequested; });
+  MutexLock Lock(Mu);
+  while (!ShutdownRequested)
+    ShutdownCv.wait(Lock);
 }
 
 void SocketServer::stop() {
-  std::lock_guard<std::mutex> StopLock(StopMu);
+  MutexLock StopLock(StopMu);
   if (!Running.exchange(false)) {
     // Never started (or already stopped): still release the listener.
     int Fd = ListenFd.exchange(-1);
@@ -253,7 +254,7 @@ void SocketServer::stop() {
   }
   std::vector<std::thread> Live;
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     // Wake connection threads blocked in readFrame; they close their
     // own fds on exit (under Mu, so these fds cannot be recycled yet).
     for (int Fd : LiveFds)

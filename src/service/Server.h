@@ -18,10 +18,9 @@
 #define MUTK_SERVICE_SERVER_H
 
 #include "service/Service.h"
+#include "support/Mutex.h"
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,16 +71,16 @@ private:
   int BoundPort = -1;
   std::string UnixPath;
   std::thread Acceptor;
-  std::vector<std::thread> Connections;
+  std::vector<std::thread> Connections MUTK_GUARDED_BY(Mu);
   /// Fds of live connections; entries are removed and closed under `Mu`
   /// so `stop()` never shuts down a recycled descriptor.
-  std::vector<int> LiveFds;
-  std::mutex Mu;
+  std::vector<int> LiveFds MUTK_GUARDED_BY(Mu);
+  Mutex Mu{"server.state"};
   /// Serializes whole `stop()` runs (a signal thread and the main
-  /// thread may both request shutdown).
-  std::mutex StopMu;
-  std::condition_variable ShutdownCv;
-  bool ShutdownRequested = false;
+  /// thread may both request shutdown). Ordered before `Mu`.
+  Mutex StopMu{"server.stop"};
+  CondVar ShutdownCv;
+  bool ShutdownRequested MUTK_GUARDED_BY(Mu) = false;
   std::atomic<bool> Running{false};
 };
 

@@ -119,7 +119,11 @@ std::string TreeService::checkpointPath(std::uint64_t Key) const {
 void TreeService::recoverState() {
   if (!Store)
     return;
-  persist::CacheStore::LoadResult Loaded = Store->load();
+  persist::CacheStore::LoadResult Loaded;
+  {
+    MutexLock Lock(PersistMu);
+    Loaded = Store->load();
+  }
   for (persist::DurableCacheRecord &Rec : Loaded.Records) {
     CachedSolution Value;
     Value.Tree = std::move(Rec.Tree);
@@ -138,13 +142,17 @@ void TreeService::recoverState() {
   // Re-enqueue jobs that were accepted but never answered. Their
   // requesters are gone, so nobody reads the promises — the value of
   // finishing is the durable cache entry the solve will produce.
-  std::vector<persist::PendingJob> Pending = Journal->load();
+  std::vector<persist::PendingJob> Pending;
+  {
+    MutexLock Lock(PersistMu);
+    Pending = Journal->load();
+  }
   std::uint64_t MaxId = 0;
   for (persist::PendingJob &P : Pending) {
     MaxId = std::max(MaxId, P.Id);
     std::optional<Request> Req = decodeRequest(P.EncodedRequest);
     if (!Req || Req->V != Verb::Build) {
-      std::lock_guard<std::mutex> Lock(PersistMu);
+      MutexLock Lock(PersistMu);
       Journal->completed(P.Id);
       continue;
     }
@@ -158,7 +166,7 @@ void TreeService::recoverState() {
     obs::log(obs::LogLevel::Info, "service", "re-enqueued interrupted job")
         .kv("journal_id", P.Id);
     if (!Queue.push(std::move(J))) {
-      std::lock_guard<std::mutex> Lock(PersistMu);
+      MutexLock Lock(PersistMu);
       Journal->completed(P.Id);
       continue;
     }
@@ -179,7 +187,7 @@ void TreeService::persistSolution(std::uint64_t Key,
   Rec.Tree = Value.Tree;
   Rec.Cost = Value.Cost;
   Rec.Exact = Value.Exact;
-  std::lock_guard<std::mutex> Lock(PersistMu);
+  MutexLock Lock(PersistMu);
   Store->append(Rec, Options.SyncWrites);
   if (Options.WalCompactBytes != 0 &&
       Store->walBytes() > Options.WalCompactBytes)
@@ -189,7 +197,7 @@ void TreeService::persistSolution(std::uint64_t Key,
 void TreeService::journalCompleted(std::uint64_t JournalId) {
   if (!Journal || JournalId == 0)
     return;
-  std::lock_guard<std::mutex> Lock(PersistMu);
+  MutexLock Lock(PersistMu);
   Journal->completed(JournalId);
 }
 
@@ -225,7 +233,7 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
     J.JournalId = NextJobId.fetch_add(1, std::memory_order_relaxed);
     std::vector<std::uint8_t> Encoded =
         encodeRequest(makeBuildRequest(J.Request));
-    std::lock_guard<std::mutex> Lock(PersistMu);
+    MutexLock Lock(PersistMu);
     Journal->submitted(J.JournalId, Encoded);
   }
 
@@ -305,7 +313,7 @@ std::string TreeService::statsJson() const {
   Out += "}";
   std::function<std::string()> Cluster;
   {
-    std::lock_guard<std::mutex> Lock(ClusterStatsMu);
+    MutexLock Lock(ClusterStatsMu);
     Cluster = ClusterStats;
   }
   if (Cluster)
@@ -317,7 +325,7 @@ std::string TreeService::statsJson() const {
 }
 
 void TreeService::stop() {
-  std::lock_guard<std::mutex> Lock(StopMu);
+  MutexLock Lock(StopMu);
   if (Stopping.exchange(true, std::memory_order_acq_rel)) {
     // Already stopped (or stopping on another thread holding the lock
     // first); workers are joined below only once.
@@ -341,7 +349,7 @@ void TreeService::stop() {
   // requesters get the same answer as queued jobs.
   std::unordered_map<std::uint64_t, Job> Leftover;
   {
-    std::lock_guard<std::mutex> LentLock(LentMu);
+    MutexLock LentLock(LentMu);
     Leftover.swap(Lent);
   }
   for (auto &[Token, J] : Leftover) {
@@ -359,13 +367,13 @@ void TreeService::stop() {
   if (Store) {
     // Shutdown compaction folds the WAL into the snapshot so the next
     // start replays one file and an empty log.
-    std::lock_guard<std::mutex> PLock(PersistMu);
+    MutexLock PLock(PersistMu);
     Store->compact(toDurableRecords(Cache.entries()));
   }
 }
 
 void TreeService::setClusterStats(std::function<std::string()> Fn) {
-  std::lock_guard<std::mutex> Lock(ClusterStatsMu);
+  MutexLock Lock(ClusterStatsMu);
   ClusterStats = std::move(Fn);
 }
 
@@ -375,7 +383,7 @@ std::optional<TreeService::LentJob> TreeService::lendQueuedJob() {
     return std::nullopt;
   LentJob Out;
   Out.EncodedRequest = encodeRequest(makeBuildRequest(J->Request));
-  std::lock_guard<std::mutex> Lock(LentMu);
+  MutexLock Lock(LentMu);
   Out.Token = NextLentToken++;
   Lent.emplace(Out.Token, std::move(*J));
   return Out;
@@ -385,7 +393,7 @@ bool TreeService::completeLentJob(std::uint64_t Token,
                                   BuildResponse Response) {
   Job J;
   {
-    std::lock_guard<std::mutex> Lock(LentMu);
+    MutexLock Lock(LentMu);
     auto It = Lent.find(Token);
     if (It == Lent.end())
       return false;
@@ -413,7 +421,7 @@ bool TreeService::completeLentJob(std::uint64_t Token,
 bool TreeService::reenqueueLentJob(std::uint64_t Token) {
   Job J;
   {
-    std::lock_guard<std::mutex> Lock(LentMu);
+    MutexLock Lock(LentMu);
     auto It = Lent.find(Token);
     if (It == Lent.end())
       return false;
@@ -437,7 +445,7 @@ bool TreeService::reenqueueLentJob(std::uint64_t Token) {
 }
 
 std::size_t TreeService::lentJobCount() const {
-  std::lock_guard<std::mutex> Lock(LentMu);
+  MutexLock Lock(LentMu);
   return Lent.size();
 }
 

@@ -30,6 +30,7 @@
 #include "service/Protocol.h"
 #include "service/ResultCache.h"
 #include "service/ServiceStats.h"
+#include "support/Mutex.h"
 
 #include <chrono>
 #include <functional>
@@ -230,14 +231,19 @@ private:
   ServiceCounters Counters;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};
-  std::mutex StopMu;
+  /// Serializes whole `stop()` runs; the outermost service lock
+  /// (ordered before the queue, persist, lent and cache-shard locks it
+  /// reaches while draining).
+  Mutex StopMu{"service.stop"};
 
   /// Persistence (null when `Options.StateDir` is empty). `PersistMu`
   /// serializes every durable append/compaction — the WAL classes are
-  /// not thread-safe and workers store concurrently.
-  std::unique_ptr<persist::CacheStore> Store;
-  std::unique_ptr<persist::JobJournal> Journal;
-  std::mutex PersistMu;
+  /// not thread-safe and workers store concurrently. The pointers are
+  /// set once before the workers exist; the streams behind them are the
+  /// guarded state.
+  std::unique_ptr<persist::CacheStore> Store MUTK_PT_GUARDED_BY(PersistMu);
+  std::unique_ptr<persist::JobJournal> Journal MUTK_PT_GUARDED_BY(PersistMu);
+  Mutex PersistMu{"service.persist"};
   std::atomic<std::uint64_t> NextJobId{1};
   BlockCheckpointHooks CheckpointHooks;
 
@@ -245,11 +251,11 @@ private:
   /// `setDistCache`); `Lent` holds the promises of jobs peers are
   /// solving, keyed by loan token.
   std::atomic<DistCache *> Remote{nullptr};
-  mutable std::mutex ClusterStatsMu;
-  std::function<std::string()> ClusterStats;
-  mutable std::mutex LentMu;
-  std::unordered_map<std::uint64_t, Job> Lent;
-  std::uint64_t NextLentToken = 1;
+  mutable Mutex ClusterStatsMu{"service.clusterstats"};
+  std::function<std::string()> ClusterStats MUTK_GUARDED_BY(ClusterStatsMu);
+  mutable Mutex LentMu{"service.lent"};
+  std::unordered_map<std::uint64_t, Job> Lent MUTK_GUARDED_BY(LentMu);
+  std::uint64_t NextLentToken MUTK_GUARDED_BY(LentMu) = 1;
   std::atomic<std::uint64_t> InFlightJobs{0};
 };
 

@@ -1,0 +1,127 @@
+//===- support/LockOrder.cpp - Runtime lock-order auditor ------------------===//
+
+#include "support/LockOrder.h"
+
+#if MUTK_AUDIT_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace mutk::lockorder {
+namespace {
+
+/// One entry of a thread's acquisition stack. Plain-old-data on purpose:
+/// the storage survives thread_local destruction order, so a lock taken
+/// during static teardown cannot touch a dead vector.
+struct HeldLock {
+  const void *Lk;
+  const char *Name;
+};
+
+/// Deeper nesting than this is itself a discipline bug.
+constexpr int MaxHeld = 64;
+
+thread_local HeldLock Held[MaxHeld];
+thread_local int HeldDepth = 0;
+
+/// The learned pairwise order: (Before, After) -> the acquisition stack
+/// of the thread that first established it. Guarded by a raw std::mutex
+/// (the auditor cannot hook itself); allowlisted in lint.sh layer 4.
+struct EdgeTable {
+  std::mutex Mu;
+  std::map<std::pair<std::string, std::string>, std::string> Edges;
+};
+
+EdgeTable &table() {
+  static EdgeTable T;
+  return T;
+}
+
+/// "a -> b -> c" over the named locks this thread holds, ending in the
+/// lock being acquired.
+std::string stackString(const char *Acquiring) {
+  std::string Out;
+  for (int I = 0; I < HeldDepth; ++I) {
+    if (!Held[I].Name)
+      continue;
+    Out += Held[I].Name;
+    Out += " -> ";
+  }
+  Out += Acquiring;
+  return Out;
+}
+
+[[noreturn]] void inversionFailure(const char *Acquiring, const char *Over,
+                                   const std::string &Current,
+                                   const std::string &Learned) {
+  // One summary line first (machine-greppable, matched by the death
+  // tests), then the two acquisition stacks.
+  std::fprintf(stderr,
+               "MUTK AUDIT FAILED: lock-order inversion: acquiring '%s' while "
+               "holding '%s' | this thread: %s | established order: %s\n",
+               Acquiring, Over, Current.c_str(), Learned.c_str());
+  std::fprintf(stderr, "  this thread acquired:   %s\n", Current.c_str());
+  std::fprintf(stderr, "  earlier thread acquired: %s\n", Learned.c_str());
+  std::fprintf(stderr, "  (see docs/development.md, 'Lock hierarchy and "
+                       "thread-safety annotations')\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace
+
+void noteAcquire(const void *Lk, const char *Name, bool Blocking) {
+  if (HeldDepth >= MaxHeld) {
+    std::fprintf(stderr,
+                 "MUTK AUDIT FAILED: lock nesting exceeds %d acquiring '%s'\n",
+                 MaxHeld, Name ? Name : "<unnamed>");
+    std::fflush(stderr);
+    std::abort();
+  }
+  // Ordering applies to named locks nested under other named locks; the
+  // common case (first/only lock, or an unnamed one) skips the table.
+  bool NamedHeld = false;
+  for (int I = 0; I < HeldDepth && !NamedHeld; ++I)
+    NamedHeld = Held[I].Name != nullptr;
+  if (Name && NamedHeld) {
+    const std::string Current = stackString(Name);
+    EdgeTable &T = table();
+    std::lock_guard<std::mutex> Lock(T.Mu);
+    for (int I = 0; I < HeldDepth; ++I) {
+      const char *Outer = Held[I].Name;
+      if (!Outer || std::strcmp(Outer, Name) == 0)
+        continue;
+      if (Blocking) {
+        auto Reverse = T.Edges.find({Name, Outer});
+        if (Reverse != T.Edges.end())
+          inversionFailure(Name, Outer, Current, Reverse->second);
+      }
+      T.Edges.try_emplace({Outer, Name}, Current);
+    }
+  }
+  Held[HeldDepth++] = {Lk, Name};
+}
+
+void noteRelease(const void *Lk) {
+  for (int I = HeldDepth - 1; I >= 0; --I) {
+    if (Held[I].Lk != Lk)
+      continue;
+    for (int J = I; J + 1 < HeldDepth; ++J)
+      Held[J] = Held[J + 1];
+    --HeldDepth;
+    return;
+  }
+  // Unknown release: the lock was acquired before this thread's stack
+  // existed (static init) or past MaxHeld. Harmless either way.
+}
+
+int heldDepth() { return HeldDepth; }
+
+} // namespace mutk::lockorder
+
+#endif // MUTK_AUDIT_ENABLED

@@ -1,0 +1,58 @@
+//===- support/LockOrder.h - Runtime lock-order auditor ---------*- C++ -*-===//
+///
+/// \file
+/// Debug-only (`MUTK_ENABLE_AUDIT`) runtime complement to the static
+/// thread-safety annotations: a per-thread acquisition-stack tracker
+/// that *learns* pairwise lock ordering as the process runs and aborts
+/// the moment any thread acquires two named locks in the opposite order
+/// of a pairing seen before — i.e. the instant a deadlock becomes
+/// *possible*, not the (rare, schedule-dependent) instant it happens.
+///
+/// `mutk::Mutex` (support/Mutex.h) calls these hooks from lock/unlock;
+/// nothing else should. Rules:
+///
+///  * Only *named* mutexes participate in ordering (names are class
+///    level: every `"cluster.link"` is one rank). Unnamed mutexes are
+///    tracked as held but impose no order.
+///  * Same-name pairs are exempt: per-key locks of one registry (the
+///    `"singleflight.slot"` family) are unordered among themselves by
+///    design — one thread never blocks on two slots of one registry.
+///  * Non-blocking acquisitions (`try_lock`) record the edges they
+///    establish but are never condemned: a try can't deadlock.
+///
+/// On an inversion the report carries both acquisition stacks — the
+/// current thread's and the one recorded when the opposite edge was
+/// learned — and aborts with the `MUTK AUDIT FAILED` banner so death
+/// tests and CI triage treat it like any other audit. The documented
+/// hierarchy the auditor ends up enforcing lives in docs/development.md
+/// ("Lock hierarchy and thread-safety annotations").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_LOCKORDER_H
+#define MUTK_SUPPORT_LOCKORDER_H
+
+#include "support/Audit.h"
+
+namespace mutk::lockorder {
+
+#if MUTK_AUDIT_ENABLED
+
+/// Called immediately before blocking on \p Lk (or after a successful
+/// try_lock, with \p Blocking false). Checks the learned edge table for
+/// an inversion against every lock this thread holds, records the new
+/// edges, and pushes \p Lk onto the thread's acquisition stack.
+void noteAcquire(const void *Lk, const char *Name, bool Blocking);
+
+/// Pops \p Lk from the thread's acquisition stack (out-of-order release
+/// is fine; the entry is removed wherever it sits).
+void noteRelease(const void *Lk);
+
+/// Locks this thread currently holds (test hook).
+int heldDepth();
+
+#endif // MUTK_AUDIT_ENABLED
+
+} // namespace mutk::lockorder
+
+#endif // MUTK_SUPPORT_LOCKORDER_H

@@ -1,0 +1,188 @@
+//===- support/Mutex.h - Annotated locking primitives -----------*- C++ -*-===//
+///
+/// \file
+/// The repo's locking vocabulary: `std::mutex`-family primitives wrapped
+/// so they (a) carry Clang Thread Safety Analysis capability attributes
+/// (support/ThreadAnnotations.h) and (b) feed the debug-only lock-order
+/// auditor (support/LockOrder.h). Raw `std::mutex` / `std::shared_mutex`
+/// / `std::condition_variable` members are banned under src/ by
+/// scripts/lint.sh layer 4 — a raw mutex cannot carry a capability, so
+/// fields it guards would be invisible to `-Wthread-safety`.
+///
+///  * `Mutex` — a named capability. The name is *class level* (every
+///    instance of `"cluster.link"` shares one rank in the lock
+///    hierarchy); it is what the auditor orders and what inversion
+///    reports print. Leave a mutex unnamed only when it is a leaf that
+///    never nests (the auditor then ignores it).
+///  * `MutexLock` — the scoped capability used at every call site,
+///    relockable (`unlock()` / `lock()`) for the wait-loop and
+///    drop-for-slow-work patterns.
+///  * `CondVar` — condition variable bound to `MutexLock`. There are
+///    deliberately no predicate-lambda overloads: TSA analyzes lambda
+///    bodies as lock-free functions, so predicates reading guarded
+///    fields would warn. Write the standard explicit loop instead:
+///    `while (!cond) Cv.wait(Lock);`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_MUTEX_H
+#define MUTK_SUPPORT_MUTEX_H
+
+#include "support/LockOrder.h"
+#include "support/ThreadAnnotations.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace mutk {
+
+/// An annotated, optionally named mutual-exclusion capability.
+class MUTK_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  /// \p Name must be a string literal (stored, not copied); it ranks
+  /// this mutex in the documented lock hierarchy.
+  explicit Mutex(const char *Name) : Name(Name) {}
+
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() MUTK_ACQUIRE() {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteAcquire(this, Name, /*Blocking=*/true);
+#endif
+    M.lock();
+  }
+
+  bool try_lock() MUTK_TRY_ACQUIRE(true) {
+    if (!M.try_lock())
+      return false;
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteAcquire(this, Name, /*Blocking=*/false);
+#endif
+    return true;
+  }
+
+  void unlock() MUTK_RELEASE() {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteRelease(this);
+#endif
+    M.unlock();
+  }
+
+  /// The wrapped mutex, for `MutexLock`'s condition-variable plumbing.
+  std::mutex &native() { return M; }
+
+  const char *name() const { return Name; }
+
+private:
+  std::mutex M;
+  const char *Name = nullptr;
+};
+
+/// RAII lock over `Mutex`; the scoped capability TSA tracks. Relock
+/// support (`-Wthread-safety-beta`) covers loops that drop the lock for
+/// slow work and re-take it.
+class MUTK_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) MUTK_ACQUIRE(M)
+      : Parent(&M), Inner(M.native(), std::defer_lock) {
+    lockImpl();
+  }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+  ~MutexLock() MUTK_RELEASE() {
+    if (Inner.owns_lock())
+      unlockImpl();
+  }
+
+  /// Re-acquire after `unlock()`.
+  void lock() MUTK_ACQUIRE() { lockImpl(); }
+
+  /// Drop the lock early (slow work, or handing off before a join).
+  void unlock() MUTK_RELEASE() { unlockImpl(); }
+
+private:
+  friend class CondVar;
+
+  void lockImpl() {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteAcquire(Parent, Parent->name(), /*Blocking=*/true);
+#endif
+    Inner.lock();
+  }
+
+  void unlockImpl() {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteRelease(Parent);
+#endif
+    Inner.unlock();
+  }
+
+  Mutex *Parent;
+  std::unique_lock<std::mutex> Inner;
+};
+
+/// Condition variable over `Mutex`/`MutexLock`. Waits keep the caller's
+/// capability from TSA's point of view (the release/re-acquire inside
+/// is invisible and sound: the caller owns the lock before and after);
+/// the auditor is told about it so the thread's acquisition stack stays
+/// truthful while blocked.
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  void wait(MutexLock &Lock) {
+    beforeWait(Lock);
+    Cv.wait(Lock.Inner);
+    afterWait(Lock);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status
+  waitUntil(MutexLock &Lock,
+            const std::chrono::time_point<Clock, Duration> &Deadline) {
+    beforeWait(Lock);
+    std::cv_status Status = Cv.wait_until(Lock.Inner, Deadline);
+    afterWait(Lock);
+    return Status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status waitFor(MutexLock &Lock,
+                         const std::chrono::duration<Rep, Period> &Dur) {
+    return waitUntil(Lock, std::chrono::steady_clock::now() + Dur);
+  }
+
+  void notify_one() { Cv.notify_one(); }
+  void notify_all() { Cv.notify_all(); }
+
+private:
+  static void beforeWait(MutexLock &Lock) {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteRelease(Lock.Parent);
+#else
+    (void)Lock;
+#endif
+  }
+
+  static void afterWait(MutexLock &Lock) {
+#if MUTK_AUDIT_ENABLED
+    lockorder::noteAcquire(Lock.Parent, Lock.Parent->name(),
+                           /*Blocking=*/true);
+#else
+    (void)Lock;
+#endif
+  }
+
+  std::condition_variable Cv;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SUPPORT_MUTEX_H

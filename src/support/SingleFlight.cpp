@@ -4,10 +4,14 @@
 
 using namespace mutk;
 
-KeyedMutex::Guard KeyedMutex::lock(std::uint64_t Key, bool *Contended) {
+// Which slot a thread ends up holding is runtime data; the registry-wide
+// capability is attributed at the interface (`MUTK_ACQUIRE(*this)`) and
+// the body is exempt from analysis.
+KeyedMutex::Guard KeyedMutex::lock(std::uint64_t Key, bool *Contended)
+    MUTK_NO_THREAD_SAFETY_ANALYSIS {
   Slot *S = nullptr;
   {
-    std::lock_guard<std::mutex> Lock(MapMu);
+    MutexLock Lock(MapMu);
     std::unique_ptr<Slot> &Entry = Slots[Key];
     if (!Entry)
       Entry = std::make_unique<Slot>();
@@ -28,13 +32,15 @@ KeyedMutex::Guard KeyedMutex::lock(std::uint64_t Key, bool *Contended) {
 }
 
 void KeyedMutex::unlock(Slot *S, std::uint64_t Key) {
+  // The slot is released *before* MapMu is taken, so the two are never
+  // nested and a blocked lock() can proceed immediately.
   S->Mu.unlock();
-  std::lock_guard<std::mutex> Lock(MapMu);
+  MutexLock Lock(MapMu);
   if (--S->Refs == 0)
     Slots.erase(Key);
 }
 
-void KeyedMutex::Guard::release() {
+void KeyedMutex::Guard::release() MUTK_NO_THREAD_SAFETY_ANALYSIS {
   if (!Held)
     return;
   Parent->unlock(Held, Key);
@@ -43,6 +49,6 @@ void KeyedMutex::Guard::release() {
 }
 
 std::size_t KeyedMutex::liveSlots() const {
-  std::lock_guard<std::mutex> Lock(MapMu);
+  MutexLock Lock(MapMu);
   return Slots.size();
 }

@@ -13,14 +13,23 @@
 /// waiter releases, so the registry's footprint is bounded by the number
 /// of keys *currently* contended, not ever seen.
 ///
+/// Thread-safety analysis: the registry as a whole is one capability and
+/// `Guard` is its scoped capability, so `-Wthread-safety` checks that
+/// every `lock()` is balanced by a release. Which *key* a guard holds is
+/// runtime data the static analysis cannot see — the internal slot
+/// bookkeeping is therefore `MUTK_NO_THREAD_SAFETY_ANALYSIS` and the
+/// per-key exclusion itself is covered by the TSan stress tests instead.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MUTK_SUPPORT_SINGLEFLIGHT_H
 #define MUTK_SUPPORT_SINGLEFLIGHT_H
 
+#include "support/Mutex.h"
+#include "support/ThreadAnnotations.h"
+
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 namespace mutk {
@@ -28,9 +37,13 @@ namespace mutk {
 /// Mutual exclusion per 64-bit key. `lock(K)` blocks while another
 /// thread holds `K`; different keys never contend (beyond the brief
 /// registry lookup).
-class KeyedMutex {
+class MUTK_CAPABILITY("mutex") KeyedMutex {
   struct Slot {
-    std::mutex Mu;
+    /// Same class-level name for every slot of every registry: per-key
+    /// locks are unordered among themselves by design (one thread never
+    /// blocks on two slots of one registry), and the lock-order auditor
+    /// exempts same-name pairs.
+    Mutex Mu{"singleflight.slot"};
     /// Holders + waiters with a live reference; guarded by the
     /// registry's `MapMu`. The slot is erased when this drops to zero.
     int Refs = 0;
@@ -38,11 +51,20 @@ class KeyedMutex {
 
 public:
   /// RAII ownership of one key's lock.
-  class Guard {
+  class MUTK_SCOPED_CAPABILITY Guard {
   public:
     Guard() = default;
-    Guard(Guard &&Other) noexcept { *this = std::move(Other); }
-    Guard &operator=(Guard &&Other) noexcept {
+    // The move operations shuffle slot ownership between objects, which
+    // the static analysis cannot model (see the file comment).
+    Guard(Guard &&Other) noexcept MUTK_NO_THREAD_SAFETY_ANALYSIS {
+      *this = std::move(Other);
+    }
+    Guard &operator=(Guard &&Other) noexcept MUTK_NO_THREAD_SAFETY_ANALYSIS {
+      // Self-move must be a no-op: releasing first and then reading
+      // `Other`'s fields would unlock the slot and resurrect a stale
+      // handle to it.
+      if (this == &Other)
+        return *this;
       release();
       Parent = Other.Parent;
       Held = Other.Held;
@@ -53,14 +75,14 @@ public:
     }
     Guard(const Guard &) = delete;
     Guard &operator=(const Guard &) = delete;
-    ~Guard() { release(); }
+    ~Guard() MUTK_RELEASE() { release(); }
 
     /// True when this guard holds a key (default-constructed guards
     /// hold nothing).
     explicit operator bool() const { return Held != nullptr; }
 
     /// Unlocks early (idempotent).
-    void release();
+    void release() MUTK_RELEASE();
 
   private:
     friend class KeyedMutex;
@@ -76,17 +98,18 @@ public:
   /// it. When \p Contended is non-null it is set to true iff the lock
   /// was not immediately available (the caller waited on another
   /// holder) — the pipeline counts those as single-flight waits.
-  Guard lock(std::uint64_t Key, bool *Contended = nullptr);
+  Guard lock(std::uint64_t Key, bool *Contended = nullptr) MUTK_ACQUIRE(*this);
 
   /// Number of live slots (contended or held keys); for tests.
   std::size_t liveSlots() const;
 
 private:
   friend class Guard;
-  void unlock(Slot *S, std::uint64_t Key);
+  void unlock(Slot *S, std::uint64_t Key) MUTK_NO_THREAD_SAFETY_ANALYSIS;
 
-  mutable std::mutex MapMu;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Slot>> Slots;
+  mutable Mutex MapMu{"singleflight.map"};
+  std::unordered_map<std::uint64_t, std::unique_ptr<Slot>> Slots
+      MUTK_GUARDED_BY(MapMu);
 };
 
 } // namespace mutk

@@ -1,0 +1,91 @@
+//===- support/ThreadAnnotations.h - Clang TSA attribute macros -*- C++ -*-===//
+///
+/// \file
+/// Macro family for Clang Thread Safety Analysis (TSA). Under clang the
+/// macros expand to the `capability` attribute set, so a build with
+/// `-DMUTK_THREAD_SAFETY=ON` (`-Wthread-safety -Wthread-safety-beta
+/// -Werror=thread-safety-analysis`, see the `thread-safety` preset)
+/// type-checks the lock protocol at compile time: which mutex guards
+/// which field, which functions must (or must not) be entered with a
+/// lock held, and which scopes acquire and release. Under any other
+/// compiler every macro expands to nothing, so the annotations are free
+/// documentation.
+///
+/// The annotated lock types themselves — `mutk::Mutex`, `MutexLock`,
+/// `CondVar` — live in support/Mutex.h; raw `std::mutex` members cannot
+/// carry a capability and are rejected by scripts/lint.sh layer 4.
+/// docs/development.md ("Lock hierarchy and thread-safety annotations")
+/// explains how to read the diagnostics and when to use `MUTK_REQUIRES`
+/// versus `MUTK_EXCLUDES`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SUPPORT_THREADANNOTATIONS_H
+#define MUTK_SUPPORT_THREADANNOTATIONS_H
+
+#if defined(__clang__)
+#define MUTK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MUTK_THREAD_ANNOTATION(x) // no-op: TSA is clang-only
+#endif
+
+/// Marks a class as a lockable capability (mutexes, the keyed-mutex
+/// registry). The string names the capability kind in diagnostics.
+#define MUTK_CAPABILITY(x) MUTK_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (`MutexLock`, `KeyedMutex::Guard`).
+#define MUTK_SCOPED_CAPABILITY MUTK_THREAD_ANNOTATION(scoped_lockable)
+
+/// A data member readable/writable only with the capability held.
+#define MUTK_GUARDED_BY(x) MUTK_THREAD_ANNOTATION(guarded_by(x))
+
+/// A pointer member whose *pointee* is protected by the capability (the
+/// pointer itself may be read freely, e.g. set-once in `start()`).
+#define MUTK_PT_GUARDED_BY(x) MUTK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declared lock-ordering constraints (checked statically by TSA; the
+/// runtime auditor in support/LockOrder.h learns the same facts).
+#define MUTK_ACQUIRED_BEFORE(...)                                            \
+  MUTK_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MUTK_ACQUIRED_AFTER(...)                                             \
+  MUTK_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The caller must already hold the capability (`...Locked()` helpers).
+#define MUTK_REQUIRES(...)                                                   \
+  MUTK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MUTK_REQUIRES_SHARED(...)                                            \
+  MUTK_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires/releases the capability itself.
+#define MUTK_ACQUIRE(...)                                                    \
+  MUTK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MUTK_ACQUIRE_SHARED(...)                                             \
+  MUTK_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MUTK_RELEASE(...)                                                    \
+  MUTK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MUTK_RELEASE_SHARED(...)                                             \
+  MUTK_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the capability; the first argument is the
+/// return value that signals success.
+#define MUTK_TRY_ACQUIRE(...)                                                \
+  MUTK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock documentation for
+/// functions that acquire it internally).
+#define MUTK_EXCLUDES(...) MUTK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by TSA).
+#define MUTK_ASSERT_CAPABILITY(x) MUTK_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define MUTK_RETURN_CAPABILITY(x) MUTK_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code TSA cannot model (the keyed-mutex internals,
+/// where the capability identity is runtime data). Every use carries a
+/// comment saying why.
+#define MUTK_NO_THREAD_SAFETY_ANALYSIS                                       \
+  MUTK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // MUTK_SUPPORT_THREADANNOTATIONS_H

@@ -194,6 +194,21 @@ TEST(KeyedMutex, GuardMoveTransfersOwnership) {
   EXPECT_EQ(Km.liveSlots(), 0u);
 }
 
+TEST(KeyedMutex, GuardSelfMoveIsANoOp) {
+  KeyedMutex Km;
+  KeyedMutex::Guard A = Km.lock(9);
+  // A self-move must keep the slot held: a release-then-read-fields
+  // implementation would unlock it and leave A as a dangling handle
+  // whose destructor unlocks again.
+  KeyedMutex::Guard &Alias = A;
+  A = std::move(Alias);
+  EXPECT_TRUE(A);
+  EXPECT_EQ(Km.liveSlots(), 1u);
+  A.release();
+  EXPECT_FALSE(A);
+  EXPECT_EQ(Km.liveSlots(), 0u);
+}
+
 TEST(KeyedMutex, SameKeyExcludesDifferentKeysDoNot) {
   KeyedMutex Km;
   std::atomic<int> Inside{0};
