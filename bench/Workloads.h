@@ -16,7 +16,9 @@
 #include "seq/EvolutionSim.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 namespace bench {
@@ -47,6 +49,64 @@ inline mutk::DistanceMatrix hardDnaWorkload(int NumSpecies,
   Spec.SubstitutionRate = 0.5;
   Spec.RateVariation = 1.2;
   return mutk::hmdnaLikeMatrix(NumSpecies, Seed, Spec);
+}
+
+/// Diameter every reusable module is scaled to, and the inter-module
+/// distance used when composing them. Separation > 2 * diameter keeps
+/// each module a compact set of the composition (paper §2, Definition 3)
+/// and makes the composition ultrametric whenever the modules are.
+inline constexpr double ModuleDiameter = 20.0;
+inline constexpr double ModuleSeparation = 80.0;
+
+/// A reusable "module": a small ultrametric matrix identified by
+/// (Size, Seed) and scaled to `ModuleDiameter`. The same module embedded
+/// in different compositions condenses to byte-identical blocks, so its
+/// fingerprint — and its block-cache entry — is shared across requests.
+inline mutk::DistanceMatrix moduleWorkload(int Size, std::uint64_t Seed) {
+  return mutk::scaledToMax(mutk::randomUltrametricMatrix(Size, Seed),
+                           ModuleDiameter);
+}
+
+/// A module with no internal compact sets at all: distances drawn
+/// uniformly from [0.9, 1.0] * ModuleDiameter. Near-equidistant species
+/// admit no compact subset (every candidate's internal diameter matches
+/// its external distances), so condensation cannot split the module and
+/// branch-and-bound prunes poorly — each hard module costs one genuine
+/// solve, the regime where replaying a cached block subtree saves real
+/// work.
+inline mutk::DistanceMatrix hardModuleWorkload(int Size, std::uint64_t Seed) {
+  return mutk::scaledToMax(
+      mutk::uniformRandomMetric(Size, Seed, 0.9 * ModuleDiameter,
+                                ModuleDiameter),
+      ModuleDiameter);
+}
+
+/// Composes the given (Size, Seed) modules block-diagonally, with every
+/// cross-module distance equal to `ModuleSeparation`. The result is a
+/// metric (ultrametric when every module is), and under Maximum
+/// condensation each module is recovered as one compact-set block whose
+/// condensed matrix depends only on that module — not on which
+/// composition it appears in. \p Module selects the module constructor
+/// (`moduleWorkload` or `hardModuleWorkload`).
+inline mutk::DistanceMatrix composeModules(
+    const std::vector<std::pair<int, std::uint64_t>> &Modules,
+    mutk::DistanceMatrix (*Module)(int, std::uint64_t) = &moduleWorkload) {
+  int Total = 0;
+  for (const auto &Spec : Modules)
+    Total += Spec.first;
+  mutk::DistanceMatrix Out(Total);
+  for (int I = 0; I < Total; ++I)
+    for (int J = I + 1; J < Total; ++J)
+      Out.set(I, J, ModuleSeparation);
+  int Offset = 0;
+  for (const auto &Spec : Modules) {
+    mutk::DistanceMatrix Block = Module(Spec.first, Spec.second);
+    for (int I = 0; I < Block.size(); ++I)
+      for (int J = I + 1; J < Block.size(); ++J)
+        Out.set(Offset + I, Offset + J, Block.at(I, J));
+    Offset += Spec.first;
+  }
+  return Out;
 }
 
 /// Safety cap so no single "without compact sets" solve can run away;

@@ -18,7 +18,7 @@
 // Build options:
 //   --condense {max|min|avg}  --three-three {none|third|all}
 //   --max-exact N  --budget NODES  --deadline MILLIS  --no-cache
-//   --polish  --json
+//   --polish  --incremental  --json
 // Connection options:
 //   --retries N      retry a failed connect up to N times (default 0)
 //   --backoff-ms MS  initial retry delay, doubled per attempt and
@@ -49,7 +49,7 @@ int usage(const char *Argv0) {
       "        | --stats [--json] | --ping | --shutdown)\n"
       "       [--condense max|min|avg] [--three-three none|third|all]\n"
       "       [--max-exact N] [--budget NODES] [--deadline MS]\n"
-      "       [--no-cache] [--polish] [--json]\n"
+      "       [--no-cache] [--polish] [--incremental] [--json]\n"
       "       [--retries N] [--backoff-ms MS]\n",
       Argv0);
   return 1;
@@ -75,12 +75,16 @@ void printBuildJson(const BuildResponse &R) {
   }
   std::printf("\"cost\":%.10g,\"exact\":%s,\"cache_hit\":%s,"
               "\"block_cache_hits\":%u,\"branched\":%llu,"
+              "\"incremental\":%s,\"dirty_blocks\":%u,\"clean_blocks\":%u,"
+              "\"taxa_added\":%d,\"taxa_removed\":%d,\"entries_changed\":%d,"
               "\"queue_ms\":%.3f,\"solve_ms\":%.3f,"
               "\"blocks\":%zu,\"newick\":\"%s\"}\n",
               R.Cost, R.Exact ? "true" : "false",
               R.CacheHit ? "true" : "false", R.BlockCacheHits,
-              static_cast<unsigned long long>(R.Branched), R.QueueMillis,
-              R.SolveMillis, R.Blocks.size(),
+              static_cast<unsigned long long>(R.Branched),
+              R.IncrementalApplied ? "true" : "false", R.DirtyBlocks,
+              R.CleanBlocks, R.TaxaAdded, R.TaxaRemoved, R.EntriesChanged,
+              R.QueueMillis, R.SolveMillis, R.Blocks.size(),
               jsonEscape(R.Newick).c_str());
 }
 
@@ -141,6 +145,8 @@ int main(int argc, char **argv) {
       Request.UseCache = false;
     else if (Arg == "--polish")
       Request.Polish = true;
+    else if (Arg == "--incremental")
+      Request.Incremental = true;
     else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--ping")
@@ -238,7 +244,9 @@ int main(int argc, char **argv) {
     }
     std::printf("accepted:     %llu\ncompleted:    %llu\nfailed:       "
                 "%llu\nwhole cache:  %llu hits / %llu misses\nblock cache: "
-                " %llu hits / %llu misses\ndeadline:     %llu expired\n"
+                " %llu hits / %llu misses (%llu remote)\nincremental: "
+                " %llu applied, %llu dirty / %llu clean blocks\n"
+                "deadline:     %llu expired\n"
                 "rejected:     %llu\nqueue depth:  %llu\ncache size:   "
                 "%llu\nlatency:      p50 %.2fms p95 %.2fms\n",
                 static_cast<unsigned long long>(S->Accepted),
@@ -248,6 +256,10 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S->WholeMisses),
                 static_cast<unsigned long long>(S->BlockHits),
                 static_cast<unsigned long long>(S->BlockMisses),
+                static_cast<unsigned long long>(S->BlockRemoteHits),
+                static_cast<unsigned long long>(S->IncrementalApplied),
+                static_cast<unsigned long long>(S->IncrementalDirty),
+                static_cast<unsigned long long>(S->IncrementalClean),
                 static_cast<unsigned long long>(S->DeadlineExpired),
                 static_cast<unsigned long long>(S->Rejected),
                 static_cast<unsigned long long>(S->QueueDepth),
@@ -296,6 +308,11 @@ int main(int argc, char **argv) {
   std::printf("cache:    %s, %u block hit(s)\n",
               Resp->CacheHit ? "whole-matrix hit" : "miss",
               Resp->BlockCacheHits);
+  if (Resp->IncrementalApplied)
+    std::printf("incr:     base matched (+%d/-%d taxa, %d entries changed), "
+                "%u dirty / %u clean blocks\n",
+                Resp->TaxaAdded, Resp->TaxaRemoved, Resp->EntriesChanged,
+                Resp->DirtyBlocks, Resp->CleanBlocks);
   std::printf("time:     %.3fms queued + %.3fms solve, branched %llu\n",
               Resp->QueueMillis, Resp->SolveMillis,
               static_cast<unsigned long long>(Resp->Branched));

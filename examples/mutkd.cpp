@@ -12,6 +12,7 @@
 //         [--workers N] [--queue N] [--cache N] [--max-species N]
 //         [--block-solver seq|threaded|cluster]
 //         [--block-concurrency N] [--threads-per-block N]
+//         [--incremental [--incremental-bases N]]
 //         [--stats-dump PATH [--stats-interval SEC]]
 //         [--state-dir DIR]
 //         [--cluster-id N --cluster-peers host:port,host:port,...
@@ -69,6 +70,7 @@ int usage(const char *Argv0) {
                " [--max-species N]\n"
                "       [--block-solver seq|threaded|cluster]\n"
                "       [--block-concurrency N] [--threads-per-block N]\n"
+               "       [--incremental [--incremental-bases N]]\n"
                "       [--stats-dump PATH [--stats-interval SEC]]"
                " [--state-dir DIR]\n"
                "       [--cluster-id N --cluster-peers HOST:PORT,...]\n"
@@ -210,6 +212,11 @@ int main(int argc, char **argv) {
       Options.BlockConcurrency = std::max(0, std::atoi(V));
     else if (Arg == "--threads-per-block" && (V = next()))
       Options.ThreadsPerBlock = std::max(0, std::atoi(V));
+    else if (Arg == "--incremental")
+      Options.Incremental = true;
+    else if (Arg == "--incremental-bases" && (V = next()))
+      Options.IncrementalBases =
+          static_cast<std::size_t>(std::max(1, std::atoi(V)));
     else if (Arg == "--stats-dump" && (V = next()))
       StatsDumpPath = V;
     else if (Arg == "--stats-interval" && (V = next()))
@@ -324,6 +331,7 @@ int main(int argc, char **argv) {
       .kv("max_species", Options.MaxSpecies)
       .kv("block_concurrency", Options.BlockConcurrency)
       .kv("threads_per_block", Options.ThreadsPerBlock)
+      .kv("incremental", Options.Incremental ? "on" : "off")
       .kv("build", buildFlavor())
       .kv("stats_dump",
           StatsDumpPath.empty() ? std::string("off") : StatsDumpPath)
@@ -369,6 +377,8 @@ int main(int argc, char **argv) {
       .kv("whole_misses", S.WholeMisses)
       .kv("block_hits", S.BlockHits)
       .kv("block_misses", S.BlockMisses)
+      .kv("block_remote_hits", S.BlockRemoteHits)
+      .kv("incremental_applied", S.IncrementalApplied)
       .kv("p50_ms", S.P50Millis)
       .kv("p95_ms", S.P95Millis);
   return 0;

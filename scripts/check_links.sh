@@ -8,8 +8,13 @@
 # mailto) are not fetched; this gate is about the repo staying
 # self-consistent, not about the internet being up.
 #
+# It also fails on *orphaned* documentation: every file under docs/
+# must be the target of at least one link from some other markdown
+# file, so a new document cannot be merged without being reachable
+# from the README or a sibling page.
+#
 # Usage: scripts/check_links.sh
-#   Exits non-zero listing every dangling link.
+#   Exits non-zero listing every dangling link and orphaned doc.
 
 set -u -o pipefail
 
@@ -36,6 +41,32 @@ for md in $(cd "$REPO_ROOT" &&
       FAILED=1
     fi
   done
+done
+
+# Orphan pass: a docs/*.md nobody links to is unreachable documentation.
+# Links counted are [text](...) targets in every other markdown file
+# (any path spelling that ends in the doc's basename) plus backtick
+# references like `docs/service.md` in the README's prose tables.
+# shellcheck disable=SC2044
+for doc in $(cd "$REPO_ROOT" && find docs -name '*.md' | sort); do
+  base="$(basename "$doc")"
+  linked=0
+  # shellcheck disable=SC2044
+  for md in $(cd "$REPO_ROOT" &&
+              find . -name '*.md' -not -path './build*' -not -path './.git/*'); do
+    md="${md#./}"
+    [ "$md" = "$doc" ] && continue
+    if grep -qE "\]\([^)]*${base}(#[^)]*)?\)|\`(docs/)?${base}\`" \
+         "${REPO_ROOT}/${md}"; then
+      linked=1
+      break
+    fi
+  done
+  if [ "$linked" -eq 0 ]; then
+    printf 'check_links: %s is orphaned (no other markdown links to it)\n' \
+           "$doc" >&2
+    FAILED=1
+  fi
 done
 
 if [ "$FAILED" -ne 0 ]; then

@@ -27,6 +27,7 @@ mutk::dist::encodeCacheEntry(std::uint64_t Key, const CachedSolution &Value) {
   Writer.writeU64(Key);
   Writer.writeF64(Value.Cost);
   Writer.writeU8(Value.Exact ? 1 : 0);
+  Writer.writeU8(Value.Block ? 1 : 0);
   Writer.writeBytes(Value.Bytes);
   writePhyloTree(Writer, Value.Tree);
   return Writer.take();
@@ -38,11 +39,14 @@ mutk::dist::decodeCacheEntry(const std::vector<std::uint8_t> &Body) {
   std::uint64_t Key = 0;
   CachedSolution Value;
   std::uint8_t Exact = 0;
+  std::uint8_t Block = 0;
   if (!Reader.readU64(Key) || !Reader.readF64(Value.Cost) ||
-      !Reader.readU8(Exact) || !Reader.readBytes(Value.Bytes) ||
-      !readPhyloTree(Reader, Value.Tree) || !Reader.atEnd())
+      !Reader.readU8(Exact) || !Reader.readU8(Block) ||
+      !Reader.readBytes(Value.Bytes) || !readPhyloTree(Reader, Value.Tree) ||
+      !Reader.atEnd())
     return std::nullopt;
   Value.Exact = Exact != 0;
+  Value.Block = Block != 0;
   return std::make_pair(Key, std::move(Value));
 }
 
@@ -291,7 +295,8 @@ std::optional<DistFrame> ClusterNode::rpc(int Peer, DistFrame Request) {
 //===----------------------------------------------------------------------===//
 
 std::optional<CachedSolution>
-ClusterNode::lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) {
+ClusterNode::lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes,
+                    CacheTier Tier) {
   if (!Running.load(std::memory_order_acquire))
     return std::nullopt;
   int Owner = ownerOf(Key);
@@ -324,9 +329,10 @@ ClusterNode::lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) {
   }
   std::optional<std::pair<std::uint64_t, CachedSolution>> Entry =
       decodeCacheEntry(Reply->Body);
-  // The peer's entry is trusted no further than a local one: the key
-  // and full canonical identity must match or it is a miss.
-  if (!Entry || Entry->first != Key || Entry->second.Bytes != Bytes) {
+  // The peer's entry is trusted no further than a local one: the key,
+  // full canonical identity and namespace must match or it is a miss.
+  if (!Entry || Entry->first != Key || Entry->second.Bytes != Bytes ||
+      Entry->second.Block != (Tier == CacheTier::Block)) {
     Obs.FrameErrors.inc();
     return std::nullopt;
   }
@@ -334,7 +340,9 @@ ClusterNode::lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) {
   return std::move(Entry->second);
 }
 
-void ClusterNode::insert(std::uint64_t Key, const CachedSolution &Value) {
+void ClusterNode::insert(std::uint64_t Key, const CachedSolution &Value,
+                         CacheTier Tier) {
+  (void)Tier; // the entry's own Block flag travels the wire
   if (!Running.load(std::memory_order_acquire))
     return;
   int Owner = ownerOf(Key);

@@ -9,11 +9,12 @@
 ///    consistent-hash ring over the alive set is rebuilt on every death
 ///    or revival.
 ///  * **Sharded result cache** — the node implements the service's
-///    `DistCache` hook: a whole-matrix miss probes the key's owning
-///    peer (single-flighted per key, bounded by a recv timeout, falling
-///    back to a local solve on any failure), and exact solutions are
-///    forwarded one-way to their owner. Remote entries carry the full
-///    canonical identity bytes and are collision-checked on both ends.
+///    `DistCache` hook: a local miss — whole-matrix or per-block —
+///    probes the key's owning peer (single-flighted per key, bounded by
+///    a recv timeout, falling back to a local solve on any failure),
+///    and exact solutions are forwarded one-way to their owner. Remote
+///    entries carry the full canonical identity bytes plus their
+///    namespace flag and are collision-checked on both ends.
 ///  * **Job stealing** — steal threads watch the local service; when
 ///    the queue is dry and workers idle they ask peers for queued jobs
 ///    (`StealJob` -> `JobGrant`), solve them through the local service,
@@ -114,9 +115,14 @@ public:
   int port() const { return BoundPort; }
 
   /// DistCache: remote shard probe / forwarded store (service workers).
-  std::optional<CachedSolution>
-  lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) override;
-  void insert(std::uint64_t Key, const CachedSolution &Value) override;
+  /// The tier never changes routing (key spaces are salted apart); the
+  /// entry's `Block` flag travels the wire, so a subtree solved on one
+  /// peer recovers as a block entry on its owner.
+  std::optional<CachedSolution> lookup(std::uint64_t Key,
+                                       const std::vector<std::uint8_t> &Bytes,
+                                       CacheTier Tier) override;
+  void insert(std::uint64_t Key, const CachedSolution &Value,
+              CacheTier Tier) override;
 
   /// The `cluster` section of `StatsJson` (peer states, shard shares,
   /// lent jobs); schema in docs/distributed.md.

@@ -128,3 +128,13 @@ CanonicalForm mutk::canonicalForm(const DistanceMatrix &M) {
 std::uint64_t mutk::fingerprint(const DistanceMatrix &M) {
   return canonicalForm(M).Key;
 }
+
+int mutk::canonicalSpeciesCount(const std::vector<std::uint8_t> &Bytes) {
+  if (Bytes.size() < 4)
+    return 0;
+  std::uint32_t N = 0;
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    N |= static_cast<std::uint32_t>(Bytes[static_cast<std::size_t>(Shift / 8)])
+         << Shift;
+  return N > static_cast<std::uint32_t>(1 << 20) ? 0 : static_cast<int>(N);
+}

@@ -53,6 +53,12 @@ CanonicalForm canonicalForm(const DistanceMatrix &M);
 /// fingerprint (collisions possible; compare `Bytes` before trusting it).
 std::uint64_t fingerprint(const DistanceMatrix &M);
 
+/// Decodes the species-count header of a `CanonicalForm::Bytes` string
+/// (0 for a malformed/too-short buffer). Lets cache tiers apply
+/// size-dependent policy — e.g. "only ship blocks of >= k species to a
+/// remote peer" — without re-deriving the matrix.
+int canonicalSpeciesCount(const std::vector<std::uint8_t> &Bytes);
+
 } // namespace mutk
 
 #endif // MUTK_MATRIX_FINGERPRINT_H

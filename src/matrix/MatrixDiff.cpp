@@ -1,0 +1,56 @@
+//===- matrix/MatrixDiff.cpp - Name-keyed matrix perturbation diff --------===//
+
+#include "matrix/MatrixDiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+using namespace mutk;
+
+MatrixDelta mutk::diffMatrices(const DistanceMatrix &Base,
+                               const DistanceMatrix &M, double Tolerance) {
+  MatrixDelta Delta;
+
+  std::unordered_map<std::string, int> BaseIndex;
+  BaseIndex.reserve(static_cast<std::size_t>(Base.size()));
+  for (int I = 0; I < Base.size(); ++I)
+    BaseIndex.emplace(Base.name(I), I);
+
+  // Common taxa as (new index, base index) pairs; everything else in the
+  // new matrix is an addition.
+  std::vector<std::pair<int, int>> Common;
+  Common.reserve(static_cast<std::size_t>(M.size()));
+  std::vector<bool> Dirty(static_cast<std::size_t>(M.size()), false);
+  for (int I = 0; I < M.size(); ++I) {
+    auto It = BaseIndex.find(M.name(I));
+    if (It == BaseIndex.end()) {
+      ++Delta.TaxaAdded;
+      Dirty[static_cast<std::size_t>(I)] = true;
+    } else {
+      Common.emplace_back(I, It->second);
+    }
+  }
+  Delta.CommonTaxa = static_cast<int>(Common.size());
+  Delta.TaxaRemoved = Base.size() - Delta.CommonTaxa;
+  Delta.Comparable = Delta.CommonTaxa >= 2;
+  if (!Delta.Comparable)
+    return Delta;
+
+  for (std::size_t A = 0; A < Common.size(); ++A)
+    for (std::size_t B = A + 1; B < Common.size(); ++B) {
+      double New = M.at(Common[A].first, Common[B].first);
+      double Old = Base.at(Common[A].second, Common[B].second);
+      if (std::abs(New - Old) > Tolerance) {
+        ++Delta.EntriesChanged;
+        Dirty[static_cast<std::size_t>(Common[A].first)] = true;
+        Dirty[static_cast<std::size_t>(Common[B].first)] = true;
+      }
+    }
+
+  for (int I = 0; I < M.size(); ++I)
+    if (Dirty[static_cast<std::size_t>(I)])
+      Delta.DirtySpecies.push_back(I);
+  return Delta;
+}

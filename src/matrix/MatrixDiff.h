@@ -1,0 +1,60 @@
+//===- matrix/MatrixDiff.h - Name-keyed matrix perturbation diff *- C++ -*-===//
+///
+/// \file
+/// Structural diff between two distance matrices, joined on species
+/// names: which taxa were added or removed, which surviving entries
+/// changed, and which species of the new matrix are *dirty* (touched by
+/// any change). This is the detection half of the service's incremental
+/// re-solve mode (`docs/caching.md#incremental-mode`): when a submitted
+/// matrix is a small perturbation of a recently solved base, the
+/// compact-set decomposition re-runs but every block whose species avoid
+/// the dirty set condenses to a byte-identical matrix, fingerprints to
+/// the same key, and replays from the block cache — only dirty blocks
+/// pay for a solver.
+///
+/// Names are the join key because fingerprints deliberately exclude
+/// them: the relabel-invariant canonical form identifies *equal*
+/// matrices, while a perturbation is by definition not equal. Matrices
+/// without meaningful names still work — the default `s0..s{n-1}` names
+/// align taxa positionally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_MATRIX_MATRIXDIFF_H
+#define MUTK_MATRIX_MATRIXDIFF_H
+
+#include "matrix/DistanceMatrix.h"
+
+#include <vector>
+
+namespace mutk {
+
+/// The outcome of diffing a new matrix against a base.
+struct MatrixDelta {
+  /// The two matrices share at least two taxa (else the remaining
+  /// fields are meaningless and incremental mode must not engage).
+  bool Comparable = false;
+  /// Taxa present in both matrices (by name).
+  int CommonTaxa = 0;
+  /// Taxa of the new matrix absent from the base.
+  int TaxaAdded = 0;
+  /// Taxa of the base absent from the new matrix.
+  int TaxaRemoved = 0;
+  /// Entries over common taxa whose distance differs.
+  int EntriesChanged = 0;
+  /// New-matrix species indices touched by the perturbation: every
+  /// added taxon plus both endpoints of every changed entry. Sorted,
+  /// unique. Removed taxa have no index in the new matrix and are
+  /// counted only.
+  std::vector<int> DirtySpecies;
+};
+
+/// Diffs \p M against \p Base, joining taxa by name (O(n^2)). Distances
+/// differing by more than \p Tolerance (exact by default) count as
+/// changed.
+MatrixDelta diffMatrices(const DistanceMatrix &Base, const DistanceMatrix &M,
+                         double Tolerance = 0.0);
+
+} // namespace mutk
+
+#endif // MUTK_MATRIX_MATRIXDIFF_H

@@ -144,6 +144,34 @@ DistInstruments &mutk::obs::distInstruments() {
   return I;
 }
 
+BlockCacheInstruments &mutk::obs::blockCacheInstruments() {
+  static BlockCacheInstruments I{
+      reg().counter("mutk_block_cache_hits_total"),
+      reg().counter("mutk_block_cache_misses_total"),
+      reg().counter("mutk_block_cache_inserts_total"),
+      reg().counter("mutk_block_cache_remote_lookups_total"),
+      reg().counter("mutk_block_cache_remote_hits_total"),
+      reg().counter("mutk_block_cache_remote_inserts_total"),
+      reg().counter("mutk_block_cache_recovered_total"),
+  };
+  return I;
+}
+
+IncrementalInstruments &mutk::obs::incrementalInstruments() {
+  static IncrementalInstruments I{
+      reg().counter("mutk_incremental_requests_total"),
+      reg().counter("mutk_incremental_applied_total"),
+      reg().counter("mutk_incremental_no_base_total"),
+      reg().counter("mutk_incremental_delta_too_large_total"),
+      reg().counter("mutk_incremental_taxa_added_total"),
+      reg().counter("mutk_incremental_taxa_removed_total"),
+      reg().counter("mutk_incremental_entries_changed_total"),
+      reg().counter("mutk_incremental_dirty_blocks_total"),
+      reg().counter("mutk_incremental_clean_blocks_total"),
+  };
+  return I;
+}
+
 PipelineInstruments &mutk::obs::pipelineInstruments() {
   static PipelineInstruments I{
       reg().counter("mutk_pipeline_runs_total"),

@@ -143,6 +143,39 @@ struct DistInstruments {
 };
 DistInstruments &distInstruments();
 
+/// Cross-request block-cache tier counters (`docs/caching.md`): the
+/// service-path view of per-condensed-block reuse. `Hits`/`Misses`/
+/// `Inserts` count local block-tier traffic, the `Remote*` trio counts
+/// probes of the cluster ring's block namespace, and `Recovered` counts
+/// block records replayed from the durable store at startup.
+struct BlockCacheInstruments {
+  Counter &Hits;
+  Counter &Misses;
+  Counter &Inserts;
+  Counter &RemoteLookups;
+  Counter &RemoteHits;
+  Counter &RemoteInserts;
+  Counter &Recovered;
+};
+BlockCacheInstruments &blockCacheInstruments();
+
+/// Incremental re-solve counters (`docs/caching.md#incremental-mode`):
+/// requests that asked for perturbation detection, how the base search
+/// went, the size of the accepted deltas, and how many blocks the
+/// accepted runs re-solved (dirty) vs replayed (clean).
+struct IncrementalInstruments {
+  Counter &Requests;
+  Counter &Applied;
+  Counter &NoBase;
+  Counter &DeltaTooLarge;
+  Counter &TaxaAdded;
+  Counter &TaxaRemoved;
+  Counter &EntriesChanged;
+  Counter &DirtyBlocks;
+  Counter &CleanBlocks;
+};
+IncrementalInstruments &incrementalInstruments();
+
 /// Compact-set pipeline counters.
 struct PipelineInstruments {
   Counter &Runs;

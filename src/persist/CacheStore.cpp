@@ -10,7 +10,11 @@ using namespace mutk;
 using namespace mutk::persist;
 
 namespace {
-constexpr std::uint32_t CacheFormatVersion = 1;
+// Version 2 added the namespace byte (whole-matrix vs block tier).
+// Version-1 state recovers as a documented cold start — the Wal header
+// check rejects it wholesale, which is the intended behavior for a
+// format change.
+constexpr std::uint32_t CacheFormatVersion = 2;
 } // namespace
 
 std::vector<std::uint8_t>
@@ -20,6 +24,7 @@ mutk::persist::encodeCacheRecord(const DurableCacheRecord &Rec) {
   Writer.writeBytes(Rec.CanonicalBytes);
   Writer.writeF64(Rec.Cost);
   Writer.writeU8(Rec.Exact ? 1 : 0);
+  Writer.writeU8(static_cast<std::uint8_t>(Rec.Space));
   writePhyloTree(Writer, Rec.Tree);
   return Writer.take();
 }
@@ -29,11 +34,16 @@ mutk::persist::decodeCacheRecord(const std::vector<std::uint8_t> &Bytes) {
   ByteReader Reader(Bytes);
   DurableCacheRecord Rec;
   std::uint8_t Exact = 0;
+  std::uint8_t Space = 0;
   if (!Reader.readU64(Rec.Key) || !Reader.readBytes(Rec.CanonicalBytes) ||
       !Reader.readF64(Rec.Cost) || !Reader.readU8(Exact) ||
-      !readPhyloTree(Reader, Rec.Tree) || !Reader.atEnd())
+      !Reader.readU8(Space) || !readPhyloTree(Reader, Rec.Tree) ||
+      !Reader.atEnd())
+    return std::nullopt;
+  if (Space > static_cast<std::uint8_t>(CacheNamespace::Block))
     return std::nullopt;
   Rec.Exact = Exact != 0;
+  Rec.Space = static_cast<CacheNamespace>(Space);
   return Rec;
 }
 

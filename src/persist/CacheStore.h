@@ -29,6 +29,14 @@
 
 namespace mutk::persist {
 
+/// Cache namespaces a durable record can belong to. Stored explicitly —
+/// the key spaces are salted apart in memory, but a reader of the state
+/// files should not need the salt to tell the tiers apart.
+enum class CacheNamespace : std::uint8_t {
+  Whole = 0, ///< Whole-matrix result (salted key).
+  Block = 1, ///< Per-condensed-block subtree (raw fingerprint key).
+};
+
 /// One durable cache entry (canonical-label tree + identity bytes).
 struct DurableCacheRecord {
   std::uint64_t Key = 0;
@@ -38,6 +46,7 @@ struct DurableCacheRecord {
   PhyloTree Tree;
   double Cost = 0.0;
   bool Exact = true;
+  CacheNamespace Space = CacheNamespace::Whole;
 };
 
 std::vector<std::uint8_t> encodeCacheRecord(const DurableCacheRecord &Rec);

@@ -1,0 +1,54 @@
+//===- service/IncrementalIndex.cpp - Remembered solve bases --------------===//
+
+#include "service/IncrementalIndex.h"
+
+#include <algorithm>
+
+using namespace mutk;
+
+IncrementalIndex::IncrementalIndex(std::size_t Capacity)
+    : Capacity(std::max<std::size_t>(1, Capacity)) {}
+
+void IncrementalIndex::remember(const DistanceMatrix &M,
+                                std::uint64_t FingerprintKey) {
+  if (M.size() < 2)
+    return;
+  MutexLock Lock(Mu);
+  for (auto It = Bases.begin(); It != Bases.end(); ++It) {
+    if (It->Key == FingerprintKey) {
+      // Same canonical matrix: refresh recency, adopt the (possibly
+      // renamed) incarnation — names are the diff join key.
+      It->M = M;
+      Bases.splice(Bases.begin(), Bases, It);
+      return;
+    }
+  }
+  Bases.push_front(Entry{FingerprintKey, M});
+  if (Bases.size() > Capacity)
+    Bases.pop_back();
+}
+
+std::optional<IncrementalIndex::Match>
+IncrementalIndex::bestBase(const DistanceMatrix &M, int MaxTaxaDelta,
+                           int MaxChangedEntries) const {
+  std::optional<Match> Best;
+  MutexLock Lock(Mu);
+  for (const Entry &E : Bases) {
+    MatrixDelta Delta = diffMatrices(E.M, M);
+    if (!Delta.Comparable)
+      continue;
+    if (Delta.TaxaAdded + Delta.TaxaRemoved > MaxTaxaDelta)
+      continue;
+    if (Delta.EntriesChanged > MaxChangedEntries)
+      continue;
+    if (!Best ||
+        Delta.DirtySpecies.size() < Best->Delta.DirtySpecies.size())
+      Best = Match{std::move(Delta)};
+  }
+  return Best;
+}
+
+std::size_t IncrementalIndex::size() const {
+  MutexLock Lock(Mu);
+  return Bases.size();
+}

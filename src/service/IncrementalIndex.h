@@ -1,0 +1,72 @@
+//===- service/IncrementalIndex.h - Remembered solve bases ------*- C++ -*-===//
+///
+/// \file
+/// The base-matrix side of incremental re-solve mode: a small LRU of
+/// matrices the service has recently solved, kept with their full
+/// distance data so a new request can be *diffed* against them
+/// (`matrix/MatrixDiff.h`). Fingerprints cannot serve here — a
+/// perturbation is by definition a different matrix with a different
+/// fingerprint; the index exists precisely to bridge that gap by
+/// joining taxa on their names.
+///
+/// The index is deliberately tiny (tens of entries, each O(n^2)
+/// doubles): `bestBase` scans every remembered matrix, so capacity is a
+/// latency knob, not a hit-rate contest. Thread-safe; workers remember
+/// and match concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_SERVICE_INCREMENTALINDEX_H
+#define MUTK_SERVICE_INCREMENTALINDEX_H
+
+#include "matrix/DistanceMatrix.h"
+#include "matrix/MatrixDiff.h"
+#include "support/Mutex.h"
+
+#include <cstdint>
+#include <list>
+#include <optional>
+
+namespace mutk {
+
+/// Bounded LRU of solved base matrices, matched by perturbation diff.
+class IncrementalIndex {
+public:
+  /// \p Capacity is the number of remembered bases (min 1).
+  explicit IncrementalIndex(std::size_t Capacity);
+
+  /// Remembers \p M as a solved base (refreshes recency if an identical
+  /// matrix — same fingerprint key — is already present).
+  void remember(const DistanceMatrix &M, std::uint64_t FingerprintKey);
+
+  /// A matched base and the delta that qualified it.
+  struct Match {
+    MatrixDelta Delta;
+  };
+
+  /// Diffs \p M against every remembered base and returns the smallest
+  /// qualifying delta: comparable, `TaxaAdded + TaxaRemoved <=`
+  /// \p MaxTaxaDelta, and `EntriesChanged <=` \p MaxChangedEntries.
+  /// Smaller means fewer dirty species (ties favor recency). Exact
+  /// duplicates (zero delta) also match — the whole-matrix cache answers
+  /// those first, so in practice a zero match never reaches a solver.
+  std::optional<Match> bestBase(const DistanceMatrix &M, int MaxTaxaDelta,
+                                int MaxChangedEntries) const;
+
+  std::size_t size() const;
+
+private:
+  struct Entry {
+    std::uint64_t Key = 0;
+    DistanceMatrix M;
+  };
+
+  mutable Mutex Mu{"service.incremental"};
+  /// Front = most recently remembered.
+  std::list<Entry> Bases MUTK_GUARDED_BY(Mu);
+  std::size_t Capacity;
+};
+
+} // namespace mutk
+
+#endif // MUTK_SERVICE_INCREMENTALINDEX_H

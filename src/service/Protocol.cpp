@@ -91,11 +91,12 @@ void writeBuildRequest(ByteWriter &W, const BuildRequest &B) {
   W.writeU64(B.NodeBudget);
   W.writeU32(B.DeadlineMillis);
   W.writeU8(B.UseCache ? 1 : 0);
+  W.writeU8(B.Incremental ? 1 : 0);
 }
 
 bool readBuildRequest(ByteReader &R, BuildRequest &B) {
   std::uint8_t Generator = 0, Mode = 0, ThreeThree = 0, Polish = 0,
-               UseCache = 0;
+               UseCache = 0, Incremental = 0;
   if (!R.readU8(Generator) ||
       Generator > static_cast<std::uint8_t>(GeneratorKind::Dna))
     return false;
@@ -115,10 +116,11 @@ bool readBuildRequest(ByteReader &R, BuildRequest &B) {
   B.ThreeThree = static_cast<ThreeThreeMode>(ThreeThree);
   if (!R.readI32(B.MaxExactBlockSize) || !R.readU8(Polish) ||
       !R.readU64(B.NodeBudget) || !R.readU32(B.DeadlineMillis) ||
-      !R.readU8(UseCache))
+      !R.readU8(UseCache) || !R.readU8(Incremental))
     return false;
   B.Polish = Polish != 0;
   B.UseCache = UseCache != 0;
+  B.Incremental = Incremental != 0;
   return true;
 }
 
@@ -138,6 +140,12 @@ void writeBuildResponse(ByteWriter &W, const BuildResponse &B) {
     W.writeU8(S.Exact ? 1 : 0);
     W.writeU8(S.FromCache ? 1 : 0);
   }
+  W.writeU8(B.IncrementalApplied ? 1 : 0);
+  W.writeU32(B.DirtyBlocks);
+  W.writeU32(B.CleanBlocks);
+  W.writeI32(B.TaxaAdded);
+  W.writeI32(B.TaxaRemoved);
+  W.writeI32(B.EntriesChanged);
   W.writeF64(B.QueueMillis);
   W.writeF64(B.SolveMillis);
 }
@@ -166,6 +174,12 @@ bool readBuildResponse(ByteReader &R, BuildResponse &B) {
     S.Exact = BlockExact != 0;
     S.FromCache = FromCache != 0;
   }
+  std::uint8_t IncrementalApplied = 0;
+  if (!R.readU8(IncrementalApplied) || !R.readU32(B.DirtyBlocks) ||
+      !R.readU32(B.CleanBlocks) || !R.readI32(B.TaxaAdded) ||
+      !R.readI32(B.TaxaRemoved) || !R.readI32(B.EntriesChanged))
+    return false;
+  B.IncrementalApplied = IncrementalApplied != 0;
   return R.readF64(B.QueueMillis) && R.readF64(B.SolveMillis);
 }
 
@@ -177,6 +191,10 @@ void writeStats(ByteWriter &W, const StatsSnapshot &S) {
   W.writeU64(S.WholeMisses);
   W.writeU64(S.BlockHits);
   W.writeU64(S.BlockMisses);
+  W.writeU64(S.BlockRemoteHits);
+  W.writeU64(S.IncrementalApplied);
+  W.writeU64(S.IncrementalDirty);
+  W.writeU64(S.IncrementalClean);
   W.writeU64(S.DeadlineExpired);
   W.writeU64(S.Rejected);
   W.writeU64(S.QueueDepth);
@@ -189,7 +207,9 @@ bool readStats(ByteReader &R, StatsSnapshot &S) {
   return R.readU64(S.Accepted) && R.readU64(S.Completed) &&
          R.readU64(S.Failed) && R.readU64(S.WholeHits) &&
          R.readU64(S.WholeMisses) && R.readU64(S.BlockHits) &&
-         R.readU64(S.BlockMisses) && R.readU64(S.DeadlineExpired) &&
+         R.readU64(S.BlockMisses) && R.readU64(S.BlockRemoteHits) &&
+         R.readU64(S.IncrementalApplied) && R.readU64(S.IncrementalDirty) &&
+         R.readU64(S.IncrementalClean) && R.readU64(S.DeadlineExpired) &&
          R.readU64(S.Rejected) && R.readU64(S.QueueDepth) &&
          R.readU64(S.CacheEntries) && R.readF64(S.P50Millis) &&
          R.readF64(S.P95Millis);

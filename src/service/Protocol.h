@@ -41,7 +41,10 @@
 namespace mutk {
 
 /// Protocol revision; bumped on any incompatible layout change.
-inline constexpr std::uint32_t ServiceProtocolVersion = 1;
+/// Version 2 added the incremental re-solve fields (request `Incremental`
+/// flag; response perturbation-delta block; stats remote-block and
+/// incremental counters).
+inline constexpr std::uint32_t ServiceProtocolVersion = 2;
 
 /// Upper bound on a frame payload; larger frames are rejected before
 /// allocation so a hostile length prefix cannot OOM the server.
@@ -112,6 +115,12 @@ struct BuildRequest {
   std::uint32_t DeadlineMillis = 0;
   /// Opt out of the result cache for this request.
   bool UseCache = true;
+  /// Ask the service to treat this matrix as a possible perturbation of
+  /// a recently solved base: diff against remembered bases, and when the
+  /// delta is small, re-run the decomposition reusing every clean
+  /// block's cached subtree (docs/caching.md#incremental-mode). Requires
+  /// `UseCache`; ignored when the service has no incremental index.
+  bool Incremental = false;
 };
 
 /// Per-condensed-block accounting echoed to the client.
@@ -139,6 +148,20 @@ struct BuildResponse {
   std::uint64_t Branched = 0;
   std::vector<BlockSummary> Blocks;
 
+  /// Incremental mode engaged: a remembered base matched within the
+  /// service's delta thresholds, so clean blocks replayed from cache.
+  bool IncrementalApplied = false;
+  /// Blocks that actually ran a solver (incremental or not: on a
+  /// from-scratch solve this is simply blocks minus cache hits).
+  std::uint32_t DirtyBlocks = 0;
+  /// Blocks replayed verbatim from the block cache.
+  std::uint32_t CleanBlocks = 0;
+  /// Perturbation delta against the matched base (zeros unless
+  /// `IncrementalApplied`).
+  std::int32_t TaxaAdded = 0;
+  std::int32_t TaxaRemoved = 0;
+  std::int32_t EntriesChanged = 0;
+
   /// Time spent queued before a worker picked the job up.
   double QueueMillis = 0.0;
   /// Time the worker spent resolving the job (cache replay or solve).
@@ -156,6 +179,13 @@ struct StatsSnapshot {
   std::uint64_t WholeMisses = 0;
   std::uint64_t BlockHits = 0;
   std::uint64_t BlockMisses = 0;
+  /// Block subtrees served by a remote peer's cache shard.
+  std::uint64_t BlockRemoteHits = 0;
+  /// Requests where incremental mode engaged (base matched thresholds).
+  std::uint64_t IncrementalApplied = 0;
+  /// Blocks re-solved / replayed across all incremental requests.
+  std::uint64_t IncrementalDirty = 0;
+  std::uint64_t IncrementalClean = 0;
   std::uint64_t DeadlineExpired = 0;
   std::uint64_t Rejected = 0; ///< QueueFull + ShuttingDown rejections.
   std::uint64_t QueueDepth = 0;

@@ -41,6 +41,11 @@ struct CachedSolution {
   PhyloTree Tree;
   double Cost = 0.0;
   bool Exact = true;
+  /// Block-tier entry (per-condensed-block subtree) rather than a
+  /// whole-matrix result. The key spaces are already salted apart; this
+  /// flag rides along so persistence and cluster transport can keep the
+  /// namespace without reverse-engineering the key.
+  bool Block = false;
   std::vector<std::uint8_t> Bytes;
 };
 

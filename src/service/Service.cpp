@@ -35,6 +35,8 @@ toDurableRecords(std::vector<std::pair<std::uint64_t, CachedSolution>> Entries) 
     Rec.Tree = std::move(Value.Tree);
     Rec.Cost = Value.Cost;
     Rec.Exact = Value.Exact;
+    Rec.Space = Value.Block ? persist::CacheNamespace::Block
+                            : persist::CacheNamespace::Whole;
     Records.push_back(std::move(Rec));
   }
   return Records;
@@ -77,6 +79,8 @@ TreeService::TreeService(const ServiceOptions &Options)
   Cache.setInstruments(&obs::cacheInstruments(),
                        obs::cacheShardInstruments(
                            std::max(1, Options.CacheShards)));
+  if (Options.Incremental)
+    Bases = std::make_unique<IncrementalIndex>(Options.IncrementalBases);
   if (!Options.StateDir.empty()) {
     Store = std::make_unique<persist::CacheStore>(Options.StateDir);
     Journal = std::make_unique<persist::JobJournal>(Options.StateDir);
@@ -124,17 +128,23 @@ void TreeService::recoverState() {
     MutexLock Lock(PersistMu);
     Loaded = Store->load();
   }
+  std::size_t BlockRecords = 0;
   for (persist::DurableCacheRecord &Rec : Loaded.Records) {
     CachedSolution Value;
     Value.Tree = std::move(Rec.Tree);
     Value.Cost = Rec.Cost;
     Value.Exact = Rec.Exact;
+    Value.Block = Rec.Space == persist::CacheNamespace::Block;
     Value.Bytes = std::move(Rec.CanonicalBytes);
+    if (Value.Block)
+      ++BlockRecords;
     Cache.store(Rec.Key, std::move(Value));
   }
+  obs::blockCacheInstruments().Recovered.inc(BlockRecords);
   obs::log(obs::LogLevel::Info, "service", "durable cache recovered")
       .kv("snapshot_records", Loaded.SnapshotRecords)
       .kv("wal_records", Loaded.WalRecords)
+      .kv("block_records", BlockRecords)
       .kv("dropped", Loaded.DroppedRecords)
       .kv("cold_start", Loaded.ColdStart ? 1 : 0)
       .kv("wal_damaged", Loaded.WalDamaged ? 1 : 0);
@@ -187,6 +197,8 @@ void TreeService::persistSolution(std::uint64_t Key,
   Rec.Tree = Value.Tree;
   Rec.Cost = Value.Cost;
   Rec.Exact = Value.Exact;
+  Rec.Space = Value.Block ? persist::CacheNamespace::Block
+                          : persist::CacheNamespace::Whole;
   MutexLock Lock(PersistMu);
   Store->append(Rec, Options.SyncWrites);
   if (Options.WalCompactBytes != 0 &&
@@ -306,6 +318,10 @@ std::string TreeService::statsJson() const {
   Out += ",\"whole_misses\":" + u64(S.WholeMisses);
   Out += ",\"block_hits\":" + u64(S.BlockHits);
   Out += ",\"block_misses\":" + u64(S.BlockMisses);
+  Out += ",\"block_remote_hits\":" + u64(S.BlockRemoteHits);
+  Out += ",\"incremental_applied\":" + u64(S.IncrementalApplied);
+  Out += ",\"incremental_dirty\":" + u64(S.IncrementalDirty);
+  Out += ",\"incremental_clean\":" + u64(S.IncrementalClean);
   Out += ",\"queue_depth\":" + u64(S.QueueDepth);
   Out += ",\"cache_entries\":" + u64(S.CacheEntries);
   Out += ",\"p50_ms\":" + f64(S.P50Millis);
@@ -617,7 +633,8 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     Counters.WholeMisses.fetch_add(1, std::memory_order_relaxed);
     Obs.WholeMisses.inc();
     if (DistCache *Cluster = Remote.load(std::memory_order_acquire)) {
-      if (std::optional<CachedSolution> Hit = Cluster->lookup(Key, Identity)) {
+      if (std::optional<CachedSolution> Hit =
+              Cluster->lookup(Key, Identity, CacheTier::Whole)) {
         // Adopt the shard's entry locally so the next probe stays here.
         Cache.store(Key, *Hit);
         return replay(*Hit);
@@ -625,10 +642,54 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     }
   }
 
+  // Incremental re-solve: a whole-matrix miss that is a small
+  // perturbation of a remembered base still replays every clean block
+  // from the block tier — the diff only *reports* the reuse, the
+  // fingerprint-keyed cache *delivers* it (clean blocks condense to
+  // byte-identical matrices). A failed match changes nothing: the
+  // request proceeds as a from-scratch solve.
+  std::optional<IncrementalIndex::Match> BaseMatch;
+  if (Request.Incremental && CacheOn && Bases) {
+    obs::IncrementalInstruments &Inc = obs::incrementalInstruments();
+    Inc.Requests.inc();
+    BaseMatch = Bases->bestBase(M, Options.IncrementalMaxTaxaDelta,
+                                Options.IncrementalMaxChangedEntries);
+    if (BaseMatch) {
+      Inc.Applied.inc();
+      Inc.TaxaAdded.inc(static_cast<std::uint64_t>(BaseMatch->Delta.TaxaAdded));
+      Inc.TaxaRemoved.inc(
+          static_cast<std::uint64_t>(BaseMatch->Delta.TaxaRemoved));
+      Inc.EntriesChanged.inc(
+          static_cast<std::uint64_t>(BaseMatch->Delta.EntriesChanged));
+    } else if (Bases->size() == 0) {
+      Inc.NoBase.inc();
+    } else {
+      Inc.DeltaTooLarge.inc();
+    }
+  }
+
   PhyloTree SolvedTree;
   Resp = solveFresh(M, Request, Deadline, HasDeadline, SolvedTree);
   Resp.QueueMillis =
       std::chrono::duration<double, std::milli>(Start - SubmitTime).count();
+
+  if (Resp.ok() && BaseMatch) {
+    Resp.IncrementalApplied = true;
+    Resp.TaxaAdded = BaseMatch->Delta.TaxaAdded;
+    Resp.TaxaRemoved = BaseMatch->Delta.TaxaRemoved;
+    Resp.EntriesChanged = BaseMatch->Delta.EntriesChanged;
+    Counters.IncrementalApplied.fetch_add(1, std::memory_order_relaxed);
+    Counters.IncrementalDirty.fetch_add(Resp.DirtyBlocks,
+                                        std::memory_order_relaxed);
+    Counters.IncrementalClean.fetch_add(Resp.CleanBlocks,
+                                        std::memory_order_relaxed);
+    obs::IncrementalInstruments &Inc = obs::incrementalInstruments();
+    Inc.DirtyBlocks.inc(Resp.DirtyBlocks);
+    Inc.CleanBlocks.inc(Resp.CleanBlocks);
+  }
+
+  if (Resp.ok() && Resp.Exact && CacheOn && Bases)
+    Bases->remember(M, Form.Key);
 
   if (Resp.ok() && Resp.Exact && CacheOn) {
     // Store in canonical labels so any relabeling of M replays it.
@@ -642,7 +703,7 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     Entry.Tree = relabelLeaves(SolvedTree, Inverse);
     persistSolution(wholeCacheKey(Form, Request), Entry);
     if (DistCache *Cluster = Remote.load(std::memory_order_acquire))
-      Cluster->insert(wholeCacheKey(Form, Request), Entry);
+      Cluster->insert(wholeCacheKey(Form, Request), Entry, CacheTier::Whole);
     Cache.store(wholeCacheKey(Form, Request), std::move(Entry));
   }
   return Resp;
@@ -688,7 +749,9 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
   }
   Pipeline.Bnb.MaxBranchedNodes = Budget;
 
-  // Per-block memoization hooks around the shared cache.
+  // Per-block memoization hooks around the shared cache: local tier
+  // first, then (when clustered and the block is worth the round-trip)
+  // the owning peer's shard.
   std::uint32_t LocalBlockHits = 0;
   BlockCacheHooks Hooks;
   bool CacheOn = Options.CacheCapacity > 0 && Request.UseCache;
@@ -696,12 +759,30 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
     Hooks.Lookup = [&](std::uint64_t Key,
                        const std::vector<std::uint8_t> &Bytes)
         -> std::optional<BlockCacheEntry> {
+      obs::BlockCacheInstruments &BC = obs::blockCacheInstruments();
       std::optional<CachedSolution> Hit = Cache.lookup(Key, Bytes);
       if (!Hit) {
+        if (DistCache *Cluster = Remote.load(std::memory_order_acquire)) {
+          if (canonicalSpeciesCount(Bytes) >= Options.RemoteBlockMinSize) {
+            BC.RemoteLookups.inc();
+            Hit = Cluster->lookup(Key, Bytes, CacheTier::Block);
+            if (Hit) {
+              BC.RemoteHits.inc();
+              Counters.BlockRemoteHits.fetch_add(1,
+                                                 std::memory_order_relaxed);
+              // Adopt the peer's subtree so the next probe stays local.
+              Cache.store(Key, *Hit);
+            }
+          }
+        }
+      }
+      if (!Hit) {
         Counters.BlockMisses.fetch_add(1, std::memory_order_relaxed);
+        BC.Misses.inc();
         return std::nullopt;
       }
       Counters.BlockHits.fetch_add(1, std::memory_order_relaxed);
+      BC.Hits.inc();
       ++LocalBlockHits;
       BlockCacheEntry Entry;
       Entry.Tree = std::move(Hit->Tree);
@@ -714,12 +795,21 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
                       const BlockCacheEntry &Entry) {
       if (!Entry.Exact)
         return; // only proven-optimal blocks are budget/knob-independent
+      obs::BlockCacheInstruments &BC = obs::blockCacheInstruments();
       CachedSolution Value;
       Value.Tree = Entry.Tree;
       Value.Cost = Entry.Cost;
       Value.Exact = Entry.Exact;
+      Value.Block = true;
       Value.Bytes = Bytes;
       persistSolution(Key, Value);
+      if (DistCache *Cluster = Remote.load(std::memory_order_acquire)) {
+        if (canonicalSpeciesCount(Bytes) >= Options.RemoteBlockMinSize) {
+          BC.RemoteInserts.inc();
+          Cluster->insert(Key, Value, CacheTier::Block);
+        }
+      }
+      BC.Inserts.inc();
       Cache.store(Key, std::move(Value));
     };
     Pipeline.BlockCache = &Hooks;
@@ -756,6 +846,10 @@ BuildResponse TreeService::solveFresh(const DistanceMatrix &M,
     S.Cost = Report.Cost;
     S.Exact = Report.Exact;
     S.FromCache = Report.FromCache;
+    if (Report.FromCache)
+      ++Resp.CleanBlocks;
+    else
+      ++Resp.DirtyBlocks;
     Resp.Blocks.push_back(S);
   }
   OutTree = std::move(Result.Tree);

@@ -26,6 +26,7 @@
 #include "obs/Instruments.h"
 #include "persist/CacheStore.h"
 #include "persist/JobJournal.h"
+#include "service/IncrementalIndex.h"
 #include "service/JobQueue.h"
 #include "service/Protocol.h"
 #include "service/ResultCache.h"
@@ -41,12 +42,22 @@
 
 namespace mutk {
 
+/// Which cache namespace a remote probe or insert is about. The key
+/// spaces are already salted apart, so the tier never changes routing or
+/// correctness; it exists for per-tier accounting and policy (e.g. the
+/// size floor on shipping block subtrees across the ring).
+enum class CacheTier : std::uint8_t {
+  Whole = 0, ///< Whole-matrix result.
+  Block = 1, ///< Per-condensed-block subtree.
+};
+
 /// Remote extension point of the result cache: when attached
-/// (`TreeService::setDistCache`) a whole-matrix local miss also probes
-/// the cluster's consistent-hash-sharded cache, and exact solutions are
-/// forwarded to their owning peer. Implemented by `dist::ClusterNode`;
-/// both calls run on service worker threads, so implementations must be
-/// bounded (timeouts, not retries) and thread-safe.
+/// (`TreeService::setDistCache`) a local miss — whole-matrix or block —
+/// also probes the cluster's consistent-hash-sharded cache, and exact
+/// solutions are forwarded to their owning peer. Implemented by
+/// `dist::ClusterNode`; both calls run on service worker threads, so
+/// implementations must be bounded (timeouts, not retries) and
+/// thread-safe.
 class DistCache {
 public:
   virtual ~DistCache() = default;
@@ -54,10 +65,12 @@ public:
   /// Probe the owning peer for \p Key. A miss, a timeout, a dead owner
   /// and "self owns it" all return nullopt — the caller solves locally.
   virtual std::optional<CachedSolution>
-  lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes) = 0;
+  lookup(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes,
+         CacheTier Tier) = 0;
 
   /// Forward \p Value to the owning peer (one-way, fire-and-forget).
-  virtual void insert(std::uint64_t Key, const CachedSolution &Value) = 0;
+  virtual void insert(std::uint64_t Key, const CachedSolution &Value,
+                      CacheTier Tier) = 0;
 };
 
 /// Deployment knobs of a TreeService instance.
@@ -87,6 +100,31 @@ struct ServiceOptions {
   /// B&B workers inside each block solve when `Solver == Threaded`
   /// (`PipelineOptions::ThreadsPerBlock`; 0 = auto).
   int ThreadsPerBlock = 0;
+
+  /// \name Incremental re-solve mode (docs/caching.md#incremental-mode).
+  /// @{
+
+  /// Keep an index of recently solved matrices so requests flagged
+  /// `BuildRequest::Incremental` can be diffed against them. Off by
+  /// default: the index copies whole matrices, which only pays for
+  /// workloads that actually resubmit perturbations.
+  bool Incremental = false;
+  /// A base qualifies only when `TaxaAdded + TaxaRemoved` stays within
+  /// this bound...
+  int IncrementalMaxTaxaDelta = 2;
+  /// ...and at most this many common-taxon distances changed.
+  int IncrementalMaxChangedEntries = 8;
+  /// Solved matrices remembered for diffing (LRU; each holds O(n^2)
+  /// doubles, so keep this small).
+  std::size_t IncrementalBases = 32;
+
+  /// @}
+
+  /// Smallest condensed block (species count) worth a remote cache
+  /// round-trip or a cross-ring insert. Tiny blocks are cheaper to
+  /// re-solve than to fetch; the floor is read off the canonical-bytes
+  /// size header (`canonicalSpeciesCount`).
+  int RemoteBlockMinSize = 3;
 
   /// Durable state directory; empty disables persistence. When set the
   /// service recovers the result cache (snapshot + WAL replay) and
@@ -228,6 +266,9 @@ private:
   obs::ServiceInstruments &Obs;
   BoundedQueue<Job> Queue;
   ShardedLruCache Cache;
+  /// Solved-base index for incremental mode (null unless
+  /// `Options.Incremental`). Internally locked.
+  std::unique_ptr<IncrementalIndex> Bases;
   ServiceCounters Counters;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopping{false};

@@ -52,6 +52,10 @@ struct ServiceCounters {
   std::atomic<std::uint64_t> WholeMisses{0};
   std::atomic<std::uint64_t> BlockHits{0};
   std::atomic<std::uint64_t> BlockMisses{0};
+  std::atomic<std::uint64_t> BlockRemoteHits{0};
+  std::atomic<std::uint64_t> IncrementalApplied{0};
+  std::atomic<std::uint64_t> IncrementalDirty{0};
+  std::atomic<std::uint64_t> IncrementalClean{0};
   std::atomic<std::uint64_t> DeadlineExpired{0};
   std::atomic<std::uint64_t> Rejected{0};
   LatencyHistogram Latency;
@@ -67,6 +71,10 @@ struct ServiceCounters {
     S.WholeMisses = WholeMisses.load(std::memory_order_relaxed);
     S.BlockHits = BlockHits.load(std::memory_order_relaxed);
     S.BlockMisses = BlockMisses.load(std::memory_order_relaxed);
+    S.BlockRemoteHits = BlockRemoteHits.load(std::memory_order_relaxed);
+    S.IncrementalApplied = IncrementalApplied.load(std::memory_order_relaxed);
+    S.IncrementalDirty = IncrementalDirty.load(std::memory_order_relaxed);
+    S.IncrementalClean = IncrementalClean.load(std::memory_order_relaxed);
     S.DeadlineExpired = DeadlineExpired.load(std::memory_order_relaxed);
     S.Rejected = Rejected.load(std::memory_order_relaxed);
     obs::HistogramSnapshot L = Latency.snapshotMillis();

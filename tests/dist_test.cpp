@@ -10,11 +10,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "bnb/SequentialBnb.h"
+#include "compact/CompactSetPipeline.h"
 #include "dist/Cluster.h"
 #include "dist/DistBnb.h"
 #include "dist/MpSocket.h"
 #include "dist/Peers.h"
 #include "dist/Wire.h"
+#include "matrix/Fingerprint.h"
 #include "matrix/Generators.h"
 #include "mp/MpBnb.h"
 #include "mp/Serialize.h"
@@ -567,6 +569,7 @@ TEST(Cluster, CacheEntryCodecRoundTrip) {
   Value.Tree = Solved.Tree;
   Value.Cost = Solved.Cost;
   Value.Exact = true;
+  Value.Block = true;
   Value.Bytes = {1, 2, 3, 4, 5};
   std::vector<std::uint8_t> Encoded = encodeCacheEntry(77, Value);
   auto Back = decodeCacheEntry(Encoded);
@@ -574,6 +577,7 @@ TEST(Cluster, CacheEntryCodecRoundTrip) {
   EXPECT_EQ(Back->first, 77u);
   EXPECT_DOUBLE_EQ(Back->second.Cost, Value.Cost);
   EXPECT_TRUE(Back->second.Exact);
+  EXPECT_TRUE(Back->second.Block);
   EXPECT_EQ(Back->second.Bytes, Value.Bytes);
   EXPECT_DOUBLE_EQ(Back->second.Tree.weight(), Value.Tree.weight());
   // Truncation is rejected, never mis-decoded.
@@ -600,22 +604,28 @@ TEST(Cluster, ShardedLookupServesRemoteInsert) {
   // Node 0 forwards the insert to the owner, then its next lookup for
   // the key is answered by that owner. Both frames share one link, so
   // FIFO ordering makes the hit deterministic.
-  C.Nodes[0]->insert(Key, Value);
-  auto Hit = C.Nodes[0]->lookup(Key, Value.Bytes);
+  C.Nodes[0]->insert(Key, Value, CacheTier::Whole);
+  auto Hit = C.Nodes[0]->lookup(Key, Value.Bytes, CacheTier::Whole);
   ASSERT_TRUE(Hit.has_value());
   EXPECT_DOUBLE_EQ(Hit->Cost, Value.Cost);
   EXPECT_TRUE(Hit->Exact);
 
   // A remote entry is no more trusted than a local one: mismatched
   // canonical identity bytes are a collision, not a hit.
-  auto Collision = C.Nodes[0]->lookup(Key, {9, 9, 9});
+  auto Collision = C.Nodes[0]->lookup(Key, {9, 9, 9}, CacheTier::Whole);
   EXPECT_FALSE(Collision.has_value());
+
+  // The namespace is part of the identity too: a whole-matrix entry
+  // never answers a block-tier probe.
+  auto WrongTier = C.Nodes[0]->lookup(Key, Value.Bytes, CacheTier::Block);
+  EXPECT_FALSE(WrongTier.has_value());
 
   // Keys this node owns never leave the process.
   std::uint64_t OwnKey = 1;
   while (C.Nodes[0]->ownerOf(OwnKey) != 0)
     ++OwnKey;
-  EXPECT_FALSE(C.Nodes[0]->lookup(OwnKey, Value.Bytes).has_value());
+  EXPECT_FALSE(
+      C.Nodes[0]->lookup(OwnKey, Value.Bytes, CacheTier::Whole).has_value());
 }
 
 TEST(Cluster, WholeMatrixHitTravelsAcrossPeers) {
@@ -637,6 +647,91 @@ TEST(Cluster, WholeMatrixHitTravelsAcrossPeers) {
   })) << "peer never saw the cached solution";
   EXPECT_NEAR(Second.Cost, First.Cost, 1e-9);
   EXPECT_TRUE(Second.Exact);
+}
+
+TEST(Cluster, BlockSolvedOnOnePeerServesAnother) {
+  ThreeNodeCluster C;
+  ASSERT_TRUE(waitFor(10.0, [&] { return C.allAlive(); }));
+
+  // X and Y are different whole matrices sharing one hard module: a
+  // near-equidistant 6-species block (no internal compact sets, so it
+  // condenses whole and is big enough for the remote size floor).
+  auto HardModule = [](std::uint64_t Seed) {
+    return scaledToMax(uniformRandomMetric(6, Seed, 18.0, 20.0), 20.0);
+  };
+  auto Compose = [&](std::uint64_t SeedA, std::uint64_t SeedB) {
+    DistanceMatrix Out(12);
+    for (int I = 0; I < 12; ++I)
+      for (int J = I + 1; J < 12; ++J)
+        Out.set(I, J, 80.0);
+    DistanceMatrix A = HardModule(SeedA), B = HardModule(SeedB);
+    for (int I = 0; I < 6; ++I)
+      for (int J = I + 1; J < 6; ++J) {
+        Out.set(I, J, A.at(I, J));
+        Out.set(6 + I, 6 + J, B.at(I, J));
+      }
+    return Out;
+  };
+  DistanceMatrix X = Compose(1, 2);
+  DistanceMatrix Y = Compose(1, 3);
+
+  // The shared module's decomposition — and so its blocks' relabeling-
+  // invariant fingerprints — is identical whether the module is solved
+  // alone or inside a composition. Record its biggest block's identity
+  // by running a local pipeline over the module with spy hooks.
+  std::uint64_t SharedKey = 0;
+  std::vector<std::uint8_t> SharedBytes;
+  {
+    BlockCacheHooks Spy;
+    int Biggest = 0;
+    Spy.Lookup = [&](std::uint64_t Key, const std::vector<std::uint8_t> &Bytes)
+        -> std::optional<BlockCacheEntry> {
+      int N = canonicalSpeciesCount(Bytes);
+      if (N > Biggest) {
+        Biggest = N;
+        SharedKey = Key;
+        SharedBytes = Bytes;
+      }
+      return std::nullopt;
+    };
+    PipelineOptions PipeOpts;
+    PipeOpts.BlockCache = &Spy;
+    buildCompactSetTree(HardModule(1), PipeOpts);
+    // Must clear the remote size floor (ServiceOptions::RemoteBlockMinSize).
+    ASSERT_GE(Biggest, 3);
+  }
+
+  // Node 0 solves X, which stores every block subtree under its raw
+  // fingerprint and forwards the big ones to their shard owners. Wait
+  // for the shared block to become reachable from node 1 — either in
+  // its own shard (the forward landed there) or at the owning peer.
+  BuildResponse First = C.Services[0]->submit(inlineRequest(X));
+  ASSERT_TRUE(First.ok()) << First.Message;
+  EXPECT_TRUE(First.Exact);
+
+  ASSERT_TRUE(waitFor(5.0, [&] {
+    return C.Services[1]->cacheLookup(SharedKey, SharedBytes).has_value() ||
+           C.Nodes[1]->lookup(SharedKey, SharedBytes, CacheTier::Block)
+               .has_value();
+  })) << "shared block never became reachable from node 1";
+
+  // Node 1 has solved nothing, yet Y's shared module must replay from
+  // the cluster's block tier; only the fresh module runs a solver.
+  BuildResponse Second = C.Services[1]->submit(inlineRequest(Y));
+  ASSERT_TRUE(Second.ok()) << Second.Message;
+  EXPECT_FALSE(Second.CacheHit);
+  EXPECT_GE(Second.BlockCacheHits, 1u);
+
+  // Reuse across the ring must not change the answer.
+  ServiceOptions ColdOptions;
+  ColdOptions.NumWorkers = 1;
+  ColdOptions.CacheCapacity = 0;
+  TreeService Cold(ColdOptions);
+  BuildResponse ColdResp = Cold.submit(inlineRequest(Y));
+  ASSERT_TRUE(ColdResp.ok()) << ColdResp.Message;
+  EXPECT_EQ(ColdResp.Newick, Second.Newick);
+  EXPECT_NEAR(ColdResp.Cost, Second.Cost, 1e-9);
+  Cold.stop();
 }
 
 TEST(Cluster, IdlePeersStealQueuedJobs) {

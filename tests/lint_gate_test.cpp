@@ -16,6 +16,8 @@
 #include <fstream>
 #include <string>
 
+#include <unistd.h>
+
 namespace fs = std::filesystem;
 
 namespace {
@@ -37,10 +39,12 @@ int runCommand(const std::string &Command, std::string &Output) {
 class FixtureTree {
 public:
   FixtureTree() {
+    // The pid keeps concurrent ctest processes (which share the gtest
+    // random seed and each start the counter at zero) out of each
+    // other's trees.
     Root = fs::temp_directory_path() /
-           ("mutk_lint_fixture_" +
-            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
-            "_" + std::to_string(Counter++));
+           ("mutk_lint_fixture_" + std::to_string(::getpid()) + "_" +
+            std::to_string(Counter++));
     fs::create_directories(Root / "src" / "obs");
     fs::create_directories(Root / "docs");
     // Layer 3 requires the metric catalog to exist.

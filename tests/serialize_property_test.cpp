@@ -207,6 +207,7 @@ TEST(ProtocolCodec, RandomBuildRequestsRoundTrip) {
     Build.NodeBudget = R.next() % 1000000;
     Build.DeadlineMillis = static_cast<std::uint32_t>(R.below(100000));
     Build.UseCache = (R.next() & 1) != 0;
+    Build.Incremental = (R.next() & 1) != 0;
 
     auto Back = decodeRequest(encodeRequest(makeBuildRequest(Build)));
     ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
@@ -219,6 +220,63 @@ TEST(ProtocolCodec, RandomBuildRequestsRoundTrip) {
     EXPECT_EQ(Back->Build.NodeBudget, Build.NodeBudget);
     EXPECT_EQ(Back->Build.DeadlineMillis, Build.DeadlineMillis);
     EXPECT_EQ(Back->Build.UseCache, Build.UseCache);
+    EXPECT_EQ(Back->Build.Incremental, Build.Incremental);
+  }
+}
+
+TEST(ProtocolCodec, RandomBuildResponsesRoundTrip) {
+  for (std::uint64_t Seed = 0; Seed < 8; ++Seed) {
+    Rng R(Seed * 17 + 3);
+    Response Resp;
+    Resp.V = Verb::Build;
+    Resp.Build.Newick = "(a,(b,c));";
+    Resp.Build.Cost = static_cast<double>(R.below(1000)) / 8.0;
+    Resp.Build.Exact = (R.next() & 1) != 0;
+    Resp.Build.CacheHit = (R.next() & 1) != 0;
+    Resp.Build.BlockCacheHits = static_cast<std::uint32_t>(R.below(50));
+    Resp.Build.Branched = R.next() % 100000;
+    const std::uint64_t NumBlocks = 1 + R.below(4);
+    for (std::uint64_t B = 0; B < NumBlocks; ++B) {
+      BlockSummary S;
+      S.NumBlocks = 2 + static_cast<std::int32_t>(R.below(10));
+      S.Cost = static_cast<double>(R.below(100));
+      S.Exact = (R.next() & 1) != 0;
+      S.FromCache = (R.next() & 1) != 0;
+      Resp.Build.Blocks.push_back(S);
+    }
+    Resp.Build.IncrementalApplied = (R.next() & 1) != 0;
+    Resp.Build.DirtyBlocks = static_cast<std::uint32_t>(R.below(20));
+    Resp.Build.CleanBlocks = static_cast<std::uint32_t>(R.below(20));
+    Resp.Build.TaxaAdded = static_cast<std::int32_t>(R.below(3));
+    Resp.Build.TaxaRemoved = static_cast<std::int32_t>(R.below(3));
+    Resp.Build.EntriesChanged = static_cast<std::int32_t>(R.below(9));
+    Resp.Build.QueueMillis = static_cast<double>(R.below(5000)) / 16.0;
+    Resp.Build.SolveMillis = static_cast<double>(R.below(5000)) / 16.0;
+
+    auto Back = decodeResponse(encodeResponse(Resp));
+    ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
+    EXPECT_EQ(Back->V, Verb::Build);
+    EXPECT_EQ(Back->Build.Newick, Resp.Build.Newick);
+    EXPECT_DOUBLE_EQ(Back->Build.Cost, Resp.Build.Cost);
+    EXPECT_EQ(Back->Build.Exact, Resp.Build.Exact);
+    EXPECT_EQ(Back->Build.CacheHit, Resp.Build.CacheHit);
+    EXPECT_EQ(Back->Build.BlockCacheHits, Resp.Build.BlockCacheHits);
+    EXPECT_EQ(Back->Build.Branched, Resp.Build.Branched);
+    ASSERT_EQ(Back->Build.Blocks.size(), Resp.Build.Blocks.size());
+    for (std::size_t B = 0; B < Resp.Build.Blocks.size(); ++B) {
+      EXPECT_EQ(Back->Build.Blocks[B].NumBlocks,
+                Resp.Build.Blocks[B].NumBlocks);
+      EXPECT_EQ(Back->Build.Blocks[B].FromCache,
+                Resp.Build.Blocks[B].FromCache);
+    }
+    EXPECT_EQ(Back->Build.IncrementalApplied, Resp.Build.IncrementalApplied);
+    EXPECT_EQ(Back->Build.DirtyBlocks, Resp.Build.DirtyBlocks);
+    EXPECT_EQ(Back->Build.CleanBlocks, Resp.Build.CleanBlocks);
+    EXPECT_EQ(Back->Build.TaxaAdded, Resp.Build.TaxaAdded);
+    EXPECT_EQ(Back->Build.TaxaRemoved, Resp.Build.TaxaRemoved);
+    EXPECT_EQ(Back->Build.EntriesChanged, Resp.Build.EntriesChanged);
+    EXPECT_DOUBLE_EQ(Back->Build.QueueMillis, Resp.Build.QueueMillis);
+    EXPECT_DOUBLE_EQ(Back->Build.SolveMillis, Resp.Build.SolveMillis);
   }
 }
 
@@ -249,6 +307,9 @@ TEST(CacheEntryCodec, RandomRoundTrips) {
     Value.Tree = Solved.Tree;
     Value.Cost = Solved.Cost;
     Value.Exact = (R.next() & 1) != 0;
+    // The namespace flag must survive the wire: the receiver validates
+    // it against the probed tier (whole vs block).
+    Value.Block = (R.next() & 1) != 0;
     Value.Bytes = randomBytes(R, 200);
     std::uint64_t Key = R.next();
 
@@ -257,6 +318,7 @@ TEST(CacheEntryCodec, RandomRoundTrips) {
     EXPECT_EQ(Back->first, Key);
     EXPECT_DOUBLE_EQ(Back->second.Cost, Value.Cost);
     EXPECT_EQ(Back->second.Exact, Value.Exact);
+    EXPECT_EQ(Back->second.Block, Value.Block);
     EXPECT_EQ(Back->second.Bytes, Value.Bytes);
     expectTreeEq(Back->second.Tree, Value.Tree);
   }
