@@ -14,7 +14,19 @@
 // whole-matrix tier never matches a fresh composition and all reuse is
 // per-block (`block_hits` > 0 is the acceptance signal, checked by CI).
 //
-// Besides the console tables, the run writes `BENCH_service.json` to the
+// A third table is the QoS adversarial study (docs/qos.md): a latency-
+// sensitive closed-loop warm-lookup population sharing the service with
+// an adversary that keeps submitting cold, near-equidistant 20-taxon
+// matrices under deadlines the exact solver cannot meet. Without QoS the
+// cold solves pin the workers and the warm p99 collapses; with QoS on,
+// admission routes the adversary to the heuristic tier (or sheds it)
+// and the warm tail survives — the acceptance bar is a >= 10x lower
+// warm p99 with QoS enabled. MUTK_BENCH_SMOKE=1 shrinks it to a
+// seconds-long CI smoke.
+//
+// Besides the console tables, the run writes `BENCH_service.json` (cache
+// tables) and `BENCH_qos.json` (adversarial study, including the
+// mutk_qos_* registry with the predicted-vs-actual histograms) to the
 // working directory: one machine-readable record per row (tagged with its
 // "workload") plus a dump of the metrics registry, following the
 // BENCH_*.json convention described in docs/benchmarking.md.
@@ -28,8 +40,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <thread>
 #include <vector>
@@ -187,6 +201,231 @@ void blockOverlapTable(std::vector<ResultRow> &Rows) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// QoS adversarial study
+//===----------------------------------------------------------------------===//
+
+struct Percentiles {
+  double P50Us = 0.0;
+  double P99Us = 0.0;
+};
+
+Percentiles percentilesOf(std::vector<double> &LatenciesUs) {
+  Percentiles P;
+  if (LatenciesUs.empty())
+    return P;
+  std::sort(LatenciesUs.begin(), LatenciesUs.end());
+  auto at = [&](double Q) {
+    std::size_t I = static_cast<std::size_t>(
+        Q * static_cast<double>(LatenciesUs.size() - 1));
+    return LatenciesUs[I];
+  };
+  P.P50Us = at(0.50);
+  P.P99Us = at(0.99);
+  return P;
+}
+
+/// One adversarial-mix measurement, serialized into BENCH_qos.json.
+struct QosRow {
+  bool QosOn = false;
+  int WarmSpecies = 0;
+  std::size_t WarmRequests = 0;
+  Percentiles Warm;
+  int WarmErrors = 0;
+  StatsSnapshot Stats;
+};
+
+/// Runs the adversarial mix against one service configuration: \p
+/// WarmClients closed-loop clients replaying a pre-warmed working set
+/// (latency-recorded) while \p AdversaryThreads keep submitting cold
+/// near-equidistant 20-taxon matrices under a 50 ms deadline — plus a
+/// periodic generated 96-taxon probe under a 1 ms deadline that nothing,
+/// not even the heuristic tier, can meet (the guaranteed shed).
+QosRow adversarialRun(bool QosOn, int WarmClients, int WarmRequests,
+                      int AdversaryThreads) {
+  ServiceOptions Options;
+  Options.NumWorkers = 2;
+  Options.Qos.Enabled = QosOn;
+  TreeService Service(Options);
+
+  const int WarmSetSize = 8;
+  const int WarmSpecies = 10;
+  std::vector<DistanceMatrix> WarmSet = workingSet(WarmSetSize, WarmSpecies);
+  for (const DistanceMatrix &M : WarmSet) {
+    BuildRequest Prime;
+    Prime.Matrix = M;
+    if (!Service.submit(std::move(Prime)).ok())
+      std::printf("  !! warm-set priming failed\n");
+  }
+
+  std::atomic<bool> StopAdversary{false};
+  std::vector<std::thread> Adversaries;
+  for (int A = 0; A < AdversaryThreads; ++A)
+    Adversaries.emplace_back([&, A] {
+      std::uint64_t Seed = static_cast<std::uint64_t>(A) * 100'000 + 1;
+      int K = 0;
+      while (!StopAdversary.load(std::memory_order_relaxed)) {
+        BuildRequest R;
+        if (++K % 4 == 0) {
+          // Hopeless probe: 96 generated taxa against a 1 ms deadline.
+          R.Generator = GeneratorKind::Uniform;
+          R.GenSpecies = 96;
+          R.GenSeed = Seed++;
+          R.DeadlineMillis = 1;
+        } else {
+          // The headline adversary: a cold 20-taxon block condensation
+          // cannot split, i.e. a real exact solve, deadline 50 ms.
+          R.Matrix = bench::hardModuleWorkload(20, Seed++);
+          R.MaxExactBlockSize = 20;
+          R.DeadlineMillis = 50;
+          R.UseCache = false;
+        }
+        (void)Service.submit(std::move(R));
+      }
+    });
+
+  std::atomic<int> WarmErrors{0};
+  std::vector<std::vector<double>> PerClientUs(
+      static_cast<std::size_t>(WarmClients));
+  std::vector<std::thread> Clients;
+  for (int C = 0; C < WarmClients; ++C)
+    Clients.emplace_back([&, C] {
+      std::vector<double> &Us = PerClientUs[static_cast<std::size_t>(C)];
+      Us.reserve(static_cast<std::size_t>(WarmRequests));
+      for (int R = 0; R < WarmRequests; ++R) {
+        BuildRequest Req;
+        Req.Matrix =
+            WarmSet[(static_cast<std::size_t>(C) + R) % WarmSet.size()];
+        Req.Priority = RequestPriority::High;
+        Req.Tenant = "warm";
+        auto T0 = std::chrono::steady_clock::now();
+        BuildResponse Resp = Service.submit(std::move(Req));
+        Us.push_back(std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count());
+        if (!Resp.ok())
+          WarmErrors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+
+  for (std::thread &T : Clients)
+    T.join();
+  StopAdversary.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Adversaries)
+    T.join();
+
+  QosRow Row;
+  Row.QosOn = QosOn;
+  Row.WarmSpecies = WarmSpecies;
+  std::vector<double> AllUs;
+  for (std::vector<double> &Us : PerClientUs)
+    AllUs.insert(AllUs.end(), Us.begin(), Us.end());
+  Row.WarmRequests = AllUs.size();
+  Row.Warm = percentilesOf(AllUs);
+  Row.WarmErrors = WarmErrors.load();
+  Row.Stats = Service.stats();
+  Service.stop();
+  return Row;
+}
+
+void writeQosJson(const std::vector<QosRow> &Rows, double P99Ratio) {
+  std::ofstream Out("BENCH_qos.json", std::ios::trunc);
+  if (!Out) {
+    std::printf("  !! could not write BENCH_qos.json\n");
+    return;
+  }
+  Out << "{\"bench\":\"qos_adversarial\",\"rows\":[";
+  for (std::size_t I = 0; I < Rows.size(); ++I) {
+    const QosRow &R = Rows[I];
+    if (I > 0)
+      Out << ",";
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "{\"workload\":\"adversarial\",\"qos\":%d,\"warm_species\":%d,"
+        "\"warm_requests\":%zu,\"warm_errors\":%d,"
+        "\"p50_us\":%.1f,\"p99_us\":%.1f,"
+        "\"shed_total\":%llu,\"rate_limited\":%llu,"
+        "\"tier_exact\":%llu,\"tier_pipeline\":%llu,"
+        "\"tier_heuristic\":%llu,\"coalesced\":%llu,"
+        "\"deadline_expired\":%llu,\"whole_hits\":%llu}",
+        R.QosOn ? 1 : 0, R.WarmSpecies, R.WarmRequests, R.WarmErrors,
+        R.Warm.P50Us, R.Warm.P99Us,
+        static_cast<unsigned long long>(R.Stats.Shed),
+        static_cast<unsigned long long>(R.Stats.RateLimited),
+        static_cast<unsigned long long>(R.Stats.TierExact),
+        static_cast<unsigned long long>(R.Stats.TierPipeline),
+        static_cast<unsigned long long>(R.Stats.TierHeuristic),
+        static_cast<unsigned long long>(R.Stats.Coalesced),
+        static_cast<unsigned long long>(R.Stats.DeadlineExpired),
+        static_cast<unsigned long long>(R.Stats.WholeHits));
+    Out << Buf;
+  }
+  char Summary[96];
+  std::snprintf(Summary, sizeof(Summary),
+                "],\"p99_ratio_off_over_on\":%.2f,\"registry\":", P99Ratio);
+  Out << Summary << mutk::obs::MetricsRegistry::global().renderJson()
+      << "}\n";
+  std::printf("  wrote BENCH_qos.json (%zu rows)\n", Rows.size());
+}
+
+/// The QoS adversarial study: identical warm/adversary mixes with the
+/// QoS layer off and on. Also asserts the exact-tier identity gate: the
+/// same matrix solved by both services yields byte-identical Newick.
+void qosAdversarialTable() {
+  bench::banner(
+      "Extension: QoS under an adversarial mixed workload",
+      "Warm lookups sharing the service with cold 20-taxon exact solves "
+      "under hopeless deadlines; QoS admission must protect the warm p99 "
+      "(>= 10x is the acceptance bar).");
+
+  // Exact-tier identity gate (docs/qos.md): QoS routing must never
+  // change what an exact-tier request computes.
+  {
+    DistanceMatrix M = bench::unifWorkload(12, 77);
+    TreeService Plain;
+    ServiceOptions QosOptions;
+    QosOptions.Qos.Enabled = true;
+    TreeService Qos(QosOptions);
+    BuildRequest A, B;
+    A.Matrix = M;
+    B.Matrix = M;
+    BuildResponse RespA = Plain.submit(std::move(A));
+    BuildResponse RespB = Qos.submit(std::move(B));
+    if (!RespA.ok() || !RespB.ok() || RespA.Newick != RespB.Newick) {
+      std::printf("  !! exact-tier result diverged from the non-QoS path\n");
+      std::abort();
+    }
+    Plain.stop();
+    Qos.stop();
+  }
+
+  const bool Smoke = std::getenv("MUTK_BENCH_SMOKE") != nullptr;
+  const int WarmClients = 4;
+  const int WarmRequests = Smoke ? 50 : 400;
+  const int AdversaryThreads = 2;
+
+  std::printf("%6s | %12s %12s | %6s %10s %6s %6s\n", "qos", "p50 us",
+              "p99 us", "shed", "heuristic", "coal", "err");
+  std::vector<QosRow> Rows;
+  for (bool QosOn : {false, true}) {
+    QosRow Row =
+        adversarialRun(QosOn, WarmClients, WarmRequests, AdversaryThreads);
+    std::printf("%6s | %12.1f %12.1f | %6llu %10llu %6llu %6d\n",
+                QosOn ? "on" : "off", Row.Warm.P50Us, Row.Warm.P99Us,
+                static_cast<unsigned long long>(Row.Stats.Shed),
+                static_cast<unsigned long long>(Row.Stats.TierHeuristic),
+                static_cast<unsigned long long>(Row.Stats.Coalesced),
+                Row.WarmErrors);
+    Rows.push_back(std::move(Row));
+  }
+  double Ratio = Rows[1].Warm.P99Us > 0.0
+                     ? Rows[0].Warm.P99Us / Rows[1].Warm.P99Us
+                     : 0.0;
+  std::printf("  warm p99 off/on ratio: %.1fx (acceptance >= 10x)\n", Ratio);
+  writeQosJson(Rows, Ratio);
+}
+
 void printTable() {
   bench::banner(
       "Extension: service throughput, cold vs warm result cache",
@@ -235,6 +474,7 @@ void printTable() {
   }
   blockOverlapTable(Rows);
   writeJson(Rows);
+  qosAdversarialTable();
 }
 
 void BM_ServiceSubmitCold(benchmark::State &State) {

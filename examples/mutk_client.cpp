@@ -19,6 +19,11 @@
 //   --condense {max|min|avg}  --three-three {none|third|all}
 //   --max-exact N  --budget NODES  --deadline MILLIS  --no-cache
 //   --polish  --incremental  --json
+// QoS options (protocol v3; daemon must run with --qos for them to
+// change scheduling):
+//   --priority {low|normal|high}  scheduling priority
+//   --deadline-ms MILLIS          alias of --deadline
+//   --tenant NAME                 fair-share / rate-limit bucket
 // Connection options:
 //   --retries N      retry a failed connect up to N times (default 0)
 //   --backoff-ms MS  initial retry delay, doubled per attempt and
@@ -50,6 +55,8 @@ int usage(const char *Argv0) {
       "       [--condense max|min|avg] [--three-three none|third|all]\n"
       "       [--max-exact N] [--budget NODES] [--deadline MS]\n"
       "       [--no-cache] [--polish] [--incremental] [--json]\n"
+      "       [--priority low|normal|high] [--deadline-ms MS]"
+      " [--tenant NAME]\n"
       "       [--retries N] [--backoff-ms MS]\n",
       Argv0);
   return 1;
@@ -70,13 +77,16 @@ std::string jsonEscape(const std::string &Text) {
 void printBuildJson(const BuildResponse &R) {
   std::printf("{\"error\":\"%s\",", serviceErrorName(R.Error));
   if (!R.ok()) {
-    std::printf("\"message\":\"%s\"}\n", jsonEscape(R.Message).c_str());
+    std::printf("\"message\":\"%s\",\"advice\":\"%s\"}\n",
+                jsonEscape(R.Message).c_str(),
+                jsonEscape(serviceErrorAdvice(R.Error)).c_str());
     return;
   }
   std::printf("\"cost\":%.10g,\"exact\":%s,\"cache_hit\":%s,"
               "\"block_cache_hits\":%u,\"branched\":%llu,"
               "\"incremental\":%s,\"dirty_blocks\":%u,\"clean_blocks\":%u,"
               "\"taxa_added\":%d,\"taxa_removed\":%d,\"entries_changed\":%d,"
+              "\"tier\":\"%s\",\"predicted_ms\":%.3f,\"coalesced\":%s,"
               "\"queue_ms\":%.3f,\"solve_ms\":%.3f,"
               "\"blocks\":%zu,\"newick\":\"%s\"}\n",
               R.Cost, R.Exact ? "true" : "false",
@@ -84,8 +94,9 @@ void printBuildJson(const BuildResponse &R) {
               static_cast<unsigned long long>(R.Branched),
               R.IncrementalApplied ? "true" : "false", R.DirtyBlocks,
               R.CleanBlocks, R.TaxaAdded, R.TaxaRemoved, R.EntriesChanged,
-              R.QueueMillis, R.SolveMillis, R.Blocks.size(),
-              jsonEscape(R.Newick).c_str());
+              qosTierName(R.Tier), R.PredictedMillis,
+              R.Coalesced ? "true" : "false", R.QueueMillis, R.SolveMillis,
+              R.Blocks.size(), jsonEscape(R.Newick).c_str());
 }
 
 } // namespace
@@ -138,9 +149,21 @@ int main(int argc, char **argv) {
       Request.MaxExactBlockSize = std::atoi(V);
     else if (Arg == "--budget" && (V = next()))
       Request.NodeBudget = std::strtoull(V, nullptr, 10);
-    else if (Arg == "--deadline" && (V = next()))
+    else if ((Arg == "--deadline" || Arg == "--deadline-ms") && (V = next()))
       Request.DeadlineMillis =
           static_cast<std::uint32_t>(std::strtoul(V, nullptr, 10));
+    else if (Arg == "--priority" && (V = next())) {
+      std::string P = V;
+      if (P == "low")
+        Request.Priority = RequestPriority::Low;
+      else if (P == "normal")
+        Request.Priority = RequestPriority::Normal;
+      else if (P == "high")
+        Request.Priority = RequestPriority::High;
+      else
+        return usage(argv[0]);
+    } else if (Arg == "--tenant" && (V = next()))
+      Request.Tenant = V;
     else if (Arg == "--no-cache")
       Request.UseCache = false;
     else if (Arg == "--polish")
@@ -247,7 +270,10 @@ int main(int argc, char **argv) {
                 " %llu hits / %llu misses (%llu remote)\nincremental: "
                 " %llu applied, %llu dirty / %llu clean blocks\n"
                 "deadline:     %llu expired\n"
-                "rejected:     %llu\nqueue depth:  %llu\ncache size:   "
+                "rejected:     %llu\n"
+                "qos:          %llu shed, %llu rate-limited, %llu coalesced\n"
+                "tiers:        %llu exact / %llu pipeline / %llu heuristic\n"
+                "queue depth:  %llu\ncache size:   "
                 "%llu\nlatency:      p50 %.2fms p95 %.2fms\n",
                 static_cast<unsigned long long>(S->Accepted),
                 static_cast<unsigned long long>(S->Completed),
@@ -262,6 +288,12 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(S->IncrementalClean),
                 static_cast<unsigned long long>(S->DeadlineExpired),
                 static_cast<unsigned long long>(S->Rejected),
+                static_cast<unsigned long long>(S->Shed),
+                static_cast<unsigned long long>(S->RateLimited),
+                static_cast<unsigned long long>(S->Coalesced),
+                static_cast<unsigned long long>(S->TierExact),
+                static_cast<unsigned long long>(S->TierPipeline),
+                static_cast<unsigned long long>(S->TierHeuristic),
                 static_cast<unsigned long long>(S->QueueDepth),
                 static_cast<unsigned long long>(S->CacheEntries),
                 S->P50Millis, S->P95Millis);
@@ -299,12 +331,26 @@ int main(int argc, char **argv) {
     return Resp->ok() ? 0 : 1;
   }
   if (!Resp->ok()) {
+    // Errors carry their own advice line: QueueFull means overload
+    // (retry with backoff), ShuttingDown means a dying daemon (go
+    // elsewhere), Shed/RateLimited are QoS decisions the caller can
+    // change. Keeping them distinct here is what makes the status codes
+    // actionable from a shell script.
     std::fprintf(stderr, "error [%s]: %s\n", serviceErrorName(Resp->Error),
                  Resp->Message.c_str());
+    const char *Advice = serviceErrorAdvice(Resp->Error);
+    if (Advice[0] != '\0')
+      std::fprintf(stderr, "hint: %s\n", Advice);
     return 1;
   }
   std::printf("cost:     %.4f%s\n", Resp->Cost,
               Resp->Exact ? "  (all blocks exact)" : "");
+  std::printf("tier:     %s%s%s\n", qosTierName(Resp->Tier),
+              Resp->Coalesced ? ", coalesced onto an identical in-flight job"
+                              : "",
+              Resp->PredictedMillis > 0.0 ? "" : " (no prediction)");
+  if (Resp->PredictedMillis > 0.0)
+    std::printf("predict:  %.3fms\n", Resp->PredictedMillis);
   std::printf("cache:    %s, %u block hit(s)\n",
               Resp->CacheHit ? "whole-matrix hit" : "miss",
               Resp->BlockCacheHits);

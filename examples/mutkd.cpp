@@ -13,11 +13,21 @@
 //         [--block-solver seq|threaded|cluster]
 //         [--block-concurrency N] [--threads-per-block N]
 //         [--incremental [--incremental-bases N]]
+//         [--qos [--qos-tenant-rate R] [--qos-tenant-burst B]
+//          [--qos-degraded-max-exact N] [--qos-fit-margin F]
+//          [--qos-starvation-ms MS] [--qos-no-coalesce]]
 //         [--stats-dump PATH [--stats-interval SEC]]
 //         [--state-dir DIR]
 //         [--cluster-id N --cluster-peers host:port,host:port,...
 //          [--cluster-port N] [--cluster-heartbeat SEC]
 //          [--cluster-dead-after SEC] [--cluster-no-steal]]
+//
+// --qos enables the cost-predictive QoS layer (docs/qos.md): requests
+// are routed to an exact, degraded-pipeline or heuristic tier by
+// predicted cost vs their deadline, hopeless requests are shed up
+// front, per-tenant token buckets bound admission rates, the ready
+// queue serves priority/EDF order with per-tenant fair sharing, and
+// identical in-flight requests coalesce onto one solve.
 //
 // With --cluster-id/--cluster-peers the daemon also joins a mutkd
 // cluster (docs/distributed.md): the peers heartbeat each other over a
@@ -71,6 +81,9 @@ int usage(const char *Argv0) {
                "       [--block-solver seq|threaded|cluster]\n"
                "       [--block-concurrency N] [--threads-per-block N]\n"
                "       [--incremental [--incremental-bases N]]\n"
+               "       [--qos [--qos-tenant-rate R] [--qos-tenant-burst B]\n"
+               "        [--qos-degraded-max-exact N] [--qos-fit-margin F]\n"
+               "        [--qos-starvation-ms MS] [--qos-no-coalesce]]\n"
                "       [--stats-dump PATH [--stats-interval SEC]]"
                " [--state-dir DIR]\n"
                "       [--cluster-id N --cluster-peers HOST:PORT,...]\n"
@@ -217,6 +230,20 @@ int main(int argc, char **argv) {
     else if (Arg == "--incremental-bases" && (V = next()))
       Options.IncrementalBases =
           static_cast<std::size_t>(std::max(1, std::atoi(V)));
+    else if (Arg == "--qos")
+      Options.Qos.Enabled = true;
+    else if (Arg == "--qos-tenant-rate" && (V = next()))
+      Options.Qos.TenantRatePerSec = std::max(0.0, std::atof(V));
+    else if (Arg == "--qos-tenant-burst" && (V = next()))
+      Options.Qos.TenantBurst = std::max(1.0, std::atof(V));
+    else if (Arg == "--qos-degraded-max-exact" && (V = next()))
+      Options.Qos.DegradedMaxExactBlockSize = std::max(1, std::atoi(V));
+    else if (Arg == "--qos-fit-margin" && (V = next()))
+      Options.Qos.FitMargin = std::max(1.0, std::atof(V));
+    else if (Arg == "--qos-starvation-ms" && (V = next()))
+      Options.QosStarvationMillis = std::max(0.0, std::atof(V));
+    else if (Arg == "--qos-no-coalesce")
+      Options.QosCoalesce = false;
     else if (Arg == "--stats-dump" && (V = next()))
       StatsDumpPath = V;
     else if (Arg == "--stats-interval" && (V = next()))
@@ -332,6 +359,7 @@ int main(int argc, char **argv) {
       .kv("block_concurrency", Options.BlockConcurrency)
       .kv("threads_per_block", Options.ThreadsPerBlock)
       .kv("incremental", Options.Incremental ? "on" : "off")
+      .kv("qos", Options.Qos.Enabled ? "on" : "off")
       .kv("build", buildFlavor())
       .kv("stats_dump",
           StatsDumpPath.empty() ? std::string("off") : StatsDumpPath)
@@ -379,6 +407,9 @@ int main(int argc, char **argv) {
       .kv("block_misses", S.BlockMisses)
       .kv("block_remote_hits", S.BlockRemoteHits)
       .kv("incremental_applied", S.IncrementalApplied)
+      .kv("shed", S.Shed)
+      .kv("rate_limited", S.RateLimited)
+      .kv("coalesced", S.Coalesced)
       .kv("p50_ms", S.P50Millis)
       .kv("p95_ms", S.P95Millis);
   return 0;

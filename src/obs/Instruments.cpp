@@ -172,6 +172,25 @@ IncrementalInstruments &mutk::obs::incrementalInstruments() {
   return I;
 }
 
+QosInstruments &mutk::obs::qosInstruments() {
+  static QosInstruments I{
+      reg().counter("mutk_qos_shed_total"),
+      reg().counter("mutk_qos_rate_limited_total"),
+      reg().counter("mutk_qos_tier_exact_total"),
+      reg().counter("mutk_qos_tier_pipeline_total"),
+      reg().counter("mutk_qos_tier_heuristic_total"),
+      reg().counter("mutk_qos_coalesced_total"),
+      reg().counter("mutk_qos_starvation_promotions_total"),
+      reg().counter("mutk_qos_profile_dry_runs_total"),
+      reg().counter("mutk_qos_profile_memo_hits_total"),
+      reg().gauge("mutk_qos_cost_per_node_ns"),
+      reg().histogram("mutk_qos_coalesce_fanout"),
+      reg().histogram("mutk_qos_predicted_ms"),
+      reg().histogram("mutk_qos_actual_ms"),
+  };
+  return I;
+}
+
 PipelineInstruments &mutk::obs::pipelineInstruments() {
   static PipelineInstruments I{
       reg().counter("mutk_pipeline_runs_total"),

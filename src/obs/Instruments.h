@@ -176,6 +176,30 @@ struct IncrementalInstruments {
 };
 IncrementalInstruments &incrementalInstruments();
 
+/// Cost-predictive QoS layer counters (`docs/qos.md`): admission
+/// outcomes (sheds, rate limits, per-tier routing), coalescing
+/// (followers answered by a leader, fan-out sizes), scheduler
+/// starvation promotions, the predictor's dry-run memo traffic and the
+/// predicted-vs-actual latency pair used to judge calibration.
+struct QosInstruments {
+  Counter &Shed;
+  Counter &RateLimited;
+  Counter &TierExact;
+  Counter &TierPipeline;
+  Counter &TierHeuristic;
+  Counter &Coalesced;
+  Counter &StarvationPromotions;
+  Counter &ProfileDryRuns;
+  Counter &ProfileMemoHits;
+  /// Calibrated cost-per-node coefficient, in nanoseconds per search
+  /// node (gauges are integers; ns keeps useful resolution).
+  Gauge &CostPerNodeNanos;
+  Histogram &CoalesceFanout;
+  Histogram &PredictedMillis;
+  Histogram &ActualMillis;
+};
+QosInstruments &qosInstruments();
+
 /// Compact-set pipeline counters.
 struct PipelineInstruments {
   Counter &Runs;

@@ -1,0 +1,107 @@
+//===- qos/Admission.cpp - Admission control & tier routing ---------------===//
+
+#include "qos/Admission.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace mutk;
+using namespace mutk::qos;
+
+AdmissionController::AdmissionController(CostModel &Model,
+                                         const AdmissionOptions &Options)
+    : Model(Model), Options(Options) {}
+
+bool AdmissionController::takeToken(const std::string &Tenant) {
+  if (Options.TenantRatePerSec <= 0.0)
+    return true;
+  auto Now = std::chrono::steady_clock::now();
+  MutexLock Lock(BucketsMu);
+  auto [It, Fresh] = Buckets.try_emplace(Tenant);
+  Bucket &B = It->second;
+  if (Fresh) {
+    B.Tokens = Options.TenantBurst;
+    B.LastRefill = Now;
+  } else {
+    double Elapsed =
+        std::chrono::duration<double>(Now - B.LastRefill).count();
+    B.Tokens = std::min(Options.TenantBurst,
+                        B.Tokens + Elapsed * Options.TenantRatePerSec);
+    B.LastRefill = Now;
+  }
+  if (B.Tokens < 1.0)
+    return false;
+  B.Tokens -= 1.0;
+  return true;
+}
+
+Verdict AdmissionController::assess(const BuildRequest &Request,
+                                    const DifficultyProfile &Profile,
+                                    double RemainingMillis) {
+  Verdict V;
+  if (!takeToken(Request.Tenant)) {
+    V.Admit = false;
+    V.Error = ServiceError::RateLimited;
+    V.Message = "tenant '" + Request.Tenant + "' exceeded its request rate";
+    return V;
+  }
+
+  int ExactCap = std::max(1, Request.MaxExactBlockSize);
+  double ExactNodes = Model.predictNodes(Profile, ExactCap);
+  double ExactMillis = ExactNodes * Model.millisPerNode();
+
+  // No deadline: nothing to fit against, run at full fidelity.
+  if (RemainingMillis < 0.0) {
+    V.Tier = QosTier::Exact;
+    V.PredictedMillis = ExactMillis;
+    V.PredictedNodes = ExactNodes;
+    return V;
+  }
+
+  double Margin = std::max(1.0, Options.FitMargin);
+  auto fits = [&](double Millis) {
+    return Millis * Margin <= RemainingMillis;
+  };
+
+  if (fits(ExactMillis)) {
+    V.Tier = QosTier::Exact;
+    V.PredictedMillis = ExactMillis;
+    V.PredictedNodes = ExactNodes;
+    return V;
+  }
+
+  // Degraded pipeline: same decomposition, tighter exact cap; oversized
+  // blocks fall back to the in-pipeline heuristic.
+  int DegradedCap =
+      std::min(ExactCap, std::max(1, Options.DegradedMaxExactBlockSize));
+  if (DegradedCap < ExactCap) {
+    double DegradedNodes = Model.predictNodes(Profile, DegradedCap);
+    double DegradedMillis = DegradedNodes * Model.millisPerNode();
+    if (fits(DegradedMillis)) {
+      V.Tier = QosTier::Pipeline;
+      V.PredictedMillis = DegradedMillis;
+      V.PredictedNodes = DegradedNodes;
+      return V;
+    }
+  }
+
+  double HeuristicMillis = Model.heuristicMillis(Profile.Species);
+  if (fits(HeuristicMillis)) {
+    V.Tier = QosTier::Heuristic;
+    V.PredictedMillis = HeuristicMillis;
+    V.PredictedNodes = 0.0; // no B&B nodes: excluded from calibration
+    return V;
+  }
+
+  V.Admit = false;
+  V.Error = ServiceError::Shed;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "predicted cost %.1f ms (heuristic %.1f ms) exceeds the "
+                "remaining deadline of %.1f ms",
+                ExactMillis, HeuristicMillis, RemainingMillis);
+  V.Message = Buf;
+  V.PredictedMillis = ExactMillis;
+  V.PredictedNodes = ExactNodes;
+  return V;
+}

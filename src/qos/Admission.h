@@ -1,0 +1,102 @@
+//===- qos/Admission.h - Admission control & tier routing -------*- C++ -*-===//
+///
+/// \file
+/// The decision layer between protocol decode and the ready queue: given
+/// a build request, its difficulty profile and the time left until its
+/// deadline, decide *whether* the service should run it and *how*:
+///
+///   * `Exact` tier — the predicted full-fidelity solve fits the
+///     deadline (or there is none). The request runs completely
+///     unmodified, so exact-tier results are byte-identical to the
+///     non-QoS path.
+///   * `Pipeline` tier — the full solve does not fit, but a degraded
+///     pipeline run (exact cap clamped to `DegradedMaxExactBlockSize`,
+///     oversized blocks falling back to the in-pipeline heuristic) does.
+///   * `Heuristic` tier — only a single agglomerative pass (UPGMM,
+///     `heur/Upgma.h`) fits: a feasible tree in O(n^2 log n), no B&B.
+///   * Shed (`ServiceError::Shed`) — even the heuristic cannot meet the
+///     deadline; answering immediately costs the client nothing and
+///     protects every queued request behind it.
+///
+/// Ahead of tier routing, per-tenant token buckets bound each tenant's
+/// admitted request rate (`ServiceError::RateLimited` when drained), so
+/// one chatty client cannot monopolize admission regardless of how cheap
+/// its requests are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_QOS_ADMISSION_H
+#define MUTK_QOS_ADMISSION_H
+
+#include "qos/CostModel.h"
+#include "service/Protocol.h"
+#include "support/Mutex.h"
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace mutk::qos {
+
+/// Admission-control knobs (a sub-struct of `ServiceOptions`).
+struct AdmissionOptions {
+  /// Master switch: when false the service never consults admission and
+  /// behaves exactly as before the QoS layer existed.
+  bool Enabled = false;
+  /// Tokens per second granted to each tenant (0 = unlimited).
+  double TenantRatePerSec = 0.0;
+  /// Bucket depth: the burst a tenant may submit after idling.
+  double TenantBurst = 16.0;
+  /// Exact-block cap of the degraded pipeline tier.
+  int DegradedMaxExactBlockSize = 8;
+  /// Safety margin on fit checks: a tier is chosen only when its
+  /// predicted cost times this factor fits the remaining deadline.
+  double FitMargin = 1.0;
+};
+
+/// One admission decision.
+struct Verdict {
+  bool Admit = true;
+  QosTier Tier = QosTier::Exact;
+  /// `Shed` or `RateLimited` when `!Admit`.
+  ServiceError Error = ServiceError::None;
+  std::string Message;
+  /// Predicted wall time of the chosen tier (echoed to the client).
+  double PredictedMillis = 0.0;
+  /// Predicted search nodes (calibration input for exact/pipeline runs).
+  double PredictedNodes = 0.0;
+};
+
+/// Thread-safe admission controller: token buckets + tier routing over a
+/// shared `CostModel`.
+class AdmissionController {
+public:
+  /// \p Model is borrowed and must outlive the controller.
+  AdmissionController(CostModel &Model, const AdmissionOptions &Options);
+
+  /// Decides the fate of a request whose difficulty is \p Profile.
+  /// \p RemainingMillis is the time left until the deadline (< 0 when
+  /// the request has none). Charges \p Tenant's token bucket.
+  Verdict assess(const BuildRequest &Request,
+                 const DifficultyProfile &Profile, double RemainingMillis);
+
+  const AdmissionOptions &options() const { return Options; }
+
+private:
+  /// Takes one token from \p Tenant's bucket; false when drained.
+  bool takeToken(const std::string &Tenant);
+
+  CostModel &Model;
+  AdmissionOptions Options;
+
+  struct Bucket {
+    double Tokens = 0.0;
+    std::chrono::steady_clock::time_point LastRefill{};
+  };
+  Mutex BucketsMu{"qos.admission"};
+  std::unordered_map<std::string, Bucket> Buckets MUTK_GUARDED_BY(BucketsMu);
+};
+
+} // namespace mutk::qos
+
+#endif // MUTK_QOS_ADMISSION_H

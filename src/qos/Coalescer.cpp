@@ -1,0 +1,57 @@
+//===- qos/Coalescer.cpp - In-flight request coalescing -------------------===//
+
+#include "qos/Coalescer.h"
+
+using namespace mutk;
+using namespace mutk::qos;
+
+Coalescer::Attach Coalescer::attach(std::uint64_t Key,
+                                    const std::vector<std::uint8_t> &Identity,
+                                    bool *Tracked) {
+  if (Tracked)
+    *Tracked = true;
+  MutexLock Lock(Mu);
+  auto It = Flights.find(Key);
+  if (It == Flights.end()) {
+    Flight F;
+    F.Identity = Identity;
+    Flights.emplace(Key, std::move(F));
+    Attach Out;
+    Out.Leader = true;
+    return Out;
+  }
+  if (It->second.Identity != Identity) {
+    // 64-bit collision between distinct requests: submit normally,
+    // outside any flight.
+    if (Tracked)
+      *Tracked = false;
+    Attach Out;
+    Out.Leader = true;
+    return Out;
+  }
+  It->second.Followers.emplace_back();
+  Attach Out;
+  Out.Leader = false;
+  Out.Follower = It->second.Followers.back().get_future();
+  return Out;
+}
+
+std::vector<std::promise<BuildResponse>>
+Coalescer::take(std::uint64_t Key) {
+  MutexLock Lock(Mu);
+  auto It = Flights.find(Key);
+  if (It == Flights.end())
+    return {};
+  std::vector<std::promise<BuildResponse>> Out =
+      std::move(It->second.Followers);
+  Flights.erase(It);
+  return Out;
+}
+
+std::size_t Coalescer::parkedFollowers() const {
+  MutexLock Lock(Mu);
+  std::size_t N = 0;
+  for (const auto &[Key, F] : Flights)
+    N += F.Followers.size();
+  return N;
+}

@@ -1,0 +1,72 @@
+//===- qos/Coalescer.h - In-flight request coalescing -----------*- C++ -*-===//
+///
+/// \file
+/// Deduplicates identical in-flight build requests beyond the pipeline's
+/// per-block single-flight: the first submitter of an identity becomes
+/// the *leader* and is enqueued normally; every later identical request
+/// becomes a *follower* whose promise is parked on the leader's flight.
+/// When the leader's job resolves — success, error, rejection or
+/// shutdown, every path goes through the same service helper — the
+/// result is fanned out to all followers in one pass, so N identical
+/// requests cost one queue slot and one solve.
+///
+/// Identity is decided by the caller (the service hashes the encoded
+/// request with scheduling-only fields normalized out) and collision-
+/// checked against the stored identity bytes: a 64-bit collision falls
+/// back to a normal non-coalesced submit, never a wrong fan-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUTK_QOS_COALESCER_H
+#define MUTK_QOS_COALESCER_H
+
+#include "service/Protocol.h"
+#include "support/Mutex.h"
+
+#include <cstdint>
+#include <future>
+#include <unordered_map>
+#include <vector>
+
+namespace mutk::qos {
+
+/// Tracks one leader per in-flight request identity and the follower
+/// promises parked on it. Thread-safe.
+class Coalescer {
+public:
+  /// Outcome of `attach`.
+  struct Attach {
+    /// True: no identical request is in flight; the caller must enqueue
+    /// the job and later call `resolve` with this key.
+    bool Leader = true;
+    /// Valid when `!Leader`: resolves with the leader's response.
+    std::future<BuildResponse> Follower;
+  };
+
+  /// Joins the flight for \p Key (identity \p Identity), registering a
+  /// new flight when none exists. A key collision with different
+  /// identity bytes is reported as `Leader` with `Tracked == false` —
+  /// the caller submits normally and never calls `resolve`.
+  Attach attach(std::uint64_t Key, const std::vector<std::uint8_t> &Identity,
+                bool *Tracked);
+
+  /// Ends the flight for \p Key and returns the parked follower promises
+  /// (empty when nobody joined). The caller fans \p them out *outside*
+  /// any of its own locks.
+  std::vector<std::promise<BuildResponse>> take(std::uint64_t Key);
+
+  /// Followers currently parked across all flights (tests).
+  std::size_t parkedFollowers() const;
+
+private:
+  struct Flight {
+    std::vector<std::uint8_t> Identity;
+    std::vector<std::promise<BuildResponse>> Followers;
+  };
+  mutable Mutex Mu{"qos.coalesce"};
+  std::unordered_map<std::uint64_t, Flight> Flights MUTK_GUARDED_BY(Mu);
+};
+
+} // namespace mutk::qos
+
+#endif // MUTK_QOS_COALESCER_H

@@ -1,0 +1,60 @@
+//===- qos/Scheduler.cpp - Priority/EDF ready queue -----------------------===//
+
+#include "qos/Scheduler.h"
+
+using namespace mutk;
+using namespace mutk::qos;
+
+std::uint64_t ReadyPolicy::servedCount(const std::string &Tenant) const {
+  auto It = ServedByTenant.find(Tenant);
+  return It == ServedByTenant.end() ? 0 : It->second;
+}
+
+bool ReadyPolicy::ranksBefore(const Ticket &A, const Ticket &B) const {
+  if (A.Priority != B.Priority)
+    return A.Priority > B.Priority;
+  if (A.Tenant != B.Tenant) {
+    std::uint64_t ServedA = servedCount(A.Tenant);
+    std::uint64_t ServedB = servedCount(B.Tenant);
+    if (ServedA != ServedB)
+      return ServedA < ServedB;
+  }
+  if (A.HasDeadline != B.HasDeadline)
+    return A.HasDeadline; // a deadline outranks "whenever"
+  if (A.HasDeadline && A.Deadline != B.Deadline)
+    return A.Deadline < B.Deadline;
+  return A.Seq < B.Seq;
+}
+
+std::size_t ReadyPolicy::pick(const std::vector<const Ticket *> &Tickets,
+                              Ticket::Clock::time_point Now,
+                              bool *Starved) const {
+  if (Starved)
+    *Starved = false;
+  std::size_t Best = 0;
+  std::size_t Oldest = 0;
+  for (std::size_t I = 1; I < Tickets.size(); ++I) {
+    if (ranksBefore(*Tickets[I], *Tickets[Best]))
+      Best = I;
+    if (Tickets[I]->Seq < Tickets[Oldest]->Seq)
+      Oldest = I;
+  }
+  if (Options.StarvationMillis > 0.0 && Oldest != Best) {
+    double WaitedMillis = std::chrono::duration<double, std::milli>(
+                              Now - Tickets[Oldest]->Enqueued)
+                              .count();
+    if (WaitedMillis > Options.StarvationMillis) {
+      if (Starved)
+        *Starved = true;
+      return Oldest;
+    }
+  }
+  return Best;
+}
+
+void ReadyPolicy::served(const std::string &Tenant) {
+  if (ServedByTenant.size() >= MaxTenants &&
+      ServedByTenant.find(Tenant) == ServedByTenant.end())
+    ServedByTenant.clear();
+  ++ServedByTenant[Tenant];
+}

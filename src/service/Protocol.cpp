@@ -26,6 +26,50 @@ const char *mutk::serviceErrorName(ServiceError Error) {
     return "shutting-down";
   case ServiceError::Internal:
     return "internal";
+  case ServiceError::Shed:
+    return "shed";
+  case ServiceError::RateLimited:
+    return "rate-limited";
+  }
+  return "unknown";
+}
+
+const char *mutk::serviceErrorAdvice(ServiceError Error) {
+  switch (Error) {
+  case ServiceError::QueueFull:
+    return "the daemon is overloaded (queue full); retry with backoff "
+           "(--retries/--backoff-ms)";
+  case ServiceError::ShuttingDown:
+    return "the daemon is shutting down and accepts no further work; "
+           "resubmit to another instance or after a restart";
+  case ServiceError::Shed:
+    return "the deadline cannot be met on any tier; raise --deadline-ms "
+           "or drop it entirely";
+  case ServiceError::RateLimited:
+    return "the tenant's request rate is capped; slow down or submit "
+           "under a different --tenant";
+  case ServiceError::DeadlineExpired:
+    return "the deadline elapsed before a result was ready; raise "
+           "--deadline-ms";
+  case ServiceError::None:
+  case ServiceError::BadFrame:
+  case ServiceError::BadRequest:
+  case ServiceError::BadMatrix:
+  case ServiceError::TooLarge:
+  case ServiceError::Internal:
+    return "";
+  }
+  return "";
+}
+
+const char *mutk::qosTierName(QosTier Tier) {
+  switch (Tier) {
+  case QosTier::Exact:
+    return "exact";
+  case QosTier::Pipeline:
+    return "pipeline";
+  case QosTier::Heuristic:
+    return "heuristic";
   }
   return "unknown";
 }
@@ -92,6 +136,8 @@ void writeBuildRequest(ByteWriter &W, const BuildRequest &B) {
   W.writeU32(B.DeadlineMillis);
   W.writeU8(B.UseCache ? 1 : 0);
   W.writeU8(B.Incremental ? 1 : 0);
+  W.writeU8(static_cast<std::uint8_t>(B.Priority));
+  W.writeString(B.Tenant);
 }
 
 bool readBuildRequest(ByteReader &R, BuildRequest &B) {
@@ -121,7 +167,12 @@ bool readBuildRequest(ByteReader &R, BuildRequest &B) {
   B.Polish = Polish != 0;
   B.UseCache = UseCache != 0;
   B.Incremental = Incremental != 0;
-  return true;
+  std::uint8_t Priority = 0;
+  if (!R.readU8(Priority) ||
+      Priority > static_cast<std::uint8_t>(RequestPriority::High))
+    return false;
+  B.Priority = static_cast<RequestPriority>(Priority);
+  return R.readString(B.Tenant);
 }
 
 void writeBuildResponse(ByteWriter &W, const BuildResponse &B) {
@@ -148,12 +199,14 @@ void writeBuildResponse(ByteWriter &W, const BuildResponse &B) {
   W.writeI32(B.EntriesChanged);
   W.writeF64(B.QueueMillis);
   W.writeF64(B.SolveMillis);
+  W.writeU8(static_cast<std::uint8_t>(B.Tier));
+  W.writeF64(B.PredictedMillis);
+  W.writeU8(B.Coalesced ? 1 : 0);
 }
 
 bool readBuildResponse(ByteReader &R, BuildResponse &B) {
   std::uint8_t Error = 0, Exact = 0, CacheHit = 0;
-  if (!R.readU8(Error) ||
-      Error > static_cast<std::uint8_t>(ServiceError::Internal))
+  if (!R.readU8(Error) || Error > MaxServiceError)
     return false;
   B.Error = static_cast<ServiceError>(Error);
   if (!R.readString(B.Message) || !R.readString(B.Newick) ||
@@ -180,7 +233,16 @@ bool readBuildResponse(ByteReader &R, BuildResponse &B) {
       !R.readI32(B.TaxaRemoved) || !R.readI32(B.EntriesChanged))
     return false;
   B.IncrementalApplied = IncrementalApplied != 0;
-  return R.readF64(B.QueueMillis) && R.readF64(B.SolveMillis);
+  if (!R.readF64(B.QueueMillis) || !R.readF64(B.SolveMillis))
+    return false;
+  std::uint8_t Tier = 0, Coalesced = 0;
+  if (!R.readU8(Tier) ||
+      Tier > static_cast<std::uint8_t>(QosTier::Heuristic) ||
+      !R.readF64(B.PredictedMillis) || !R.readU8(Coalesced))
+    return false;
+  B.Tier = static_cast<QosTier>(Tier);
+  B.Coalesced = Coalesced != 0;
+  return true;
 }
 
 void writeStats(ByteWriter &W, const StatsSnapshot &S) {
@@ -197,6 +259,12 @@ void writeStats(ByteWriter &W, const StatsSnapshot &S) {
   W.writeU64(S.IncrementalClean);
   W.writeU64(S.DeadlineExpired);
   W.writeU64(S.Rejected);
+  W.writeU64(S.Shed);
+  W.writeU64(S.RateLimited);
+  W.writeU64(S.TierExact);
+  W.writeU64(S.TierPipeline);
+  W.writeU64(S.TierHeuristic);
+  W.writeU64(S.Coalesced);
   W.writeU64(S.QueueDepth);
   W.writeU64(S.CacheEntries);
   W.writeF64(S.P50Millis);
@@ -210,7 +278,10 @@ bool readStats(ByteReader &R, StatsSnapshot &S) {
          R.readU64(S.BlockMisses) && R.readU64(S.BlockRemoteHits) &&
          R.readU64(S.IncrementalApplied) && R.readU64(S.IncrementalDirty) &&
          R.readU64(S.IncrementalClean) && R.readU64(S.DeadlineExpired) &&
-         R.readU64(S.Rejected) && R.readU64(S.QueueDepth) &&
+         R.readU64(S.Rejected) && R.readU64(S.Shed) &&
+         R.readU64(S.RateLimited) && R.readU64(S.TierExact) &&
+         R.readU64(S.TierPipeline) && R.readU64(S.TierHeuristic) &&
+         R.readU64(S.Coalesced) && R.readU64(S.QueueDepth) &&
          R.readU64(S.CacheEntries) && R.readF64(S.P50Millis) &&
          R.readF64(S.P95Millis);
 }
@@ -275,7 +346,7 @@ mutk::decodeResponse(const std::vector<std::uint8_t> &Bytes,
   if (RawVerb < static_cast<std::uint8_t>(Verb::Build) ||
       RawVerb > static_cast<std::uint8_t>(Verb::StatsJson))
     return failResp(Error, "unknown verb");
-  if (RawError > static_cast<std::uint8_t>(ServiceError::Internal))
+  if (RawError > MaxServiceError)
     return failResp(Error, "unknown error code");
 
   Response Out;

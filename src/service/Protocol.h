@@ -43,8 +43,10 @@ namespace mutk {
 /// Protocol revision; bumped on any incompatible layout change.
 /// Version 2 added the incremental re-solve fields (request `Incremental`
 /// flag; response perturbation-delta block; stats remote-block and
-/// incremental counters).
-inline constexpr std::uint32_t ServiceProtocolVersion = 2;
+/// incremental counters). Version 3 added the QoS fields: request
+/// priority/tenant, response tier/predicted-cost/coalesced, the `Shed`
+/// and `RateLimited` error codes, and the stats QoS counter block.
+inline constexpr std::uint32_t ServiceProtocolVersion = 3;
 
 /// Upper bound on a frame payload; larger frames are rejected before
 /// allocation so a hostile length prefix cannot OOM the server.
@@ -75,13 +77,46 @@ enum class ServiceError : std::uint8_t {
   TooLarge = 4,    ///< Matrix exceeds the server's species cap.
   DeadlineExpired = 5, ///< The request's deadline elapsed before a
                        ///< result was ready.
-  QueueFull = 6,       ///< Admission control rejected the job.
+  QueueFull = 6,       ///< The job queue is full (overload — transient;
+                       ///< retry with backoff).
   ShuttingDown = 7,    ///< Service is stopping; job was not solved.
   Internal = 8,        ///< Unexpected server-side failure.
+  Shed = 9,            ///< QoS admission: predicted cost exceeds the
+                       ///< remaining deadline on every tier.
+  RateLimited = 10,    ///< QoS admission: tenant token bucket drained.
 };
+
+/// The largest valid `ServiceError` value (decoder bounds check).
+inline constexpr std::uint8_t MaxServiceError =
+    static_cast<std::uint8_t>(ServiceError::RateLimited);
 
 /// Stable lower-case name for an error code (used by logs and JSON).
 const char *serviceErrorName(ServiceError Error);
+
+/// Actionable, human-readable advice for an error code — what the
+/// *client* should do about it (retry, back off, resubmit elsewhere).
+/// Distinct per code so overload (`QueueFull`) and shutdown
+/// (`ShuttingDown`) are never conflated in client output; empty for
+/// codes with nothing actionable to say.
+const char *serviceErrorAdvice(ServiceError Error);
+
+/// Client-requested scheduling priority (higher runs sooner).
+enum class RequestPriority : std::uint8_t {
+  Low = 0,
+  Normal = 1,
+  High = 2,
+};
+
+/// Execution tier the QoS layer routed a request to, echoed in the
+/// response. Always `Exact` when QoS is disabled.
+enum class QosTier : std::uint8_t {
+  Exact = 0,     ///< Full-fidelity pipeline, request unmodified.
+  Pipeline = 1,  ///< Degraded pipeline: exact-block cap clamped.
+  Heuristic = 2, ///< Single agglomerative (UPGMM) pass, no B&B.
+};
+
+/// Stable lower-case name for a tier (logs, JSON, client output).
+const char *qosTierName(QosTier Tier);
 
 /// Server-side workload generators (mirrors `mutk_tool --generate`).
 enum class GeneratorKind : std::uint8_t {
@@ -121,6 +156,16 @@ struct BuildRequest {
   /// block's cached subtree (docs/caching.md#incremental-mode). Requires
   /// `UseCache`; ignored when the service has no incremental index.
   bool Incremental = false;
+
+  /// \name QoS fields (protocol v3; see docs/qos.md).
+  /// @{
+
+  /// Scheduling priority relative to other queued jobs.
+  RequestPriority Priority = RequestPriority::Normal;
+  /// Fair-share / rate-limit bucket; empty is the default tenant.
+  std::string Tenant;
+
+  /// @}
 };
 
 /// Per-condensed-block accounting echoed to the client.
@@ -167,6 +212,19 @@ struct BuildResponse {
   /// Time the worker spent resolving the job (cache replay or solve).
   double SolveMillis = 0.0;
 
+  /// \name QoS fields (protocol v3; see docs/qos.md).
+  /// @{
+
+  /// Execution tier the request was routed to (`Exact` when QoS is off).
+  QosTier Tier = QosTier::Exact;
+  /// Admission-time cost prediction in milliseconds (0 when QoS is off).
+  double PredictedMillis = 0.0;
+  /// This response was fanned out from an identical in-flight leader
+  /// request rather than solved (or rejected) on its own.
+  bool Coalesced = false;
+
+  /// @}
+
   bool ok() const { return Error == ServiceError::None; }
 };
 
@@ -188,6 +246,15 @@ struct StatsSnapshot {
   std::uint64_t IncrementalClean = 0;
   std::uint64_t DeadlineExpired = 0;
   std::uint64_t Rejected = 0; ///< QueueFull + ShuttingDown rejections.
+  /// \name QoS counters (protocol v3; zero when QoS is off).
+  /// @{
+  std::uint64_t Shed = 0;        ///< Admission sheds (hopeless deadline).
+  std::uint64_t RateLimited = 0; ///< Tenant token-bucket rejections.
+  std::uint64_t TierExact = 0;
+  std::uint64_t TierPipeline = 0;
+  std::uint64_t TierHeuristic = 0;
+  std::uint64_t Coalesced = 0; ///< Followers answered by a leader's solve.
+  /// @}
   std::uint64_t QueueDepth = 0;
   std::uint64_t CacheEntries = 0;
   double P50Millis = 0.0; ///< Median end-to-end latency.

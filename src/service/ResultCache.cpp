@@ -89,6 +89,14 @@ ShardedLruCache::lookup(std::uint64_t Key,
   return It->second->second;
 }
 
+bool ShardedLruCache::peek(std::uint64_t Key,
+                           const std::vector<std::uint8_t> &Bytes) {
+  Shard &S = shardFor(Key);
+  MutexLock Lock(S.Mu);
+  auto It = S.Index.find(Key);
+  return It != S.Index.end() && It->second->second.Bytes == Bytes;
+}
+
 void ShardedLruCache::store(std::uint64_t Key, CachedSolution Value) {
   Shard &S = shardFor(Key);
   MutexLock Lock(S.Mu);

@@ -66,6 +66,13 @@ public:
   /// least-recently-used entry when full.
   void store(std::uint64_t Key, CachedSolution Value);
 
+  /// True when an entry for \p Key with exactly \p Bytes exists. Unlike
+  /// `lookup` this copies nothing, refreshes no recency and counts no
+  /// hit/miss — an advisory probe (the QoS layer exempts warm requests
+  /// from admission control with it) that must not distort the cache's
+  /// own statistics.
+  bool peek(std::uint64_t Key, const std::vector<std::uint8_t> &Bytes);
+
   /// Drops every entry (counters are kept).
   void clear();
 

@@ -2,6 +2,7 @@
 
 #include "service/Service.h"
 
+#include "heur/Upgma.h"
 #include "matrix/Fingerprint.h"
 #include "matrix/Generators.h"
 #include "obs/Log.h"
@@ -69,11 +70,44 @@ std::uint64_t wholeCacheKey(const CanonicalForm &Form,
   return Key;
 }
 
+/// FNV-1a over an encoded request frame; the coalescing flight key
+/// (collisions are identity-checked by the coalescer, never trusted).
+std::uint64_t coalesceKeyOf(const std::vector<std::uint8_t> &Bytes) {
+  std::uint64_t H = 1469598103934665603ull;
+  for (std::uint8_t B : Bytes) {
+    H ^= B;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// The scheduling ticket a request earns: wire priority, absolute
+/// deadline and fair-share tenant. Default request fields yield the
+/// all-equal ticket that keeps the ready queue a plain FIFO.
+qos::Ticket ticketFor(const BuildRequest &Request,
+                      std::chrono::steady_clock::time_point SubmitTime) {
+  qos::Ticket Tk;
+  Tk.Priority = static_cast<std::uint8_t>(Request.Priority);
+  Tk.Tenant = Request.Tenant;
+  if (Request.DeadlineMillis > 0) {
+    Tk.HasDeadline = true;
+    Tk.Deadline =
+        SubmitTime + std::chrono::milliseconds(Request.DeadlineMillis);
+  }
+  return Tk;
+}
+
 } // namespace
 
 TreeService::TreeService(const ServiceOptions &Options)
     : Options(Options), Obs(obs::serviceInstruments()),
-      Queue(std::max<std::size_t>(1, Options.QueueCapacity), Obs.Queue),
+      QosObs(obs::qosInstruments()),
+      Cost(qos::CostModelOptions{Options.QosProfileMemoCapacity}),
+      Admission(Cost, Options.Qos),
+      Queue(std::max<std::size_t>(1, Options.QueueCapacity),
+            qos::SchedulerOptions{Options.QosStarvationMillis,
+                                  &QosObs.StarvationPromotions},
+            Obs.Queue),
       Cache(std::max<std::size_t>(1, Options.CacheCapacity),
             Options.CacheShards) {
   Cache.setInstruments(&obs::cacheInstruments(),
@@ -215,27 +249,138 @@ void TreeService::journalCompleted(std::uint64_t JournalId) {
 
 TreeService::~TreeService() { stop(); }
 
+void TreeService::resolveJob(Job &&J, BuildResponse Resp) {
+  // Answered = done, whether ok or error: either way the client got a
+  // response, so a restart must not re-run it.
+  journalCompleted(J.JournalId);
+  if (J.CoalesceKey != 0) {
+    std::vector<std::promise<BuildResponse>> Followers =
+        Coalesce.take(J.CoalesceKey);
+    if (!Followers.empty()) {
+      QosObs.CoalesceFanout.record(static_cast<double>(Followers.size()));
+      for (std::promise<BuildResponse> &P : Followers) {
+        BuildResponse Copy = Resp;
+        Copy.Coalesced = true;
+        P.set_value(std::move(Copy));
+      }
+    }
+  }
+  J.Promise.set_value(std::move(Resp));
+}
+
 std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
   Job J;
   J.Request = std::move(Request);
   J.SubmitTime = Clock::now();
   std::future<BuildResponse> Future = J.Promise.get_future();
 
-  auto reject = [&](ServiceError Error, const char *Message) {
+  auto reject = [&](ServiceError Error, std::string Message) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
-    // A journaled-then-rejected job was still answered; without the
-    // completion mark a restart would re-run it.
-    journalCompleted(J.JournalId);
     BuildResponse Resp;
     Resp.Error = Error;
-    Resp.Message = Message;
-    J.Promise.set_value(std::move(Resp));
+    Resp.Message = std::move(Message);
+    Resp.Tier = J.Tier;
+    Resp.PredictedMillis = J.PredictedMillis;
+    // resolveJob marks a journaled-then-rejected job answered (without
+    // the completion mark a restart would re-run it) and fans the
+    // rejection out to any followers already parked on this leader.
+    resolveJob(std::move(J), std::move(Resp));
   };
 
   if (stopping()) {
     reject(ServiceError::ShuttingDown, "service is shutting down");
     return Future;
+  }
+
+  if (Options.Qos.Enabled) {
+    // Warm requests — whole-matrix identity already cached — skip
+    // admission entirely: answering them is O(replay) regardless of how
+    // hard the matrix once was, and the advisory `peek` keeps the probe
+    // from distorting cache statistics.
+    bool Warm = false;
+    bool CacheOn = Options.CacheCapacity > 0 && J.Request.UseCache;
+    if (J.Request.Generator == GeneratorKind::None && CacheOn &&
+        J.Request.Matrix.size() > 1) {
+      CanonicalForm Form = canonicalForm(J.Request.Matrix);
+      Warm = Cache.peek(wholeCacheKey(Form, J.Request),
+                        wholeCacheBytes(Form, J.Request));
+    }
+    if (!Warm) {
+      qos::DifficultyProfile Profile =
+          J.Request.Generator == GeneratorKind::None
+              ? Cost.profileFor(J.Request.Matrix)
+              : qos::CostModel::generatorProfile(J.Request.GenSpecies);
+      double RemainingMillis =
+          J.Request.DeadlineMillis > 0
+              ? static_cast<double>(J.Request.DeadlineMillis)
+              : -1.0;
+      qos::Verdict V = Admission.assess(J.Request, Profile, RemainingMillis);
+      if (!V.Admit) {
+        if (V.Error == ServiceError::RateLimited) {
+          Counters.RateLimited.fetch_add(1, std::memory_order_relaxed);
+          QosObs.RateLimited.inc();
+        } else {
+          Counters.Shed.fetch_add(1, std::memory_order_relaxed);
+          QosObs.Shed.inc();
+        }
+        // Echo the prediction that justified the rejection: the client
+        // can tell a hopeless deadline apart from a drained bucket.
+        J.PredictedMillis = V.PredictedMillis;
+        reject(V.Error, std::move(V.Message));
+        return Future;
+      }
+      J.Tier = V.Tier;
+      J.PredictedMillis = V.PredictedMillis;
+      J.PredictedNodes = V.PredictedNodes;
+      if (V.Tier == QosTier::Pipeline) {
+        // The degraded tier *is* the request with a tighter exact cap;
+        // the clamp travels with the job (and with a lent copy).
+        J.Request.MaxExactBlockSize =
+            std::min(std::max(1, J.Request.MaxExactBlockSize),
+                     std::max(1, Options.Qos.DegradedMaxExactBlockSize));
+      }
+    }
+    switch (J.Tier) {
+    case QosTier::Exact:
+      Counters.TierExact.fetch_add(1, std::memory_order_relaxed);
+      QosObs.TierExact.inc();
+      break;
+    case QosTier::Pipeline:
+      Counters.TierPipeline.fetch_add(1, std::memory_order_relaxed);
+      QosObs.TierPipeline.inc();
+      break;
+    case QosTier::Heuristic:
+      Counters.TierHeuristic.fetch_add(1, std::memory_order_relaxed);
+      QosObs.TierHeuristic.inc();
+      break;
+    }
+
+    if (Options.QosCoalesce) {
+      // Flight identity: the encoded request with scheduling-only
+      // fields normalized out (priority and tenant change *when* a job
+      // runs, never its answer; the deadline stays — it bounds the
+      // node budget and thus the tree).
+      BuildRequest Norm = J.Request;
+      Norm.Priority = RequestPriority::Normal;
+      Norm.Tenant.clear();
+      std::vector<std::uint8_t> Identity =
+          encodeRequest(makeBuildRequest(Norm));
+      std::uint64_t Key = coalesceKeyOf(Identity);
+      bool Tracked = true;
+      qos::Coalescer::Attach A = Coalesce.attach(Key, Identity, &Tracked);
+      if (!A.Leader) {
+        // Parked on the leader's flight: no queue slot, no journal
+        // entry — the leader's resolve fans the response out.
+        Counters.Coalesced.fetch_add(1, std::memory_order_relaxed);
+        QosObs.Coalesced.inc();
+        Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+        Obs.Submitted.inc();
+        return std::move(A.Follower);
+      }
+      if (Tracked)
+        J.CoalesceKey = Key;
+    }
   }
 
   if (Journal) {
@@ -249,13 +394,21 @@ std::future<BuildResponse> TreeService::submitAsync(BuildRequest Request) {
     Journal->submitted(J.JournalId, Encoded);
   }
 
+  // Rich tickets only under QoS: with the layer off every ticket is the
+  // default all-equal one, which degrades the ready queue to exactly
+  // the FIFO the service always had.
+  qos::Ticket Tk;
+  if (Options.Qos.Enabled)
+    Tk = ticketFor(J.Request, J.SubmitTime);
   std::uint64_t JournalId = J.JournalId;
+  std::uint64_t CoalesceKey = J.CoalesceKey;
   bool Admitted = Options.BlockOnFullQueue
-                      ? Queue.push(std::move(J))
-                      : Queue.tryPush(std::move(J));
+                      ? Queue.push(std::move(J), std::move(Tk))
+                      : Queue.tryPush(std::move(J), std::move(Tk));
   if (!Admitted) {
     // push/tryPush leave the job (and its promise) untouched on failure.
     J.JournalId = JournalId;
+    J.CoalesceKey = CoalesceKey;
     reject(Queue.closed() ? ServiceError::ShuttingDown
                           : ServiceError::QueueFull,
            Queue.closed() ? "service is shutting down" : "job queue full");
@@ -322,6 +475,12 @@ std::string TreeService::statsJson() const {
   Out += ",\"incremental_applied\":" + u64(S.IncrementalApplied);
   Out += ",\"incremental_dirty\":" + u64(S.IncrementalDirty);
   Out += ",\"incremental_clean\":" + u64(S.IncrementalClean);
+  Out += ",\"shed\":" + u64(S.Shed);
+  Out += ",\"rate_limited\":" + u64(S.RateLimited);
+  Out += ",\"tier_exact\":" + u64(S.TierExact);
+  Out += ",\"tier_pipeline\":" + u64(S.TierPipeline);
+  Out += ",\"tier_heuristic\":" + u64(S.TierHeuristic);
+  Out += ",\"coalesced\":" + u64(S.Coalesced);
   Out += ",\"queue_depth\":" + u64(S.QueueDepth);
   Out += ",\"cache_entries\":" + u64(S.CacheEntries);
   Out += ",\"p50_ms\":" + f64(S.P50Millis);
@@ -349,17 +508,16 @@ void TreeService::stop() {
   }
   Queue.close();
   // Fail everything that never reached a worker; in-flight jobs keep
-  // running and resolve their promises normally.
+  // running and resolve their promises normally. resolveJob marks each
+  // one answered in the journal and fans the rejection out to any
+  // followers coalesced onto it.
   for (Job &J : Queue.drain()) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
-    // The requester gets an answer (ShuttingDown), so the job is done
-    // from the journal's point of view.
-    journalCompleted(J.JournalId);
     BuildResponse Resp;
     Resp.Error = ServiceError::ShuttingDown;
     Resp.Message = "service stopped before the job started";
-    J.Promise.set_value(std::move(Resp));
+    resolveJob(std::move(J), std::move(Resp));
   }
   // Jobs lent to peers can no longer be completed or re-enqueued; their
   // requesters get the same answer as queued jobs.
@@ -371,11 +529,10 @@ void TreeService::stop() {
   for (auto &[Token, J] : Leftover) {
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
-    journalCompleted(J.JournalId);
     BuildResponse Resp;
     Resp.Error = ServiceError::ShuttingDown;
     Resp.Message = "service stopped while the job was lent to a peer";
-    J.Promise.set_value(std::move(Resp));
+    resolveJob(std::move(J), std::move(Resp));
   }
   for (std::thread &W : Workers)
     W.join();
@@ -429,8 +586,11 @@ bool TreeService::completeLentJob(std::uint64_t Token,
     Obs.RequestErrorMillis.record(TotalMillis);
   }
   Counters.Latency.record(TotalMillis);
-  journalCompleted(J.JournalId);
-  J.Promise.set_value(std::move(Response));
+  // The thief solved the (possibly tier-clamped) request but knows
+  // nothing of the QoS metadata; restore the echo before fan-out.
+  Response.Tier = J.Tier;
+  Response.PredictedMillis = J.PredictedMillis;
+  resolveJob(std::move(J), std::move(Response));
   return true;
 }
 
@@ -445,16 +605,28 @@ bool TreeService::reenqueueLentJob(std::uint64_t Token) {
     Lent.erase(It);
   }
   std::uint64_t JournalId = J.JournalId;
-  if (!Queue.tryPush(std::move(J))) {
-    // Closed or full: the requester still gets an answer.
+  std::uint64_t CoalesceKey = J.CoalesceKey;
+  qos::Ticket Tk;
+  if (Options.Qos.Enabled)
+    Tk = ticketFor(J.Request, J.SubmitTime);
+  if (!Queue.tryPush(std::move(J), std::move(Tk))) {
+    // The requester still gets an answer — and a *truthful* one: a full
+    // queue is transient overload (retry with backoff), a closed queue
+    // is shutdown (resubmit elsewhere). Conflating the two used to send
+    // ShuttingDown for both, steering clients away from a live node.
     J.JournalId = JournalId;
+    J.CoalesceKey = CoalesceKey;
     Counters.Rejected.fetch_add(1, std::memory_order_relaxed);
     Obs.Rejected.inc();
-    journalCompleted(J.JournalId);
+    bool Closing = Queue.closed();
     BuildResponse Resp;
-    Resp.Error = ServiceError::ShuttingDown;
-    Resp.Message = "lent job could not be re-enqueued";
-    J.Promise.set_value(std::move(Resp));
+    Resp.Error =
+        Closing ? ServiceError::ShuttingDown : ServiceError::QueueFull;
+    Resp.Message = Closing
+                       ? "lent job returned during shutdown and could "
+                         "not be re-enqueued"
+                       : "lent job returned to a full queue (overload)";
+    resolveJob(std::move(J), std::move(Resp));
     return false;
   }
   return true;
@@ -489,7 +661,7 @@ void TreeService::workerLoop() {
     InFlightJobs.fetch_add(1, std::memory_order_relaxed);
     BuildResponse Resp;
     try {
-      Resp = process(J->Request, J->SubmitTime);
+      Resp = process(*J);
     } catch (const std::exception &E) {
       Resp.Error = ServiceError::Internal;
       Resp.Message = E.what();
@@ -501,8 +673,23 @@ void TreeService::workerLoop() {
       obs::log(obs::LogLevel::Warn, "service",
                "job failed with unknown exception");
     }
+    // The tier/prediction echo must survive the exception paths too.
+    Resp.Tier = J->Tier;
+    Resp.PredictedMillis = J->PredictedMillis;
     Obs.InFlight.sub(1);
     InFlightJobs.fetch_sub(1, std::memory_order_relaxed);
+    if (Options.Qos.Enabled) {
+      // Calibration: only genuinely-searched solves carry a meaningful
+      // (nodes, millis) pair — cache replays and the heuristic tier
+      // branch nothing.
+      if (Resp.ok() && !Resp.CacheHit && J->Tier != QosTier::Heuristic &&
+          Resp.Branched > 0)
+        Cost.observe(Resp.Branched, Resp.SolveMillis);
+      if (J->PredictedMillis > 0.0) {
+        QosObs.PredictedMillis.record(J->PredictedMillis);
+        QosObs.ActualMillis.record(Resp.SolveMillis);
+      }
+    }
     double TotalMillis = std::chrono::duration<double, std::milli>(
                              Clock::now() - J->SubmitTime)
                              .count();
@@ -519,16 +706,16 @@ void TreeService::workerLoop() {
           .kv("total_ms", TotalMillis);
     }
     Counters.Latency.record(TotalMillis);
-    // Answered = done, whether ok or error: either way the client got a
-    // response, so a restart must not re-run it.
-    journalCompleted(J->JournalId);
-    J->Promise.set_value(std::move(Resp));
+    resolveJob(std::move(*J), std::move(Resp));
   }
 }
 
-BuildResponse TreeService::process(const BuildRequest &Request,
-                                   Clock::time_point SubmitTime) {
+BuildResponse TreeService::process(const Job &J) {
+  const BuildRequest &Request = J.Request;
+  Clock::time_point SubmitTime = J.SubmitTime;
   BuildResponse Resp;
+  Resp.Tier = J.Tier;
+  Resp.PredictedMillis = J.PredictedMillis;
   Clock::time_point Start = Clock::now();
   Resp.QueueMillis =
       std::chrono::duration<double, std::milli>(Start - SubmitTime).count();
@@ -642,6 +829,27 @@ BuildResponse TreeService::process(const BuildRequest &Request,
     }
   }
 
+  // Heuristic tier: admission decided only an agglomerative pass fits
+  // the deadline. One UPGMM run (complete linkage — feasible for M by
+  // construction), no B&B, nothing cached (the tree is not exact) and
+  // nothing fed back to calibration (it branches no nodes).
+  if (J.Tier == QosTier::Heuristic) {
+    PhyloTree Tree = buildLinkageTree(M, Linkage::Maximum);
+    if (HasDeadline && Clock::now() > Deadline) {
+      Counters.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+      Obs.DeadlineExpired.inc();
+      return fail(ServiceError::DeadlineExpired,
+                  "deadline elapsed during the heuristic solve");
+    }
+    Resp.Newick = toNewick(Tree);
+    Resp.Cost = Tree.weight();
+    Resp.Exact = false;
+    Resp.SolveMillis =
+        std::chrono::duration<double, std::milli>(Clock::now() - Start)
+            .count();
+    return Resp;
+  }
+
   // Incremental re-solve: a whole-matrix miss that is a small
   // perturbation of a remembered base still replays every clean block
   // from the block tier — the diff only *reports* the reuse, the
@@ -672,6 +880,8 @@ BuildResponse TreeService::process(const BuildRequest &Request,
   Resp = solveFresh(M, Request, Deadline, HasDeadline, SolvedTree);
   Resp.QueueMillis =
       std::chrono::duration<double, std::milli>(Start - SubmitTime).count();
+  Resp.Tier = J.Tier;
+  Resp.PredictedMillis = J.PredictedMillis;
 
   if (Resp.ok() && BaseMatch) {
     Resp.IncrementalApplied = true;

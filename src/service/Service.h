@@ -26,6 +26,10 @@
 #include "obs/Instruments.h"
 #include "persist/CacheStore.h"
 #include "persist/JobJournal.h"
+#include "qos/Admission.h"
+#include "qos/Coalescer.h"
+#include "qos/CostModel.h"
+#include "qos/Scheduler.h"
 #include "service/IncrementalIndex.h"
 #include "service/JobQueue.h"
 #include "service/Protocol.h"
@@ -144,6 +148,24 @@ struct ServiceOptions {
   /// only meaningful with a StateDir).
   std::uint64_t CheckpointEveryNodes = 200'000;
   double CheckpointEverySeconds = 5.0;
+
+  /// \name Cost-predictive QoS layer (docs/qos.md).
+  /// @{
+
+  /// Admission control and tier routing; `Qos.Enabled` is the master
+  /// switch. Off by default: with it off (and uniform tickets) the
+  /// service behaves exactly as before the QoS layer existed.
+  qos::AdmissionOptions Qos;
+  /// Ready-queue starvation hatch: entries waiting longer than this are
+  /// served oldest-first regardless of priority/tenant rank (0 disables).
+  double QosStarvationMillis = 5000.0;
+  /// Coalesce identical in-flight requests onto one leader solve (only
+  /// consulted when `Qos.Enabled`).
+  bool QosCoalesce = true;
+  /// Dry-run difficulty profiles memoized by canonical fingerprint.
+  std::size_t QosProfileMemoCapacity = 256;
+
+  /// @}
 };
 
 /// A concurrent tree-construction service (queue + workers + cache).
@@ -248,15 +270,26 @@ private:
     /// Job-journal id (0 = not journaled: persistence off, or a
     /// rejected job that never reached the journal).
     std::uint64_t JournalId = 0;
+    /// Execution tier chosen at admission (Exact when QoS is off).
+    QosTier Tier = QosTier::Exact;
+    /// Admission-time cost prediction, echoed to the client.
+    double PredictedMillis = 0.0;
+    double PredictedNodes = 0.0;
+    /// Coalescing flight this job leads (0 = not coalesced); the
+    /// response is fanned out to the flight's followers on resolve.
+    std::uint64_t CoalesceKey = 0;
   };
 
   void workerLoop();
   void recoverState();
   void persistSolution(std::uint64_t Key, const CachedSolution &Value);
   void journalCompleted(std::uint64_t JournalId);
+  /// The single exit point of every admitted job: marks the journal
+  /// entry done, fans the response out to coalesced followers, then
+  /// resolves the leader's promise.
+  void resolveJob(Job &&J, BuildResponse Resp);
   std::string checkpointPath(std::uint64_t Key) const;
-  BuildResponse process(const BuildRequest &Request,
-                        Clock::time_point SubmitTime);
+  BuildResponse process(const Job &J);
   BuildResponse solveFresh(const DistanceMatrix &M,
                            const BuildRequest &Request,
                            Clock::time_point Deadline, bool HasDeadline,
@@ -264,7 +297,14 @@ private:
 
   ServiceOptions Options;
   obs::ServiceInstruments &Obs;
-  BoundedQueue<Job> Queue;
+  obs::QosInstruments &QosObs;
+  /// QoS layer: cost prediction, admission/tier routing and in-flight
+  /// coalescing. Constructed before the queue (the queue's scheduler
+  /// options borrow a QoS counter).
+  qos::CostModel Cost;
+  qos::AdmissionController Admission;
+  qos::Coalescer Coalesce;
+  qos::ReadyQueue<Job> Queue;
   ShardedLruCache Cache;
   /// Solved-base index for incremental mode (null unless
   /// `Options.Incremental`). Internally locked.

@@ -58,6 +58,12 @@ struct ServiceCounters {
   std::atomic<std::uint64_t> IncrementalClean{0};
   std::atomic<std::uint64_t> DeadlineExpired{0};
   std::atomic<std::uint64_t> Rejected{0};
+  std::atomic<std::uint64_t> Shed{0};
+  std::atomic<std::uint64_t> RateLimited{0};
+  std::atomic<std::uint64_t> TierExact{0};
+  std::atomic<std::uint64_t> TierPipeline{0};
+  std::atomic<std::uint64_t> TierHeuristic{0};
+  std::atomic<std::uint64_t> Coalesced{0};
   LatencyHistogram Latency;
 
   /// Snapshot into the wire struct; queue depth and cache size are owned
@@ -77,6 +83,12 @@ struct ServiceCounters {
     S.IncrementalClean = IncrementalClean.load(std::memory_order_relaxed);
     S.DeadlineExpired = DeadlineExpired.load(std::memory_order_relaxed);
     S.Rejected = Rejected.load(std::memory_order_relaxed);
+    S.Shed = Shed.load(std::memory_order_relaxed);
+    S.RateLimited = RateLimited.load(std::memory_order_relaxed);
+    S.TierExact = TierExact.load(std::memory_order_relaxed);
+    S.TierPipeline = TierPipeline.load(std::memory_order_relaxed);
+    S.TierHeuristic = TierHeuristic.load(std::memory_order_relaxed);
+    S.Coalesced = Coalesced.load(std::memory_order_relaxed);
     obs::HistogramSnapshot L = Latency.snapshotMillis();
     S.P50Millis = L.P50;
     S.P95Millis = L.P95;

@@ -208,6 +208,9 @@ TEST(ProtocolCodec, RandomBuildRequestsRoundTrip) {
     Build.DeadlineMillis = static_cast<std::uint32_t>(R.below(100000));
     Build.UseCache = (R.next() & 1) != 0;
     Build.Incremental = (R.next() & 1) != 0;
+    Build.Priority = static_cast<RequestPriority>(R.below(3));
+    Build.Tenant = (R.next() & 1) ? "tenant-" + std::to_string(R.below(10))
+                                  : std::string();
 
     auto Back = decodeRequest(encodeRequest(makeBuildRequest(Build)));
     ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
@@ -221,6 +224,8 @@ TEST(ProtocolCodec, RandomBuildRequestsRoundTrip) {
     EXPECT_EQ(Back->Build.DeadlineMillis, Build.DeadlineMillis);
     EXPECT_EQ(Back->Build.UseCache, Build.UseCache);
     EXPECT_EQ(Back->Build.Incremental, Build.Incremental);
+    EXPECT_EQ(Back->Build.Priority, Build.Priority);
+    EXPECT_EQ(Back->Build.Tenant, Build.Tenant);
   }
 }
 
@@ -252,6 +257,9 @@ TEST(ProtocolCodec, RandomBuildResponsesRoundTrip) {
     Resp.Build.EntriesChanged = static_cast<std::int32_t>(R.below(9));
     Resp.Build.QueueMillis = static_cast<double>(R.below(5000)) / 16.0;
     Resp.Build.SolveMillis = static_cast<double>(R.below(5000)) / 16.0;
+    Resp.Build.Tier = static_cast<QosTier>(R.below(3));
+    Resp.Build.PredictedMillis = static_cast<double>(R.below(4000)) / 8.0;
+    Resp.Build.Coalesced = (R.next() & 1) != 0;
 
     auto Back = decodeResponse(encodeResponse(Resp));
     ASSERT_TRUE(Back.has_value()) << "seed " << Seed;
@@ -277,6 +285,9 @@ TEST(ProtocolCodec, RandomBuildResponsesRoundTrip) {
     EXPECT_EQ(Back->Build.EntriesChanged, Resp.Build.EntriesChanged);
     EXPECT_DOUBLE_EQ(Back->Build.QueueMillis, Resp.Build.QueueMillis);
     EXPECT_DOUBLE_EQ(Back->Build.SolveMillis, Resp.Build.SolveMillis);
+    EXPECT_EQ(Back->Build.Tier, Resp.Build.Tier);
+    EXPECT_DOUBLE_EQ(Back->Build.PredictedMillis, Resp.Build.PredictedMillis);
+    EXPECT_EQ(Back->Build.Coalesced, Resp.Build.Coalesced);
   }
 }
 

@@ -393,9 +393,10 @@ TEST(Protocol, RejectsOversizedMatrixHeader) {
 TEST(Protocol, RejectsNegativeAndNanDistances) {
   // DistanceMatrix itself refuses such values (asserts in debug), so
   // forge them on the wire: overwrite the single f64 distance of a
-  // 2-species request. It sits right before the 21 trailing bytes of
+  // 2-species request. It sits right before the 26 trailing bytes of
   // knob fields (mode u8, 3-3 u8, cap i32, polish u8, budget u64,
-  // deadline u32, cache u8, incremental u8).
+  // deadline u32, cache u8, incremental u8, priority u8, empty tenant
+  // u32 length).
   DistanceMatrix M(2);
   M.set(0, 1, 3.0);
   BuildRequest R;
@@ -407,7 +408,7 @@ TEST(Protocol, RejectsNegativeAndNanDistances) {
     std::vector<std::uint8_t> Forged = Good;
     std::uint64_t Bits = 0;
     std::memcpy(&Bits, &Value, sizeof(Bits));
-    std::size_t Offset = Forged.size() - 21 - 8;
+    std::size_t Offset = Forged.size() - 26 - 8;
     for (int I = 0; I < 8; ++I)
       Forged[Offset + static_cast<std::size_t>(I)] =
           static_cast<std::uint8_t>(Bits >> (8 * I));
