@@ -14,6 +14,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 using namespace mutk;
 
 namespace {
@@ -31,6 +34,8 @@ const char *modeName(ThreeThreeMode Mode) {
 }
 
 void printTable() {
+  // MUTK_BENCH_SMOKE=1: CI-sized table — smaller matrices, one seed.
+  const bool Smoke = std::getenv("MUTK_BENCH_SMOKE") != nullptr;
   bench::banner(
       "Ablation: 3-3 relationship pruning (none / third-species / all "
       "insertions)",
@@ -40,8 +45,11 @@ void printTable() {
       "drift by a fraction of a percent while cutting the search hard.");
   std::printf("%9s %8s %6s | %10s %12s %10s\n", "workload", "species",
               "seed", "mode", "branched", "cost");
-  for (int N : {14, 18, 22}) {
-    for (std::uint64_t Seed = 1; Seed <= 2; ++Seed) {
+  const std::vector<int> Sizes = Smoke ? std::vector<int>{12, 14}
+                                       : std::vector<int>{14, 18, 22};
+  const std::uint64_t Seeds = Smoke ? 1 : 2;
+  for (int N : Sizes) {
+    for (std::uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
       for (bool Dna : {false, true}) {
         DistanceMatrix M = Dna ? bench::hmdnaWorkload(N, Seed)
                                : bench::unifWorkload(N, Seed);

@@ -9,6 +9,7 @@
 
 #include "Workloads.h"
 
+#include "bnb/Arena.h"
 #include "bnb/Engine.h"
 #include "graph/CompactSets.h"
 #include "graph/Mst.h"
@@ -100,9 +101,14 @@ void BM_BranchOneNode(benchmark::State &State) {
   while (T.numPlaced() < M.size() / 2)
     T = T.withNextSpeciesAt(0, Engine.relabeledMatrix());
   BnbStats Stats;
-  for (auto _ : State)
-    benchmark::DoNotOptimize(
-        Engine.branch(T, Engine.initialUpperBound(), Stats).size());
+  TopologyArena Arena(Engine.numSpecies());
+  std::vector<BranchedChild> Children;
+  for (auto _ : State) {
+    Engine.branch(T, Engine.initialUpperBound(), Stats, Children, &Arena);
+    benchmark::DoNotOptimize(Children.size());
+    for (BranchedChild &BC : Children)
+      Arena.release(std::move(BC.Node));
+  }
 }
 BENCHMARK(BM_BranchOneNode)->Arg(16)->Arg(32)->Arg(64);
 

@@ -13,7 +13,7 @@
 // Options:
 //   --method {upgma|upgmm|exact|threads|cluster|compact}   (default compact)
 //   --condense {max|min|avg}                               (default max)
-//   --three-three {none|third|all}                         (default none)
+//   --three-three {none|third|all}                         (default third)
 //   --nodes N        virtual cluster nodes                 (default 16)
 //   --ascii          print the tree as ASCII art
 //   --profile        print the dataset profile
@@ -69,7 +69,7 @@ std::string jsonEscape(const std::string &Text) {
 
 int main(int argc, char **argv) {
   std::string MatrixPath, Generate, Method = "compact", Condense = "max";
-  std::string ThreeThree = "none", OutPath;
+  std::string ThreeThree = "third", OutPath;
   int Species = 16;
   std::uint64_t Seed = 1;
   int Nodes = 16;

@@ -2,6 +2,7 @@
 
 #include "bnb/BestFirstBnb.h"
 
+#include "bnb/Arena.h"
 #include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
 #include "matrix/Fingerprint.h"
@@ -97,6 +98,8 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
     Pacer.taken(Stats.Branched);
   };
 
+  TopologyArena Arena(Engine.numSpecies());
+  std::vector<BranchedChild> Children;
   while (!Queue.empty()) {
     if (Options.MaxBranchedNodes != 0 &&
         Stats.Branched >= Options.MaxBranchedNodes) {
@@ -118,7 +121,10 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
     }
 
     ++Stats.Branched;
-    for (Topology &Child : Engine.branch(Entry.Node, Ub, Stats)) {
+    Engine.branch(Entry.Node, Ub, Stats, Children, &Arena);
+    Arena.release(std::move(Entry.Node));
+    for (BranchedChild &BC : Children) {
+      Topology &Child = BC.Node;
       if (Engine.isComplete(Child)) {
         double Cost = Child.cost();
         if (Cost < Ub - Eps) {
@@ -132,10 +138,12 @@ BestFirstResult mutk::solveMutBestFirst(const DistanceMatrix &M,
         } else if (Options.CollectAllOptimal && Cost <= Ub + Eps) {
           Optimal.push_back(Engine.finalize(Child));
         }
+        Arena.release(std::move(Child));
         continue;
       }
-      double Lb = Engine.lowerBound(Child);
-      Queue.push_back(QueueEntry{std::move(Child), Lb});
+      // The heap key is the bound branch() already computed — no
+      // recomputation on insertion.
+      Queue.push_back(QueueEntry{std::move(Child), BC.LowerBound});
       std::push_heap(Queue.begin(), Queue.end(), WorseLowerBound{});
     }
     maybeCheckpoint();

@@ -22,6 +22,15 @@ class CheckpointSink;
 struct SearchCheckpoint;
 
 /// Where the 3-3 relationship constraint is enforced during branching.
+///
+/// Pruning attribution precedence inside `BnbEngine::branch()`: when the
+/// filter is cheap (`None` is a no-op; `ThirdSpecies` only examines the
+/// insertion of species 2) it runs *before* the bound check, so a child
+/// failing both tests is counted in `PrunedByThreeThree`. Under
+/// `AllInsertions` the O(k^2) filter stays behind the bound check and
+/// such a child is counted in `PrunedByBound` — the filter never runs on
+/// bound-dead children. The set of surviving children is identical
+/// either way; only the counter attribution differs.
 enum class ThreeThreeMode {
   None,          ///< No triple pruning (pure Algorithm BBU).
   ThirdSpecies,  ///< Constrain only the insertion of species 3 (paper).
@@ -95,6 +104,13 @@ struct BnbStats {
   std::uint64_t PrunedByBound = 0;
   /// Children discarded by the 3-3 relationship constraint.
   std::uint64_t PrunedByThreeThree = 0;
+  /// Lower-bound evaluations inside `branch()` — exactly one per
+  /// generated child: the bound is computed once, cached next to the
+  /// topology, and reused by the pruning guard, the best-first sort and
+  /// the caller. A process-local diagnostic: not persisted in
+  /// checkpoints and not carried on the MP wire, so it restarts at zero
+  /// on resume.
+  std::uint64_t BoundEvals = 0;
   /// Number of strict upper-bound improvements.
   std::uint64_t UbUpdates = 0;
   /// True if the search ran to exhaustion (result provably optimal).

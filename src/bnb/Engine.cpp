@@ -2,6 +2,7 @@
 
 #include "bnb/Engine.h"
 
+#include "bnb/Arena.h"
 #include "bnb/ThreeThree.h"
 #include "heur/NniSearch.h"
 #include "heur/Upgma.h"
@@ -33,10 +34,29 @@ BnbEngine::BnbEngine(const DistanceMatrix &M, const BnbOptions &Options)
   // placing species i must at least add to the tree weight.
   const int N = Relabeled.size();
   std::vector<double> MinHalf(static_cast<std::size_t>(N), 0.0);
+  // Cache-blocked scan over the relabeled matrix: each strict
+  // lower-triangle row is consumed from its raw row pointer in L1-sized
+  // panels with four independent accumulators, so the min reduction has
+  // no length-I dependency chain. min is order-independent, so the
+  // result is bit-identical to the naive scan.
+  constexpr int Panel = 64;
   for (int I = 2; I < N; ++I) {
-    double Min = Relabeled.at(I, 0);
-    for (int J = 1; J < I; ++J)
-      Min = std::min(Min, Relabeled.at(I, J));
+    const double *Row = Relabeled.row(I);
+    double Min = Row[0];
+    for (int J0 = 1; J0 < I; J0 += Panel) {
+      const int End = std::min(I, J0 + Panel);
+      double M0 = Min, M1 = Min, M2 = Min, M3 = Min;
+      int J = J0;
+      for (; J + 3 < End; J += 4) {
+        M0 = std::min(M0, Row[J]);
+        M1 = std::min(M1, Row[J + 1]);
+        M2 = std::min(M2, Row[J + 2]);
+        M3 = std::min(M3, Row[J + 3]);
+      }
+      for (; J < End; ++J)
+        M0 = std::min(M0, Row[J]);
+      Min = std::min(std::min(M0, M1), std::min(M2, M3));
+    }
     MinHalf[static_cast<std::size_t>(I)] = Min / 2.0;
   }
   Remainder.assign(static_cast<std::size_t>(N) + 1, 0.0);
@@ -74,33 +94,57 @@ bool BnbEngine::threeThreeAllows(const Topology &Child) const {
   return insertionRespectsThreeThree(Child, Relabeled, Inserted);
 }
 
-std::vector<Topology> BnbEngine::branch(const Topology &T, double UpperBound,
-                                        BnbStats &Stats) const {
+void BnbEngine::branch(const Topology &T, double UpperBound, BnbStats &Stats,
+                       std::vector<BranchedChild> &Children,
+                       TopologyArena *Arena) const {
   assert(!isComplete(T) && "cannot branch a complete topology");
-  std::vector<Topology> Children;
-  Children.reserve(static_cast<std::size_t>(T.numNodes()));
+  const int Positions = T.numNodes();
+  Children.clear();
+  Children.reserve(static_cast<std::size_t>(Positions));
+  // The 3-3 filter runs before the bound check when it is cheap (None is
+  // a no-op; ThirdSpecies touches only the insertion of species 2) and
+  // after it when it is O(k^2) per child (AllInsertions); see the
+  // precedence note on ThreeThreeMode.
+  const bool ThreeThreeFirst =
+      Opts.ThreeThree != ThreeThreeMode::AllInsertions;
   // Positions 0..numNodes()-1 cover every edge once (the root position is
   // the above-root insertion).
-  for (int Position = 0; Position < T.numNodes(); ++Position) {
-    Topology Child = T.withNextSpeciesAt(Position, Relabeled);
+  for (int Position = 0; Position < Positions; ++Position) {
+    BranchedChild Child;
+    if (Arena)
+      Child.Node = Arena->acquire();
+    T.expandInto(Position, Relabeled, Child.Node);
     ++Stats.Generated;
-    if (lowerBound(Child) >= UpperBound - Opts.Epsilon &&
-        !(Opts.CollectAllOptimal &&
-          lowerBound(Child) <= UpperBound + Opts.Epsilon)) {
-      ++Stats.PrunedByBound;
+    // The bound is O(1) and evaluated exactly once per generated child;
+    // the cached value feeds the guard, the sort, and the caller.
+    Child.LowerBound = lowerBound(Child.Node);
+    ++Stats.BoundEvals;
+    if (ThreeThreeFirst && !threeThreeAllows(Child.Node)) {
+      ++Stats.PrunedByThreeThree;
+      if (Arena)
+        Arena->release(std::move(Child.Node));
       continue;
     }
-    if (!threeThreeAllows(Child)) {
+    if (Child.LowerBound >= UpperBound - Opts.Epsilon &&
+        !(Opts.CollectAllOptimal &&
+          Child.LowerBound <= UpperBound + Opts.Epsilon)) {
+      ++Stats.PrunedByBound;
+      if (Arena)
+        Arena->release(std::move(Child.Node));
+      continue;
+    }
+    if (!ThreeThreeFirst && !threeThreeAllows(Child.Node)) {
       ++Stats.PrunedByThreeThree;
+      if (Arena)
+        Arena->release(std::move(Child.Node));
       continue;
     }
     Children.push_back(std::move(Child));
   }
   std::sort(Children.begin(), Children.end(),
-            [this](const Topology &A, const Topology &B) {
-              return lowerBound(A) < lowerBound(B);
+            [](const BranchedChild &A, const BranchedChild &B) {
+              return A.LowerBound < B.LowerBound;
             });
-  return Children;
 }
 
 PhyloTree BnbEngine::finalize(const Topology &T) const {

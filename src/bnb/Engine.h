@@ -23,6 +23,17 @@
 
 namespace mutk {
 
+class TopologyArena;
+
+/// A surviving child of one branching step together with its lower
+/// bound, computed exactly once inside `branch()` and reused by the
+/// pruning guard, the best-first sort, and the caller (heap keys, pool
+/// ordering).
+struct BranchedChild {
+  Topology Node;
+  double LowerBound = 0.0;
+};
+
 /// Immutable per-solve machinery. Thread-safe after construction (all
 /// methods are const and touch no mutable state).
 class BnbEngine {
@@ -58,13 +69,24 @@ public:
 
   /// Expands \p T: inserts the next species at every position, applies
   /// the 3-3 filter per `options().ThreeThree`, drops children whose
-  /// lower bound reaches \p UpperBound, and returns survivors sorted by
-  /// ascending lower bound (best-first).
+  /// lower bound reaches \p UpperBound, and fills \p Children with the
+  /// survivors sorted by ascending cached lower bound (best-first).
+  /// \p Children is cleared first; reusing one vector across calls keeps
+  /// its capacity and makes the expansion allocation-free.
+  ///
+  /// Each generated child's lower bound is evaluated exactly once
+  /// (`Stats.BoundEvals`) and cached in the `BranchedChild`. Pruning
+  /// attribution follows the precedence documented on `ThreeThreeMode`.
+  ///
+  /// When \p Arena is non-null, child topologies are drawn from it and
+  /// pruned ones are returned to it; callers should release consumed
+  /// survivors back to the same arena.
   ///
   /// \param [in,out] Stats Generated / PrunedByBound / PrunedByThreeThree
-  /// are incremented.
-  std::vector<Topology> branch(const Topology &T, double UpperBound,
-                               BnbStats &Stats) const;
+  /// / BoundEvals are incremented.
+  void branch(const Topology &T, double UpperBound, BnbStats &Stats,
+              std::vector<BranchedChild> &Children,
+              TopologyArena *Arena = nullptr) const;
 
   /// Converts a complete topology back to original labels and attaches
   /// species names.

@@ -2,6 +2,7 @@
 
 #include "bnb/SequentialBnb.h"
 
+#include "bnb/Arena.h"
 #include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
 #include "matrix/Fingerprint.h"
@@ -97,6 +98,11 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
     Pacer.taken(Stats.Branched);
   };
 
+  // The arena recycles topology buffers across expansions; Children is
+  // the reused branch() output so the hot loop stays allocation-free
+  // after warm-up.
+  TopologyArena Arena(Engine.numSpecies());
+  std::vector<BranchedChild> Children;
   while (!Stack.empty()) {
     if (Options.MaxBranchedNodes != 0 &&
         Stats.Branched >= Options.MaxBranchedNodes) {
@@ -108,18 +114,20 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
 
     // Re-check the bound: the UB may have improved since this node was
     // pushed.
-    if (Engine.lowerBound(T) >= Ub - Eps &&
-        !(Options.CollectAllOptimal && Engine.lowerBound(T) <= Ub + Eps)) {
+    double Lb = Engine.lowerBound(T);
+    if (Lb >= Ub - Eps && !(Options.CollectAllOptimal && Lb <= Ub + Eps)) {
       ++Stats.PrunedByBound;
+      Arena.release(std::move(T));
       continue;
     }
 
     ++Stats.Branched;
-    std::vector<Topology> Children = Engine.branch(T, Ub, Stats);
+    Engine.branch(T, Ub, Stats, Children, &Arena);
+    Arena.release(std::move(T));
     // branch() returns children best-first; push in reverse so the DFS
     // pops the most promising child first.
     for (std::size_t I = Children.size(); I > 0; --I) {
-      Topology &Child = Children[I - 1];
+      Topology &Child = Children[I - 1].Node;
       if (Engine.isComplete(Child)) {
         double Cost = Child.cost();
         if (Cost < Ub - Eps) {
@@ -133,6 +141,7 @@ MutResult mutk::solveMutSequential(const DistanceMatrix &M,
         } else if (Options.CollectAllOptimal && Cost <= Ub + Eps) {
           Optimal.push_back(Engine.finalize(Child));
         }
+        Arena.release(std::move(Child));
         continue;
       }
       Stack.push_back(std::move(Child));

@@ -9,9 +9,9 @@
 
 using namespace mutk;
 
-double Topology::halfMaxTo(const DistanceMatrix &M, int S, LeafMask Mask) {
+double Topology::halfMaxTo(const double *Row, LeafMask Mask) {
   double Max = 0.0;
-  forEachLeaf(Mask, [&](int Leaf) { Max = std::max(Max, M.at(S, Leaf)); });
+  forEachLeaf(Mask, [&](int Leaf) { Max = std::max(Max, Row[Leaf]); });
   return Max / 2.0;
 }
 
@@ -104,82 +104,101 @@ std::optional<Topology> Topology::fromNodes(std::vector<Node> Nodes,
 
 Topology Topology::withNextSpeciesAt(int Position,
                                      const DistanceMatrix &M) const {
+  Topology T = *this;
+  T.insertNextAt(Position, M);
+  return T;
+}
+
+void Topology::expandInto(int Position, const DistanceMatrix &M,
+                          Topology &Out) const {
+  assert(&Out != this && "expandInto cannot write onto its own source");
+  // Copy-assignment reuses Out's vector capacity: a recycled arena
+  // topology has already held a full solve's nodes, so this is a flat
+  // memcpy-sized copy with no allocation.
+  Out.Nodes = Nodes;
+  Out.LeafNode = LeafNode;
+  Out.Root = Root;
+  Out.Placed = Placed;
+  Out.Cost = Cost;
+  Out.insertNextAt(Position, M);
+}
+
+void Topology::insertNextAt(int Position, const DistanceMatrix &M) {
   const int S = Placed;
   assert(S < M.size() && "all species already placed");
   assert(Position >= 0 && Position <= numNodes() && "bad insert position");
 
-  Topology T = *this;
+  const double *RowS = M.row(S);
   const bool AboveRoot = (Position == numNodes() || Position == Root);
 
   // New leaf node for species S.
   Node LeafS;
   LeafS.Leaf = static_cast<std::int16_t>(S);
   LeafS.Mask = leafBit(S);
-  T.Nodes.push_back(LeafS);
-  std::int16_t LeafIndex = static_cast<std::int16_t>(T.numNodes() - 1);
-  T.LeafNode.push_back(LeafIndex);
+  Nodes.push_back(LeafS);
+  std::int16_t LeafIndex = static_cast<std::int16_t>(numNodes() - 1);
+  LeafNode.push_back(LeafIndex);
 
   if (AboveRoot) {
     // New root adopting the old root and the new leaf; every previously
     // placed species is on the far side of the new internal node.
     Node NewRoot;
-    NewRoot.Left = T.Root;
+    NewRoot.Left = Root;
     NewRoot.Right = LeafIndex;
-    NewRoot.Mask = T.Nodes[static_cast<std::size_t>(T.Root)].Mask | LeafS.Mask;
+    NewRoot.Mask = Nodes[static_cast<std::size_t>(Root)].Mask | LeafS.Mask;
     NewRoot.Height =
-        std::max(T.Nodes[static_cast<std::size_t>(T.Root)].Height,
-                 halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(T.Root)].Mask));
-    T.Nodes.push_back(NewRoot);
-    std::int16_t NewRootIndex = static_cast<std::int16_t>(T.numNodes() - 1);
-    T.Nodes[static_cast<std::size_t>(T.Root)].Parent = NewRootIndex;
-    T.Nodes[static_cast<std::size_t>(LeafIndex)].Parent = NewRootIndex;
-    T.Root = NewRootIndex;
+        std::max(Nodes[static_cast<std::size_t>(Root)].Height,
+                 halfMaxTo(RowS, Nodes[static_cast<std::size_t>(Root)].Mask));
+    Nodes.push_back(NewRoot);
+    std::int16_t NewRootIndex = static_cast<std::int16_t>(numNodes() - 1);
+    Nodes[static_cast<std::size_t>(Root)].Parent = NewRootIndex;
+    Nodes[static_cast<std::size_t>(LeafIndex)].Parent = NewRootIndex;
+    Root = NewRootIndex;
   } else {
     // Split the edge above `Position`: new internal node V adopts the old
     // subtree C and the new leaf.
     std::int16_t C = static_cast<std::int16_t>(Position);
-    std::int16_t P = T.Nodes[static_cast<std::size_t>(C)].Parent;
+    std::int16_t P = Nodes[static_cast<std::size_t>(C)].Parent;
     assert(P >= 0 && "non-root position must have a parent");
 
     Node V;
     V.Parent = P;
     V.Left = C;
     V.Right = LeafIndex;
-    V.Mask = T.Nodes[static_cast<std::size_t>(C)].Mask | LeafS.Mask;
-    V.Height = std::max(T.Nodes[static_cast<std::size_t>(C)].Height,
-                        halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(C)].Mask));
-    T.Nodes.push_back(V);
-    std::int16_t VIndex = static_cast<std::int16_t>(T.numNodes() - 1);
+    V.Mask = Nodes[static_cast<std::size_t>(C)].Mask | LeafS.Mask;
+    V.Height = std::max(Nodes[static_cast<std::size_t>(C)].Height,
+                        halfMaxTo(RowS, Nodes[static_cast<std::size_t>(C)].Mask));
+    Nodes.push_back(V);
+    std::int16_t VIndex = static_cast<std::int16_t>(numNodes() - 1);
 
-    Node &ParentNode = T.Nodes[static_cast<std::size_t>(P)];
+    Node &ParentNode = Nodes[static_cast<std::size_t>(P)];
     if (ParentNode.Left == C)
       ParentNode.Left = VIndex;
     else {
       assert(ParentNode.Right == C && "child link broken");
       ParentNode.Right = VIndex;
     }
-    T.Nodes[static_cast<std::size_t>(C)].Parent = VIndex;
-    T.Nodes[static_cast<std::size_t>(LeafIndex)].Parent = VIndex;
+    Nodes[static_cast<std::size_t>(C)].Parent = VIndex;
+    Nodes[static_cast<std::size_t>(LeafIndex)].Parent = VIndex;
 
     // Walk to the root: masks gain species S; each ancestor's height must
     // cover the new crossing pairs (S vs the sibling subtree) and stay
     // above its updated child.
     std::int16_t Child = VIndex;
     for (std::int16_t A = P; A >= 0;
-         Child = A, A = T.Nodes[static_cast<std::size_t>(A)].Parent) {
-      Node &Anc = T.Nodes[static_cast<std::size_t>(A)];
+         Child = A, A = Nodes[static_cast<std::size_t>(A)].Parent) {
+      Node &Anc = Nodes[static_cast<std::size_t>(A)];
       std::int16_t Sibling = (Anc.Left == Child) ? Anc.Right : Anc.Left;
       double Crossing =
-          halfMaxTo(M, S, T.Nodes[static_cast<std::size_t>(Sibling)].Mask);
+          halfMaxTo(RowS, Nodes[static_cast<std::size_t>(Sibling)].Mask);
       Anc.Mask |= LeafS.Mask;
       Anc.Height = std::max(
-          {Anc.Height, Crossing, T.Nodes[static_cast<std::size_t>(Child)].Height});
+          {Anc.Height, Crossing, Nodes[static_cast<std::size_t>(Child)].Height});
     }
   }
 
-  ++T.Placed;
-  T.recomputeCost();
-  return T;
+  ++Placed;
+  recomputeCost();
 }
 
 int Topology::lcaOf(int SpeciesA, int SpeciesB) const {

@@ -92,6 +92,22 @@ public:
   /// duplicate, iterate positions `0..numNodes()-1` only.
   Topology withNextSpeciesAt(int Position, const DistanceMatrix &M) const;
 
+  /// Like `withNextSpeciesAt`, but writes the child into \p Out, reusing
+  /// \p Out's existing buffer capacity. This is the arena fast path: a
+  /// Topology recycled through a `TopologyArena` keeps its vectors, so
+  /// after warm-up an expansion performs no heap allocation.
+  void expandInto(int Position, const DistanceMatrix &M, Topology &Out) const;
+
+  /// Reserves storage for a full solve over \p NumSpecies species
+  /// (`2n - 1` nodes). Used by `TopologyArena` to pre-size fresh pool
+  /// entries so even the first acquire never reallocates mid-insertion.
+  void reserveFor(int NumSpecies) {
+    if (NumSpecies <= 0)
+      return;
+    Nodes.reserve(static_cast<std::size_t>(2 * NumSpecies - 1));
+    LeafNode.reserve(static_cast<std::size_t>(NumSpecies));
+  }
+
   /// Node index of the leaf carrying \p Species.
   int leafNodeOf(int Species) const {
     assert(Species >= 0 && Species < Placed && "species not placed yet");
@@ -119,8 +135,13 @@ private:
   int Placed = 0;
   double Cost = 0.0;
 
-  /// Max of `M[s][j] / 2` over all j in \p Mask.
-  static double halfMaxTo(const DistanceMatrix &M, int S, LeafMask Mask);
+  /// Max of `Row[j] / 2` over all j in \p Mask, where \p Row is the raw
+  /// matrix row of the species being inserted.
+  static double halfMaxTo(const double *Row, LeafMask Mask);
+
+  /// Inserts species `Placed` at \p Position in place (the shared body of
+  /// `withNextSpeciesAt` and `expandInto`).
+  void insertNextAt(int Position, const DistanceMatrix &M);
 
   void recomputeCost();
 };

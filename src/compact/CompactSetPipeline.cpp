@@ -270,6 +270,7 @@ void mergeOutcome(const BlockOutcome &Out, PipelineResult &Result) {
   Result.TotalStats.Generated += Out.Stats.Generated;
   Result.TotalStats.PrunedByBound += Out.Stats.PrunedByBound;
   Result.TotalStats.PrunedByThreeThree += Out.Stats.PrunedByThreeThree;
+  Result.TotalStats.BoundEvals += Out.Stats.BoundEvals;
   Result.TotalStats.UbUpdates += Out.Stats.UbUpdates;
   Result.TotalVirtualTime += Out.Report.VirtualTime;
   Result.ParallelVirtualTime =

@@ -85,13 +85,25 @@ struct BlockCheckpointHooks {
   std::function<void(std::uint64_t Key)> Done;
 };
 
+/// Default per-block B&B options: the pipeline turns the paper's 3-3
+/// third-species constraint on. Compact-set blocks are clustered by
+/// construction — exactly the structured shape on which `ThirdSpecies`
+/// is proven cost-preserving (tests/bnb_test.cpp) — so the filter prunes
+/// for free. Callers can still override `PipelineOptions::Bnb`.
+inline BnbOptions defaultPipelineBnb() {
+  BnbOptions B;
+  B.ThreeThree = ThreeThreeMode::ThirdSpecies;
+  return B;
+}
+
 /// Options of the decomposition pipeline.
 struct PipelineOptions {
   /// How cross-block distances collapse into D' entries; the paper
   /// studies Maximum (the only mode guaranteeing feasibility).
   CondenseMode Mode = CondenseMode::Maximum;
-  /// Options forwarded to the per-block B&B.
-  BnbOptions Bnb;
+  /// Options forwarded to the per-block B&B (3-3 third-species pruning
+  /// on by default, see `defaultPipelineBnb`).
+  BnbOptions Bnb = defaultPipelineBnb();
   /// Condensed matrices larger than this are solved heuristically with
   /// UPGMM instead of exactly (keeps worst-case time bounded; reported
   /// per block).

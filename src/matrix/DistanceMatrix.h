@@ -39,6 +39,15 @@ public:
     return Data[static_cast<std::size_t>(I) * N + J];
   }
 
+  /// Raw pointer to row \p I of the row-major storage:
+  /// `row(I)[J] == at(I, J)`. For allocation-free hot loops (B&B height
+  /// updates and the lower-bound scan) that would otherwise pay the
+  /// bounds-checked `at()` per element.
+  const double *row(int I) const {
+    assert(I >= 0 && I < N && "row out of range");
+    return Data.data() + static_cast<std::size_t>(I) * N;
+  }
+
   /// Sets the distance between \p I and \p J (and \p J and \p I).
   ///
   /// Setting a diagonal entry to a nonzero value is a programming error.

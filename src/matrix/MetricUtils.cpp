@@ -2,6 +2,8 @@
 
 #include "matrix/MetricUtils.h"
 
+#include "support/Bits.h"
+
 #include <algorithm>
 #include <cassert>
 #include <limits>
@@ -92,7 +94,7 @@ bool mutk::isAdditive(const DistanceMatrix &M, double Tolerance) {
   return !findFourPointViolation(M, Tolerance).has_value();
 }
 
-std::vector<int> mutk::maxminPermutation(const DistanceMatrix &M) {
+std::vector<int> mutk::maxminPermutationGeneric(const DistanceMatrix &M) {
   const int N = M.size();
   std::vector<int> Perm;
   Perm.reserve(static_cast<std::size_t>(N));
@@ -135,6 +137,59 @@ std::vector<int> mutk::maxminPermutation(const DistanceMatrix &M) {
     for (int I = 0; I < N; ++I)
       MinToPrefix[static_cast<std::size_t>(I)] =
           std::min(MinToPrefix[static_cast<std::size_t>(I)], M.at(I, Best));
+  }
+  return Perm;
+}
+
+std::vector<int> mutk::maxminPermutation(const DistanceMatrix &M) {
+  const int N = M.size();
+  if (N > 64)
+    return maxminPermutationGeneric(M);
+  std::vector<int> Perm;
+  Perm.reserve(static_cast<std::size_t>(N));
+  if (N == 0)
+    return Perm;
+  if (N == 1)
+    return {0};
+
+  // Seed with a maximum-distance pair (smallest indices on ties).
+  int BestI = 0, BestJ = 1;
+  for (int I = 0; I < N; ++I) {
+    const double *Row = M.row(I);
+    for (int J = I + 1; J < N; ++J)
+      if (Row[J] > M.at(BestI, BestJ))
+        BestI = I, BestJ = J;
+  }
+  Perm.push_back(BestI);
+  Perm.push_back(BestJ);
+
+  // The placement set lives in one word: Remaining holds the unchosen
+  // species, so the candidate scan visits exactly the survivors (in
+  // increasing order — the same tie-breaking as the generic path).
+  LeafMask Remaining = (N == 64) ? ~LeafMask{0} : (LeafMask{1} << N) - 1;
+  Remaining &= ~(leafBit(BestI) | leafBit(BestJ));
+
+  // MinToPrefix[i] = min distance from i to the chosen prefix.
+  std::vector<double> MinToPrefix(static_cast<std::size_t>(N));
+  for (int I = 0; I < N; ++I)
+    MinToPrefix[static_cast<std::size_t>(I)] =
+        std::min(M.at(I, BestI), M.at(I, BestJ));
+
+  for (int Step = 2; Step < N; ++Step) {
+    int Best = -1;
+    forEachLeaf(Remaining, [&](int I) {
+      if (Best < 0 || MinToPrefix[static_cast<std::size_t>(I)] >
+                          MinToPrefix[static_cast<std::size_t>(Best)])
+        Best = I;
+    });
+    assert(Best >= 0 && "no unchosen species left");
+    Perm.push_back(Best);
+    Remaining &= ~leafBit(Best);
+    const double *Row = M.row(Best); // row(Best)[i] == M.at(i, Best)
+    forEachLeaf(Remaining, [&](int I) {
+      MinToPrefix[static_cast<std::size_t>(I)] =
+          std::min(MinToPrefix[static_cast<std::size_t>(I)], Row[I]);
+    });
   }
   return Perm;
 }

@@ -61,7 +61,17 @@ DistanceMatrix metricClosure(const DistanceMatrix &M);
 /// `(perm[0], perm[1])` is a maximum-distance pair and each subsequent
 /// species maximizes its minimum distance to the already-chosen prefix.
 /// Ties are broken toward the smaller index so the result is deterministic.
+///
+/// Dispatches to a 64-bit-bitmask placement set for `N <= 64` (every
+/// exact B&B solve qualifies — `MaxBnbSpecies` caps at 64) and to
+/// `maxminPermutationGeneric` above that.
 std::vector<int> maxminPermutation(const DistanceMatrix &M);
+
+/// Reference implementation of `maxminPermutation` with a
+/// `std::vector<bool>` placement set. Works for any N and must agree
+/// with the mask fast path exactly (same tie-breaking); the equivalence
+/// property test in `tests/hotloop_test.cpp` holds the two together.
+std::vector<int> maxminPermutationGeneric(const DistanceMatrix &M);
 
 /// Returns true if \p Perm is a valid maxmin permutation of \p M.
 bool isMaxminPermutation(const DistanceMatrix &M,

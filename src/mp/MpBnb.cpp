@@ -142,6 +142,7 @@ WorkerStats mutk::runMpSlave(MpEndpoint &Self, const BnbOptions &Options,
   const int NumWorkers = Self.size() - 1;
 
   std::deque<Topology> Local; // back = best
+  std::vector<BranchedChild> Branches;
   bool DonateRequested = PreInitNeedWork;
   // Cumulative count of work items received (master Work messages and
   // granted steals); shipped inside every WorkRequest so the master can
@@ -318,7 +319,9 @@ WorkerStats mutk::runMpSlave(MpEndpoint &Self, const BnbOptions &Options,
 
     ++Stats.Branched;
     ++Worker.Branched;
-    for (Topology &Child : Engine.branch(Current, KnownUb, Stats)) {
+    Engine.branch(Current, KnownUb, Stats, Branches);
+    for (BranchedChild &BC : Branches) {
+      Topology &Child = BC.Node;
       if (Engine.isComplete(Child)) {
         double Cost = Child.cost();
         if (Cost < KnownUb - Eps) {
@@ -397,6 +400,7 @@ MpMutResult mutk::runMpMaster(MpEndpoint &Self, const DistanceMatrix &M,
 
   // Master phase: seed the BBT to 2x the number of computing nodes.
   std::deque<Topology> Frontier;
+  std::vector<BranchedChild> Branches;
   Frontier.push_back(Engine.rootTopology());
   BnbStats &Stats = Result.Stats;
   while (!Frontier.empty() &&
@@ -412,7 +416,9 @@ MpMutResult mutk::runMpMaster(MpEndpoint &Self, const DistanceMatrix &M,
       continue;
     }
     ++Stats.Branched;
-    for (Topology &Child : Engine.branch(T, Ub, Stats)) {
+    Engine.branch(T, Ub, Stats, Branches);
+    for (BranchedChild &BC : Branches) {
+      Topology &Child = BC.Node;
       if (Engine.isComplete(Child)) {
         if (Child.cost() < Ub - Eps) {
           Ub = Child.cost();

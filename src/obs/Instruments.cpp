@@ -87,6 +87,7 @@ BnbInstruments &mutk::obs::bnbInstruments() {
       reg().counter("mutk_bnb_nodes_generated_total"),
       reg().counter("mutk_bnb_pruned_bound_total"),
       reg().counter("mutk_bnb_pruned_threethree_total"),
+      reg().counter("mutk_bnb_bound_evals_total"),
       reg().counter("mutk_bnb_ub_updates_total"),
   };
   return I;
@@ -101,6 +102,7 @@ void mutk::obs::recordBnbSolve(const BnbStats &Stats) {
   I.NodesGenerated.inc(Stats.Generated);
   I.PrunedByBound.inc(Stats.PrunedByBound);
   I.PrunedByThreeThree.inc(Stats.PrunedByThreeThree);
+  I.BoundEvals.inc(Stats.BoundEvals);
   I.UbUpdates.inc(Stats.UbUpdates);
 }
 

@@ -94,6 +94,7 @@ struct BnbInstruments {
   Counter &NodesGenerated;
   Counter &PrunedByBound;
   Counter &PrunedByThreeThree;
+  Counter &BoundEvals;
   Counter &UbUpdates;
 };
 BnbInstruments &bnbInstruments();

@@ -2,6 +2,7 @@
 
 #include "parallel/ThreadedBnb.h"
 
+#include "bnb/Arena.h"
 #include "bnb/Checkpoint.h"
 #include "bnb/Engine.h"
 #include "matrix/Fingerprint.h"
@@ -80,6 +81,11 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
                 WorkerStats &Worker) {
   const double Eps = Options.Epsilon;
   const BnbEngine &Engine = Shared.Engine;
+  // Worker-private recycling pool + branch() output buffer: the hot loop
+  // allocates nothing after warm-up. Nodes that migrate through the
+  // global pool keep their own storage, so pooling stays worker-local.
+  TopologyArena Arena(Engine.numSpecies());
+  std::vector<BranchedChild> Children;
 
   for (;;) {
     Topology Current;
@@ -136,18 +142,21 @@ void workerMain(SharedState &Shared, const BnbOptions &Options,
     long Delta = -1; // the consumed node
     if (Engine.lowerBound(Current) >= Ub - Eps) {
       ++Stats.PrunedByBound;
+      Arena.release(std::move(Current));
     } else {
       ++Stats.Branched;
       ++Worker.Branched;
       Shared.TotalBranched.fetch_add(1, std::memory_order_relaxed);
-      std::vector<Topology> Children = Engine.branch(Current, Ub, Stats);
+      Engine.branch(Current, Ub, Stats, Children, &Arena);
+      Arena.release(std::move(Current));
       for (std::size_t I = Children.size(); I > 0; --I) {
-        Topology &Child = Children[I - 1];
+        Topology &Child = Children[I - 1].Node;
         if (Engine.isComplete(Child)) {
           if (Shared.offerSolution(Child, Eps)) {
             ++Stats.UbUpdates;
             ++Worker.UbUpdates;
           }
+          Arena.release(std::move(Child));
           continue;
         }
         // Worst child first, best last: the back stays the best.
@@ -228,6 +237,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
     // Master phase (Steps 4-5): breadth-first expansion until the
     // frontier holds 2x the number of computing nodes.
     std::deque<Topology> Bfs;
+    std::vector<BranchedChild> Children;
     Bfs.push_back(Engine.rootTopology());
     while (!Bfs.empty() &&
            static_cast<int>(Bfs.size()) < 2 * NumWorkers) {
@@ -239,7 +249,9 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
       }
       ++MasterStats.Branched;
       double Ub = Shared.Ub.load(std::memory_order_relaxed);
-      for (Topology &Child : Engine.branch(T, Ub, MasterStats)) {
+      Engine.branch(T, Ub, MasterStats, Children);
+      for (BranchedChild &BC : Children) {
+        Topology &Child = BC.Node;
         if (Engine.isComplete(Child)) {
           if (Shared.offerSolution(Child, Eps))
             ++MasterStats.UbUpdates;
@@ -260,6 +272,7 @@ ParallelMutResult mutk::solveMutThreaded(const DistanceMatrix &M,
       S.Generated += W.Generated;
       S.PrunedByBound += W.PrunedByBound;
       S.PrunedByThreeThree += W.PrunedByThreeThree;
+      S.BoundEvals += W.BoundEvals;
       S.UbUpdates += W.UbUpdates;
     }
     return S;

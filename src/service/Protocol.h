@@ -136,9 +136,11 @@ struct BuildRequest {
   std::int32_t GenSpecies = 0;
   std::uint64_t GenSeed = 1;
 
-  // `PipelineOptions`-equivalent knobs.
+  // `PipelineOptions`-equivalent knobs. 3-3 third-species pruning is on
+  // by default (cost-preserving on the clustered per-block matrices the
+  // pipeline solves; clients opt out with `--three-three none`).
   CondenseMode Mode = CondenseMode::Maximum;
-  ThreeThreeMode ThreeThree = ThreeThreeMode::None;
+  ThreeThreeMode ThreeThree = ThreeThreeMode::ThirdSpecies;
   std::int32_t MaxExactBlockSize = 16;
   bool Polish = false;
 

@@ -76,6 +76,7 @@ ClusterSimResult mutk::simulateClusterBnb(const DistanceMatrix &M,
 
   // --- Master phase (Steps 4-5): seed the BBT to 2 * P frontier nodes.
   std::deque<Topology> Frontier;
+  std::vector<BranchedChild> Branches;
   Frontier.push_back(Engine.rootTopology());
   BnbStats &Stats = Result.Stats;
   std::uint64_t SeedBranched = 0;
@@ -88,7 +89,9 @@ ClusterSimResult mutk::simulateClusterBnb(const DistanceMatrix &M,
     }
     ++Stats.Branched;
     ++SeedBranched;
-    for (Topology &Child : Engine.branch(T, GlobalUb, Stats)) {
+    Engine.branch(T, GlobalUb, Stats, Branches);
+    for (BranchedChild &BC : Branches) {
+      Topology &Child = BC.Node;
       if (Engine.isComplete(Child)) {
         if (acceptSolution(Child))
           ++Stats.UbUpdates;
@@ -198,9 +201,9 @@ ClusterSimResult mutk::simulateClusterBnb(const DistanceMatrix &M,
     N.Stats.BusyTime += Cost;
     N.Stats.FinishTime = N.Clock;
 
-    std::vector<Topology> Children = Engine.branch(Current, N.KnownUb, Stats);
-    for (std::size_t I = Children.size(); I > 0; --I) {
-      Topology &Child = Children[I - 1];
+    Engine.branch(Current, N.KnownUb, Stats, Branches);
+    for (std::size_t I = Branches.size(); I > 0; --I) {
+      Topology &Child = Branches[I - 1].Node;
       if (Engine.isComplete(Child)) {
         double ChildCost = Child.cost();
         if (ChildCost < N.KnownUb - Eps) {

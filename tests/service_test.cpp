@@ -612,12 +612,19 @@ TEST(TreeService, DeadlineExpiredIsAStructuredError) {
   TreeService Service(Options);
 
   BuildRequest Blocker;
-  Blocker.Matrix = narrowBandMatrix(18, 3);
-  Blocker.MaxExactBlockSize = 18;
+  Blocker.Matrix = narrowBandMatrix(20, 3);
+  Blocker.MaxExactBlockSize = 20;
   Blocker.NodeBudget = 400'000;
   Blocker.UseCache = false;
   std::future<BuildResponse> BlockerDone =
       Service.submitAsync(std::move(Blocker));
+
+  // The queue is deadline-ordered, so a short-deadline job submitted
+  // while the blocker is still *queued* would be popped first and solved
+  // in time. Wait until the worker has dequeued the blocker — only then
+  // does the doomed request actually sit behind a busy worker.
+  while (Service.stats().QueueDepth > 0)
+    std::this_thread::yield();
 
   BuildRequest Doomed;
   Doomed.Matrix = uniformRandomMetric(8, 1);
